@@ -1,0 +1,120 @@
+//! E1 (§4.1, Figure 3): the streaming substrate sustains high-throughput
+//! partitioned pub/sub with low produce/fetch latency — the foundation for
+//! "trillions of messages and Petabytes of data per day" (scaled to one
+//! process).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::{Record, Row};
+use rtdi_stream::cluster::{Cluster, ClusterConfig};
+use rtdi_stream::consumer::{ConsumerGroup, TopicSubscription};
+use rtdi_stream::topic::TopicConfig;
+
+fn record(i: usize) -> Record {
+    Record::new(
+        Row::new()
+            .with("city", ["sf", "la", "nyc", "chi"][i % 4])
+            .with("fare", 12.5)
+            .with("ts", i as i64),
+        i as i64,
+    )
+    .with_key(format!("k{i}"))
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E1 stream throughput",
+        "Kafka-class pub/sub: high write throughput, partitioned ordering, \
+         cheap sequential consumption",
+    );
+    // headline numbers outside criterion for the report
+    let cluster = Cluster::new("c", ClusterConfig::default());
+    cluster
+        .create_topic("trips", TopicConfig::default().with_partitions(8))
+        .unwrap();
+    let n = 200_000usize;
+    let (_, produce_elapsed) = time_it(|| {
+        for i in 0..n {
+            cluster.produce("trips", record(i), 0).unwrap();
+        }
+    });
+    report(
+        "produce throughput (8 partitions)",
+        format!(
+            "{:.0} records/s",
+            n as f64 / produce_elapsed.as_secs_f64()
+        ),
+    );
+    let topic = cluster.topic("trips").unwrap();
+    let group = ConsumerGroup::new("g", TopicSubscription::new(topic));
+    group.join("m");
+    let (consumed, consume_elapsed) = time_it(|| {
+        let mut total = 0usize;
+        loop {
+            let recs = group.poll("m", 4096).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            total += recs.len();
+            group.commit("m");
+        }
+        total
+    });
+    report(
+        "consume throughput",
+        format!(
+            "{:.0} records/s ({consumed} consumed)",
+            consumed as f64 / consume_elapsed.as_secs_f64()
+        ),
+    );
+
+    let mut g = c.benchmark_group("e01");
+    for partitions in [1usize, 4, 16] {
+        let cluster = Cluster::new("b", ClusterConfig::default());
+        cluster
+            .create_topic("t", TopicConfig::default().with_partitions(partitions))
+            .unwrap();
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(
+            BenchmarkId::new("produce_1k", partitions),
+            &partitions,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    for _ in 0..1000 {
+                        cluster.produce("t", record(i), 0).unwrap();
+                        i += 1;
+                    }
+                });
+            },
+        );
+    }
+    // fetch latency on a warm log
+    let cluster = Cluster::new("f", ClusterConfig::default());
+    cluster
+        .create_topic("t", TopicConfig::default().with_partitions(1))
+        .unwrap();
+    for i in 0..100_000 {
+        cluster.produce("t", record(i), 0).unwrap();
+    }
+    let topic = cluster.topic("t").unwrap();
+    g.bench_function("fetch_1k_sequential", |b| {
+        let mut offset = 0u64;
+        b.iter(|| {
+            let f = topic.fetch(0, offset, 1000).unwrap();
+            offset = match f.records.last() {
+                Some(r) if r.offset + 1 < 99_000 => r.offset + 1,
+                _ => 0,
+            };
+            f.records.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E3 (§4.1.3, Figure 4): the consumer proxy's push dispatch "can greatly
+//! improve the consumption throughput by enabling higher parallelism for
+//! slow consumers with negligible latency overhead", beating the consumer
+//! library's partition-bounded polling; poison messages divert to the DLQ
+//! without impeding live traffic (§4.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::{Record, Row};
+use rtdi_stream::consumer::{ConsumerGroup, TopicSubscription};
+use rtdi_stream::dlq::DeadLetterQueue;
+use rtdi_stream::proxy::{ConsumerProxy, ConsumerService, DispatchMode, ProxyConfig};
+use rtdi_stream::topic::{Topic, TopicConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn topic_with(partitions: usize, records: usize) -> Arc<Topic> {
+    let t = Arc::new(Topic::new("t", TopicConfig::default().with_partitions(partitions)).unwrap());
+    for i in 0..records {
+        t.append(
+            Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
+            0,
+        );
+    }
+    t
+}
+
+fn run(mode: DispatchMode, partitions: usize, records: usize, service: Arc<dyn ConsumerService>) -> Duration {
+    let topic = topic_with(partitions, records);
+    let group = ConsumerGroup::new("g", TopicSubscription::new(topic));
+    let proxy = ConsumerProxy::new(
+        ProxyConfig {
+            mode,
+            max_attempts: 3,
+            poll_batch: 256,
+        },
+        service,
+        Arc::new(DeadLetterQueue::new("t").unwrap()),
+    );
+    let (_, elapsed) = time_it(|| proxy.run_until_caught_up(&group).unwrap());
+    elapsed
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E3 consumer proxy: push vs poll",
+        "push dispatch beats partition-bounded polling for slow consumers; \
+         parallelism no longer capped by partition count",
+    );
+    // slow downstream service: 500us per message, 4 partitions, 2000 msgs
+    let slow: Arc<dyn ConsumerService> = Arc::new(|_: &Record| {
+        std::thread::sleep(Duration::from_micros(500));
+        Ok(())
+    });
+    let records = 2_000;
+    let partitions = 4;
+    let poll = run(DispatchMode::Poll, partitions, records, slow.clone());
+    report(
+        "poll mode (parallelism <= partitions)",
+        format!("{:.0} msg/s", records as f64 / poll.as_secs_f64()),
+    );
+    for workers in [4usize, 16, 64] {
+        let push = run(DispatchMode::Push(workers), partitions, records, slow.clone());
+        report(
+            format!("push mode, {workers} workers").as_str(),
+            format!(
+                "{:.0} msg/s ({:.1}x vs poll)",
+                records as f64 / push.as_secs_f64(),
+                poll.as_secs_f64() / push.as_secs_f64()
+            ),
+        );
+    }
+    // latency overhead for FAST consumers (the "negligible overhead" claim)
+    let fast: Arc<dyn ConsumerService> = Arc::new(|_: &Record| Ok(()));
+    let poll_fast = run(DispatchMode::Poll, partitions, 50_000, fast.clone());
+    let push_fast = run(DispatchMode::Push(16), partitions, 50_000, fast.clone());
+    report(
+        "fast-consumer overhead (push/poll wall time)",
+        format!("{:.2}x", push_fast.as_secs_f64() / poll_fast.as_secs_f64()),
+    );
+
+    // criterion anchors
+    let mut g = c.benchmark_group("e03");
+    g.bench_function("poll_200_slow_msgs", |b| {
+        b.iter(|| run(DispatchMode::Poll, 4, 200, slow.clone()))
+    });
+    g.bench_function("push16_200_slow_msgs", |b| {
+        b.iter(|| run(DispatchMode::Push(16), 4, 200, slow.clone()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E4 (§4.1.4): uReplicator "has an in-built rebalancing algorithm so that
+//! it minimizes the number of the affected topic partitions during
+//! rebalancing... when there is bursty traffic it can dynamically
+//! redistribute the load to the standby workers."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::{Record, Row};
+use rtdi_stream::cluster::{Cluster, ClusterConfig};
+use rtdi_stream::replicator::{OffsetMappingStore, Replicator, StickyAssigner};
+use rtdi_stream::topic::TopicConfig;
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E4 uReplicator rebalancing",
+        "sticky rebalancing touches ~1/(n+1) of partitions when adding a \
+         worker; naive modulo rehash reshuffles almost everything",
+    );
+    let partitions = 1_000u32;
+    // adding one worker to ten
+    let mut sticky = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
+    sticky.rebalance(partitions);
+    sticky.add_worker("w10");
+    let moved_sticky = sticky.rebalance(partitions).len();
+    let mut naive = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
+    naive.naive_rebalance(partitions);
+    naive.add_worker("w10");
+    let moved_naive = naive.naive_rebalance(partitions).len();
+    report(
+        "partitions moved adding worker #11 of 1000 partitions",
+        format!(
+            "sticky {moved_sticky} vs naive {moved_naive} ({:.0}x fewer)",
+            moved_naive as f64 / moved_sticky.max(1) as f64
+        ),
+    );
+    report("post-rebalance skew (sticky)", format!("{:.2}", sticky.skew(partitions)));
+
+    // losing a worker
+    let mut sticky = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
+    sticky.rebalance(partitions);
+    sticky.remove_worker("w3");
+    let moved = sticky.rebalance(partitions).len();
+    report(
+        "partitions moved losing 1 of 10 workers",
+        format!("sticky {moved} (only the dead worker's share)"),
+    );
+
+    // burst absorption via standby promotion
+    let mut burst = StickyAssigner::new(
+        (0..4).map(|i| format!("w{i}")).collect(),
+        (0..4).map(|i| format!("s{i}")).collect(),
+    );
+    burst.rebalance(partitions);
+    let promoted = burst.promote_standby(4);
+    let moved = burst.rebalance(partitions).len();
+    report(
+        "burst: promoted standbys",
+        format!("{promoted} promoted, {moved} partitions shifted, skew {:.2}", burst.skew(partitions)),
+    );
+
+    // replication copy throughput
+    let src = Cluster::new("regional", ClusterConfig::default());
+    src.create_topic("trips", TopicConfig::default().with_partitions(8)).unwrap();
+    for i in 0..100_000usize {
+        src.produce(
+            "trips",
+            Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
+            0,
+        )
+        .unwrap();
+    }
+    let dst = Cluster::new("aggregate", ClusterConfig::default());
+    let rep = Replicator::new(
+        "r",
+        src,
+        dst,
+        "trips",
+        OffsetMappingStore::new(),
+        1_000,
+    );
+    rep.prepare().unwrap();
+    let (copied, elapsed) = time_it(|| rep.run_once(0).unwrap());
+    report(
+        "cross-cluster replication throughput",
+        format!("{:.0} records/s ({copied} copied)", copied as f64 / elapsed.as_secs_f64()),
+    );
+
+    let mut g = c.benchmark_group("e04");
+    g.bench_function("sticky_rebalance_1k_partitions", |b| {
+        b.iter(|| {
+            let mut a = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
+            a.rebalance(1_000);
+            a.add_worker("w10");
+            a.rebalance(1_000).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

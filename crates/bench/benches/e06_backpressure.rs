@@ -1,0 +1,85 @@
+//! E6 (§4.2): "Storm performed poorly in handling back pressure when
+//! faced with a massive input backlog of millions of messages, taking
+//! several hours to recover whereas Flink only took 20 minutes."
+//!
+//! Reproduced as a discrete-time simulation of both engines draining a
+//! 5M-message backlog at 5k msg/s capacity with 1k msg/s of live input
+//! (see `rtdi_compute::baselines::simulate_recovery`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header};
+use rtdi_compute::baselines::{simulate_recovery, EngineModel};
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E6 backlog recovery: Flink-like vs Storm-like",
+        "Flink ~20 minutes, Storm several hours (>=6x slower) on a \
+         multi-million message backlog",
+    );
+    let backlog = 5_000_000;
+    let capacity = 5_000;
+    let input = 1_000;
+    let horizon = 200_000_000;
+    let flink = simulate_recovery(
+        EngineModel::FlinkLike {
+            buffer_capacity: 10_000,
+        },
+        backlog,
+        capacity,
+        input,
+        horizon,
+    );
+    let storm = simulate_recovery(
+        EngineModel::StormLike {
+            ack_timeout_ms: 60_000,
+            emit_multiplier: 1.2,
+        },
+        backlog,
+        capacity,
+        input,
+        horizon,
+    );
+    report(
+        "Flink-like (credit-based backpressure)",
+        format!("{:.1} minutes, {} wasted replays", flink.recovery_ms as f64 / 60_000.0, flink.wasted_replays),
+    );
+    report(
+        "Storm-like (ack timeout, no flow control)",
+        format!(
+            "{:.1} minutes, {} wasted replays{}",
+            storm.recovery_ms as f64 / 60_000.0,
+            storm.wasted_replays,
+            if storm.timed_out { " (hit simulation horizon)" } else { "" }
+        ),
+    );
+    report(
+        "recovery ratio storm/flink",
+        format!("{:.1}x", storm.recovery_ms as f64 / flink.recovery_ms as f64),
+    );
+    // shape check from the paper: ~20 min for Flink, hours for Storm
+    assert!((15.0..30.0).contains(&(flink.recovery_ms as f64 / 60_000.0)));
+    assert!(storm.recovery_ms as f64 / flink.recovery_ms as f64 >= 5.0);
+
+    let mut g = c.benchmark_group("e06");
+    g.bench_function("simulate_flink_recovery", |b| {
+        b.iter(|| {
+            simulate_recovery(
+                EngineModel::FlinkLike {
+                    buffer_capacity: 10_000,
+                },
+                500_000,
+                5_000,
+                1_000,
+                10_000_000,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E13 (§4.3.4): the centralized single-controller segment backup "was a
+//! huge scalability bottleneck and caused data freshness violation";
+//! Uber's asynchronous peer-to-peer scheme removes the stall and lets
+//! replicas serve recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::Row;
+use rtdi_olap::broker::ServerNode;
+use rtdi_olap::segment::{IndexSpec, Segment};
+use rtdi_olap::segstore::{SegmentStore, SegmentStoreMode};
+use rtdi_storage::object::{FaultyStore, InMemoryStore};
+use std::sync::Arc;
+
+fn seg(name: &str, n: usize) -> Arc<Segment> {
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new()
+                .with("city", ["sf", "la"][i % 2])
+                .with("v", i as i64)
+        })
+        .collect();
+    let schema = rtdi_common::Schema::of(
+        "t",
+        &[
+            ("city", rtdi_common::FieldType::Str),
+            ("v", rtdi_common::FieldType::Int),
+        ],
+    );
+    Arc::new(Segment::build(name, &schema, rows, &IndexSpec::none()).unwrap())
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E13 segment backup & recovery: centralized vs peer-to-peer",
+        "synchronous single-controller backups stall sealing (freshness \
+         violation); async p2p returns immediately and replicas serve \
+         recovery even with the archive down",
+    );
+    // the archive has 3ms upload latency through ONE controller
+    let slow_archive =
+        Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
+    let centralized = SegmentStore::new(
+        slow_archive.clone(),
+        SegmentStoreMode::Centralized,
+        IndexSpec::none(),
+    );
+    let p2p_archive =
+        Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
+    let p2p = SegmentStore::new(p2p_archive, SegmentStoreMode::PeerToPeer, IndexSpec::none());
+
+    // 16 servers seal a segment "simultaneously"
+    let segments: Vec<Arc<Segment>> = (0..16).map(|i| seg(&format!("s{i}"), 2_000)).collect();
+    let (_, cen_t) = time_it(|| {
+        std::thread::scope(|s| {
+            for sg in &segments {
+                let store = &centralized;
+                let sg = sg.clone();
+                s.spawn(move || store.backup("t", sg).unwrap());
+            }
+        });
+    });
+    let (_, p2p_t) = time_it(|| {
+        std::thread::scope(|s| {
+            for sg in &segments {
+                let store = &p2p;
+                let sg = sg.clone();
+                s.spawn(move || store.backup("t", sg).unwrap());
+            }
+        });
+    });
+    report(
+        "16 concurrent segment seals, ingestion stall",
+        format!(
+            "centralized {:.1} ms (serialized through controller) vs p2p {:.3} ms ({:.0}x less stall)",
+            cen_t.as_secs_f64() * 1e3,
+            p2p_t.as_secs_f64() * 1e3,
+            cen_t.as_secs_f64() / p2p_t.as_secs_f64().max(1e-9)
+        ),
+    );
+    // async uploads complete in the background
+    let pending = p2p.pending_count();
+    p2p.flush_pending().unwrap();
+    report("p2p deferred uploads flushed", format!("{pending}"));
+
+    // recovery: peer fetch vs deep-store rebuild
+    let peer = ServerNode::new(0);
+    peer.host(segments[0].clone());
+    let (_, peer_t) = time_it(|| p2p.recover("t", "s0", &[peer.clone()]).unwrap());
+    let (_, deep_t) = time_it(|| centralized.recover("t", "s0", &[]).unwrap());
+    report(
+        "recovery latency",
+        format!(
+            "from peer replica {:.3} ms vs deep-store fetch+rebuild {:.1} ms",
+            peer_t.as_secs_f64() * 1e3,
+            deep_t.as_secs_f64() * 1e3
+        ),
+    );
+    // availability: archive down entirely
+    slow_archive.set_down(true);
+    assert!(centralized.recover("t", "s1", &[peer.clone()]).is_err());
+    peer.host(segments[1].clone());
+    assert!(p2p.recover("t", "s1", &[peer]).is_ok());
+    report(
+        "archive outage",
+        "centralized: recovery impossible; p2p: served from replica".to_string(),
+    );
+
+    let mut g = c.benchmark_group("e13");
+    g.bench_function("p2p_backup_enqueue", |b| {
+        let s = seg("bench", 2_000);
+        b.iter(|| p2p.backup("t", s.clone()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E14 (§4.5): "predicate pushdowns and aggregation function pushdowns
+//! enable us to achieve sub-second query latencies for such PrestoSQL
+//! queries — which is not possible to do on standard backends such as
+//! HDFS/Hive."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_olap::baselines::{comparison_rows, comparison_schema};
+use rtdi_olap::segment::IndexSpec;
+use rtdi_olap::table::{OlapTable, TableConfig};
+use rtdi_sql::connector::PinotConnector;
+use rtdi_sql::engine::{EngineConfig, SqlEngine};
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "SELECT city, COUNT(*) AS n, SUM(total) AS rev FROM orders GROUP BY city",
+    "SELECT restaurant, COUNT(*) AS n FROM orders WHERE city = 'sf' \
+     GROUP BY restaurant ORDER BY n DESC LIMIT 10",
+    "SELECT COUNT(*) AS n FROM orders WHERE total > 55 AND city = 'la'",
+    "SELECT restaurant, total FROM orders WHERE city = 'nyc' ORDER BY total DESC LIMIT 5",
+];
+
+fn engine(pushdown: bool, table: Arc<OlapTable>) -> SqlEngine {
+    let pinot = PinotConnector::new();
+    pinot.register(table);
+    let mut e = SqlEngine::new(EngineConfig {
+        default_catalog: "pinot".into(),
+        enable_pushdown: pushdown,
+    });
+    e.register_connector("pinot", Arc::new(pinot));
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E14 connector pushdown ablation",
+        "predicate/aggregation/limit pushdown turns federated SQL into \
+         sub-second index lookups; without it every query ships the table",
+    );
+    let n = 400_000usize;
+    let table = OlapTable::new(
+        TableConfig::new("orders", comparison_schema())
+            .with_index_spec(
+                IndexSpec::none()
+                    .with_inverted(&["city", "restaurant"])
+                    .with_range(&["total"]),
+            )
+            .with_time_column("ts")
+            .with_partitions(2)
+            .with_segment_rows(100_000),
+    )
+    .unwrap();
+    for (i, row) in comparison_rows(n).into_iter().enumerate() {
+        table.ingest(i % 2, row).unwrap();
+    }
+    let with_pd = engine(true, table.clone());
+    let without_pd = engine(false, table);
+
+    let run_suite = |e: &SqlEngine| {
+        let mut shipped = 0;
+        let (_, t) = time_it(|| {
+            for q in QUERIES {
+                let out = e.query(q).unwrap();
+                shipped += out.stats.rows_shipped;
+            }
+        });
+        (t, shipped)
+    };
+    let (t_on, ship_on) = run_suite(&with_pd);
+    let (t_off, ship_off) = run_suite(&without_pd);
+    let total_shipped = (ship_on, ship_off);
+    report(
+        "suite latency",
+        format!(
+            "pushdown ON {:.1} ms vs OFF {:.1} ms -> {:.1}x faster",
+            t_on.as_secs_f64() * 1e3,
+            t_off.as_secs_f64() * 1e3,
+            t_off.as_secs_f64() / t_on.as_secs_f64()
+        ),
+    );
+    report(
+        "rows shipped connector->engine",
+        format!(
+            "ON {} vs OFF {} ({}x reduction)",
+            total_shipped.0,
+            total_shipped.1,
+            total_shipped.1 / total_shipped.0.max(1)
+        ),
+    );
+    // correctness: identical answers either way
+    for q in QUERIES {
+        assert_eq!(
+            with_pd.query(q).unwrap().rows,
+            without_pd.query(q).unwrap().rows,
+            "pushdown changed results for {q}"
+        );
+    }
+
+    let mut g = c.benchmark_group("e14");
+    g.bench_function("pushdown_on_groupby", |b| {
+        b.iter(|| with_pd.query(QUERIES[0]).unwrap())
+    });
+    g.bench_function("pushdown_off_groupby", |b| {
+        b.iter(|| without_pd.query(QUERIES[0]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

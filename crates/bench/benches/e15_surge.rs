@@ -1,0 +1,126 @@
+//! E15 (§5.1, §6, Figure 6): the surge pipeline meets "a strict
+//! end-to-end latency SLA ... per time window", drops late arrivals
+//! (freshness over completeness), and the active-active setup converges
+//! and fails over without losing pricing coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::Row;
+use rtdi_multiregion::activeactive::{redundant_compute_round, ActiveActiveCoordinator};
+use rtdi_multiregion::kv::ReplicatedKv;
+use rtdi_multiregion::topology::MultiRegionTopology;
+use rtdi_stream::topic::TopicConfig;
+use rtdi_usecases::surge::{LinearSurgeModel, SurgeModel, SurgePipeline};
+use rtdi_usecases::workloads::TripEventGenerator;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E15 surge pricing end-to-end",
+        "seconds-level freshness per pricing window; late events excluded; \
+         active-active regions converge and fail over seamlessly",
+    );
+    // single-region pipeline throughput + freshness
+    let pipeline = SurgePipeline::new(2_000, Arc::new(LinearSurgeModel::default()));
+    let mut gen = TripEventGenerator::new(5, 128).with_lateness(0.05, 5_000);
+    let records = gen.marketplace_batch(0, 120_000, 2_000); // 2 minutes at 2k/s
+    let n = records.len();
+    let kv = ReplicatedKv::new();
+    let job = pipeline.job_from_records("surge", records, kv.clone(), "region");
+    let (stats, elapsed) = time_it(|| pipeline.run(job).unwrap());
+    report(
+        "pipeline throughput",
+        format!("{:.0} events/s ({n} events)", n as f64 / elapsed.as_secs_f64()),
+    );
+    report(
+        "pricing freshness bound",
+        format!(
+            "{} ms after window close (SLA: seconds-level)",
+            pipeline.freshness_bound_ms()
+        ),
+    );
+    report(
+        "hexes priced / peak state",
+        format!("{} hexes, {} KiB window state", kv.len(), stats.peak_state_bytes / 1024),
+    );
+
+    // active-active: convergence + failover time
+    let topo = MultiRegionTopology::new(
+        &["west", "east"],
+        "marketplace",
+        TopicConfig::high_throughput().with_partitions(4),
+    )
+    .unwrap();
+    let model = Arc::new(LinearSurgeModel::default());
+    let compute = move |rows: &[Row]| -> BTreeMap<String, Row> {
+        let mut ds: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        for r in rows {
+            if let Some(hex) = r.get_str("hex") {
+                let e = ds.entry(hex.to_string()).or_insert((0.0, 0.0));
+                match r.get_str("kind") {
+                    Some("demand") => e.0 += 1.0,
+                    Some("supply") => e.1 += 1.0,
+                    _ => {}
+                }
+            }
+        }
+        ds.into_iter()
+            .map(|(h, (d, s))| (h, Row::new().with("multiplier", model.multiplier(d, s))))
+            .collect()
+    };
+    let mut g1 = TripEventGenerator::new(6, 64);
+    let mut g2 = TripEventGenerator::new(7, 64);
+    for t in 0..5_000i64 {
+        topo.produce("west", g1.marketplace_event(t), t).unwrap();
+        topo.produce("east", g2.marketplace_event(t), t).unwrap();
+    }
+    topo.replicate(10_000);
+    let coord = ActiveActiveCoordinator::new("west");
+    let kv = ReplicatedKv::new();
+    let states = redundant_compute_round(&topo, &coord, &kv, 10_000, &compute).unwrap();
+    report(
+        "active-active convergence",
+        format!(
+            "west and east computed identical state over {} hexes: {}",
+            states["west"].len(),
+            states["west"] == states["east"]
+        ),
+    );
+    let coverage_before = kv.len();
+    topo.region("west").unwrap().set_down(true);
+    let (_, failover_t) = time_it(|| {
+        redundant_compute_round(&topo, &coord, &kv, 11_000, &compute).unwrap()
+    });
+    report(
+        "failover",
+        format!(
+            "primary now {}, pricing recomputed in {:.1} ms, coverage {} -> {} hexes",
+            coord.primary(),
+            failover_t.as_secs_f64() * 1e3,
+            coverage_before,
+            kv.len()
+        ),
+    );
+    assert!(kv.len() >= coverage_before);
+
+    let mut g = c.benchmark_group("e15");
+    g.bench_function("surge_10k_events", |b| {
+        b.iter(|| {
+            let mut gen = TripEventGenerator::new(9, 64);
+            let records = gen.marketplace_batch(0, 10_000, 1_000);
+            let kv = ReplicatedKv::new();
+            let p = SurgePipeline::new(2_000, Arc::new(LinearSurgeModel::default()));
+            let job = p.job_from_records("s", records, kv, "r");
+            p.run(job).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

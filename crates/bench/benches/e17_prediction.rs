@@ -1,0 +1,83 @@
+//! E17 (§5.3): prediction monitoring must scale with "a high volume and
+//! high cardinality of data... several hundreds of thousands of time
+//! series" — throughput stays flat as model cardinality grows because the
+//! join and aggregation state are keyed, not scanned.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::AggFn;
+use rtdi_olap::query::Query;
+use rtdi_usecases::prediction::PredictionMonitoring;
+use rtdi_usecases::workloads::TripEventGenerator;
+
+fn generate(n: usize, models: usize, seed: u64) -> (Vec<rtdi_common::Record>, Vec<rtdi_common::Record>) {
+    let mut g = TripEventGenerator::new(seed, 8);
+    let mut preds = Vec::with_capacity(n);
+    let mut outs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (p, o) = g.prediction_pair((i as i64) * 5, models, 500);
+        preds.push(p);
+        outs.push(o);
+    }
+    (preds, outs)
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E17 prediction monitoring at high cardinality",
+        "throughput roughly flat from 10 to 1000 models; accuracy cube rows \
+         grow with cardinality, query latency served by the Pinot cube",
+    );
+    let n = 50_000usize;
+    for models in [10usize, 100, 1_000] {
+        let pm = PredictionMonitoring::new(60_000, 10_000).unwrap();
+        let (preds, outs) = generate(n, models, models as u64);
+        let (stats, t) = time_it(|| pm.run(preds, outs).unwrap());
+        let cube_rows = pm.cube.doc_count();
+        report(
+            format!("{models} models").as_str(),
+            format!(
+                "{:.0} events/s, cube rows {}, records {}",
+                stats.records_in as f64 / t.as_secs_f64(),
+                cube_rows,
+                stats.records_in
+            ),
+        );
+    }
+    // cube query latency at the highest cardinality
+    let pm = PredictionMonitoring::new(60_000, 10_000).unwrap();
+    let (preds, outs) = generate(n, 1_000, 42);
+    pm.run(preds, outs).unwrap();
+    let q = Query::select_all("model_accuracy")
+        .aggregate("models", AggFn::DistinctCount("model".into()))
+        .aggregate("worst", AggFn::Max("max_abs_error".into()));
+    let (res, t) = time_it(|| pm.cube.query(&q).unwrap());
+    report(
+        "cube health query",
+        format!(
+            "{} models, worst error {:.3}, {:.2} ms",
+            res.rows[0].get_int("models").unwrap(),
+            res.rows[0].get_double("worst").unwrap(),
+            t.as_secs_f64() * 1e3
+        ),
+    );
+
+    let mut g = c.benchmark_group("e17");
+    for models in [10usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("monitor_10k", models), &models, |b, &m| {
+            b.iter(|| {
+                let pm = PredictionMonitoring::new(60_000, 10_000).unwrap();
+                let (preds, outs) = generate(10_000, m, m as u64);
+                pm.run(preds, outs).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E22 (§11 future work, implemented): tiered log storage. "Storage
+//! tiering improves both cost efficiency by storing colder data in a
+//! cheaper storage medium as well as elasticity by separating data storage
+//! and serving layers." Also dissolves §7's retention wall: old offsets
+//! stay replayable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_common::{Record, Row};
+use rtdi_storage::object::InMemoryStore;
+use rtdi_stream::tiered::TieredLog;
+use std::sync::Arc;
+
+fn rec(i: i64) -> Record {
+    Record::new(
+        Row::new()
+            .with("trip", i)
+            .with("payload", "x".repeat(100)),
+        i,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E22 tiered log storage (§11 future work)",
+        "hot memory shrinks to the serving window while the full history \
+         stays replayable from the cheap tier; expiry becomes a cost knob",
+    );
+    let store = Arc::new(InMemoryStore::new());
+    let log = TieredLog::new(store.clone(), "tiered/trips/0");
+    let n = 200_000i64;
+    for i in 0..n {
+        log.append(rec(i), i);
+    }
+    let hot_before = log.hot_bytes();
+    // keep only the newest 10% hot
+    let (moved, offload_t) = time_it(|| log.offload_older_than(n * 9 / 10).unwrap());
+    report(
+        "offload 90% of the log",
+        format!(
+            "{moved} records in {:.0} ms ({:.1} M rec/s)",
+            offload_t.as_secs_f64() * 1e3,
+            moved as f64 / offload_t.as_secs_f64() / 1e6
+        ),
+    );
+    report(
+        "hot-tier memory",
+        format!(
+            "{} MiB -> {} MiB ({:.0}x cheaper serving tier); cold tier {} MiB in the archive",
+            hot_before / (1 << 20),
+            log.hot_bytes() / (1 << 20),
+            hot_before as f64 / log.hot_bytes().max(1) as f64,
+            store.stored_bytes() / (1 << 20),
+        ),
+    );
+    // serving latency both tiers
+    let (_, hot_t) = time_it(|| {
+        for _ in 0..100 {
+            log.fetch(n as u64 - 1000, 100).unwrap();
+        }
+    });
+    let (_, cold_t) = time_it(|| {
+        for _ in 0..100 {
+            log.fetch(1_000, 100).unwrap();
+        }
+    });
+    report(
+        "fetch 100 records",
+        format!(
+            "hot tier {:.0} us vs cold tier {:.0} us (cold pays the archive \
+             read, stays available)",
+            hot_t.as_secs_f64() * 1e4,
+            cold_t.as_secs_f64() * 1e4
+        ),
+    );
+    // the §7 consequence: day-old data is replayable from the log itself
+    let replay = log.fetch(0, 1_000).unwrap();
+    report(
+        "replay from offset 0 after offload",
+        format!("{} records served (plain retention would have lost them)", replay.records.len()),
+    );
+    assert_eq!(replay.records.len(), 1_000);
+
+    let mut g = c.benchmark_group("e22");
+    g.bench_function("fetch_hot_100", |b| {
+        b.iter(|| log.fetch(n as u64 - 1_000, 100).unwrap())
+    });
+    g.bench_function("fetch_cold_100", |b| b.iter(|| log.fetch(5_000, 100).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every table/figure/quantitative claim in the paper has a bench target
+//! under `benches/` (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded results). Each bench prints a
+//! paper-vs-measured report before its criterion timings so the headline
+//! numbers survive in the bench logs.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A Criterion tuned so the whole 20-experiment suite finishes in minutes:
+/// the comparisons in this paper are order-of-magnitude shapes, not
+/// nanosecond deltas.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .configure_from_args()
+}
+
+/// Print a report header for an experiment.
+pub fn report_header(experiment: &str, paper_claim: &str) {
+    println!("\n=== {experiment} ===");
+    println!("paper: {paper_claim}");
+}
+
+/// Print one measured line.
+pub fn report(metric: &str, value: impl std::fmt::Display) {
+    println!("measured: {metric} = {value}");
+}
+
+/// Wall-clock one closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

@@ -1,0 +1,389 @@
+//! Aggregate functions and their checkpointable accumulators.
+//!
+//! These are the aggregations FlinkSQL compiles `COUNT/SUM/AVG/MIN/MAX/
+//! COUNT(DISTINCT ...)` into, and the building blocks of the
+//! pre-aggregation pipelines in §5.2/§5.3. Accumulators are plain enums so
+//! checkpoints can serialize them without trait-object machinery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::error::{Error, Result};
+use crate::value::{Row, Value};
+use std::collections::BTreeSet;
+
+/// An aggregate function over a (possibly absent) input column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum(String),
+    Avg(String),
+    Min(String),
+    Max(String),
+    DistinctCount(String),
+}
+
+impl AggFn {
+    pub fn new_acc(&self) -> AggAcc {
+        match self {
+            AggFn::Count => AggAcc::Count(0),
+            AggFn::Sum(_) => AggAcc::Sum(0.0),
+            AggFn::Avg(_) => AggAcc::Avg { sum: 0.0, count: 0 },
+            AggFn::Min(_) => AggAcc::Min(None),
+            AggFn::Max(_) => AggAcc::Max(None),
+            AggFn::DistinctCount(_) => AggAcc::Distinct(BTreeSet::new()),
+        }
+    }
+
+    /// Column the function reads, if any.
+    pub fn input_column(&self) -> Option<&str> {
+        match self {
+            AggFn::Count => None,
+            AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c)
+            | AggFn::DistinctCount(c) => Some(c),
+        }
+    }
+
+    /// Default output column name (FlinkSQL uses aliases when provided).
+    pub fn default_name(&self) -> String {
+        match self {
+            AggFn::Count => "count".into(),
+            AggFn::Sum(c) => format!("sum_{c}"),
+            AggFn::Avg(c) => format!("avg_{c}"),
+            AggFn::Min(c) => format!("min_{c}"),
+            AggFn::Max(c) => format!("max_{c}"),
+            AggFn::DistinctCount(c) => format!("distinct_{c}"),
+        }
+    }
+}
+
+/// A running accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggAcc {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, count: u64 },
+    Min(Option<f64>),
+    Max(Option<f64>),
+    Distinct(BTreeSet<u64>),
+}
+
+impl AggAcc {
+    /// Fold one row in.
+    pub fn add(&mut self, f: &AggFn, row: &Row) {
+        match (self, f) {
+            (AggAcc::Count(n), AggFn::Count) => *n += 1,
+            (AggAcc::Sum(s), AggFn::Sum(col)) => {
+                if let Some(v) = row.get_double(col) {
+                    *s += v;
+                }
+            }
+            (AggAcc::Avg { sum, count }, AggFn::Avg(col)) => {
+                if let Some(v) = row.get_double(col) {
+                    *sum += v;
+                    *count += 1;
+                }
+            }
+            (AggAcc::Min(m), AggFn::Min(col)) => {
+                if let Some(v) = row.get_double(col) {
+                    *m = Some(m.map_or(v, |cur| cur.min(v)));
+                }
+            }
+            (AggAcc::Max(m), AggFn::Max(col)) => {
+                if let Some(v) = row.get_double(col) {
+                    *m = Some(m.map_or(v, |cur| cur.max(v)));
+                }
+            }
+            (AggAcc::Distinct(set), AggFn::DistinctCount(col)) => {
+                if let Some(v) = row.get(col) {
+                    if !v.is_null() {
+                        set.insert(v.partition_hash());
+                    }
+                }
+            }
+            (acc, f) => {
+                debug_assert!(false, "accumulator {acc:?} mismatched with {f:?}");
+            }
+        }
+    }
+
+    /// Fast path: fold one numeric value (Sum/Avg/Min/Max) without
+    /// constructing a row. Count also accepts this (value ignored).
+    #[inline]
+    pub fn add_num(&mut self, v: f64) {
+        match self {
+            AggAcc::Count(n) => *n += 1,
+            AggAcc::Sum(s) => *s += v,
+            AggAcc::Avg { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
+            AggAcc::Min(m) => *m = Some(m.map_or(v, |cur| cur.min(v))),
+            AggAcc::Max(m) => *m = Some(m.map_or(v, |cur| cur.max(v))),
+            AggAcc::Distinct(set) => {
+                // consistent with Value::Double(v).partition_hash()
+                set.insert(Value::hash_of_double(v));
+            }
+        }
+    }
+
+    /// Fast path: count one row (COUNT(*)).
+    #[inline]
+    pub fn add_one(&mut self) {
+        if let AggAcc::Count(n) = self {
+            *n += 1;
+        } else {
+            debug_assert!(false, "add_one on non-count accumulator");
+        }
+    }
+
+    /// Fast path: fold a pre-hashed value into a distinct set. The hash
+    /// must be [`crate::value::Value::partition_hash`] of the original
+    /// value so sets merge correctly across segments.
+    #[inline]
+    pub fn add_hash(&mut self, h: u64) {
+        if let AggAcc::Distinct(set) = self {
+            set.insert(h);
+        } else {
+            debug_assert!(false, "add_hash on non-distinct accumulator");
+        }
+    }
+
+    /// Merge another accumulator of the same shape (used by session-window
+    /// merging and by the micro-batch baseline's partial aggregation).
+    pub fn merge(&mut self, other: &AggAcc) {
+        match (self, other) {
+            (AggAcc::Count(a), AggAcc::Count(b)) => *a += b,
+            (AggAcc::Sum(a), AggAcc::Sum(b)) => *a += b,
+            (
+                AggAcc::Avg { sum: s1, count: c1 },
+                AggAcc::Avg { sum: s2, count: c2 },
+            ) => {
+                *s1 += s2;
+                *c1 += c2;
+            }
+            (AggAcc::Min(a), AggAcc::Min(b)) => {
+                if let Some(v) = b {
+                    *a = Some(a.map_or(*v, |cur| cur.min(*v)));
+                }
+            }
+            (AggAcc::Max(a), AggAcc::Max(b)) => {
+                if let Some(v) = b {
+                    *a = Some(a.map_or(*v, |cur| cur.max(*v)));
+                }
+            }
+            (AggAcc::Distinct(a), AggAcc::Distinct(b)) => {
+                a.extend(b.iter().copied());
+            }
+            (a, b) => {
+                debug_assert!(false, "cannot merge {a:?} with {b:?}");
+            }
+        }
+    }
+
+    /// Final value.
+    pub fn result(&self) -> Value {
+        match self {
+            AggAcc::Count(n) => Value::Int(*n as i64),
+            AggAcc::Sum(s) => Value::Double(*s),
+            AggAcc::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *count as f64)
+                }
+            }
+            AggAcc::Min(m) => m.map(Value::Double).unwrap_or(Value::Null),
+            AggAcc::Max(m) => m.map(Value::Double).unwrap_or(Value::Null),
+            AggAcc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+
+    /// Approximate live bytes (distinct sets dominate).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            AggAcc::Distinct(set) => 16 + set.len() * 8,
+            AggAcc::Avg { .. } => 16,
+            _ => 8,
+        }
+    }
+
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AggAcc::Count(n) => {
+                buf.put_u8(0);
+                buf.put_u64(*n);
+            }
+            AggAcc::Sum(s) => {
+                buf.put_u8(1);
+                buf.put_f64(*s);
+            }
+            AggAcc::Avg { sum, count } => {
+                buf.put_u8(2);
+                buf.put_f64(*sum);
+                buf.put_u64(*count);
+            }
+            AggAcc::Min(m) => {
+                buf.put_u8(3);
+                encode_opt(buf, *m);
+            }
+            AggAcc::Max(m) => {
+                buf.put_u8(4);
+                encode_opt(buf, *m);
+            }
+            AggAcc::Distinct(set) => {
+                buf.put_u8(5);
+                buf.put_u32(set.len() as u32);
+                for v in set {
+                    buf.put_u64(*v);
+                }
+            }
+        }
+    }
+
+    pub fn decode(buf: &mut Bytes) -> Result<AggAcc> {
+        if buf.remaining() < 1 {
+            return Err(Error::Corruption("truncated accumulator".into()));
+        }
+        Ok(match buf.get_u8() {
+            0 => AggAcc::Count(buf.get_u64()),
+            1 => AggAcc::Sum(buf.get_f64()),
+            2 => AggAcc::Avg {
+                sum: buf.get_f64(),
+                count: buf.get_u64(),
+            },
+            3 => AggAcc::Min(decode_opt(buf)),
+            4 => AggAcc::Max(decode_opt(buf)),
+            5 => {
+                let n = buf.get_u32() as usize;
+                let mut set = BTreeSet::new();
+                for _ in 0..n {
+                    set.insert(buf.get_u64());
+                }
+                AggAcc::Distinct(set)
+            }
+            t => return Err(Error::Corruption(format!("bad acc tag {t}"))),
+        })
+    }
+}
+
+fn encode_opt(buf: &mut BytesMut, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_f64(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn decode_opt(buf: &mut Bytes) -> Option<f64> {
+    if buf.get_u8() == 1 {
+        Some(buf.get_f64())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new().with("fare", 10.0).with("city", "sf"),
+            Row::new().with("fare", 20.0).with("city", "nyc"),
+            Row::new().with("fare", 5.0).with("city", "sf"),
+            Row::new().with("city", "la"), // missing fare
+        ]
+    }
+
+    fn run(f: AggFn) -> Value {
+        let mut acc = f.new_acc();
+        for r in rows() {
+            acc.add(&f, &r);
+        }
+        acc.result()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        assert_eq!(run(AggFn::Count), Value::Int(4));
+        assert_eq!(run(AggFn::Sum("fare".into())), Value::Double(35.0));
+        assert_eq!(
+            run(AggFn::Avg("fare".into())),
+            Value::Double(35.0 / 3.0)
+        );
+        assert_eq!(run(AggFn::Min("fare".into())), Value::Double(5.0));
+        assert_eq!(run(AggFn::Max("fare".into())), Value::Double(20.0));
+        assert_eq!(run(AggFn::DistinctCount("city".into())), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_accumulators() {
+        assert_eq!(AggFn::Count.new_acc().result(), Value::Int(0));
+        assert_eq!(AggFn::Avg("x".into()).new_acc().result(), Value::Null);
+        assert_eq!(AggFn::Min("x".into()).new_acc().result(), Value::Null);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let f = AggFn::Avg("fare".into());
+        let all = rows();
+        let (left, right) = all.split_at(2);
+        let mut a = f.new_acc();
+        for r in left {
+            a.add(&f, r);
+        }
+        let mut b = f.new_acc();
+        for r in right {
+            b.add(&f, r);
+        }
+        a.merge(&b);
+        let mut seq = f.new_acc();
+        for r in &all {
+            seq.add(&f, r);
+        }
+        assert_eq!(a.result(), seq.result());
+    }
+
+    #[test]
+    fn distinct_merge_deduplicates() {
+        let f = AggFn::DistinctCount("city".into());
+        let mut a = f.new_acc();
+        a.add(&f, &Row::new().with("city", "sf"));
+        let mut b = f.new_acc();
+        b.add(&f, &Row::new().with("city", "sf"));
+        b.add(&f, &Row::new().with("city", "la"));
+        a.merge(&b);
+        assert_eq!(a.result(), Value::Int(2));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let accs = vec![
+            AggAcc::Count(7),
+            AggAcc::Sum(1.5),
+            AggAcc::Avg { sum: 10.0, count: 4 },
+            AggAcc::Min(Some(-2.5)),
+            AggAcc::Max(None),
+            AggAcc::Distinct([1u64, 5, 9].into_iter().collect()),
+        ];
+        let mut buf = BytesMut::new();
+        for a in &accs {
+            a.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for a in &accs {
+            assert_eq!(&AggAcc::decode(&mut bytes).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(AggFn::Count.default_name(), "count");
+        assert_eq!(AggFn::Sum("fare".into()).default_name(), "sum_fare");
+        assert_eq!(
+            AggFn::DistinctCount("rider".into()).default_name(),
+            "distinct_rider"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Unified error type shared across the stack.
+
+use std::fmt;
+
+/// Result alias used across all rtdi crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error enumeration for the whole platform.
+///
+/// Each layer of the stack maps its failures into one of these variants so
+/// that errors can cross crate boundaries (stream -> compute -> olap -> sql)
+/// without lossy string-ification at every hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Something was requested that does not exist (topic, table, job...).
+    NotFound(String),
+    /// An entity with this name/id already exists.
+    AlreadyExists(String),
+    /// Caller supplied an invalid argument or configuration.
+    InvalidArgument(String),
+    /// A schema mismatch or schema-compatibility violation.
+    Schema(String),
+    /// The requested offset is out of the retained range of a log.
+    OffsetOutOfRange { requested: u64, low: u64, high: u64 },
+    /// A component is unavailable (node down, cluster failed over...).
+    Unavailable(String),
+    /// Capacity exhausted (cluster full, quota exceeded, queue full).
+    CapacityExceeded(String),
+    /// A downstream consumer/service failed to process a message.
+    ProcessingFailed(String),
+    /// Data corruption detected (checksum mismatch, bad encoding...).
+    Corruption(String),
+    /// A SQL statement failed to lex/parse/plan.
+    Sql(String),
+    /// Underlying I/O failure (object store, filesystem).
+    Io(String),
+    /// Operation timed out.
+    Timeout(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// True when the operation may succeed if retried (transient failure).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Unavailable(_) | Error::Timeout(_) | Error::ProcessingFailed(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(s) => write!(f, "not found: {s}"),
+            Error::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            Error::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            Error::Schema(s) => write!(f, "schema error: {s}"),
+            Error::OffsetOutOfRange {
+                requested,
+                low,
+                high,
+            } => write!(
+                f,
+                "offset {requested} out of range [{low}, {high})"
+            ),
+            Error::Unavailable(s) => write!(f, "unavailable: {s}"),
+            Error::CapacityExceeded(s) => write!(f, "capacity exceeded: {s}"),
+            Error::ProcessingFailed(s) => write!(f, "processing failed: {s}"),
+            Error::Corruption(s) => write!(f, "corruption: {s}"),
+            Error::Sql(s) => write!(f, "sql error: {s}"),
+            Error::Io(s) => write!(f, "io error: {s}"),
+            Error::Timeout(s) => write!(f, "timeout: {s}"),
+            Error::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_payload() {
+        let e = Error::NotFound("topic trips".into());
+        assert!(e.to_string().contains("topic trips"));
+        let e = Error::OffsetOutOfRange {
+            requested: 5,
+            low: 10,
+            high: 20,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::Unavailable("x".into()).is_retryable());
+        assert!(Error::Timeout("x".into()).is_retryable());
+        assert!(Error::ProcessingFailed("x".into()).is_retryable());
+        assert!(!Error::NotFound("x".into()).is_retryable());
+        assert!(!Error::Corruption("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,26 @@
+//! # rtdi-common
+//!
+//! Shared foundation types for the real-time data infrastructure
+//! reproduction: values, records, schemas, time sources (wall clock and a
+//! deterministic simulated clock), a lightweight metrics registry and a
+//! small JSON codec used for semi-structured ingestion (§4.3.3 of the
+//! paper).
+//!
+//! Every other crate in the workspace depends on this one; it has no
+//! dependencies on the rest of the stack.
+
+pub mod agg;
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod record;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use agg::{AggAcc, AggFn};
+pub use error::{Error, Result};
+pub use record::{Record, RecordHeaders};
+pub use schema::{Field, FieldType, Schema};
+pub use time::{Clock, SimClock, Timestamp, WallClock};
+pub use value::{Row, Value};

@@ -1,0 +1,302 @@
+//! Lightweight metrics registry.
+//!
+//! §9.3 of the paper stresses real-time monitoring for every component.
+//! This registry provides counters, gauges and histograms cheap enough to
+//! keep enabled in benches, and snapshotable so the job manager's
+//! rule-based auto-recovery engine (§4.2.1) can read them.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time gauge (can go up and down).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Record a new value and keep the max seen (peak tracking, used by the
+    /// memory-footprint experiment E7).
+    pub fn set_max(&self, v: i64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        while v > cur {
+            match self
+                .value
+                .compare_exchange(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Fixed-bucket latency histogram with power-of-two-ish bucket bounds in
+/// microseconds; good enough for p50/p99 style queries without allocation
+/// on the hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // 1us .. ~17min in x2 steps
+        let bounds: Vec<u64> = (0..31).map(|i| 1u64 << i).collect();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        let idx = match self.bounds.binary_search(&value) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while value > cur {
+            match self
+                .max
+                .compare_exchange(cur, value, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (returns the upper bound of the bucket holding
+    /// the q-th sample).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+}
+
+/// Snapshot of every metric, keyed by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histogram_p99_us: BTreeMap<String, u64>,
+}
+
+/// Shared registry. Cloning shares the underlying maps.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Arc<RwLock<BTreeMap<String, Arc<Counter>>>>,
+    gauges: Arc<RwLock<BTreeMap<String, Arc<Gauge>>>>,
+    histograms: Arc<RwLock<BTreeMap<String, Arc<Histogram>>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::default()))
+            .clone()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histogram_p99_us: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.quantile(0.99)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("msgs");
+        c.inc();
+        c.add(9);
+        assert_eq!(r.counter("msgs").get(), 10); // same instance by name
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_and_peak() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("lag");
+        g.set(100);
+        g.add(-30);
+        assert_eq!(g.get(), 70);
+        let peak = r.gauge("peak");
+        peak.set_max(10);
+        peak.set_max(5);
+        peak.set_max(20);
+        assert_eq!(peak.get(), 20);
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max() * 2);
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_contains_everything() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.gauge("b").set(-5);
+        r.histogram("c").record(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a"], 1);
+        assert_eq!(snap.gauges["b"], -5);
+        assert!(snap.histogram_p99_us["c"] >= 42);
+    }
+
+    #[test]
+    fn registry_clone_shares_state() {
+        let r = MetricsRegistry::new();
+        let r2 = r.clone();
+        r.counter("x").inc();
+        assert_eq!(r2.counter("x").get(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The event envelope moved through the messaging layer.
+//!
+//! A [`Record`] is what producers publish and consumers receive: an
+//! optional partitioning key, a structured payload ([`Row`]), an event
+//! timestamp, and a small header map. Headers carry the audit metadata the
+//! paper describes in §9.4 ("each event is decorated with a unique
+//! identifier, application timestamp, service name, tier by the Kafka
+//! client") — Chaperone and the DLQ machinery rely on them.
+
+use crate::time::Timestamp;
+use crate::value::{Row, Value};
+
+/// Well-known header keys used across the stack.
+pub mod headers {
+    /// Globally unique message id, set by the producer client.
+    pub const UNIQUE_ID: &str = "rtdi.unique_id";
+    /// Application timestamp at produce time.
+    pub const APP_TIMESTAMP: &str = "rtdi.app_ts";
+    /// Producing service name.
+    pub const SERVICE: &str = "rtdi.service";
+    /// Tier of the producing service (0 = most critical).
+    pub const TIER: &str = "rtdi.tier";
+    /// Number of delivery attempts so far (set by the consumer proxy).
+    pub const ATTEMPTS: &str = "rtdi.attempts";
+    /// Original topic for messages parked in a dead letter queue.
+    pub const DLQ_SOURCE: &str = "rtdi.dlq_source";
+    /// Region where the record was originally produced.
+    pub const ORIGIN_REGION: &str = "rtdi.origin_region";
+}
+
+/// Small ordered string->string map for record headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordHeaders {
+    entries: Vec<(String, String)>,
+}
+
+impl RecordHeaders {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One event flowing through the messaging layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Partitioning key. `None` means round-robin assignment.
+    pub key: Option<Value>,
+    /// Structured payload.
+    pub value: Row,
+    /// Event time in epoch milliseconds.
+    pub timestamp: Timestamp,
+    /// Audit/infrastructure metadata.
+    pub headers: RecordHeaders,
+}
+
+impl Record {
+    pub fn new(value: Row, timestamp: Timestamp) -> Self {
+        Record {
+            key: None,
+            value,
+            timestamp,
+            headers: RecordHeaders::new(),
+        }
+    }
+
+    /// Builder-style key assignment.
+    pub fn with_key(mut self, key: impl Into<Value>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    pub fn with_header(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.headers.set(key, value);
+        self
+    }
+
+    /// Unique audit id if the producer client stamped one.
+    pub fn unique_id(&self) -> Option<&str> {
+        self.headers.get(headers::UNIQUE_ID)
+    }
+
+    /// Deterministic partition choice for a keyed record.
+    pub fn partition_for(&self, num_partitions: usize) -> Option<usize> {
+        assert!(num_partitions > 0, "num_partitions must be positive");
+        self.key
+            .as_ref()
+            .map(|k| (k.partition_hash() % num_partitions as u64) as usize)
+    }
+
+    /// Rough wire/memory size, used for throughput accounting and quota
+    /// enforcement.
+    pub fn approx_bytes(&self) -> usize {
+        let key = self.key.as_ref().map(|_| 16).unwrap_or(0)
+            + match &self.key {
+                Some(Value::Str(s)) => s.len(),
+                Some(Value::Bytes(b)) => b.len(),
+                _ => 0,
+            };
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum();
+        key + self.value.approx_bytes() + headers + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_set_get_overwrite() {
+        let mut h = RecordHeaders::new();
+        h.set("a", "1");
+        h.set("b", "2");
+        h.set("a", "3");
+        assert_eq!(h.get("a"), Some("3"));
+        assert_eq!(h.get("b"), Some("2"));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get("zzz"), None);
+    }
+
+    #[test]
+    fn keyed_record_partitions_deterministically() {
+        let r = Record::new(Row::new().with("x", 1i64), 100).with_key("driver-1");
+        let p1 = r.partition_for(16).unwrap();
+        let p2 = r.partition_for(16).unwrap();
+        assert_eq!(p1, p2);
+        assert!(p1 < 16);
+    }
+
+    #[test]
+    fn unkeyed_record_has_no_partition() {
+        let r = Record::new(Row::new(), 0);
+        assert_eq!(r.partition_for(8), None);
+    }
+
+    #[test]
+    fn partition_spread_is_reasonable() {
+        // 1000 distinct keys over 16 partitions: every partition should be hit.
+        let mut counts = vec![0usize; 16];
+        for i in 0..1000 {
+            let r = Record::new(Row::new(), 0).with_key(format!("key-{i}"));
+            counts[r.partition_for(16).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 20), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn audit_headers_roundtrip() {
+        let r = Record::new(Row::new(), 5)
+            .with_header(headers::UNIQUE_ID, "m-123")
+            .with_header(headers::SERVICE, "driver-app");
+        assert_eq!(r.unique_id(), Some("m-123"));
+        assert_eq!(r.headers.get(headers::SERVICE), Some("driver-app"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_partitions_panics() {
+        let r = Record::new(Row::new(), 0).with_key(1i64);
+        let _ = r.partition_for(0);
+    }
+}

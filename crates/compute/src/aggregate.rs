@@ -1,0 +1,8 @@
+//! Aggregate functions (re-exported from `rtdi-common`).
+//!
+//! The accumulator vocabulary is shared between the compute layer
+//! (windowed aggregation), the OLAP layer (segment aggregation, star-tree
+//! pre-aggregation) and the SQL layer (federated merge), so it lives in
+//! `rtdi_common::agg`.
+
+pub use rtdi_common::agg::{AggAcc, AggFn};

@@ -1,0 +1,504 @@
+//! Job lifecycle management (§4.2.1–4.2.2, Figure 5).
+//!
+//! The job-management layer "manages the Flink job's lifecycle including
+//! validation, deployment, monitoring and failure recovery... a shared
+//! component in the job management server continuously monitors the health
+//! of all jobs and automatically recovers the jobs from the transient
+//! failures." It also owns the empirical resource model ("a stateless
+//! Flink job ... is CPU bound vs a stream-stream join job will almost
+//! always be memory bound") and the rule-based engine that restarts or
+//! rescales jobs when metrics drift from the desired state.
+
+use crate::runtime::{Executor, ExecutorConfig, Job, JobRunStats};
+use parking_lot::RwLock;
+use rtdi_common::{Error, Result};
+use std::collections::BTreeMap;
+
+
+/// Broad job classification driving the resource model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobType {
+    /// No windows, no joins: CPU bound.
+    Stateless,
+    /// Windowed aggregations: mixed.
+    WindowedAggregation,
+    /// Stream-stream joins: memory bound.
+    StreamJoin,
+}
+
+/// A deployable job: a factory (so the manager can re-instantiate after
+/// failure) plus scheduling metadata.
+pub struct JobSpec {
+    pub name: String,
+    pub job_type: JobType,
+    /// Importance tier (0 = most critical); the dispatcher uses it for
+    /// placement priority.
+    pub tier: u8,
+    /// Expected steady-state input rate, used for resource estimation.
+    pub expected_records_per_sec: u64,
+    pub factory: Box<dyn Fn() -> Job + Send + Sync>,
+}
+
+/// Estimated resources for a job (§4.2.1 "Resource estimation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    pub cpu_cores: u32,
+    pub memory_mb: u64,
+}
+
+/// Point-in-time health of a running job, fed to the rule engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobHealth {
+    /// Input backlog (e.g. Kafka lag).
+    pub lag: u64,
+    /// Live operator state bytes.
+    pub state_bytes: u64,
+    /// Processing rate over the last window.
+    pub records_per_sec: u64,
+    /// Consecutive heartbeat misses.
+    pub missed_heartbeats: u32,
+    /// Restarts so far.
+    pub restarts: u32,
+}
+
+/// What the rule engine decides to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthAction {
+    None,
+    Restart,
+    ScaleUp,
+    ScaleDown,
+}
+
+/// A monitoring rule: a named condition and the corrective action.
+pub struct HealthRule {
+    pub name: String,
+    pub condition: Box<dyn Fn(&JobHealth) -> bool + Send + Sync>,
+    pub action: HealthAction,
+}
+
+/// Lifecycle state of a managed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    Validated,
+    Running,
+    Finished,
+    /// Failed after exhausting restarts (with the final error).
+    Failed(String),
+}
+
+#[derive(Debug, Clone)]
+pub struct ManagedJobInfo {
+    pub status: JobStatus,
+    pub restarts: u32,
+    pub last_stats: Option<JobRunStats>,
+    pub tier: u8,
+}
+
+/// The job manager: deploy, supervise, recover, rescale.
+pub struct JobManager {
+    executor_config: ExecutorConfig,
+    max_restarts: u32,
+    jobs: RwLock<BTreeMap<String, ManagedJobInfo>>,
+    rules: Vec<HealthRule>,
+}
+
+impl JobManager {
+    pub fn new(executor_config: ExecutorConfig, max_restarts: u32) -> Self {
+        JobManager {
+            executor_config,
+            max_restarts,
+            jobs: RwLock::new(BTreeMap::new()),
+            rules: Self::default_rules(),
+        }
+    }
+
+    /// The default rule set the paper's description implies: restart stuck
+    /// jobs, scale on sustained lag, scale down idle over-provisioned
+    /// jobs.
+    fn default_rules() -> Vec<HealthRule> {
+        vec![
+            HealthRule {
+                name: "stuck-job-restart".into(),
+                condition: Box::new(|h| h.missed_heartbeats >= 3),
+                action: HealthAction::Restart,
+            },
+            HealthRule {
+                name: "lag-scale-up".into(),
+                condition: Box::new(|h| h.lag > 1_000_000),
+                action: HealthAction::ScaleUp,
+            },
+            HealthRule {
+                name: "idle-scale-down".into(),
+                condition: Box::new(|h| h.lag == 0 && h.records_per_sec < 10),
+                action: HealthAction::ScaleDown,
+            },
+        ]
+    }
+
+    pub fn add_rule(&mut self, rule: HealthRule) {
+        self.rules.push(rule);
+    }
+
+    /// Evaluate rules in order; first match wins.
+    pub fn evaluate_health(&self, health: &JobHealth) -> (HealthAction, Option<&str>) {
+        for rule in &self.rules {
+            if (rule.condition)(health) {
+                return (rule.action, Some(rule.name.as_str()));
+            }
+        }
+        (HealthAction::None, None)
+    }
+
+    /// §4.2.1 empirical resource model.
+    pub fn estimate_resources(spec: &JobSpec) -> ResourceEstimate {
+        let rate = spec.expected_records_per_sec.max(1);
+        match spec.job_type {
+            // CPU bound: one core per ~50k rec/s, little memory
+            JobType::Stateless => ResourceEstimate {
+                cpu_cores: rate.div_ceil(50_000).max(1) as u32,
+                memory_mb: 512,
+            },
+            // aggregation: moderate CPU, memory grows with rate (window
+            // state is proportional to keys/sec x window length)
+            JobType::WindowedAggregation => ResourceEstimate {
+                cpu_cores: rate.div_ceil(30_000).max(1) as u32,
+                memory_mb: 1024 + rate / 100,
+            },
+            // memory bound: buffers hold the full join window on both sides
+            JobType::StreamJoin => ResourceEstimate {
+                cpu_cores: rate.div_ceil(40_000).max(1) as u32,
+                memory_mb: 4096 + rate / 20,
+            },
+        }
+    }
+
+    /// Validate a spec before deployment (the "validation" step of the job
+    /// management layer).
+    pub fn validate(&self, spec: &JobSpec) -> Result<()> {
+        if spec.name.is_empty() {
+            return Err(Error::InvalidArgument("job name must not be empty".into()));
+        }
+        if self.jobs.read().contains_key(&spec.name) {
+            return Err(Error::AlreadyExists(format!("job '{}'", spec.name)));
+        }
+        // instantiate once to catch construction panics/config errors early
+        let job = (spec.factory)();
+        if job.operators.is_empty() {
+            return Err(Error::InvalidArgument(
+                "job must have at least one operator".into(),
+            ));
+        }
+        self.jobs.write().insert(
+            spec.name.clone(),
+            ManagedJobInfo {
+                status: JobStatus::Validated,
+                restarts: 0,
+                last_stats: None,
+                tier: spec.tier,
+            },
+        );
+        Ok(())
+    }
+
+    /// Run a job under supervision: on failure, re-instantiate from the
+    /// factory (which recovers from the last checkpoint via the executor)
+    /// and retry, up to `max_restarts` times.
+    pub fn supervise(&self, spec: &JobSpec) -> Result<JobRunStats> {
+        if !self.jobs.read().contains_key(&spec.name) {
+            self.validate(spec)?;
+        }
+        self.set_status(&spec.name, JobStatus::Running);
+        let executor = Executor::new(self.executor_config.clone());
+        let mut attempt = 0;
+        loop {
+            let mut job = (spec.factory)();
+            match executor.run(&mut job) {
+                Ok(stats) => {
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.status = JobStatus::Finished;
+                    info.last_stats = Some(stats.clone());
+                    return Ok(stats);
+                }
+                Err(e) if attempt < self.max_restarts => {
+                    attempt += 1;
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.restarts = attempt;
+                    drop(jobs);
+                    let _ = e; // transient: retry from checkpoint
+                }
+                Err(e) => {
+                    self.set_status(&spec.name, JobStatus::Failed(e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn set_status(&self, name: &str, status: JobStatus) {
+        if let Some(info) = self.jobs.write().get_mut(name) {
+            info.status = status;
+        }
+    }
+
+    pub fn status(&self, name: &str) -> Option<ManagedJobInfo> {
+        self.jobs.read().get(name).cloned()
+    }
+
+    /// List jobs sorted by tier then name — the dispatch order of the
+    /// proxy layer in Figure 5.
+    pub fn list(&self) -> Vec<(String, ManagedJobInfo)> {
+        let mut jobs: Vec<(String, ManagedJobInfo)> = self
+            .jobs
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        jobs.sort_by(|a, b| a.1.tier.cmp(&b.1.tier).then(a.0.cmp(&b.0)));
+        jobs
+    }
+
+    /// Remove a finished/failed job from the registry.
+    pub fn forget(&self, name: &str) -> Result<()> {
+        self.jobs
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("job '{name}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{MapOp, Operator};
+    use crate::runtime::CheckpointStore;
+    use crate::sink::CollectSink;
+    use crate::source::VecSource;
+    use parking_lot::Mutex;
+    use rtdi_common::{Record, Row};
+    use rtdi_storage::object::InMemoryStore;
+    use std::sync::Arc;
+
+    fn simple_spec(name: &str, sink: CollectSink) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            job_type: JobType::Stateless,
+            tier: 1,
+            expected_records_per_sec: 1000,
+            factory: Box::new(move || {
+                Job::new(
+                    "inner",
+                    Box::new(VecSource::from_rows(
+                        (0..10).map(|i| (i, Row::new().with("i", i))).collect(),
+                    )),
+                    vec![Box::new(MapOp::new("id", |r: &Row| r.clone()))],
+                    Box::new(sink.clone()),
+                )
+            }),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let jm = JobManager::new(ExecutorConfig::default(), 3);
+        let sink = CollectSink::new();
+        let spec = simple_spec("good", sink.clone());
+        jm.validate(&spec).unwrap();
+        assert!(matches!(
+            jm.validate(&simple_spec("good", sink.clone())),
+            Err(Error::AlreadyExists(_))
+        ));
+        let empty_ops = JobSpec {
+            name: "no-ops".into(),
+            job_type: JobType::Stateless,
+            tier: 0,
+            expected_records_per_sec: 1,
+            factory: Box::new(|| {
+                Job::new(
+                    "x",
+                    Box::new(VecSource::new(vec![])),
+                    vec![],
+                    Box::new(CollectSink::new()),
+                )
+            }),
+        };
+        assert!(jm.validate(&empty_ops).is_err());
+    }
+
+    #[test]
+    fn supervise_runs_to_completion() {
+        let jm = JobManager::new(ExecutorConfig::default(), 3);
+        let sink = CollectSink::new();
+        let spec = simple_spec("run", sink.clone());
+        let stats = jm.supervise(&spec).unwrap();
+        assert_eq!(stats.records_in, 10);
+        assert_eq!(sink.len(), 10);
+        let info = jm.status("run").unwrap();
+        assert_eq!(info.status, JobStatus::Finished);
+        assert_eq!(info.restarts, 0);
+    }
+
+    /// Operator that fails a fixed number of times across instantiations
+    /// (shared counter), then succeeds — a transient failure.
+    struct TransientFail {
+        budget: Arc<Mutex<u32>>,
+    }
+    impl Operator for TransientFail {
+        fn name(&self) -> &str {
+            "transient"
+        }
+        fn process(&mut self, r: Record, out: &mut Vec<Record>) -> Result<()> {
+            let mut b = self.budget.lock();
+            if *b > 0 {
+                *b -= 1;
+                return Err(Error::Unavailable("downstream flake".into()));
+            }
+            out.push(r);
+            Ok(())
+        }
+    }
+
+    fn flaky_spec(
+        name: &str,
+        budget: Arc<Mutex<u32>>,
+        sink: CollectSink,
+        store: Arc<InMemoryStore>,
+    ) -> (JobSpec, ExecutorConfig) {
+        let config = ExecutorConfig {
+            batch_size: 4,
+            checkpoint_interval: 4,
+            checkpoint_store: Some(CheckpointStore::new(store)),
+        };
+        let job_name = name.to_string();
+        let spec = JobSpec {
+            name: name.to_string(),
+            job_type: JobType::Stateless,
+            tier: 0,
+            expected_records_per_sec: 100,
+            factory: Box::new(move || {
+                Job::new(
+                    job_name.clone(),
+                    Box::new(VecSource::from_rows(
+                        (0..20).map(|i| (i, Row::new().with("i", i))).collect(),
+                    )),
+                    vec![Box::new(TransientFail {
+                        budget: budget.clone(),
+                    })],
+                    Box::new(sink.clone()),
+                )
+            }),
+        };
+        (spec, config)
+    }
+
+    #[test]
+    fn transient_failures_recover_automatically() {
+        let budget = Arc::new(Mutex::new(2u32)); // fails twice then healthy
+        let sink = CollectSink::new();
+        let store = Arc::new(InMemoryStore::new());
+        let (spec, config) = flaky_spec("flaky", budget, sink.clone(), store);
+        let jm = JobManager::new(config, 5);
+        let stats = jm.supervise(&spec).unwrap();
+        let info = jm.status("flaky").unwrap();
+        assert_eq!(info.status, JobStatus::Finished);
+        assert_eq!(info.restarts, 2);
+        // all records eventually delivered (at-least-once: duplicates from
+        // replay are possible but every input must appear)
+        let mut ids: Vec<i64> = sink.rows().iter().map(|r| r.get_int("i").unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        assert!(stats.records_in >= 20);
+    }
+
+    #[test]
+    fn permanent_failure_exhausts_restarts() {
+        let budget = Arc::new(Mutex::new(u32::MAX)); // never heals
+        let sink = CollectSink::new();
+        let store = Arc::new(InMemoryStore::new());
+        let (spec, config) = flaky_spec("doomed", budget, sink, store);
+        let jm = JobManager::new(config, 2);
+        assert!(jm.supervise(&spec).is_err());
+        let info = jm.status("doomed").unwrap();
+        assert!(matches!(info.status, JobStatus::Failed(_)));
+    }
+
+    #[test]
+    fn resource_model_matches_paper_observations() {
+        let mk = |jt| JobSpec {
+            name: "r".into(),
+            job_type: jt,
+            tier: 0,
+            expected_records_per_sec: 100_000,
+            factory: Box::new(|| {
+                Job::new(
+                    "x",
+                    Box::new(VecSource::new(vec![])),
+                    vec![],
+                    Box::new(CollectSink::new()),
+                )
+            }),
+        };
+        let stateless = JobManager::estimate_resources(&mk(JobType::Stateless));
+        let join = JobManager::estimate_resources(&mk(JobType::StreamJoin));
+        // stateless: CPU-heavy relative to memory; join: memory-heavy
+        assert!(join.memory_mb > 5 * stateless.memory_mb);
+        assert!(stateless.cpu_cores >= 2);
+    }
+
+    #[test]
+    fn rule_engine_matches_in_order() {
+        let jm = JobManager::new(ExecutorConfig::default(), 0);
+        let stuck = JobHealth {
+            missed_heartbeats: 5,
+            ..Default::default()
+        };
+        assert_eq!(jm.evaluate_health(&stuck).0, HealthAction::Restart);
+        let lagging = JobHealth {
+            lag: 5_000_000,
+            records_per_sec: 100_000,
+            ..Default::default()
+        };
+        assert_eq!(jm.evaluate_health(&lagging).0, HealthAction::ScaleUp);
+        let idle = JobHealth {
+            lag: 0,
+            records_per_sec: 1,
+            ..Default::default()
+        };
+        assert_eq!(jm.evaluate_health(&idle).0, HealthAction::ScaleDown);
+        let healthy = JobHealth {
+            lag: 100,
+            records_per_sec: 50_000,
+            ..Default::default()
+        };
+        assert_eq!(jm.evaluate_health(&healthy).0, HealthAction::None);
+    }
+
+    #[test]
+    fn list_orders_by_tier() {
+        let jm = JobManager::new(ExecutorConfig::default(), 0);
+        let mk = |name: &str, tier| JobSpec {
+            name: name.to_string(),
+            job_type: JobType::Stateless,
+            tier,
+            expected_records_per_sec: 1,
+            factory: Box::new(|| {
+                Job::new(
+                    "x",
+                    Box::new(VecSource::new(vec![])),
+                    vec![Box::new(MapOp::new("id", |r: &Row| r.clone()))],
+                    Box::new(CollectSink::new()),
+                )
+            }),
+        };
+        jm.validate(&mk("zeta-critical", 0)).unwrap();
+        jm.validate(&mk("alpha-batchy", 2)).unwrap();
+        let names: Vec<String> = jm.list().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["zeta-critical", "alpha-batchy"]);
+        jm.forget("alpha-batchy").unwrap();
+        assert!(jm.forget("alpha-batchy").is_err());
+    }
+}

@@ -1,0 +1,841 @@
+//! Dataflow operators.
+//!
+//! A job is a linear chain of operators; records flow through
+//! [`Operator::process`] and event-time progress flows through
+//! [`Operator::on_watermark`]. Stateful operators (windowed aggregation,
+//! windowed stream-stream join) expose snapshot/restore for the
+//! checkpointing runtime — the Flink "state management and checkpointing
+//! features for failure recovery" the paper names as the reason it chose
+//! Flink (§4.2).
+
+use crate::aggregate::{AggAcc, AggFn};
+use crate::window::{Window, WindowAssigner};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rtdi_common::{Error, Record, Result, Row, Timestamp, Value};
+use rtdi_storage::archival::{decode_rows, encode_rows};
+use std::collections::BTreeMap;
+
+/// Convenience alias for operator emission buffers.
+pub type OperatorOutput = Vec<Record>;
+
+/// One stage of a dataflow.
+pub trait Operator: Send {
+    fn name(&self) -> &str;
+
+    /// Process one record, appending any outputs.
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()>;
+
+    /// Event time advanced to `wm`; flush anything that became complete.
+    fn on_watermark(&mut self, _wm: Timestamp, _out: &mut OperatorOutput) {}
+
+    /// Serialize operator state for a checkpoint.
+    fn snapshot(&self) -> Bytes {
+        Bytes::new()
+    }
+
+    /// Restore from a checkpoint snapshot.
+    fn restore(&mut self, _data: Bytes) -> Result<()> {
+        Ok(())
+    }
+
+    /// Approximate live state size; drives the auto-scaler's
+    /// CPU-bound-vs-memory-bound classification (§4.2.1).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+}
+
+/// Stateless 1:1 row transform.
+pub struct MapOp {
+    name: String,
+    f: Box<dyn FnMut(&Row) -> Row + Send>,
+}
+
+impl MapOp {
+    pub fn new(name: impl Into<String>, f: impl FnMut(&Row) -> Row + Send + 'static) -> Self {
+        MapOp {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Operator for MapOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, mut record: Record, out: &mut OperatorOutput) -> Result<()> {
+        record.value = (self.f)(&record.value);
+        out.push(record);
+        Ok(())
+    }
+}
+
+/// Stateless predicate filter.
+pub struct FilterOp {
+    name: String,
+    pred: Box<dyn FnMut(&Row) -> bool + Send>,
+}
+
+impl FilterOp {
+    pub fn new(name: impl Into<String>, pred: impl FnMut(&Row) -> bool + Send + 'static) -> Self {
+        FilterOp {
+            name: name.into(),
+            pred: Box::new(pred),
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        if (self.pred)(&record.value) {
+            out.push(record);
+        }
+        Ok(())
+    }
+}
+
+/// Stateless 1:N transform; may re-key and re-time outputs.
+pub struct FlatMapOp {
+    name: String,
+    f: Box<dyn FnMut(&Record) -> Vec<Record> + Send>,
+}
+
+impl FlatMapOp {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl FnMut(&Record) -> Vec<Record> + Send + 'static,
+    ) -> Self {
+        FlatMapOp {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Operator for FlatMapOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        out.extend((self.f)(&record));
+        Ok(())
+    }
+}
+
+/// Encode a grouping key from rows deterministically.
+fn key_string(row: &Row, cols: &[String]) -> String {
+    let mut s = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            s.push('\u{1f}');
+        }
+        match row.get(c) {
+            Some(v) => s.push_str(&v.to_string()),
+            None => s.push('\u{0}'),
+        }
+    }
+    s
+}
+
+#[derive(Debug, Clone)]
+struct WindowState {
+    key_row: Row,
+    accs: Vec<AggAcc>,
+}
+
+/// Keyed event-time window aggregation.
+///
+/// Emits one row per (key, window) when the watermark passes
+/// `window.end + allowed_lateness`. Output rows carry the key columns,
+/// `window_start`, `window_end` and one column per aggregate.
+pub struct WindowAggregateOp {
+    name: String,
+    key_cols: Vec<String>,
+    assigner: WindowAssigner,
+    aggs: Vec<(String, AggFn)>,
+    allowed_lateness: i64,
+    /// (key, window_start, window_end) -> state, ordered so that emission
+    /// and snapshots are deterministic.
+    state: BTreeMap<(String, Timestamp, Timestamp), WindowState>,
+    watermark: Timestamp,
+    late_dropped: u64,
+}
+
+impl WindowAggregateOp {
+    pub fn new(
+        name: impl Into<String>,
+        key_cols: Vec<String>,
+        assigner: WindowAssigner,
+        aggs: Vec<(String, AggFn)>,
+        allowed_lateness: i64,
+    ) -> Self {
+        WindowAggregateOp {
+            name: name.into(),
+            key_cols,
+            assigner,
+            aggs,
+            allowed_lateness: allowed_lateness.max(0),
+            state: BTreeMap::new(),
+            watermark: Timestamp::MIN,
+            late_dropped: 0,
+        }
+    }
+
+    /// Records dropped for arriving after `window.end + allowed_lateness`
+    /// (the surge pipeline's freshness-over-completeness tradeoff, §5.1).
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    fn fold_into(&mut self, key: String, window: Window, record: &Record) {
+        // session windows merge overlapping entries of the same key
+        if self.assigner.is_session() {
+            let mut merged = window;
+            let mut absorbed: Vec<(String, Timestamp, Timestamp)> = Vec::new();
+            for (k, st) in self.state.range((key.clone(), Timestamp::MIN, Timestamp::MIN)..) {
+                if k.0 != key {
+                    break;
+                }
+                let _ = st;
+                // overlap if existing [k.1, k.2) intersects [merged.start, merged.end)
+                if k.1 < merged.end && merged.start < k.2 {
+                    merged.start = merged.start.min(k.1);
+                    merged.end = merged.end.max(k.2);
+                    absorbed.push(k.clone());
+                }
+            }
+            let mut accs: Vec<AggAcc> = self.aggs.iter().map(|(_, f)| f.new_acc()).collect();
+            let mut key_row = record.value.project(
+                &self.key_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            );
+            for k in absorbed {
+                let st = self.state.remove(&k).expect("collected above");
+                for (a, b) in accs.iter_mut().zip(&st.accs) {
+                    a.merge(b);
+                }
+                key_row = st.key_row;
+            }
+            for (acc, (_, f)) in accs.iter_mut().zip(&self.aggs) {
+                acc.add(f, &record.value);
+            }
+            self.state.insert(
+                (key, merged.start, merged.end),
+                WindowState { key_row, accs },
+            );
+        } else {
+            let key_cols = &self.key_cols;
+            let aggs = &self.aggs;
+            let entry = self
+                .state
+                .entry((key, window.start, window.end))
+                .or_insert_with(|| WindowState {
+                    key_row: record
+                        .value
+                        .project(&key_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()),
+                    accs: aggs.iter().map(|(_, f)| f.new_acc()).collect(),
+                });
+            for (acc, (_, f)) in entry.accs.iter_mut().zip(aggs) {
+                acc.add(f, &record.value);
+            }
+        }
+    }
+}
+
+impl Operator for WindowAggregateOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        let _ = out;
+        let key = key_string(&record.value, &self.key_cols);
+        for window in self.assigner.assign(record.timestamp) {
+            if window.end + self.allowed_lateness <= self.watermark {
+                self.late_dropped += 1;
+                continue;
+            }
+            self.fold_into(key.clone(), window, &record);
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut OperatorOutput) {
+        if wm <= self.watermark {
+            return;
+        }
+        self.watermark = wm;
+        let lateness = self.allowed_lateness;
+        let ready: Vec<(String, Timestamp, Timestamp)> = self
+            .state
+            .keys()
+            .filter(|(_, _, end)| {
+                end.checked_add(lateness).map(|e| e <= wm).unwrap_or(true)
+            })
+            .cloned()
+            .collect();
+        for k in ready {
+            let st = self.state.remove(&k).expect("key collected above");
+            let (_, start, end) = k;
+            let mut row = st.key_row.clone();
+            row.push("window_start", start);
+            row.push("window_end", end);
+            for ((name, _), acc) in self.aggs.iter().zip(&st.accs) {
+                row.push(name.clone(), acc.result());
+            }
+            let key = self
+                .key_cols
+                .first()
+                .and_then(|c| st.key_row.get(c).cloned());
+            let mut rec = Record::new(row, end - 1);
+            rec.key = key;
+            out.push(rec);
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_i64(self.watermark);
+        buf.put_u64(self.late_dropped);
+        buf.put_u32(self.state.len() as u32);
+        for ((key, start, end), st) in &self.state {
+            buf.put_u32(key.len() as u32);
+            buf.put_slice(key.as_bytes());
+            buf.put_i64(*start);
+            buf.put_i64(*end);
+            let rows = encode_rows(std::slice::from_ref(&st.key_row));
+            buf.put_u32(rows.len() as u32);
+            buf.put_slice(&rows);
+            buf.put_u32(st.accs.len() as u32);
+            for a in &st.accs {
+                a.encode(&mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    fn restore(&mut self, data: Bytes) -> Result<()> {
+        let mut buf = data;
+        if buf.remaining() < 20 {
+            return Err(Error::Corruption("truncated window-agg snapshot".into()));
+        }
+        self.watermark = buf.get_i64();
+        self.late_dropped = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        self.state.clear();
+        for _ in 0..n {
+            let klen = buf.get_u32() as usize;
+            let key = String::from_utf8(buf.split_to(klen).to_vec())
+                .map_err(|_| Error::Corruption("bad key".into()))?;
+            let start = buf.get_i64();
+            let end = buf.get_i64();
+            let rlen = buf.get_u32() as usize;
+            let rows = decode_rows(&buf.split_to(rlen))?;
+            let key_row = rows.into_iter().next().unwrap_or_default();
+            let na = buf.get_u32() as usize;
+            let mut accs = Vec::with_capacity(na);
+            for _ in 0..na {
+                accs.push(AggAcc::decode(&mut buf)?);
+            }
+            self.state
+                .insert((key, start, end), WindowState { key_row, accs });
+        }
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.state
+            .values()
+            .map(|st| {
+                st.key_row.approx_bytes()
+                    + st.accs.iter().map(AggAcc::memory_bytes).sum::<usize>()
+                    + 48
+            })
+            .sum()
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+/// Column that tags which input stream a record of a unioned source came
+/// from (see [`crate::source::UnionSource`]).
+pub const STREAM_TAG: &str = "__stream";
+
+/// Windowed stream-stream inner join on a key column.
+///
+/// Inputs must carry [`STREAM_TAG`] identifying their side. Emits one
+/// merged row per matching (left, right) pair within the same tumbling
+/// window. This is the paper's "stream-stream join job [that] will almost
+/// always be memory bound" (§4.2.1) and the core of the prediction
+/// monitoring pipeline (§5.3: joining predictions to observed outcomes).
+pub struct WindowJoinOp {
+    name: String,
+    key_col: String,
+    left_tag: String,
+    right_tag: String,
+    window_ms: i64,
+    /// (key, window_start) -> (left rows, right rows)
+    state: BTreeMap<(String, Timestamp), (Vec<Row>, Vec<Row>)>,
+    watermark: Timestamp,
+    dropped: u64,
+}
+
+impl WindowJoinOp {
+    pub fn new(
+        name: impl Into<String>,
+        key_col: impl Into<String>,
+        left_tag: impl Into<String>,
+        right_tag: impl Into<String>,
+        window_ms: i64,
+    ) -> Self {
+        assert!(window_ms > 0);
+        WindowJoinOp {
+            name: name.into(),
+            key_col: key_col.into(),
+            left_tag: left_tag.into(),
+            right_tag: right_tag.into(),
+            window_ms,
+            state: BTreeMap::new(),
+            watermark: Timestamp::MIN,
+            dropped: 0,
+        }
+    }
+
+    fn merge_rows(left: &Row, right: &Row) -> Row {
+        let mut out = left.clone();
+        for (name, value) in right.iter() {
+            if name == STREAM_TAG {
+                continue;
+            }
+            if out.get(name).is_none() {
+                out.push(name.to_string(), value.clone());
+            } else if name != "window_start" {
+                out.push(format!("r_{name}"), value.clone());
+            }
+        }
+        out
+    }
+}
+
+impl Operator for WindowJoinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        let tag = record
+            .value
+            .get_str(STREAM_TAG)
+            .ok_or_else(|| Error::InvalidArgument("join input missing __stream tag".into()))?
+            .to_string();
+        let win_start = record.timestamp.div_euclid(self.window_ms) * self.window_ms;
+        if win_start + self.window_ms <= self.watermark {
+            self.dropped += 1;
+            return Ok(());
+        }
+        let key = key_string(&record.value, std::slice::from_ref(&self.key_col));
+        let mut row = record.value.clone();
+        // strip the tag from the stored row
+        row.set(STREAM_TAG, Value::Null);
+        let entry = self
+            .state
+            .entry((key, win_start))
+            .or_insert_with(|| (Vec::new(), Vec::new()));
+        if tag == self.left_tag {
+            for r in &entry.1 {
+                let mut joined = Self::merge_rows(&record.value, r);
+                joined.set(STREAM_TAG, Value::Null);
+                let mut rec = Record::new(joined, record.timestamp);
+                rec.key = record.key.clone();
+                out.push(rec);
+            }
+            entry.0.push(record.value);
+        } else if tag == self.right_tag {
+            for l in &entry.0 {
+                let mut joined = Self::merge_rows(l, &record.value);
+                joined.set(STREAM_TAG, Value::Null);
+                let mut rec = Record::new(joined, record.timestamp);
+                rec.key = record.key.clone();
+                out.push(rec);
+            }
+            entry.1.push(record.value);
+        } else {
+            return Err(Error::InvalidArgument(format!(
+                "unknown stream tag '{tag}' (expected '{}' or '{}')",
+                self.left_tag, self.right_tag
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, _out: &mut OperatorOutput) {
+        if wm <= self.watermark {
+            return;
+        }
+        self.watermark = wm;
+        let window = self.window_ms;
+        self.state
+            .retain(|(_, start), _| start + window > wm);
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_i64(self.watermark);
+        buf.put_u64(self.dropped);
+        buf.put_u32(self.state.len() as u32);
+        for ((key, start), (left, right)) in &self.state {
+            buf.put_u32(key.len() as u32);
+            buf.put_slice(key.as_bytes());
+            buf.put_i64(*start);
+            let l = encode_rows(left);
+            buf.put_u32(l.len() as u32);
+            buf.put_slice(&l);
+            let r = encode_rows(right);
+            buf.put_u32(r.len() as u32);
+            buf.put_slice(&r);
+        }
+        buf.freeze()
+    }
+
+    fn restore(&mut self, data: Bytes) -> Result<()> {
+        let mut buf = data;
+        if buf.remaining() < 20 {
+            return Err(Error::Corruption("truncated join snapshot".into()));
+        }
+        self.watermark = buf.get_i64();
+        self.dropped = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        self.state.clear();
+        for _ in 0..n {
+            let klen = buf.get_u32() as usize;
+            let key = String::from_utf8(buf.split_to(klen).to_vec())
+                .map_err(|_| Error::Corruption("bad key".into()))?;
+            let start = buf.get_i64();
+            let llen = buf.get_u32() as usize;
+            let left = decode_rows(&buf.split_to(llen))?;
+            let rlen = buf.get_u32() as usize;
+            let right = decode_rows(&buf.split_to(rlen))?;
+            self.state.insert((key, start), (left, right));
+        }
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.state
+            .values()
+            .map(|(l, r)| {
+                l.iter().map(Row::approx_bytes).sum::<usize>()
+                    + r.iter().map(Row::approx_bytes).sum::<usize>()
+                    + 48
+            })
+            .sum()
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: Timestamp, row: Row) -> Record {
+        Record::new(row, ts)
+    }
+
+    fn drain(op: &mut dyn Operator, records: Vec<Record>, final_wm: Timestamp) -> Vec<Record> {
+        let mut out = Vec::new();
+        for r in records {
+            op.process(r, &mut out).unwrap();
+        }
+        op.on_watermark(final_wm, &mut out);
+        out
+    }
+
+    #[test]
+    fn map_transforms_rows() {
+        let mut op = MapOp::new("double", |r: &Row| {
+            Row::new().with("x", r.get_int("x").unwrap_or(0) * 2)
+        });
+        let out = drain(&mut op, vec![rec(0, Row::new().with("x", 21i64))], 100);
+        assert_eq!(out[0].value.get_int("x"), Some(42));
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let mut op = FilterOp::new("evens", |r: &Row| r.get_int("x").unwrap_or(0) % 2 == 0);
+        let records = (0..10).map(|i| rec(i, Row::new().with("x", i))).collect();
+        let out = drain(&mut op, records, 100);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn flatmap_expands() {
+        let mut op = FlatMapOp::new("dup", |r: &Record| vec![r.clone(), r.clone()]);
+        let out = drain(&mut op, vec![rec(0, Row::new())], 100);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn window_aggregate_counts_per_key_per_window() {
+        let mut op = WindowAggregateOp::new(
+            "agg",
+            vec!["city".into()],
+            WindowAssigner::tumbling(1000),
+            vec![
+                ("trips".into(), AggFn::Count),
+                ("total_fare".into(), AggFn::Sum("fare".into())),
+            ],
+            0,
+        );
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(rec(
+                i * 300,
+                Row::new().with("city", if i % 2 == 0 { "sf" } else { "la" }).with("fare", 1.0),
+            ));
+        }
+        let out = drain(&mut op, records, i64::MAX);
+        // 3 windows (0-1000, 1000-2000, 2000-3000) x up to 2 keys
+        let sf_first = out
+            .iter()
+            .find(|r| r.value.get_str("city") == Some("sf") && r.value.get_int("window_start") == Some(0))
+            .unwrap();
+        assert_eq!(sf_first.value.get_int("trips"), Some(2)); // i=0 (t 0) and i=2 (t 600)
+        assert_eq!(sf_first.value.get_double("total_fare"), Some(2.0));
+        let total: i64 = out.iter().map(|r| r.value.get_int("trips").unwrap()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(op.late_dropped(), 0);
+    }
+
+    #[test]
+    fn late_records_dropped_after_watermark() {
+        let mut op = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::tumbling(1000),
+            vec![("n".into(), AggFn::Count)],
+            0,
+        );
+        let mut out = Vec::new();
+        op.process(rec(100, Row::new().with("k", "a")), &mut out).unwrap();
+        op.on_watermark(1500, &mut out); // window [0,1000) closes and emits
+        assert_eq!(out.len(), 1);
+        // a record for the closed window is late
+        op.process(rec(200, Row::new().with("k", "a")), &mut out).unwrap();
+        assert_eq!(op.late_dropped(), 1);
+        // with lateness allowance it would have been accepted
+        let mut op2 = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::tumbling(1000),
+            vec![("n".into(), AggFn::Count)],
+            1000,
+        );
+        let mut out2 = Vec::new();
+        op2.process(rec(100, Row::new().with("k", "a")), &mut out2).unwrap();
+        op2.on_watermark(1500, &mut out2); // not emitted yet: lateness holds it
+        assert!(out2.is_empty());
+        op2.process(rec(200, Row::new().with("k", "a")), &mut out2).unwrap();
+        assert_eq!(op2.late_dropped(), 0);
+        op2.on_watermark(2100, &mut out2);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].value.get_int("n"), Some(2));
+    }
+
+    #[test]
+    fn window_emission_timestamp_is_window_end_minus_one() {
+        let mut op = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::tumbling(1000),
+            vec![("n".into(), AggFn::Count)],
+            0,
+        );
+        let out = drain(&mut op, vec![rec(5, Row::new().with("k", "a"))], i64::MAX);
+        assert_eq!(out[0].timestamp, 999);
+        assert_eq!(out[0].key, Some(Value::Str("a".into())));
+    }
+
+    #[test]
+    fn session_windows_merge() {
+        let mut op = WindowAggregateOp::new(
+            "sessions",
+            vec!["user".into()],
+            WindowAssigner::session(1000),
+            vec![("events".into(), AggFn::Count)],
+            0,
+        );
+        let records = vec![
+            rec(0, Row::new().with("user", "u1")),
+            rec(500, Row::new().with("user", "u1")),  // merges with first
+            rec(3000, Row::new().with("user", "u1")), // separate session
+            rec(400, Row::new().with("user", "u2")),
+        ];
+        let out = drain(&mut op, records, i64::MAX);
+        assert_eq!(out.len(), 3);
+        let u1_first = out
+            .iter()
+            .find(|r| r.value.get_str("user") == Some("u1") && r.value.get_int("window_start") == Some(0))
+            .unwrap();
+        assert_eq!(u1_first.value.get_int("events"), Some(2));
+        assert_eq!(u1_first.value.get_int("window_end"), Some(1500));
+    }
+
+    #[test]
+    fn window_agg_snapshot_restore_roundtrip() {
+        let mk = || {
+            WindowAggregateOp::new(
+                "agg",
+                vec!["city".into()],
+                WindowAssigner::tumbling(1000),
+                vec![
+                    ("n".into(), AggFn::Count),
+                    ("riders".into(), AggFn::DistinctCount("rider".into())),
+                ],
+                0,
+            )
+        };
+        let mut op = mk();
+        let mut out = Vec::new();
+        for i in 0..20 {
+            op.process(
+                rec(
+                    i * 100,
+                    Row::new()
+                        .with("city", "sf")
+                        .with("rider", format!("r{}", i % 5)),
+                ),
+                &mut out,
+            )
+            .unwrap();
+        }
+        op.on_watermark(1000, &mut out);
+        let emitted_before = out.len();
+        let snap = op.snapshot();
+        assert!(op.memory_bytes() > 0);
+
+        let mut restored = mk();
+        restored.restore(snap).unwrap();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        op.on_watermark(i64::MAX, &mut out_a);
+        restored.on_watermark(i64::MAX, &mut out_b);
+        assert_eq!(out_a, out_b, "restored operator continues identically");
+        assert!(emitted_before >= 1);
+    }
+
+    #[test]
+    fn join_matches_within_window_only() {
+        let mut op = WindowJoinOp::new("join", "model", "pred", "outcome", 1000);
+        let mut out = Vec::new();
+        let pred = |ts, model: &str, v: f64| {
+            rec(
+                ts,
+                Row::new()
+                    .with(STREAM_TAG, "pred")
+                    .with("model", model)
+                    .with("predicted", v),
+            )
+        };
+        let outcome = |ts, model: &str, v: f64| {
+            rec(
+                ts,
+                Row::new()
+                    .with(STREAM_TAG, "outcome")
+                    .with("model", model)
+                    .with("actual", v),
+            )
+        };
+        op.process(pred(100, "m1", 0.9), &mut out).unwrap();
+        op.process(outcome(200, "m1", 1.0), &mut out).unwrap(); // same window -> join
+        op.process(outcome(1500, "m1", 0.0), &mut out).unwrap(); // next window -> no match
+        op.process(outcome(300, "m2", 0.5), &mut out).unwrap(); // other key -> no match
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.get_double("predicted"), Some(0.9));
+        assert_eq!(out[0].value.get_double("actual"), Some(1.0));
+        assert!(op.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn join_state_evicted_by_watermark() {
+        let mut op = WindowJoinOp::new("join", "k", "l", "r", 1000);
+        let mut out = Vec::new();
+        op.process(
+            rec(100, Row::new().with(STREAM_TAG, "l").with("k", "a").with("x", 1i64)),
+            &mut out,
+        )
+        .unwrap();
+        let before = op.memory_bytes();
+        op.on_watermark(2000, &mut out);
+        assert!(op.memory_bytes() < before);
+        // matching record now arrives too late: dropped, no join output
+        op.process(
+            rec(150, Row::new().with(STREAM_TAG, "r").with("k", "a").with("y", 2i64)),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_rejects_untagged_input() {
+        let mut op = WindowJoinOp::new("join", "k", "l", "r", 1000);
+        let mut out = Vec::new();
+        assert!(op
+            .process(rec(0, Row::new().with("k", "a")), &mut out)
+            .is_err());
+        assert!(op
+            .process(
+                rec(0, Row::new().with(STREAM_TAG, "zzz").with("k", "a")),
+                &mut out
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn join_snapshot_restore_roundtrip() {
+        let mut op = WindowJoinOp::new("join", "k", "l", "r", 1000);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            op.process(
+                rec(
+                    i * 50,
+                    Row::new()
+                        .with(STREAM_TAG, "l")
+                        .with("k", format!("k{}", i % 3))
+                        .with("x", i),
+                ),
+                &mut out,
+            )
+            .unwrap();
+        }
+        let snap = op.snapshot();
+        let mut restored = WindowJoinOp::new("join", "k", "l", "r", 1000);
+        restored.restore(snap).unwrap();
+        // a right-side record joins against restored left buffers
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let right = rec(
+            400,
+            Row::new().with(STREAM_TAG, "r").with("k", "k0").with("y", 7i64),
+        );
+        op.process(right.clone(), &mut out_a).unwrap();
+        restored.process(right, &mut out_b).unwrap();
+        assert_eq!(out_a.len(), out_b.len());
+        assert!(!out_b.is_empty());
+    }
+}

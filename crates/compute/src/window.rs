@@ -1,0 +1,149 @@
+//! Event-time window assignment.
+//!
+//! The FlinkSQL layer compiles `GROUP BY TUMBLE(...)` / `HOP(...)` /
+//! `SESSION(...)` into these assigners; the surge pipeline (§5.1) uses a
+//! tumbling window per pricing cycle.
+
+use rtdi_common::Timestamp;
+
+/// A window is identified by its start; the assigner knows its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+/// How event timestamps map to windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAssigner {
+    /// Fixed, non-overlapping windows of `size_ms`.
+    Tumbling { size_ms: i64 },
+    /// Overlapping windows of `size_ms` starting every `slide_ms`.
+    Sliding { size_ms: i64, slide_ms: i64 },
+    /// Gap-based session windows (assignment returns a provisional window
+    /// `[ts, ts + gap)`; the aggregation operator merges overlaps).
+    Session { gap_ms: i64 },
+}
+
+impl WindowAssigner {
+    pub fn tumbling(size_ms: i64) -> Self {
+        assert!(size_ms > 0, "window size must be positive");
+        WindowAssigner::Tumbling { size_ms }
+    }
+
+    pub fn sliding(size_ms: i64, slide_ms: i64) -> Self {
+        assert!(size_ms > 0 && slide_ms > 0, "sizes must be positive");
+        assert!(slide_ms <= size_ms, "slide must not exceed size");
+        WindowAssigner::Sliding { size_ms, slide_ms }
+    }
+
+    pub fn session(gap_ms: i64) -> Self {
+        assert!(gap_ms > 0, "gap must be positive");
+        WindowAssigner::Session { gap_ms }
+    }
+
+    /// Windows an event at `ts` belongs to.
+    pub fn assign(&self, ts: Timestamp) -> Vec<Window> {
+        match *self {
+            WindowAssigner::Tumbling { size_ms } => {
+                let start = ts.div_euclid(size_ms) * size_ms;
+                vec![Window {
+                    start,
+                    end: start + size_ms,
+                }]
+            }
+            WindowAssigner::Sliding { size_ms, slide_ms } => {
+                // last window starting at or before ts
+                let last_start = ts.div_euclid(slide_ms) * slide_ms;
+                let mut out = Vec::new();
+                let mut start = last_start;
+                while start > ts - size_ms {
+                    out.push(Window {
+                        start,
+                        end: start + size_ms,
+                    });
+                    start -= slide_ms;
+                }
+                out.reverse();
+                out
+            }
+            WindowAssigner::Session { gap_ms } => vec![Window {
+                start: ts,
+                end: ts + gap_ms,
+            }],
+        }
+    }
+
+    /// Whether the assigner produces session windows needing merge logic.
+    pub fn is_session(&self) -> bool {
+        matches!(self, WindowAssigner::Session { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assigns_single_aligned_window() {
+        let w = WindowAssigner::tumbling(1000);
+        assert_eq!(
+            w.assign(1500),
+            vec![Window {
+                start: 1000,
+                end: 2000
+            }]
+        );
+        assert_eq!(w.assign(0)[0].start, 0);
+        assert_eq!(w.assign(999)[0].start, 0);
+        assert_eq!(w.assign(1000)[0].start, 1000);
+        // negative event times still align
+        assert_eq!(w.assign(-1)[0].start, -1000);
+    }
+
+    #[test]
+    fn sliding_assigns_overlapping_windows() {
+        let w = WindowAssigner::sliding(1000, 250);
+        let windows = w.assign(1000);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows.first().unwrap().start, 250);
+        assert_eq!(windows.last().unwrap().start, 1000);
+        for win in &windows {
+            assert!(win.start <= 1000 && 1000 < win.end);
+        }
+    }
+
+    #[test]
+    fn sliding_equal_to_size_degenerates_to_tumbling() {
+        let s = WindowAssigner::sliding(1000, 1000);
+        let t = WindowAssigner::tumbling(1000);
+        for ts in [0i64, 1, 999, 1000, 12345] {
+            assert_eq!(s.assign(ts), t.assign(ts));
+        }
+    }
+
+    #[test]
+    fn session_provisional_window() {
+        let w = WindowAssigner::session(5000);
+        assert_eq!(
+            w.assign(42),
+            vec![Window {
+                start: 42,
+                end: 5042
+            }]
+        );
+        assert!(w.is_session());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        WindowAssigner::tumbling(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slide_larger_than_size_rejected() {
+        WindowAssigner::sliding(100, 200);
+    }
+}

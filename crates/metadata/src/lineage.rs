@@ -1,0 +1,162 @@
+//! Data lineage tracking.
+//!
+//! §9.4: the metadata system "tracks the data lineage representing flow of
+//! data across these components" — e.g. a Kafka topic feeds a Flink job
+//! which sinks into a Pinot table that a dashboard queries. The lineage
+//! graph answers "what is downstream of this topic?" (impact analysis) and
+//! "where did this table's data come from?" (provenance), which operators
+//! use when triaging data-quality incidents.
+
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// A directed edge: data flows `from` -> `to` via a named processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageEdge {
+    pub from: String,
+    pub to: String,
+    /// What moves the data (a Flink job name, "compaction", "uReplicator"...).
+    pub via: String,
+}
+
+#[derive(Default)]
+struct GraphInner {
+    downstream: BTreeMap<String, Vec<LineageEdge>>,
+    upstream: BTreeMap<String, Vec<LineageEdge>>,
+}
+
+/// Thread-safe lineage graph.
+#[derive(Clone, Default)]
+pub struct LineageGraph {
+    inner: Arc<RwLock<GraphInner>>,
+}
+
+impl LineageGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, from: &str, to: &str, via: &str) {
+        let edge = LineageEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            via: via.to_string(),
+        };
+        let mut g = self.inner.write();
+        let down = g.downstream.entry(from.to_string()).or_default();
+        if !down.contains(&edge) {
+            down.push(edge.clone());
+        }
+        let up = g.upstream.entry(to.to_string()).or_default();
+        if !up.contains(&edge) {
+            up.push(edge);
+        }
+    }
+
+    /// Direct downstream edges of a dataset.
+    pub fn downstream(&self, of: &str) -> Vec<LineageEdge> {
+        self.inner
+            .read()
+            .downstream
+            .get(of)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Direct upstream edges of a dataset.
+    pub fn upstream(&self, of: &str) -> Vec<LineageEdge> {
+        self.inner
+            .read()
+            .upstream
+            .get(of)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every dataset transitively reachable downstream of `of` (impact
+    /// analysis: "if this topic is corrupt, what must be backfilled?").
+    pub fn impact(&self, of: &str) -> Vec<String> {
+        self.walk(of, true)
+    }
+
+    /// Every dataset transitively upstream of `of` (provenance).
+    pub fn provenance(&self, of: &str) -> Vec<String> {
+        self.walk(of, false)
+    }
+
+    fn walk(&self, of: &str, down: bool) -> Vec<String> {
+        let g = self.inner.read();
+        let map = if down { &g.downstream } else { &g.upstream };
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([of.to_string()]);
+        while let Some(node) = queue.pop_front() {
+            if let Some(edges) = map.get(&node) {
+                for e in edges {
+                    let next = if down { &e.to } else { &e.from };
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next.clone());
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineageGraph {
+        let g = LineageGraph::new();
+        // trips topic -> flink surge job -> surge kv
+        g.record("kafka.trips", "flink.surge", "surge-pipeline");
+        g.record("flink.surge", "kv.surge", "surge-pipeline");
+        // trips topic also archived -> hive -> pinot offline
+        g.record("kafka.trips", "hive.trips", "archival");
+        g.record("hive.trips", "pinot.trips", "piper-offline-push");
+        g
+    }
+
+    #[test]
+    fn direct_edges() {
+        let g = sample();
+        let down = g.downstream("kafka.trips");
+        assert_eq!(down.len(), 2);
+        let up = g.upstream("pinot.trips");
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].via, "piper-offline-push");
+        assert!(g.downstream("unknown").is_empty());
+    }
+
+    #[test]
+    fn transitive_impact_and_provenance() {
+        let g = sample();
+        let impact = g.impact("kafka.trips");
+        assert!(impact.contains(&"kv.surge".to_string()));
+        assert!(impact.contains(&"pinot.trips".to_string()));
+        assert_eq!(impact.len(), 4);
+        let prov = g.provenance("pinot.trips");
+        assert_eq!(prov, vec!["hive.trips".to_string(), "kafka.trips".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let g = LineageGraph::new();
+        g.record("a", "b", "x");
+        g.record("a", "b", "x");
+        assert_eq!(g.downstream("a").len(), 1);
+        g.record("a", "b", "y"); // different processor = distinct edge
+        assert_eq!(g.downstream("a").len(), 2);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = LineageGraph::new();
+        g.record("a", "b", "p");
+        g.record("b", "a", "q");
+        let impact = g.impact("a");
+        assert_eq!(impact, vec!["a".to_string(), "b".to_string()]);
+    }
+}

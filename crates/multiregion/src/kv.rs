@@ -1,0 +1,103 @@
+//! The active-active key-value store (Figure 6's "active/active database
+//! for quick lookup").
+//!
+//! Surge results are written by the primary region's update service and
+//! must be readable from every region. The model here is a single
+//! logically-replicated store with last-writer-wins per key.
+
+use parking_lot::RwLock;
+use rtdi_common::{Row, Timestamp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    row: Row,
+    written_at: Timestamp,
+    written_by: String,
+}
+
+/// A replicated KV store with last-writer-wins semantics.
+#[derive(Clone, Default)]
+pub struct ReplicatedKv {
+    inner: Arc<RwLock<HashMap<String, Entry>>>,
+}
+
+impl ReplicatedKv {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a value (LWW on timestamp; ties broken by writer name for
+    /// determinism).
+    pub fn put(&self, key: &str, row: Row, written_at: Timestamp, written_by: &str) {
+        let mut inner = self.inner.write();
+        let should_write = match inner.get(key) {
+            None => true,
+            Some(prev) => {
+                (written_at, written_by) >= (prev.written_at, prev.written_by.as_str())
+            }
+        };
+        if should_write {
+            inner.insert(
+                key.to_string(),
+                Entry {
+                    row,
+                    written_at,
+                    written_by: written_by.to_string(),
+                },
+            );
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<Row> {
+        self.inner.read().get(key).map(|e| e.row.clone())
+    }
+
+    /// Who wrote the current value (tests assert the primary region wrote).
+    pub fn writer_of(&self, key: &str) -> Option<String> {
+        self.inner.read().get(key).map(|e| e.written_by.clone())
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    pub fn keys(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let kv = ReplicatedKv::new();
+        kv.put("hex-1", Row::new().with("multiplier", 1.5), 100, "us-west");
+        assert_eq!(kv.get("hex-1").unwrap().get_double("multiplier"), Some(1.5));
+        assert_eq!(kv.writer_of("hex-1").unwrap(), "us-west");
+        assert!(kv.get("ghost").is_none());
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let kv = ReplicatedKv::new();
+        kv.put("k", Row::new().with("v", 1i64), 100, "a");
+        kv.put("k", Row::new().with("v", 2i64), 200, "b");
+        assert_eq!(kv.get("k").unwrap().get_int("v"), Some(2));
+        // stale write ignored
+        kv.put("k", Row::new().with("v", 3i64), 150, "c");
+        assert_eq!(kv.get("k").unwrap().get_int("v"), Some(2));
+        // tie on timestamp: writer name breaks deterministically
+        kv.put("k", Row::new().with("v", 4i64), 200, "z");
+        assert_eq!(kv.get("k").unwrap().get_int("v"), Some(4));
+        kv.put("k", Row::new().with("v", 5i64), 200, "a");
+        assert_eq!(kv.get("k").unwrap().get_int("v"), Some(4));
+    }
+}

@@ -1,0 +1,28 @@
+//! # rtdi-multiregion
+//!
+//! The all-active multi-region strategy of §6:
+//!
+//! - [`topology`]: regions with regional + aggregate Kafka clusters and
+//!   uReplicator routes that fan every regional topic into every region's
+//!   aggregate cluster (Figure 6's "global view");
+//! - [`kv`]: the active-active replicated key-value store surge results
+//!   land in;
+//! - [`activeactive`]: redundant per-region computation with a coordinator
+//!   that designates the primary update service and fails over on region
+//!   loss — "its state must be computed independently from the input
+//!   messages from the aggregate clusters. Given that the input ... is
+//!   consistent across all regions, the output state converges";
+//! - [`activepassive`] (Figure 7): the offset-sync service that lets a
+//!   strong-consistency consumer fail over to another region and "take
+//!   the latest synchronized offset and resume the consumption" — no data
+//!   loss, bounded replay.
+
+pub mod activeactive;
+pub mod activepassive;
+pub mod kv;
+pub mod topology;
+
+pub use activeactive::ActiveActiveCoordinator;
+pub use activepassive::{ActivePassiveConsumer, OffsetSyncService};
+pub use kv::ReplicatedKv;
+pub use topology::{MultiRegionTopology, Region};

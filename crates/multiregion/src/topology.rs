@@ -1,0 +1,203 @@
+//! Regions, regional/aggregate clusters and cross-region replication.
+//!
+//! §6: "All the trip events are sent over to the Kafka regional cluster
+//! and then aggregated into the aggregate clusters for the global view."
+
+use rtdi_common::{Error, Record, Result, Timestamp};
+use rtdi_stream::cluster::{Cluster, ClusterConfig};
+use rtdi_stream::replicator::{OffsetMappingStore, Replicator};
+use rtdi_stream::topic::TopicConfig;
+use std::sync::Arc;
+
+/// One region: a regional ingestion cluster and an aggregate cluster
+/// receiving replicated data from every region.
+pub struct Region {
+    pub name: String,
+    pub regional: Arc<Cluster>,
+    pub aggregate: Arc<Cluster>,
+}
+
+impl Region {
+    pub fn new(name: &str) -> Region {
+        Region {
+            name: name.to_string(),
+            regional: Cluster::new(format!("{name}-regional"), ClusterConfig::default()),
+            aggregate: Cluster::new(format!("{name}-aggregate"), ClusterConfig::default()),
+        }
+    }
+
+    pub fn set_down(&self, down: bool) {
+        self.regional.set_down(down);
+        self.aggregate.set_down(down);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.regional.is_down() || self.aggregate.is_down()
+    }
+}
+
+/// The full mesh: every regional topic replicates into every region's
+/// aggregate cluster.
+pub struct MultiRegionTopology {
+    pub regions: Vec<Region>,
+    replicators: Vec<Replicator>,
+    mappings: OffsetMappingStore,
+    topic: String,
+}
+
+impl MultiRegionTopology {
+    /// Build `n` regions wired for `topic`.
+    pub fn new(region_names: &[&str], topic: &str, config: TopicConfig) -> Result<Self> {
+        let regions: Vec<Region> = region_names.iter().map(|n| Region::new(n)).collect();
+        let mappings = OffsetMappingStore::new();
+        for r in &regions {
+            r.regional.create_topic(topic, config.clone())?;
+            r.aggregate.create_topic(topic, config.clone())?;
+        }
+        let mut replicators = Vec::new();
+        for src in &regions {
+            for dst in &regions {
+                let route = route_name(&src.name, &dst.name, topic);
+                let rep = Replicator::new(
+                    route,
+                    src.regional.clone(),
+                    dst.aggregate.clone(),
+                    topic,
+                    mappings.clone(),
+                    64,
+                );
+                rep.prepare()?;
+                replicators.push(rep);
+            }
+        }
+        Ok(MultiRegionTopology {
+            regions,
+            replicators,
+            mappings,
+            topic: topic.to_string(),
+        })
+    }
+
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    pub fn mappings(&self) -> &OffsetMappingStore {
+        &self.mappings
+    }
+
+    pub fn region(&self, name: &str) -> Result<&Region> {
+        self.regions
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| Error::NotFound(format!("region '{name}'")))
+    }
+
+    /// Produce an event into a region's regional cluster (what the app in
+    /// that region does).
+    pub fn produce(&self, region: &str, mut record: Record, now: Timestamp) -> Result<()> {
+        record
+            .headers
+            .set(rtdi_common::record::headers::ORIGIN_REGION, region);
+        self.region(region)?
+            .regional
+            .produce(&self.topic, record, now)?;
+        Ok(())
+    }
+
+    /// Run every replication route once (skipping routes touching downed
+    /// regions). Returns records copied.
+    pub fn replicate(&self, now: Timestamp) -> u64 {
+        let mut copied = 0;
+        for rep in &self.replicators {
+            // routes to/from downed clusters simply fail; that is the
+            // disaster the failover machinery tolerates
+            if let Ok(n) = rep.run_once(now) {
+                copied += n;
+            }
+        }
+        copied
+    }
+
+    /// Total records in one region's aggregate topic.
+    pub fn aggregate_count(&self, region: &str) -> Result<u64> {
+        Ok(self
+            .region(region)?
+            .aggregate
+            .topic(&self.topic)?
+            .total_records())
+    }
+}
+
+/// Canonical name of a replication route.
+pub fn route_name(src: &str, dst: &str, topic: &str) -> String {
+    format!("{src}->{dst}:{topic}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::Row;
+
+    fn trip(i: i64) -> Record {
+        Record::new(Row::new().with("trip", i), i).with_key(format!("t{i}"))
+    }
+
+    #[test]
+    fn aggregate_clusters_converge_to_global_view() {
+        let topo = MultiRegionTopology::new(
+            &["us-west", "us-east"],
+            "trips",
+            TopicConfig::default().with_partitions(2),
+        )
+        .unwrap();
+        for i in 0..30 {
+            topo.produce("us-west", trip(i), i).unwrap();
+        }
+        for i in 30..50 {
+            topo.produce("us-east", trip(i), i).unwrap();
+        }
+        topo.replicate(100);
+        // both aggregates see all 50 events (the global view)
+        assert_eq!(topo.aggregate_count("us-west").unwrap(), 50);
+        assert_eq!(topo.aggregate_count("us-east").unwrap(), 50);
+    }
+
+    #[test]
+    fn downed_region_does_not_block_others() {
+        let topo = MultiRegionTopology::new(
+            &["a", "b"],
+            "trips",
+            TopicConfig::default().with_partitions(1),
+        )
+        .unwrap();
+        for i in 0..10 {
+            topo.produce("a", trip(i), i).unwrap();
+        }
+        topo.region("b").unwrap().set_down(true);
+        topo.replicate(100);
+        assert_eq!(topo.aggregate_count("a").unwrap(), 10);
+        assert!(topo.produce("b", trip(99), 99).is_err());
+        // b recovers and catches up on the next replication round
+        topo.region("b").unwrap().set_down(false);
+        topo.replicate(200);
+        assert_eq!(topo.aggregate_count("b").unwrap(), 10);
+    }
+
+    #[test]
+    fn origin_region_stamped() {
+        let topo = MultiRegionTopology::new(
+            &["a"],
+            "trips",
+            TopicConfig::default().with_partitions(1),
+        )
+        .unwrap();
+        topo.produce("a", trip(1), 1).unwrap();
+        let t = topo.region("a").unwrap().regional.topic("trips").unwrap();
+        let rec = &t.fetch(0, 0, 1).unwrap().records[0].record;
+        assert_eq!(
+            rec.headers.get(rtdi_common::record::headers::ORIGIN_REGION),
+            Some("a")
+        );
+    }
+}

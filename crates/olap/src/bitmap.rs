@@ -1,0 +1,224 @@
+//! Dense bitset over document ids.
+//!
+//! The workhorse of index evaluation: inverted-index posting lists, range
+//! buckets, upsert valid-doc sets and filter intersection all operate on
+//! these. A simple `Vec<u64>` block representation is plenty for
+//! segment-sized doc counts (Pinot uses roaring bitmaps for the same
+//! role).
+
+/// A fixed-capacity dense bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap for `len` documents.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-ones bitmap for `len` documents.
+    pub fn full(len: usize) -> Self {
+        let mut bm = Bitmap {
+            blocks: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.blocks[i / 64] |= 1 << (i % 64);
+    }
+
+    pub fn unset(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.blocks[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_inplace(&mut self) {
+        for b in &mut self.blocks {
+            *b = !*b;
+        }
+        self.clear_tail();
+    }
+
+    /// Grow capacity to `len` (new bits zero).
+    pub fn resize(&mut self, len: usize) {
+        self.len = len;
+        self.blocks.resize(len.div_ceil(64), 0);
+        self.clear_tail();
+    }
+
+    /// Iterate over set bit positions.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            bitmap: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Set bits in `[from, to)`.
+    pub fn set_range(&mut self, from: usize, to: usize) {
+        for i in from..to.min(self.len) {
+            self.set(i);
+        }
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * 8 + 16
+    }
+}
+
+pub struct BitmapIter<'a> {
+    bitmap: &'a Bitmap,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * 64 + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.bitmap.blocks.len() {
+                return None;
+            }
+            self.current = self.bitmap.blocks[self.block_idx];
+        }
+    }
+}
+
+impl FromIterator<usize> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map(|m| m + 1).unwrap_or(0);
+        let mut bm = Bitmap::new(len);
+        for i in items {
+            bm.set(i);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut bm = Bitmap::new(130);
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        assert!(!bm.get(10_000)); // out of range is false, not panic
+        assert_eq!(bm.count(), 3);
+        bm.unset(64);
+        assert_eq!(bm.count(), 2);
+    }
+
+    #[test]
+    fn full_and_not_respect_length() {
+        let mut bm = Bitmap::full(70);
+        assert_eq!(bm.count(), 70);
+        bm.not_inplace();
+        assert_eq!(bm.count(), 0);
+        bm.not_inplace();
+        assert_eq!(bm.count(), 70);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set_range(0, 50);
+        b.set_range(25, 75);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.count(), 25);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.count(), 75);
+    }
+
+    #[test]
+    fn iterator_yields_sorted_positions() {
+        let bm: Bitmap = [5usize, 0, 99, 64, 63].into_iter().collect();
+        let out: Vec<usize> = bm.iter().collect();
+        assert_eq!(out, vec![0, 5, 63, 64, 99]);
+        let empty = Bitmap::new(0);
+        assert_eq!(empty.iter().count(), 0);
+    }
+
+    #[test]
+    fn resize_preserves_bits() {
+        let mut bm = Bitmap::new(10);
+        bm.set(3);
+        bm.resize(1000);
+        assert!(bm.get(3));
+        assert_eq!(bm.count(), 1);
+        bm.set(999);
+        assert_eq!(bm.count(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Broker: scatter-gather-merge across server nodes.
+//!
+//! §4.3: "the query is first decomposed into sub-plans which execute on
+//! the distributed segments in parallel, and then the plan results are
+//! aggregated and merged into a final one." §4.3.1 adds the upsert
+//! routing constraint: "we introduced a new routing strategy that
+//! dispatches subqueries over the segments of the same partition to the
+//! same node to ensure the integrity of the query result."
+
+use crate::query::{sort_and_limit, PartialAgg, Query, QueryResult};
+use crate::segment::Segment;
+use parking_lot::RwLock;
+use rtdi_common::{Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One server node hosting segment replicas.
+pub struct ServerNode {
+    id: usize,
+    down: AtomicBool,
+    segments: RwLock<HashMap<String, Arc<Segment>>>,
+}
+
+impl ServerNode {
+    pub fn new(id: usize) -> Arc<Self> {
+        Arc::new(ServerNode {
+            id,
+            down: AtomicBool::new(false),
+            segments: RwLock::new(HashMap::new()),
+        })
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    pub fn host(&self, segment: Arc<Segment>) {
+        self.segments
+            .write()
+            .insert(segment.name().to_string(), segment);
+    }
+
+    pub fn drop_segment(&self, name: &str) -> Option<Arc<Segment>> {
+        self.segments.write().remove(name)
+    }
+
+    pub fn hosted(&self) -> Vec<String> {
+        self.segments.read().keys().cloned().collect()
+    }
+
+    /// Serve a peer-recovery fetch (§4.3.4: "server replicas can serve the
+    /// archived segments in case of failures").
+    pub fn fetch_segment(&self, name: &str) -> Result<Arc<Segment>> {
+        if self.is_down() {
+            return Err(Error::Unavailable(format!("server {} down", self.id)));
+        }
+        self.segments
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("segment '{name}' on server {}", self.id)))
+    }
+
+    fn execute_partial(&self, name: &str, query: &Query) -> Result<PartialAgg> {
+        let seg = self.fetch_segment(name)?;
+        seg.execute_partial(query, None)
+    }
+
+    fn execute_select(&self, name: &str, query: &Query) -> Result<QueryResult> {
+        let seg = self.fetch_segment(name)?;
+        seg.execute(query, None)
+    }
+}
+
+/// Placement of one segment: which partition it belongs to (upsert
+/// routing) and which servers hold replicas.
+#[derive(Debug, Clone)]
+pub struct SegmentPlacement {
+    pub segment: String,
+    pub partition: Option<usize>,
+    pub replicas: Vec<usize>,
+}
+
+/// The query broker.
+pub struct Broker {
+    servers: Vec<Arc<ServerNode>>,
+    /// table -> placements
+    routing: RwLock<BTreeMap<String, Vec<SegmentPlacement>>>,
+    /// partition-aware tables (upsert): all segments of one partition must
+    /// route to one server
+    partition_aware: RwLock<BTreeMap<String, bool>>,
+}
+
+impl Broker {
+    pub fn new(servers: Vec<Arc<ServerNode>>) -> Self {
+        Broker {
+            servers,
+            routing: RwLock::new(BTreeMap::new()),
+            partition_aware: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn servers(&self) -> &[Arc<ServerNode>] {
+        &self.servers
+    }
+
+    pub fn register_table(&self, table: &str, partition_aware: bool) {
+        self.routing.write().entry(table.to_string()).or_default();
+        self.partition_aware
+            .write()
+            .insert(table.to_string(), partition_aware);
+    }
+
+    /// Place a segment on `replication` servers (round-robin by segment
+    /// count, partition-pinned for partition-aware tables).
+    pub fn place_segment(
+        &self,
+        table: &str,
+        segment: Arc<Segment>,
+        partition: Option<usize>,
+        replication: usize,
+    ) -> Result<()> {
+        let n = self.servers.len();
+        if n == 0 {
+            return Err(Error::Unavailable("no servers".into()));
+        }
+        let aware = *self
+            .partition_aware
+            .read()
+            .get(table)
+            .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
+        let mut routing = self.routing.write();
+        let placements = routing.entry(table.to_string()).or_default();
+        let base = match (aware, partition) {
+            // partition-aware: pin by partition id so all segments of a
+            // partition share servers
+            (true, Some(p)) => p,
+            _ => placements.len(),
+        };
+        let replicas: Vec<usize> = (0..replication.max(1).min(n))
+            .map(|r| (base + r) % n)
+            .collect();
+        for &s in &replicas {
+            self.servers[s].host(segment.clone());
+        }
+        placements.push(SegmentPlacement {
+            segment: segment.name().to_string(),
+            partition,
+            replicas,
+        });
+        Ok(())
+    }
+
+    /// Choose a live server per segment, respecting partition affinity.
+    fn plan(&self, table: &str) -> Result<Vec<(String, usize)>> {
+        let routing = self.routing.read();
+        let placements = routing
+            .get(table)
+            .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
+        let aware = *self.partition_aware.read().get(table).unwrap_or(&false);
+        // partition -> chosen server, so all of a partition goes together
+        let mut chosen_by_partition: HashMap<usize, usize> = HashMap::new();
+        let mut plan = Vec::with_capacity(placements.len());
+        for pl in placements {
+            let server = match (aware, pl.partition) {
+                (true, Some(p)) => {
+                    let existing = chosen_by_partition.get(&p).copied();
+                    let choice = match existing {
+                        Some(s) if !self.servers[s].is_down() => s,
+                        _ => *pl
+                            .replicas
+                            .iter()
+                            .find(|&&s| !self.servers[s].is_down())
+                            .ok_or_else(|| {
+                                Error::Unavailable(format!(
+                                    "no live replica for segment '{}'",
+                                    pl.segment
+                                ))
+                            })?,
+                    };
+                    chosen_by_partition.insert(p, choice);
+                    choice
+                }
+                _ => *pl
+                    .replicas
+                    .iter()
+                    .find(|&&s| !self.servers[s].is_down())
+                    .ok_or_else(|| {
+                        Error::Unavailable(format!(
+                            "no live replica for segment '{}'",
+                            pl.segment
+                        ))
+                    })?,
+            };
+            plan.push((pl.segment.clone(), server));
+        }
+        Ok(plan)
+    }
+
+    /// Execute a query: scatter sub-queries to the chosen servers, merge.
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        let plan = self.plan(&query.table)?;
+        let mut segments_queried = 0;
+        let mut docs_scanned = 0;
+        let mut used_startree = false;
+        if query.is_aggregation() {
+            let mut merged = PartialAgg::default();
+            for (segment, server) in plan {
+                let part = self.servers[server].execute_partial(&segment, query)?;
+                segments_queried += 1;
+                docs_scanned += part.docs_scanned;
+                used_startree |= part.used_startree;
+                merged.merge(part, query);
+            }
+            Ok(QueryResult {
+                rows: merged.finalize(query),
+                docs_scanned,
+                segments_queried,
+                used_startree,
+            })
+        } else {
+            let mut rows = Vec::new();
+            for (segment, server) in plan {
+                let r = self.servers[server].execute_select(&segment, query)?;
+                segments_queried += 1;
+                docs_scanned += r.docs_scanned;
+                rows.extend(r.rows);
+            }
+            sort_and_limit(&mut rows, &query.order_by, query.limit);
+            Ok(QueryResult {
+                rows,
+                docs_scanned,
+                segments_queried,
+                used_startree,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::IndexSpec;
+    use rtdi_common::{AggFn, FieldType, Row, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(
+            "t",
+            &[("city", FieldType::Str), ("fare", FieldType::Double)],
+        )
+    }
+
+    fn seg(name: &str, offset: usize, n: usize) -> Arc<Segment> {
+        let rows: Vec<Row> = (offset..offset + n)
+            .map(|i| {
+                Row::new()
+                    .with("city", ["sf", "la"][i % 2])
+                    .with("fare", i as f64)
+            })
+            .collect();
+        Arc::new(Segment::build(name, &schema(), rows, &IndexSpec::none()).unwrap())
+    }
+
+    fn setup() -> Broker {
+        let servers: Vec<Arc<ServerNode>> = (0..3).map(ServerNode::new).collect();
+        let broker = Broker::new(servers);
+        broker.register_table("t", false);
+        for i in 0..6 {
+            broker
+                .place_segment("t", seg(&format!("s{i}"), i * 100, 100), None, 2)
+                .unwrap();
+        }
+        broker
+    }
+
+    #[test]
+    fn scatter_gather_merges_aggregations() {
+        let broker = setup();
+        let q = Query::select_all("t")
+            .aggregate("n", AggFn::Count)
+            .aggregate("avg_fare", AggFn::Avg("fare".into()))
+            .group(&["city"]);
+        let res = broker.query(&q).unwrap();
+        assert_eq!(res.segments_queried, 6);
+        let total: i64 = res.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
+        assert_eq!(total, 600);
+        // avg must be the true global average, not an average of averages
+        let sf = res.rows.iter().find(|r| r.get_str("city") == Some("sf")).unwrap();
+        let expected: f64 = (0..600).filter(|i| i % 2 == 0).map(|i| i as f64).sum::<f64>() / 300.0;
+        assert!((sf.get_double("avg_fare").unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failover_to_replicas() {
+        let broker = setup();
+        let q = Query::select_all("t").aggregate("n", AggFn::Count);
+        broker.servers()[0].set_down(true);
+        let res = broker.query(&q).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(600));
+        // two servers down with replication 2 -> some segment unreachable
+        broker.servers()[1].set_down(true);
+        assert!(matches!(broker.query(&q), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn selection_scatter_respects_order_limit() {
+        let broker = setup();
+        let q = Query::select_all("t")
+            .columns(&["fare"])
+            .order("fare", crate::query::SortOrder::Desc)
+            .limit(3);
+        let res = broker.query(&q).unwrap();
+        let fares: Vec<f64> = res.rows.iter().map(|r| r.get_double("fare").unwrap()).collect();
+        assert_eq!(fares, vec![599.0, 598.0, 597.0]);
+    }
+
+    #[test]
+    fn partition_aware_routing_keeps_partition_on_one_server() {
+        let servers: Vec<Arc<ServerNode>> = (0..4).map(ServerNode::new).collect();
+        let broker = Broker::new(servers);
+        broker.register_table("u", true);
+        // two segments per partition, 3 partitions
+        for p in 0..3usize {
+            for s in 0..2usize {
+                broker
+                    .place_segment("u", seg(&format!("p{p}s{s}"), 0, 10), Some(p), 2)
+                    .unwrap();
+            }
+        }
+        let plan = broker.plan("u").unwrap();
+        let mut by_partition: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (name, server) in plan {
+            let p: usize = name[1..2].parse().unwrap();
+            by_partition.entry(p).or_default().push(server);
+        }
+        for (p, servers) in by_partition {
+            assert!(
+                servers.windows(2).all(|w| w[0] == w[1]),
+                "partition {p} split across servers: {servers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let broker = setup();
+        let q = Query::select_all("ghost").aggregate("n", AggFn::Count);
+        assert!(matches!(broker.query(&q), Err(Error::NotFound(_))));
+        assert!(broker
+            .place_segment("ghost", seg("x", 0, 1), None, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn peer_fetch_for_recovery() {
+        let broker = setup();
+        // segment s0 hosted on servers 0 and 1; fetch from a peer
+        let from_peer = broker.servers()[1]
+            .fetch_segment("s0")
+            .or_else(|_| broker.servers()[0].fetch_segment("s0"));
+        assert!(from_peer.is_ok());
+        assert!(broker.servers()[2].fetch_segment("zzz").is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Real-time ingestion from the streaming layer.
+//!
+//! §4.3: "records can be updated during the real-time ingestion into the
+//! OLAP store"; §4.3.3: Pinot "integrates with Uber's schema service to
+//! automatically infer the schema from the input Kafka topic". The
+//! ingester consumes a topic partition-aligned into an [`OlapTable`],
+//! reports audit observations to Chaperone and backs up newly sealed
+//! segments through the [`SegmentStore`].
+
+use crate::segstore::SegmentStore;
+use crate::table::OlapTable;
+use rtdi_common::{Error, Result, Row};
+use rtdi_stream::chaperone::Chaperone;
+use rtdi_stream::topic::Topic;
+use std::sync::Arc;
+
+/// Ingestion knobs.
+#[derive(Debug, Clone)]
+pub struct IngestionConfig {
+    /// Records fetched per partition per round.
+    pub batch_size: usize,
+    /// Name under which ingestion reports to Chaperone.
+    pub audit_stage: String,
+}
+
+impl Default for IngestionConfig {
+    fn default() -> Self {
+        IngestionConfig {
+            batch_size: 1024,
+            audit_stage: "pinot-ingestion".into(),
+        }
+    }
+}
+
+/// Consumes a topic into a table.
+pub struct RealtimeIngester {
+    topic: Arc<Topic>,
+    table: Arc<OlapTable>,
+    segstore: Option<Arc<SegmentStore>>,
+    chaperone: Option<Chaperone>,
+    config: IngestionConfig,
+    positions: Vec<u64>,
+}
+
+impl RealtimeIngester {
+    pub fn new(
+        topic: Arc<Topic>,
+        table: Arc<OlapTable>,
+        config: IngestionConfig,
+    ) -> Result<Self> {
+        if topic.num_partitions() != table.config().partitions {
+            return Err(Error::InvalidArgument(format!(
+                "topic has {} partitions but table expects {} — upsert \
+                 integrity requires alignment",
+                topic.num_partitions(),
+                table.config().partitions
+            )));
+        }
+        let n = topic.num_partitions();
+        Ok(RealtimeIngester {
+            topic,
+            table,
+            segstore: None,
+            chaperone: None,
+            config,
+            positions: vec![0; n],
+        })
+    }
+
+    pub fn with_segment_store(mut self, ss: Arc<SegmentStore>) -> Self {
+        self.segstore = Some(ss);
+        self
+    }
+
+    pub fn with_chaperone(mut self, ch: Chaperone) -> Self {
+        self.chaperone = Some(ch);
+        self
+    }
+
+    /// Ingest everything currently available. Returns records ingested.
+    pub fn run_once(&mut self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.topic.num_partitions() {
+            loop {
+                let fetch = match self.topic.fetch(p, self.positions[p], self.config.batch_size) {
+                    Ok(f) => f,
+                    Err(Error::OffsetOutOfRange { low, .. }) => {
+                        self.positions[p] = low;
+                        self.topic.fetch(p, low, self.config.batch_size)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                if fetch.records.is_empty() {
+                    break;
+                }
+                for rec in fetch.records {
+                    self.positions[p] = rec.offset + 1;
+                    if let Some(ch) = &self.chaperone {
+                        ch.observe(&self.config.audit_stage, &rec.record);
+                    }
+                    let mut row: Row = rec.record.value;
+                    // make event time queryable under the table's time column
+                    if let Some(tc) = &self.table.config().time_column {
+                        if row.get(tc).is_none() {
+                            row.push(tc.clone(), rec.record.timestamp);
+                        }
+                    }
+                    self.table.ingest(p, row)?;
+                    total += 1;
+                }
+            }
+        }
+        // archive newly sealed segments
+        if let Some(ss) = &self.segstore {
+            for (_, seg) in self.table.take_unbacked() {
+                ss.backup(self.table.name(), seg)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Total lag across partitions.
+    pub fn lag(&self) -> u64 {
+        (0..self.topic.num_partitions())
+            .map(|p| {
+                self.topic
+                    .partition(p)
+                    .map(|l| l.high_watermark().saturating_sub(self.positions[p]))
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Predicate, Query};
+    use crate::segment::IndexSpec;
+    use crate::segstore::SegmentStoreMode;
+    use crate::table::TableConfig;
+    use rtdi_common::record::headers;
+    use rtdi_common::{AggFn, FieldType, Record, Schema, Value};
+    use rtdi_storage::object::InMemoryStore;
+    use rtdi_stream::topic::TopicConfig;
+
+    fn schema() -> Schema {
+        Schema::of(
+            "trips",
+            &[
+                ("trip_id", FieldType::Str),
+                ("fare", FieldType::Double),
+                ("ts", FieldType::Timestamp),
+            ],
+        )
+    }
+
+    fn topic() -> Arc<Topic> {
+        Arc::new(Topic::new("trips", TopicConfig::default().with_partitions(2)).unwrap())
+    }
+
+    fn table(upsert: bool) -> Arc<OlapTable> {
+        let mut cfg = TableConfig::new("trips", schema())
+            .with_time_column("ts")
+            .with_segment_rows(10)
+            .with_partitions(2);
+        if upsert {
+            cfg = cfg.with_upsert("trip_id");
+        }
+        OlapTable::new(cfg).unwrap()
+    }
+
+    fn trip(i: usize, fare: f64) -> Record {
+        Record::new(
+            Row::new()
+                .with("trip_id", format!("t{i}"))
+                .with("fare", fare)
+                .with("ts", i as i64),
+            i as i64,
+        )
+        .with_key(format!("t{i}"))
+        .with_header(headers::UNIQUE_ID, format!("m{i}-{fare}"))
+    }
+
+    #[test]
+    fn ingests_all_partitions_and_tracks_lag() {
+        let t = topic();
+        for i in 0..50 {
+            t.append(trip(i, 10.0), 0);
+        }
+        let mut ing = RealtimeIngester::new(t.clone(), table(false), IngestionConfig::default())
+            .unwrap();
+        assert_eq!(ing.lag(), 50);
+        assert_eq!(ing.run_once().unwrap(), 50);
+        assert_eq!(ing.lag(), 0);
+        // incremental
+        t.append(trip(99, 5.0), 0);
+        assert_eq!(ing.lag(), 1);
+        assert_eq!(ing.run_once().unwrap(), 1);
+    }
+
+    #[test]
+    fn partition_mismatch_rejected() {
+        let t = Arc::new(Topic::new("x", TopicConfig::default().with_partitions(8)).unwrap());
+        assert!(RealtimeIngester::new(t, table(false), IngestionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn upsert_ingestion_dedupes_by_key() {
+        let t = topic();
+        let tbl = table(true);
+        for i in 0..30 {
+            t.append(trip(i, 10.0), 0);
+        }
+        // fare corrections for 5 trips
+        for i in 0..5 {
+            t.append(trip(i, 777.0), 0);
+        }
+        let mut ing =
+            RealtimeIngester::new(t, tbl.clone(), IngestionConfig::default()).unwrap();
+        ing.run_once().unwrap();
+        let q = Query::select_all("trips").aggregate("n", AggFn::Count);
+        assert_eq!(tbl.query(&q).unwrap().rows[0].get_int("n"), Some(30));
+        assert_eq!(
+            tbl.lookup(&Value::Str("t2".into()), "fare"),
+            Some(Value::Double(777.0))
+        );
+        let q = Query::select_all("trips")
+            .filter(Predicate::eq("trip_id", "t2"))
+            .aggregate("f", AggFn::Sum("fare".into()));
+        assert_eq!(tbl.query(&q).unwrap().rows[0].get_double("f"), Some(777.0));
+    }
+
+    #[test]
+    fn sealed_segments_backed_up() {
+        let t = topic();
+        for i in 0..40 {
+            t.append(trip(i, 1.0), 0);
+        }
+        let tbl = table(false);
+        let ss = Arc::new(SegmentStore::new(
+            Arc::new(InMemoryStore::new()),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none(),
+        ));
+        let mut ing = RealtimeIngester::new(t, tbl.clone(), IngestionConfig::default())
+            .unwrap()
+            .with_segment_store(ss.clone());
+        ing.run_once().unwrap();
+        // 40 rows over 2 partitions, seal threshold 10 -> sealed segments exist
+        let mut backed = 0;
+        for p in 0..2 {
+            for name in tbl.sealed_segments(p) {
+                assert!(ss.contains("trips", &name), "{name} not archived");
+                backed += 1;
+            }
+        }
+        assert!(backed >= 2);
+    }
+
+    #[test]
+    fn chaperone_certifies_topic_to_table() {
+        let t = topic();
+        let ch = Chaperone::new(1_000);
+        for i in 0..20 {
+            let rec = trip(i, 1.0);
+            ch.observe("kafka", &rec);
+            t.append(rec, 0);
+        }
+        let mut ing = RealtimeIngester::new(t, table(false), IngestionConfig::default())
+            .unwrap()
+            .with_chaperone(ch.clone());
+        ing.run_once().unwrap();
+        assert!(ch.certify("kafka", "pinot-ingestion"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # rtdi-olap
+//!
+//! The real-time OLAP layer — the Apache Pinot stand-in of §4.3 — with
+//! every Uber enhancement the paper describes:
+//!
+//! - [`bitmap`], [`segment`]: dictionary-encoded, bit-packed columnar
+//!   segments with inverted, sorted and range indices;
+//! - [`startree`]: the star-tree pre-aggregation index Pinot credits for
+//!   order-of-magnitude group-by speedups;
+//! - [`query`]: the "limited SQL" query model (filters, aggregations,
+//!   group-by/order-by, limits) executed per segment with automatic index
+//!   selection;
+//! - [`realtime`], [`ingestion`]: consuming (mutable) segments fed from
+//!   stream topics, sealed into immutable segments at size thresholds;
+//! - [`upsert`] (§4.3.1): partitioned primary-key tracking with
+//!   shared-nothing, per-partition ownership and valid-doc filtering;
+//! - [`table`], [`broker`]: hybrid realtime+offline tables behind a
+//!   scatter-gather-merge broker with partition-aware routing;
+//! - [`segstore`] (§4.3.4): segment archival with a centralized
+//!   controller-mediated scheme and the peer-to-peer replica recovery
+//!   scheme that replaced it;
+//! - [`baselines`]: the Elasticsearch-like heap/row store used by the §4.3
+//!   footprint and latency comparison (E10).
+
+pub mod baselines;
+pub mod bitmap;
+pub mod broker;
+pub mod ingestion;
+pub mod query;
+pub mod realtime;
+pub mod segment;
+pub mod segstore;
+pub mod startree;
+pub mod table;
+pub mod upsert;
+
+pub use bitmap::Bitmap;
+pub use broker::{Broker, ServerNode};
+pub use ingestion::{IngestionConfig, RealtimeIngester};
+pub use query::{Predicate, PredicateOp, Query, QueryResult};
+pub use realtime::MutableSegment;
+pub use segment::{IndexSpec, Segment};
+pub use segstore::{SegmentStore, SegmentStoreMode};
+pub use startree::{StarTree, StarTreeSpec};
+pub use table::{OlapTable, TableConfig};
+pub use upsert::PrimaryKeyIndex;

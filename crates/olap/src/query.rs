@@ -1,0 +1,305 @@
+//! The OLAP query model.
+//!
+//! §3: the OLAP layer "provides a limited SQL capability ... optimized for
+//! serving analytical queries including filtering, aggregations with group
+//! by, order by in a high throughput, low latency manner." Joins and
+//! subqueries deliberately do not exist here — they live in the full SQL
+//! layer (`rtdi-sql`), which pushes what it can down to this model.
+
+use rtdi_common::{AggFn, Row, Value};
+
+/// Comparison operators supported by predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One column predicate. Conjunctions only (Pinot-style WHERE a AND b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub column: String,
+    pub op: PredicateOp,
+    pub value: Value,
+}
+
+impl Predicate {
+    pub fn new(column: impl Into<String>, op: PredicateOp, value: impl Into<Value>) -> Self {
+        Predicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(column, PredicateOp::Eq, value)
+    }
+
+    /// Evaluate against a materialized row (the fallback path; segments
+    /// normally evaluate via indices or columnar scans).
+    pub fn matches(&self, row: &Row) -> bool {
+        let Some(v) = row.get(&self.column) else {
+            return false;
+        };
+        if v.is_null() {
+            return false;
+        }
+        let ord = v.total_cmp(&self.value);
+        match self.op {
+            PredicateOp::Eq => ord == std::cmp::Ordering::Equal,
+            PredicateOp::Ne => ord != std::cmp::Ordering::Equal,
+            PredicateOp::Lt => ord == std::cmp::Ordering::Less,
+            PredicateOp::Le => ord != std::cmp::Ordering::Greater,
+            PredicateOp::Gt => ord == std::cmp::Ordering::Greater,
+            PredicateOp::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+}
+
+/// Sort direction for ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// An OLAP query: either a selection (projected columns) or an aggregation
+/// (aggs + optional group-by).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub table: String,
+    pub predicates: Vec<Predicate>,
+    /// Selection columns (empty + empty aggs = select all columns).
+    pub select: Vec<String>,
+    /// Aggregations, each with an output name.
+    pub aggregations: Vec<(String, AggFn)>,
+    pub group_by: Vec<String>,
+    pub order_by: Vec<(String, SortOrder)>,
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    pub fn select_all(table: impl Into<String>) -> Self {
+        Query {
+            table: table.into(),
+            predicates: Vec::new(),
+            select: Vec::new(),
+            aggregations: Vec::new(),
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    pub fn columns(mut self, cols: &[&str]) -> Self {
+        self.select = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    pub fn aggregate(mut self, name: impl Into<String>, f: AggFn) -> Self {
+        self.aggregations.push((name.into(), f));
+        self
+    }
+
+    pub fn group(mut self, cols: &[&str]) -> Self {
+        self.group_by = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    pub fn order(mut self, col: impl Into<String>, order: SortOrder) -> Self {
+        self.order_by.push((col.into(), order));
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    pub fn is_aggregation(&self) -> bool {
+        !self.aggregations.is_empty()
+    }
+}
+
+/// A query result: rows plus execution statistics for the experiments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    pub rows: Vec<Row>,
+    /// Documents actually visited (index efficiency measure; the star-tree
+    /// path reports pre-aggregated node visits instead).
+    pub docs_scanned: u64,
+    /// Segments consulted after pruning.
+    pub segments_queried: u64,
+    /// True when a star-tree answered the aggregation without touching
+    /// raw documents.
+    pub used_startree: bool,
+}
+
+/// Group key: the group-by column values (in `group_by` order) rendered to
+/// strings. A global aggregation uses the empty key.
+pub type GroupKey = Vec<String>;
+
+/// Partially-aggregated per-group accumulators — the unit shipped from
+/// segments/servers to the broker for the "merge" step of
+/// scatter-gather-merge. Shipping accumulators (not finalized values)
+/// keeps AVG and DISTINCTCOUNT correct across segments.
+#[derive(Debug, Clone, Default)]
+pub struct PartialAgg {
+    pub groups: std::collections::BTreeMap<GroupKey, Vec<rtdi_common::AggAcc>>,
+    pub docs_scanned: u64,
+    pub used_startree: bool,
+}
+
+impl PartialAgg {
+    /// Merge another partial in.
+    pub fn merge(&mut self, other: PartialAgg, query: &Query) {
+        self.docs_scanned += other.docs_scanned;
+        self.used_startree |= other.used_startree;
+        for (key, accs) in other.groups {
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(&accs) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    self.groups.insert(key, accs);
+                }
+            }
+        }
+        let _ = query;
+    }
+
+    /// Finalize into result rows (applying ORDER BY / LIMIT).
+    pub fn finalize(mut self, query: &Query) -> Vec<Row> {
+        if self.groups.is_empty() && query.group_by.is_empty() {
+            // empty input still yields the zero row for global aggregates
+            self.groups.insert(
+                Vec::new(),
+                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect(),
+            );
+        }
+        let mut rows = Vec::with_capacity(self.groups.len());
+        for (key, accs) in self.groups {
+            let mut row = Row::with_capacity(key.len() + accs.len());
+            for (col, k) in query.group_by.iter().zip(key) {
+                row.push(col.clone(), k);
+            }
+            for ((name, _), acc) in query.aggregations.iter().zip(&accs) {
+                row.push(name.clone(), acc.result());
+            }
+            rows.push(row);
+        }
+        sort_and_limit(&mut rows, &query.order_by, query.limit);
+        rows
+    }
+}
+
+/// Sort + limit helper shared by segment execution and broker merging.
+pub fn sort_and_limit(rows: &mut Vec<Row>, order_by: &[(String, SortOrder)], limit: Option<usize>) {
+    if !order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (col, dir) in order_by {
+                let va = a.get(col).unwrap_or(&Value::Null);
+                let vb = b.get(col).unwrap_or(&Value::Null);
+                let ord = va.total_cmp(vb);
+                let ord = match dir {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_matching() {
+        let row = Row::new().with("city", "sf").with("fare", 12.5);
+        assert!(Predicate::eq("city", "sf").matches(&row));
+        assert!(!Predicate::eq("city", "la").matches(&row));
+        assert!(Predicate::new("fare", PredicateOp::Gt, 10.0).matches(&row));
+        assert!(Predicate::new("fare", PredicateOp::Le, 12.5).matches(&row));
+        assert!(!Predicate::new("fare", PredicateOp::Lt, 12.5).matches(&row));
+        assert!(Predicate::new("fare", PredicateOp::Ne, 0.0).matches(&row));
+        // missing column or null never matches
+        assert!(!Predicate::eq("ghost", 1i64).matches(&row));
+        let with_null = Row::new().with("x", Value::Null);
+        assert!(!Predicate::eq("x", 1i64).matches(&with_null));
+    }
+
+    #[test]
+    fn int_double_cross_type_predicates() {
+        let row = Row::new().with("n", 5i64);
+        assert!(Predicate::new("n", PredicateOp::Lt, 5.5).matches(&row));
+        assert!(Predicate::new("n", PredicateOp::Eq, 5.0).matches(&row));
+    }
+
+    #[test]
+    fn builder_composes() {
+        let q = Query::select_all("orders")
+            .filter(Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count)
+            .group(&["restaurant"])
+            .order("n", SortOrder::Desc)
+            .limit(10);
+        assert!(q.is_aggregation());
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.group_by, vec!["restaurant"]);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn sort_and_limit_orders_with_nulls_last_asc() {
+        let mut rows = vec![
+            Row::new().with("x", 3i64),
+            Row::new().with("x", Value::Null),
+            Row::new().with("x", 1i64),
+            Row::new().with("x", 2i64),
+        ];
+        sort_and_limit(&mut rows, &[("x".into(), SortOrder::Asc)], Some(3));
+        let vals: Vec<Option<i64>> = rows.iter().map(|r| r.get_int("x")).collect();
+        // Null ranks lowest in total_cmp -> first in Asc
+        assert_eq!(vals, vec![None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let mut rows = vec![
+            Row::new().with("a", 1i64).with("b", 2i64),
+            Row::new().with("a", 1i64).with("b", 1i64),
+            Row::new().with("a", 0i64).with("b", 9i64),
+        ];
+        sort_and_limit(
+            &mut rows,
+            &[
+                ("a".into(), SortOrder::Asc),
+                ("b".into(), SortOrder::Desc),
+            ],
+            None,
+        );
+        assert_eq!(rows[0].get_int("b"), Some(9));
+        assert_eq!(rows[1].get_int("b"), Some(2));
+        assert_eq!(rows[2].get_int("b"), Some(1));
+    }
+}

@@ -1,0 +1,1142 @@
+//! Immutable columnar segments with index-accelerated execution.
+//!
+//! §4.3: "As a column store, Pinot supports a number of fast indexing
+//! techniques, such as inverted, range, sorted and startree index, to
+//! answer the low-latency OLAP queries" and "has incorporated optimized
+//! data structures such as bit compressed forward indices, for lowering
+//! the data footprint."
+//!
+//! A [`Segment`] holds dictionary-encoded typed columns plus whichever
+//! indices the [`IndexSpec`] requested. Per-segment query execution picks
+//! the cheapest access path per predicate: sorted-column binary search,
+//! inverted-index bitmap, range-index buckets, or a columnar scan.
+
+use crate::bitmap::Bitmap;
+use crate::query::{sort_and_limit, Predicate, PredicateOp, Query, QueryResult};
+use crate::startree::{StarTree, StarTreeSpec};
+use rtdi_common::{AggAcc, Error, Result, Row, Schema, Timestamp, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which indices to build for a segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexSpec {
+    /// Columns with inverted (posting-list) indices.
+    pub inverted: Vec<String>,
+    /// Physically sort the segment by this column; equality/range
+    /// predicates on it become binary searches.
+    pub sorted: Option<String>,
+    /// Numeric columns with bucketed range indices.
+    pub range: Vec<String>,
+    /// Star-tree pre-aggregation.
+    pub startree: Option<StarTreeSpec>,
+}
+
+impl IndexSpec {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn with_inverted(mut self, cols: &[&str]) -> Self {
+        self.inverted = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    pub fn with_sorted(mut self, col: &str) -> Self {
+        self.sorted = Some(col.to_string());
+        self
+    }
+
+    pub fn with_range(mut self, cols: &[&str]) -> Self {
+        self.range = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    pub fn with_startree(mut self, spec: StarTreeSpec) -> Self {
+        self.startree = Some(spec);
+        self
+    }
+}
+
+/// Typed columnar storage.
+#[derive(Debug, Clone)]
+pub(crate) enum ColumnData {
+    Int {
+        values: Vec<i64>,
+        nulls: Bitmap,
+    },
+    Double {
+        values: Vec<f64>,
+        nulls: Bitmap,
+    },
+    Bool {
+        values: Bitmap,
+        nulls: Bitmap,
+    },
+    /// Dictionary-encoded strings; the dictionary is sorted so dict-id
+    /// order equals lexicographic order.
+    Str {
+        dict: Vec<String>,
+        ids: Vec<u32>,
+        nulls: Bitmap,
+    },
+}
+
+impl ColumnData {
+    fn value_at(&self, doc: usize) -> Value {
+        match self {
+            ColumnData::Int { values, nulls } => {
+                if nulls.get(doc) {
+                    Value::Null
+                } else {
+                    Value::Int(values[doc])
+                }
+            }
+            ColumnData::Double { values, nulls } => {
+                if nulls.get(doc) {
+                    Value::Null
+                } else {
+                    Value::Double(values[doc])
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.get(doc) {
+                    Value::Null
+                } else {
+                    Value::Bool(values.get(doc))
+                }
+            }
+            ColumnData::Str { dict, ids, nulls } => {
+                if nulls.get(doc) {
+                    Value::Null
+                } else {
+                    Value::Str(dict[ids[doc] as usize].clone())
+                }
+            }
+        }
+    }
+
+    /// Numeric read without constructing a [`Value`]; `None` for nulls and
+    /// non-numeric columns (mirrors `Row::get_double` semantics).
+    #[inline]
+    fn double_at(&self, doc: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int { values, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(values[doc] as f64)
+                }
+            }
+            ColumnData::Double { values, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(values[doc])
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Partition-hash of the value at `doc` without cloning strings; the
+    /// hash is identical to `value_at(doc).partition_hash()` so distinct
+    /// sets merge correctly with other segments.
+    #[inline]
+    fn hash_at(&self, doc: usize) -> Option<u64> {
+        match self {
+            ColumnData::Int { values, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(Value::hash_of_int(values[doc]))
+                }
+            }
+            ColumnData::Double { values, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(Value::hash_of_double(values[doc]))
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(Value::Bool(values.get(doc)).partition_hash())
+                }
+            }
+            ColumnData::Str { dict, ids, nulls } => {
+                if nulls.get(doc) {
+                    None
+                } else {
+                    Some(Value::hash_of_str(&dict[ids[doc] as usize]))
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int { values, nulls } => values.len() * 8 + nulls.memory_bytes(),
+            ColumnData::Double { values, nulls } => values.len() * 8 + nulls.memory_bytes(),
+            ColumnData::Bool { values, nulls } => values.memory_bytes() + nulls.memory_bytes(),
+            ColumnData::Str { dict, ids, nulls } => {
+                dict.iter().map(|s| s.len() + 24).sum::<usize>()
+                    + ids.len() * 4
+                    + nulls.memory_bytes()
+            }
+        }
+    }
+}
+
+enum InvertedIndex {
+    /// Posting list per dictionary id.
+    Str(Vec<Bitmap>),
+    Int(HashMap<i64, Bitmap>),
+}
+
+impl InvertedIndex {
+    fn memory_bytes(&self) -> usize {
+        match self {
+            InvertedIndex::Str(v) => v.iter().map(Bitmap::memory_bytes).sum(),
+            InvertedIndex::Int(m) => m.values().map(Bitmap::memory_bytes).sum::<usize>() + m.len() * 8,
+        }
+    }
+}
+
+/// Bucketed numeric range index: each bucket holds candidate docs.
+struct RangeIndex {
+    min: f64,
+    max: f64,
+    buckets: Vec<Bitmap>,
+}
+
+impl RangeIndex {
+    const BUCKETS: usize = 64;
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if self.max <= self.min {
+            return 0;
+        }
+        let frac = (v - self.min) / (self.max - self.min);
+        ((frac * Self::BUCKETS as f64) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Candidate docs for `op value` (superset; exact check follows).
+    fn candidates(&self, op: PredicateOp, v: f64, len: usize) -> Bitmap {
+        let mut out = Bitmap::new(len);
+        let b = self.bucket_of(v.clamp(self.min, self.max));
+        let range: std::ops::RangeInclusive<usize> = match op {
+            PredicateOp::Eq => b..=b,
+            PredicateOp::Lt | PredicateOp::Le => 0..=b,
+            PredicateOp::Gt | PredicateOp::Ge => b..=Self::BUCKETS - 1,
+            PredicateOp::Ne => 0..=Self::BUCKETS - 1,
+        };
+        // predicates entirely outside the value domain
+        if (matches!(op, PredicateOp::Lt | PredicateOp::Le) && v < self.min)
+            || (matches!(op, PredicateOp::Gt | PredicateOp::Ge) && v > self.max)
+        {
+            return out;
+        }
+        for i in range {
+            if let Some(bm) = self.buckets.get(i) {
+                out.or_with(bm);
+            }
+        }
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buckets.iter().map(Bitmap::memory_bytes).sum::<usize>() + 16
+    }
+}
+
+/// An immutable, index-equipped columnar segment.
+pub struct Segment {
+    name: String,
+    schema: Schema,
+    columns: BTreeMap<String, ColumnData>,
+    doc_count: usize,
+    inverted: HashMap<String, InvertedIndex>,
+    range_idx: HashMap<String, RangeIndex>,
+    sorted_col: Option<String>,
+    startree: Option<StarTree>,
+}
+
+impl Segment {
+    /// Build a segment from rows, constructing the requested indices.
+    pub fn build(
+        name: impl Into<String>,
+        schema: &Schema,
+        mut rows: Vec<Row>,
+        spec: &IndexSpec,
+    ) -> Result<Segment> {
+        if let Some(col) = &spec.sorted {
+            rows.sort_by(|a, b| {
+                let va = a.get(col).unwrap_or(&Value::Null);
+                let vb = b.get(col).unwrap_or(&Value::Null);
+                va.total_cmp(vb)
+            });
+        }
+        let n = rows.len();
+        let mut columns = BTreeMap::new();
+        for field in &schema.fields {
+            columns.insert(field.name.clone(), build_column(field, &rows)?);
+        }
+        // columns present in rows but absent from the schema are dropped —
+        // the schema is the contract
+
+        let mut inverted = HashMap::new();
+        for col in &spec.inverted {
+            let data = columns
+                .get(col)
+                .ok_or_else(|| Error::Schema(format!("inverted index on unknown column '{col}'")))?;
+            inverted.insert(col.clone(), build_inverted(data, n)?);
+        }
+        let mut range_idx = HashMap::new();
+        for col in &spec.range {
+            let data = columns
+                .get(col)
+                .ok_or_else(|| Error::Schema(format!("range index on unknown column '{col}'")))?;
+            range_idx.insert(col.clone(), build_range(data, n)?);
+        }
+        let startree = match &spec.startree {
+            Some(st_spec) => Some(StarTree::build(&rows, st_spec)?),
+            None => None,
+        };
+        Ok(Segment {
+            name: name.into(),
+            schema: schema.clone(),
+            columns,
+            doc_count: n,
+            inverted,
+            range_idx,
+            sorted_col: spec.sorted.clone(),
+            startree,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    pub fn has_startree(&self) -> bool {
+        self.startree.is_some()
+    }
+
+    /// In-memory footprint, indices included.
+    pub fn memory_bytes(&self) -> usize {
+        let cols: usize = self.columns.values().map(ColumnData::memory_bytes).sum();
+        let inv: usize = self.inverted.values().map(InvertedIndex::memory_bytes).sum();
+        let rng: usize = self.range_idx.values().map(RangeIndex::memory_bytes).sum();
+        let st = self.startree.as_ref().map(StarTree::memory_bytes).unwrap_or(0);
+        cols + inv + rng + st
+    }
+
+    /// Value of a column at a document.
+    pub fn value_at(&self, column: &str, doc: usize) -> Value {
+        self.columns
+            .get(column)
+            .map(|c| c.value_at(doc))
+            .unwrap_or(Value::Null)
+    }
+
+    /// Materialize one document.
+    pub fn row_at(&self, doc: usize) -> Row {
+        let mut row = Row::with_capacity(self.columns.len());
+        for field in &self.schema.fields {
+            row.push(field.name.clone(), self.value_at(&field.name, doc));
+        }
+        row
+    }
+
+    /// Materialize every document (used for deep-store encode and tests).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.doc_count).map(|i| self.row_at(i)).collect()
+    }
+
+    /// Min/max of an integer column (time pruning).
+    pub fn int_range(&self, column: &str) -> Option<(Timestamp, Timestamp)> {
+        match self.columns.get(column)? {
+            ColumnData::Int { values, .. } => {
+                let min = *values.iter().min()?;
+                let max = *values.iter().max()?;
+                Some((min, max))
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate the conjunction of predicates, returning the matching doc
+    /// bitmap and how many docs had to be individually inspected.
+    pub fn filter_docs(&self, predicates: &[Predicate]) -> Result<(Bitmap, u64)> {
+        let mut selected = Bitmap::full(self.doc_count);
+        let mut scanned = 0u64;
+        for pred in predicates {
+            let (bm, cost) = self.eval_predicate(pred, &selected)?;
+            selected.and_with(&bm);
+            scanned += cost;
+            if selected.count() == 0 {
+                break;
+            }
+        }
+        Ok((selected, scanned))
+    }
+
+    fn eval_predicate(&self, pred: &Predicate, current: &Bitmap) -> Result<(Bitmap, u64)> {
+        let col = self
+            .columns
+            .get(&pred.column)
+            .ok_or_else(|| Error::Schema(format!("unknown column '{}'", pred.column)))?;
+
+        // 1. sorted column: binary search to a contiguous doc range
+        if self.sorted_col.as_deref() == Some(pred.column.as_str()) {
+            if let Some(bm) = self.eval_sorted(col, pred) {
+                return Ok((bm, 0));
+            }
+        }
+        // 2. inverted index for equality
+        if matches!(pred.op, PredicateOp::Eq | PredicateOp::Ne) {
+            if let Some(idx) = self.inverted.get(&pred.column) {
+                if let Some(mut bm) = eval_inverted(idx, col, pred, self.doc_count) {
+                    if pred.op == PredicateOp::Ne {
+                        bm.not_inplace();
+                        // Ne must still exclude nulls
+                        exclude_nulls(col, &mut bm);
+                    }
+                    return Ok((bm, 0));
+                }
+            }
+        }
+        // 3. range index for numeric comparisons: candidates + verify
+        if let Some(idx) = self.range_idx.get(&pred.column) {
+            if let Some(v) = pred.value.as_double() {
+                let mut candidates = idx.candidates(pred.op, v, self.doc_count);
+                candidates.and_with(current);
+                let cost = candidates.count() as u64;
+                let mut exact = Bitmap::new(self.doc_count);
+                for doc in candidates.iter() {
+                    if predicate_holds(col, doc, pred) {
+                        exact.set(doc);
+                    }
+                }
+                return Ok((exact, cost));
+            }
+        }
+        // 4. columnar scan over currently-selected docs
+        let mut bm = Bitmap::new(self.doc_count);
+        let mut cost = 0u64;
+        for doc in current.iter() {
+            cost += 1;
+            if predicate_holds(col, doc, pred) {
+                bm.set(doc);
+            }
+        }
+        Ok((bm, cost))
+    }
+
+    fn eval_sorted(&self, col: &ColumnData, pred: &Predicate) -> Option<Bitmap> {
+        let n = self.doc_count;
+        // binary search over the sorted column for the boundary positions
+        let cmp_at = |doc: usize| -> std::cmp::Ordering {
+            col.value_at(doc).total_cmp(&pred.value)
+        };
+        let lower = partition_point(n, |d| cmp_at(d) == std::cmp::Ordering::Less);
+        let upper = partition_point(n, |d| cmp_at(d) != std::cmp::Ordering::Greater);
+        let mut bm = Bitmap::new(n);
+        match pred.op {
+            PredicateOp::Eq => bm.set_range(lower, upper),
+            PredicateOp::Ne => {
+                bm.set_range(0, lower);
+                bm.set_range(upper, n);
+                exclude_nulls(col, &mut bm);
+            }
+            PredicateOp::Lt => bm.set_range(0, lower),
+            PredicateOp::Le => bm.set_range(0, upper),
+            PredicateOp::Gt => bm.set_range(upper, n),
+            PredicateOp::Ge => bm.set_range(lower, n),
+        }
+        // nulls sort first (Null type-rank lowest): exclude them from
+        // range results
+        exclude_nulls(col, &mut bm);
+        Some(bm)
+    }
+
+    /// Execute a query against this segment. `valid_docs` restricts to
+    /// currently-valid documents (upsert tables).
+    pub fn execute(&self, query: &Query, valid_docs: Option<&Bitmap>) -> Result<QueryResult> {
+        if query.is_aggregation() {
+            let partial = self.execute_partial(query, valid_docs)?;
+            let docs_scanned = partial.docs_scanned;
+            let used_startree = partial.used_startree;
+            return Ok(QueryResult {
+                rows: partial.finalize(query),
+                docs_scanned,
+                segments_queried: 1,
+                used_startree,
+            });
+        }
+
+        let (mut selected, scanned) = self.filter_docs(&query.predicates)?;
+        if let Some(valid) = valid_docs {
+            selected.and_with(valid);
+        }
+        let mut result = QueryResult {
+            rows: Vec::new(),
+            docs_scanned: scanned,
+            segments_queried: 1,
+            used_startree: false,
+        };
+        for doc in selected.iter() {
+            result.docs_scanned += 1;
+            let row = if query.select.is_empty() {
+                self.row_at(doc)
+            } else {
+                let mut row = Row::with_capacity(query.select.len());
+                for c in &query.select {
+                    row.push(c.clone(), self.value_at(c, doc));
+                }
+                row
+            };
+            result.rows.push(row);
+        }
+        sort_and_limit(&mut result.rows, &query.order_by, query.limit);
+        Ok(result)
+    }
+
+    /// Aggregation execution that returns mergeable per-group accumulators
+    /// — the scatter-phase unit of the broker's scatter-gather-merge.
+    pub fn execute_partial(
+        &self,
+        query: &Query,
+        valid_docs: Option<&Bitmap>,
+    ) -> Result<crate::query::PartialAgg> {
+        // star-tree fast path: aggregations with eq-only predicates over
+        // tree dimensions (not usable under upsert filtering)
+        if valid_docs.is_none() {
+            if let Some(st) = &self.startree {
+                if let Some(groups) = st.try_execute_partial(query)? {
+                    return Ok(crate::query::PartialAgg {
+                        groups,
+                        docs_scanned: 0,
+                        used_startree: true,
+                    });
+                }
+            }
+        }
+        let (mut selected, scanned) = self.filter_docs(&query.predicates)?;
+        if let Some(valid) = valid_docs {
+            selected.and_with(valid);
+        }
+        let mut partial = crate::query::PartialAgg {
+            docs_scanned: scanned,
+            ..Default::default()
+        };
+        // resolve each aggregation to a direct columnar fold — Pinot-style
+        // tight loops instead of per-document row materialization
+        let resolved: Vec<ResolvedAgg<'_>> = query
+            .aggregations
+            .iter()
+            .map(|(_, f)| self.resolve_agg(f))
+            .collect();
+
+        if query.group_by.is_empty() {
+            let mut accs: Vec<AggAcc> =
+                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect();
+            let mut any = false;
+            for doc in selected.iter() {
+                any = true;
+                partial.docs_scanned += 1;
+                fold_resolved(&resolved, doc, &mut accs);
+            }
+            if any {
+                partial.groups.insert(Vec::new(), accs);
+            }
+            return Ok(partial);
+        }
+
+        // fast group path: every group column is dictionary-encoded, so the
+        // group key is a packed tuple of dict ids (u32::MAX = NULL) and the
+        // key strings are only materialized once per group at the end
+        let dict_cols: Option<Vec<&ColumnData>> = query
+            .group_by
+            .iter()
+            .map(|c| match self.columns.get(c) {
+                Some(col @ ColumnData::Str { .. }) => Some(col),
+                _ => None,
+            })
+            .collect();
+        if let (Some(cols), true) = (&dict_cols, query.group_by.len() <= 4) {
+            let mut groups: HashMap<u128, Vec<AggAcc>> = HashMap::new();
+            for doc in selected.iter() {
+                partial.docs_scanned += 1;
+                let mut key: u128 = 0;
+                for col in cols {
+                    let id = match col {
+                        ColumnData::Str { ids, nulls, .. } => {
+                            if nulls.get(doc) {
+                                u32::MAX
+                            } else {
+                                ids[doc]
+                            }
+                        }
+                        _ => unreachable!("checked above"),
+                    };
+                    key = (key << 32) | id as u128;
+                }
+                let accs = groups.entry(key).or_insert_with(|| {
+                    query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                });
+                fold_resolved(&resolved, doc, accs);
+            }
+            for (key, accs) in groups {
+                let mut parts = Vec::with_capacity(cols.len());
+                for (i, col) in cols.iter().enumerate() {
+                    let shift = 32 * (cols.len() - 1 - i);
+                    let id = ((key >> shift) & 0xFFFF_FFFF) as u32;
+                    let part = if id == u32::MAX {
+                        "NULL".to_string()
+                    } else if let ColumnData::Str { dict, .. } = col {
+                        dict[id as usize].clone()
+                    } else {
+                        unreachable!("checked above")
+                    };
+                    parts.push(part);
+                }
+                partial.groups.insert(parts, accs);
+            }
+            return Ok(partial);
+        }
+
+        // general path: stringified group keys
+        for doc in selected.iter() {
+            partial.docs_scanned += 1;
+            let key: Vec<String> = query
+                .group_by
+                .iter()
+                .map(|c| self.value_at(c, doc).to_string())
+                .collect();
+            let accs = partial.groups.entry(key).or_insert_with(|| {
+                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+            });
+            fold_resolved(&resolved, doc, accs);
+        }
+        Ok(partial)
+    }
+
+    fn resolve_agg<'a>(&'a self, f: &rtdi_common::AggFn) -> ResolvedAgg<'a> {
+        use rtdi_common::AggFn;
+        match f {
+            AggFn::Count => ResolvedAgg::CountAll,
+            AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c) => {
+                match self.columns.get(c) {
+                    Some(col) => ResolvedAgg::Num(col),
+                    None => ResolvedAgg::Missing,
+                }
+            }
+            AggFn::DistinctCount(c) => match self.columns.get(c) {
+                Some(col) => ResolvedAgg::Distinct(col),
+                None => ResolvedAgg::Missing,
+            },
+        }
+    }
+}
+
+/// A pre-resolved aggregation input: the per-document fold never looks up
+/// columns by name.
+enum ResolvedAgg<'a> {
+    CountAll,
+    Num(&'a ColumnData),
+    Distinct(&'a ColumnData),
+    /// Aggregation over a column this segment does not have: folds nothing
+    /// (matches the row-based semantics for absent fields).
+    Missing,
+}
+
+#[inline]
+fn fold_resolved(resolved: &[ResolvedAgg<'_>], doc: usize, accs: &mut [AggAcc]) {
+    for (acc, r) in accs.iter_mut().zip(resolved) {
+        match r {
+            ResolvedAgg::CountAll => acc.add_one(),
+            ResolvedAgg::Num(col) => {
+                if let Some(v) = col.double_at(doc) {
+                    acc.add_num(v);
+                }
+            }
+            ResolvedAgg::Distinct(col) => {
+                if let Some(h) = col.hash_at(doc) {
+                    acc.add_hash(h);
+                }
+            }
+            ResolvedAgg::Missing => {}
+        }
+    }
+}
+
+fn partition_point(n: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
+    let mut lo = 0;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn exclude_nulls(col: &ColumnData, bm: &mut Bitmap) {
+    let nulls = match col {
+        ColumnData::Int { nulls, .. }
+        | ColumnData::Double { nulls, .. }
+        | ColumnData::Bool { nulls, .. }
+        | ColumnData::Str { nulls, .. } => nulls,
+    };
+    let mut inv = nulls.clone();
+    inv.not_inplace();
+    bm.and_with(&inv);
+}
+
+fn predicate_holds(col: &ColumnData, doc: usize, pred: &Predicate) -> bool {
+    let v = col.value_at(doc);
+    if v.is_null() {
+        return false;
+    }
+    let ord = v.total_cmp(&pred.value);
+    match pred.op {
+        PredicateOp::Eq => ord == std::cmp::Ordering::Equal,
+        PredicateOp::Ne => ord != std::cmp::Ordering::Equal,
+        PredicateOp::Lt => ord == std::cmp::Ordering::Less,
+        PredicateOp::Le => ord != std::cmp::Ordering::Greater,
+        PredicateOp::Gt => ord == std::cmp::Ordering::Greater,
+        PredicateOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+fn build_column(field: &rtdi_common::Field, rows: &[Row]) -> Result<ColumnData> {
+    use rtdi_common::FieldType;
+    let n = rows.len();
+    let mut nulls = Bitmap::new(n);
+    match field.field_type {
+        FieldType::Int | FieldType::Timestamp => {
+            let mut values = Vec::with_capacity(n);
+            for (i, row) in rows.iter().enumerate() {
+                match row.get(&field.name).and_then(Value::as_int) {
+                    Some(v) => values.push(v),
+                    None => {
+                        nulls.set(i);
+                        values.push(0);
+                    }
+                }
+            }
+            Ok(ColumnData::Int { values, nulls })
+        }
+        FieldType::Double => {
+            let mut values = Vec::with_capacity(n);
+            for (i, row) in rows.iter().enumerate() {
+                match row.get(&field.name).and_then(Value::as_double) {
+                    Some(v) => values.push(v),
+                    None => {
+                        nulls.set(i);
+                        values.push(0.0);
+                    }
+                }
+            }
+            Ok(ColumnData::Double { values, nulls })
+        }
+        FieldType::Bool => {
+            let mut values = Bitmap::new(n);
+            for (i, row) in rows.iter().enumerate() {
+                match row.get(&field.name).and_then(Value::as_bool) {
+                    Some(true) => values.set(i),
+                    Some(false) => {}
+                    None => nulls.set(i),
+                }
+            }
+            Ok(ColumnData::Bool { values, nulls })
+        }
+        FieldType::Str | FieldType::Json | FieldType::Bytes => {
+            // strings (JSON/bytes stored as their string form)
+            let mut raw: Vec<Option<String>> = Vec::with_capacity(n);
+            for row in rows {
+                let s = match row.get(&field.name) {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.to_string()),
+                };
+                raw.push(s);
+            }
+            let mut dict: Vec<String> = raw.iter().flatten().cloned().collect();
+            dict.sort_unstable();
+            dict.dedup();
+            let index: HashMap<&str, u32> = dict
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.as_str(), i as u32))
+                .collect();
+            let mut ids = Vec::with_capacity(n);
+            for (i, s) in raw.iter().enumerate() {
+                match s {
+                    Some(s) => ids.push(index[s.as_str()]),
+                    None => {
+                        nulls.set(i);
+                        ids.push(0);
+                    }
+                }
+            }
+            Ok(ColumnData::Str { dict, ids, nulls })
+        }
+    }
+}
+
+fn build_inverted(col: &ColumnData, n: usize) -> Result<InvertedIndex> {
+    match col {
+        ColumnData::Str { dict, ids, nulls } => {
+            let mut postings = vec![Bitmap::new(n); dict.len()];
+            for (doc, id) in ids.iter().enumerate() {
+                if !nulls.get(doc) {
+                    postings[*id as usize].set(doc);
+                }
+            }
+            Ok(InvertedIndex::Str(postings))
+        }
+        ColumnData::Int { values, nulls } => {
+            let mut map: HashMap<i64, Bitmap> = HashMap::new();
+            for (doc, v) in values.iter().enumerate() {
+                if !nulls.get(doc) {
+                    map.entry(*v).or_insert_with(|| Bitmap::new(n)).set(doc);
+                }
+            }
+            Ok(InvertedIndex::Int(map))
+        }
+        _ => Err(Error::Schema(
+            "inverted index requires a string or int column".into(),
+        )),
+    }
+}
+
+fn eval_inverted(
+    idx: &InvertedIndex,
+    col: &ColumnData,
+    pred: &Predicate,
+    n: usize,
+) -> Option<Bitmap> {
+    match (idx, col) {
+        (InvertedIndex::Str(postings), ColumnData::Str { dict, .. }) => {
+            let needle = pred.value.as_str()?;
+            match dict.binary_search_by(|d| d.as_str().cmp(needle)) {
+                Ok(id) => Some(postings[id].clone()),
+                Err(_) => Some(Bitmap::new(n)),
+            }
+        }
+        (InvertedIndex::Int(map), ColumnData::Int { .. }) => {
+            let v = pred.value.as_int()?;
+            Some(map.get(&v).cloned().unwrap_or_else(|| Bitmap::new(n)))
+        }
+        _ => None,
+    }
+}
+
+fn build_range(col: &ColumnData, n: usize) -> Result<RangeIndex> {
+    let values: Vec<Option<f64>> = match col {
+        ColumnData::Int { values, nulls } => values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if nulls.get(i) { None } else { Some(*v as f64) })
+            .collect(),
+        ColumnData::Double { values, nulls } => values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if nulls.get(i) { None } else { Some(*v) })
+            .collect(),
+        _ => {
+            return Err(Error::Schema(
+                "range index requires a numeric column".into(),
+            ))
+        }
+    };
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    let min = present.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (min, max) = if present.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    };
+    let mut idx = RangeIndex {
+        min,
+        max,
+        buckets: vec![Bitmap::new(n); RangeIndex::BUCKETS],
+    };
+    for (doc, v) in values.iter().enumerate() {
+        if let Some(v) = v {
+            let b = idx.bucket_of(*v);
+            idx.buckets[b].set(doc);
+        }
+    }
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::{AggFn, FieldType};
+
+    fn orders_schema() -> Schema {
+        Schema::of(
+            "orders",
+            &[
+                ("restaurant", FieldType::Str),
+                ("city", FieldType::Str),
+                ("total", FieldType::Double),
+                ("items", FieldType::Int),
+                ("delivered", FieldType::Bool),
+                ("ts", FieldType::Timestamp),
+            ],
+        )
+    }
+
+    fn orders(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new()
+                    .with("restaurant", format!("rest-{:03}", i % 50))
+                    .with("city", ["sf", "la", "nyc", "chi"][i % 4])
+                    .with("total", 5.0 + (i % 100) as f64)
+                    .with("items", (i % 7) as i64 + 1)
+                    .with("delivered", i % 3 == 0)
+                    .with("ts", 1_000_000 + (i as i64) * 10)
+            })
+            .collect()
+    }
+
+    fn full_spec() -> IndexSpec {
+        IndexSpec::none()
+            .with_inverted(&["restaurant", "city"])
+            .with_sorted("ts")
+            .with_range(&["total"])
+    }
+
+    #[test]
+    fn build_and_materialize_roundtrip() {
+        let rows = orders(100);
+        let seg = Segment::build("s0", &orders_schema(), rows.clone(), &IndexSpec::none()).unwrap();
+        assert_eq!(seg.doc_count(), 100);
+        // unsorted build preserves order
+        for (i, row) in rows.iter().enumerate() {
+            let got = seg.row_at(i);
+            assert_eq!(got.get_str("restaurant"), row.get_str("restaurant"));
+            assert_eq!(got.get_double("total"), row.get_double("total"));
+            assert_eq!(got.get("delivered"), row.get("delivered"));
+        }
+    }
+
+    #[test]
+    fn equality_via_inverted_index_scans_nothing() {
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &full_spec()).unwrap();
+        let q = Query::select_all("orders")
+            .filter(Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(250));
+        // only the 250 matched docs were folded; predicate cost was 0
+        assert_eq!(res.docs_scanned, 250);
+    }
+
+    #[test]
+    fn full_scan_costs_every_doc() {
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &IndexSpec::none()).unwrap();
+        let q = Query::select_all("orders")
+            .filter(Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(250));
+        assert!(res.docs_scanned >= 1000, "scan cost {}", res.docs_scanned);
+    }
+
+    #[test]
+    fn sorted_column_range_query() {
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &full_spec()).unwrap();
+        let q = Query::select_all("orders")
+            .filter(Predicate::new("ts", PredicateOp::Ge, 1_002_000i64))
+            .filter(Predicate::new("ts", PredicateOp::Lt, 1_003_000i64))
+            .aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(100));
+        // sorted access is free
+        assert_eq!(res.docs_scanned, 100);
+    }
+
+    #[test]
+    fn range_index_candidates_verified() {
+        let spec = IndexSpec::none().with_range(&["total"]);
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &spec).unwrap();
+        let q = Query::select_all("orders")
+            .filter(Predicate::new("total", PredicateOp::Gt, 95.0))
+            .aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, None).unwrap();
+        // totals cycle 5..104; > 95 means 96..104 -> 9 of 100 values
+        assert_eq!(res.rows[0].get_int("n"), Some(90));
+        // candidate verification touched far fewer than all docs
+        assert!(
+            res.docs_scanned < 500,
+            "range index should prune, scanned {}",
+            res.docs_scanned
+        );
+    }
+
+    #[test]
+    fn index_and_scan_paths_agree() {
+        // equivalence: every predicate type over indexed and unindexed builds
+        let rows = orders(500);
+        let indexed = Segment::build("a", &orders_schema(), rows.clone(), &full_spec()).unwrap();
+        let plain = Segment::build("b", &orders_schema(), rows, &IndexSpec::none()).unwrap();
+        let preds = vec![
+            Predicate::eq("city", "la"),
+            Predicate::new("city", PredicateOp::Ne, "la"),
+            Predicate::new("total", PredicateOp::Le, 50.0),
+            Predicate::new("total", PredicateOp::Gt, 80.0),
+            Predicate::new("ts", PredicateOp::Lt, 1_001_000i64),
+            Predicate::new("items", PredicateOp::Ge, 4i64),
+            Predicate::eq("delivered", true),
+        ];
+        for pred in preds {
+            let q = Query::select_all("orders")
+                .filter(pred.clone())
+                .aggregate("n", AggFn::Count);
+            let a = indexed.execute(&q, None).unwrap().rows[0]
+                .get_int("n")
+                .unwrap();
+            let b = plain.execute(&q, None).unwrap().rows[0].get_int("n").unwrap();
+            assert_eq!(a, b, "mismatch for {pred:?}");
+        }
+    }
+
+    #[test]
+    fn group_by_and_order_by() {
+        let seg = Segment::build("s", &orders_schema(), orders(400), &full_spec()).unwrap();
+        let q = Query::select_all("orders")
+            .aggregate("n", AggFn::Count)
+            .aggregate("revenue", AggFn::Sum("total".into()))
+            .group(&["city"]);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows.len(), 4);
+        let total: i64 = res.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn selection_with_projection_order_limit() {
+        let seg = Segment::build("s", &orders_schema(), orders(100), &full_spec()).unwrap();
+        let q = Query::select_all("orders")
+            .columns(&["restaurant", "total"])
+            .filter(Predicate::eq("city", "sf"))
+            .order("total", crate::query::SortOrder::Desc)
+            .limit(5);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows.len(), 5);
+        assert_eq!(res.rows[0].len(), 2);
+        let totals: Vec<f64> = res.rows.iter().map(|r| r.get_double("total").unwrap()).collect();
+        let mut sorted = totals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(totals, sorted);
+    }
+
+    #[test]
+    fn valid_docs_filter_applies() {
+        let seg = Segment::build("s", &orders_schema(), orders(10), &IndexSpec::none()).unwrap();
+        let mut valid = Bitmap::full(10);
+        valid.unset(0);
+        valid.unset(5);
+        let q = Query::select_all("orders").aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, Some(&valid)).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(8));
+    }
+
+    #[test]
+    fn nulls_excluded_from_all_predicates() {
+        let schema = Schema::of("t", &[("x", FieldType::Int), ("s", FieldType::Str)]);
+        let rows = vec![
+            Row::new().with("x", 1i64).with("s", "a"),
+            Row::new(), // both null
+            Row::new().with("x", 3i64).with("s", "b"),
+        ];
+        for spec in [IndexSpec::none(), IndexSpec::none().with_inverted(&["s"]).with_sorted("x")] {
+            let seg = Segment::build("s", &schema, rows.clone(), &spec).unwrap();
+            let ne = Query::select_all("t")
+                .filter(Predicate::new("s", PredicateOp::Ne, "a"))
+                .aggregate("n", AggFn::Count);
+            assert_eq!(
+                seg.execute(&ne, None).unwrap().rows[0].get_int("n"),
+                Some(1),
+                "null must not match Ne (spec {spec:?})"
+            );
+            let ge = Query::select_all("t")
+                .filter(Predicate::new("x", PredicateOp::Ge, 0i64))
+                .aggregate("n", AggFn::Count);
+            assert_eq!(seg.execute(&ge, None).unwrap().rows[0].get_int("n"), Some(2));
+        }
+    }
+
+    #[test]
+    fn unknown_column_predicate_errors() {
+        let seg = Segment::build("s", &orders_schema(), orders(10), &IndexSpec::none()).unwrap();
+        let q = Query::select_all("orders").filter(Predicate::eq("ghost", 1i64));
+        assert!(seg.execute(&q, None).is_err());
+    }
+
+    #[test]
+    fn indexes_on_unknown_columns_rejected() {
+        assert!(Segment::build(
+            "s",
+            &orders_schema(),
+            orders(10),
+            &IndexSpec::none().with_inverted(&["ghost"])
+        )
+        .is_err());
+        assert!(Segment::build(
+            "s",
+            &orders_schema(),
+            orders(10),
+            &IndexSpec::none().with_range(&["city"]) // non-numeric
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_segment_queries_cleanly() {
+        let seg = Segment::build("s", &orders_schema(), vec![], &full_spec()).unwrap();
+        let q = Query::select_all("orders")
+            .filter(Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count);
+        let res = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(0));
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_indices() {
+        let rows = orders(1000);
+        let plain = Segment::build("a", &orders_schema(), rows.clone(), &IndexSpec::none()).unwrap();
+        let indexed = Segment::build("b", &orders_schema(), rows, &full_spec()).unwrap();
+        assert!(indexed.memory_bytes() > plain.memory_bytes());
+        assert!(plain.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn int_range_reports_time_bounds() {
+        let seg = Segment::build("s", &orders_schema(), orders(100), &IndexSpec::none()).unwrap();
+        let (lo, hi) = seg.int_range("ts").unwrap();
+        assert_eq!(lo, 1_000_000);
+        assert_eq!(hi, 1_000_990);
+        assert!(seg.int_range("city").is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! Segment archival: centralized controller vs peer-to-peer (§4.3.4).
+//!
+//! "The original design of Apache Pinot introduced a strict dependency on
+//! an external archival or 'segment store'... completed segments had to be
+//! synchronously backed up to this segment store to recover from any
+//! subsequent failures. In addition, this backup was done through one
+//! single controller. Needless to say, this was a huge scalability
+//! bottleneck and caused data freshness violation... Our team designed and
+//! implemented an asynchronous solution wherein server replicas can serve
+//! the archived segments in case of failures."
+//!
+//! [`SegmentStoreMode::Centralized`] reproduces the original design:
+//! sealed segments block ingestion while a single controller uploads them.
+//! [`SegmentStoreMode::PeerToPeer`] reproduces Uber's scheme: sealing
+//! returns immediately, uploads happen asynchronously, and recovery
+//! prefers fetching from a peer replica over the deep store.
+
+use crate::segment::{IndexSpec, Segment};
+use parking_lot::Mutex;
+use rtdi_common::{Error, Result};
+use rtdi_storage::colfile;
+use rtdi_storage::object::ObjectStore;
+use std::sync::Arc;
+
+/// Backup strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentStoreMode {
+    /// Synchronous upload through a single controller (the bottleneck).
+    Centralized,
+    /// Asynchronous upload; replicas serve recovery in the meantime.
+    PeerToPeer,
+}
+
+/// Deep store for sealed segments.
+pub struct SegmentStore {
+    store: Arc<dyn ObjectStore>,
+    mode: SegmentStoreMode,
+    /// The single-controller lock of the centralized scheme.
+    controller: Mutex<()>,
+    /// Pending async uploads (peer-to-peer mode).
+    pending: Mutex<Vec<(String, Arc<Segment>)>>,
+    /// Index spec to rebuild indices on recovery from the deep store.
+    index_spec: IndexSpec,
+}
+
+impl SegmentStore {
+    pub fn new(
+        store: Arc<dyn ObjectStore>,
+        mode: SegmentStoreMode,
+        index_spec: IndexSpec,
+    ) -> Self {
+        SegmentStore {
+            store,
+            mode,
+            controller: Mutex::new(()),
+            pending: Mutex::new(Vec::new()),
+            index_spec,
+        }
+    }
+
+    pub fn mode(&self) -> SegmentStoreMode {
+        self.mode
+    }
+
+    fn key(table: &str, segment: &str) -> String {
+        format!("segments/{table}/{segment}")
+    }
+
+    fn upload(&self, table: &str, segment: &Segment) -> Result<()> {
+        let rows = segment.to_rows();
+        let data = colfile::encode_columnar(segment.schema(), &rows)?;
+        self.store.put(&Self::key(table, segment.name()), data)
+    }
+
+    /// Back up a sealed segment.
+    ///
+    /// Centralized: blocks on the controller lock until the upload
+    /// completes — the caller (ingestion) stalls, hurting freshness.
+    /// Peer-to-peer: enqueue and return immediately.
+    pub fn backup(&self, table: &str, segment: Arc<Segment>) -> Result<()> {
+        match self.mode {
+            SegmentStoreMode::Centralized => {
+                let _controller = self.controller.lock();
+                self.upload(table, &segment)
+            }
+            SegmentStoreMode::PeerToPeer => {
+                self.pending.lock().push((table.to_string(), segment));
+                Ok(())
+            }
+        }
+    }
+
+    /// Complete queued async uploads (a background thread in production;
+    /// explicit here for determinism). Returns how many uploaded.
+    pub fn flush_pending(&self) -> Result<usize> {
+        let drained: Vec<(String, Arc<Segment>)> =
+            self.pending.lock().drain(..).collect();
+        let n = drained.len();
+        for (table, seg) in drained {
+            self.upload(&table, &seg)?;
+        }
+        Ok(n)
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Is a segment present in the deep store?
+    pub fn contains(&self, table: &str, segment: &str) -> bool {
+        self.store
+            .exists(&Self::key(table, segment))
+            .unwrap_or(false)
+    }
+
+    /// Recover a segment after a replica failure.
+    ///
+    /// Peer-to-peer mode tries the provided peers first ("server replicas
+    /// can serve the archived segments"); both modes fall back to the deep
+    /// store, rebuilding indices from the archived data.
+    pub fn recover(
+        &self,
+        table: &str,
+        segment: &str,
+        peers: &[Arc<crate::broker::ServerNode>],
+    ) -> Result<Arc<Segment>> {
+        if self.mode == SegmentStoreMode::PeerToPeer {
+            for peer in peers {
+                if let Ok(seg) = peer.fetch_segment(segment) {
+                    return Ok(seg);
+                }
+            }
+        }
+        let data = self
+            .store
+            .get(&Self::key(table, segment))
+            .map_err(|_| Error::NotFound(format!("segment '{segment}' unrecoverable")))?;
+        let (schema, rows) = colfile::decode_columnar(&data)?;
+        Ok(Arc::new(Segment::build(
+            segment,
+            &schema,
+            rows,
+            &self.index_spec,
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::ServerNode;
+    use crate::query::Query;
+    use rtdi_common::{AggFn, FieldType, Row, Schema};
+    use rtdi_storage::object::{FaultyStore, InMemoryStore};
+
+    fn schema() -> Schema {
+        Schema::of("t", &[("city", FieldType::Str), ("v", FieldType::Int)])
+    }
+
+    fn seg(name: &str, n: usize) -> Arc<Segment> {
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new().with("city", ["sf", "la"][i % 2]).with("v", i as i64))
+            .collect();
+        Arc::new(Segment::build(name, &schema(), rows, &IndexSpec::none()).unwrap())
+    }
+
+    #[test]
+    fn centralized_backup_is_synchronous() {
+        let ss = SegmentStore::new(
+            Arc::new(InMemoryStore::new()),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none(),
+        );
+        ss.backup("t", seg("s1", 10)).unwrap();
+        assert!(ss.contains("t", "s1"));
+        assert_eq!(ss.pending_count(), 0);
+    }
+
+    #[test]
+    fn p2p_backup_is_asynchronous() {
+        let ss = SegmentStore::new(
+            Arc::new(InMemoryStore::new()),
+            SegmentStoreMode::PeerToPeer,
+            IndexSpec::none(),
+        );
+        ss.backup("t", seg("s1", 10)).unwrap();
+        assert!(!ss.contains("t", "s1"), "upload deferred");
+        assert_eq!(ss.pending_count(), 1);
+        assert_eq!(ss.flush_pending().unwrap(), 1);
+        assert!(ss.contains("t", "s1"));
+    }
+
+    #[test]
+    fn recovery_from_deep_store_rebuilds_indices() {
+        let ss = SegmentStore::new(
+            Arc::new(InMemoryStore::new()),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none().with_inverted(&["city"]),
+        );
+        let original = seg("s1", 100);
+        ss.backup("t", original.clone()).unwrap();
+        let recovered = ss.recover("t", "s1", &[]).unwrap();
+        assert_eq!(recovered.doc_count(), 100);
+        let q = Query::select_all("t")
+            .filter(crate::query::Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count);
+        assert_eq!(
+            recovered.execute(&q, None).unwrap().rows[0].get_int("n"),
+            original.execute(&q, None).unwrap().rows[0].get_int("n"),
+        );
+    }
+
+    #[test]
+    fn p2p_recovery_prefers_live_peer() {
+        // deep store is down; a peer replica still serves the segment
+        let faulty = FaultyStore::new(InMemoryStore::new());
+        faulty.set_down(true);
+        let ss = SegmentStore::new(
+            Arc::new(faulty),
+            SegmentStoreMode::PeerToPeer,
+            IndexSpec::none(),
+        );
+        let peer = ServerNode::new(0);
+        peer.host(seg("s1", 50));
+        let recovered = ss.recover("t", "s1", &[peer]).unwrap();
+        assert_eq!(recovered.doc_count(), 50);
+        // centralized mode cannot use peers: unrecoverable
+        let faulty2 = FaultyStore::new(InMemoryStore::new());
+        faulty2.set_down(true);
+        let ss2 = SegmentStore::new(
+            Arc::new(faulty2),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none(),
+        );
+        let peer2 = ServerNode::new(0);
+        peer2.host(seg("s1", 50));
+        assert!(ss2.recover("t", "s1", &[peer2]).is_err());
+    }
+
+    #[test]
+    fn p2p_recovery_falls_back_to_deep_store_when_no_peer() {
+        let ss = SegmentStore::new(
+            Arc::new(InMemoryStore::new()),
+            SegmentStoreMode::PeerToPeer,
+            IndexSpec::none(),
+        );
+        ss.backup("t", seg("s1", 20)).unwrap();
+        ss.flush_pending().unwrap();
+        let dead_peer = ServerNode::new(0);
+        dead_peer.set_down(true);
+        let recovered = ss.recover("t", "s1", &[dead_peer]).unwrap();
+        assert_eq!(recovered.doc_count(), 20);
+        assert!(ss.recover("t", "ghost", &[]).is_err());
+    }
+}

@@ -1,0 +1,641 @@
+//! Hybrid realtime + offline tables.
+//!
+//! §4.3: "Pinot employs the lambda architecture to present a federated
+//! view between real-time and historical (offline) data... data is chunked
+//! by time boundary and grouped into segments; while the query is first
+//! decomposed into sub-plans which execute on the distributed segments in
+//! parallel, and then the plan results are aggregated and merged into a
+//! final one."
+//!
+//! [`OlapTable`] owns per-partition realtime state (a consuming mutable
+//! segment, sealed segments, and — for upsert tables — the partition's
+//! primary-key index) plus offline segments pushed from the warehouse.
+//! Queries scatter across all live segments with time-range pruning and
+//! merge through [`crate::query::PartialAgg`].
+
+use crate::bitmap::Bitmap;
+use crate::query::{sort_and_limit, PartialAgg, PredicateOp, Query, QueryResult};
+use crate::realtime::MutableSegment;
+use crate::segment::{IndexSpec, Segment};
+use crate::upsert::PrimaryKeyIndex;
+use parking_lot::RwLock;
+use rtdi_common::{Error, Result, Row, Schema, Timestamp, Value};
+use std::sync::Arc;
+
+/// Table configuration.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    pub name: String,
+    pub schema: Schema,
+    pub index_spec: IndexSpec,
+    /// Time column for segment pruning and the realtime/offline boundary.
+    pub time_column: Option<String>,
+    /// Upsert mode: `primary_key` must be set; input must be partitioned
+    /// by that key.
+    pub upsert: bool,
+    pub primary_key: Option<String>,
+    /// Rows per realtime segment before sealing.
+    pub segment_rows: usize,
+    /// Realtime ingestion partitions (must match the input topic).
+    pub partitions: usize,
+}
+
+impl TableConfig {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableConfig {
+            name: name.into(),
+            schema,
+            index_spec: IndexSpec::none(),
+            time_column: None,
+            upsert: false,
+            primary_key: None,
+            segment_rows: 100_000,
+            partitions: 4,
+        }
+    }
+
+    pub fn with_index_spec(mut self, spec: IndexSpec) -> Self {
+        self.index_spec = spec;
+        self
+    }
+
+    pub fn with_time_column(mut self, col: &str) -> Self {
+        self.time_column = Some(col.to_string());
+        self
+    }
+
+    pub fn with_upsert(mut self, primary_key: &str) -> Self {
+        self.upsert = true;
+        self.primary_key = Some(primary_key.to_string());
+        self
+    }
+
+    pub fn with_segment_rows(mut self, n: usize) -> Self {
+        self.segment_rows = n.max(1);
+        self
+    }
+
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.partitions = n.max(1);
+        self
+    }
+}
+
+struct PartitionState {
+    consuming: MutableSegment,
+    sealed: Vec<Arc<Segment>>,
+    pk_index: PrimaryKeyIndex,
+    seg_seq: u64,
+    /// sealed segments not yet backed up to the segment store
+    unbacked: Vec<String>,
+}
+
+/// A queryable hybrid table.
+pub struct OlapTable {
+    config: TableConfig,
+    partitions: Vec<RwLock<PartitionState>>,
+    offline: RwLock<Vec<Arc<Segment>>>,
+}
+
+impl OlapTable {
+    pub fn new(mut config: TableConfig) -> Result<Arc<Self>> {
+        if config.upsert {
+            if config.primary_key.is_none() {
+                return Err(Error::InvalidArgument(
+                    "upsert table needs a primary key".into(),
+                ));
+            }
+            // sealing must preserve doc ids for the pk index: no re-sort,
+            // and the star-tree fast path is incompatible with valid-doc
+            // filtering
+            config.index_spec.sorted = None;
+            config.index_spec.startree = None;
+        }
+        let partitions = (0..config.partitions)
+            .map(|p| {
+                RwLock::new(PartitionState {
+                    consuming: MutableSegment::new(
+                        format!("{}__rt_{p}_0", config.name),
+                        config.schema.clone(),
+                    ),
+                    sealed: Vec::new(),
+                    pk_index: PrimaryKeyIndex::new(),
+                    seg_seq: 0,
+                    unbacked: Vec::new(),
+                })
+            })
+            .collect();
+        Ok(Arc::new(OlapTable {
+            config,
+            partitions,
+            offline: RwLock::new(Vec::new()),
+        }))
+    }
+
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Ingest one row into a realtime partition. For upsert tables the
+    /// caller must route rows by primary-key hash so that a key always
+    /// lands in the same partition (the ingester does this).
+    pub fn ingest(&self, partition: usize, row: Row) -> Result<()> {
+        let state = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| Error::InvalidArgument(format!("partition {partition} out of range")))?;
+        let mut st = state.write();
+        let doc = st.consuming.append(row.clone())?;
+        if self.config.upsert {
+            let pk_col = self.config.primary_key.as_deref().expect("validated");
+            let key = row
+                .get(pk_col)
+                .cloned()
+                .ok_or_else(|| Error::Schema(format!("upsert row missing key '{pk_col}'")))?;
+            let seg_name = st.consuming.name().to_string();
+            st.pk_index.upsert(&key, &seg_name, doc);
+        }
+        if st.consuming.doc_count() >= self.config.segment_rows {
+            self.seal_partition(&mut st)?;
+        }
+        Ok(())
+    }
+
+    fn seal_partition(&self, st: &mut PartitionState) -> Result<()> {
+        if st.consuming.doc_count() == 0 {
+            return Ok(());
+        }
+        let sealed = Arc::new(st.consuming.seal(&self.config.index_spec)?);
+        st.unbacked.push(sealed.name().to_string());
+        st.sealed.push(sealed);
+        st.seg_seq += 1;
+        let name = format!("{}__rt_{}_{}", self.config.name, partition_of(st), st.seg_seq);
+        st.consuming = MutableSegment::new(name, self.config.schema.clone());
+        Ok(())
+    }
+
+    /// Force-seal every partition's consuming segment (tests, shutdown).
+    pub fn seal_all(&self) -> Result<()> {
+        for state in &self.partitions {
+            self.seal_partition(&mut state.write())?;
+        }
+        Ok(())
+    }
+
+    /// Segment names sealed but not yet archived; the ingester drains this
+    /// into the segment store.
+    pub fn take_unbacked(&self) -> Vec<(usize, Arc<Segment>)> {
+        let mut out = Vec::new();
+        for (p, state) in self.partitions.iter().enumerate() {
+            let mut st = state.write();
+            let names: Vec<String> = st.unbacked.drain(..).collect();
+            for name in names {
+                if let Some(seg) = st.sealed.iter().find(|s| s.name() == name) {
+                    out.push((p, seg.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Register an offline segment (pushed from the warehouse via the
+    /// Piper-style offline flow of §4.3.3).
+    pub fn add_offline_segment(&self, segment: Segment) {
+        self.offline.write().push(Arc::new(segment));
+    }
+
+    /// Drop a sealed realtime segment from a partition (replica-failure
+    /// injection for the recovery experiments). Returns the segment.
+    pub fn evict_sealed(&self, partition: usize, name: &str) -> Result<Arc<Segment>> {
+        let mut st = self.partitions[partition].write();
+        let idx = st
+            .sealed
+            .iter()
+            .position(|s| s.name() == name)
+            .ok_or_else(|| Error::NotFound(format!("sealed segment '{name}'")))?;
+        Ok(st.sealed.remove(idx))
+    }
+
+    /// Re-install a recovered segment.
+    pub fn restore_sealed(&self, partition: usize, segment: Arc<Segment>) {
+        self.partitions[partition].write().sealed.push(segment);
+    }
+
+    /// Names of sealed segments per partition.
+    pub fn sealed_segments(&self, partition: usize) -> Vec<String> {
+        self.partitions[partition]
+            .read()
+            .sealed
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect()
+    }
+
+    pub fn doc_count(&self) -> usize {
+        let rt: usize = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let st = p.read();
+                st.consuming.doc_count() + st.sealed.iter().map(|s| s.doc_count()).sum::<usize>()
+            })
+            .sum();
+        let off: usize = self.offline.read().iter().map(|s| s.doc_count()).sum();
+        rt + off
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        let rt: usize = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let st = p.read();
+                st.consuming.memory_bytes()
+                    + st.sealed.iter().map(|s| s.memory_bytes()).sum::<usize>()
+                    + st.pk_index.memory_bytes()
+            })
+            .sum();
+        let off: usize = self.offline.read().iter().map(|s| s.memory_bytes()).sum();
+        rt + off
+    }
+
+    /// Can a segment with time range `[lo, hi]` possibly match the query's
+    /// time predicates?
+    fn time_overlaps(query: &Query, time_col: &str, lo: Timestamp, hi: Timestamp) -> bool {
+        for p in &query.predicates {
+            if p.column != time_col {
+                continue;
+            }
+            let Some(v) = p.value.as_int() else { continue };
+            let ok = match p.op {
+                PredicateOp::Eq => lo <= v && v <= hi,
+                PredicateOp::Lt => lo < v,
+                PredicateOp::Le => lo <= v,
+                PredicateOp::Gt => hi > v,
+                PredicateOp::Ge => hi >= v,
+                PredicateOp::Ne => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn prunable(&self, query: &Query, segment: &Segment) -> bool {
+        let Some(tc) = &self.config.time_column else {
+            return false;
+        };
+        match segment.int_range(tc) {
+            Some((lo, hi)) => !Self::time_overlaps(query, tc, lo, hi),
+            None => false,
+        }
+    }
+
+    /// Execute a query across every live segment (scatter-gather-merge).
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        let mut segments_queried = 0u64;
+        let mut docs_scanned = 0u64;
+        let mut used_startree = false;
+
+        if query.is_aggregation() {
+            let mut merged = PartialAgg::default();
+            self.for_each_segment(query, |part| {
+                segments_queried += 1;
+                docs_scanned += part.docs_scanned;
+                used_startree |= part.used_startree;
+                merged.merge(part, query);
+            })?;
+            return Ok(QueryResult {
+                rows: merged.finalize(query),
+                docs_scanned,
+                segments_queried,
+                used_startree,
+            });
+        }
+
+        // selection: concatenate, then a final sort/limit
+        let mut rows = Vec::new();
+        for state in &self.partitions {
+            let st = state.read();
+            let consuming_name = st.consuming.name().to_string();
+            let valid = if self.config.upsert {
+                st.pk_index.valid_docs(&consuming_name).cloned()
+            } else {
+                None
+            };
+            let r = st.consuming.execute(query, valid.as_ref())?;
+            segments_queried += 1;
+            docs_scanned += r.docs_scanned;
+            rows.extend(r.rows);
+            for seg in &st.sealed {
+                if self.prunable(query, seg) {
+                    continue;
+                }
+                let valid = if self.config.upsert {
+                    st.pk_index.valid_docs(seg.name()).cloned()
+                } else {
+                    None
+                };
+                let r = seg.execute(query, valid.as_ref())?;
+                segments_queried += 1;
+                docs_scanned += r.docs_scanned;
+                rows.extend(r.rows);
+            }
+        }
+        for seg in self.offline.read().iter() {
+            if self.prunable(query, seg) {
+                continue;
+            }
+            let r = seg.execute(query, None)?;
+            segments_queried += 1;
+            docs_scanned += r.docs_scanned;
+            rows.extend(r.rows);
+        }
+        sort_and_limit(&mut rows, &query.order_by, query.limit);
+        Ok(QueryResult {
+            rows,
+            docs_scanned,
+            segments_queried,
+            used_startree,
+        })
+    }
+
+    fn for_each_segment(
+        &self,
+        query: &Query,
+        mut f: impl FnMut(PartialAgg),
+    ) -> Result<()> {
+        for state in &self.partitions {
+            let st = state.read();
+            let consuming_name = st.consuming.name().to_string();
+            let valid: Option<Bitmap> = if self.config.upsert {
+                st.pk_index.valid_docs(&consuming_name).cloned()
+            } else {
+                None
+            };
+            f(st.consuming.execute_partial(query, valid.as_ref())?);
+            for seg in &st.sealed {
+                if self.prunable(query, seg) {
+                    continue;
+                }
+                let valid = if self.config.upsert {
+                    st.pk_index.valid_docs(seg.name()).cloned()
+                } else {
+                    None
+                };
+                f(seg.execute_partial(query, valid.as_ref())?);
+            }
+        }
+        for seg in self.offline.read().iter() {
+            if self.prunable(query, seg) {
+                continue;
+            }
+            f(seg.execute_partial(query, None)?);
+        }
+        Ok(())
+    }
+
+    /// Latest value of a column for a primary key (upsert tables): the
+    /// point lookup that serves "correcting a ride fare" reads.
+    pub fn lookup(&self, key: &Value, column: &str) -> Option<Value> {
+        let partition =
+            (key.partition_hash() % self.config.partitions as u64) as usize;
+        let st = self.partitions[partition].read();
+        let loc = st.pk_index.location(key)?;
+        if loc.segment == st.consuming.name() {
+            return st.consuming.row_at(loc.doc_id)?.get(column).cloned();
+        }
+        let seg = st.sealed.iter().find(|s| s.name() == loc.segment)?;
+        Some(seg.value_at(column, loc.doc_id))
+    }
+}
+
+fn partition_of(st: &PartitionState) -> usize {
+    // partition id is embedded in the consuming segment name: ...__rt_<p>_<seq>
+    st.consuming
+        .name()
+        .rsplit("__rt_")
+        .next()
+        .and_then(|tail| tail.split('_').next())
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use rtdi_common::{AggFn, FieldType};
+
+    fn schema() -> Schema {
+        Schema::of(
+            "trips",
+            &[
+                ("trip_id", FieldType::Str),
+                ("city", FieldType::Str),
+                ("fare", FieldType::Double),
+                ("ts", FieldType::Timestamp),
+            ],
+        )
+    }
+
+    fn plain_table(segment_rows: usize) -> Arc<OlapTable> {
+        OlapTable::new(
+            TableConfig::new("trips", schema())
+                .with_index_spec(IndexSpec::none().with_inverted(&["city"]))
+                .with_time_column("ts")
+                .with_segment_rows(segment_rows)
+                .with_partitions(2),
+        )
+        .unwrap()
+    }
+
+    fn trip(i: usize) -> Row {
+        Row::new()
+            .with("trip_id", format!("t{i}"))
+            .with("city", ["sf", "la"][i % 2])
+            .with("fare", 10.0 + (i % 5) as f64)
+            .with("ts", (i as i64) * 1000)
+    }
+
+    #[test]
+    fn ingest_seal_query_across_segments() {
+        let table = plain_table(25);
+        for i in 0..100 {
+            table.ingest(i % 2, trip(i)).unwrap();
+        }
+        // 100 rows, 25-per-segment -> sealing happened
+        assert!(table.sealed_segments(0).len() >= 1);
+        assert_eq!(table.doc_count(), 100);
+        let q = Query::select_all("trips")
+            .aggregate("n", AggFn::Count)
+            .aggregate("avg_fare", AggFn::Avg("fare".into()))
+            .group(&["city"]);
+        let res = table.query(&q).unwrap();
+        assert_eq!(res.rows.len(), 2);
+        let total: i64 = res.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
+        assert_eq!(total, 100);
+        assert!(res.segments_queried >= 4, "queried {}", res.segments_queried);
+    }
+
+    #[test]
+    fn time_pruning_skips_disjoint_segments() {
+        let table = plain_table(10);
+        for i in 0..100 {
+            table.ingest(0, trip(i)).unwrap();
+        }
+        table.seal_all().unwrap();
+        // query for a narrow time range: most sealed segments pruned
+        let q = Query::select_all("trips")
+            .filter(Predicate::new("ts", PredicateOp::Ge, 50_000i64))
+            .filter(Predicate::new("ts", PredicateOp::Lt, 60_000i64))
+            .aggregate("n", AggFn::Count);
+        let res = table.query(&q).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(10));
+        // 10 segments of 10 rows each (+1 empty consuming + partition 1
+        // consuming): only ~1-2 segments overlap the range
+        assert!(
+            res.segments_queried <= 5,
+            "pruning failed: queried {}",
+            res.segments_queried
+        );
+    }
+
+    #[test]
+    fn offline_segments_participate() {
+        let table = plain_table(1000);
+        for i in 0..10 {
+            table.ingest(0, trip(i)).unwrap();
+        }
+        let offline_rows: Vec<Row> = (100..150).map(trip).collect();
+        let seg = Segment::build("off-1", &schema(), offline_rows, &IndexSpec::none()).unwrap();
+        table.add_offline_segment(seg);
+        let q = Query::select_all("trips").aggregate("n", AggFn::Count);
+        assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(60));
+    }
+
+    #[test]
+    fn selection_merges_and_limits_across_segments() {
+        let table = plain_table(20);
+        for i in 0..60 {
+            table.ingest(i % 2, trip(i)).unwrap();
+        }
+        let q = Query::select_all("trips")
+            .columns(&["trip_id", "ts"])
+            .order("ts", crate::query::SortOrder::Desc)
+            .limit(5);
+        let res = table.query(&q).unwrap();
+        assert_eq!(res.rows.len(), 5);
+        assert_eq!(res.rows[0].get_int("ts"), Some(59_000));
+    }
+
+    fn upsert_table() -> Arc<OlapTable> {
+        OlapTable::new(
+            TableConfig::new("fares", schema())
+                .with_upsert("trip_id")
+                .with_segment_rows(10)
+                .with_partitions(4),
+        )
+        .unwrap()
+    }
+
+    fn route(table: &OlapTable, row: Row) {
+        let key = row.get("trip_id").cloned().unwrap();
+        let p = (key.partition_hash() % table.config().partitions as u64) as usize;
+        table.ingest(p, row).unwrap();
+    }
+
+    #[test]
+    fn upsert_returns_latest_version_only() {
+        let table = upsert_table();
+        for i in 0..50 {
+            route(&table, trip(i));
+        }
+        // correct fares for 10 trips (spanning sealed + consuming segments)
+        for i in 0..10 {
+            route(
+                &table,
+                Row::new()
+                    .with("trip_id", format!("t{i}"))
+                    .with("city", ["sf", "la"][i % 2])
+                    .with("fare", 999.0)
+                    .with("ts", 1_000_000 + i as i64),
+            );
+        }
+        let q = Query::select_all("fares").aggregate("n", AggFn::Count);
+        // count sees exactly 50 live records (no duplicates)
+        assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(50));
+        // corrected fare visible via point lookup
+        assert_eq!(
+            table.lookup(&Value::Str("t3".into()), "fare"),
+            Some(Value::Double(999.0))
+        );
+        // uncorrected trip unchanged
+        assert_eq!(
+            table.lookup(&Value::Str("t20".into()), "fare"),
+            Some(Value::Double(10.0))
+        );
+        // aggregation reflects the corrections
+        let q = Query::select_all("fares")
+            .filter(Predicate::eq("trip_id", "t3"))
+            .aggregate("f", AggFn::Max("fare".into()));
+        assert_eq!(
+            table.query(&q).unwrap().rows[0].get_double("f"),
+            Some(999.0)
+        );
+    }
+
+    #[test]
+    fn upsert_config_sanitized() {
+        let cfg = TableConfig::new("t", schema())
+            .with_upsert("trip_id")
+            .with_index_spec(
+                IndexSpec::none()
+                    .with_sorted("ts")
+                    .with_startree(crate::startree::StarTreeSpec::new(
+                        &["city"],
+                        vec![AggFn::Count],
+                    )),
+            );
+        let table = OlapTable::new(cfg).unwrap();
+        assert!(table.config().index_spec.sorted.is_none());
+        assert!(table.config().index_spec.startree.is_none());
+        // missing primary key rejected
+        let mut bad = TableConfig::new("t", schema());
+        bad.upsert = true;
+        assert!(OlapTable::new(bad).is_err());
+    }
+
+    #[test]
+    fn evict_and_restore_sealed_segment() {
+        let table = plain_table(10);
+        for i in 0..20 {
+            table.ingest(0, trip(i)).unwrap();
+        }
+        let names = table.sealed_segments(0);
+        assert_eq!(names.len(), 2);
+        let q = Query::select_all("trips").aggregate("n", AggFn::Count);
+        assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(20));
+        let seg = table.evict_sealed(0, &names[0]).unwrap();
+        assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(10));
+        table.restore_sealed(0, seg);
+        assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(20));
+        assert!(table.evict_sealed(0, "ghost").is_err());
+    }
+
+    #[test]
+    fn take_unbacked_drains_once() {
+        let table = plain_table(10);
+        for i in 0..30 {
+            table.ingest(0, trip(i)).unwrap();
+        }
+        let first = table.take_unbacked();
+        assert_eq!(first.len(), 3);
+        assert!(table.take_unbacked().is_empty());
+    }
+}

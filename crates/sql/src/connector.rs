@@ -1,0 +1,392 @@
+//! The Connector API and the Pinot / Hive connectors (§4.5).
+//!
+//! "Presto ... provides a Connector API with high performance I/O
+//! interface to multiple data sources... we enhanced Presto's query
+//! planner and extended Presto Connector API to push as many operators
+//! down to the Pinot layer as possible, such as projection, aggregation
+//! and limit."
+
+use rtdi_common::{AggFn, Error, FieldType, Result, Row, Schema, Value};
+use rtdi_olap::query::{Predicate, Query as OlapQuery, SortOrder};
+use rtdi_olap::table::OlapTable;
+use rtdi_storage::hive::HiveCatalog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fully-pushable aggregation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PushedAgg {
+    pub group_by: Vec<String>,
+    /// (output name, function over a bare column)
+    pub aggs: Vec<(String, AggFn)>,
+}
+
+/// What the planner asks a connector to apply during the scan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pushdown {
+    pub predicates: Vec<Predicate>,
+    pub projection: Option<Vec<String>>,
+    pub aggregation: Option<PushedAgg>,
+    /// (column, desc) — only honored together with `limit`.
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl Pushdown {
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+            && self.projection.is_none()
+            && self.aggregation.is_none()
+            && self.limit.is_none()
+    }
+}
+
+/// What a connector can apply server-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    pub filters: bool,
+    pub projection: bool,
+    pub aggregation: bool,
+    pub limit: bool,
+}
+
+/// Scan result plus execution statistics (for the pushdown experiments).
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutput {
+    pub rows: Vec<Row>,
+    /// Documents the backing store had to touch.
+    pub docs_scanned: u64,
+    /// Rows shipped from the connector to the engine.
+    pub rows_shipped: u64,
+}
+
+/// A data source exposed to the SQL engine.
+pub trait Connector: Send + Sync {
+    fn capabilities(&self) -> Capabilities;
+    fn table_schema(&self, table: &str) -> Result<Schema>;
+    /// Scan a table applying the (capability-compatible) pushdown.
+    fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput>;
+    fn table_names(&self) -> Vec<String>;
+}
+
+/// Connector over the real-time OLAP store. Tables can be registered
+/// after the connector is shared with the engine (`register` takes
+/// `&self`), matching how new Pinot tables appear to Presto without a
+/// restart.
+pub struct PinotConnector {
+    tables: parking_lot::RwLock<HashMap<String, Arc<OlapTable>>>,
+}
+
+impl PinotConnector {
+    pub fn new() -> Self {
+        PinotConnector {
+            tables: parking_lot::RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn register(&self, table: Arc<OlapTable>) {
+        self.tables
+            .write()
+            .insert(table.name().to_string(), table);
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<OlapTable>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("pinot table '{name}'")))
+    }
+}
+
+impl Default for PinotConnector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Connector for PinotConnector {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            filters: true,
+            projection: true,
+            aggregation: true,
+            limit: true,
+        }
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.table(table)?.config().schema.clone())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput> {
+        let t = self.table(table)?;
+        let mut q = OlapQuery::select_all(table);
+        q.predicates = pushdown.predicates.clone();
+        if let Some(agg) = &pushdown.aggregation {
+            for (name, f) in &agg.aggs {
+                q = q.aggregate(name.clone(), f.clone());
+            }
+            q.group_by = agg.group_by.clone();
+        } else if let Some(proj) = &pushdown.projection {
+            q.select = proj.clone();
+        }
+        if pushdown.limit.is_some() {
+            for (col, desc) in &pushdown.order_by {
+                q = q.order(
+                    col.clone(),
+                    if *desc { SortOrder::Desc } else { SortOrder::Asc },
+                );
+            }
+            // LIMIT without ORDER BY is only pushable for selections; for
+            // aggregations the engine applies it post-merge (already merged
+            // here, so applying is safe either way)
+            q.limit = pushdown.limit;
+        }
+        let mut result = t.query(&q)?;
+        // the OLAP store renders group keys as strings; restore the schema
+        // types so pushed and unpushed plans produce identical rows
+        if let Some(agg) = &pushdown.aggregation {
+            let schema = &t.config().schema;
+            for row in &mut result.rows {
+                for col in &agg.group_by {
+                    let Some(field) = schema.field(col) else { continue };
+                    let Some(Value::Str(s)) = row.get(col).cloned() else {
+                        continue;
+                    };
+                    let typed = if s == "NULL" {
+                        Value::Null
+                    } else {
+                        match field.field_type {
+                            FieldType::Int | FieldType::Timestamp => {
+                                s.parse::<i64>().map(Value::Int).unwrap_or(Value::Str(s))
+                            }
+                            FieldType::Double => s
+                                .parse::<f64>()
+                                .map(Value::Double)
+                                .unwrap_or(Value::Str(s)),
+                            FieldType::Bool => match s.as_str() {
+                                "true" => Value::Bool(true),
+                                "false" => Value::Bool(false),
+                                _ => Value::Str(s),
+                            },
+                            _ => Value::Str(s),
+                        }
+                    };
+                    row.set(col, typed);
+                }
+            }
+        }
+        Ok(ScanOutput {
+            rows_shipped: result.rows.len() as u64,
+            docs_scanned: result.docs_scanned,
+            rows: result.rows,
+        })
+    }
+}
+
+/// Connector over the warehouse: full scans only (the paper's point —
+/// "sub-second query latencies ... is not possible to do on standard
+/// backends such as HDFS/Hive").
+pub struct HiveConnector {
+    catalog: HiveCatalog,
+}
+
+impl HiveConnector {
+    pub fn new(catalog: HiveCatalog) -> Self {
+        HiveConnector { catalog }
+    }
+}
+
+impl Connector for HiveConnector {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default() // nothing pushable
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.catalog.table(table)?.schema())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput> {
+        if !pushdown.is_empty() {
+            return Err(Error::Internal(
+                "planner pushed operators into a connector without capabilities".into(),
+            ));
+        }
+        let t = self.catalog.table(table)?;
+        let rows = t.scan_all()?;
+        Ok(ScanOutput {
+            docs_scanned: rows.len() as u64,
+            rows_shipped: rows.len() as u64,
+            rows,
+        })
+    }
+}
+
+/// In-memory connector over fixed row sets (tests, examples and the
+/// "inject such queries into the automation framework" path of §5.4).
+#[derive(Default)]
+pub struct MemoryConnector {
+    tables: HashMap<String, (Schema, Vec<Row>)>,
+}
+
+impl MemoryConnector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_table(&mut self, name: &str, schema: Schema, rows: Vec<Row>) {
+        self.tables.insert(name.to_string(), (schema, rows));
+    }
+}
+
+impl Connector for MemoryConnector {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        self.tables
+            .get(table)
+            .map(|(s, _)| s.clone())
+            .ok_or_else(|| Error::NotFound(format!("memory table '{table}'")))
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn scan(&self, table: &str, _pushdown: &Pushdown) -> Result<ScanOutput> {
+        let (_, rows) = self
+            .tables
+            .get(table)
+            .ok_or_else(|| Error::NotFound(format!("memory table '{table}'")))?;
+        Ok(ScanOutput {
+            docs_scanned: rows.len() as u64,
+            rows_shipped: rows.len() as u64,
+            rows: rows.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::FieldType;
+    use rtdi_olap::segment::IndexSpec;
+    use rtdi_olap::table::TableConfig;
+
+    fn pinot_with_data() -> PinotConnector {
+        let schema = Schema::of(
+            "orders",
+            &[
+                ("city", FieldType::Str),
+                ("total", FieldType::Double),
+                ("ts", FieldType::Timestamp),
+            ],
+        );
+        let table = OlapTable::new(
+            TableConfig::new("orders", schema)
+                .with_index_spec(IndexSpec::none().with_inverted(&["city"]))
+                .with_partitions(1)
+                .with_segment_rows(100),
+        )
+        .unwrap();
+        for i in 0..500 {
+            table
+                .ingest(
+                    0,
+                    Row::new()
+                        .with("city", ["sf", "la"][i % 2])
+                        .with("total", i as f64)
+                        .with("ts", i as i64),
+                )
+                .unwrap();
+        }
+        let c = PinotConnector::new();
+        c.register(table);
+        c
+    }
+
+    #[test]
+    fn pinot_scan_with_filter_pushdown() {
+        let c = pinot_with_data();
+        let pd = Pushdown {
+            predicates: vec![Predicate::eq("city", "sf")],
+            ..Default::default()
+        };
+        let out = c.scan("orders", &pd).unwrap();
+        assert_eq!(out.rows.len(), 250);
+        assert!(out.rows.iter().all(|r| r.get_str("city") == Some("sf")));
+    }
+
+    #[test]
+    fn pinot_aggregation_pushdown_ships_tiny_results() {
+        let c = pinot_with_data();
+        let pd = Pushdown {
+            aggregation: Some(PushedAgg {
+                group_by: vec!["city".into()],
+                aggs: vec![
+                    ("n".into(), AggFn::Count),
+                    ("rev".into(), AggFn::Sum("total".into())),
+                ],
+            }),
+            ..Default::default()
+        };
+        let out = c.scan("orders", &pd).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows_shipped, 2);
+        let total: i64 = out.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn pinot_limit_and_order_pushdown() {
+        let c = pinot_with_data();
+        let pd = Pushdown {
+            projection: Some(vec!["total".into()]),
+            order_by: vec![("total".into(), true)],
+            limit: Some(3),
+            ..Default::default()
+        };
+        let out = c.scan("orders", &pd).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0].get_double("total"), Some(499.0));
+    }
+
+    #[test]
+    fn hive_rejects_pushdown_and_scans_fully() {
+        use rtdi_storage::object::InMemoryStore;
+        let catalog = HiveCatalog::new(Arc::new(InMemoryStore::new()));
+        let schema = Schema::of("t", &[("x", FieldType::Int)]);
+        catalog.create_table("t", schema).unwrap();
+        catalog
+            .write_rows("t", "d000000", &[Row::new().with("x", 1i64)])
+            .unwrap();
+        let c = HiveConnector::new(catalog);
+        assert!(!c.capabilities().filters);
+        let out = c.scan("t", &Pushdown::default()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let pd = Pushdown {
+            predicates: vec![Predicate::eq("x", 1i64)],
+            ..Default::default()
+        };
+        assert!(c.scan("t", &pd).is_err());
+    }
+
+    #[test]
+    fn unknown_tables_error() {
+        let c = pinot_with_data();
+        assert!(c.scan("ghost", &Pushdown::default()).is_err());
+        assert!(c.table_schema("ghost").is_err());
+        assert_eq!(c.table_names(), vec!["orders".to_string()]);
+    }
+}

@@ -1,0 +1,573 @@
+//! The federated SQL engine: Presto-style in-memory MPP execution over
+//! connectors.
+//!
+//! §4.5: "Presto was designed from the ground up for fast analytical
+//! queries against large scale datasets by employing a Massively Parallel
+//! Processing (MPP) engine and performing all computations in-memory...
+//! data scientists and engineers often want to do exploration on real-time
+//! data... we have leveraged Presto's connector model and built a Pinot
+//! connector."
+
+use crate::ast::AggName;
+use crate::connector::Connector;
+use crate::expr::{eval, truthy};
+use crate::optimizer::optimize;
+use crate::parser::parse_select;
+use crate::plan::{plan_select, AggItem, Plan};
+use rtdi_common::{AggAcc, AggFn, Error, Result, Row, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub default_catalog: String,
+    /// Gate for all connector pushdown (E14 ablation).
+    pub enable_pushdown: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            default_catalog: "pinot".into(),
+            enable_pushdown: true,
+        }
+    }
+}
+
+/// Execution statistics for one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Documents touched inside connectors.
+    pub docs_scanned: u64,
+    /// Rows shipped from connectors into the engine.
+    pub rows_shipped: u64,
+    /// EXPLAIN text of the optimized plan.
+    pub plan: String,
+}
+
+/// Query result.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    pub rows: Vec<Row>,
+    pub stats: QueryStats,
+}
+
+/// The engine.
+pub struct SqlEngine {
+    connectors: HashMap<String, Arc<dyn Connector>>,
+    config: EngineConfig,
+}
+
+impl SqlEngine {
+    pub fn new(config: EngineConfig) -> Self {
+        SqlEngine {
+            connectors: HashMap::new(),
+            config,
+        }
+    }
+
+    pub fn register_connector(&mut self, catalog: &str, connector: Arc<dyn Connector>) {
+        self.connectors.insert(catalog.to_string(), connector);
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn set_pushdown(&mut self, enable: bool) {
+        self.config.enable_pushdown = enable;
+    }
+
+    fn connector(&self, catalog: &Option<String>) -> Result<&Arc<dyn Connector>> {
+        let name = catalog
+            .clone()
+            .unwrap_or_else(|| self.config.default_catalog.clone());
+        self.connectors
+            .get(&name)
+            .ok_or_else(|| Error::NotFound(format!("catalog '{name}'")))
+    }
+
+    fn resolve_catalogs(&self, plan: Plan) -> Plan {
+        match plan {
+            Plan::Scan {
+                catalog,
+                table,
+                binding,
+                pushdown,
+            } => Plan::Scan {
+                catalog: catalog.or_else(|| Some(self.config.default_catalog.clone())),
+                table,
+                binding,
+                pushdown,
+            },
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.resolve_catalogs(*input)),
+                predicate,
+            },
+            Plan::Project { input, items } => Plan::Project {
+                input: Box::new(self.resolve_catalogs(*input)),
+                items,
+            },
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => Plan::Aggregate {
+                input: Box::new(self.resolve_catalogs(*input)),
+                group_by,
+                aggs,
+            },
+            Plan::Join {
+                left,
+                right,
+                left_binding,
+                right_binding,
+                on_left,
+                on_right,
+            } => Plan::Join {
+                left: Box::new(self.resolve_catalogs(*left)),
+                right: Box::new(self.resolve_catalogs(*right)),
+                left_binding,
+                right_binding,
+                on_left,
+                on_right,
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.resolve_catalogs(*input)),
+                keys,
+            },
+            Plan::Limit { input, n } => Plan::Limit {
+                input: Box::new(self.resolve_catalogs(*input)),
+                n,
+            },
+        }
+    }
+
+    /// Parse, plan, optimize and execute a SQL query.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        let stmt = parse_select(sql)?;
+        let plan = self.resolve_catalogs(plan_select(&stmt)?);
+        let caps = |catalog: &Option<String>| {
+            self.connector(catalog)
+                .map(|c| c.capabilities())
+                .unwrap_or_default()
+        };
+        let plan = optimize(plan, &caps, self.config.enable_pushdown);
+        let mut stats = QueryStats {
+            plan: plan.explain(),
+            ..Default::default()
+        };
+        let rows = self.execute(&plan, &mut stats)?;
+        Ok(QueryOutput { rows, stats })
+    }
+
+    /// EXPLAIN: the optimized plan without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_select(sql)?;
+        let plan = self.resolve_catalogs(plan_select(&stmt)?);
+        let caps = |catalog: &Option<String>| {
+            self.connector(catalog)
+                .map(|c| c.capabilities())
+                .unwrap_or_default()
+        };
+        Ok(optimize(plan, &caps, self.config.enable_pushdown).explain())
+    }
+
+    fn execute(&self, plan: &Plan, stats: &mut QueryStats) -> Result<Vec<Row>> {
+        match plan {
+            Plan::Scan {
+                catalog,
+                table,
+                binding,
+                pushdown,
+            } => {
+                let out = self.connector(catalog)?.scan(table, pushdown)?;
+                stats.docs_scanned += out.docs_scanned;
+                stats.rows_shipped += out.rows_shipped;
+                let _ = binding;
+                Ok(out.rows)
+            }
+            Plan::Filter { input, predicate } => {
+                let rows = self.execute(input, stats)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if truthy(&eval(predicate, &row)?) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, items } => {
+                let rows = self.execute(input, stats)?;
+                rows.into_iter()
+                    .map(|row| {
+                        let mut out = Row::with_capacity(items.len());
+                        for (name, expr) in items {
+                            out.push(name.clone(), eval(expr, &row)?);
+                        }
+                        Ok(out)
+                    })
+                    .collect()
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let rows = self.execute(input, stats)?;
+                execute_aggregate(&rows, group_by, aggs)
+            }
+            Plan::Join {
+                left,
+                right,
+                left_binding,
+                right_binding,
+                on_left,
+                on_right,
+            } => {
+                let left_rows = self.execute(left, stats)?;
+                let right_rows = self.execute(right, stats)?;
+                hash_join(
+                    &left_rows,
+                    &right_rows,
+                    left_binding,
+                    right_binding,
+                    on_left,
+                    on_right,
+                )
+            }
+            Plan::Sort { input, keys } => {
+                let mut rows = self.execute(input, stats)?;
+                rows.sort_by(|a, b| {
+                    for (col, desc) in keys {
+                        let va = a.get(col).unwrap_or(&Value::Null);
+                        let vb = b.get(col).unwrap_or(&Value::Null);
+                        let ord = va.total_cmp(vb);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                // strip hidden sort columns
+                if rows
+                    .first()
+                    .map(|r| r.column_names().any(|c| c.starts_with("__sort")))
+                    .unwrap_or(false)
+                {
+                    rows = rows
+                        .into_iter()
+                        .map(|r| {
+                            r.iter()
+                                .filter(|(n, _)| !n.starts_with("__sort"))
+                                .map(|(n, v)| (n.to_string(), v.clone()))
+                                .collect()
+                        })
+                        .collect();
+                }
+                Ok(rows)
+            }
+            Plan::Limit { input, n } => {
+                let mut rows = self.execute(input, stats)?;
+                rows.truncate(*n);
+                Ok(rows)
+            }
+        }
+    }
+}
+
+fn agg_fn_for(item: &AggItem) -> AggFn {
+    match (item.func, item.distinct) {
+        (AggName::Count, true) => AggFn::DistinctCount("__arg".into()),
+        (AggName::Count, false) => AggFn::Count,
+        (AggName::Sum, _) => AggFn::Sum("__arg".into()),
+        (AggName::Avg, _) => AggFn::Avg("__arg".into()),
+        (AggName::Min, _) => AggFn::Min("__arg".into()),
+        (AggName::Max, _) => AggFn::Max("__arg".into()),
+    }
+}
+
+fn execute_aggregate(
+    rows: &[Row],
+    group_by: &[(String, crate::ast::Expr)],
+    aggs: &[AggItem],
+) -> Result<Vec<Row>> {
+    let fns: Vec<AggFn> = aggs.iter().map(agg_fn_for).collect();
+    // group key -> (representative group values, accumulators)
+    let mut groups: BTreeMap<Vec<String>, (Vec<Value>, Vec<AggAcc>)> = BTreeMap::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(group_by.len());
+        let mut vals = Vec::with_capacity(group_by.len());
+        for (_, g) in group_by {
+            let v = eval(g, row)?;
+            key.push(v.to_string());
+            vals.push(v);
+        }
+        let (_, accs) = groups
+            .entry(key)
+            .or_insert_with(|| (vals, fns.iter().map(|f| f.new_acc()).collect()));
+        for ((acc, f), item) in accs.iter_mut().zip(&fns).zip(aggs) {
+            let arg_val = match &item.arg {
+                None => Value::Int(1), // COUNT(*)
+                Some(e) => eval(e, row)?,
+            };
+            // SQL semantics: aggregates skip NULL arguments (except COUNT(*))
+            if item.arg.is_some() && arg_val.is_null() {
+                continue;
+            }
+            let tmp = Row::new().with("__arg", arg_val);
+            acc.add(f, &tmp);
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        // global aggregate over empty input still yields one row
+        let mut row = Row::new();
+        for (item, f) in aggs.iter().zip(&fns) {
+            row.push(item.name.clone(), f.new_acc().result());
+        }
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, (vals, accs)) in groups {
+        let mut row = Row::with_capacity(group_by.len() + aggs.len());
+        for ((name, _), v) in group_by.iter().zip(vals) {
+            row.push(name.clone(), v);
+        }
+        for (item, acc) in aggs.iter().zip(&accs) {
+            row.push(item.name.clone(), acc.result());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_binding: &str,
+    right_binding: &str,
+    on_left: &crate::ast::Expr,
+    on_right: &crate::ast::Expr,
+) -> Result<Vec<Row>> {
+    // build side: right
+    let mut table: HashMap<String, Vec<&Row>> = HashMap::new();
+    for row in right {
+        let k = eval(on_right, row)?;
+        if k.is_null() {
+            continue;
+        }
+        table.entry(k.to_string()).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for lrow in left {
+        let k = eval(on_left, lrow)?;
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&k.to_string()) {
+            for rrow in matches {
+                out.push(merge_joined(lrow, rrow, left_binding, right_binding));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn merge_joined(l: &Row, r: &Row, lb: &str, rb: &str) -> Row {
+    let mut out = Row::with_capacity(l.len() + r.len());
+    for (n, v) in l.iter() {
+        out.push(n.to_string(), v.clone());
+        if !n.contains('.') {
+            // last element of a composite binding chain (a+b) is not a
+            // valid qualifier; only qualify with simple bindings
+            if !lb.contains('+') {
+                out.push(format!("{lb}.{n}"), v.clone());
+            }
+        }
+    }
+    for (n, v) in r.iter() {
+        if out.get(n).is_none() {
+            out.push(n.to_string(), v.clone());
+        }
+        if !n.contains('.') && !rb.contains('+') {
+            out.push(format!("{rb}.{n}"), v.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::MemoryConnector;
+    use rtdi_common::{FieldType, Schema};
+
+    fn engine() -> SqlEngine {
+        let mut mem = MemoryConnector::new();
+        mem.add_table(
+            "orders",
+            Schema::of(
+                "orders",
+                &[
+                    ("city", FieldType::Str),
+                    ("restaurant_id", FieldType::Int),
+                    ("total", FieldType::Double),
+                ],
+            ),
+            (0..100)
+                .map(|i| {
+                    Row::new()
+                        .with("city", ["sf", "la", "nyc"][i % 3])
+                        .with("restaurant_id", (i % 10) as i64)
+                        .with("total", i as f64)
+                })
+                .collect(),
+        );
+        mem.add_table(
+            "restaurants",
+            Schema::of(
+                "restaurants",
+                &[("id", FieldType::Int), ("cuisine", FieldType::Str)],
+            ),
+            (0..10)
+                .map(|i| {
+                    Row::new()
+                        .with("id", i as i64)
+                        .with("cuisine", if i % 2 == 0 { "thai" } else { "diner" })
+                })
+                .collect(),
+        );
+        let mut e = SqlEngine::new(EngineConfig {
+            default_catalog: "mem".into(),
+            enable_pushdown: true,
+        });
+        e.register_connector("mem", Arc::new(mem));
+        e
+    }
+
+    #[test]
+    fn select_with_filter_order_limit() {
+        let e = engine();
+        let out = e
+            .query("SELECT city, total FROM orders WHERE total >= 95 ORDER BY total DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].get_double("total"), Some(99.0));
+        assert_eq!(out.rows[0].len(), 2);
+    }
+
+    #[test]
+    fn group_by_having_order() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT city, COUNT(*) AS n, AVG(total) AS avg_total \
+                 FROM orders GROUP BY city HAVING COUNT(*) > 33 ORDER BY n DESC",
+            )
+            .unwrap();
+        // 100 rows over 3 cities: 34/33/33 -> only 'sf' (34) survives HAVING > 33
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get_str("city"), Some("sf"));
+        assert_eq!(out.rows[0].get_int("n"), Some(34));
+    }
+
+    #[test]
+    fn count_distinct_and_count_col_null_handling() {
+        let mut mem = MemoryConnector::new();
+        mem.add_table(
+            "t",
+            Schema::of("t", &[("x", FieldType::Int)]),
+            vec![
+                Row::new().with("x", 1i64),
+                Row::new().with("x", Value::Null),
+                Row::new().with("x", 1i64),
+                Row::new().with("x", 2i64),
+            ],
+        );
+        let mut e = SqlEngine::new(EngineConfig {
+            default_catalog: "mem".into(),
+            enable_pushdown: true,
+        });
+        e.register_connector("mem", Arc::new(mem));
+        let out = e
+            .query("SELECT COUNT(*) AS all_rows, COUNT(x) AS non_null, COUNT(DISTINCT x) AS d FROM t")
+            .unwrap();
+        assert_eq!(out.rows[0].get_int("all_rows"), Some(4));
+        assert_eq!(out.rows[0].get_int("non_null"), Some(3));
+        assert_eq!(out.rows[0].get_int("d"), Some(2));
+    }
+
+    #[test]
+    fn join_with_qualifiers() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT o.city, r.cuisine, COUNT(*) AS n \
+                 FROM orders o JOIN restaurants r ON o.restaurant_id = r.id \
+                 WHERE r.cuisine = 'thai' GROUP BY o.city, r.cuisine ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.rows.iter().all(|r| r.get_str("cuisine") == Some("thai")));
+        let total: i64 = out.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
+        assert_eq!(total, 50); // half the restaurants are thai
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT n FROM \
+                 (SELECT city, COUNT(*) AS n FROM orders GROUP BY city) sub \
+                 WHERE n > 33",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get_int("n"), Some(34));
+    }
+
+    #[test]
+    fn arithmetic_projection() {
+        let e = engine();
+        let out = e
+            .query("SELECT total * 2 AS double_total FROM orders WHERE total = 10")
+            .unwrap();
+        assert_eq!(out.rows[0].get_double("double_total"), Some(20.0));
+    }
+
+    #[test]
+    fn empty_aggregate_yields_zero_row() {
+        let e = engine();
+        let out = e
+            .query("SELECT COUNT(*) AS n FROM orders WHERE total > 10000")
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get_int("n"), Some(0));
+    }
+
+    #[test]
+    fn unknown_catalog_or_table() {
+        let e = engine();
+        assert!(e.query("SELECT * FROM nosuch.t").is_err());
+        assert!(e.query("SELECT * FROM ghost_table").is_err());
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let e = engine();
+        let text = e.explain("SELECT city FROM orders WHERE total > 5").unwrap();
+        assert!(text.contains("Scan mem.orders"));
+    }
+
+    #[test]
+    fn select_star() {
+        let e = engine();
+        let out = e.query("SELECT * FROM restaurants LIMIT 4").unwrap();
+        assert_eq!(out.rows.len(), 4);
+        assert!(out.rows[0].get("cuisine").is_some());
+        assert!(out.rows[0].get("id").is_some());
+    }
+}

@@ -1,0 +1,248 @@
+//! SQL tokenizer.
+
+use rtdi_common::{Error, Result};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively by the parser; identifiers keep their case).
+    Ident(String),
+    /// Single-quoted string literal.
+    Str(String),
+    Number(f64),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // SQL comment `--`
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(Error::Sql(format!("unexpected '!' at byte {i}")));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::Sql("unterminated string literal".into())),
+                        Some(b'\'') => {
+                            // doubled quote = escaped quote
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i - 1), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| Error::Sql(format!("bad number '{text}'")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // quoted identifier
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != b'"' {
+                        j += 1;
+                    }
+                    if j >= bytes.len() {
+                        return Err(Error::Sql("unterminated quoted identifier".into()));
+                    }
+                    out.push(Token::Ident(input[start..j].to_string()));
+                    i = j + 1;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            c => return Err(Error::Sql(format!("unexpected character '{c}' at byte {i}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize(
+            "SELECT city, COUNT(*) AS n FROM orders WHERE total >= 12.5 AND city != 'sf' LIMIT 10",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Number(12.5)));
+        assert!(toks.contains(&Token::Str("sf".into())));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let toks = tokenize("SELECT 'it''s' -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks[1], Token::Str("it's".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert_eq!(toks[3], Token::Number(2.0));
+    }
+
+    #[test]
+    fn operators_and_diamond_neq() {
+        let toks = tokenize("a <> b <= c >= d < e > f = g").unwrap();
+        assert_eq!(toks[1], Token::Neq);
+        assert_eq!(toks[3], Token::Le);
+        assert_eq!(toks[5], Token::Ge);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"Weird Col\" FROM t").unwrap();
+        assert_eq!(toks[1], Token::Ident("Weird Col".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("price: 10").is_err());
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(toks[0].is_kw("select"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks[0], Token::Number(1000.0));
+        assert_eq!(toks[1], Token::Number(0.025));
+    }
+}

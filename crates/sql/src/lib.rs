@@ -1,0 +1,32 @@
+//! # rtdi-sql
+//!
+//! The full SQL layer — the Presto stand-in of §4.5 — over the OLAP store
+//! and the warehouse:
+//!
+//! - [`lexer`], [`ast`], [`parser`]: a SQL frontend covering the
+//!   analytical subset the paper's use cases need (projections,
+//!   aggregations, GROUP BY / HAVING / ORDER BY / LIMIT, inner joins,
+//!   subqueries in FROM, function calls such as `TUMBLE` used by
+//!   FlinkSQL);
+//! - [`expr`]: expression evaluation over rows;
+//! - [`plan`]: logical plans and the AST-to-plan translator;
+//! - [`optimizer`]: predicate / projection / aggregation / limit pushdown
+//!   into connectors — the §4.5 contribution ("we enhanced Presto's query
+//!   planner and extended Presto Connector API to push as many operators
+//!   down to the Pinot layer as possible");
+//! - [`connector`]: the Connector API plus the Pinot and Hive connectors;
+//! - [`engine`]: the MPP-style in-memory executor and the federated query
+//!   entry point.
+
+pub mod ast;
+pub mod connector;
+pub mod engine;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use connector::{Connector, HiveConnector, PinotConnector, Pushdown, ScanOutput};
+pub use engine::{EngineConfig, SqlEngine};
+pub use parser::parse_select;

@@ -1,0 +1,480 @@
+//! Columnar file format — the "Parquet" stand-in for long-term storage.
+//!
+//! §4.4: raw logs "are then merged into the long term Parquet data format
+//! using a compaction process". This module provides a compact binary
+//! encoding of a batch of rows:
+//!
+//! - per-column layout (all values of a column stored contiguously);
+//! - dictionary encoding for strings (each distinct string stored once);
+//! - bit-packed dictionary ids and integers (minimum width to cover the
+//!   value range), mirroring Pinot's "bit compressed forward indices" that
+//!   the paper credits for Pinot's small footprint (§4.3);
+//! - a null bitmap per column.
+//!
+//! The same encoder is reused by Pinot offline segments, so the footprint
+//! comparisons in E10 measure a realistic columnar representation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rtdi_common::{Error, FieldType, Result, Row, Schema, Value};
+
+const MAGIC: u32 = 0x5254_4331; // "RTC1"
+
+/// Encode rows under a schema into the columnar format.
+pub fn encode_columnar(schema: &Schema, rows: &[Row]) -> Result<Bytes> {
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_u32(MAGIC);
+    put_str(&mut buf, &schema.name);
+    buf.put_u32(schema.fields.len() as u32);
+    buf.put_u64(rows.len() as u64);
+    for field in &schema.fields {
+        put_str(&mut buf, &field.name);
+        buf.put_u8(type_tag(field.field_type));
+        encode_column(&mut buf, field, rows)?;
+    }
+    Ok(buf.freeze())
+}
+
+/// Decode a columnar file back into `(schema, rows)`.
+pub fn decode_columnar(data: &Bytes) -> Result<(Schema, Vec<Row>)> {
+    let mut buf = data.clone();
+    if buf.remaining() < 4 || buf.get_u32() != MAGIC {
+        return Err(Error::Corruption("bad columnar file magic".into()));
+    }
+    let name = get_str(&mut buf)?;
+    let nfields = buf.get_u32() as usize;
+    let nrows = buf.get_u64() as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let fname = get_str(&mut buf)?;
+        let ftype = tag_type(buf.get_u8())?;
+        let col = decode_column(&mut buf, ftype, nrows)?;
+        fields.push(rtdi_common::Field::new(fname, ftype));
+        columns.push(col);
+    }
+    let schema = Schema::new(name, fields);
+    let mut rows = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let mut row = Row::with_capacity(nfields);
+        for (f, col) in schema.fields.iter().zip(&columns) {
+            row.push(f.name.clone(), col[i].clone());
+        }
+        rows.push(row);
+    }
+    Ok((schema, rows))
+}
+
+fn type_tag(t: FieldType) -> u8 {
+    match t {
+        FieldType::Bool => 0,
+        FieldType::Int => 1,
+        FieldType::Double => 2,
+        FieldType::Str => 3,
+        FieldType::Bytes => 4,
+        FieldType::Json => 5,
+        FieldType::Timestamp => 6,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<FieldType> {
+    Ok(match tag {
+        0 => FieldType::Bool,
+        1 => FieldType::Int,
+        2 => FieldType::Double,
+        3 => FieldType::Str,
+        4 => FieldType::Bytes,
+        5 => FieldType::Json,
+        6 => FieldType::Timestamp,
+        t => return Err(Error::Corruption(format!("unknown type tag {t}"))),
+    })
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corruption("truncated string length".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(Error::Corruption("truncated string body".into()));
+    }
+    let bytes = buf.split_to(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corruption("invalid utf8".into()))
+}
+
+/// Minimum number of bits needed to represent values in `0..=max`.
+pub fn bits_for(max: u64) -> u32 {
+    if max == 0 {
+        1
+    } else {
+        64 - max.leading_zeros()
+    }
+}
+
+/// Bit-pack a slice of u64 values each fitting in `bits` bits.
+pub fn bitpack(values: &[u64], bits: u32) -> Vec<u8> {
+    let total_bits = values.len() * bits as usize;
+    let mut out = vec![0u8; (total_bits + 7) / 8];
+    let mut bitpos = 0usize;
+    for &v in values {
+        for b in 0..bits {
+            if (v >> b) & 1 == 1 {
+                out[bitpos / 8] |= 1 << (bitpos % 8);
+            }
+            bitpos += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`bitpack`].
+pub fn bitunpack(data: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos = 0usize;
+    for _ in 0..count {
+        let mut v = 0u64;
+        for b in 0..bits {
+            if bitpos / 8 < data.len() && (data[bitpos / 8] >> (bitpos % 8)) & 1 == 1 {
+                v |= 1 << b;
+            }
+            bitpos += 1;
+        }
+        out.push(v);
+    }
+    out
+}
+
+fn null_bitmap(rows: &[Row], name: &str) -> Vec<u8> {
+    let mut bm = vec![0u8; (rows.len() + 7) / 8];
+    for (i, row) in rows.iter().enumerate() {
+        let is_null = matches!(row.get(name), None | Some(Value::Null));
+        if is_null {
+            bm[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bm
+}
+
+fn is_null(bm: &[u8], i: usize) -> bool {
+    bm[i / 8] >> (i % 8) & 1 == 1
+}
+
+fn encode_column(buf: &mut BytesMut, field: &rtdi_common::Field, rows: &[Row]) -> Result<()> {
+    let name = field.name.as_str();
+    let bm = null_bitmap(rows, name);
+    buf.put_u32(bm.len() as u32);
+    buf.put_slice(&bm);
+    match field.field_type {
+        FieldType::Bool => {
+            let vals: Vec<u64> = rows
+                .iter()
+                .map(|r| matches!(r.get(name), Some(Value::Bool(true))) as u64)
+                .collect();
+            let packed = bitpack(&vals, 1);
+            buf.put_u32(packed.len() as u32);
+            buf.put_slice(&packed);
+        }
+        FieldType::Int | FieldType::Timestamp => {
+            // frame-of-reference + bit packing
+            let vals: Vec<i64> = rows
+                .iter()
+                .map(|r| r.get(name).and_then(Value::as_int).unwrap_or(0))
+                .collect();
+            let min = vals.iter().copied().min().unwrap_or(0);
+            let max = vals.iter().copied().max().unwrap_or(0);
+            let width = bits_for((max - min) as u64);
+            buf.put_i64(min);
+            buf.put_u8(width as u8);
+            let rel: Vec<u64> = vals.iter().map(|v| (v - min) as u64).collect();
+            let packed = bitpack(&rel, width);
+            buf.put_u32(packed.len() as u32);
+            buf.put_slice(&packed);
+        }
+        FieldType::Double => {
+            for row in rows {
+                let v = row.get(name).and_then(Value::as_double).unwrap_or(0.0);
+                buf.put_f64(v);
+            }
+        }
+        FieldType::Str | FieldType::Json => {
+            // dictionary encode
+            let mut dict: Vec<String> = Vec::new();
+            let mut index = std::collections::HashMap::new();
+            let mut ids = Vec::with_capacity(rows.len());
+            for row in rows {
+                let s = match row.get(name) {
+                    Some(Value::Str(s)) => s.clone(),
+                    Some(Value::Json(j)) => rtdi_common::json::to_string(j),
+                    _ => String::new(),
+                };
+                let id = *index.entry(s.clone()).or_insert_with(|| {
+                    dict.push(s);
+                    dict.len() - 1
+                });
+                ids.push(id as u64);
+            }
+            buf.put_u32(dict.len() as u32);
+            for s in &dict {
+                put_str(buf, s);
+            }
+            let width = bits_for(dict.len().saturating_sub(1) as u64);
+            buf.put_u8(width as u8);
+            let packed = bitpack(&ids, width);
+            buf.put_u32(packed.len() as u32);
+            buf.put_slice(&packed);
+        }
+        FieldType::Bytes => {
+            for row in rows {
+                match row.get(name) {
+                    Some(Value::Bytes(b)) => {
+                        buf.put_u32(b.len() as u32);
+                        buf.put_slice(b);
+                    }
+                    _ => buf.put_u32(0),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<Value>> {
+    let bm_len = buf.get_u32() as usize;
+    if buf.remaining() < bm_len {
+        return Err(Error::Corruption("truncated null bitmap".into()));
+    }
+    let bm = buf.split_to(bm_len).to_vec();
+    let mut out = Vec::with_capacity(nrows);
+    match ftype {
+        FieldType::Bool => {
+            let plen = buf.get_u32() as usize;
+            let packed = buf.split_to(plen).to_vec();
+            let vals = bitunpack(&packed, 1, nrows);
+            for (i, v) in vals.into_iter().enumerate() {
+                out.push(if is_null(&bm, i) {
+                    Value::Null
+                } else {
+                    Value::Bool(v == 1)
+                });
+            }
+        }
+        FieldType::Int | FieldType::Timestamp => {
+            let min = buf.get_i64();
+            let width = buf.get_u8() as u32;
+            let plen = buf.get_u32() as usize;
+            let packed = buf.split_to(plen).to_vec();
+            let vals = bitunpack(&packed, width, nrows);
+            for (i, v) in vals.into_iter().enumerate() {
+                out.push(if is_null(&bm, i) {
+                    Value::Null
+                } else {
+                    Value::Int(min + v as i64)
+                });
+            }
+        }
+        FieldType::Double => {
+            for i in 0..nrows {
+                let v = buf.get_f64();
+                out.push(if is_null(&bm, i) {
+                    Value::Null
+                } else {
+                    Value::Double(v)
+                });
+            }
+        }
+        FieldType::Str | FieldType::Json => {
+            let dict_len = buf.get_u32() as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(get_str(buf)?);
+            }
+            let width = buf.get_u8() as u32;
+            let plen = buf.get_u32() as usize;
+            let packed = buf.split_to(plen).to_vec();
+            let ids = bitunpack(&packed, width, nrows);
+            for (i, id) in ids.into_iter().enumerate() {
+                if is_null(&bm, i) {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let s = dict
+                    .get(id as usize)
+                    .ok_or_else(|| Error::Corruption("dict id out of range".into()))?;
+                if ftype == FieldType::Json {
+                    out.push(Value::Json(Box::new(rtdi_common::json::parse(s)?)));
+                } else {
+                    out.push(Value::Str(s.clone()));
+                }
+            }
+        }
+        FieldType::Bytes => {
+            for i in 0..nrows {
+                let len = buf.get_u32() as usize;
+                let b = buf.split_to(len).to_vec();
+                out.push(if is_null(&bm, i) {
+                    Value::Null
+                } else {
+                    Value::Bytes(b)
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::Field;
+
+    fn sample_schema() -> Schema {
+        Schema::new(
+            "orders",
+            vec![
+                Field::new("id", FieldType::Int),
+                Field::new("restaurant", FieldType::Str),
+                Field::new("total", FieldType::Double),
+                Field::new("delivered", FieldType::Bool),
+                Field::new("ts", FieldType::Timestamp),
+            ],
+        )
+    }
+
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new()
+                    .with("id", i as i64)
+                    .with("restaurant", format!("rest-{}", i % 10))
+                    .with("total", i as f64 * 1.5)
+                    .with("delivered", i % 2 == 0)
+                    .with("ts", 1_600_000_000_000i64 + i as i64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let schema = sample_schema();
+        let rows = sample_rows(100);
+        let data = encode_columnar(&schema, &rows).unwrap();
+        let (schema2, rows2) = decode_columnar(&data).unwrap();
+        assert_eq!(schema2.name, "orders");
+        assert_eq!(rows2.len(), 100);
+        for (a, b) in rows.iter().zip(&rows2) {
+            assert_eq!(a.get_int("id"), b.get_int("id"));
+            assert_eq!(a.get_str("restaurant"), b.get_str("restaurant"));
+            assert_eq!(a.get_double("total"), b.get_double("total"));
+            assert_eq!(a.get("delivered"), b.get("delivered"));
+            assert_eq!(a.get_int("ts"), b.get_int("ts"));
+        }
+    }
+
+    #[test]
+    fn nulls_survive_roundtrip() {
+        let schema = sample_schema();
+        let rows = vec![
+            Row::new().with("id", 1i64), // everything else missing -> null
+            Row::new()
+                .with("id", Value::Null)
+                .with("restaurant", "r")
+                .with("total", 2.0)
+                .with("delivered", false)
+                .with("ts", 5i64),
+        ];
+        let data = encode_columnar(&schema, &rows).unwrap();
+        let (_, rows2) = decode_columnar(&data).unwrap();
+        assert!(rows2[0].get("restaurant").unwrap().is_null());
+        assert!(rows2[0].get("ts").unwrap().is_null());
+        assert!(rows2[1].get("id").unwrap().is_null());
+        assert_eq!(rows2[1].get_str("restaurant"), Some("r"));
+    }
+
+    #[test]
+    fn dictionary_encoding_compresses_repeats() {
+        let schema = Schema::of("t", &[("city", FieldType::Str)]);
+        let repeated: Vec<Row> = (0..1000)
+            .map(|i| Row::new().with("city", format!("city-{}", i % 4)))
+            .collect();
+        let unique: Vec<Row> = (0..1000)
+            .map(|i| Row::new().with("city", format!("city-{i}")))
+            .collect();
+        let small = encode_columnar(&schema, &repeated).unwrap();
+        let big = encode_columnar(&schema, &unique).unwrap();
+        assert!(
+            small.len() * 4 < big.len(),
+            "dict encoding ineffective: {} vs {}",
+            small.len(),
+            big.len()
+        );
+    }
+
+    #[test]
+    fn timestamps_use_frame_of_reference() {
+        // Narrow-range large timestamps should pack tightly.
+        let schema = Schema::of("t", &[("ts", FieldType::Timestamp)]);
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| Row::new().with("ts", 1_600_000_000_000i64 + (i % 60_000) as i64))
+            .collect();
+        let data = encode_columnar(&schema, &rows).unwrap();
+        // 16 bits per value max (range < 2^16) => well under 8 bytes/value
+        assert!(data.len() < 10_000 * 4, "got {} bytes", data.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(decode_columnar(&Bytes::from_static(b"nope")).is_err());
+        let schema = sample_schema();
+        let rows = sample_rows(10);
+        let data = encode_columnar(&schema, &rows).unwrap();
+        let truncated = data.slice(0..data.len() / 2);
+        assert!(decode_columnar(&truncated).is_err() || decode_columnar(&truncated).is_ok());
+        // flipping the magic always fails cleanly
+        let mut bad = data.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(decode_columnar(&Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn bitpack_roundtrip_various_widths() {
+        for bits in [1u32, 3, 7, 13, 31, 64] {
+            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let vals: Vec<u64> = (0..100).map(|i| (i * 2654435761u64) % max.max(1)).collect();
+            let packed = bitpack(&vals, bits);
+            let un = bitunpack(&packed, bits, vals.len());
+            assert_eq!(vals, un, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn json_column_roundtrip() {
+        let schema = Schema::of("t", &[("payload", FieldType::Json)]);
+        let j = rtdi_common::json::parse(r#"{"a":{"b":[1,2]}}"#).unwrap();
+        let rows = vec![Row::new().with("payload", Value::Json(Box::new(j.clone())))];
+        let data = encode_columnar(&schema, &rows).unwrap();
+        let (_, rows2) = decode_columnar(&data).unwrap();
+        assert_eq!(rows2[0].get("payload"), Some(&Value::Json(Box::new(j))));
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let schema = sample_schema();
+        let data = encode_columnar(&schema, &[]).unwrap();
+        let (s2, rows) = decode_columnar(&data).unwrap();
+        assert_eq!(s2.fields.len(), schema.fields.len());
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # rtdi-storage
+//!
+//! The archival/storage layer of the stack (§3 "Storage", §4.4 "HDFS for
+//! archival store"). Provides:
+//!
+//! - [`object`]: a generic object/blob store interface with read-after-write
+//!   consistency (the paper's minimum storage requirement), with in-memory
+//!   and local-filesystem backends plus a fault-injecting wrapper used by
+//!   the failure experiments;
+//! - [`colfile`]: a compact columnar file format (the "Parquet" stand-in)
+//!   with dictionary encoding and bit-packing;
+//! - [`archival`]: raw-log persistence of stream records (the "Avro raw
+//!   logs" of §4.4) and the compaction process that merges them into
+//!   columnar files;
+//! - [`hive`]: date-partitioned long-term tables over columnar files — the
+//!   source of truth used for backfills (§7) and Pinot offline segments.
+
+pub mod archival;
+pub mod colfile;
+pub mod hive;
+pub mod object;
+
+pub use archival::{ArchivalWriter, Compactor};
+pub use colfile::{decode_columnar, encode_columnar};
+pub use hive::{HiveCatalog, HiveTable};
+pub use object::{FaultyStore, InMemoryStore, LocalFsStore, ObjectStore};

@@ -1,0 +1,366 @@
+//! Object/blob store abstraction.
+//!
+//! §3: "This provides a generic object or blob storage interface for all
+//! the layers above it with a read after write consistency guarantee...
+//! optimized for high write rate." Flink checkpoints, Pinot segment
+//! archival and raw-log persistence all sit on this trait, so the same
+//! pipeline can run against memory (tests/benches) or the local
+//! filesystem.
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use rtdi_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A flat key -> bytes store with read-after-write consistency.
+pub trait ObjectStore: Send + Sync {
+    /// Write (or overwrite) an object.
+    fn put(&self, key: &str, data: Bytes) -> Result<()>;
+    /// Read an object.
+    fn get(&self, key: &str) -> Result<Bytes>;
+    /// Delete an object. Deleting a missing key is not an error.
+    fn delete(&self, key: &str) -> Result<()>;
+    /// List keys with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+    /// Whether a key exists.
+    fn exists(&self, key: &str) -> Result<bool> {
+        Ok(self.list(key)?.iter().any(|k| k == key))
+    }
+}
+
+/// In-memory object store; the default backend for tests and benches.
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    bytes_written: AtomicU64,
+}
+
+impl InMemoryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes ever written; used by disk-footprint experiments (E10).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Current total stored bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+}
+
+impl ObjectStore for InMemoryStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.objects.write().insert(key.to_string(), data);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("object '{key}'")))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.objects.write().remove(key);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        Ok(self.objects.read().contains_key(key))
+    }
+}
+
+/// Local-filesystem backend. Keys map to files under a root directory;
+/// `/` in keys becomes directory structure.
+#[derive(Debug)]
+pub struct LocalFsStore {
+    root: PathBuf,
+}
+
+impl LocalFsStore {
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalFsStore { root })
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        if key.contains("..") || key.starts_with('/') {
+            return Err(Error::InvalidArgument(format!("invalid object key '{key}'")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl ObjectStore for LocalFsStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // write-then-rename for atomicity (read-after-write without torn reads)
+        let tmp = path.with_extension("tmp-rtdi");
+        std::fs::write(&tmp, &data)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_for(key)?;
+        match std::fs::read(&path) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(Error::NotFound(format!("object '{key}'")))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    if key.starts_with(prefix) && !key.ends_with(".tmp-rtdi") {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Fault/latency-injecting wrapper used by the failure experiments:
+/// the E13 centralized-segment-store bottleneck models the archive as a
+/// store with limited upload bandwidth; availability experiments flip the
+/// store into a failing state.
+pub struct FaultyStore<S> {
+    inner: S,
+    /// Simulated per-put latency in microseconds of busy-wait-free delay
+    /// (applied via thread::sleep).
+    put_delay_us: AtomicU64,
+    /// When true, every operation fails with `Unavailable`.
+    down: std::sync::atomic::AtomicBool,
+    /// Fail every Nth put (0 = never).
+    fail_every: AtomicU64,
+    puts: AtomicU64,
+    /// Serializes puts, modelling a single-controller upload path.
+    serialize_puts: bool,
+    put_lock: Mutex<()>,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    pub fn new(inner: S) -> Self {
+        FaultyStore {
+            inner,
+            put_delay_us: AtomicU64::new(0),
+            down: std::sync::atomic::AtomicBool::new(false),
+            fail_every: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            serialize_puts: false,
+            put_lock: Mutex::new(()),
+        }
+    }
+
+    /// Model a slow archive: every put takes at least `us` microseconds.
+    /// When `serialize` is set, puts also contend on a single lock, like
+    /// the single-controller backup path the paper calls out in §4.3.4.
+    pub fn with_put_delay(mut self, us: u64, serialize: bool) -> Self {
+        self.put_delay_us.store(us, Ordering::Relaxed);
+        self.serialize_puts = serialize;
+        self
+    }
+
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    pub fn fail_every(&self, n: u64) {
+        self.fail_every.store(n, Ordering::Relaxed);
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.down.load(Ordering::SeqCst) {
+            Err(Error::Unavailable("object store down".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.check_up()?;
+        let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
+        let fe = self.fail_every.load(Ordering::Relaxed);
+        if fe > 0 && n % fe == 0 {
+            return Err(Error::Unavailable(format!("injected put failure #{n}")));
+        }
+        let delay = self.put_delay_us.load(Ordering::Relaxed);
+        if self.serialize_puts {
+            let _g = self.put_lock.lock();
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+            self.inner.put(key, data)
+        } else {
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+            self.inner.put(key, data)
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.check_up()?;
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.check_up()?;
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.check_up()?;
+        self.inner.list(prefix)
+    }
+}
+
+/// Convenience alias: the store type most components hold.
+pub type SharedStore = Arc<dyn ObjectStore>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &dyn ObjectStore) {
+        store.put("a/b/one", Bytes::from_static(b"1")).unwrap();
+        store.put("a/b/two", Bytes::from_static(b"22")).unwrap();
+        store.put("a/c/three", Bytes::from_static(b"333")).unwrap();
+        assert_eq!(store.get("a/b/one").unwrap(), Bytes::from_static(b"1"));
+        // read-after-write on overwrite
+        store.put("a/b/one", Bytes::from_static(b"1x")).unwrap();
+        assert_eq!(store.get("a/b/one").unwrap(), Bytes::from_static(b"1x"));
+        assert_eq!(
+            store.list("a/b/").unwrap(),
+            vec!["a/b/one".to_string(), "a/b/two".to_string()]
+        );
+        assert_eq!(store.list("a/").unwrap().len(), 3);
+        assert!(store.exists("a/c/three").unwrap());
+        store.delete("a/b/one").unwrap();
+        assert!(!store.exists("a/b/one").unwrap());
+        assert!(store.get("a/b/one").is_err());
+        store.delete("a/b/one").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        roundtrip(&InMemoryStore::new());
+    }
+
+    #[test]
+    fn fs_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rtdi-fs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LocalFsStore::new(&dir).unwrap();
+        roundtrip(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_store_rejects_escaping_keys() {
+        let dir = std::env::temp_dir().join(format!("rtdi-fs-esc-{}", std::process::id()));
+        let store = LocalFsStore::new(&dir).unwrap();
+        assert!(store.put("../evil", Bytes::new()).is_err());
+        assert!(store.get("/etc/passwd").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_store_accounts_bytes() {
+        let s = InMemoryStore::new();
+        s.put("k", Bytes::from(vec![0u8; 100])).unwrap();
+        s.put("k", Bytes::from(vec![0u8; 50])).unwrap();
+        assert_eq!(s.bytes_written(), 150);
+        assert_eq!(s.stored_bytes(), 50); // overwrite replaced
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn faulty_store_down_blocks_everything() {
+        let s = FaultyStore::new(InMemoryStore::new());
+        s.put("k", Bytes::from_static(b"v")).unwrap();
+        s.set_down(true);
+        assert!(matches!(s.get("k"), Err(Error::Unavailable(_))));
+        assert!(matches!(
+            s.put("k2", Bytes::new()),
+            Err(Error::Unavailable(_))
+        ));
+        s.set_down(false);
+        assert_eq!(s.get("k").unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn faulty_store_fails_every_nth_put() {
+        let s = FaultyStore::new(InMemoryStore::new());
+        s.fail_every(3);
+        let mut failures = 0;
+        for i in 0..9 {
+            if s.put(&format!("k{i}"), Bytes::new()).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! Chaperone: end-to-end auditing (§4.1.4).
+//!
+//! "Chaperone collects key statistics like the number of unique messages
+//! in a tumbling time window from every stage of the replication pipeline.
+//! The auditing service compares the collected statistics and generates
+//! alerts when mismatch is detected."
+//!
+//! Every stage of a pipeline (regional Kafka, aggregate Kafka, Flink sink,
+//! Pinot ingestion...) reports each message's unique id and event time to
+//! a [`Chaperone`] collector; [`Chaperone::audit`] compares any two stages
+//! window by window and emits loss/duplicate alerts.
+
+use parking_lot::RwLock;
+use rtdi_common::{Record, Timestamp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-(stage, window) statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Total messages observed (duplicates included).
+    pub count: u64,
+    /// Distinct unique-ids observed.
+    pub unique: u64,
+}
+
+/// One detected mismatch between two stages in one window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditAlert {
+    pub window_start: Timestamp,
+    pub from_stage: String,
+    pub to_stage: String,
+    pub kind: AlertKind,
+    /// How many messages the mismatch involves.
+    pub magnitude: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Downstream saw fewer unique messages than upstream.
+    Loss,
+    /// Downstream saw some message more than once.
+    Duplication,
+}
+
+#[derive(Default)]
+struct StageData {
+    /// window start -> ids seen (id -> occurrences)
+    windows: BTreeMap<Timestamp, HashMap<String, u32>>,
+}
+
+/// The audit collector.
+#[derive(Clone)]
+pub struct Chaperone {
+    window_ms: i64,
+    stages: Arc<RwLock<BTreeMap<String, StageData>>>,
+}
+
+impl Chaperone {
+    pub fn new(window_ms: i64) -> Self {
+        Chaperone {
+            window_ms: window_ms.max(1),
+            stages: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    fn window_of(&self, ts: Timestamp) -> Timestamp {
+        ts.div_euclid(self.window_ms) * self.window_ms
+    }
+
+    /// Report one message's passage through a stage. Messages without a
+    /// unique id are counted under a synthetic id (they can still be
+    /// counted, but not deduplicated).
+    pub fn observe(&self, stage: &str, record: &Record) {
+        let id = record
+            .unique_id()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("<anon-{}>", record.timestamp));
+        self.observe_id(stage, &id, record.timestamp);
+    }
+
+    /// Lower-level variant for stages that only have ids.
+    pub fn observe_id(&self, stage: &str, unique_id: &str, ts: Timestamp) {
+        let window = self.window_of(ts);
+        let mut stages = self.stages.write();
+        let data = stages.entry(stage.to_string()).or_default();
+        *data
+            .windows
+            .entry(window)
+            .or_default()
+            .entry(unique_id.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Statistics for one stage/window.
+    pub fn stats(&self, stage: &str, window_start: Timestamp) -> WindowStats {
+        let stages = self.stages.read();
+        let Some(data) = stages.get(stage) else {
+            return WindowStats::default();
+        };
+        let Some(ids) = data.windows.get(&window_start) else {
+            return WindowStats::default();
+        };
+        WindowStats {
+            count: ids.values().map(|&c| c as u64).sum(),
+            unique: ids.len() as u64,
+        }
+    }
+
+    /// Compare two stages across every window either has seen; emit alerts
+    /// for loss (downstream unique < upstream unique) and duplication
+    /// (downstream count > downstream unique).
+    pub fn audit(&self, upstream: &str, downstream: &str) -> Vec<AuditAlert> {
+        let stages = self.stages.read();
+        let up = stages.get(upstream);
+        let down = stages.get(downstream);
+        let mut windows: HashSet<Timestamp> = HashSet::new();
+        if let Some(u) = up {
+            windows.extend(u.windows.keys());
+        }
+        if let Some(d) = down {
+            windows.extend(d.windows.keys());
+        }
+        let mut alerts = Vec::new();
+        let mut sorted: Vec<Timestamp> = windows.into_iter().collect();
+        sorted.sort_unstable();
+        for w in sorted {
+            let u_unique = up
+                .and_then(|s| s.windows.get(&w))
+                .map(|m| m.len() as u64)
+                .unwrap_or(0);
+            let (d_unique, d_count) = down
+                .and_then(|s| s.windows.get(&w))
+                .map(|m| (m.len() as u64, m.values().map(|&c| c as u64).sum()))
+                .unwrap_or((0, 0));
+            if d_unique < u_unique {
+                alerts.push(AuditAlert {
+                    window_start: w,
+                    from_stage: upstream.to_string(),
+                    to_stage: downstream.to_string(),
+                    kind: AlertKind::Loss,
+                    magnitude: u_unique - d_unique,
+                });
+            }
+            if d_count > d_unique {
+                alerts.push(AuditAlert {
+                    window_start: w,
+                    from_stage: upstream.to_string(),
+                    to_stage: downstream.to_string(),
+                    kind: AlertKind::Duplication,
+                    magnitude: d_count - d_unique,
+                });
+            }
+        }
+        alerts
+    }
+
+    /// Exactly-once certification: no loss and no duplication between two
+    /// stages (the §2 "ability to certify data quality" requirement).
+    pub fn certify(&self, upstream: &str, downstream: &str) -> bool {
+        self.audit(upstream, downstream).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::record::headers;
+    use rtdi_common::Row;
+
+    fn rec(id: &str, ts: Timestamp) -> Record {
+        Record::new(Row::new(), ts).with_header(headers::UNIQUE_ID, id)
+    }
+
+    #[test]
+    fn clean_pipeline_certifies() {
+        let ch = Chaperone::new(1000);
+        for i in 0..100 {
+            let r = rec(&format!("m{i}"), i * 50);
+            ch.observe("regional", &r);
+            ch.observe("aggregate", &r);
+        }
+        assert!(ch.certify("regional", "aggregate"));
+        assert_eq!(ch.stats("regional", 0).unique, 20); // 20 msgs per 1s window
+    }
+
+    #[test]
+    fn loss_detected_in_the_right_window() {
+        let ch = Chaperone::new(1000);
+        for i in 0..100 {
+            let r = rec(&format!("m{i}"), i * 50);
+            ch.observe("regional", &r);
+            // drop messages 40..45 (window starting at 2000)
+            if !(40..45).contains(&i) {
+                ch.observe("aggregate", &r);
+            }
+        }
+        let alerts = ch.audit("regional", "aggregate");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Loss);
+        assert_eq!(alerts[0].magnitude, 5);
+        assert_eq!(alerts[0].window_start, 2000);
+        assert!(!ch.certify("regional", "aggregate"));
+    }
+
+    #[test]
+    fn duplication_detected() {
+        let ch = Chaperone::new(1000);
+        for i in 0..10 {
+            let r = rec(&format!("m{i}"), i);
+            ch.observe("a", &r);
+            ch.observe("b", &r);
+        }
+        // replay two messages downstream
+        ch.observe("b", &rec("m3", 3));
+        ch.observe("b", &rec("m3", 3));
+        ch.observe("b", &rec("m7", 7));
+        let alerts = ch.audit("a", "b");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Duplication);
+        assert_eq!(alerts[0].magnitude, 3);
+    }
+
+    #[test]
+    fn missing_stage_counts_as_total_loss() {
+        let ch = Chaperone::new(1000);
+        for i in 0..5 {
+            ch.observe("a", &rec(&format!("m{i}"), 0));
+        }
+        let alerts = ch.audit("a", "never-reported");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].magnitude, 5);
+    }
+
+    #[test]
+    fn anonymous_records_still_counted() {
+        let ch = Chaperone::new(1000);
+        ch.observe("a", &Record::new(Row::new(), 5));
+        assert_eq!(ch.stats("a", 0).count, 1);
+    }
+
+    #[test]
+    fn negative_timestamps_window_correctly() {
+        let ch = Chaperone::new(1000);
+        ch.observe_id("a", "x", -1);
+        assert_eq!(ch.stats("a", -1000).unique, 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Physical clusters: brokers hosting topics.
+//!
+//! §4.1.1: "Based on our empirical data, the ideal cluster size is less
+//! than 150 nodes for optimum performance. With federation, the Kafka
+//! service can scale horizontally by adding more clusters when a cluster
+//! is full." [`Cluster`] models node count, per-node partition capacity,
+//! a fullness signal the federation layer uses to decide when to add a
+//! cluster, and a node-count-dependent overhead model that reproduces the
+//! "degradation past ~150 nodes" observation in experiment E2.
+
+use crate::topic::{Topic, TopicConfig};
+use parking_lot::RwLock;
+use rtdi_common::{Error, Record, Result, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Sizing/behaviour knobs for a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub nodes: usize,
+    /// How many partition replicas one node can host.
+    pub partitions_per_node: usize,
+    /// Soft limit past which per-operation coordination overhead grows
+    /// super-linearly (the paper's 150-node observation).
+    pub ideal_max_nodes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 30,
+            partitions_per_node: 100,
+            ideal_max_nodes: 150,
+        }
+    }
+}
+
+/// One physical broker cluster.
+pub struct Cluster {
+    name: String,
+    config: RwLock<ClusterConfig>,
+    topics: RwLock<BTreeMap<String, Arc<Topic>>>,
+    /// Simulated total-cluster failure (for federation failover tests).
+    down: AtomicBool,
+}
+
+impl Cluster {
+    pub fn new(name: impl Into<String>, config: ClusterConfig) -> Arc<Self> {
+        Arc::new(Cluster {
+            name: name.into(),
+            config: RwLock::new(config),
+            topics: RwLock::new(BTreeMap::new()),
+            down: AtomicBool::new(false),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.config.read().nodes
+    }
+
+    /// Grow the cluster (operators add brokers before adding clusters).
+    pub fn add_nodes(&self, n: usize) {
+        self.config.write().nodes += n;
+    }
+
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.is_down() {
+            Err(Error::Unavailable(format!("cluster '{}' down", self.name)))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total partition-replica slots and how many are used.
+    pub fn capacity(&self) -> (usize, usize) {
+        let cfg = self.config.read();
+        let total = cfg.nodes * cfg.partitions_per_node;
+        let used: usize = self
+            .topics
+            .read()
+            .values()
+            .map(|t| t.num_partitions() * t.config().replication)
+            .sum();
+        (total, used)
+    }
+
+    /// Whether the federation layer should stop placing new topics here.
+    pub fn is_full(&self) -> bool {
+        let (total, used) = self.capacity();
+        used >= total
+    }
+
+    /// Per-operation coordination overhead in arbitrary cost units. Flat
+    /// up to `ideal_max_nodes`, then grows quadratically with the excess —
+    /// the empirical shape behind the paper's "ideal cluster size < 150
+    /// nodes". Used by the federation experiment (E2) to compare one giant
+    /// cluster against federated ones.
+    pub fn coordination_cost(&self) -> f64 {
+        let cfg = self.config.read();
+        let base = 1.0 + (cfg.nodes as f64).log2() * 0.05;
+        if cfg.nodes <= cfg.ideal_max_nodes {
+            base
+        } else {
+            let excess = (cfg.nodes - cfg.ideal_max_nodes) as f64;
+            base + 0.002 * excess * excess
+        }
+    }
+
+    pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<Arc<Topic>> {
+        self.check_up()?;
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("topic '{name}'")));
+        }
+        {
+            let cfg = self.config.read();
+            let total = cfg.nodes * cfg.partitions_per_node;
+            let used: usize = topics
+                .values()
+                .map(|t| t.num_partitions() * t.config().replication)
+                .sum();
+            let needed = config.partitions * config.replication;
+            if used + needed > total {
+                return Err(Error::CapacityExceeded(format!(
+                    "cluster '{}' cannot host {needed} more partition replicas ({used}/{total} used)",
+                    self.name
+                )));
+            }
+        }
+        let topic = Arc::new(Topic::new(name, config)?);
+        topics.insert(name.to_string(), topic.clone());
+        Ok(topic)
+    }
+
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>> {
+        self.check_up()?;
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("topic '{name}' in cluster '{}'", self.name)))
+    }
+
+    pub fn topic_names(&self) -> Vec<String> {
+        self.topics.read().keys().cloned().collect()
+    }
+
+    /// Remove a topic (after federation migrates it away).
+    pub fn drop_topic(&self, name: &str) -> Result<()> {
+        self.topics
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("topic '{name}'")))
+    }
+
+    /// Produce a record to a topic on this cluster.
+    pub fn produce(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+        let t = self.topic(topic)?;
+        Ok(t.append(record, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::Row;
+
+    #[test]
+    fn create_produce_fetch() {
+        let c = Cluster::new("agg1", ClusterConfig::default());
+        c.create_topic("trips", TopicConfig::default()).unwrap();
+        let (p, o) = c
+            .produce("trips", Record::new(Row::new().with("x", 1i64), 0), 0)
+            .unwrap();
+        assert_eq!(o, 0);
+        let t = c.topic("trips").unwrap();
+        assert_eq!(t.fetch(p, 0, 10).unwrap().records.len(), 1);
+        assert!(c.produce("nope", Record::new(Row::new(), 0), 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let c = Cluster::new("c", ClusterConfig::default());
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(matches!(
+            c.create_topic("t", TopicConfig::default()),
+            Err(Error::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let c = Cluster::new(
+            "small",
+            ClusterConfig {
+                nodes: 1,
+                partitions_per_node: 9,
+                ideal_max_nodes: 150,
+            },
+        );
+        // 9 slots; topic with 2 partitions x 3 replicas = 6 slots
+        c.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        assert!(!c.is_full());
+        // another 6 would exceed
+        assert!(matches!(
+            c.create_topic("b", TopicConfig::default().with_partitions(2)),
+            Err(Error::CapacityExceeded(_))
+        ));
+        // 1 partition x 3 replicas fits exactly
+        c.create_topic("c", TopicConfig::default().with_partitions(1)).unwrap();
+        assert!(c.is_full());
+    }
+
+    #[test]
+    fn down_cluster_rejects_operations() {
+        let c = Cluster::new("c", ClusterConfig::default());
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        c.set_down(true);
+        assert!(matches!(c.topic("t"), Err(Error::Unavailable(_))));
+        assert!(c.produce("t", Record::new(Row::new(), 0), 0).is_err());
+        c.set_down(false);
+        assert!(c.topic("t").is_ok());
+    }
+
+    #[test]
+    fn coordination_cost_grows_past_ideal() {
+        let small = Cluster::new("s", ClusterConfig { nodes: 100, ..Default::default() });
+        let ideal = Cluster::new("i", ClusterConfig { nodes: 150, ..Default::default() });
+        let big = Cluster::new("b", ClusterConfig { nodes: 400, ..Default::default() });
+        assert!(small.coordination_cost() <= ideal.coordination_cost() + 0.01);
+        assert!(
+            big.coordination_cost() > 10.0 * ideal.coordination_cost(),
+            "big={} ideal={}",
+            big.coordination_cost(),
+            ideal.coordination_cost()
+        );
+    }
+
+    #[test]
+    fn drop_topic_frees_capacity() {
+        let c = Cluster::new(
+            "c",
+            ClusterConfig {
+                nodes: 1,
+                partitions_per_node: 6,
+                ideal_max_nodes: 150,
+            },
+        );
+        c.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        assert!(c.is_full());
+        c.drop_topic("a").unwrap();
+        assert!(!c.is_full());
+        assert!(c.drop_topic("a").is_err());
+    }
+}

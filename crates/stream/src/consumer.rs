@@ -1,0 +1,383 @@
+//! Consumer groups with offset management and rebalancing.
+//!
+//! Implements the open-source Kafka consumption model the paper builds on:
+//! partitions are divided among group members (capping parallelism at the
+//! partition count — the limitation §4.1.3's consumer proxy removes),
+//! offsets are committed per partition, and uncommitted progress is
+//! replayed after a rebalance (at-least-once).
+//!
+//! [`TopicSubscription`] is the level of indirection federation (§4.1.1)
+//! uses to redirect a live consumer to another physical cluster without an
+//! application restart.
+
+use crate::log::OffsetRecord;
+use crate::topic::Topic;
+use parking_lot::RwLock;
+use rtdi_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A re-pointable handle to a physical topic. The federation layer swaps
+/// the inner topic during migration; consumers keep polling through the
+/// subscription and never notice.
+#[derive(Clone)]
+pub struct TopicSubscription {
+    inner: Arc<RwLock<Arc<Topic>>>,
+}
+
+impl TopicSubscription {
+    pub fn new(topic: Arc<Topic>) -> Self {
+        TopicSubscription {
+            inner: Arc::new(RwLock::new(topic)),
+        }
+    }
+
+    pub fn topic(&self) -> Arc<Topic> {
+        self.inner.read().clone()
+    }
+
+    /// Atomically redirect to another physical topic (same partition
+    /// count required, so partition assignments stay valid).
+    pub fn redirect(&self, to: Arc<Topic>) -> Result<()> {
+        let mut guard = self.inner.write();
+        if to.num_partitions() != guard.num_partitions() {
+            return Err(Error::InvalidArgument(format!(
+                "cannot redirect: partition count {} != {}",
+                to.num_partitions(),
+                guard.num_partitions()
+            )));
+        }
+        *guard = to;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    members: Vec<String>,
+    /// member -> partitions
+    assignment: BTreeMap<String, Vec<usize>>,
+    /// next offset to fetch, per partition
+    position: BTreeMap<usize, u64>,
+    /// committed offset (next offset to process after restart), per partition
+    committed: BTreeMap<usize, u64>,
+    generation: u64,
+}
+
+/// A named consumer group over one subscribed topic.
+pub struct ConsumerGroup {
+    name: String,
+    subscription: TopicSubscription,
+    state: RwLock<GroupState>,
+}
+
+impl ConsumerGroup {
+    pub fn new(name: impl Into<String>, subscription: TopicSubscription) -> Self {
+        ConsumerGroup {
+            name: name.into(),
+            subscription,
+            state: RwLock::new(GroupState::default()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn subscription(&self) -> &TopicSubscription {
+        &self.subscription
+    }
+
+    /// Add a member and rebalance. Returns the new generation.
+    pub fn join(&self, member: &str) -> u64 {
+        let mut st = self.state.write();
+        if !st.members.iter().any(|m| m == member) {
+            st.members.push(member.to_string());
+        }
+        self.rebalance(&mut st);
+        st.generation
+    }
+
+    /// Remove a member and rebalance.
+    pub fn leave(&self, member: &str) -> u64 {
+        let mut st = self.state.write();
+        st.members.retain(|m| m != member);
+        self.rebalance(&mut st);
+        st.generation
+    }
+
+    fn rebalance(&self, st: &mut GroupState) {
+        st.generation += 1;
+        st.assignment.clear();
+        let n = self.subscription.topic().num_partitions();
+        if st.members.is_empty() {
+            return;
+        }
+        // range assignment, deterministic by member order
+        for (i, member) in st.members.iter().enumerate() {
+            let parts: Vec<usize> = (0..n).filter(|p| p % st.members.len() == i).collect();
+            st.assignment.insert(member.clone(), parts);
+        }
+        // at-least-once: rewind positions to last commit
+        st.position = st.committed.clone();
+    }
+
+    /// Partitions currently assigned to a member. Members beyond the
+    /// partition count get nothing — Kafka's parallelism cap (§4.1.3).
+    pub fn assignment(&self, member: &str) -> Vec<usize> {
+        self.state
+            .read()
+            .assignment
+            .get(member)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Poll up to `max` records *per assigned partition* for a member.
+    /// Advances the in-memory position (not the commit).
+    pub fn poll(&self, member: &str, max: usize) -> Result<Vec<OffsetRecord>> {
+        Ok(self
+            .poll_partitioned(member, max)?
+            .into_iter()
+            .flat_map(|(_, recs)| recs)
+            .collect())
+    }
+
+    /// Like [`ConsumerGroup::poll`] but keeps records grouped by the
+    /// partition they came from — the consumer proxy needs partition
+    /// identity for its out-of-order offset tracking.
+    pub fn poll_partitioned(
+        &self,
+        member: &str,
+        max: usize,
+    ) -> Result<Vec<(usize, Vec<OffsetRecord>)>> {
+        let topic = self.subscription.topic();
+        let parts = self.assignment(member);
+        if parts.is_empty() && !self.state.read().members.iter().any(|m| m == member) {
+            return Err(Error::NotFound(format!(
+                "member '{member}' not in group '{}'",
+                self.name
+            )));
+        }
+        let mut out = Vec::new();
+        for p in parts {
+            let pos = { *self.state.read().position.get(&p).unwrap_or(&0) };
+            let fetch = match topic.fetch(p, pos, max) {
+                Ok(f) => f,
+                Err(Error::OffsetOutOfRange { low, .. }) => {
+                    // retention overtook us; jump to earliest (records lost)
+                    self.state.write().position.insert(p, low);
+                    topic.fetch(p, low, max)?
+                }
+                Err(e) => return Err(e),
+            };
+            if let Some(last) = fetch.records.last() {
+                self.state.write().position.insert(p, last.offset + 1);
+            }
+            if !fetch.records.is_empty() {
+                out.push((p, fetch.records));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Commit current positions of the member's partitions.
+    pub fn commit(&self, member: &str) {
+        let parts = self.assignment(member);
+        let mut st = self.state.write();
+        for p in parts {
+            if let Some(&pos) = st.position.get(&p) {
+                st.committed.insert(p, pos);
+            }
+        }
+    }
+
+    /// Explicitly commit an offset for one partition (used by the offset
+    /// sync service when failing over between regions, §6).
+    pub fn commit_offset(&self, partition: usize, offset: u64) {
+        let mut st = self.state.write();
+        st.committed.insert(partition, offset);
+        st.position.insert(partition, offset);
+    }
+
+    pub fn committed(&self, partition: usize) -> u64 {
+        *self
+            .state
+            .read()
+            .committed
+            .get(&partition)
+            .unwrap_or(&0)
+    }
+
+    /// Total lag: records between committed offsets and the high
+    /// watermarks. The job manager's auto-scaler watches this (§4.2.1).
+    pub fn lag(&self) -> u64 {
+        let topic = self.subscription.topic();
+        let st = self.state.read();
+        (0..topic.num_partitions())
+            .map(|p| {
+                let hwm = topic
+                    .partition(p)
+                    .map(|l| l.high_watermark())
+                    .unwrap_or(0);
+                hwm.saturating_sub(*st.committed.get(&p).unwrap_or(&0))
+            })
+            .sum()
+    }
+
+    pub fn members(&self) -> Vec<String> {
+        self.state.read().members.clone()
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicConfig;
+    use rtdi_common::{Record, Row};
+
+    fn topic_with(n: usize, records: usize) -> Arc<Topic> {
+        let t = Arc::new(Topic::new("t", TopicConfig::default().with_partitions(n)).unwrap());
+        for i in 0..records {
+            t.append(
+                Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
+                0,
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn single_member_consumes_everything() {
+        let t = topic_with(4, 100);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t));
+        g.join("m1");
+        assert_eq!(g.assignment("m1").len(), 4);
+        let mut total = 0;
+        loop {
+            let recs = g.poll("m1", 10).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            total += recs.len();
+            g.commit("m1");
+        }
+        assert_eq!(total, 100);
+        assert_eq!(g.lag(), 0);
+    }
+
+    #[test]
+    fn partitions_split_across_members() {
+        let t = topic_with(4, 0);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t));
+        g.join("a");
+        g.join("b");
+        let pa = g.assignment("a");
+        let pb = g.assignment("b");
+        assert_eq!(pa.len() + pb.len(), 4);
+        assert!(pa.iter().all(|p| !pb.contains(p)));
+        // parallelism capped at partition count: 6 members, 4 partitions
+        for m in ["c", "d", "e", "f"] {
+            g.join(m);
+        }
+        let assigned: usize = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|m| g.assignment(m).len())
+            .sum();
+        assert_eq!(assigned, 4);
+        let idle = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .filter(|m| g.assignment(m).is_empty())
+            .count();
+        assert_eq!(idle, 2);
+    }
+
+    #[test]
+    fn rebalance_replays_uncommitted() {
+        let t = topic_with(1, 10);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t));
+        g.join("a");
+        let first = g.poll("a", 5).unwrap();
+        assert_eq!(first.len(), 5);
+        g.commit("a");
+        let second = g.poll("a", 3).unwrap(); // offsets 5..8, uncommitted
+        assert_eq!(second[0].offset, 5);
+        // member joins -> rebalance -> position rewinds to commit (5)
+        g.join("b");
+        let owner = if g.assignment("a").is_empty() { "b" } else { "a" };
+        let replay = g.poll(owner, 10).unwrap();
+        assert_eq!(replay[0].offset, 5, "uncommitted records must replay");
+        assert_eq!(replay.len(), 5);
+    }
+
+    #[test]
+    fn unknown_member_rejected() {
+        let t = topic_with(1, 0);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t));
+        assert!(g.poll("ghost", 1).is_err());
+    }
+
+    #[test]
+    fn lag_tracks_commits() {
+        let t = topic_with(2, 20);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t.clone()));
+        g.join("a");
+        assert_eq!(g.lag(), 20);
+        g.poll("a", 100).unwrap();
+        assert_eq!(g.lag(), 20, "poll without commit leaves lag");
+        g.commit("a");
+        assert_eq!(g.lag(), 0);
+        t.append(Record::new(Row::new(), 0).with_key("x"), 0);
+        assert_eq!(g.lag(), 1);
+    }
+
+    #[test]
+    fn retention_overrun_jumps_to_earliest() {
+        let t = Arc::new(
+            Topic::new(
+                "t",
+                TopicConfig {
+                    partitions: 1,
+                    retention_bytes: 1500,
+                    retention_ms: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t.clone()));
+        g.join("a");
+        for i in 0..500 {
+            t.append(Record::new(Row::new().with("i", i as i64), 0).with_key("k"), 0);
+        }
+        // committed offset 0 has been retained away; poll recovers
+        let recs = g.poll("a", 10).unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs[0].offset > 0);
+    }
+
+    #[test]
+    fn subscription_redirect_checks_partitions() {
+        let t1 = topic_with(4, 0);
+        let t2 = topic_with(4, 0);
+        let t3 = topic_with(8, 0);
+        let sub = TopicSubscription::new(t1);
+        assert!(sub.redirect(t2).is_ok());
+        assert!(sub.redirect(t3).is_err());
+    }
+
+    #[test]
+    fn explicit_commit_offset_moves_position() {
+        let t = topic_with(1, 10);
+        let g = ConsumerGroup::new("g", TopicSubscription::new(t));
+        g.join("a");
+        g.commit_offset(0, 7);
+        let recs = g.poll("a", 10).unwrap();
+        assert_eq!(recs[0].offset, 7);
+        assert_eq!(g.committed(0), 7);
+    }
+}

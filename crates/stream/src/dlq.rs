@@ -1,0 +1,167 @@
+//! Dead letter queues (§4.1.2).
+//!
+//! "If a consumer of the topic cannot process a message with several
+//! retries, it will publish that message to the dead letter topic. The
+//! messages in the dead letter topic can be purged or merged (i.e.
+//! retried) on demand by the users. This way, the unprocessed messages
+//! remain separate and therefore are unable to impede live traffic."
+
+use crate::producer::StreamEndpoint;
+use crate::topic::{Topic, TopicConfig};
+use rtdi_common::record::headers;
+use rtdi_common::{Record, Result, Timestamp};
+use std::sync::Arc;
+
+/// The dead-letter companion of a main topic.
+pub struct DeadLetterQueue {
+    /// Name of the topic whose poison messages land here.
+    source_topic: String,
+    dlq: Arc<Topic>,
+}
+
+impl DeadLetterQueue {
+    pub fn new(source_topic: impl Into<String>) -> Result<Self> {
+        let source_topic = source_topic.into();
+        // DLQ uses a single partition: ordering across poison messages is
+        // irrelevant and it simplifies drain/merge.
+        let dlq = Arc::new(Topic::new(
+            format!("{source_topic}.dlq"),
+            TopicConfig {
+                partitions: 1,
+                retention_ms: 0, // poison messages never expire silently
+                retention_bytes: 0,
+                ..TopicConfig::lossless()
+            },
+        )?);
+        Ok(DeadLetterQueue { source_topic, dlq })
+    }
+
+    pub fn source_topic(&self) -> &str {
+        &self.source_topic
+    }
+
+    /// Park a message that exhausted its retries. The failure reason and
+    /// source topic are recorded in headers for triage.
+    pub fn park(&self, mut record: Record, reason: &str, now: Timestamp) {
+        record
+            .headers
+            .set(headers::DLQ_SOURCE, self.source_topic.clone());
+        record.headers.set("rtdi.dlq_reason", reason);
+        self.dlq.append_to(0, record, now).expect("dlq partition 0 exists");
+    }
+
+    /// Number of currently parked messages.
+    pub fn depth(&self) -> usize {
+        self.dlq.partition(0).expect("partition 0").len()
+    }
+
+    /// Inspect parked messages without consuming them.
+    pub fn peek(&self, max: usize) -> Vec<Record> {
+        let log = self.dlq.partition(0).expect("partition 0");
+        log.fetch(log.log_start_offset(), max)
+            .map(|f| f.records.into_iter().map(|r| r.record).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drop every parked message ("purged ... on demand by the users").
+    pub fn purge(&self) -> usize {
+        let log = self.dlq.partition(0).expect("partition 0");
+        let n = log.len();
+        log.truncate_all();
+        n
+    }
+
+    /// Re-publish every parked message to the main topic for another
+    /// processing attempt ("merged (i.e. retried) on demand"). The retry
+    /// counter header is cleared so the consumer proxy's retry budget
+    /// starts fresh. Returns how many messages were merged.
+    pub fn merge(&self, endpoint: &dyn StreamEndpoint, now: Timestamp) -> Result<usize> {
+        let log = self.dlq.partition(0).expect("partition 0");
+        let mut merged = 0;
+        loop {
+            let fetch = log.fetch(log.log_start_offset(), 1024)?;
+            if fetch.records.is_empty() {
+                break;
+            }
+            let count = fetch.records.len();
+            for rec in fetch.records {
+                let mut record = rec.record;
+                record.headers.set(headers::ATTEMPTS, "0");
+                endpoint.send(&self.source_topic, record, now)?;
+            }
+            // only drop from the DLQ after successful re-publish
+            for _ in 0..count {
+                // truncate the merged prefix by advancing retention manually
+            }
+            log.truncate_all();
+            merged += count;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use rtdi_common::Row;
+
+    fn rec(i: i64) -> Record {
+        Record::new(Row::new().with("i", i), i).with_key("k")
+    }
+
+    #[test]
+    fn park_and_inspect() {
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        dlq.park(rec(1), "schema mismatch", 100);
+        dlq.park(rec(2), "downstream 500", 101);
+        assert_eq!(dlq.depth(), 2);
+        let peeked = dlq.peek(10);
+        assert_eq!(peeked.len(), 2);
+        assert_eq!(peeked[0].headers.get(headers::DLQ_SOURCE), Some("trips"));
+        assert_eq!(
+            peeked[0].headers.get("rtdi.dlq_reason"),
+            Some("schema mismatch")
+        );
+        // peeking does not consume
+        assert_eq!(dlq.depth(), 2);
+    }
+
+    #[test]
+    fn purge_empties_queue() {
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        for i in 0..5 {
+            dlq.park(rec(i), "x", 0);
+        }
+        assert_eq!(dlq.purge(), 5);
+        assert_eq!(dlq.depth(), 0);
+        assert_eq!(dlq.purge(), 0);
+    }
+
+    #[test]
+    fn merge_republishes_to_source_topic() {
+        let cluster = Cluster::new("c", ClusterConfig::default());
+        cluster
+            .create_topic("trips", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        for i in 0..3 {
+            let mut r = rec(i);
+            r.headers.set(headers::ATTEMPTS, "5");
+            dlq.park(r, "boom", 0);
+        }
+        let merged = dlq.merge(cluster.as_ref(), 50).unwrap();
+        assert_eq!(merged, 3);
+        assert_eq!(dlq.depth(), 0);
+        let topic = cluster.topic("trips").unwrap();
+        let records = topic.fetch(0, 0, 10).unwrap().records;
+        assert_eq!(records.len(), 3);
+        // retry budget reset
+        assert_eq!(records[0].record.headers.get(headers::ATTEMPTS), Some("0"));
+        // provenance retained
+        assert_eq!(
+            records[0].record.headers.get(headers::DLQ_SOURCE),
+            Some("trips")
+        );
+    }
+}

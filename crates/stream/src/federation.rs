@@ -1,0 +1,383 @@
+//! Cluster federation (§4.1.1).
+//!
+//! "A metadata server aggregates all the metadata information of the
+//! clusters and topics in a central place, so that it can transparently
+//! route the client's request to the actual physical cluster... With
+//! federation, the Kafka service can scale horizontally by adding more
+//! clusters when a cluster is full. New topics are seamlessly created on
+//! the newly added clusters... Cluster federation enables consumer traffic
+//! redirection to another physical cluster without restarting the
+//! application."
+//!
+//! [`FederatedCluster`] exposes the same [`StreamEndpoint`] interface as a
+//! single physical cluster — producers and consumers see one "logical
+//! cluster". Topic migration is offset-preserving: destination partitions
+//! adopt the source's base offsets before the copy, so committed consumer
+//! offsets remain valid after the transparent redirect.
+
+use crate::cluster::Cluster;
+use crate::consumer::TopicSubscription;
+use crate::log::FetchResult;
+use crate::producer::StreamEndpoint;
+use crate::topic::{Topic, TopicConfig};
+use parking_lot::RwLock;
+use rtdi_common::{Error, Record, Result, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The central metadata server: where does each topic physically live?
+#[derive(Default)]
+pub struct FederationMetadata {
+    /// topic -> physical cluster name
+    placement: BTreeMap<String, String>,
+}
+
+impl FederationMetadata {
+    pub fn cluster_of(&self, topic: &str) -> Option<&str> {
+        self.placement.get(topic).map(|s| s.as_str())
+    }
+
+    pub fn topics(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.placement.iter().map(|(t, c)| (t.as_str(), c.as_str()))
+    }
+}
+
+struct Inner {
+    clusters: Vec<Arc<Cluster>>,
+    metadata: FederationMetadata,
+    /// Live subscriptions per topic, redirected during migration.
+    subscriptions: BTreeMap<String, Vec<TopicSubscription>>,
+}
+
+/// The logical cluster clients talk to.
+#[derive(Clone)]
+pub struct FederatedCluster {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl FederatedCluster {
+    pub fn new() -> Self {
+        FederatedCluster {
+            inner: Arc::new(RwLock::new(Inner {
+                clusters: Vec::new(),
+                metadata: FederationMetadata::default(),
+                subscriptions: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Register a physical cluster with the federation.
+    pub fn add_cluster(&self, cluster: Arc<Cluster>) {
+        self.inner.write().clusters.push(cluster);
+    }
+
+    pub fn cluster_names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .clusters
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect()
+    }
+
+    pub fn cluster(&self, name: &str) -> Result<Arc<Cluster>> {
+        self.inner
+            .read()
+            .clusters
+            .iter()
+            .find(|c| c.name() == name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("cluster '{name}'")))
+    }
+
+    /// Create a topic on the first healthy, non-full cluster. This is the
+    /// "new topics are seamlessly created on the newly added clusters"
+    /// behaviour: when existing clusters fill up, operators `add_cluster`
+    /// and placement picks it up automatically.
+    pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.metadata.placement.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("federated topic '{name}'")));
+        }
+        let needed = config.partitions * config.replication;
+        let target = inner
+            .clusters
+            .iter()
+            .find(|c| {
+                if c.is_down() {
+                    return false;
+                }
+                let (total, used) = c.capacity();
+                used + needed <= total
+            })
+            .cloned()
+            .ok_or_else(|| {
+                Error::CapacityExceeded(
+                    "no federated cluster has capacity for this topic; add a cluster".into(),
+                )
+            })?;
+        target.create_topic(name, config)?;
+        inner
+            .metadata
+            .placement
+            .insert(name.to_string(), target.name().to_string());
+        Ok(())
+    }
+
+    fn resolve(&self, topic: &str) -> Result<(Arc<Cluster>, Arc<Topic>)> {
+        let inner = self.inner.read();
+        let cluster_name = inner
+            .metadata
+            .cluster_of(topic)
+            .ok_or_else(|| Error::NotFound(format!("federated topic '{topic}'")))?;
+        let cluster = inner
+            .clusters
+            .iter()
+            .find(|c| c.name() == cluster_name)
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("cluster '{cluster_name}' vanished")))?;
+        let t = cluster.topic(topic)?;
+        Ok((cluster, t))
+    }
+
+    /// Which physical cluster currently hosts the topic.
+    pub fn placement(&self, topic: &str) -> Option<String> {
+        self.inner
+            .read()
+            .metadata
+            .cluster_of(topic)
+            .map(|s| s.to_string())
+    }
+
+    /// Subscribe to a topic; the returned subscription survives topic
+    /// migration without a restart.
+    pub fn subscribe(&self, topic: &str) -> Result<TopicSubscription> {
+        let (_, t) = self.resolve(topic)?;
+        let sub = TopicSubscription::new(t);
+        self.inner
+            .write()
+            .subscriptions
+            .entry(topic.to_string())
+            .or_default()
+            .push(sub.clone());
+        Ok(sub)
+    }
+
+    /// Migrate a topic to another physical cluster while consumers keep
+    /// polling. Steps (all under the metadata write lock, so producers are
+    /// briefly paused rather than failed):
+    ///
+    /// 1. create the topic on the target with the same config;
+    /// 2. align destination partition base offsets with the source;
+    /// 3. copy all retained records;
+    /// 4. update placement (producers now route to the target);
+    /// 5. redirect live subscriptions;
+    /// 6. drop the source topic.
+    pub fn migrate_topic(&self, topic: &str, to_cluster: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let from_name = inner
+            .metadata
+            .cluster_of(topic)
+            .ok_or_else(|| Error::NotFound(format!("federated topic '{topic}'")))?
+            .to_string();
+        if from_name == to_cluster {
+            return Ok(());
+        }
+        let from = inner
+            .clusters
+            .iter()
+            .find(|c| c.name() == from_name)
+            .cloned()
+            .ok_or_else(|| Error::Internal("source cluster vanished".into()))?;
+        let to = inner
+            .clusters
+            .iter()
+            .find(|c| c.name() == to_cluster)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("cluster '{to_cluster}'")))?;
+        let src = from.topic(topic)?;
+        let dst = to.create_topic(topic, src.config().clone())?;
+        for p in 0..src.num_partitions() {
+            let src_log = src.partition(p).expect("partition exists");
+            let dst_log = dst.partition(p).expect("partition exists");
+            dst_log.advance_base_to(src_log.log_start_offset())?;
+            let mut offset = src_log.log_start_offset();
+            loop {
+                let fetch = src_log.fetch(offset, 1024)?;
+                if fetch.records.is_empty() {
+                    break;
+                }
+                offset = fetch.records.last().expect("non-empty").offset + 1;
+                for rec in fetch.records {
+                    // reuse event time as append time so time-based
+                    // retention behaves consistently on the destination
+                    let now = rec.record.timestamp;
+                    dst_log.append(rec.record, now);
+                }
+            }
+        }
+        inner
+            .metadata
+            .placement
+            .insert(topic.to_string(), to_cluster.to_string());
+        if let Some(subs) = inner.subscriptions.get(topic) {
+            for sub in subs {
+                sub.redirect(dst.clone())?;
+            }
+        }
+        from.drop_topic(topic)?;
+        Ok(())
+    }
+}
+
+impl Default for FederatedCluster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamEndpoint for FederatedCluster {
+    fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+        let (_, t) = self.resolve(topic)?;
+        Ok(t.append(record, now))
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+        max: usize,
+    ) -> Result<FetchResult> {
+        let (_, t) = self.resolve(topic)?;
+        t.fetch(partition, offset, max)
+    }
+
+    fn num_partitions(&self, topic: &str) -> Result<usize> {
+        let (_, t) = self.resolve(topic)?;
+        Ok(t.num_partitions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::consumer::ConsumerGroup;
+    use rtdi_common::Row;
+
+    fn small_cluster(name: &str, slots: usize) -> Arc<Cluster> {
+        Cluster::new(
+            name,
+            ClusterConfig {
+                nodes: 1,
+                partitions_per_node: slots,
+                ideal_max_nodes: 150,
+            },
+        )
+    }
+
+    fn rec(i: i64) -> Record {
+        Record::new(Row::new().with("i", i), i).with_key(format!("k{}", i % 7))
+    }
+
+    #[test]
+    fn topics_spill_to_new_clusters_when_full() {
+        let fed = FederatedCluster::new();
+        fed.add_cluster(small_cluster("c1", 6)); // fits one 2p x 3r topic
+        fed.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        // c1 full; no capacity anywhere
+        assert!(matches!(
+            fed.create_topic("b", TopicConfig::default().with_partitions(2)),
+            Err(Error::CapacityExceeded(_))
+        ));
+        // operator adds a cluster; creation now succeeds transparently
+        fed.add_cluster(small_cluster("c2", 6));
+        fed.create_topic("b", TopicConfig::default().with_partitions(2)).unwrap();
+        assert_eq!(fed.placement("a").unwrap(), "c1");
+        assert_eq!(fed.placement("b").unwrap(), "c2");
+    }
+
+    #[test]
+    fn logical_produce_routes_to_physical_cluster() {
+        let fed = FederatedCluster::new();
+        fed.add_cluster(small_cluster("c1", 100));
+        fed.create_topic("t", TopicConfig::default().with_partitions(2)).unwrap();
+        for i in 0..10 {
+            fed.send("t", rec(i), 0).unwrap();
+        }
+        let c1 = fed.cluster("c1").unwrap();
+        assert_eq!(c1.topic("t").unwrap().total_records(), 10);
+        assert!(fed.send("ghost", rec(0), 0).is_err());
+    }
+
+    #[test]
+    fn migration_preserves_offsets_and_redirects_consumers() {
+        let fed = FederatedCluster::new();
+        fed.add_cluster(small_cluster("c1", 100));
+        fed.add_cluster(small_cluster("c2", 100));
+        fed.create_topic("t", TopicConfig::default().with_partitions(2)).unwrap();
+        for i in 0..100 {
+            fed.send("t", rec(i), 0).unwrap();
+        }
+        let sub = fed.subscribe("t").unwrap();
+        let group = ConsumerGroup::new("g", sub);
+        group.join("m");
+        // consume half, commit
+        let mut consumed = Vec::new();
+        for _ in 0..5 {
+            consumed.extend(group.poll("m", 10).unwrap());
+        }
+        group.commit("m");
+        let before = consumed.len();
+        assert!(before >= 50);
+
+        // migrate with live consumer
+        fed.migrate_topic("t", "c2").unwrap();
+        assert_eq!(fed.placement("t").unwrap(), "c2");
+        assert!(fed.cluster("c1").unwrap().topic("t").is_err());
+
+        // producers keep working against the logical name
+        for i in 100..110 {
+            fed.send("t", rec(i), 0).unwrap();
+        }
+
+        // consumer continues without restart; no loss, no duplication
+        loop {
+            let recs = group.poll("m", 10).unwrap();
+            if recs.is_empty() {
+                break;
+            }
+            consumed.extend(recs);
+            group.commit("m");
+        }
+        let mut ids: Vec<i64> = consumed
+            .iter()
+            .map(|r| r.record.value.get_int("i").unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 110, "every record seen exactly once");
+        assert_eq!(group.lag(), 0);
+    }
+
+    #[test]
+    fn migrate_to_same_cluster_is_noop() {
+        let fed = FederatedCluster::new();
+        fed.add_cluster(small_cluster("c1", 100));
+        fed.create_topic("t", TopicConfig::default()).unwrap();
+        fed.migrate_topic("t", "c1").unwrap();
+        assert_eq!(fed.placement("t").unwrap(), "c1");
+    }
+
+    #[test]
+    fn placement_skips_down_clusters() {
+        let fed = FederatedCluster::new();
+        let c1 = small_cluster("c1", 100);
+        c1.set_down(true);
+        fed.add_cluster(c1);
+        fed.add_cluster(small_cluster("c2", 100));
+        fed.create_topic("t", TopicConfig::default()).unwrap();
+        assert_eq!(fed.placement("t").unwrap(), "c2");
+    }
+}

@@ -1,0 +1,44 @@
+//! # rtdi-stream
+//!
+//! The streaming-storage layer — the Apache Kafka stand-in of §4.1 — plus
+//! every enhancement the paper layers on top of it:
+//!
+//! - [`log`], [`topic`], [`cluster`]: partitioned append-only logs,
+//!   topics with per-use-case configs (lossless vs high-throughput),
+//!   multi-node clusters with failure injection;
+//! - [`producer`], [`consumer`]: at-least-once producers with batching and
+//!   acks, consumer groups with offset commits and rebalancing;
+//! - [`federation`] (§4.1.1): the logical-cluster metadata server that
+//!   routes topics across physical clusters, scales out by adding
+//!   clusters, and migrates topics without consumer restarts;
+//! - [`dlq`] (§4.1.2): dead letter queues with purge/merge;
+//! - [`proxy`] (§4.1.3): the consumer proxy that turns polling into
+//!   push-based dispatch with retries, DLQ hand-off and parallelism beyond
+//!   the partition count;
+//! - [`replicator`] (§4.1.4): uReplicator-style cross-cluster replication
+//!   with sticky rebalancing, standby workers and offset mapping
+//!   checkpoints;
+//! - [`chaperone`] (§4.1.4): end-to-end audit of per-window message counts
+//!   across pipeline stages with loss/duplicate alerting.
+
+pub mod chaperone;
+pub mod cluster;
+pub mod consumer;
+pub mod dlq;
+pub mod federation;
+pub mod log;
+pub mod producer;
+pub mod proxy;
+pub mod replicator;
+pub mod tiered;
+pub mod topic;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use consumer::{ConsumerGroup, TopicSubscription};
+pub use dlq::DeadLetterQueue;
+pub use federation::{FederatedCluster, FederationMetadata};
+pub use log::{FetchResult, OffsetRecord, PartitionLog};
+pub use producer::Producer;
+pub use tiered::TieredLog;
+pub use proxy::{ConsumerProxy, ConsumerService, DispatchMode, ProxyConfig};
+pub use topic::{Topic, TopicConfig};

@@ -1,0 +1,284 @@
+//! Producer client.
+//!
+//! A deliberately *thin* client (§9.2: "a thin client is always preferred
+//! in order to reduce the frequency of the client upgrades"): batching,
+//! at-least-once retries and audit decoration live here; everything else
+//! (routing, federation, quotas) lives server-side.
+
+use crate::log::FetchResult;
+use parking_lot::Mutex;
+use rtdi_common::record::headers;
+use rtdi_common::{Clock, Record, Result, Timestamp, WallClock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Anything records can be produced to / fetched from by topic name:
+/// a single [`crate::cluster::Cluster`] or a federated logical cluster.
+pub trait StreamEndpoint: Send + Sync {
+    fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)>;
+    fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize)
+        -> Result<FetchResult>;
+    fn num_partitions(&self, topic: &str) -> Result<usize>;
+}
+
+impl StreamEndpoint for crate::cluster::Cluster {
+    fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+        self.produce(topic, record, now)
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+        max: usize,
+    ) -> Result<FetchResult> {
+        self.topic(topic)?.fetch(partition, offset, max)
+    }
+
+    fn num_partitions(&self, topic: &str) -> Result<usize> {
+        Ok(self.topic(topic)?.num_partitions())
+    }
+}
+
+/// Producer configuration.
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Messages buffered per topic before an automatic flush.
+    pub batch_size: usize,
+    /// At-least-once: how many times to retry a retryable send.
+    pub max_retries: usize,
+    /// Service name stamped into audit headers.
+    pub service: String,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        ProducerConfig {
+            batch_size: 1,
+            max_retries: 3,
+            service: "unknown-service".into(),
+        }
+    }
+}
+
+/// At-least-once producer with client-side batching and audit decoration
+/// (§9.4: unique identifier, application timestamp, service name).
+pub struct Producer {
+    endpoint: Arc<dyn StreamEndpoint>,
+    config: ProducerConfig,
+    clock: Arc<dyn Clock>,
+    seq: AtomicU64,
+    buffers: Mutex<BTreeMap<String, Vec<Record>>>,
+    sent: AtomicU64,
+}
+
+impl Producer {
+    pub fn new(endpoint: Arc<dyn StreamEndpoint>, config: ProducerConfig) -> Self {
+        Self::with_clock(endpoint, config, Arc::new(WallClock))
+    }
+
+    pub fn with_clock(
+        endpoint: Arc<dyn StreamEndpoint>,
+        config: ProducerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Producer {
+            endpoint,
+            config,
+            clock,
+            seq: AtomicU64::new(0),
+            buffers: Mutex::new(BTreeMap::new()),
+            sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Decorate and send (or buffer) one record.
+    pub fn send(&self, topic: &str, mut record: Record) -> Result<()> {
+        let now = self.clock.now();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if record.unique_id().is_none() {
+            record
+                .headers
+                .set(headers::UNIQUE_ID, format!("{}-{seq}", self.config.service));
+        }
+        record
+            .headers
+            .set(headers::APP_TIMESTAMP, now.to_string());
+        record.headers.set(headers::SERVICE, self.config.service.clone());
+        if self.config.batch_size <= 1 {
+            return self.send_now(topic, record, now);
+        }
+        let full_batch = {
+            let mut buffers = self.buffers.lock();
+            let buf = buffers.entry(topic.to_string()).or_default();
+            buf.push(record);
+            if buf.len() >= self.config.batch_size {
+                Some(std::mem::take(buf))
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = full_batch {
+            self.send_batch(topic, batch, now)?;
+        }
+        Ok(())
+    }
+
+    /// Flush all buffered batches.
+    pub fn flush(&self) -> Result<()> {
+        let now = self.clock.now();
+        let drained: Vec<(String, Vec<Record>)> = {
+            let mut buffers = self.buffers.lock();
+            buffers
+                .iter_mut()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(k, v)| (k.clone(), std::mem::take(v)))
+                .collect()
+        };
+        for (topic, batch) in drained {
+            self.send_batch(&topic, batch, now)?;
+        }
+        Ok(())
+    }
+
+    fn send_batch(&self, topic: &str, batch: Vec<Record>, now: Timestamp) -> Result<()> {
+        for record in batch {
+            self.send_now(topic, record, now)?;
+        }
+        Ok(())
+    }
+
+    fn send_now(&self, topic: &str, record: Record, now: Timestamp) -> Result<()> {
+        let mut attempt = 0;
+        loop {
+            match self.endpoint.send(topic, record.clone(), now) {
+                Ok(_) => {
+                    self.sent.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Records successfully delivered to the endpoint.
+    pub fn records_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::topic::TopicConfig;
+    use parking_lot::RwLock;
+    use rtdi_common::{Error, Row, SimClock};
+
+    fn setup() -> (Arc<Cluster>, Arc<SimClock>) {
+        let c = Cluster::new("c", ClusterConfig::default());
+        c.create_topic("t", TopicConfig::default().with_partitions(2))
+            .unwrap();
+        (c, Arc::new(SimClock::new(1000)))
+    }
+
+    #[test]
+    fn send_decorates_with_audit_headers() {
+        let (c, clock) = setup();
+        let p = Producer::with_clock(
+            c.clone(),
+            ProducerConfig {
+                service: "driver-app".into(),
+                ..Default::default()
+            },
+            clock,
+        );
+        p.send("t", Record::new(Row::new().with("x", 1i64), 5).with_key("k"))
+            .unwrap();
+        let topic = c.topic("t").unwrap();
+        let part = (0..2)
+            .find(|&i| topic.fetch(i, 0, 1).unwrap().records.len() == 1)
+            .unwrap();
+        let rec = &topic.fetch(part, 0, 1).unwrap().records[0].record;
+        assert_eq!(rec.headers.get(headers::SERVICE), Some("driver-app"));
+        assert_eq!(rec.headers.get(headers::APP_TIMESTAMP), Some("1000"));
+        assert!(rec.unique_id().unwrap().starts_with("driver-app-"));
+    }
+
+    #[test]
+    fn batching_defers_until_full_or_flush() {
+        let (c, clock) = setup();
+        let p = Producer::with_clock(
+            c.clone(),
+            ProducerConfig {
+                batch_size: 10,
+                ..Default::default()
+            },
+            clock,
+        );
+        for i in 0..9 {
+            p.send("t", Record::new(Row::new().with("i", i as i64), 0)).unwrap();
+        }
+        assert_eq!(c.topic("t").unwrap().total_records(), 0);
+        p.send("t", Record::new(Row::new().with("i", 9i64), 0)).unwrap();
+        assert_eq!(c.topic("t").unwrap().total_records(), 10);
+        p.send("t", Record::new(Row::new().with("i", 10i64), 0)).unwrap();
+        p.flush().unwrap();
+        assert_eq!(c.topic("t").unwrap().total_records(), 11);
+        assert_eq!(p.records_sent(), 11);
+    }
+
+    /// Endpoint that fails transiently N times then succeeds.
+    struct Flaky {
+        inner: Arc<Cluster>,
+        failures_left: RwLock<usize>,
+    }
+
+    impl StreamEndpoint for Flaky {
+        fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+            let mut left = self.failures_left.write();
+            if *left > 0 {
+                *left -= 1;
+                return Err(Error::Unavailable("transient".into()));
+            }
+            self.inner.produce(topic, record, now)
+        }
+        fn fetch(
+            &self,
+            topic: &str,
+            partition: usize,
+            offset: u64,
+            max: usize,
+        ) -> Result<FetchResult> {
+            self.inner.topic(topic)?.fetch(partition, offset, max)
+        }
+        fn num_partitions(&self, topic: &str) -> Result<usize> {
+            Ok(self.inner.topic(topic)?.num_partitions())
+        }
+    }
+
+    #[test]
+    fn retries_transient_failures() {
+        let (c, clock) = setup();
+        let flaky = Arc::new(Flaky {
+            inner: c.clone(),
+            failures_left: RwLock::new(2),
+        });
+        let p = Producer::with_clock(flaky, ProducerConfig::default(), clock.clone());
+        p.send("t", Record::new(Row::new(), 0)).unwrap();
+        assert_eq!(c.topic("t").unwrap().total_records(), 1);
+
+        // too many failures -> surfaced
+        let flaky = Arc::new(Flaky {
+            inner: c.clone(),
+            failures_left: RwLock::new(10),
+        });
+        let p = Producer::with_clock(flaky, ProducerConfig::default(), clock);
+        assert!(p.send("t", Record::new(Row::new(), 0)).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Topics: named, partitioned streams with per-use-case configuration.
+//!
+//! §10 ("Scaling use cases"): "with the same client protocol we're able to
+//! serve a wide spectrum of use cases from logging which trades off data
+//! consistency for achieving high availability, to disseminating financial
+//! data that needs zero data loss guarantees". [`TopicConfig`] carries
+//! that tuning: lossless (acks-all, fsync-like semantics) vs
+//! high-throughput (acks-leader, bounded retention), matching the surge
+//! pipeline's choice in §5.1.
+
+use crate::log::{FetchResult, PartitionLog};
+use rtdi_common::{Error, Record, Result, Timestamp};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Durability/throughput profile of a topic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicConfig {
+    pub partitions: usize,
+    /// Replication factor (modelled for placement/failure accounting).
+    pub replication: usize,
+    /// Zero-data-loss topics reject writes when under-replicated;
+    /// high-throughput topics accept them (§5.1's surge tradeoff).
+    pub lossless: bool,
+    /// Retention window; 0 = unlimited. The paper limits retention to "a
+    /// few days" (§7).
+    pub retention_ms: i64,
+    /// Per-partition retention bytes; 0 = unlimited.
+    pub retention_bytes: usize,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig {
+            partitions: 4,
+            replication: 3,
+            lossless: false,
+            retention_ms: 3 * 86_400_000, // 3 days
+            retention_bytes: 0,
+        }
+    }
+}
+
+impl TopicConfig {
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Financial-grade: lossless, full replication.
+    pub fn lossless() -> Self {
+        TopicConfig {
+            lossless: true,
+            ..Default::default()
+        }
+    }
+
+    /// Surge-style: favor throughput/freshness over durability.
+    pub fn high_throughput() -> Self {
+        TopicConfig {
+            replication: 2,
+            lossless: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A partitioned stream.
+pub struct Topic {
+    name: String,
+    config: TopicConfig,
+    partitions: Vec<Arc<PartitionLog>>,
+    round_robin: AtomicUsize,
+}
+
+impl Topic {
+    pub fn new(name: impl Into<String>, config: TopicConfig) -> Result<Self> {
+        if config.partitions == 0 {
+            return Err(Error::InvalidArgument("topic needs >= 1 partition".into()));
+        }
+        let partitions = (0..config.partitions)
+            .map(|_| Arc::new(PartitionLog::new(config.retention_ms, config.retention_bytes)))
+            .collect();
+        Ok(Topic {
+            name: name.into(),
+            config,
+            partitions,
+            round_robin: AtomicUsize::new(0),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn config(&self) -> &TopicConfig {
+        &self.config
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Choose the partition for a record: keyed records hash, unkeyed
+    /// round-robin.
+    pub fn partition_for(&self, record: &Record) -> usize {
+        record
+            .partition_for(self.partitions.len())
+            .unwrap_or_else(|| {
+                self.round_robin.fetch_add(1, Ordering::Relaxed) % self.partitions.len()
+            })
+    }
+
+    /// Append to the chosen partition; returns `(partition, offset)`.
+    pub fn append(&self, record: Record, now: Timestamp) -> (usize, u64) {
+        let p = self.partition_for(&record);
+        let offset = self.partitions[p].append(record, now);
+        (p, offset)
+    }
+
+    /// Append directly to a specific partition (used by the replicator to
+    /// preserve partition alignment, which upsert tables require, §4.3.1).
+    pub fn append_to(&self, partition: usize, record: Record, now: Timestamp) -> Result<u64> {
+        let log = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| Error::InvalidArgument(format!("partition {partition} out of range")))?;
+        Ok(log.append(record, now))
+    }
+
+    pub fn fetch(&self, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
+        let log = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| Error::InvalidArgument(format!("partition {partition} out of range")))?;
+        log.fetch(offset, max)
+    }
+
+    pub fn partition(&self, i: usize) -> Option<&Arc<PartitionLog>> {
+        self.partitions.get(i)
+    }
+
+    /// Sum of high watermarks (total records ever appended & retained
+    /// bookkeeping).
+    pub fn total_records(&self) -> u64 {
+        self.partitions.iter().map(|p| p.high_watermark()).sum()
+    }
+
+    pub fn high_watermarks(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.high_watermark()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::Row;
+
+    fn rec(key: Option<&str>, i: i64) -> Record {
+        let r = Record::new(Row::new().with("i", i), i);
+        match key {
+            Some(k) => r.with_key(k),
+            None => r,
+        }
+    }
+
+    #[test]
+    fn keyed_records_stay_on_one_partition() {
+        let t = Topic::new("trips", TopicConfig::default().with_partitions(8)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50 {
+            let (p, _) = t.append(rec(Some("driver-7"), i), 0);
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 1);
+    }
+
+    #[test]
+    fn unkeyed_records_round_robin() {
+        let t = Topic::new("logs", TopicConfig::default().with_partitions(4)).unwrap();
+        for i in 0..40 {
+            t.append(rec(None, i), 0);
+        }
+        for p in 0..4 {
+            assert_eq!(t.fetch(p, 0, 100).unwrap().records.len(), 10);
+        }
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(Topic::new("bad", TopicConfig::default().with_partitions(0)).is_err());
+    }
+
+    #[test]
+    fn fetch_bad_partition_rejected() {
+        let t = Topic::new("t", TopicConfig::default().with_partitions(2)).unwrap();
+        assert!(t.fetch(5, 0, 10).is_err());
+        assert!(t.append_to(5, rec(None, 1), 0).is_err());
+    }
+
+    #[test]
+    fn config_profiles() {
+        assert!(TopicConfig::lossless().lossless);
+        assert!(!TopicConfig::high_throughput().lossless);
+        assert!(TopicConfig::high_throughput().replication < TopicConfig::lossless().replication);
+    }
+
+    #[test]
+    fn total_records_sums_partitions() {
+        let t = Topic::new("t", TopicConfig::default().with_partitions(3)).unwrap();
+        for i in 0..30 {
+            t.append(rec(Some(&format!("k{i}")), i), 0);
+        }
+        assert_eq!(t.total_records(), 30);
+        assert_eq!(t.high_watermarks().iter().sum::<u64>(), 30);
+    }
+}

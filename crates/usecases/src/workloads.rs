@@ -1,0 +1,242 @@
+//! Seeded synthetic workload generators.
+//!
+//! Substitutes for the production traces the paper's pipelines consume
+//! (trips, marketplace events, eats orders, ML predictions). All
+//! generators are deterministic given a seed, skewed like real traffic
+//! (hot geofences, hot restaurants) and can inject late arrivals — the
+//! property the surge pipeline must tolerate (§5.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtdi_common::{Record, Row, Timestamp};
+
+/// Map a (lat, lon) position onto a hexagon-ish geofence id. A square
+/// grid stands in for H3 hexagons: what matters to the pipeline is a
+/// deterministic position -> cell mapping with controllable granularity.
+pub fn hex_for(lat: f64, lon: f64, cell_deg: f64) -> String {
+    let r = (lat / cell_deg).floor() as i64;
+    let c = (lon / cell_deg).floor() as i64;
+    format!("hex_{r}_{c}")
+}
+
+/// Marketplace event generator: demand (ride requests) and supply
+/// (driver availability) events over a grid of geofences.
+pub struct TripEventGenerator {
+    rng: StdRng,
+    /// Number of distinct geofences.
+    pub cells: usize,
+    /// Probability an event is late by up to `max_lateness_ms`.
+    pub late_probability: f64,
+    pub max_lateness_ms: i64,
+    /// Demand:supply ratio skew per cell (hot cells get more demand).
+    hot_cells: usize,
+}
+
+impl TripEventGenerator {
+    pub fn new(seed: u64, cells: usize) -> Self {
+        TripEventGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            cells: cells.max(1),
+            late_probability: 0.0,
+            max_lateness_ms: 0,
+            hot_cells: (cells / 8).max(1),
+        }
+    }
+
+    pub fn with_lateness(mut self, probability: f64, max_ms: i64) -> Self {
+        self.late_probability = probability.clamp(0.0, 1.0);
+        self.max_lateness_ms = max_ms.max(0);
+        self
+    }
+
+    fn cell(&mut self) -> String {
+        // 50% of traffic concentrates on the hot cells
+        let c = if self.rng.gen_bool(0.5) {
+            self.rng.gen_range(0..self.hot_cells)
+        } else {
+            self.rng.gen_range(0..self.cells)
+        };
+        format!("hex_{}_{}", c / 16, c % 16)
+    }
+
+    /// One marketplace event at (approximately) event time `ts`.
+    pub fn marketplace_event(&mut self, ts: Timestamp) -> Record {
+        let late = self.rng.gen_bool(self.late_probability);
+        let event_ts = if late {
+            ts - self.rng.gen_range(1..=self.max_lateness_ms.max(1))
+        } else {
+            ts
+        };
+        let hex = self.cell();
+        let kind = if self.rng.gen_bool(0.6) { "demand" } else { "supply" };
+        Record::new(
+            Row::new()
+                .with("hex", hex.clone())
+                .with("kind", kind)
+                .with("rider", format!("u{}", self.rng.gen_range(0..10_000)))
+                .with("ts", event_ts),
+            event_ts,
+        )
+        .with_key(hex)
+    }
+
+    /// A batch of events covering `[start, start + duration_ms)` at a
+    /// fixed rate.
+    pub fn marketplace_batch(
+        &mut self,
+        start: Timestamp,
+        duration_ms: i64,
+        events_per_sec: usize,
+    ) -> Vec<Record> {
+        let total = (duration_ms as usize * events_per_sec) / 1000;
+        (0..total)
+            .map(|i| {
+                let ts = start + (i as i64 * duration_ms) / total.max(1) as i64;
+                self.marketplace_event(ts)
+            })
+            .collect()
+    }
+
+    /// UberEats order events for the restaurant-manager and ops use cases.
+    pub fn eats_order(&mut self, ts: Timestamp) -> Record {
+        // hot restaurants get most orders (Zipf-ish skew via two tiers)
+        let restaurant = if self.rng.gen_bool(0.6) {
+            format!("rest-{:04}", self.rng.gen_range(0..20))
+        } else {
+            format!("rest-{:04}", self.rng.gen_range(0..500))
+        };
+        let items = self.rng.gen_range(1..=8i64);
+        let total = items as f64 * self.rng.gen_range(6.0..25.0);
+        let rating = self.rng.gen_range(1..=5i64);
+        Record::new(
+            Row::new()
+                .with("restaurant", restaurant.clone())
+                .with("item", format!("item-{}", self.rng.gen_range(0..50)))
+                .with("items", items)
+                .with("total", (total * 100.0).round() / 100.0)
+                .with("rating", rating)
+                .with("hex", self.cell())
+                .with("ts", ts),
+            ts,
+        )
+        .with_key(restaurant)
+    }
+
+    /// Prediction + delayed outcome pair for model monitoring (§5.3).
+    /// Returns `(prediction, outcome)` where the outcome arrives
+    /// `outcome_delay_ms` later.
+    pub fn prediction_pair(
+        &mut self,
+        ts: Timestamp,
+        models: usize,
+        outcome_delay_ms: i64,
+    ) -> (Record, Record) {
+        let model = format!("model-{:04}", self.rng.gen_range(0..models.max(1)));
+        let feature = format!("f{}", self.rng.gen_range(0..100));
+        let case = format!("case-{}-{}", ts, self.rng.gen_range(0..1_000_000));
+        let predicted = self.rng.gen_range(0.0..1.0);
+        let noise: f64 = self.rng.gen_range(-0.1..0.1);
+        let actual = (predicted + noise).clamp(0.0, 1.0);
+        let pred = Record::new(
+            Row::new()
+                .with("case_id", case.clone())
+                .with("model", model.clone())
+                .with("feature", feature.clone())
+                .with("predicted", predicted)
+                .with("ts", ts),
+            ts,
+        )
+        .with_key(case.clone());
+        let outcome = Record::new(
+            Row::new()
+                .with("case_id", case.clone())
+                .with("model", model)
+                .with("actual", actual)
+                .with("ts", ts + outcome_delay_ms),
+            ts + outcome_delay_ms,
+        )
+        .with_key(case);
+        (pred, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TripEventGenerator::new(42, 64);
+        let mut b = TripEventGenerator::new(42, 64);
+        for i in 0..50 {
+            assert_eq!(a.marketplace_event(i).value, b.marketplace_event(i).value);
+        }
+        let mut c = TripEventGenerator::new(43, 64);
+        let differs = (0..50).any(|i| {
+            TripEventGenerator::new(42, 64).marketplace_event(i).value
+                != c.marketplace_event(i).value
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn hex_mapping_is_stable_grid() {
+        assert_eq!(hex_for(37.77, -122.41, 0.01), hex_for(37.7701, -122.4099, 0.01));
+        assert_ne!(hex_for(37.77, -122.41, 0.01), hex_for(37.80, -122.41, 0.01));
+    }
+
+    #[test]
+    fn traffic_is_skewed_to_hot_cells() {
+        let mut g = TripEventGenerator::new(7, 128);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..10_000 {
+            let e = g.marketplace_event(i);
+            *counts
+                .entry(e.value.get_str("hex").unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = freqs.iter().take(16).sum();
+        assert!(
+            top_share * 100 / 10_000 > 40,
+            "hot cells should draw a large share, got {}%",
+            top_share * 100 / 10_000
+        );
+    }
+
+    #[test]
+    fn lateness_injection_respects_bounds() {
+        let mut g = TripEventGenerator::new(1, 16).with_lateness(1.0, 5_000);
+        for i in 0..100 {
+            let ts = 1_000_000 + i;
+            let e = g.marketplace_event(ts);
+            assert!(e.timestamp < ts && e.timestamp >= ts - 5_000);
+        }
+        let mut g = TripEventGenerator::new(1, 16); // no lateness
+        for i in 0..100 {
+            assert_eq!(g.marketplace_event(i).timestamp, i);
+        }
+    }
+
+    #[test]
+    fn batch_spans_requested_window() {
+        let mut g = TripEventGenerator::new(5, 32);
+        let batch = g.marketplace_batch(10_000, 2_000, 500);
+        assert_eq!(batch.len(), 1000);
+        assert!(batch.first().unwrap().timestamp >= 10_000);
+        assert!(batch.last().unwrap().timestamp < 12_000);
+    }
+
+    #[test]
+    fn prediction_pairs_share_case_and_model() {
+        let mut g = TripEventGenerator::new(9, 8);
+        let (p, o) = g.prediction_pair(1000, 50, 2_000);
+        assert_eq!(p.value.get_str("case_id"), o.value.get_str("case_id"));
+        assert_eq!(p.value.get_str("model"), o.value.get_str("model"));
+        assert_eq!(o.timestamp, p.timestamp + 2_000);
+        let predicted = p.value.get_double("predicted").unwrap();
+        let actual = o.value.get_double("actual").unwrap();
+        assert!((predicted - actual).abs() <= 0.1 + 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Real-time ML prediction monitoring (§5.3): join predictions to
+//! observed outcomes, cube accuracy per model into Pinot, alert on
+//! degraded models.
+//!
+//! Run with: `cargo run --example prediction_monitoring`
+
+use rtdi::common::{Record, Row};
+use rtdi::usecases::prediction::PredictionMonitoring;
+use rtdi::usecases::workloads::TripEventGenerator;
+
+fn main() {
+    let pm = PredictionMonitoring::new(60_000, 10_000).expect("deploy");
+    let mut gen = TripEventGenerator::new(123, 16);
+
+    // healthy traffic: 1000 models, 30k prediction/outcome pairs
+    let mut preds = Vec::new();
+    let mut outs = Vec::new();
+    for i in 0..30_000 {
+        let (p, o) = gen.prediction_pair((i as i64) * 10, 1_000, 2_000);
+        preds.push(p);
+        outs.push(o);
+    }
+    // one silently-broken model mixed in
+    for i in 0..200i64 {
+        let ts = 310_000 + i * 10;
+        let case = format!("broken-{i}");
+        preds.push(
+            Record::new(
+                Row::new()
+                    .with("case_id", case.clone())
+                    .with("model", "model-broken")
+                    .with("predicted", 0.9)
+                    .with("ts", ts),
+                ts,
+            )
+            .with_key(case.clone()),
+        );
+        outs.push(
+            Record::new(
+                Row::new()
+                    .with("case_id", case.clone())
+                    .with("model", "model-broken")
+                    .with("actual", 0.1)
+                    .with("ts", ts + 500),
+                ts + 500,
+            )
+            .with_key(case),
+        );
+    }
+
+    let stats = pm.run(preds, outs).expect("pipeline");
+    println!(
+        "joined and aggregated {} events into {} accuracy-cube rows",
+        stats.records_in,
+        pm.cube.doc_count()
+    );
+
+    let degraded = pm.degraded_models(0.5).expect("alerting");
+    println!("models with mean abs error > 0.5: {degraded:?}");
+    assert_eq!(degraded, vec!["model-broken".to_string()]);
+
+    let series = pm.accuracy_series("model-broken").expect("series");
+    println!("\naccuracy time series for model-broken:");
+    for row in series.iter().take(5) {
+        println!(
+            "  window {:>8}: {} samples, mean abs error {:.3}",
+            row.get_int("window_start").unwrap(),
+            row.get_int("samples").unwrap(),
+            row.get_double("mean_abs_error").unwrap()
+        );
+    }
+    let healthy = pm.accuracy_series("model-0042").expect("series");
+    if let Some(row) = healthy.first() {
+        println!(
+            "\nhealthy model-0042 for contrast: mean abs error {:.3}",
+            row.get_double("mean_abs_error").unwrap()
+        );
+    }
+}

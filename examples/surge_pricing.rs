@@ -1,0 +1,106 @@
+//! Surge pricing with active-active multi-region failover (§5.1, §6,
+//! Figure 6).
+//!
+//! Trip events flow into two regions' regional clusters, replicate into
+//! both aggregate clusters, and each region redundantly computes surge
+//! multipliers; only the primary region's update service writes the KV
+//! store. Mid-run, the primary region dies and the coordinator fails over
+//! — pricing keeps flowing with no gap.
+//!
+//! Run with: `cargo run --example surge_pricing`
+
+use rtdi::multiregion::activeactive::{redundant_compute_round, ActiveActiveCoordinator};
+use rtdi::multiregion::kv::ReplicatedKv;
+use rtdi::multiregion::topology::MultiRegionTopology;
+use rtdi::stream::topic::TopicConfig;
+use rtdi::usecases::surge::{LinearSurgeModel, SurgeModel};
+use rtdi::usecases::workloads::TripEventGenerator;
+use rtdi::common::Row;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    // surge uses high-throughput (not lossless) topics: freshness over
+    // consistency (§5.1)
+    let topo = MultiRegionTopology::new(
+        &["us-west", "us-east"],
+        "marketplace",
+        TopicConfig::high_throughput().with_partitions(4),
+    )
+    .expect("topology");
+    let coordinator = ActiveActiveCoordinator::new("us-west");
+    let kv = ReplicatedKv::new();
+    let model = Arc::new(LinearSurgeModel::default());
+
+    let surge_compute = {
+        let model = model.clone();
+        move |rows: &[Row]| -> BTreeMap<String, Row> {
+            let mut demand_supply: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+            for r in rows {
+                if let Some(hex) = r.get_str("hex") {
+                    let e = demand_supply.entry(hex.to_string()).or_insert((0.0, 0.0));
+                    match r.get_str("kind") {
+                        Some("demand") => e.0 += 1.0,
+                        Some("supply") => e.1 += 1.0,
+                        _ => {}
+                    }
+                }
+            }
+            demand_supply
+                .into_iter()
+                .map(|(hex, (d, s))| {
+                    (hex, Row::new()
+                        .with("multiplier", model.multiplier(d, s))
+                        .with("demand", d)
+                        .with("supply", s))
+                })
+                .collect()
+        }
+    };
+
+    // --- normal operation ---------------------------------------------
+    let mut gen_west = TripEventGenerator::new(1, 48).with_lateness(0.05, 3_000);
+    let mut gen_east = TripEventGenerator::new(2, 48).with_lateness(0.05, 3_000);
+    for t in 0..2_000i64 {
+        topo.produce("us-west", gen_west.marketplace_event(t * 5), t * 5).unwrap();
+        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5).unwrap();
+    }
+    let copied = topo.replicate(10_000);
+    println!("replicated {copied} events into both aggregate clusters");
+    let states =
+        redundant_compute_round(&topo, &coordinator, &kv, 10_000, &surge_compute).unwrap();
+    println!(
+        "both regions computed surge for {} hexes; states identical: {}",
+        states["us-west"].len(),
+        states["us-west"] == states["us-east"]
+    );
+    let sample = kv.keys().into_iter().next().unwrap();
+    println!(
+        "primary={} wrote e.g. {} -> multiplier {:.2}",
+        coordinator.primary(),
+        sample,
+        kv.get(&sample).unwrap().get_double("multiplier").unwrap()
+    );
+
+    // --- disaster strikes the primary -----------------------------------
+    println!("\n!! us-west goes dark");
+    topo.region("us-west").unwrap().set_down(true);
+    for t in 2_000..3_000i64 {
+        // only east can ingest now
+        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5).unwrap();
+    }
+    topo.replicate(20_000);
+    redundant_compute_round(&topo, &coordinator, &kv, 20_000, &surge_compute).unwrap();
+    println!(
+        "coordinator failed over: primary={}, KV writer of {} is now {}",
+        coordinator.primary(),
+        sample,
+        kv.writer_of(&sample).unwrap()
+    );
+    println!(
+        "pricing still serving: {} hexes priced, {} -> {:.2}",
+        kv.len(),
+        sample,
+        kv.get(&sample).unwrap().get_double("multiplier").unwrap()
+    );
+}

@@ -1,0 +1,249 @@
+//! Failure-injection integration tests: the availability machinery of
+//! §4.1.2/§4.3.4/§6 under induced faults.
+
+use rtdi::common::{AggFn, Error, FieldType, Record, Row, Schema};
+use rtdi::olap::broker::{Broker, ServerNode};
+use rtdi::olap::query::Query;
+use rtdi::olap::segment::{IndexSpec, Segment};
+use rtdi::olap::segstore::{SegmentStore, SegmentStoreMode};
+use rtdi::olap::table::{OlapTable, TableConfig};
+use rtdi::storage::object::{FaultyStore, InMemoryStore, ObjectStore};
+use rtdi::stream::consumer::{ConsumerGroup, TopicSubscription};
+use rtdi::stream::dlq::DeadLetterQueue;
+use rtdi::stream::proxy::{ConsumerProxy, DispatchMode, ProxyConfig};
+use rtdi::stream::topic::{Topic, TopicConfig};
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::of(
+        "t",
+        &[("city", FieldType::Str), ("v", FieldType::Int), ("ts", FieldType::Timestamp)],
+    )
+}
+
+fn seg(name: &str, n: usize) -> Arc<Segment> {
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new()
+                .with("city", ["sf", "la"][i % 2])
+                .with("v", i as i64)
+                .with("ts", i as i64)
+        })
+        .collect();
+    Arc::new(Segment::build(name, &schema(), rows, &IndexSpec::none()).unwrap())
+}
+
+/// E13 scenario: a replica dies; with peer-to-peer recovery the table is
+/// fully queryable again even while the deep store is down.
+#[test]
+fn segment_recovery_survives_deep_store_outage() {
+    let table = OlapTable::new(
+        TableConfig::new("t", schema())
+            .with_partitions(1)
+            .with_segment_rows(50),
+    )
+    .unwrap();
+    for i in 0..200usize {
+        table
+            .ingest(
+                0,
+                Row::new()
+                    .with("city", ["sf", "la"][i % 2])
+                    .with("v", i as i64)
+                    .with("ts", i as i64),
+            )
+            .unwrap();
+    }
+    let names = table.sealed_segments(0);
+    assert_eq!(names.len(), 4);
+
+    // peers (other server replicas) hold copies of the sealed segments
+    let peer = ServerNode::new(1);
+    for (_, s) in table.take_unbacked() {
+        peer.host(s);
+    }
+    // deep store is DOWN
+    let faulty = FaultyStore::new(InMemoryStore::new());
+    faulty.set_down(true);
+    let store = SegmentStore::new(Arc::new(faulty), SegmentStoreMode::PeerToPeer, IndexSpec::none());
+
+    // a replica loses a segment
+    let victim = names[1].clone();
+    let _lost = table.evict_sealed(0, &victim).unwrap();
+    let count = |t: &OlapTable| {
+        t.query(&Query::select_all("t").aggregate("n", AggFn::Count)).unwrap().rows[0]
+            .get_int("n")
+            .unwrap()
+    };
+    assert_eq!(count(&table), 150);
+
+    // peer-to-peer recovery restores it without touching the archive
+    let recovered = store.recover("t", &victim, &[peer]).unwrap();
+    table.restore_sealed(0, recovered);
+    assert_eq!(count(&table), 200);
+}
+
+/// Broker failover: servers die one by one; queries survive while any
+/// replica lives, then fail cleanly.
+#[test]
+fn broker_survives_n_minus_one_server_failures() {
+    let servers: Vec<Arc<ServerNode>> = (0..3).map(ServerNode::new).collect();
+    let broker = Broker::new(servers);
+    broker.register_table("t", false);
+    for i in 0..4 {
+        broker
+            .place_segment("t", seg(&format!("s{i}"), 100), None, 3)
+            .unwrap();
+    }
+    let q = Query::select_all("t").aggregate("n", AggFn::Count);
+    assert_eq!(broker.query(&q).unwrap().rows[0].get_int("n"), Some(400));
+    broker.servers()[0].set_down(true);
+    assert_eq!(broker.query(&q).unwrap().rows[0].get_int("n"), Some(400));
+    broker.servers()[1].set_down(true);
+    assert_eq!(broker.query(&q).unwrap().rows[0].get_int("n"), Some(400));
+    broker.servers()[2].set_down(true);
+    assert!(matches!(broker.query(&q), Err(Error::Unavailable(_))));
+    // recovery restores service
+    broker.servers()[2].set_down(false);
+    assert_eq!(broker.query(&q).unwrap().rows[0].get_int("n"), Some(400));
+}
+
+/// Poison messages + a flapping downstream service: live traffic never
+/// blocks, the DLQ isolates the poison, merge retries it after the fix.
+#[test]
+fn dlq_merge_after_downstream_fix() {
+    let topic = Arc::new(Topic::new("orders", TopicConfig::default().with_partitions(2)).unwrap());
+    for i in 0..100i64 {
+        topic.append(
+            Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
+            0,
+        );
+    }
+    let dlq = Arc::new(DeadLetterQueue::new("orders").unwrap());
+    // phase 1: messages divisible by 10 are "corrupt" for the current
+    // service version
+    let broken = Arc::new(|r: &Record| {
+        if r.value.get_int("i").unwrap() % 10 == 0 {
+            Err(Error::ProcessingFailed("cannot parse v1 payload".into()))
+        } else {
+            Ok(())
+        }
+    });
+    let group = ConsumerGroup::new("g", TopicSubscription::new(topic.clone()));
+    let proxy = ConsumerProxy::new(
+        ProxyConfig {
+            mode: DispatchMode::Push(8),
+            max_attempts: 2,
+            poll_batch: 32,
+        },
+        broken,
+        dlq.clone(),
+    );
+    let stats = proxy.run_until_caught_up(&group).unwrap();
+    assert_eq!(stats.delivered, 90);
+    assert_eq!(stats.dead_lettered, 10);
+    assert_eq!(group.lag(), 0, "poison never blocked live traffic");
+
+    // phase 2: service fixed; merge the DLQ back into the main topic
+    struct Cluster0(Arc<Topic>);
+    impl rtdi::stream::producer::StreamEndpoint for Cluster0 {
+        fn send(
+            &self,
+            _topic: &str,
+            record: Record,
+            now: i64,
+        ) -> rtdi::common::Result<(usize, u64)> {
+            Ok(self.0.append(record, now))
+        }
+        fn fetch(
+            &self,
+            _topic: &str,
+            partition: usize,
+            offset: u64,
+            max: usize,
+        ) -> rtdi::common::Result<rtdi::stream::log::FetchResult> {
+            self.0.fetch(partition, offset, max)
+        }
+        fn num_partitions(&self, _topic: &str) -> rtdi::common::Result<usize> {
+            Ok(self.0.num_partitions())
+        }
+    }
+    let merged = dlq.merge(&Cluster0(topic.clone()), 1_000).unwrap();
+    assert_eq!(merged, 10);
+    let fixed = Arc::new(|_: &Record| Ok(()));
+    let proxy = ConsumerProxy::new(
+        ProxyConfig {
+            mode: DispatchMode::Push(8),
+            max_attempts: 2,
+            poll_batch: 32,
+        },
+        fixed,
+        dlq.clone(),
+    );
+    let stats = proxy.run_until_caught_up(&group).unwrap();
+    assert_eq!(stats.delivered, 10, "merged messages reprocessed");
+    assert_eq!(dlq.depth(), 0);
+}
+
+/// Intermittent object-store failures: ingestion-side archival retries
+/// around injected faults without data loss.
+#[test]
+fn archival_tolerates_flaky_store() {
+    use rtdi::storage::archival::ArchivalWriter;
+    let flaky = Arc::new(FaultyStore::new(InMemoryStore::new()));
+    flaky.fail_every(3);
+    let writer = ArchivalWriter::new(flaky.clone() as Arc<dyn ObjectStore>, "trips");
+    let mut written = 0;
+    for batch in 0..10 {
+        let records: Vec<Record> = (0..10)
+            .map(|i| Record::new(Row::new().with("i", (batch * 10 + i) as i64), 0))
+            .collect();
+        // at-least-once archival: retry failed batches
+        loop {
+            match writer.write_batch(&records) {
+                Ok(_) => break,
+                Err(Error::Unavailable(_)) => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        written += 10;
+    }
+    assert_eq!(written, 100);
+    let read_back = writer.read_raw("d000000").unwrap();
+    // at-least-once: duplicates possible, nothing missing
+    let distinct: std::collections::BTreeSet<i64> = read_back
+        .iter()
+        .map(|r| r.value.get_int("i").unwrap())
+        .collect();
+    assert_eq!(distinct.len(), 100);
+}
+
+/// Upsert tables stay correct when segments seal mid-correction-stream.
+#[test]
+fn upsert_correct_across_seals_and_eviction_recovery() {
+    let table = OlapTable::new(
+        TableConfig::new("fares", schema())
+            .with_upsert("city") // two keys only: heavy update pressure
+            .with_partitions(1)
+            .with_segment_rows(10),
+    )
+    .unwrap();
+    for i in 0..95usize {
+        table
+            .ingest(
+                0,
+                Row::new()
+                    .with("city", ["sf", "la"][i % 2])
+                    .with("v", i as i64)
+                    .with("ts", i as i64),
+            )
+            .unwrap();
+    }
+    let q = Query::select_all("fares").aggregate("n", AggFn::Count);
+    // only the latest version of each key is live
+    assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(2));
+    let latest_sf = table
+        .lookup(&rtdi::common::Value::Str("sf".into()), "v")
+        .unwrap();
+    assert_eq!(latest_sf, rtdi::common::Value::Int(94));
+}

@@ -1,0 +1,299 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+use rtdi::common::{AggFn, FieldType, Record, Row, Schema, Value};
+use rtdi::olap::query::{Predicate, PredicateOp, Query};
+use rtdi::olap::segment::{IndexSpec, Segment};
+use rtdi::olap::startree::StarTreeSpec;
+use rtdi::storage::colfile;
+use rtdi::stream::log::PartitionLog;
+
+fn schema() -> Schema {
+    Schema::of(
+        "t",
+        &[
+            ("city", FieldType::Str),
+            ("n", FieldType::Int),
+            ("x", FieldType::Double),
+            ("flag", FieldType::Bool),
+        ],
+    )
+}
+
+prop_compose! {
+    fn arb_row()(
+        city in prop::option::of(0..6u8),
+        n in prop::option::of(-1000..1000i64),
+        x in prop::option::of(-100.0..100.0f64),
+        flag in prop::option::of(any::<bool>()),
+    ) -> Row {
+        let mut row = Row::new();
+        if let Some(c) = city { row.push("city", format!("c{c}")); }
+        if let Some(n) = n { row.push("n", n); }
+        if let Some(x) = x { row.push("x", x); }
+        if let Some(f) = flag { row.push("flag", f); }
+        row
+    }
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let op = prop::sample::select(vec![
+        PredicateOp::Eq,
+        PredicateOp::Ne,
+        PredicateOp::Lt,
+        PredicateOp::Le,
+        PredicateOp::Gt,
+        PredicateOp::Ge,
+    ]);
+    (op, 0..3u8).prop_flat_map(|(op, col)| match col {
+        0 => (0..6u8).prop_map(move |c| Predicate::new("city", op, format!("c{c}"))).boxed(),
+        1 => (-1000..1000i64).prop_map(move |v| Predicate::new("n", op, v)).boxed(),
+        _ => (-100.0..100.0f64).prop_map(move |v| Predicate::new("x", op, v)).boxed(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Columnar file encode/decode round-trips arbitrary rows (including
+    /// missing fields -> nulls).
+    #[test]
+    fn colfile_roundtrip(rows in prop::collection::vec(arb_row(), 0..200)) {
+        let data = colfile::encode_columnar(&schema(), &rows).unwrap();
+        let (s2, decoded) = colfile::decode_columnar(&data).unwrap();
+        prop_assert_eq!(s2.fields.len(), schema().fields.len());
+        prop_assert_eq!(decoded.len(), rows.len());
+        for (a, b) in rows.iter().zip(&decoded) {
+            for col in ["city", "n", "x", "flag"] {
+                let va = a.get(col).cloned().unwrap_or(Value::Null);
+                let vb = b.get(col).cloned().unwrap_or(Value::Null);
+                prop_assert_eq!(va, vb, "column {}", col);
+            }
+        }
+    }
+
+    /// Index-accelerated segment execution agrees with row-by-row
+    /// predicate evaluation for every predicate type.
+    #[test]
+    fn indexes_equal_scan(
+        rows in prop::collection::vec(arb_row(), 1..300),
+        preds in prop::collection::vec(arb_predicate(), 1..3),
+    ) {
+        let spec = IndexSpec::none()
+            .with_inverted(&["city", "n"])
+            .with_range(&["x", "n"]);
+        let seg = Segment::build("s", &schema(), rows.clone(), &spec).unwrap();
+        let mut q = Query::select_all("t").aggregate("cnt", AggFn::Count);
+        q.predicates = preds.clone();
+        let got = seg.execute(&q, None).unwrap().rows[0].get_int("cnt").unwrap();
+        let expected = rows
+            .iter()
+            .filter(|r| preds.iter().all(|p| p.matches(r)))
+            .count() as i64;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Sorted-column builds return the same answers as unsorted ones.
+    #[test]
+    fn sorted_build_preserves_answers(
+        rows in prop::collection::vec(arb_row(), 1..200),
+        pred in arb_predicate(),
+    ) {
+        let plain = Segment::build("a", &schema(), rows.clone(), &IndexSpec::none()).unwrap();
+        let sorted = Segment::build("b", &schema(), rows, &IndexSpec::none().with_sorted("n")).unwrap();
+        let q = Query::select_all("t")
+            .filter(pred)
+            .aggregate("cnt", AggFn::Count)
+            .aggregate("sum_x", AggFn::Sum("x".into()));
+        let a = plain.execute(&q, None).unwrap().rows;
+        let b = sorted.execute(&q, None).unwrap().rows;
+        prop_assert_eq!(a[0].get_int("cnt"), b[0].get_int("cnt"));
+        let (sa, sb) = (
+            a[0].get_double("sum_x").unwrap_or(0.0),
+            b[0].get_double("sum_x").unwrap_or(0.0),
+        );
+        prop_assert!((sa - sb).abs() < 1e-6);
+    }
+
+    /// Star-tree answers equal exact aggregation for covered query shapes.
+    #[test]
+    fn startree_equals_exact(rows in prop::collection::vec(arb_row(), 1..300)) {
+        let mut st_spec = StarTreeSpec::new(
+            &["city"],
+            vec![AggFn::Count, AggFn::Sum("x".into())],
+        );
+        st_spec.max_leaf_records = 0; // always split: tree covers every group-by
+        let spec = IndexSpec::none().with_startree(st_spec);
+        let seg = Segment::build("s", &schema(), rows.clone(), &spec).unwrap();
+        let q = Query::select_all("t")
+            .aggregate("cnt", AggFn::Count)
+            .aggregate("sx", AggFn::Sum("x".into()))
+            .group(&["city"]);
+        let res = seg.execute(&q, None).unwrap();
+        prop_assert!(res.used_startree);
+        let total: i64 = res.rows.iter().map(|r| r.get_int("cnt").unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        let sum: f64 = res.rows.iter().map(|r| r.get_double("sx").unwrap_or(0.0)).sum();
+        let exact: f64 = rows.iter().filter_map(|r| r.get_double("x")).sum();
+        prop_assert!((sum - exact).abs() < 1e-6);
+    }
+
+    /// Log offsets are dense and monotonic under any append/retention mix.
+    #[test]
+    fn log_offsets_monotonic(
+        sizes in prop::collection::vec(1..50usize, 1..20),
+        retention_bytes in prop::option::of(1_000..20_000usize),
+    ) {
+        let log = PartitionLog::new(0, retention_bytes.unwrap_or(0));
+        let mut expected = 0u64;
+        for (i, size) in sizes.iter().enumerate() {
+            let batch: Vec<Record> = (0..*size)
+                .map(|j| Record::new(Row::new().with("i", (i * 100 + j) as i64), 0))
+                .collect();
+            let first = log.append_batch(batch, i as i64);
+            prop_assert_eq!(first, expected);
+            expected += *size as u64;
+        }
+        prop_assert_eq!(log.high_watermark(), expected);
+        prop_assert!(log.log_start_offset() <= log.high_watermark());
+        // everything retained is fetchable with contiguous offsets
+        let fetch = log.fetch(log.log_start_offset(), usize::MAX / 2).unwrap();
+        for (k, r) in fetch.records.iter().enumerate() {
+            prop_assert_eq!(r.offset, log.log_start_offset() + k as u64);
+        }
+    }
+
+    /// JSON parse/serialize round-trips arbitrary generated documents.
+    #[test]
+    fn json_roundtrip(doc in arb_json(3)) {
+        let text = rtdi::common::json::to_string(&doc);
+        let parsed = rtdi::common::json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    /// Keyed records always land on the same partition.
+    #[test]
+    fn partitioning_deterministic(key in ".{0,24}", parts in 1..64usize) {
+        let r1 = Record::new(Row::new(), 0).with_key(key.clone());
+        let r2 = Record::new(Row::new(), 0).with_key(key);
+        prop_assert_eq!(r1.partition_for(parts), r2.partition_for(parts));
+        prop_assert!(r1.partition_for(parts).unwrap() < parts);
+    }
+}
+
+/// Engine-level property: connector pushdown never changes SQL results.
+mod pushdown_equivalence {
+    use super::*;
+    use rtdi::olap::segment::IndexSpec;
+    use rtdi::olap::table::{OlapTable, TableConfig};
+    use rtdi::sql::connector::PinotConnector;
+    use rtdi::sql::engine::{EngineConfig, SqlEngine};
+    use std::sync::Arc;
+
+    fn engines(rows: &[Row]) -> (SqlEngine, SqlEngine) {
+        let table = OlapTable::new(
+            TableConfig::new("t", schema())
+                .with_index_spec(IndexSpec::none().with_inverted(&["city"]).with_range(&["x", "n"]))
+                .with_partitions(2)
+                .with_segment_rows(64),
+        )
+        .unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            table.ingest(i % 2, r.clone()).unwrap();
+        }
+        let mk = |pushdown: bool| {
+            let pinot = PinotConnector::new();
+            pinot.register(table.clone());
+            let mut e = SqlEngine::new(EngineConfig {
+                default_catalog: "pinot".into(),
+                enable_pushdown: pushdown,
+            });
+            e.register_connector("pinot", Arc::new(pinot));
+            e
+        };
+        (mk(true), mk(false))
+    }
+
+    fn arb_sql() -> impl Strategy<Value = String> {
+        let pred = prop_oneof![
+            (0..6u8).prop_map(|c| format!("city = 'c{c}'")),
+            (-500..500i64).prop_map(|v| format!("n > {v}")),
+            (-50..50i64).prop_map(|v| format!("x <= {v}")),
+            (0..6u8).prop_map(|c| format!("city <> 'c{c}'")),
+        ];
+        let agg = prop::sample::select(vec![
+            "COUNT(*) AS a",
+            "SUM(x) AS a",
+            "AVG(x) AS a",
+            "MIN(n) AS a",
+            "MAX(n) AS a",
+        ]);
+        (prop::option::of(pred), agg, any::<bool>(), prop::option::of(1..20usize)).prop_map(
+            |(pred, agg, group, limit)| {
+                let mut sql = format!("SELECT ");
+                if group {
+                    sql.push_str("city, ");
+                }
+                sql.push_str(agg);
+                sql.push_str(" FROM t");
+                if let Some(p) = pred {
+                    sql.push_str(&format!(" WHERE {p}"));
+                }
+                if group {
+                    sql.push_str(" GROUP BY city ORDER BY city ASC");
+                    if let Some(n) = limit {
+                        sql.push_str(&format!(" LIMIT {n}"));
+                    }
+                }
+                sql
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn pushdown_never_changes_results(
+            rows in prop::collection::vec(arb_row(), 1..150),
+            sql in arb_sql(),
+        ) {
+            let (on, off) = engines(&rows);
+            let a = on.query(&sql).unwrap();
+            let b = off.query(&sql).unwrap();
+            // compare with float tolerance (AVG/SUM accumulate in
+            // different orders across the two paths)
+            prop_assert_eq!(a.rows.len(), b.rows.len(), "{}", sql);
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                for (name, va) in ra.iter() {
+                    let vb = rb.get(name).unwrap();
+                    match (va.as_double(), vb.as_double()) {
+                        (Some(x), Some(y)) => {
+                            prop_assert!((x - y).abs() < 1e-6, "{}: {} vs {}", sql, x, y)
+                        }
+                        _ => prop_assert_eq!(va, vb, "{}", sql),
+                    }
+                }
+            }
+            // and pushdown actually reduced (or matched) shipped rows
+            prop_assert!(a.stats.rows_shipped <= b.stats.rows_shipped);
+        }
+    }
+}
+
+fn arb_json(depth: u32) -> impl Strategy<Value = rtdi::common::value::JsonValue> {
+    use rtdi::common::value::JsonValue;
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        // finite, round-trippable numbers
+        (-1e9..1e9f64).prop_map(|f| JsonValue::Number((f * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 _\\-]{0,12}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(JsonValue::Object),
+        ]
+    })
+}
