@@ -40,10 +40,7 @@ fn bench(c: &mut Criterion) {
     });
     report(
         "produce throughput (8 partitions)",
-        format!(
-            "{:.0} records/s",
-            n as f64 / produce_elapsed.as_secs_f64()
-        ),
+        format!("{:.0} records/s", n as f64 / produce_elapsed.as_secs_f64()),
     );
     let topic = cluster.topic("trips").unwrap();
     let group = ConsumerGroup::new("g", TopicSubscription::new(topic));

@@ -26,8 +26,20 @@ fn bench(c: &mut Criterion) {
          clusters; topics migrate without consumer restarts",
     );
     // coordination-cost model: giant vs federated
-    let giant = Cluster::new("giant", ClusterConfig { nodes: 600, ..Default::default() });
-    let ideal = Cluster::new("ideal", ClusterConfig { nodes: 150, ..Default::default() });
+    let giant = Cluster::new(
+        "giant",
+        ClusterConfig {
+            nodes: 600,
+            ..Default::default()
+        },
+    );
+    let ideal = Cluster::new(
+        "ideal",
+        ClusterConfig {
+            nodes: 150,
+            ..Default::default()
+        },
+    );
     report(
         "coordination cost 600-node monolith",
         format!("{:.2} units/op", giant.coordination_cost()),
@@ -38,7 +50,10 @@ fn bench(c: &mut Criterion) {
     );
     report(
         "monolith/federated cost ratio",
-        format!("{:.1}x", giant.coordination_cost() / ideal.coordination_cost()),
+        format!(
+            "{:.1}x",
+            giant.coordination_cost() / ideal.coordination_cost()
+        ),
     );
 
     // capacity spill: topics placed across clusters as they fill
@@ -55,7 +70,10 @@ fn bench(c: &mut Criterion) {
     }
     let mut created = 0;
     while fed
-        .create_topic(&format!("topic-{created}"), TopicConfig::default().with_partitions(16))
+        .create_topic(
+            &format!("topic-{created}"),
+            TopicConfig::default().with_partitions(16),
+        )
         .is_ok()
     {
         created += 1;
@@ -74,14 +92,18 @@ fn bench(c: &mut Criterion) {
     let fed = FederatedCluster::new();
     fed.add_cluster(Cluster::new("a", ClusterConfig::default()));
     fed.add_cluster(Cluster::new("b", ClusterConfig::default()));
-    fed.create_topic("hot", TopicConfig::default().with_partitions(8)).unwrap();
+    fed.create_topic("hot", TopicConfig::default().with_partitions(8))
+        .unwrap();
     for i in 0..100_000 {
         fed.send("hot", record(i), 0).unwrap();
     }
     let (_, mig) = time_it(|| fed.migrate_topic("hot", "b").unwrap());
     report(
         "live migration of 100k-record topic",
-        format!("{:.1} ms (consumers redirected, zero restarts)", mig.as_secs_f64() * 1e3),
+        format!(
+            "{:.1} ms (consumers redirected, zero restarts)",
+            mig.as_secs_f64() * 1e3
+        ),
     );
 
     // routing overhead: produce via federation vs direct cluster handle
@@ -91,7 +113,8 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     let fed2 = FederatedCluster::new();
     fed2.add_cluster(Cluster::new("x", ClusterConfig::default()));
-    fed2.create_topic("t", TopicConfig::default().with_partitions(8)).unwrap();
+    fed2.create_topic("t", TopicConfig::default().with_partitions(8))
+        .unwrap();
 
     let mut g = c.benchmark_group("e02");
     g.bench_function("produce_direct", |b| {

@@ -25,7 +25,12 @@ fn topic_with(partitions: usize, records: usize) -> Arc<Topic> {
     t
 }
 
-fn run(mode: DispatchMode, partitions: usize, records: usize, service: Arc<dyn ConsumerService>) -> Duration {
+fn run(
+    mode: DispatchMode,
+    partitions: usize,
+    records: usize,
+    service: Arc<dyn ConsumerService>,
+) -> Duration {
     let topic = topic_with(partitions, records);
     let group = ConsumerGroup::new("g", TopicSubscription::new(topic));
     let proxy = ConsumerProxy::new(
@@ -60,7 +65,12 @@ fn bench(c: &mut Criterion) {
         format!("{:.0} msg/s", records as f64 / poll.as_secs_f64()),
     );
     for workers in [4usize, 16, 64] {
-        let push = run(DispatchMode::Push(workers), partitions, records, slow.clone());
+        let push = run(
+            DispatchMode::Push(workers),
+            partitions,
+            records,
+            slow.clone(),
+        );
         report(
             format!("push mode, {workers} workers").as_str(),
             format!(

@@ -33,7 +33,10 @@ fn bench(c: &mut Criterion) {
             moved_naive as f64 / moved_sticky.max(1) as f64
         ),
     );
-    report("post-rebalance skew (sticky)", format!("{:.2}", sticky.skew(partitions)));
+    report(
+        "post-rebalance skew (sticky)",
+        format!("{:.2}", sticky.skew(partitions)),
+    );
 
     // losing a worker
     let mut sticky = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
@@ -55,12 +58,16 @@ fn bench(c: &mut Criterion) {
     let moved = burst.rebalance(partitions).len();
     report(
         "burst: promoted standbys",
-        format!("{promoted} promoted, {moved} partitions shifted, skew {:.2}", burst.skew(partitions)),
+        format!(
+            "{promoted} promoted, {moved} partitions shifted, skew {:.2}",
+            burst.skew(partitions)
+        ),
     );
 
     // replication copy throughput
     let src = Cluster::new("regional", ClusterConfig::default());
-    src.create_topic("trips", TopicConfig::default().with_partitions(8)).unwrap();
+    src.create_topic("trips", TopicConfig::default().with_partitions(8))
+        .unwrap();
     for i in 0..100_000usize {
         src.produce(
             "trips",
@@ -70,19 +77,15 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     }
     let dst = Cluster::new("aggregate", ClusterConfig::default());
-    let rep = Replicator::new(
-        "r",
-        src,
-        dst,
-        "trips",
-        OffsetMappingStore::new(),
-        1_000,
-    );
+    let rep = Replicator::new("r", src, dst, "trips", OffsetMappingStore::new(), 1_000);
     rep.prepare().unwrap();
     let (copied, elapsed) = time_it(|| rep.run_once(0).unwrap());
     report(
         "cross-cluster replication throughput",
-        format!("{:.0} records/s ({copied} copied)", copied as f64 / elapsed.as_secs_f64()),
+        format!(
+            "{:.0} records/s ({copied} copied)",
+            copied as f64 / elapsed.as_secs_f64()
+        ),
     );
 
     let mut g = c.benchmark_group("e04");

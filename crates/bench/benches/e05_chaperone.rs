@@ -37,7 +37,10 @@ fn bench(c: &mut Criterion) {
     });
     report(
         "observe throughput (2 stages)",
-        format!("{:.0} msgs/s", (2 * n) as f64 / observe_elapsed.as_secs_f64()),
+        format!(
+            "{:.0} msgs/s",
+            (2 * n) as f64 / observe_elapsed.as_secs_f64()
+        ),
     );
     let (alerts, audit_elapsed) = time_it(|| ch.audit("regional", "aggregate"));
     let losses: u64 = alerts

@@ -41,7 +41,11 @@ fn bench(c: &mut Criterion) {
     );
     report(
         "Flink-like (credit-based backpressure)",
-        format!("{:.1} minutes, {} wasted replays", flink.recovery_ms as f64 / 60_000.0, flink.wasted_replays),
+        format!(
+            "{:.1} minutes, {} wasted replays",
+            flink.recovery_ms as f64 / 60_000.0,
+            flink.wasted_replays
+        ),
     );
     report(
         "Storm-like (ack timeout, no flow control)",
@@ -49,12 +53,19 @@ fn bench(c: &mut Criterion) {
             "{:.1} minutes, {} wasted replays{}",
             storm.recovery_ms as f64 / 60_000.0,
             storm.wasted_replays,
-            if storm.timed_out { " (hit simulation horizon)" } else { "" }
+            if storm.timed_out {
+                " (hit simulation horizon)"
+            } else {
+                ""
+            }
         ),
     );
     report(
         "recovery ratio storm/flink",
-        format!("{:.1}x", storm.recovery_ms as f64 / flink.recovery_ms as f64),
+        format!(
+            "{:.1}x",
+            storm.recovery_ms as f64 / flink.recovery_ms as f64
+        ),
     );
     // shape check from the paper: ~20 min for Flink, hours for Storm
     assert!((15.0..30.0).contains(&(flink.recovery_ms as f64 / 60_000.0)));

@@ -48,8 +48,13 @@ fn hand_built(t: Arc<Topic>, sink: CollectSink) -> Job {
         ],
         0,
     ))];
-    Job::new("hand", Box::new(TopicSource::bounded(t)), ops, Box::new(sink))
-        .with_out_of_orderness(1_000)
+    Job::new(
+        "hand",
+        Box::new(TopicSource::bounded(t)),
+        ops,
+        Box::new(sink),
+    )
+    .with_out_of_orderness(1_000)
 }
 
 fn bench(c: &mut Criterion) {
@@ -60,8 +65,14 @@ fn bench(c: &mut Criterion) {
     );
     let n = 100_000;
     let (_, compile_cost) = time_it(|| {
-        compile_streaming("x", SQL, topic(0), Box::new(CollectSink::new()), &CompileOptions::default())
-            .unwrap()
+        compile_streaming(
+            "x",
+            SQL,
+            topic(0),
+            Box::new(CollectSink::new()),
+            &CompileOptions::default(),
+        )
+        .unwrap()
     });
     report("SQL->job compile time", format!("{:?}", compile_cost));
 
@@ -74,12 +85,19 @@ fn bench(c: &mut Criterion) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let (_, sql_time) = time_it(|| Executor::new(ExecutorConfig::default()).run(&mut sql_job).unwrap());
+    let (_, sql_time) = time_it(|| {
+        Executor::new(ExecutorConfig::default())
+            .run(&mut sql_job)
+            .unwrap()
+    });
 
     let hand_sink = CollectSink::new();
     let mut hand_job = hand_built(topic(n), hand_sink.clone());
-    let (_, hand_time) =
-        time_it(|| Executor::new(ExecutorConfig::default()).run(&mut hand_job).unwrap());
+    let (_, hand_time) = time_it(|| {
+        Executor::new(ExecutorConfig::default())
+            .run(&mut hand_job)
+            .unwrap()
+    });
 
     let total = |rows: Vec<Row>| -> i64 { rows.iter().map(|r| r.get_int("trips").unwrap()).sum() };
     let (a, b) = (total(sql_sink.rows()), total(hand_sink.rows()));
@@ -102,8 +120,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compile_sql_to_job", |b| {
         let t = topic(0);
         b.iter(|| {
-            compile_streaming("x", SQL, t.clone(), Box::new(CollectSink::new()), &CompileOptions::default())
-                .unwrap()
+            compile_streaming(
+                "x",
+                SQL,
+                t.clone(),
+                Box::new(CollectSink::new()),
+                &CompileOptions::default(),
+            )
+            .unwrap()
         })
     });
     g.finish();

@@ -81,6 +81,7 @@ fn bench(c: &mut Criterion) {
             batch_size: 512,
             checkpoint_interval: 10_000,
             checkpoint_store: Some(CheckpointStore::new(Arc::new(InMemoryStore::new()))),
+            trace: None,
         },
         3,
     );
@@ -101,7 +102,10 @@ fn bench(c: &mut Criterion) {
         ))
         .unwrap()
     });
-    report("clean run", format!("{} records in {:?}", clean.records_in, clean_t));
+    report(
+        "clean run",
+        format!("{} records in {:?}", clean.records_in, clean_t),
+    );
     // at-least-once duplicates observed at the sink measure the true replay
     let replayed = sink2.len().saturating_sub(n);
     report(
@@ -133,7 +137,11 @@ fn bench(c: &mut Criterion) {
             )
         }),
     };
-    for jt in [JobType::Stateless, JobType::WindowedAggregation, JobType::StreamJoin] {
+    for jt in [
+        JobType::Stateless,
+        JobType::WindowedAggregation,
+        JobType::StreamJoin,
+    ] {
         let r = JobManager::estimate_resources(&mk(jt));
         report(
             format!("resource model {jt:?}").as_str(),
@@ -146,7 +154,10 @@ fn bench(c: &mut Criterion) {
         records_per_sec: 100_000,
         ..Default::default()
     });
-    report("rule engine on 5M lag", format!("{:?} via {:?}", action.0, action.1));
+    report(
+        "rule engine on 5M lag",
+        format!("{:?} via {:?}", action.0, action.1),
+    );
 
     let mut g = c.benchmark_group("e09");
     g.bench_function("supervised_clean_run_10k", |b| {

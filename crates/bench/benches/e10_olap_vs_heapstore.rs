@@ -108,7 +108,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10");
     let q = &query_suite()[1];
     g.bench_function("heapstore_groupby", |b| b.iter(|| heap.execute(q).unwrap()));
-    g.bench_function("columnar_groupby", |b| b.iter(|| seg.execute(q, None).unwrap()));
+    g.bench_function("columnar_groupby", |b| {
+        b.iter(|| seg.execute(q, None).unwrap())
+    });
     g.finish();
 }
 

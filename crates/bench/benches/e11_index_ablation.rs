@@ -29,7 +29,8 @@ fn bench(c: &mut Criterion) {
             vec![AggFn::Count, AggFn::Sum("total".into())],
         ));
     let pinot = Segment::build("pinot", &schema, rows.clone(), &full_spec).unwrap();
-    let druid = Segment::build("druid", &schema, rows.clone(), &druid_like_spec(&full_spec)).unwrap();
+    let druid =
+        Segment::build("druid", &schema, rows.clone(), &druid_like_spec(&full_spec)).unwrap();
     let none = Segment::build("none", &schema, rows, &IndexSpec::none()).unwrap();
 
     // 1. pre-aggregatable group-by (startree territory)
@@ -39,8 +40,16 @@ fn bench(c: &mut Criterion) {
         .group(&["city"]);
     // 2. selective time range (sorted-column territory)
     let timerange = Query::select_all("orders")
-        .filter(Predicate::new("ts", PredicateOp::Ge, 1_600_000_050_000_000i64 / 1_000))
-        .filter(Predicate::new("ts", PredicateOp::Lt, 1_600_000_052_000_000i64 / 1_000))
+        .filter(Predicate::new(
+            "ts",
+            PredicateOp::Ge,
+            1_600_000_050_000_000i64 / 1_000,
+        ))
+        .filter(Predicate::new(
+            "ts",
+            PredicateOp::Lt,
+            1_600_000_052_000_000i64 / 1_000,
+        ))
         .aggregate("n", AggFn::Count);
     // 3. numeric range filter (range-index territory)
     let numrange = Query::select_all("orders")
@@ -71,8 +80,14 @@ fn bench(c: &mut Criterion) {
             ),
         );
         // equivalence across all three
-        assert_eq!(pinot.execute(q, None).unwrap().rows, druid.execute(q, None).unwrap().rows);
-        assert_eq!(pinot.execute(q, None).unwrap().rows, none.execute(q, None).unwrap().rows);
+        assert_eq!(
+            pinot.execute(q, None).unwrap().rows,
+            druid.execute(q, None).unwrap().rows
+        );
+        assert_eq!(
+            pinot.execute(q, None).unwrap().rows,
+            none.execute(q, None).unwrap().rows
+        );
     }
     let st = pinot.execute(&groupby, None).unwrap();
     report(
@@ -81,10 +96,18 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut g = c.benchmark_group("e11");
-    g.bench_function("pinot_groupby", |b| b.iter(|| pinot.execute(&groupby, None).unwrap()));
-    g.bench_function("druidlike_groupby", |b| b.iter(|| druid.execute(&groupby, None).unwrap()));
-    g.bench_function("pinot_timerange", |b| b.iter(|| pinot.execute(&timerange, None).unwrap()));
-    g.bench_function("noindex_timerange", |b| b.iter(|| none.execute(&timerange, None).unwrap()));
+    g.bench_function("pinot_groupby", |b| {
+        b.iter(|| pinot.execute(&groupby, None).unwrap())
+    });
+    g.bench_function("druidlike_groupby", |b| {
+        b.iter(|| druid.execute(&groupby, None).unwrap())
+    });
+    g.bench_function("pinot_timerange", |b| {
+        b.iter(|| pinot.execute(&timerange, None).unwrap())
+    });
+    g.bench_function("noindex_timerange", |b| {
+        b.iter(|| none.execute(&timerange, None).unwrap())
+    });
     g.finish();
 }
 

@@ -144,12 +144,22 @@ fn bench(c: &mut Criterion) {
     });
     report(
         "upsert ingestion (10 versions x 10k keys)",
-        format!("{:.0} rows/s", (keys * versions) as f64 / ingest_t.as_secs_f64()),
+        format!(
+            "{:.0} rows/s",
+            (keys * versions) as f64 / ingest_t.as_secs_f64()
+        ),
     );
     let q = Query::select_all("fares").aggregate("n", AggFn::Count);
     let res = table.query(&q).unwrap();
-    assert_eq!(res.rows[0].get_int("n"), Some(keys as i64), "duplicates visible!");
-    report("live rows after 100k writes", format!("{} (exactly one per key)", keys));
+    assert_eq!(
+        res.rows[0].get_int("n"),
+        Some(keys as i64),
+        "duplicates visible!"
+    );
+    report(
+        "live rows after 100k writes",
+        format!("{} (exactly one per key)", keys),
+    );
     let latest = table.lookup(&Value::Str("t77".into()), "fare").unwrap();
     assert_eq!(latest, Value::Double((versions - 1) as f64));
 

@@ -38,15 +38,13 @@ fn bench(c: &mut Criterion) {
          recovery even with the archive down",
     );
     // the archive has 3ms upload latency through ONE controller
-    let slow_archive =
-        Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
+    let slow_archive = Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
     let centralized = SegmentStore::new(
         slow_archive.clone(),
         SegmentStoreMode::Centralized,
         IndexSpec::none(),
     );
-    let p2p_archive =
-        Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
+    let p2p_archive = Arc::new(FaultyStore::new(InMemoryStore::new()).with_put_delay(3_000, true));
     let p2p = SegmentStore::new(p2p_archive, SegmentStoreMode::PeerToPeer, IndexSpec::none());
 
     // 16 servers seal a segment "simultaneously"

@@ -5,10 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rtdi_bench::{quick_criterion, report, report_header, time_it};
-use rtdi_common::Row;
+use rtdi_common::{FieldType, Row, Schema};
+use rtdi_core::platform::RealtimePlatform;
 use rtdi_multiregion::activeactive::{redundant_compute_round, ActiveActiveCoordinator};
 use rtdi_multiregion::kv::ReplicatedKv;
 use rtdi_multiregion::topology::MultiRegionTopology;
+use rtdi_olap::table::TableConfig;
 use rtdi_stream::topic::TopicConfig;
 use rtdi_usecases::surge::{LinearSurgeModel, SurgeModel, SurgePipeline};
 use rtdi_usecases::workloads::TripEventGenerator;
@@ -31,7 +33,10 @@ fn bench(c: &mut Criterion) {
     let (stats, elapsed) = time_it(|| pipeline.run(job).unwrap());
     report(
         "pipeline throughput",
-        format!("{:.0} events/s ({n} events)", n as f64 / elapsed.as_secs_f64()),
+        format!(
+            "{:.0} events/s ({n} events)",
+            n as f64 / elapsed.as_secs_f64()
+        ),
     );
     report(
         "pricing freshness bound",
@@ -42,7 +47,74 @@ fn bench(c: &mut Criterion) {
     );
     report(
         "hexes priced / peak state",
-        format!("{} hexes, {} KiB window state", kv.len(), stats.peak_state_bytes / 1024),
+        format!(
+            "{} hexes, {} KiB window state",
+            kv.len(),
+            stats.peak_state_bytes / 1024
+        ),
+    );
+
+    // measured per-stage freshness through the full platform path
+    // (produce -> broker -> OLAP -> SQL) under the wall clock
+    let platform = RealtimePlatform::new();
+    let schema = Schema::of(
+        "surge",
+        &[
+            ("hex", FieldType::Str),
+            ("kind", FieldType::Str),
+            ("ts", FieldType::Timestamp),
+        ],
+    );
+    platform
+        .create_topic(
+            "surge",
+            TopicConfig::default().with_partitions(4),
+            schema.clone(),
+        )
+        .unwrap();
+    let producer = platform.producer("surge-bench");
+    let mut gen = TripEventGenerator::new(11, 128);
+    for t in 0..20_000i64 {
+        producer.send("surge", gen.marketplace_event(t)).unwrap();
+    }
+    let table = platform
+        .create_olap_table(
+            TableConfig::new("surge", schema)
+                .with_time_column("ts")
+                .with_partitions(4),
+        )
+        .unwrap();
+    platform
+        .ingest_into("surge", table)
+        .unwrap()
+        .run_once()
+        .unwrap();
+    platform.sql("SELECT COUNT(*) AS n FROM surge").unwrap();
+    let health = platform.health();
+    for stage in health.report.pipeline("surge") {
+        report(
+            &format!("freshness {}", stage.stage),
+            format!(
+                "p50 {} ms, p99 {} ms, max {} ms over {} records",
+                stage.p50_ms, stage.p99_ms, stage.max_ms, stage.count
+            ),
+        );
+    }
+    for audit in &health.audits {
+        report(
+            "chaperone audit",
+            format!(
+                "{} -> {}: lost {}, duplicated {}",
+                audit.from_stage, audit.to_stage, audit.lost, audit.duplicated
+            ),
+        );
+    }
+    report(
+        "freshness SLA (5s, per traced hop p99)",
+        format!(
+            "met = {}",
+            pipeline.meets_freshness_sla(&health.report, "surge", 5_000)
+        ),
     );
 
     // active-active: convergence + failover time
@@ -89,9 +161,8 @@ fn bench(c: &mut Criterion) {
     );
     let coverage_before = kv.len();
     topo.region("west").unwrap().set_down(true);
-    let (_, failover_t) = time_it(|| {
-        redundant_compute_round(&topo, &coord, &kv, 11_000, &compute).unwrap()
-    });
+    let (_, failover_t) =
+        time_it(|| redundant_compute_round(&topo, &coord, &kv, 11_000, &compute).unwrap());
     report(
         "failover",
         format!(

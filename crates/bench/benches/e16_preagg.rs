@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
          docs touched by orders of magnitude vs serving from raw events",
     );
     let mut gen = TripEventGenerator::new(77, 64);
-    let orders: Vec<_> = (0..200_000).map(|i| gen.eats_order((i as i64) * 50)).collect();
+    let orders: Vec<_> = (0..200_000)
+        .map(|i| gen.eats_order((i as i64) * 50))
+        .collect();
 
     let rm = RestaurantManager::new(60_000).unwrap();
     let (rolled, rollup_t) = time_it(|| rm.ingest_orders(orders.clone()).unwrap());

@@ -10,7 +10,11 @@ use rtdi_olap::query::Query;
 use rtdi_usecases::prediction::PredictionMonitoring;
 use rtdi_usecases::workloads::TripEventGenerator;
 
-fn generate(n: usize, models: usize, seed: u64) -> (Vec<rtdi_common::Record>, Vec<rtdi_common::Record>) {
+fn generate(
+    n: usize,
+    models: usize,
+    seed: u64,
+) -> (Vec<rtdi_common::Record>, Vec<rtdi_common::Record>) {
     let mut g = TripEventGenerator::new(seed, 8);
     let mut preds = Vec::with_capacity(n);
     let mut outs = Vec::with_capacity(n);

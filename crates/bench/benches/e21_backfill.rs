@@ -112,7 +112,9 @@ fn bench(c: &mut Criterion) {
         agg_chain(),
         Box::new(stream_sink.clone()),
     );
-    Executor::new(ExecutorConfig::default()).run(&mut stream_job).unwrap();
+    Executor::new(ExecutorConfig::default())
+        .run(&mut stream_job)
+        .unwrap();
 
     // Kappa+ over the archive
     let bf_sink = CollectSink::new();
@@ -124,10 +126,18 @@ fn bench(c: &mut Criterion) {
         &BackfillConfig::default(),
     )
     .unwrap();
-    let (stats, t) = time_it(|| Executor::new(ExecutorConfig::default()).run(&mut bf_job).unwrap());
+    let (stats, t) = time_it(|| {
+        Executor::new(ExecutorConfig::default())
+            .run(&mut bf_job)
+            .unwrap()
+    });
     report(
         "Kappa+ replay throughput",
-        format!("{:.0} events/s over {} archived events", stats.records_in as f64 / t.as_secs_f64(), stats.records_in),
+        format!(
+            "{:.0} events/s over {} archived events",
+            stats.records_in as f64 / t.as_secs_f64(),
+            stats.records_in
+        ),
     );
     let canon = |rows: Vec<Row>| {
         let mut v: Vec<(String, i64, i64)> = rows
@@ -144,7 +154,10 @@ fn bench(c: &mut Criterion) {
         v
     };
     let matches = canon(stream_sink.rows()) == canon(bf_sink.rows());
-    report("backfill == original streaming results", format!("{matches}"));
+    report(
+        "backfill == original streaming results",
+        format!("{matches}"),
+    );
     assert!(matches);
 
     let mut g = c.benchmark_group("e21");
@@ -163,7 +176,9 @@ fn bench(c: &mut Criterion) {
                 },
             )
             .unwrap();
-            Executor::new(ExecutorConfig::default()).run(&mut job).unwrap()
+            Executor::new(ExecutorConfig::default())
+                .run(&mut job)
+                .unwrap()
         })
     });
     g.finish();

@@ -13,9 +13,7 @@ use std::sync::Arc;
 
 fn rec(i: i64) -> Record {
     Record::new(
-        Row::new()
-            .with("trip", i)
-            .with("payload", "x".repeat(100)),
+        Row::new().with("trip", i).with("payload", "x".repeat(100)),
         i,
     )
 }
@@ -77,7 +75,10 @@ fn bench(c: &mut Criterion) {
     let replay = log.fetch(0, 1_000).unwrap();
     report(
         "replay from offset 0 after offload",
-        format!("{} records served (plain retention would have lost them)", replay.records.len()),
+        format!(
+            "{} records served (plain retention would have lost them)",
+            replay.records.len()
+        ),
     );
     assert_eq!(replay.records.len(), 1_000);
 
@@ -85,7 +86,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("fetch_hot_100", |b| {
         b.iter(|| log.fetch(n as u64 - 1_000, 100).unwrap())
     });
-    g.bench_function("fetch_cold_100", |b| b.iter(|| log.fetch(5_000, 100).unwrap()));
+    g.bench_function("fetch_cold_100", |b| {
+        b.iter(|| log.fetch(5_000, 100).unwrap())
+    });
     g.finish();
 }
 

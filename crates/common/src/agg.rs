@@ -5,9 +5,9 @@
 //! pre-aggregation pipelines in §5.2/§5.3. Accumulators are plain enums so
 //! checkpoints can serialize them without trait-object machinery.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::error::{Error, Result};
 use crate::value::{Row, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeSet;
 
 /// An aggregate function over a (possibly absent) input column.
@@ -25,7 +25,7 @@ impl AggFn {
     pub fn new_acc(&self) -> AggAcc {
         match self {
             AggFn::Count => AggAcc::Count(0),
-            AggFn::Sum(_) => AggAcc::Sum(0.0),
+            AggFn::Sum(_) => AggAcc::Sum { sum: 0.0, count: 0 },
             AggFn::Avg(_) => AggAcc::Avg { sum: 0.0, count: 0 },
             AggFn::Min(_) => AggAcc::Min(None),
             AggFn::Max(_) => AggAcc::Max(None),
@@ -37,7 +37,10 @@ impl AggFn {
     pub fn input_column(&self) -> Option<&str> {
         match self {
             AggFn::Count => None,
-            AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c)
+            AggFn::Sum(c)
+            | AggFn::Avg(c)
+            | AggFn::Min(c)
+            | AggFn::Max(c)
             | AggFn::DistinctCount(c) => Some(c),
         }
     }
@@ -59,8 +62,16 @@ impl AggFn {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggAcc {
     Count(u64),
-    Sum(f64),
-    Avg { sum: f64, count: u64 },
+    /// SQL SUM: the count tracks non-null inputs so an empty (or all-NULL)
+    /// sum finalizes to NULL rather than 0.
+    Sum {
+        sum: f64,
+        count: u64,
+    },
+    Avg {
+        sum: f64,
+        count: u64,
+    },
     Min(Option<f64>),
     Max(Option<f64>),
     Distinct(BTreeSet<u64>),
@@ -71,9 +82,10 @@ impl AggAcc {
     pub fn add(&mut self, f: &AggFn, row: &Row) {
         match (self, f) {
             (AggAcc::Count(n), AggFn::Count) => *n += 1,
-            (AggAcc::Sum(s), AggFn::Sum(col)) => {
+            (AggAcc::Sum { sum, count }, AggFn::Sum(col)) => {
                 if let Some(v) = row.get_double(col) {
-                    *s += v;
+                    *sum += v;
+                    *count += 1;
                 }
             }
             (AggAcc::Avg { sum, count }, AggFn::Avg(col)) => {
@@ -111,7 +123,10 @@ impl AggAcc {
     pub fn add_num(&mut self, v: f64) {
         match self {
             AggAcc::Count(n) => *n += 1,
-            AggAcc::Sum(s) => *s += v,
+            AggAcc::Sum { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
             AggAcc::Avg { sum, count } => {
                 *sum += v;
                 *count += 1;
@@ -152,11 +167,11 @@ impl AggAcc {
     pub fn merge(&mut self, other: &AggAcc) {
         match (self, other) {
             (AggAcc::Count(a), AggAcc::Count(b)) => *a += b,
-            (AggAcc::Sum(a), AggAcc::Sum(b)) => *a += b,
-            (
-                AggAcc::Avg { sum: s1, count: c1 },
-                AggAcc::Avg { sum: s2, count: c2 },
-            ) => {
+            (AggAcc::Sum { sum: s1, count: c1 }, AggAcc::Sum { sum: s2, count: c2 }) => {
+                *s1 += s2;
+                *c1 += c2;
+            }
+            (AggAcc::Avg { sum: s1, count: c1 }, AggAcc::Avg { sum: s2, count: c2 }) => {
                 *s1 += s2;
                 *c1 += c2;
             }
@@ -183,7 +198,13 @@ impl AggAcc {
     pub fn result(&self) -> Value {
         match self {
             AggAcc::Count(n) => Value::Int(*n as i64),
-            AggAcc::Sum(s) => Value::Double(*s),
+            AggAcc::Sum { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum)
+                }
+            }
             AggAcc::Avg { sum, count } => {
                 if *count == 0 {
                     Value::Null
@@ -201,7 +222,7 @@ impl AggAcc {
     pub fn memory_bytes(&self) -> usize {
         match self {
             AggAcc::Distinct(set) => 16 + set.len() * 8,
-            AggAcc::Avg { .. } => 16,
+            AggAcc::Avg { .. } | AggAcc::Sum { .. } => 16,
             _ => 8,
         }
     }
@@ -212,9 +233,10 @@ impl AggAcc {
                 buf.put_u8(0);
                 buf.put_u64(*n);
             }
-            AggAcc::Sum(s) => {
+            AggAcc::Sum { sum, count } => {
                 buf.put_u8(1);
-                buf.put_f64(*s);
+                buf.put_f64(*sum);
+                buf.put_u64(*count);
             }
             AggAcc::Avg { sum, count } => {
                 buf.put_u8(2);
@@ -245,7 +267,10 @@ impl AggAcc {
         }
         Ok(match buf.get_u8() {
             0 => AggAcc::Count(buf.get_u64()),
-            1 => AggAcc::Sum(buf.get_f64()),
+            1 => AggAcc::Sum {
+                sum: buf.get_f64(),
+                count: buf.get_u64(),
+            },
             2 => AggAcc::Avg {
                 sum: buf.get_f64(),
                 count: buf.get_u64(),
@@ -308,10 +333,7 @@ mod tests {
     fn basic_aggregates() {
         assert_eq!(run(AggFn::Count), Value::Int(4));
         assert_eq!(run(AggFn::Sum("fare".into())), Value::Double(35.0));
-        assert_eq!(
-            run(AggFn::Avg("fare".into())),
-            Value::Double(35.0 / 3.0)
-        );
+        assert_eq!(run(AggFn::Avg("fare".into())), Value::Double(35.0 / 3.0));
         assert_eq!(run(AggFn::Min("fare".into())), Value::Double(5.0));
         assert_eq!(run(AggFn::Max("fare".into())), Value::Double(20.0));
         assert_eq!(run(AggFn::DistinctCount("city".into())), Value::Int(3));
@@ -320,8 +342,26 @@ mod tests {
     #[test]
     fn empty_accumulators() {
         assert_eq!(AggFn::Count.new_acc().result(), Value::Int(0));
+        // SQL semantics: SUM over the empty set is NULL, not 0
+        assert_eq!(AggFn::Sum("x".into()).new_acc().result(), Value::Null);
         assert_eq!(AggFn::Avg("x".into()).new_acc().result(), Value::Null);
         assert_eq!(AggFn::Min("x".into()).new_acc().result(), Value::Null);
+    }
+
+    #[test]
+    fn sum_of_all_null_inputs_is_null() {
+        let f = AggFn::Sum("fare".into());
+        let mut acc = f.new_acc();
+        acc.add(&f, &Row::new().with("city", "la")); // fare absent
+        acc.add(&f, &Row::new().with("fare", Value::Null));
+        assert_eq!(acc.result(), Value::Null);
+        // merging two empty sums stays NULL; merging a real one does not
+        let mut other = f.new_acc();
+        acc.merge(&other.clone());
+        assert_eq!(acc.result(), Value::Null);
+        other.add(&f, &Row::new().with("fare", 0.0));
+        acc.merge(&other);
+        assert_eq!(acc.result(), Value::Double(0.0));
     }
 
     #[test]
@@ -361,8 +401,11 @@ mod tests {
     fn encode_decode_roundtrip() {
         let accs = vec![
             AggAcc::Count(7),
-            AggAcc::Sum(1.5),
-            AggAcc::Avg { sum: 10.0, count: 4 },
+            AggAcc::Sum { sum: 1.5, count: 3 },
+            AggAcc::Avg {
+                sum: 10.0,
+                count: 4,
+            },
             AggAcc::Min(Some(-2.5)),
             AggAcc::Max(None),
             AggAcc::Distinct([1u64, 5, 9].into_iter().collect()),

@@ -61,10 +61,7 @@ impl fmt::Display for Error {
                 requested,
                 low,
                 high,
-            } => write!(
-                f,
-                "offset {requested} out of range [{low}, {high})"
-            ),
+            } => write!(f, "offset {requested} out of range [{low}, {high})"),
             Error::Unavailable(s) => write!(f, "unavailable: {s}"),
             Error::CapacityExceeded(s) => write!(f, "capacity exceeded: {s}"),
             Error::ProcessingFailed(s) => write!(f, "processing failed: {s}"),

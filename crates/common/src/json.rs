@@ -263,7 +263,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -332,7 +334,8 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let doc = r#"{"order": {"id": 7, "items": ["burger", "fries"], "paid": true, "tip": null}}"#;
+        let doc =
+            r#"{"order": {"id": 7, "items": ["burger", "fries"], "paid": true, "tip": null}}"#;
         let v = parse(doc).unwrap();
         assert_eq!(v.path("order.id"), Some(&JsonValue::Number(7.0)));
         match v.path("order.items") {

@@ -16,6 +16,7 @@ pub mod metrics;
 pub mod record;
 pub mod schema;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use agg::{AggAcc, AggFn};
@@ -23,4 +24,5 @@ pub use error::{Error, Result};
 pub use record::{Record, RecordHeaders};
 pub use schema::{Field, FieldType, Schema};
 pub use time::{Clock, SimClock, Timestamp, WallClock};
+pub use trace::{PipelineTracer, StageDwell, TraceReport};
 pub use value::{Row, Value};

@@ -137,7 +137,10 @@ impl Histogram {
         if total == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0)) * total as f64).ceil() as u64;
+        // at least one sample must be covered: ceil(0 * n) = 0 would
+        // otherwise satisfy `seen >= target` at the first (possibly empty)
+        // bucket and report bound 1 for q = 0 regardless of the data
+        let target = (((q.clamp(0.0, 1.0)) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -278,6 +281,56 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_zero_value_lands_in_first_bucket() {
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 0);
+        // bucket upper-bound semantics: the first bucket's bound is 1
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn histogram_exact_bound_reports_exact_bound() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1024); // exactly bounds[10]
+        }
+        // Ok(i) indexing: the value sits in the bucket it bounds, so the
+        // reported quantile is exact, not the next power of two
+        assert_eq!(h.quantile(0.5), 1024);
+        assert_eq!(h.quantile(0.99), 1024);
+        // one past the bound rolls into the next bucket
+        let h2 = Histogram::default();
+        h2.record(1025);
+        assert_eq!(h2.quantile(0.99), 2048);
+    }
+
+    #[test]
+    fn histogram_above_largest_bound_reports_observed_max() {
+        let h = Histogram::default();
+        let big = (1u64 << 30) + 123; // past the largest bound (2^30)
+        h.record(big);
+        h.record(1u64 << 35);
+        assert_eq!(h.quantile(0.99), 1u64 << 35);
+        // the overflow bucket reports the observed max, never saturates
+        assert_eq!(h.max(), 1u64 << 35);
+    }
+
+    #[test]
+    fn histogram_quantile_zero_is_lowest_occupied_bucket() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(1000); // all samples in the (512, 1024] bucket
+        }
+        // q=0 must report the first bucket actually holding a sample, not
+        // the first bucket of the histogram
+        assert_eq!(h.quantile(0.0), 1024);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
     }
 
     #[test]

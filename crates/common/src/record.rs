@@ -26,6 +26,9 @@ pub mod headers {
     pub const DLQ_SOURCE: &str = "rtdi.dlq_source";
     /// Region where the record was originally produced.
     pub const ORIGIN_REGION: &str = "rtdi.origin_region";
+    /// Timestamp of the last traced hop; each pipeline stage restamps it
+    /// so the next stage measures only its own dwell (see `trace`).
+    pub const TRACE_TIMESTAMP: &str = "rtdi.trace_ts";
 }
 
 /// Small ordered string->string map for record headers.

@@ -6,10 +6,9 @@
 
 use crate::error::{Error, Result};
 use crate::value::{Row, Value};
-use serde::{Deserialize, Serialize};
 
 /// Logical type of a field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FieldType {
     Bool,
     Int,
@@ -42,7 +41,7 @@ impl FieldType {
 }
 
 /// One named, typed field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub field_type: FieldType,
@@ -68,7 +67,7 @@ impl Field {
 
 /// An ordered set of fields describing a stream topic, OLAP table or
 /// archival dataset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     pub name: String,
     pub fields: Vec<Field>,
@@ -86,10 +85,7 @@ impl Schema {
     pub fn of(name: impl Into<String>, fields: &[(&str, FieldType)]) -> Self {
         Schema {
             name: name.into(),
-            fields: fields
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
+            fields: fields.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
         }
     }
 
@@ -245,7 +241,8 @@ mod tests {
     fn backward_compat_add_required_field_breaks() {
         let v1 = trips_schema();
         let mut v2 = v1.clone();
-        v2.fields.push(Field::new("city", FieldType::Str).required());
+        v2.fields
+            .push(Field::new("city", FieldType::Str).required());
         assert!(!v2.is_backward_compatible_with(&v1));
     }
 }

@@ -60,12 +60,10 @@ impl SimClock {
     pub fn set(&self, to: Timestamp) -> Timestamp {
         let mut cur = self.now_ms.load(Ordering::SeqCst);
         while to > cur {
-            match self.now_ms.compare_exchange(
-                cur,
-                to,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .now_ms
+                .compare_exchange(cur, to, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return to,
                 Err(actual) => cur = actual,
             }
@@ -86,18 +84,20 @@ impl Clock for SimClock {
 /// about production systems (e.g. "Storm took several hours to recover,
 /// Flink took 20 minutes") without actually waiting hours: work items carry
 /// virtual costs and the simulator advances time event by event.
+type Event = Box<dyn FnOnce(&mut EventCtx) + Send>;
+
 pub struct EventSimulator {
     clock: SimClock,
     // (due_time, seq, event) — seq breaks ties FIFO.
     queue: Mutex<std::collections::BinaryHeap<std::cmp::Reverse<(Timestamp, u64, usize)>>>,
-    events: Mutex<Vec<Option<Box<dyn FnOnce(&mut EventCtx) + Send>>>>,
+    events: Mutex<Vec<Option<Event>>>,
     seq: AtomicI64,
 }
 
 /// Context handed to each simulated event; lets events schedule more work.
 pub struct EventCtx {
     now: Timestamp,
-    scheduled: Vec<(Timestamp, Box<dyn FnOnce(&mut EventCtx) + Send>)>,
+    scheduled: Vec<(Timestamp, Event)>,
 }
 
 impl EventCtx {
@@ -106,12 +106,9 @@ impl EventCtx {
     }
 
     /// Schedule `f` to run `delay_ms` after the current event.
-    pub fn schedule_in(
-        &mut self,
-        delay_ms: i64,
-        f: impl FnOnce(&mut EventCtx) + Send + 'static,
-    ) {
-        self.scheduled.push((self.now + delay_ms.max(0), Box::new(f)));
+    pub fn schedule_in(&mut self, delay_ms: i64, f: impl FnOnce(&mut EventCtx) + Send + 'static) {
+        self.scheduled
+            .push((self.now + delay_ms.max(0), Box::new(f)));
     }
 }
 

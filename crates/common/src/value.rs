@@ -296,10 +296,7 @@ impl Row {
     }
 
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     pub fn get_int(&self, name: &str) -> Option<i64> {
@@ -416,15 +413,15 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_ordering() {
-        assert_eq!(
-            Value::Int(2).total_cmp(&Value::Double(2.5)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(2).total_cmp(&Value::Double(2.5)), Ordering::Less);
         assert_eq!(
             Value::Double(3.0).total_cmp(&Value::Int(3)),
             Ordering::Equal
         );
-        assert_eq!(Value::Str("b".into()).total_cmp(&Value::Str("a".into())), Ordering::Greater);
+        assert_eq!(
+            Value::Str("b".into()).total_cmp(&Value::Str("a".into())),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -477,7 +474,9 @@ mod tests {
     #[test]
     fn approx_bytes_monotonic_in_content() {
         let small = Row::new().with("a", 1i64);
-        let big = Row::new().with("a", 1i64).with("long_string", "x".repeat(100));
+        let big = Row::new()
+            .with("a", 1i64)
+            .with("long_string", "x".repeat(100));
         assert!(big.approx_bytes() > small.approx_bytes());
     }
 }

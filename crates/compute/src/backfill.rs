@@ -65,10 +65,8 @@ pub fn kappa_plus_job(
         ));
     }
     let source = HiveSource::new(table, config.from, config.to, config.throttle_per_poll)?;
-    Ok(
-        Job::new(name, Box::new(source), operators, sink)
-            .with_out_of_orderness(config.max_out_of_orderness),
-    )
+    Ok(Job::new(name, Box::new(source), operators, sink)
+        .with_out_of_orderness(config.max_out_of_orderness))
 }
 
 /// Kappa-style backfill: replay the Kafka topic itself. Fails with
@@ -122,7 +120,11 @@ pub fn kafka_retains(topic: &Topic, from: Timestamp) -> bool {
 
 /// The boundary detection the paper mentions: given a table and a
 /// requested range, clamp to what the archive actually has.
-pub fn detect_bounds(table: &HiveTable, from: Timestamp, to: Timestamp) -> Result<(Timestamp, Timestamp)> {
+pub fn detect_bounds(
+    table: &HiveTable,
+    from: Timestamp,
+    to: Timestamp,
+) -> Result<(Timestamp, Timestamp)> {
     let rows = table.scan_range(from, to)?;
     let mut lo = Timestamp::MAX;
     let mut hi = Timestamp::MIN;
@@ -202,7 +204,9 @@ mod tests {
             agg_chain(),
             Box::new(stream_sink.clone()),
         );
-        Executor::new(ExecutorConfig::default()).run(&mut stream_job).unwrap();
+        Executor::new(ExecutorConfig::default())
+            .run(&mut stream_job)
+            .unwrap();
 
         // Kappa+ over the archive
         let bf_sink = CollectSink::new();
@@ -214,7 +218,9 @@ mod tests {
             &BackfillConfig::default(),
         )
         .unwrap();
-        Executor::new(ExecutorConfig::default()).run(&mut bf_job).unwrap();
+        Executor::new(ExecutorConfig::default())
+            .run(&mut bf_job)
+            .unwrap();
 
         let canon = |mut rows: Vec<Row>| {
             rows.sort_by_key(|r| {
@@ -252,10 +258,16 @@ mod tests {
             },
         )
         .unwrap();
-        Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
-        let total: i64 = sink.rows().iter().map(|r| r.get_int("trips").unwrap()).sum();
+        Executor::new(ExecutorConfig::default())
+            .run(&mut job)
+            .unwrap();
+        let total: i64 = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("trips").unwrap())
+            .sum();
         assert_eq!(total, 30); // records 20..50 at 100ms spacing
-        // inverted range rejected
+                               // inverted range rejected
         assert!(kappa_plus_job(
             "bad",
             &table,

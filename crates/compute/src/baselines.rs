@@ -24,9 +24,7 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EngineModel {
     /// Credit-based flow control: bounded in-flight buffer, no timeouts.
-    FlinkLike {
-        buffer_capacity: u64,
-    },
+    FlinkLike { buffer_capacity: u64 },
     /// No flow control: eager emission, per-tuple ack timeout with replay.
     /// The spout reacts to failures the way Storm topologies did in
     /// practice — crude multiplicative backoff when acks start timing out,
@@ -78,9 +76,11 @@ pub fn simulate_recovery(
     let mut queue: VecDeque<(i64, f64)> = VecDeque::new();
     let mut queued: f64 = 0.0;
     let caught_up_threshold = input_rate_per_sec as f64; // < 1s of input
-    // Storm spout AIMD state
+                                                         // Storm spout AIMD state
     let mut spout_factor = match model {
-        EngineModel::StormLike { emit_multiplier, .. } => emit_multiplier,
+        EngineModel::StormLike {
+            emit_multiplier, ..
+        } => emit_multiplier,
         _ => 1.0,
     };
 
@@ -97,8 +97,7 @@ pub fn simulate_recovery(
             }
             EngineModel::StormLike { .. } => {
                 // eager, modulated by the failure-reactive spout factor
-                (capacity_per_sec as f64 * spout_factor * dt_ms as f64 / 1000.0)
-                    .min(backlog)
+                (capacity_per_sec as f64 * spout_factor * dt_ms as f64 / 1000.0).min(backlog)
             }
         };
         if emit > 0.0 {
@@ -111,16 +110,16 @@ pub fn simulate_recovery(
         let mut budget = capacity_per_sec as f64 * dt_ms as f64 / 1000.0;
         let mut saw_timeout = false;
         while budget > 0.0 {
-            let Some(front) = queue.front_mut() else { break };
+            let Some(front) = queue.front_mut() else {
+                break;
+            };
             let (emit_time, ref mut count) = *front;
             let take = budget.min(*count);
             *count -= take;
             queued -= take;
             budget -= take;
             let late = match model {
-                EngineModel::StormLike { ack_timeout_ms, .. } => {
-                    t - emit_time > ack_timeout_ms
-                }
+                EngineModel::StormLike { ack_timeout_ms, .. } => t - emit_time > ack_timeout_ms,
                 EngineModel::FlinkLike { .. } => false,
             };
             if late {
@@ -136,7 +135,10 @@ pub fn simulate_recovery(
                 queue.pop_front();
             }
         }
-        if let EngineModel::StormLike { emit_multiplier, .. } = model {
+        if let EngineModel::StormLike {
+            emit_multiplier, ..
+        } = model
+        {
             if saw_timeout {
                 // multiplicative backoff when acks time out, but never so
                 // far that the spout starves the workers
@@ -202,10 +204,10 @@ impl MicroBatchEngine {
         let mut batch_start: Option<Timestamp> = None;
 
         let flush = |batch: &mut Vec<Record>,
-                         batch_bytes: &mut usize,
-                         start: Timestamp,
-                         out: &mut Vec<Row>,
-                         peak: &mut usize| {
+                     batch_bytes: &mut usize,
+                     start: Timestamp,
+                     out: &mut Vec<Row>,
+                     peak: &mut usize| {
             if batch.is_empty() {
                 return;
             }

@@ -14,7 +14,6 @@ use parking_lot::RwLock;
 use rtdi_common::{Error, Result};
 use std::collections::BTreeMap;
 
-
 /// Broad job classification driving the resource model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobType {
@@ -59,6 +58,9 @@ pub struct JobHealth {
     pub missed_heartbeats: u32,
     /// Restarts so far.
     pub restarts: u32,
+    /// p99 end-to-end freshness of the pipeline this job feeds, in ms
+    /// (from the platform's `PipelineTracer`; 0 when untraced).
+    pub freshness_p99_ms: u64,
 }
 
 /// What the rule engine decides to do.
@@ -121,6 +123,13 @@ impl JobManager {
             HealthRule {
                 name: "stuck-job-restart".into(),
                 condition: Box::new(|h| h.missed_heartbeats >= 3),
+                action: HealthAction::Restart,
+            },
+            HealthRule {
+                // the paper's freshness SLA is "seconds, not minutes";
+                // a pipeline half a minute stale is treated as wedged
+                name: "stale-pipeline-restart".into(),
+                condition: Box::new(|h| h.freshness_p99_ms > 30_000),
                 action: HealthAction::Restart,
             },
             HealthRule {
@@ -371,6 +380,7 @@ mod tests {
             batch_size: 4,
             checkpoint_interval: 4,
             checkpoint_store: Some(CheckpointStore::new(store)),
+            trace: None,
         };
         let job_name = name.to_string();
         let spec = JobSpec {
@@ -407,7 +417,11 @@ mod tests {
         assert_eq!(info.restarts, 2);
         // all records eventually delivered (at-least-once: duplicates from
         // replay are possible but every input must appear)
-        let mut ids: Vec<i64> = sink.rows().iter().map(|r| r.get_int("i").unwrap()).collect();
+        let mut ids: Vec<i64> = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("i").unwrap())
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 20);
@@ -475,6 +489,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(jm.evaluate_health(&healthy).0, HealthAction::None);
+    }
+
+    #[test]
+    fn stale_pipeline_triggers_restart() {
+        let jm = JobManager::new(ExecutorConfig::default(), 0);
+        let stale = JobHealth {
+            freshness_p99_ms: 45_000,
+            records_per_sec: 50_000,
+            lag: 100,
+            ..Default::default()
+        };
+        let (action, rule) = jm.evaluate_health(&stale);
+        assert_eq!(action, HealthAction::Restart);
+        assert_eq!(rule, Some("stale-pipeline-restart"));
+        // within the "seconds, not minutes" SLA: no action
+        let fresh = JobHealth {
+            freshness_p99_ms: 2_000,
+            records_per_sec: 50_000,
+            lag: 100,
+            ..Default::default()
+        };
+        assert_eq!(jm.evaluate_health(&fresh).0, HealthAction::None);
     }
 
     #[test]

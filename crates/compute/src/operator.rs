@@ -104,10 +104,12 @@ impl Operator for FilterOp {
     }
 }
 
+type FlatMapFn = Box<dyn FnMut(&Record) -> Vec<Record> + Send>;
+
 /// Stateless 1:N transform; may re-key and re-time outputs.
 pub struct FlatMapOp {
     name: String,
-    f: Box<dyn FnMut(&Record) -> Vec<Record> + Send>,
+    f: FlatMapFn,
 }
 
 impl FlatMapOp {
@@ -203,7 +205,10 @@ impl WindowAggregateOp {
         if self.assigner.is_session() {
             let mut merged = window;
             let mut absorbed: Vec<(String, Timestamp, Timestamp)> = Vec::new();
-            for (k, st) in self.state.range((key.clone(), Timestamp::MIN, Timestamp::MIN)..) {
+            for (k, st) in self
+                .state
+                .range((key.clone(), Timestamp::MIN, Timestamp::MIN)..)
+            {
                 if k.0 != key {
                     break;
                 }
@@ -216,9 +221,9 @@ impl WindowAggregateOp {
                 }
             }
             let mut accs: Vec<AggAcc> = self.aggs.iter().map(|(_, f)| f.new_acc()).collect();
-            let mut key_row = record.value.project(
-                &self.key_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
-            );
+            let mut key_row = record
+                .value
+                .project(&self.key_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
             for k in absorbed {
                 let st = self.state.remove(&k).expect("collected above");
                 for (a, b) in accs.iter_mut().zip(&st.accs) {
@@ -279,9 +284,7 @@ impl Operator for WindowAggregateOp {
         let ready: Vec<(String, Timestamp, Timestamp)> = self
             .state
             .keys()
-            .filter(|(_, _, end)| {
-                end.checked_add(lateness).map(|e| e <= wm).unwrap_or(true)
-            })
+            .filter(|(_, _, end)| end.checked_add(lateness).map(|e| e <= wm).unwrap_or(true))
             .cloned()
             .collect();
         for k in ready {
@@ -486,8 +489,7 @@ impl Operator for WindowJoinOp {
         }
         self.watermark = wm;
         let window = self.window_ms;
-        self.state
-            .retain(|(_, start), _| start + window > wm);
+        self.state.retain(|(_, start), _| start + window > wm);
     }
 
     fn snapshot(&self) -> Bytes {
@@ -605,14 +607,18 @@ mod tests {
         for i in 0..10 {
             records.push(rec(
                 i * 300,
-                Row::new().with("city", if i % 2 == 0 { "sf" } else { "la" }).with("fare", 1.0),
+                Row::new()
+                    .with("city", if i % 2 == 0 { "sf" } else { "la" })
+                    .with("fare", 1.0),
             ));
         }
         let out = drain(&mut op, records, i64::MAX);
         // 3 windows (0-1000, 1000-2000, 2000-3000) x up to 2 keys
         let sf_first = out
             .iter()
-            .find(|r| r.value.get_str("city") == Some("sf") && r.value.get_int("window_start") == Some(0))
+            .find(|r| {
+                r.value.get_str("city") == Some("sf") && r.value.get_int("window_start") == Some(0)
+            })
             .unwrap();
         assert_eq!(sf_first.value.get_int("trips"), Some(2)); // i=0 (t 0) and i=2 (t 600)
         assert_eq!(sf_first.value.get_double("total_fare"), Some(2.0));
@@ -631,11 +637,13 @@ mod tests {
             0,
         );
         let mut out = Vec::new();
-        op.process(rec(100, Row::new().with("k", "a")), &mut out).unwrap();
+        op.process(rec(100, Row::new().with("k", "a")), &mut out)
+            .unwrap();
         op.on_watermark(1500, &mut out); // window [0,1000) closes and emits
         assert_eq!(out.len(), 1);
         // a record for the closed window is late
-        op.process(rec(200, Row::new().with("k", "a")), &mut out).unwrap();
+        op.process(rec(200, Row::new().with("k", "a")), &mut out)
+            .unwrap();
         assert_eq!(op.late_dropped(), 1);
         // with lateness allowance it would have been accepted
         let mut op2 = WindowAggregateOp::new(
@@ -646,10 +654,12 @@ mod tests {
             1000,
         );
         let mut out2 = Vec::new();
-        op2.process(rec(100, Row::new().with("k", "a")), &mut out2).unwrap();
+        op2.process(rec(100, Row::new().with("k", "a")), &mut out2)
+            .unwrap();
         op2.on_watermark(1500, &mut out2); // not emitted yet: lateness holds it
         assert!(out2.is_empty());
-        op2.process(rec(200, Row::new().with("k", "a")), &mut out2).unwrap();
+        op2.process(rec(200, Row::new().with("k", "a")), &mut out2)
+            .unwrap();
         assert_eq!(op2.late_dropped(), 0);
         op2.on_watermark(2100, &mut out2);
         assert_eq!(out2.len(), 1);
@@ -681,7 +691,7 @@ mod tests {
         );
         let records = vec![
             rec(0, Row::new().with("user", "u1")),
-            rec(500, Row::new().with("user", "u1")),  // merges with first
+            rec(500, Row::new().with("user", "u1")), // merges with first
             rec(3000, Row::new().with("user", "u1")), // separate session
             rec(400, Row::new().with("user", "u2")),
         ];
@@ -689,7 +699,9 @@ mod tests {
         assert_eq!(out.len(), 3);
         let u1_first = out
             .iter()
-            .find(|r| r.value.get_str("user") == Some("u1") && r.value.get_int("window_start") == Some(0))
+            .find(|r| {
+                r.value.get_str("user") == Some("u1") && r.value.get_int("window_start") == Some(0)
+            })
             .unwrap();
         assert_eq!(u1_first.value.get_int("events"), Some(2));
         assert_eq!(u1_first.value.get_int("window_end"), Some(1500));
@@ -775,7 +787,13 @@ mod tests {
         let mut op = WindowJoinOp::new("join", "k", "l", "r", 1000);
         let mut out = Vec::new();
         op.process(
-            rec(100, Row::new().with(STREAM_TAG, "l").with("k", "a").with("x", 1i64)),
+            rec(
+                100,
+                Row::new()
+                    .with(STREAM_TAG, "l")
+                    .with("k", "a")
+                    .with("x", 1i64),
+            ),
             &mut out,
         )
         .unwrap();
@@ -784,7 +802,13 @@ mod tests {
         assert!(op.memory_bytes() < before);
         // matching record now arrives too late: dropped, no join output
         op.process(
-            rec(150, Row::new().with(STREAM_TAG, "r").with("k", "a").with("y", 2i64)),
+            rec(
+                150,
+                Row::new()
+                    .with(STREAM_TAG, "r")
+                    .with("k", "a")
+                    .with("y", 2i64),
+            ),
             &mut out,
         )
         .unwrap();
@@ -831,7 +855,10 @@ mod tests {
         let mut out_b = Vec::new();
         let right = rec(
             400,
-            Row::new().with(STREAM_TAG, "r").with("k", "k0").with("y", 7i64),
+            Row::new()
+                .with(STREAM_TAG, "r")
+                .with("k", "k0")
+                .with("y", 7i64),
         );
         op.process(right.clone(), &mut out_a).unwrap();
         restored.process(right, &mut out_b).unwrap();

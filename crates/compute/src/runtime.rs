@@ -18,7 +18,7 @@ use crate::sink::Sink;
 use crate::source::Source;
 use crate::watermark::WatermarkGenerator;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rtdi_common::{Error, Record, Result, Timestamp};
+use rtdi_common::{Clock, Error, PipelineTracer, Record, Result, Timestamp};
 use rtdi_storage::object::ObjectStore;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -155,6 +155,18 @@ impl CheckpointStore {
     }
 }
 
+/// Freshness tracing for a job run: each record read from the source is
+/// measured against its last traced hop (the broker append) and restamped,
+/// so the `"compute"` stage captures stream->compute read lag.
+#[derive(Clone)]
+pub struct TraceHook {
+    pub tracer: PipelineTracer,
+    /// Pipeline name the dwells are recorded under (usually the source
+    /// topic).
+    pub pipeline: String,
+    pub clock: Arc<dyn Clock>,
+}
+
 /// Executor knobs.
 #[derive(Clone)]
 pub struct ExecutorConfig {
@@ -162,6 +174,8 @@ pub struct ExecutorConfig {
     /// Checkpoint every N input records (0 = no checkpoints).
     pub checkpoint_interval: u64,
     pub checkpoint_store: Option<CheckpointStore>,
+    /// Optional freshness tracing of every record entering the chain.
+    pub trace: Option<TraceHook>,
 }
 
 impl Default for ExecutorConfig {
@@ -170,6 +184,7 @@ impl Default for ExecutorConfig {
             batch_size: 512,
             checkpoint_interval: 0,
             checkpoint_store: None,
+            trace: None,
         }
     }
 }
@@ -220,12 +235,21 @@ impl Executor {
                 std::thread::yield_now();
                 continue;
             }
-            for record in batch {
+            for mut record in batch {
                 wm_gen.observe(record.timestamp);
                 stats.records_in += 1;
                 since_checkpoint += 1;
-                stats.records_out +=
-                    push_chain(&mut job.operators, record, job.sink.as_mut())?;
+                if let Some(hook) = &self.config.trace {
+                    // event-time lag of the operator chain's input, per
+                    // record: dwell since the broker appended it
+                    hook.tracer.observe_hop(
+                        &hook.pipeline,
+                        "compute",
+                        &mut record,
+                        hook.clock.now(),
+                    );
+                }
+                stats.records_out += push_chain(&mut job.operators, record, job.sink.as_mut())?;
             }
             let out = cascade_watermark(&mut job.operators, wm_gen.current(), job.sink.as_mut())?;
             stats.records_out += out;
@@ -469,9 +493,15 @@ mod tests {
     fn bounded_run_emits_all_windows() {
         let sink = CollectSink::new();
         let mut job = window_count_job("j", trip_rows(100), sink.clone());
-        let stats = Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
+        let stats = Executor::new(ExecutorConfig::default())
+            .run(&mut job)
+            .unwrap();
         assert_eq!(stats.records_in, 100);
-        let total: i64 = sink.rows().iter().map(|r| r.get_int("trips").unwrap()).sum();
+        let total: i64 = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("trips").unwrap())
+            .sum();
         assert_eq!(total, 100);
         // 100 records at 100ms spacing = 10s -> 10 windows x 2 cities
         assert_eq!(sink.len(), 20);
@@ -491,7 +521,9 @@ mod tests {
             }))],
             Box::new(sink.clone()),
         );
-        let stats = Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
+        let stats = Executor::new(ExecutorConfig::default())
+            .run(&mut job)
+            .unwrap();
         assert_eq!(stats.records_out, 10);
         assert!(sink.rows().iter().all(|r| r.get("tagged").is_some()));
     }
@@ -504,12 +536,15 @@ mod tests {
             batch_size: 10,
             checkpoint_interval: 30,
             checkpoint_store: Some(cs.clone()),
+            trace: None,
         };
 
         // baseline: uninterrupted run
         let baseline_sink = CollectSink::new();
         let mut baseline = window_count_job("base", trip_rows(100), baseline_sink.clone());
-        Executor::new(ExecutorConfig::default()).run(&mut baseline).unwrap();
+        Executor::new(ExecutorConfig::default())
+            .run(&mut baseline)
+            .unwrap();
 
         // run that "crashes" after 50 records: simulate by a poisoned map op
         struct CrashAfter {
@@ -622,7 +657,11 @@ mod tests {
         let job = window_count_job("staged", trip_rows(1000), sink.clone());
         let stats = run_staged(job, 64).unwrap();
         assert_eq!(stats.records_in, 1000);
-        let total: i64 = sink.rows().iter().map(|r| r.get_int("trips").unwrap()).sum();
+        let total: i64 = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("trips").unwrap())
+            .sum();
         assert_eq!(total, 1000);
     }
 
@@ -633,7 +672,11 @@ mod tests {
         let job = window_count_job("tiny", trip_rows(200), sink.clone());
         let stats = run_staged(job, 1).unwrap();
         assert_eq!(stats.records_in, 200);
-        let total: i64 = sink.rows().iter().map(|r| r.get_int("trips").unwrap()).sum();
+        let total: i64 = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("trips").unwrap())
+            .sum();
         assert_eq!(total, 200);
     }
 }

@@ -6,7 +6,7 @@
 //! to keep this crate independent of the OLAP layer.
 
 use parking_lot::Mutex;
-use rtdi_common::{Record, Result, Row, Timestamp};
+use rtdi_common::{Clock, PipelineTracer, Record, Result, Row, Timestamp};
 use rtdi_stream::topic::Topic;
 use std::sync::Arc;
 
@@ -81,6 +81,46 @@ impl Sink for TopicSink {
     }
 }
 
+/// Decorator that records each written record's event-time lag (and the
+/// end-to-end freshness rollup) before forwarding to the inner sink —
+/// the point where a job's output becomes visible to consumers.
+pub struct TracingSink {
+    inner: Box<dyn Sink>,
+    tracer: PipelineTracer,
+    pipeline: String,
+    clock: Arc<dyn Clock>,
+}
+
+impl TracingSink {
+    pub fn new(
+        inner: Box<dyn Sink>,
+        tracer: PipelineTracer,
+        pipeline: impl Into<String>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        TracingSink {
+            inner,
+            tracer,
+            pipeline: pipeline.into(),
+            clock,
+        }
+    }
+}
+
+impl Sink for TracingSink {
+    fn write(&mut self, mut record: Record) -> Result<()> {
+        let now = self.clock.now();
+        self.tracer
+            .observe_hop(&self.pipeline, "sink", &mut record, now);
+        self.tracer.record_total(&self.pipeline, &record, now);
+        self.inner.write(record)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Closure adaptor.
 pub struct FnSink<F: FnMut(Record) -> Result<()> + Send> {
     f: F,
@@ -107,8 +147,10 @@ mod tests {
     fn collect_sink_accumulates() {
         let mut sink = CollectSink::new();
         let view = sink.clone();
-        sink.write(Record::new(Row::new().with("a", 1i64), 0)).unwrap();
-        sink.write(Record::new(Row::new().with("a", 2i64), 1)).unwrap();
+        sink.write(Record::new(Row::new().with("a", 1i64), 0))
+            .unwrap();
+        sink.write(Record::new(Row::new().with("a", 2i64), 1))
+            .unwrap();
         assert_eq!(view.len(), 2);
         assert_eq!(view.rows()[1].get_int("a"), Some(2));
         view.clear();
@@ -119,8 +161,30 @@ mod tests {
     fn topic_sink_produces() {
         let t = Arc::new(Topic::new("out", TopicConfig::default().with_partitions(1)).unwrap());
         let mut sink = TopicSink::new(t.clone(), || 42);
-        sink.write(Record::new(Row::new().with("x", 1i64), 7)).unwrap();
+        sink.write(Record::new(Row::new().with("x", 1i64), 7))
+            .unwrap();
         assert_eq!(t.total_records(), 1);
+    }
+
+    #[test]
+    fn tracing_sink_records_event_time_lag() {
+        use rtdi_common::{trace::END_TO_END, SimClock};
+        let tracer = PipelineTracer::new();
+        let collect = CollectSink::new();
+        let view = collect.clone();
+        let mut sink = TracingSink::new(
+            Box::new(collect),
+            tracer.clone(),
+            "p",
+            Arc::new(SimClock::new(1_400)),
+        );
+        let mut rec = Record::new(Row::new(), 1_000);
+        PipelineTracer::stamp(&mut rec, 1_000);
+        sink.write(rec).unwrap();
+        let report = tracer.report();
+        assert_eq!(report.stage("p", "sink").unwrap().max_ms, 400);
+        assert_eq!(report.stage("p", END_TO_END).unwrap().max_ms, 400);
+        assert_eq!(view.len(), 1);
     }
 
     #[test]

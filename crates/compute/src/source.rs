@@ -161,11 +161,7 @@ impl Source for TopicSource {
 
     fn is_exhausted(&self) -> bool {
         match &self.end_offsets {
-            Some(ends) => self
-                .positions
-                .iter()
-                .zip(ends)
-                .all(|(pos, end)| pos >= end),
+            Some(ends) => self.positions.iter().zip(ends).all(|(pos, end)| pos >= end),
             None => false,
         }
     }
@@ -235,9 +231,10 @@ impl Source for UnionSource {
     fn seek(&mut self, position: &[u64]) -> Result<()> {
         let mut idx = 0;
         for (_, s) in &mut self.sources {
-            let len = *position.get(idx).ok_or_else(|| {
-                rtdi_common::Error::InvalidArgument("short union position".into())
-            })? as usize;
+            let len = *position
+                .get(idx)
+                .ok_or_else(|| rtdi_common::Error::InvalidArgument("short union position".into()))?
+                as usize;
             idx += 1;
             let slice = position.get(idx..idx + len).ok_or_else(|| {
                 rtdi_common::Error::InvalidArgument("short union position".into())
@@ -317,7 +314,8 @@ mod tests {
     use rtdi_stream::topic::TopicConfig;
 
     fn topic(partitions: usize, records: usize) -> Arc<Topic> {
-        let t = Arc::new(Topic::new("t", TopicConfig::default().with_partitions(partitions)).unwrap());
+        let t =
+            Arc::new(Topic::new("t", TopicConfig::default().with_partitions(partitions)).unwrap());
         for i in 0..records {
             t.append(
                 Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
@@ -343,7 +341,10 @@ mod tests {
         let t = topic(3, 30);
         let mut s = TopicSource::bounded(t.clone());
         // records appended after construction are not part of this run
-        t.append(Record::new(Row::new().with("i", 999i64), 0).with_key("late"), 0);
+        t.append(
+            Record::new(Row::new().with("i", 999i64), 0).with_key("late"),
+            0,
+        );
         let mut total = 0;
         while !s.is_exhausted() {
             let batch = s.poll_batch(7).unwrap();
@@ -396,7 +397,10 @@ mod tests {
             all.extend(u.poll_batch(10).unwrap());
         }
         assert_eq!(all.len(), 2);
-        let tags: Vec<&str> = all.iter().map(|r| r.value.get_str(STREAM_TAG).unwrap()).collect();
+        let tags: Vec<&str> = all
+            .iter()
+            .map(|r| r.value.get_str(STREAM_TAG).unwrap())
+            .collect();
         assert!(tags.contains(&"left") && tags.contains(&"right"));
     }
 

@@ -37,12 +37,7 @@ impl PipelineBuilder {
     }
 
     /// Provision a new source topic as part of deployment.
-    pub fn create_source(
-        mut self,
-        topic: &str,
-        config: TopicConfig,
-        schema: Schema,
-    ) -> Self {
+    pub fn create_source(mut self, topic: &str, config: TopicConfig, schema: Schema) -> Self {
         self.source_topic = Some((topic.to_string(), config, schema));
         self
     }

@@ -10,8 +10,10 @@
 //! clicking a button").
 
 use crate::usage::{Component, UsageTracker};
-use rtdi_common::{Clock, Record, Result, Schema, Timestamp, WallClock};
-use rtdi_compute::jobmanager::{JobManager, JobSpec, JobType};
+use rtdi_common::{
+    Clock, PipelineTracer, Record, Result, Schema, Timestamp, TraceReport, WallClock,
+};
+use rtdi_compute::jobmanager::{JobHealth, JobManager, JobSpec, JobType};
 use rtdi_compute::runtime::{CheckpointStore, ExecutorConfig, JobRunStats};
 use rtdi_compute::sink::Sink;
 use rtdi_flinksql::compiler::{compile_batch, compile_streaming, CompileOptions};
@@ -25,12 +27,42 @@ use rtdi_sql::engine::{EngineConfig, QueryOutput, SqlEngine};
 use rtdi_storage::archival::{ArchivalWriter, Compactor};
 use rtdi_storage::hive::HiveCatalog;
 use rtdi_storage::object::{InMemoryStore, ObjectStore};
-use rtdi_stream::federation::FederatedCluster;
 use rtdi_stream::chaperone::Chaperone;
 use rtdi_stream::cluster::{Cluster, ClusterConfig};
+use rtdi_stream::federation::FederatedCluster;
 use rtdi_stream::producer::{Producer, ProducerConfig, StreamEndpoint};
 use rtdi_stream::topic::{Topic, TopicConfig};
 use std::sync::Arc;
+
+/// Loss/duplication audit for one hop of a pipeline, computed by
+/// Chaperone from the `{topic}/stream` vs `{topic}/ingested` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineAudit {
+    pub pipeline: String,
+    pub from_stage: String,
+    pub to_stage: String,
+    pub lost: u64,
+    pub duplicated: u64,
+}
+
+/// Point-in-time snapshot of pipeline health across the platform:
+/// per-stage dwell percentiles from the freshness tracer plus Chaperone's
+/// completeness audits. This is what the paper's monitoring stack (§8)
+/// alerts on: data should be fresh ("seconds, not minutes", §5.1) and
+/// complete (zero loss).
+#[derive(Debug, Clone)]
+pub struct PlatformHealth {
+    pub generated_at: Timestamp,
+    pub report: TraceReport,
+    pub audits: Vec<PipelineAudit>,
+}
+
+impl PlatformHealth {
+    /// True when every audited hop saw neither loss nor duplication.
+    pub fn zero_loss(&self) -> bool {
+        self.audits.iter().all(|a| a.lost == 0 && a.duplicated == 0)
+    }
+}
 
 /// The unified platform.
 pub struct RealtimePlatform {
@@ -44,6 +76,7 @@ pub struct RealtimePlatform {
     engine: SqlEngine,
     job_manager: JobManager,
     usage: UsageTracker,
+    tracer: PipelineTracer,
     clock: Arc<dyn Clock>,
 }
 
@@ -57,6 +90,12 @@ impl RealtimePlatform {
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         let federation = FederatedCluster::new();
         federation.add_cluster(Cluster::new("cluster-1", ClusterConfig::default()));
+        let tracer = PipelineTracer::default();
+        let chaperone = Chaperone::new(60_000);
+        // every broker append records the "stream" hop and a
+        // `{topic}/stream` audit observation
+        federation.set_tracer(tracer.clone());
+        federation.set_chaperone(chaperone.clone());
         let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
         let catalog = HiveCatalog::new(store.clone());
         let pinot = Arc::new(PinotConnector::new());
@@ -68,6 +107,7 @@ impl RealtimePlatform {
                 batch_size: 512,
                 checkpoint_interval: 10_000,
                 checkpoint_store: Some(CheckpointStore::new(store.clone())),
+                trace: None,
             },
             3,
         );
@@ -77,11 +117,12 @@ impl RealtimePlatform {
             catalog,
             registry: SchemaRegistry::new(),
             lineage: LineageGraph::new(),
-            chaperone: Chaperone::new(60_000),
+            chaperone,
             pinot,
             engine,
             job_manager,
             usage: UsageTracker::new(),
+            tracer,
             clock,
         }
     }
@@ -112,6 +153,57 @@ impl RealtimePlatform {
 
     pub fn job_manager(&self) -> &JobManager {
         &self.job_manager
+    }
+
+    /// The pipeline-wide freshness tracer shared by every layer.
+    pub fn tracer(&self) -> &PipelineTracer {
+        &self.tracer
+    }
+
+    /// Snapshot freshness and completeness across all traced pipelines.
+    /// Audits are emitted for each pipeline whose records were observed
+    /// both at the broker (`{topic}/stream`) and after OLAP ingestion
+    /// (`{topic}/ingested`).
+    pub fn health(&self) -> PlatformHealth {
+        let report = self.tracer.report();
+        let stages = self.chaperone.stage_names();
+        let mut audits = Vec::new();
+        for pipeline in self.tracer.pipelines() {
+            let up = format!("{pipeline}/stream");
+            let down = format!("{pipeline}/ingested");
+            if stages.contains(&up) && stages.contains(&down) {
+                let (lost, duplicated) = self.chaperone.loss_and_duplication(&up, &down);
+                audits.push(PipelineAudit {
+                    pipeline,
+                    from_stage: up,
+                    to_stage: down,
+                    lost,
+                    duplicated,
+                });
+            }
+        }
+        PlatformHealth {
+            generated_at: self.clock.now(),
+            report,
+            audits,
+        }
+    }
+
+    /// Condense a pipeline's traced freshness into a [`JobHealth`] the
+    /// job manager's rule engine can evaluate (worst stage p99 drives the
+    /// `stale-pipeline-restart` rule).
+    pub fn job_health_for(&self, pipeline: &str) -> JobHealth {
+        let report = self.tracer.report();
+        let p99 = report
+            .pipeline(pipeline)
+            .iter()
+            .map(|s| s.p99_ms)
+            .max()
+            .unwrap_or(0);
+        JobHealth {
+            freshness_p99_ms: p99,
+            ..Default::default()
+        }
     }
 
     pub fn now(&self) -> Timestamp {
@@ -166,18 +258,30 @@ impl RealtimePlatform {
     }
 
     /// Connect a topic to an OLAP table with a realtime ingester.
-    pub fn ingest_into(
-        &self,
-        topic: &str,
-        table: Arc<OlapTable>,
-    ) -> Result<RealtimeIngester> {
+    pub fn ingest_into(&self, topic: &str, table: Arc<OlapTable>) -> Result<RealtimeIngester> {
         self.usage.note(Component::Stream);
         self.usage.note(Component::Olap);
         let sub = self.federation.subscribe(topic)?;
-        self.lineage
-            .record(&format!("kafka.{topic}"), &format!("pinot.{}", table.name()), "ingestion");
-        RealtimeIngester::new(sub.topic(), table, IngestionConfig::default())
-            .map(|i| i.with_chaperone(self.chaperone.clone()))
+        self.lineage.record(
+            &format!("kafka.{topic}"),
+            &format!("pinot.{}", table.name()),
+            "ingestion",
+        );
+        RealtimeIngester::new(
+            sub.topic(),
+            table,
+            IngestionConfig {
+                // pairs with the `{topic}/stream` observation the
+                // federation records on append, forming the audit hop
+                audit_stage: format!("{topic}/ingested"),
+                ..Default::default()
+            },
+        )
+        .map(|i| {
+            i.with_chaperone(self.chaperone.clone())
+                .with_tracer(self.tracer.clone())
+                .with_clock(self.clock.clone())
+        })
     }
 
     /// Deploy a FlinkSQL pipeline: compile the statement against a source
@@ -255,6 +359,15 @@ impl RealtimePlatform {
     pub fn sql(&self, query: &str) -> Result<QueryOutput> {
         self.usage.note(Component::Sql);
         self.usage.note(Component::Olap);
+        // record query-time staleness for every traced pipeline the query
+        // mentions (substring match is a heuristic — topic and table names
+        // coincide on this platform, so it tags the right pipelines)
+        let now = self.clock.now();
+        for pipeline in self.tracer.pipelines() {
+            if query.contains(pipeline.as_str()) {
+                self.tracer.note_query(&pipeline, now);
+            }
+        }
         self.engine.query(query)
     }
 
@@ -283,8 +396,11 @@ impl RealtimePlatform {
         if self.catalog.table(topic).is_err() {
             self.catalog.create_table(topic, schema.clone())?;
         }
-        self.lineage
-            .record(&format!("kafka.{topic}"), &format!("hive.{topic}"), "archival");
+        self.lineage.record(
+            &format!("kafka.{topic}"),
+            &format!("hive.{topic}"),
+            "archival",
+        );
         let compactor = Compactor::new(self.store.clone(), self.catalog.clone());
         let mut rows = 0;
         let mut dates: Vec<String> = keys
@@ -376,8 +492,12 @@ mod tests {
     #[test]
     fn end_to_end_stream_to_sql() {
         let p = platform();
-        p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-            .unwrap();
+        p.create_topic(
+            "trips",
+            TopicConfig::default().with_partitions(2),
+            trips_schema(),
+        )
+        .unwrap();
         produce_trips(&p, 100);
         // raw ingestion into an OLAP table
         let table = p
@@ -410,8 +530,12 @@ mod tests {
     #[test]
     fn sql_pipeline_deploys_and_fills_pinot() {
         let p = platform();
-        p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-            .unwrap();
+        p.create_topic(
+            "trips",
+            TopicConfig::default().with_partitions(2),
+            trips_schema(),
+        )
+        .unwrap();
         produce_trips(&p, 100);
         let stats_schema = Schema::of(
             "trip_stats",
@@ -461,15 +585,17 @@ mod tests {
     #[test]
     fn archive_then_backfill_sql() {
         let p = platform();
-        p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-            .unwrap();
+        p.create_topic(
+            "trips",
+            TopicConfig::default().with_partitions(2),
+            trips_schema(),
+        )
+        .unwrap();
         produce_trips(&p, 50);
         let rows = p.archive_topic("trips", &trips_schema()).unwrap();
         assert_eq!(rows, 50);
         // warehouse table queryable through federated SQL (hive catalog)
-        let out = p
-            .sql("SELECT COUNT(*) AS n FROM hive.trips")
-            .unwrap();
+        let out = p.sql("SELECT COUNT(*) AS n FROM hive.trips").unwrap();
         assert_eq!(out.rows[0].get_int("n"), Some(50));
         // backfill: same FlinkSQL over the archive
         let sink = rtdi_compute::sink::CollectSink::new();
@@ -522,8 +648,12 @@ mod tests {
     #[test]
     fn upsert_table_via_platform() {
         let p = platform();
-        p.create_topic("fares", TopicConfig::lossless().with_partitions(4), trips_schema())
-            .unwrap();
+        p.create_topic(
+            "fares",
+            TopicConfig::lossless().with_partitions(4),
+            trips_schema(),
+        )
+        .unwrap();
         let schema = Schema::of(
             "fares",
             &[

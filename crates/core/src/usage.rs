@@ -176,7 +176,10 @@ mod tests {
     fn render_matches_table1_shape() {
         let t = UsageTracker::new();
         for (uc, comps) in [
-            ("Surge", vec![Component::Api, Component::Compute, Component::Stream]),
+            (
+                "Surge",
+                vec![Component::Api, Component::Compute, Component::Stream],
+            ),
             ("RestaurantManager", vec![Component::Sql, Component::Olap]),
         ] {
             t.begin_use_case(uc);

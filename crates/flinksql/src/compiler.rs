@@ -86,18 +86,11 @@ fn compile(
         // pure `SELECT * FROM t`: identity map keeps the job non-trivial
         operators.push(Box::new(MapOp::new("identity", |r: &Row| r.clone())));
     }
-    Ok(
-        Job::new(name, source, operators, sink)
-            .with_out_of_orderness(options.max_out_of_orderness),
-    )
+    Ok(Job::new(name, source, operators, sink).with_out_of_orderness(options.max_out_of_orderness))
 }
 
 /// Lower a logical plan into an operator chain (post-order: sources first).
-fn lower(
-    plan: &Plan,
-    out: &mut Vec<Box<dyn Operator>>,
-    options: &CompileOptions,
-) -> Result<()> {
+fn lower(plan: &Plan, out: &mut Vec<Box<dyn Operator>>, options: &CompileOptions) -> Result<()> {
     match plan {
         Plan::Scan { .. } => Ok(()), // the source is provided externally
         Plan::Filter { input, predicate } => {
@@ -114,10 +107,7 @@ fn lower(
             out.push(Box::new(MapOp::new("project", move |row: &Row| {
                 let mut projected = Row::with_capacity(items.len());
                 for (name, expr) in &items {
-                    projected.push(
-                        name.clone(),
-                        eval(expr, row).unwrap_or(Value::Null),
-                    );
+                    projected.push(name.clone(), eval(expr, row).unwrap_or(Value::Null));
                 }
                 projected
             })));
@@ -145,11 +135,7 @@ fn lower(
                             Expr::Literal(v) => v.as_int().filter(|s| *s > 0).ok_or_else(|| {
                                 Error::Sql("TUMBLE size must be a positive literal".into())
                             })?,
-                            _ => {
-                                return Err(Error::Sql(
-                                    "TUMBLE size must be a literal".into(),
-                                ))
-                            }
+                            _ => return Err(Error::Sql("TUMBLE size must be a literal".into())),
                         };
                         window = Some((name.clone(), size));
                     }
@@ -319,7 +305,9 @@ mod tests {
         run(&mut job);
         let rows = sink.rows();
         assert!(!rows.is_empty());
-        assert!(rows.iter().all(|r| r.get_double("double_fare").unwrap() >= 24.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.get_double("double_fare").unwrap() >= 24.0));
     }
 
     #[test]
@@ -358,9 +346,7 @@ mod tests {
         // non-literal window size
         assert!(mk("SELECT COUNT(*) FROM trips GROUP BY TUMBLE(ts, fare)").is_err());
         // two windows
-        assert!(
-            mk("SELECT COUNT(*) FROM trips GROUP BY TUMBLE(ts, 10), TUMBLE(ts, 20)").is_err()
-        );
+        assert!(mk("SELECT COUNT(*) FROM trips GROUP BY TUMBLE(ts, 10), TUMBLE(ts, 20)").is_err());
     }
 
     #[test]

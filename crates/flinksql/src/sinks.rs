@@ -103,13 +103,15 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
+        Executor::new(ExecutorConfig::default())
+            .run(&mut job)
+            .unwrap();
 
         // 200 records at 50ms = 10s -> 10 windows x 4 restaurants = 40 rows
         let q = Query::select_all("order_stats").aggregate("n", AggFn::Count);
         assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(40));
-        let q = Query::select_all("order_stats")
-            .aggregate("total_orders", AggFn::Sum("orders".into()));
+        let q =
+            Query::select_all("order_stats").aggregate("total_orders", AggFn::Sum("orders".into()));
         assert_eq!(
             table.query(&q).unwrap().rows[0].get_double("total_orders"),
             Some(200.0)
@@ -120,12 +122,15 @@ mod tests {
     fn unkeyed_rows_round_robin_across_partitions() {
         let schema = Schema::of("t", &[("x", FieldType::Int)]);
         let table = OlapTable::new(
-            TableConfig::new("t", schema).with_partitions(3).with_segment_rows(1000),
+            TableConfig::new("t", schema)
+                .with_partitions(3)
+                .with_segment_rows(1000),
         )
         .unwrap();
         let mut sink = PinotSink::new(table.clone());
         for i in 0..9 {
-            sink.write(Record::new(Row::new().with("x", i as i64), 0)).unwrap();
+            sink.write(Record::new(Row::new().with("x", i as i64), 0))
+                .unwrap();
         }
         assert_eq!(table.doc_count(), 9);
     }

@@ -138,7 +138,10 @@ mod tests {
         assert!(impact.contains(&"pinot.trips".to_string()));
         assert_eq!(impact.len(), 4);
         let prov = g.provenance("pinot.trips");
-        assert_eq!(prov, vec!["hive.trips".to_string(), "kafka.trips".to_string()]);
+        assert_eq!(
+            prov,
+            vec!["hive.trips".to_string(), "kafka.trips".to_string()]
+        );
     }
 
     #[test]

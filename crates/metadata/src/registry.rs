@@ -101,9 +101,7 @@ impl SchemaRegistry {
         let schema = entry
             .versions
             .get(version.saturating_sub(1) as usize)
-            .ok_or_else(|| {
-                Error::NotFound(format!("version {version} of '{subject}'"))
-            })?;
+            .ok_or_else(|| Error::NotFound(format!("version {version} of '{subject}'")))?;
         Ok(VersionedSchema {
             version,
             schema: schema.clone(),
@@ -153,14 +151,8 @@ impl SchemaRegistry {
                     .insert(format!("{val}"));
             }
         }
-        let fields = types
-            .into_iter()
-            .map(|(n, t)| Field::new(n, t))
-            .collect();
-        let cardinality = distinct
-            .into_iter()
-            .map(|(k, v)| (k, v.len()))
-            .collect();
+        let fields = types.into_iter().map(|(n, t)| Field::new(n, t)).collect();
+        let cardinality = distinct.into_iter().map(|(k, v)| (k, v.len())).collect();
         (Schema::new(name, fields), cardinality)
     }
 }
@@ -237,13 +229,25 @@ mod tests {
     #[test]
     fn inference_widens_and_estimates_cardinality() {
         let rows = vec![
-            Row::new().with("id", 1i64).with("amount", 2i64).with("city", "sf"),
-            Row::new().with("id", 2i64).with("amount", 2.5).with("city", "nyc"),
-            Row::new().with("id", 3i64).with("amount", 3i64).with("city", "sf"),
+            Row::new()
+                .with("id", 1i64)
+                .with("amount", 2i64)
+                .with("city", "sf"),
+            Row::new()
+                .with("id", 2i64)
+                .with("amount", 2.5)
+                .with("city", "nyc"),
+            Row::new()
+                .with("id", 3i64)
+                .with("amount", 3i64)
+                .with("city", "sf"),
         ];
         let (schema, card) = SchemaRegistry::infer_from_rows("t", &rows);
         assert_eq!(schema.field("id").unwrap().field_type, FieldType::Int);
-        assert_eq!(schema.field("amount").unwrap().field_type, FieldType::Double);
+        assert_eq!(
+            schema.field("amount").unwrap().field_type,
+            FieldType::Double
+        );
         assert_eq!(schema.field("city").unwrap().field_type, FieldType::Str);
         assert_eq!(card["city"], 2);
         assert_eq!(card["id"], 3);
@@ -251,10 +255,7 @@ mod tests {
 
     #[test]
     fn inference_conflicting_types_fall_back_to_str() {
-        let rows = vec![
-            Row::new().with("x", 1i64),
-            Row::new().with("x", "oops"),
-        ];
+        let rows = vec![Row::new().with("x", 1i64), Row::new().with("x", "oops")];
         let (schema, _) = SchemaRegistry::infer_from_rows("t", &rows);
         assert_eq!(schema.field("x").unwrap().field_type, FieldType::Str);
     }

@@ -144,8 +144,7 @@ mod tests {
         topo.replicate(100);
         let coord = ActiveActiveCoordinator::new("west");
         let kv = ReplicatedKv::new();
-        let states =
-            redundant_compute_round(&topo, &coord, &kv, 100, demand_supply_ratio).unwrap();
+        let states = redundant_compute_round(&topo, &coord, &kv, 100, demand_supply_ratio).unwrap();
         // both regions computed identical state from the consistent
         // aggregate input (the §6 convergence argument)
         assert_eq!(states["west"], states["east"]);

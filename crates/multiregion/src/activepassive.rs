@@ -230,12 +230,9 @@ mod tests {
 
     #[test]
     fn failover_without_sync_data_restarts_from_earliest() {
-        let topo = MultiRegionTopology::new(
-            &["a", "b"],
-            "t",
-            TopicConfig::default().with_partitions(1),
-        )
-        .unwrap();
+        let topo =
+            MultiRegionTopology::new(&["a", "b"], "t", TopicConfig::default().with_partitions(1))
+                .unwrap();
         for i in 0..10 {
             topo.produce("a", payment(i), i).unwrap();
         }
@@ -252,12 +249,9 @@ mod tests {
 
     #[test]
     fn cannot_fail_over_to_downed_region() {
-        let topo = MultiRegionTopology::new(
-            &["a", "b"],
-            "t",
-            TopicConfig::default().with_partitions(1),
-        )
-        .unwrap();
+        let topo =
+            MultiRegionTopology::new(&["a", "b"], "t", TopicConfig::default().with_partitions(1))
+                .unwrap();
         topo.region("b").unwrap().set_down(true);
         let sync = OffsetSyncService::new(topo.mappings().clone());
         let mut consumer = ActivePassiveConsumer::new("c", "t", "a");

@@ -34,9 +34,7 @@ impl ReplicatedKv {
         let mut inner = self.inner.write();
         let should_write = match inner.get(key) {
             None => true,
-            Some(prev) => {
-                (written_at, written_by) >= (prev.written_at, prev.written_by.as_str())
-            }
+            Some(prev) => (written_at, written_by) >= (prev.written_at, prev.written_by.as_str()),
         };
         if should_write {
             inner.insert(

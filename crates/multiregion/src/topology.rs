@@ -186,12 +186,9 @@ mod tests {
 
     #[test]
     fn origin_region_stamped() {
-        let topo = MultiRegionTopology::new(
-            &["a"],
-            "trips",
-            TopicConfig::default().with_partitions(1),
-        )
-        .unwrap();
+        let topo =
+            MultiRegionTopology::new(&["a"], "trips", TopicConfig::default().with_partitions(1))
+                .unwrap();
         topo.produce("a", trip(1), 1).unwrap();
         let t = topo.region("a").unwrap().regional.topic("trips").unwrap();
         let rec = &t.fetch(0, 0, 1).unwrap().records[0].record;

@@ -65,11 +65,8 @@ impl HeapStore {
             .sum();
         // doc_values: one 8-byte cell per field per document (no dictionary
         // bit-packing in this model)
-        let fields: std::collections::HashSet<&str> = self
-            .docs
-            .iter()
-            .flat_map(|d| d.column_names())
-            .collect();
+        let fields: std::collections::HashSet<&str> =
+            self.docs.iter().flat_map(|d| d.column_names()).collect();
         let doc_values = self.docs.len() * fields.len() * 8;
         self.doc_bytes + postings + doc_values
     }
@@ -123,17 +120,17 @@ impl HeapStore {
             };
             for id in ids {
                 let doc = &self.docs[id];
-                let key: Vec<String> = query
+                let key: crate::query::GroupKey = query
                     .group_by
                     .iter()
-                    .map(|c| {
-                        doc.get(c)
-                            .map(|v| v.to_string())
-                            .unwrap_or_else(|| "NULL".into())
-                    })
+                    .map(|c| doc.get(c).filter(|v| !v.is_null()).map(|v| v.to_string()))
                     .collect();
                 let accs: &mut Vec<AggAcc> = partial.groups.entry(key).or_insert_with(|| {
-                    query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                    query
+                        .aggregations
+                        .iter()
+                        .map(|(_, f)| f.new_acc())
+                        .collect()
                 });
                 for (acc, (_, f)) in accs.iter_mut().zip(&query.aggregations) {
                     acc.add(f, doc);
@@ -279,8 +276,7 @@ mod tests {
     fn disk_gap_matches_paper_band() {
         let n = 20_000;
         let hs = filled(n);
-        let data =
-            colfile::encode_columnar(&comparison_schema(), &comparison_rows(n)).unwrap();
+        let data = colfile::encode_columnar(&comparison_schema(), &comparison_rows(n)).unwrap();
         let ratio = hs.disk_bytes() as f64 / data.len() as f64;
         assert!(
             ratio >= 6.0,

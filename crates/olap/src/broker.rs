@@ -195,10 +195,7 @@ impl Broker {
                     .iter()
                     .find(|&&s| !self.servers[s].is_down())
                     .ok_or_else(|| {
-                        Error::Unavailable(format!(
-                            "no live replica for segment '{}'",
-                            pl.segment
-                        ))
+                        Error::Unavailable(format!("no live replica for segment '{}'", pl.segment))
                     })?,
             };
             plan.push((pl.segment.clone(), server));
@@ -294,8 +291,16 @@ mod tests {
         let total: i64 = res.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
         assert_eq!(total, 600);
         // avg must be the true global average, not an average of averages
-        let sf = res.rows.iter().find(|r| r.get_str("city") == Some("sf")).unwrap();
-        let expected: f64 = (0..600).filter(|i| i % 2 == 0).map(|i| i as f64).sum::<f64>() / 300.0;
+        let sf = res
+            .rows
+            .iter()
+            .find(|r| r.get_str("city") == Some("sf"))
+            .unwrap();
+        let expected: f64 = (0..600)
+            .filter(|i| i % 2 == 0)
+            .map(|i| i as f64)
+            .sum::<f64>()
+            / 300.0;
         assert!((sf.get_double("avg_fare").unwrap() - expected).abs() < 1e-9);
     }
 
@@ -319,7 +324,11 @@ mod tests {
             .order("fare", crate::query::SortOrder::Desc)
             .limit(3);
         let res = broker.query(&q).unwrap();
-        let fares: Vec<f64> = res.rows.iter().map(|r| r.get_double("fare").unwrap()).collect();
+        let fares: Vec<f64> = res
+            .rows
+            .iter()
+            .map(|r| r.get_double("fare").unwrap())
+            .collect();
         assert_eq!(fares, vec![599.0, 598.0, 597.0]);
     }
 

@@ -9,7 +9,7 @@
 
 use crate::segstore::SegmentStore;
 use crate::table::OlapTable;
-use rtdi_common::{Error, Result, Row};
+use rtdi_common::{Clock, Error, PipelineTracer, Result, Row};
 use rtdi_stream::chaperone::Chaperone;
 use rtdi_stream::topic::Topic;
 use std::sync::Arc;
@@ -38,16 +38,14 @@ pub struct RealtimeIngester {
     table: Arc<OlapTable>,
     segstore: Option<Arc<SegmentStore>>,
     chaperone: Option<Chaperone>,
+    tracer: Option<PipelineTracer>,
+    clock: Option<Arc<dyn Clock>>,
     config: IngestionConfig,
     positions: Vec<u64>,
 }
 
 impl RealtimeIngester {
-    pub fn new(
-        topic: Arc<Topic>,
-        table: Arc<OlapTable>,
-        config: IngestionConfig,
-    ) -> Result<Self> {
+    pub fn new(topic: Arc<Topic>, table: Arc<OlapTable>, config: IngestionConfig) -> Result<Self> {
         if topic.num_partitions() != table.config().partitions {
             return Err(Error::InvalidArgument(format!(
                 "topic has {} partitions but table expects {} — upsert \
@@ -62,6 +60,8 @@ impl RealtimeIngester {
             table,
             segstore: None,
             chaperone: None,
+            tracer: None,
+            clock: None,
             config,
             positions: vec![0; n],
         })
@@ -77,12 +77,30 @@ impl RealtimeIngester {
         self
     }
 
+    /// Record per-record ingestion freshness under the topic's pipeline:
+    /// the `"olap-ingest"` hop plus the end-to-end rollup (record becomes
+    /// queryable here).
+    pub fn with_tracer(mut self, tracer: PipelineTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Clock used for dwell measurements; without one, observations fall
+    /// back to each record's event time (zero-dwell in simulated setups).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Ingest everything currently available. Returns records ingested.
     pub fn run_once(&mut self) -> Result<u64> {
         let mut total = 0;
         for p in 0..self.topic.num_partitions() {
             loop {
-                let fetch = match self.topic.fetch(p, self.positions[p], self.config.batch_size) {
+                let fetch = match self
+                    .topic
+                    .fetch(p, self.positions[p], self.config.batch_size)
+                {
                     Ok(f) => f,
                     Err(Error::OffsetOutOfRange { low, .. }) => {
                         self.positions[p] = low;
@@ -93,10 +111,22 @@ impl RealtimeIngester {
                 if fetch.records.is_empty() {
                     break;
                 }
-                for rec in fetch.records {
+                for mut rec in fetch.records {
                     self.positions[p] = rec.offset + 1;
+                    let now = self
+                        .clock
+                        .as_ref()
+                        .map(|c| c.now())
+                        .unwrap_or(rec.record.timestamp);
                     if let Some(ch) = &self.chaperone {
-                        ch.observe(&self.config.audit_stage, &rec.record);
+                        ch.observe_at(&self.config.audit_stage, &rec.record, now);
+                    }
+                    if let Some(tr) = &self.tracer {
+                        let pipeline = self.topic.name();
+                        tr.observe_hop(pipeline, "olap-ingest", &mut rec.record, now);
+                        // the record is queryable from here on: close out
+                        // the end-to-end freshness measurement
+                        tr.record_total(pipeline, &rec.record, now);
                     }
                     let mut row: Row = rec.record.value;
                     // make event time queryable under the table's time column
@@ -188,8 +218,8 @@ mod tests {
         for i in 0..50 {
             t.append(trip(i, 10.0), 0);
         }
-        let mut ing = RealtimeIngester::new(t.clone(), table(false), IngestionConfig::default())
-            .unwrap();
+        let mut ing =
+            RealtimeIngester::new(t.clone(), table(false), IngestionConfig::default()).unwrap();
         assert_eq!(ing.lag(), 50);
         assert_eq!(ing.run_once().unwrap(), 50);
         assert_eq!(ing.lag(), 0);
@@ -216,8 +246,7 @@ mod tests {
         for i in 0..5 {
             t.append(trip(i, 777.0), 0);
         }
-        let mut ing =
-            RealtimeIngester::new(t, tbl.clone(), IngestionConfig::default()).unwrap();
+        let mut ing = RealtimeIngester::new(t, tbl.clone(), IngestionConfig::default()).unwrap();
         ing.run_once().unwrap();
         let q = Query::select_all("trips").aggregate("n", AggFn::Count);
         assert_eq!(tbl.query(&q).unwrap().rows[0].get_int("n"), Some(30));
@@ -272,5 +301,33 @@ mod tests {
             .with_chaperone(ch.clone());
         ing.run_once().unwrap();
         assert!(ch.certify("kafka", "pinot-ingestion"));
+    }
+
+    #[test]
+    fn tracer_measures_ingestion_freshness() {
+        use rtdi_common::SimClock;
+        let t = topic();
+        let tracer = PipelineTracer::default();
+        for i in 0..20 {
+            let mut rec = trip(i, 1.0);
+            PipelineTracer::stamp(&mut rec, 1_000);
+            t.append(rec, 1_000);
+        }
+        // records sat 3 seconds between production and ingestion
+        let clock = Arc::new(SimClock::new(4_000));
+        let mut ing = RealtimeIngester::new(t, table(false), IngestionConfig::default())
+            .unwrap()
+            .with_tracer(tracer.clone())
+            .with_clock(clock);
+        ing.run_once().unwrap();
+        let report = tracer.report();
+        let hop = report.stage("trips", "olap-ingest").unwrap();
+        assert_eq!(hop.count, 20);
+        assert_eq!(hop.max_ms, 3_000);
+        let e2e = report
+            .stage("trips", rtdi_common::trace::END_TO_END)
+            .unwrap();
+        assert_eq!(e2e.count, 20);
+        assert_eq!(e2e.max_ms, 3_000);
     }
 }

@@ -146,8 +146,10 @@ pub struct QueryResult {
 }
 
 /// Group key: the group-by column values (in `group_by` order) rendered to
-/// strings. A global aggregation uses the empty key.
-pub type GroupKey = Vec<String>;
+/// strings, with `None` for a NULL (or absent) value so a NULL key can
+/// never collide with a literal `"NULL"` string. A global aggregation uses
+/// the empty key.
+pub type GroupKey = Vec<Option<String>>;
 
 /// Partially-aggregated per-group accumulators — the unit shipped from
 /// segments/servers to the broker for the "merge" step of
@@ -186,14 +188,18 @@ impl PartialAgg {
             // empty input still yields the zero row for global aggregates
             self.groups.insert(
                 Vec::new(),
-                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect(),
+                query
+                    .aggregations
+                    .iter()
+                    .map(|(_, f)| f.new_acc())
+                    .collect(),
             );
         }
         let mut rows = Vec::with_capacity(self.groups.len());
         for (key, accs) in self.groups {
             let mut row = Row::with_capacity(key.len() + accs.len());
             for (col, k) in query.group_by.iter().zip(key) {
-                row.push(col.clone(), k);
+                row.push(col.clone(), k.map(Value::Str).unwrap_or(Value::Null));
             }
             for ((name, _), acc) in query.aggregations.iter().zip(&accs) {
                 row.push(name.clone(), acc.result());
@@ -292,10 +298,7 @@ mod tests {
         ];
         sort_and_limit(
             &mut rows,
-            &[
-                ("a".into(), SortOrder::Asc),
-                ("b".into(), SortOrder::Desc),
-            ],
+            &[("a".into(), SortOrder::Asc), ("b".into(), SortOrder::Desc)],
             None,
         );
         assert_eq!(rows[0].get_int("b"), Some(9));

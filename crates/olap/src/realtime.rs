@@ -91,12 +91,7 @@ impl MutableSegment {
                 // project onto the schema (missing fields become NULL) so
                 // consuming-segment rows are shaped exactly like sealed
                 // segment rows
-                row.project(
-                    &self
-                        .schema
-                        .field_names()
-                        .collect::<Vec<_>>(),
-                )
+                row.project(&self.schema.field_names().collect::<Vec<_>>())
             } else {
                 row.project(&query.select.iter().map(|s| s.as_str()).collect::<Vec<_>>())
             };
@@ -123,17 +118,17 @@ impl MutableSegment {
             if !query.predicates.iter().all(|p| p.matches(row)) {
                 continue;
             }
-            let key: Vec<String> = query
+            let key: crate::query::GroupKey = query
                 .group_by
                 .iter()
-                .map(|c| {
-                    row.get(c)
-                        .map(|v| v.to_string())
-                        .unwrap_or_else(|| "NULL".into())
-                })
+                .map(|c| row.get(c).filter(|v| !v.is_null()).map(|v| v.to_string()))
                 .collect();
             let accs: &mut Vec<AggAcc> = partial.groups.entry(key).or_insert_with(|| {
-                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                query
+                    .aggregations
+                    .iter()
+                    .map(|(_, f)| f.new_acc())
+                    .collect()
             });
             for (acc, (_, f)) in accs.iter_mut().zip(&query.aggregations) {
                 acc.add(f, row);
@@ -250,8 +245,15 @@ mod tests {
         assert_eq!(rows.len(), 2);
         // avg across both halves equals avg of the duplicated dataset =
         // avg of one copy
-        let sf = rows.iter().find(|r| r.get_str("city") == Some("sf")).unwrap();
-        let expected: f64 = (0..50).filter(|i| i % 2 == 0).map(|i| i as f64).sum::<f64>() / 25.0;
+        let sf = rows
+            .iter()
+            .find(|r| r.get_str("city") == Some("sf"))
+            .unwrap();
+        let expected: f64 = (0..50)
+            .filter(|i| i % 2 == 0)
+            .map(|i| i as f64)
+            .sum::<f64>()
+            / 25.0;
         assert!((sf.get_double("avg_total").unwrap() - expected).abs() < 1e-9);
     }
 }

@@ -199,7 +199,9 @@ impl InvertedIndex {
     fn memory_bytes(&self) -> usize {
         match self {
             InvertedIndex::Str(v) => v.iter().map(Bitmap::memory_bytes).sum(),
-            InvertedIndex::Int(m) => m.values().map(Bitmap::memory_bytes).sum::<usize>() + m.len() * 8,
+            InvertedIndex::Int(m) => {
+                m.values().map(Bitmap::memory_bytes).sum::<usize>() + m.len() * 8
+            }
         }
     }
 }
@@ -288,9 +290,9 @@ impl Segment {
 
         let mut inverted = HashMap::new();
         for col in &spec.inverted {
-            let data = columns
-                .get(col)
-                .ok_or_else(|| Error::Schema(format!("inverted index on unknown column '{col}'")))?;
+            let data = columns.get(col).ok_or_else(|| {
+                Error::Schema(format!("inverted index on unknown column '{col}'"))
+            })?;
             inverted.insert(col.clone(), build_inverted(data, n)?);
         }
         let mut range_idx = HashMap::new();
@@ -335,9 +337,17 @@ impl Segment {
     /// In-memory footprint, indices included.
     pub fn memory_bytes(&self) -> usize {
         let cols: usize = self.columns.values().map(ColumnData::memory_bytes).sum();
-        let inv: usize = self.inverted.values().map(InvertedIndex::memory_bytes).sum();
+        let inv: usize = self
+            .inverted
+            .values()
+            .map(InvertedIndex::memory_bytes)
+            .sum();
         let rng: usize = self.range_idx.values().map(RangeIndex::memory_bytes).sum();
-        let st = self.startree.as_ref().map(StarTree::memory_bytes).unwrap_or(0);
+        let st = self
+            .startree
+            .as_ref()
+            .map(StarTree::memory_bytes)
+            .unwrap_or(0);
         cols + inv + rng + st
     }
 
@@ -446,9 +456,8 @@ impl Segment {
     fn eval_sorted(&self, col: &ColumnData, pred: &Predicate) -> Option<Bitmap> {
         let n = self.doc_count;
         // binary search over the sorted column for the boundary positions
-        let cmp_at = |doc: usize| -> std::cmp::Ordering {
-            col.value_at(doc).total_cmp(&pred.value)
-        };
+        let cmp_at =
+            |doc: usize| -> std::cmp::Ordering { col.value_at(doc).total_cmp(&pred.value) };
         let lower = partition_point(n, |d| cmp_at(d) == std::cmp::Ordering::Less);
         let upper = partition_point(n, |d| cmp_at(d) != std::cmp::Ordering::Greater);
         let mut bm = Bitmap::new(n);
@@ -549,8 +558,11 @@ impl Segment {
             .collect();
 
         if query.group_by.is_empty() {
-            let mut accs: Vec<AggAcc> =
-                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect();
+            let mut accs: Vec<AggAcc> = query
+                .aggregations
+                .iter()
+                .map(|(_, f)| f.new_acc())
+                .collect();
             let mut any = false;
             for doc in selected.iter() {
                 any = true;
@@ -593,7 +605,11 @@ impl Segment {
                     key = (key << 32) | id as u128;
                 }
                 let accs = groups.entry(key).or_insert_with(|| {
-                    query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                    query
+                        .aggregations
+                        .iter()
+                        .map(|(_, f)| f.new_acc())
+                        .collect()
                 });
                 fold_resolved(&resolved, doc, accs);
             }
@@ -603,9 +619,9 @@ impl Segment {
                     let shift = 32 * (cols.len() - 1 - i);
                     let id = ((key >> shift) & 0xFFFF_FFFF) as u32;
                     let part = if id == u32::MAX {
-                        "NULL".to_string()
+                        None
                     } else if let ColumnData::Str { dict, .. } = col {
-                        dict[id as usize].clone()
+                        Some(dict[id as usize].clone())
                     } else {
                         unreachable!("checked above")
                     };
@@ -616,16 +632,27 @@ impl Segment {
             return Ok(partial);
         }
 
-        // general path: stringified group keys
+        // general path: stringified group keys (None for NULL values)
         for doc in selected.iter() {
             partial.docs_scanned += 1;
-            let key: Vec<String> = query
+            let key: crate::query::GroupKey = query
                 .group_by
                 .iter()
-                .map(|c| self.value_at(c, doc).to_string())
+                .map(|c| {
+                    let v = self.value_at(c, doc);
+                    if v.is_null() {
+                        None
+                    } else {
+                        Some(v.to_string())
+                    }
+                })
                 .collect();
             let accs = partial.groups.entry(key).or_insert_with(|| {
-                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                query
+                    .aggregations
+                    .iter()
+                    .map(|(_, f)| f.new_acc())
+                    .collect()
             });
             fold_resolved(&resolved, doc, accs);
         }
@@ -1016,7 +1043,9 @@ mod tests {
             let a = indexed.execute(&q, None).unwrap().rows[0]
                 .get_int("n")
                 .unwrap();
-            let b = plain.execute(&q, None).unwrap().rows[0].get_int("n").unwrap();
+            let b = plain.execute(&q, None).unwrap().rows[0]
+                .get_int("n")
+                .unwrap();
             assert_eq!(a, b, "mismatch for {pred:?}");
         }
     }
@@ -1045,7 +1074,11 @@ mod tests {
         let res = seg.execute(&q, None).unwrap();
         assert_eq!(res.rows.len(), 5);
         assert_eq!(res.rows[0].len(), 2);
-        let totals: Vec<f64> = res.rows.iter().map(|r| r.get_double("total").unwrap()).collect();
+        let totals: Vec<f64> = res
+            .rows
+            .iter()
+            .map(|r| r.get_double("total").unwrap())
+            .collect();
         let mut sorted = totals.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         assert_eq!(totals, sorted);
@@ -1070,7 +1103,10 @@ mod tests {
             Row::new(), // both null
             Row::new().with("x", 3i64).with("s", "b"),
         ];
-        for spec in [IndexSpec::none(), IndexSpec::none().with_inverted(&["s"]).with_sorted("x")] {
+        for spec in [
+            IndexSpec::none(),
+            IndexSpec::none().with_inverted(&["s"]).with_sorted("x"),
+        ] {
             let seg = Segment::build("s", &schema, rows.clone(), &spec).unwrap();
             let ne = Query::select_all("t")
                 .filter(Predicate::new("s", PredicateOp::Ne, "a"))
@@ -1083,7 +1119,10 @@ mod tests {
             let ge = Query::select_all("t")
                 .filter(Predicate::new("x", PredicateOp::Ge, 0i64))
                 .aggregate("n", AggFn::Count);
-            assert_eq!(seg.execute(&ge, None).unwrap().rows[0].get_int("n"), Some(2));
+            assert_eq!(
+                seg.execute(&ge, None).unwrap().rows[0].get_int("n"),
+                Some(2)
+            );
         }
     }
 
@@ -1125,7 +1164,8 @@ mod tests {
     #[test]
     fn memory_accounting_grows_with_indices() {
         let rows = orders(1000);
-        let plain = Segment::build("a", &orders_schema(), rows.clone(), &IndexSpec::none()).unwrap();
+        let plain =
+            Segment::build("a", &orders_schema(), rows.clone(), &IndexSpec::none()).unwrap();
         let indexed = Segment::build("b", &orders_schema(), rows, &full_spec()).unwrap();
         assert!(indexed.memory_bytes() > plain.memory_bytes());
         assert!(plain.memory_bytes() > 0);

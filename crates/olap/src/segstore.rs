@@ -44,11 +44,7 @@ pub struct SegmentStore {
 }
 
 impl SegmentStore {
-    pub fn new(
-        store: Arc<dyn ObjectStore>,
-        mode: SegmentStoreMode,
-        index_spec: IndexSpec,
-    ) -> Self {
+    pub fn new(store: Arc<dyn ObjectStore>, mode: SegmentStoreMode, index_spec: IndexSpec) -> Self {
         SegmentStore {
             store,
             mode,
@@ -93,8 +89,7 @@ impl SegmentStore {
     /// Complete queued async uploads (a background thread in production;
     /// explicit here for determinism). Returns how many uploaded.
     pub fn flush_pending(&self) -> Result<usize> {
-        let drained: Vec<(String, Arc<Segment>)> =
-            self.pending.lock().drain(..).collect();
+        let drained: Vec<(String, Arc<Segment>)> = self.pending.lock().drain(..).collect();
         let n = drained.len();
         for (table, seg) in drained {
             self.upload(&table, &seg)?;
@@ -159,7 +154,11 @@ mod tests {
 
     fn seg(name: &str, n: usize) -> Arc<Segment> {
         let rows: Vec<Row> = (0..n)
-            .map(|i| Row::new().with("city", ["sf", "la"][i % 2]).with("v", i as i64))
+            .map(|i| {
+                Row::new()
+                    .with("city", ["sf", "la"][i % 2])
+                    .with("v", i as i64)
+            })
             .collect();
         Arc::new(Segment::build(name, &schema(), rows, &IndexSpec::none()).unwrap())
     }

@@ -39,8 +39,9 @@ impl StarTreeSpec {
 }
 
 struct Node {
-    /// value -> child; the star child is stored separately.
-    children: BTreeMap<String, Node>,
+    /// value -> child (`None` = the dimension is NULL/absent); the star
+    /// child is stored separately.
+    children: BTreeMap<Option<String>, Node>,
     star: Option<Box<Node>>,
     metrics: Vec<AggAcc>,
     docs: usize,
@@ -132,7 +133,7 @@ impl StarTree {
             }
         }
         // traverse
-        let mut results: Vec<(Vec<(String, String)>, &Node)> = Vec::new();
+        let mut results: Vec<(GroupKey, &Node)> = Vec::new();
         let mut incomplete = false;
         collect(
             &self.root,
@@ -162,7 +163,11 @@ impl StarTree {
                 })
                 .collect();
             let entry = groups.entry(group_key).or_insert_with(|| {
-                query.aggregations.iter().map(|(_, f)| f.new_acc()).collect()
+                query
+                    .aggregations
+                    .iter()
+                    .map(|(_, f)| f.new_acc())
+                    .collect()
             });
             for (slot, mi) in entry.iter_mut().zip(&metric_idx) {
                 slot.merge(&node.metrics[*mi]);
@@ -196,12 +201,12 @@ fn build_node(
         return node;
     }
     let dim = &spec.dimensions[depth];
-    let mut partitions: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut partitions: BTreeMap<Option<String>, Vec<usize>> = BTreeMap::new();
     for &d in docs {
         let key = rows[d]
             .get(dim)
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "NULL".to_string());
+            .filter(|v| !v.is_null())
+            .map(|v| v.to_string());
         partitions.entry(key).or_default().push(d);
     }
     for (value, part) in partitions {
@@ -209,9 +214,19 @@ fn build_node(
             .insert(value, build_node(rows, &part, spec, depth + 1, node_count));
     }
     // star child: all docs, next dimension
-    node.star = Some(Box::new(build_node(rows, docs, spec, depth + 1, node_count)));
+    node.star = Some(Box::new(build_node(
+        rows,
+        docs,
+        spec,
+        depth + 1,
+        node_count,
+    )));
     node
 }
+
+/// Dimension values accumulated along a traversal path; `None` marks the
+/// star (aggregated-over) branch.
+type GroupKey = Vec<(String, Option<String>)>;
 
 /// Walk the tree, respecting predicates (descend matching child) and
 /// group-by (fan out over children); descend star otherwise.
@@ -220,16 +235,16 @@ fn collect<'a>(
     dims: &[String],
     depth: usize,
     query: &Query,
-    key: Vec<(String, String)>,
-    out: &mut Vec<(Vec<(String, String)>, &'a Node)>,
+    key: GroupKey,
+    out: &mut Vec<(GroupKey, &'a Node)>,
     incomplete: &mut bool,
 ) {
     // stop early when no remaining dimension is referenced by the query:
     // this node's subtree totals are exactly the answer (this is what makes
     // max_leaf_records-truncated trees still answer coarse aggregates)
-    let references_rest = dims[depth..].iter().any(|d| {
-        query.predicates.iter().any(|p| &p.column == d) || query.group_by.contains(d)
-    });
+    let references_rest = dims[depth..]
+        .iter()
+        .any(|d| query.predicates.iter().any(|p| &p.column == d) || query.group_by.contains(d));
     if depth == dims.len() || !references_rest {
         out.push((key, node));
         return;
@@ -250,10 +265,10 @@ fn collect<'a>(
                 *incomplete = true;
                 return;
             }
-            if let Some(child) = node.children.get(&v) {
+            if let Some(child) = node.children.get(&Some(v.clone())) {
                 let mut key = key;
                 if grouped {
-                    key.push((dim.clone(), v));
+                    key.push((dim.clone(), Some(v)));
                 }
                 collect(child, dims, depth + 1, query, key, out, incomplete);
             }
@@ -454,10 +469,7 @@ mod tests {
     #[test]
     fn distinct_count_preaggregates_correctly() {
         let rows = rows();
-        let sp = StarTreeSpec::new(
-            &["city"],
-            vec![AggFn::DistinctCount("product".into())],
-        );
+        let sp = StarTreeSpec::new(&["city"], vec![AggFn::DistinctCount("product".into())]);
         let st = StarTree::build(&rows, &sp).unwrap();
         let q = Query::select_all("t")
             .aggregate("products", AggFn::DistinctCount("product".into()))

@@ -173,7 +173,12 @@ impl OlapTable {
         st.unbacked.push(sealed.name().to_string());
         st.sealed.push(sealed);
         st.seg_seq += 1;
-        let name = format!("{}__rt_{}_{}", self.config.name, partition_of(st), st.seg_seq);
+        let name = format!(
+            "{}__rt_{}_{}",
+            self.config.name,
+            partition_of(st),
+            st.seg_seq
+        );
         st.consuming = MutableSegment::new(name, self.config.schema.clone());
         Ok(())
     }
@@ -365,11 +370,7 @@ impl OlapTable {
         })
     }
 
-    fn for_each_segment(
-        &self,
-        query: &Query,
-        mut f: impl FnMut(PartialAgg),
-    ) -> Result<()> {
+    fn for_each_segment(&self, query: &Query, mut f: impl FnMut(PartialAgg)) -> Result<()> {
         for state in &self.partitions {
             let st = state.read();
             let consuming_name = st.consuming.name().to_string();
@@ -403,8 +404,7 @@ impl OlapTable {
     /// Latest value of a column for a primary key (upsert tables): the
     /// point lookup that serves "correcting a ride fare" reads.
     pub fn lookup(&self, key: &Value, column: &str) -> Option<Value> {
-        let partition =
-            (key.partition_hash() % self.config.partitions as u64) as usize;
+        let partition = (key.partition_hash() % self.config.partitions as u64) as usize;
         let st = self.partitions[partition].read();
         let loc = st.pk_index.location(key)?;
         if loc.segment == st.consuming.name() {
@@ -480,7 +480,11 @@ mod tests {
         assert_eq!(res.rows.len(), 2);
         let total: i64 = res.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
         assert_eq!(total, 100);
-        assert!(res.segments_queried >= 4, "queried {}", res.segments_queried);
+        assert!(
+            res.segments_queried >= 4,
+            "queried {}",
+            res.segments_queried
+        );
     }
 
     #[test]
@@ -594,14 +598,9 @@ mod tests {
     fn upsert_config_sanitized() {
         let cfg = TableConfig::new("t", schema())
             .with_upsert("trip_id")
-            .with_index_spec(
-                IndexSpec::none()
-                    .with_sorted("ts")
-                    .with_startree(crate::startree::StarTreeSpec::new(
-                        &["city"],
-                        vec![AggFn::Count],
-                    )),
-            );
+            .with_index_spec(IndexSpec::none().with_sorted("ts").with_startree(
+                crate::startree::StarTreeSpec::new(&["city"], vec![AggFn::Count]),
+            ));
         let table = OlapTable::new(cfg).unwrap();
         assert!(table.config().index_spec.sorted.is_none());
         assert!(table.config().index_spec.startree.is_none());

@@ -45,12 +45,7 @@ impl PrimaryKeyIndex {
     /// Record that `key`'s newest version now lives at (segment, doc_id).
     /// Any previous location is invalidated. Returns the displaced
     /// location, if any.
-    pub fn upsert(
-        &mut self,
-        key: &Value,
-        segment: &str,
-        doc_id: usize,
-    ) -> Option<RecordLocation> {
+    pub fn upsert(&mut self, key: &Value, segment: &str, doc_id: usize) -> Option<RecordLocation> {
         let ks = Self::key_string(key);
         let new_loc = RecordLocation {
             segment: segment.to_string(),
@@ -107,10 +102,16 @@ mod tests {
     #[test]
     fn upsert_tracks_latest_location() {
         let mut idx = PrimaryKeyIndex::new();
-        assert!(idx.upsert(&Value::Str("trip-1".into()), "seg-a", 0).is_none());
-        assert!(idx.upsert(&Value::Str("trip-2".into()), "seg-a", 1).is_none());
+        assert!(idx
+            .upsert(&Value::Str("trip-1".into()), "seg-a", 0)
+            .is_none());
+        assert!(idx
+            .upsert(&Value::Str("trip-2".into()), "seg-a", 1)
+            .is_none());
         // update trip-1 in a newer segment
-        let displaced = idx.upsert(&Value::Str("trip-1".into()), "seg-b", 0).unwrap();
+        let displaced = idx
+            .upsert(&Value::Str("trip-1".into()), "seg-b", 0)
+            .unwrap();
         assert_eq!(displaced.segment, "seg-a");
         assert_eq!(displaced.doc_id, 0);
         assert_eq!(

@@ -51,7 +51,10 @@ pub enum Expr {
         arg: Option<Box<Expr>>,
     },
     /// Scalar/table function call (e.g. `TUMBLE(ts, 60000)`).
-    Function { name: String, args: Vec<Expr> },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `*`
     Star,
 }
@@ -77,11 +80,10 @@ impl Expr {
     /// Column names referenced by this expression.
     pub fn referenced_columns(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Column { name, .. } => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
+            Expr::Column { name, .. } if !out.contains(name) => {
+                out.push(name.clone());
             }
+            Expr::Column { .. } => {}
             Expr::Binary { left, right, .. } => {
                 left.referenced_columns(out);
                 right.referenced_columns(out);
@@ -145,7 +147,9 @@ pub struct SelectItem {
 
 impl SelectItem {
     pub fn output_name(&self) -> String {
-        self.alias.clone().unwrap_or_else(|| self.expr.default_name())
+        self.alias
+            .clone()
+            .unwrap_or_else(|| self.expr.default_name())
     }
 }
 

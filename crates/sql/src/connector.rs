@@ -85,9 +85,7 @@ impl PinotConnector {
     }
 
     pub fn register(&self, table: Arc<OlapTable>) {
-        self.tables
-            .write()
-            .insert(table.name().to_string(), table);
+        self.tables.write().insert(table.name().to_string(), table);
     }
 
     fn table(&self, name: &str) -> Result<Arc<OlapTable>> {
@@ -139,7 +137,11 @@ impl Connector for PinotConnector {
             for (col, desc) in &pushdown.order_by {
                 q = q.order(
                     col.clone(),
-                    if *desc { SortOrder::Desc } else { SortOrder::Asc },
+                    if *desc {
+                        SortOrder::Desc
+                    } else {
+                        SortOrder::Asc
+                    },
                 );
             }
             // LIMIT without ORDER BY is only pushable for selections; for
@@ -148,34 +150,32 @@ impl Connector for PinotConnector {
             q.limit = pushdown.limit;
         }
         let mut result = t.query(&q)?;
-        // the OLAP store renders group keys as strings; restore the schema
-        // types so pushed and unpushed plans produce identical rows
+        // the OLAP store renders non-null group keys as strings (NULL keys
+        // arrive as real Value::Null); restore the schema types so pushed
+        // and unpushed plans produce identical rows
         if let Some(agg) = &pushdown.aggregation {
             let schema = &t.config().schema;
             for row in &mut result.rows {
                 for col in &agg.group_by {
-                    let Some(field) = schema.field(col) else { continue };
+                    let Some(field) = schema.field(col) else {
+                        continue;
+                    };
                     let Some(Value::Str(s)) = row.get(col).cloned() else {
                         continue;
                     };
-                    let typed = if s == "NULL" {
-                        Value::Null
-                    } else {
-                        match field.field_type {
-                            FieldType::Int | FieldType::Timestamp => {
-                                s.parse::<i64>().map(Value::Int).unwrap_or(Value::Str(s))
-                            }
-                            FieldType::Double => s
-                                .parse::<f64>()
-                                .map(Value::Double)
-                                .unwrap_or(Value::Str(s)),
-                            FieldType::Bool => match s.as_str() {
-                                "true" => Value::Bool(true),
-                                "false" => Value::Bool(false),
-                                _ => Value::Str(s),
-                            },
-                            _ => Value::Str(s),
+                    let typed = match field.field_type {
+                        FieldType::Int | FieldType::Timestamp => {
+                            s.parse::<i64>().map(Value::Int).unwrap_or(Value::Str(s))
                         }
+                        FieldType::Double => {
+                            s.parse::<f64>().map(Value::Double).unwrap_or(Value::Str(s))
+                        }
+                        FieldType::Bool => match s.as_str() {
+                            "true" => Value::Bool(true),
+                            "false" => Value::Bool(false),
+                            _ => Value::Str(s),
+                        },
+                        _ => Value::Str(s),
                     };
                     row.set(col, typed);
                 }

@@ -295,14 +295,20 @@ fn execute_aggregate(
     aggs: &[AggItem],
 ) -> Result<Vec<Row>> {
     let fns: Vec<AggFn> = aggs.iter().map(agg_fn_for).collect();
-    // group key -> (representative group values, accumulators)
-    let mut groups: BTreeMap<Vec<String>, (Vec<Value>, Vec<AggAcc>)> = BTreeMap::new();
+    // group key -> (representative group values, accumulators); NULL keys
+    // are None so they never collide with a literal "NULL" string
+    type GroupKey = Vec<Option<String>>;
+    let mut groups: BTreeMap<GroupKey, (Vec<Value>, Vec<AggAcc>)> = BTreeMap::new();
     for row in rows {
         let mut key = Vec::with_capacity(group_by.len());
         let mut vals = Vec::with_capacity(group_by.len());
         for (_, g) in group_by {
             let v = eval(g, row)?;
-            key.push(v.to_string());
+            key.push(if v.is_null() {
+                None
+            } else {
+                Some(v.to_string())
+            });
             vals.push(v);
         }
         let (_, accs) = groups
@@ -492,7 +498,9 @@ mod tests {
         });
         e.register_connector("mem", Arc::new(mem));
         let out = e
-            .query("SELECT COUNT(*) AS all_rows, COUNT(x) AS non_null, COUNT(DISTINCT x) AS d FROM t")
+            .query(
+                "SELECT COUNT(*) AS all_rows, COUNT(x) AS non_null, COUNT(DISTINCT x) AS d FROM t",
+            )
             .unwrap();
         assert_eq!(out.rows[0].get_int("all_rows"), Some(4));
         assert_eq!(out.rows[0].get_int("non_null"), Some(3));
@@ -510,7 +518,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.rows.len(), 3);
-        assert!(out.rows.iter().all(|r| r.get_str("cuisine") == Some("thai")));
+        assert!(out
+            .rows
+            .iter()
+            .all(|r| r.get_str("cuisine") == Some("thai")));
         let total: i64 = out.rows.iter().map(|r| r.get_int("n").unwrap()).sum();
         assert_eq!(total, 50); // half the restaurants are thai
     }
@@ -558,7 +569,9 @@ mod tests {
     #[test]
     fn explain_renders_plan() {
         let e = engine();
-        let text = e.explain("SELECT city FROM orders WHERE total > 5").unwrap();
+        let text = e
+            .explain("SELECT city FROM orders WHERE total > 5")
+            .unwrap();
         assert!(text.contains("Scan mem.orders"));
     }
 

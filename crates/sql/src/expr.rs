@@ -5,7 +5,9 @@ use rtdi_common::{Error, Result, Row, Value};
 
 /// Evaluate an expression against a row. Qualified columns (`o.city`)
 /// resolve against `qualifier.column` entries first, then bare names
-/// (join outputs carry both).
+/// (join outputs carry both). Rows are schemaless, so a column absent
+/// from a row evaluates to NULL — the same semantics the OLAP layer
+/// applies — rather than erroring.
 pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
     match expr {
         Expr::Column { qualifier, name } => {
@@ -15,9 +17,7 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                     return Ok(v.clone());
                 }
             }
-            row.get(name)
-                .cloned()
-                .ok_or_else(|| Error::Sql(format!("unknown column '{name}'")))
+            Ok(row.get(name).cloned().unwrap_or(Value::Null))
         }
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Binary { left, op, right } => {
@@ -185,8 +185,14 @@ mod tests {
     #[test]
     fn comparisons() {
         let row = sample();
-        assert_eq!(eval(&where_expr("fare > 10"), &row).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&where_expr("fare > 20"), &row).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&where_expr("fare > 10"), &row).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&where_expr("fare > 20"), &row).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             eval(&where_expr("city = 'sf' AND items <= 3"), &row).unwrap(),
             Value::Bool(true)
@@ -200,10 +206,19 @@ mod tests {
     #[test]
     fn qualified_columns_resolve_qualified_first() {
         let row = sample();
-        assert_eq!(eval(&proj_expr("o.city"), &row).unwrap(), Value::Str("la".into()));
-        assert_eq!(eval(&proj_expr("city"), &row).unwrap(), Value::Str("sf".into()));
+        assert_eq!(
+            eval(&proj_expr("o.city"), &row).unwrap(),
+            Value::Str("la".into())
+        );
+        assert_eq!(
+            eval(&proj_expr("city"), &row).unwrap(),
+            Value::Str("sf".into())
+        );
         // unknown qualifier falls back to bare name
-        assert_eq!(eval(&proj_expr("x.city"), &row).unwrap(), Value::Str("sf".into()));
+        assert_eq!(
+            eval(&proj_expr("x.city"), &row).unwrap(),
+            Value::Str("sf".into())
+        );
     }
 
     #[test]
@@ -225,8 +240,14 @@ mod tests {
     fn null_propagation() {
         let row = Row::new().with("x", Value::Null);
         assert_eq!(eval(&proj_expr("x + 1"), &row).unwrap(), Value::Null);
-        assert_eq!(eval(&where_expr("x = 1"), &row).unwrap(), Value::Bool(false));
-        assert_eq!(eval(&where_expr("x != 1"), &row).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&where_expr("x = 1"), &row).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&where_expr("x != 1"), &row).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -241,7 +262,10 @@ mod tests {
 
     #[test]
     fn scalar_functions() {
-        let row = Row::new().with("s", "MiXeD").with("n", -4i64).with("z", Value::Null);
+        let row = Row::new()
+            .with("s", "MiXeD")
+            .with("n", -4i64)
+            .with("z", Value::Null);
         assert_eq!(
             eval(&proj_expr("LOWER(s)"), &row).unwrap(),
             Value::Str("mixed".into())
@@ -255,9 +279,14 @@ mod tests {
     }
 
     #[test]
-    fn errors_on_unknown_column_and_misuse() {
+    fn absent_column_is_null_but_misuse_errors() {
         let row = sample();
-        assert!(eval(&proj_expr("ghost"), &row).is_err());
+        // schemaless rows: absent column evaluates to NULL (matches OLAP)
+        assert_eq!(eval(&proj_expr("ghost"), &row).unwrap(), Value::Null);
+        assert_eq!(
+            eval(&where_expr("ghost = 1"), &row).unwrap(),
+            Value::Bool(false)
+        );
         assert!(eval(&proj_expr("COUNT(fare)"), &row).is_err()); // agg outside agg ctx
     }
 }

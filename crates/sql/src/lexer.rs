@@ -142,7 +142,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes.get(i - 1), Some(b'e') | Some(b'E'))))
@@ -178,7 +180,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     out.push(Token::Ident(input[start..i].to_string()));
                 }
             }
-            c => return Err(Error::Sql(format!("unexpected character '{c}' at byte {i}"))),
+            c => {
+                return Err(Error::Sql(format!(
+                    "unexpected character '{c}' at byte {i}"
+                )))
+            }
         }
     }
     Ok(out)

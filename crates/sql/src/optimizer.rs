@@ -309,10 +309,13 @@ fn map_keys_through(plan: &Plan, keys: &[(String, bool)]) -> Option<Vec<(String,
         Plan::Project { items, .. } => keys
             .iter()
             .map(|(k, desc)| {
-                items.iter().find(|(name, _)| name == k).and_then(|(_, e)| match e {
-                    Expr::Column { name, .. } => Some((name.clone(), *desc)),
-                    _ => None,
-                })
+                items
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .and_then(|(_, e)| match e {
+                        Expr::Column { name, .. } => Some((name.clone(), *desc)),
+                        _ => None,
+                    })
             })
             .collect(),
         Plan::Scan { .. } => Some(keys.to_vec()),
@@ -573,10 +576,8 @@ mod tests {
 
     #[test]
     fn disable_flag_bypasses_everything() {
-        let plan = plan_select(
-            &parse_select("SELECT city FROM t WHERE total > 10").unwrap(),
-        )
-        .unwrap();
+        let plan =
+            plan_select(&parse_select("SELECT city FROM t WHERE total > 10").unwrap()).unwrap();
         let same = optimize(plan.clone(), &full_caps, false);
         assert_eq!(plan, same);
     }

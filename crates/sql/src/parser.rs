@@ -66,7 +66,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::Sql(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(Error::Sql(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -330,7 +333,9 @@ impl Parser {
                             Value::Double(-n)
                         }))
                     }
-                    other => Err(Error::Sql(format!("expected number after '-', got {other:?}"))),
+                    other => Err(Error::Sql(format!(
+                        "expected number after '-', got {other:?}"
+                    ))),
                 }
             }
             Some(Token::Star) => Ok(Expr::Star),
@@ -499,7 +504,11 @@ mod tests {
     fn parses_arithmetic_with_precedence() {
         let s = parse_select("SELECT a + b * 2 AS x FROM t").unwrap();
         match &s.projections[0].expr {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("precedence broken: {other:?}"),
@@ -516,7 +525,11 @@ mod tests {
     fn parses_or_and_precedence() {
         let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("OR/AND precedence broken: {other:?}"),

@@ -171,11 +171,12 @@ pub fn plan_select(stmt: &SelectStmt) -> Result<Plan> {
 
     // aggregation?
     let has_agg = stmt.projections.iter().any(|p| p.expr.contains_agg())
-        || stmt.having.as_ref().map(|h| h.contains_agg()).unwrap_or(false)
         || stmt
-            .order_by
-            .iter()
-            .any(|o| o.expr.contains_agg())
+            .having
+            .as_ref()
+            .map(|h| h.contains_agg())
+            .unwrap_or(false)
+        || stmt.order_by.iter().any(|o| o.expr.contains_agg())
         || !stmt.group_by.is_empty();
 
     let mut projections: Vec<(String, Expr)> = Vec::new();
@@ -248,8 +249,7 @@ pub fn plan_select(stmt: &SelectStmt) -> Result<Plan> {
     for (i, o) in order_exprs.iter().enumerate() {
         let name = match &o.expr {
             Expr::Column { name, .. }
-                if projections.is_empty()
-                    || projections.iter().any(|(n, _)| n == name) =>
+                if projections.is_empty() || projections.iter().any(|(n, _)| n == name) =>
             {
                 name.clone()
             }
@@ -320,9 +320,10 @@ fn extract_aggs(expr: &Expr, aggs: &mut Vec<AggItem>) -> Expr {
                 arg: arg.as_deref().cloned(),
             };
             // dedupe identical aggregates
-            let name = match aggs.iter().find(|a| {
-                a.func == item.func && a.distinct == item.distinct && a.arg == item.arg
-            }) {
+            let name = match aggs
+                .iter()
+                .find(|a| a.func == item.func && a.distinct == item.distinct && a.arg == item.arg)
+            {
                 Some(existing) => existing.name.clone(),
                 None => {
                     let name = if aggs.iter().any(|a| a.name == item.name) {
@@ -373,17 +374,16 @@ fn rewrite_group_refs(expr: &Expr, group_by: &[(String, Expr)]) -> Expr {
         },
         Expr::Function { name, args } => Expr::Function {
             name: name.clone(),
-            args: args.iter().map(|a| rewrite_group_refs(a, group_by)).collect(),
+            args: args
+                .iter()
+                .map(|a| rewrite_group_refs(a, group_by))
+                .collect(),
         },
         other => other.clone(),
     }
 }
 
-fn validate_grouped_expr(
-    expr: &Expr,
-    group_by: &[(String, Expr)],
-    context: &str,
-) -> Result<()> {
+fn validate_grouped_expr(expr: &Expr, group_by: &[(String, Expr)], context: &str) -> Result<()> {
     match expr {
         Expr::Column { name, .. } => {
             // must be a group output or an aggregate output (aggregate
@@ -405,7 +405,9 @@ fn validate_grouped_expr(
             Ok(())
         }
         Expr::Literal(_) => Ok(()),
-        Expr::Star => Err(Error::Sql(format!("'*' invalid in grouped context '{context}'"))),
+        Expr::Star => Err(Error::Sql(format!(
+            "'*' invalid in grouped context '{context}'"
+        ))),
         Expr::Agg { .. } => Err(Error::Sql("nested aggregate".into())),
     }
 }
@@ -462,9 +464,8 @@ mod tests {
 
     #[test]
     fn group_expr_references_rewritten() {
-        let p = plan(
-            "SELECT TUMBLE(ts, 1000) AS w, SUM(fare) FROM trips GROUP BY TUMBLE(ts, 1000)",
-        );
+        let p =
+            plan("SELECT TUMBLE(ts, 1000) AS w, SUM(fare) FROM trips GROUP BY TUMBLE(ts, 1000)");
         match &p {
             Plan::Project { items, .. } => {
                 assert_eq!(items[0].0, "w");
@@ -513,9 +514,6 @@ mod tests {
             &parse_select("SELECT city FROM t WHERE COUNT(*) > 1 GROUP BY city").unwrap()
         )
         .is_err());
-        assert!(plan_select(
-            &parse_select("SELECT * FROM t GROUP BY city").unwrap()
-        )
-        .is_err());
+        assert!(plan_select(&parse_select("SELECT * FROM t GROUP BY city").unwrap()).is_err());
     }
 }

@@ -108,9 +108,10 @@ fn decode_value(buf: &mut Bytes) -> Result<Value> {
         4 => {
             let len = buf.get_u32() as usize;
             let s = buf.split_to(len);
-            Value::Str(String::from_utf8(s.to_vec()).map_err(|_| {
-                Error::Corruption("invalid utf8 in raw log".into())
-            })?)
+            Value::Str(
+                String::from_utf8(s.to_vec())
+                    .map_err(|_| Error::Corruption("invalid utf8 in raw log".into()))?,
+            )
         }
         5 => {
             let len = buf.get_u32() as usize;
@@ -178,9 +179,10 @@ pub fn decode_raw(data: &Bytes) -> Result<Vec<Record>> {
             1 => {
                 let len = buf.get_u32() as usize;
                 let s = buf.split_to(len);
-                Some(Value::Str(String::from_utf8(s.to_vec()).map_err(|_| {
-                    Error::Corruption("invalid utf8 key".into())
-                })?))
+                Some(Value::Str(
+                    String::from_utf8(s.to_vec())
+                        .map_err(|_| Error::Corruption("invalid utf8 key".into()))?,
+                ))
             }
             2 => Some(Value::Int(buf.get_i64())),
             _ => None,
@@ -298,9 +300,10 @@ impl Compactor {
         }
         let mut full_schema = schema.clone();
         if full_schema.field("__ts").is_none() {
-            full_schema
-                .fields
-                .push(rtdi_common::Field::new("__ts", rtdi_common::FieldType::Timestamp));
+            full_schema.fields.push(rtdi_common::Field::new(
+                "__ts",
+                rtdi_common::FieldType::Timestamp,
+            ));
         }
         let part = format!("warehouse/{dataset}/{date}/part-00000");
         let data = colfile::encode_columnar(&full_schema, &rows)?;
@@ -343,7 +346,10 @@ mod tests {
         assert_eq!(date_partition(86_400_000), "d000001");
         assert_eq!(date_partition(86_399_999), "d000000");
         // negative timestamps bucket consistently too
-        assert_eq!(date_partition(-1), "d-00001".replace("d-00001", &date_partition(-1)));
+        assert_eq!(
+            date_partition(-1),
+            "d-00001".replace("d-00001", &date_partition(-1))
+        );
     }
 
     #[test]

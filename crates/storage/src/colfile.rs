@@ -118,7 +118,7 @@ pub fn bits_for(max: u64) -> u32 {
 /// Bit-pack a slice of u64 values each fitting in `bits` bits.
 pub fn bitpack(values: &[u64], bits: u32) -> Vec<u8> {
     let total_bits = values.len() * bits as usize;
-    let mut out = vec![0u8; (total_bits + 7) / 8];
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
     let mut bitpos = 0usize;
     for &v in values {
         for b in 0..bits {
@@ -149,7 +149,7 @@ pub fn bitunpack(data: &[u8], bits: u32, count: usize) -> Vec<u64> {
 }
 
 fn null_bitmap(rows: &[Row], name: &str) -> Vec<u8> {
-    let mut bm = vec![0u8; (rows.len() + 7) / 8];
+    let mut bm = vec![0u8; rows.len().div_ceil(8)];
     for (i, row) in rows.iter().enumerate() {
         let is_null = matches!(row.get(name), None | Some(Value::Null));
         if is_null {
@@ -442,7 +442,11 @@ mod tests {
     #[test]
     fn bitpack_roundtrip_various_widths() {
         for bits in [1u32, 3, 7, 13, 31, 64] {
-            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let max = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let vals: Vec<u64> = (0..100).map(|i| (i * 2654435761u64) % max.max(1)).collect();
             let packed = bitpack(&vals, bits);
             let un = bitunpack(&packed, bits, vals.len());

@@ -244,9 +244,15 @@ mod tests {
     #[test]
     fn write_scan_partitions() {
         let (catalog, table) = setup();
-        catalog.write_rows("trips", "d000000", &rows_for_day(0, 10)).unwrap();
-        catalog.write_rows("trips", "d000001", &rows_for_day(1, 20)).unwrap();
-        catalog.write_rows("trips", "d000001", &rows_for_day(1, 5)).unwrap();
+        catalog
+            .write_rows("trips", "d000000", &rows_for_day(0, 10))
+            .unwrap();
+        catalog
+            .write_rows("trips", "d000001", &rows_for_day(1, 20))
+            .unwrap();
+        catalog
+            .write_rows("trips", "d000001", &rows_for_day(1, 5))
+            .unwrap();
         assert_eq!(table.partitions(), vec!["d000000", "d000001"]);
         assert_eq!(table.scan_partition("d000000").unwrap().len(), 10);
         assert_eq!(table.scan_partition("d000001").unwrap().len(), 25);
@@ -260,7 +266,11 @@ mod tests {
         let (catalog, table) = setup();
         for day in 0..5 {
             catalog
-                .write_rows("trips", &crate::archival::date_partition(day * 86_400_000), &rows_for_day(day, 10))
+                .write_rows(
+                    "trips",
+                    &crate::archival::date_partition(day * 86_400_000),
+                    &rows_for_day(day, 10),
+                )
                 .unwrap();
         }
         // range covering day 1 and first half of day 2

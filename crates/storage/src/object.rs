@@ -110,7 +110,9 @@ impl LocalFsStore {
 
     fn path_for(&self, key: &str) -> Result<PathBuf> {
         if key.contains("..") || key.starts_with('/') {
-            return Err(Error::InvalidArgument(format!("invalid object key '{key}'")));
+            return Err(Error::InvalidArgument(format!(
+                "invalid object key '{key}'"
+            )));
         }
         Ok(self.root.join(key))
     }
@@ -243,7 +245,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
         self.check_up()?;
         let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
         let fe = self.fail_every.load(Ordering::Relaxed);
-        if fe > 0 && n % fe == 0 {
+        if fe > 0 && n.is_multiple_of(fe) {
             return Err(Error::Unavailable(format!("injected put failure #{n}")));
         }
         let delay = self.put_delay_us.load(Ordering::Relaxed);

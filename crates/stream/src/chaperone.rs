@@ -11,6 +11,8 @@
 //! window by window and emits loss/duplicate alerts.
 
 use parking_lot::RwLock;
+use rtdi_common::metrics::Histogram;
+use rtdi_common::trace::PipelineTracer;
 use rtdi_common::{Record, Timestamp};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -47,6 +49,19 @@ pub enum AlertKind {
 struct StageData {
     /// window start -> ids seen (id -> occurrences)
     windows: BTreeMap<Timestamp, HashMap<String, u32>>,
+    /// Freshness at this stage: observation time minus the record's
+    /// producer origin stamp, in milliseconds. Only populated by
+    /// [`Chaperone::observe_at`] (plain `observe` has no wall clock).
+    freshness: Histogram,
+}
+
+/// Freshness percentiles of one stage, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageFreshness {
+    pub count: u64,
+    pub p50_ms: u64,
+    pub p99_ms: u64,
+    pub max_ms: u64,
 }
 
 /// The audit collector.
@@ -77,6 +92,44 @@ impl Chaperone {
             .map(|s| s.to_string())
             .unwrap_or_else(|| format!("<anon-{}>", record.timestamp));
         self.observe_id(stage, &id, record.timestamp);
+    }
+
+    /// Like [`observe`](Self::observe), but with the observer's clock:
+    /// also records the record's freshness (now minus its producer origin
+    /// stamp) so audits carry per-stage freshness percentiles alongside
+    /// counts. Windowing still uses the record's event time so upstream
+    /// and downstream observations of the same message land in the same
+    /// audit window regardless of when each stage saw it.
+    pub fn observe_at(&self, stage: &str, record: &Record, now: Timestamp) {
+        self.observe(stage, record);
+        let dwell = (now - PipelineTracer::app_ts_of(record)).max(0);
+        self.stages
+            .write()
+            .entry(stage.to_string())
+            .or_default()
+            .freshness
+            .record(dwell as u64);
+    }
+
+    /// Freshness percentiles for a stage; `None` if the stage has never
+    /// been observed with a clock.
+    pub fn freshness(&self, stage: &str) -> Option<StageFreshness> {
+        let stages = self.stages.read();
+        let h = &stages.get(stage)?.freshness;
+        if h.count() == 0 {
+            return None;
+        }
+        Some(StageFreshness {
+            count: h.count(),
+            p50_ms: h.quantile(0.5),
+            p99_ms: h.quantile(0.99),
+            max_ms: h.max(),
+        })
+    }
+
+    /// Every stage that has reported at least one observation.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.read().keys().cloned().collect()
     }
 
     /// Lower-level variant for stages that only have ids.
@@ -159,6 +212,29 @@ impl Chaperone {
     /// stages (the §2 "ability to certify data quality" requirement).
     pub fn certify(&self, upstream: &str, downstream: &str) -> bool {
         self.audit(upstream, downstream).is_empty()
+    }
+
+    /// Audit a whole pipeline — each consecutive pair of stages in order
+    /// (stream -> compute -> OLAP) — and return every alert found.
+    pub fn audit_chain(&self, stages: &[&str]) -> Vec<AuditAlert> {
+        stages
+            .windows(2)
+            .flat_map(|pair| self.audit(pair[0], pair[1]))
+            .collect()
+    }
+
+    /// Total messages lost and duplicated between two stages, summed over
+    /// every audit window — the counters a health snapshot wants.
+    pub fn loss_and_duplication(&self, upstream: &str, downstream: &str) -> (u64, u64) {
+        let mut lost = 0;
+        let mut duplicated = 0;
+        for alert in self.audit(upstream, downstream) {
+            match alert.kind {
+                AlertKind::Loss => lost += alert.magnitude,
+                AlertKind::Duplication => duplicated += alert.magnitude,
+            }
+        }
+        (lost, duplicated)
     }
 }
 
@@ -244,5 +320,48 @@ mod tests {
         let ch = Chaperone::new(1000);
         ch.observe_id("a", "x", -1);
         assert_eq!(ch.stats("a", -1000).unique, 1);
+    }
+
+    #[test]
+    fn observe_at_records_freshness_percentiles() {
+        let ch = Chaperone::new(1000);
+        for i in 0..10i64 {
+            let mut r = rec(&format!("m{i}"), i);
+            r.headers.set(headers::APP_TIMESTAMP, i.to_string());
+            // observed 100ms after its origin stamp
+            ch.observe_at("kafka", &r, i + 100);
+        }
+        let f = ch.freshness("kafka").unwrap();
+        assert_eq!(f.count, 10);
+        assert!(f.p50_ms >= 100 && f.p50_ms <= 128, "p50={}", f.p50_ms);
+        assert!(f.max_ms == 100);
+        // a stage observed without a clock has no freshness data
+        ch.observe("clockless", &rec("x", 0));
+        assert!(ch.freshness("clockless").is_none());
+        assert!(ch.stage_names().contains(&"kafka".to_string()));
+    }
+
+    #[test]
+    fn chain_audit_covers_every_consecutive_pair() {
+        let ch = Chaperone::new(1000);
+        for i in 0..20 {
+            let r = rec(&format!("m{i}"), i);
+            ch.observe("stream", &r);
+            ch.observe("compute", &r);
+            // OLAP loses 3 messages
+            if i >= 3 {
+                ch.observe("olap", &r);
+            }
+        }
+        assert!(ch.audit_chain(&["stream", "compute"]).is_empty());
+        let alerts = ch.audit_chain(&["stream", "compute", "olap"]);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].from_stage, "compute");
+        let (lost, duplicated) = ch.loss_and_duplication("compute", "olap");
+        assert_eq!((lost, duplicated), (3, 0));
+        // duplication counted separately
+        ch.observe("olap", &rec("m5", 5));
+        let (_, duplicated) = ch.loss_and_duplication("compute", "olap");
+        assert_eq!(duplicated, 1);
     }
 }

@@ -213,7 +213,8 @@ mod tests {
             },
         );
         // 9 slots; topic with 2 partitions x 3 replicas = 6 slots
-        c.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        c.create_topic("a", TopicConfig::default().with_partitions(2))
+            .unwrap();
         assert!(!c.is_full());
         // another 6 would exceed
         assert!(matches!(
@@ -221,7 +222,8 @@ mod tests {
             Err(Error::CapacityExceeded(_))
         ));
         // 1 partition x 3 replicas fits exactly
-        c.create_topic("c", TopicConfig::default().with_partitions(1)).unwrap();
+        c.create_topic("c", TopicConfig::default().with_partitions(1))
+            .unwrap();
         assert!(c.is_full());
     }
 
@@ -238,9 +240,27 @@ mod tests {
 
     #[test]
     fn coordination_cost_grows_past_ideal() {
-        let small = Cluster::new("s", ClusterConfig { nodes: 100, ..Default::default() });
-        let ideal = Cluster::new("i", ClusterConfig { nodes: 150, ..Default::default() });
-        let big = Cluster::new("b", ClusterConfig { nodes: 400, ..Default::default() });
+        let small = Cluster::new(
+            "s",
+            ClusterConfig {
+                nodes: 100,
+                ..Default::default()
+            },
+        );
+        let ideal = Cluster::new(
+            "i",
+            ClusterConfig {
+                nodes: 150,
+                ..Default::default()
+            },
+        );
+        let big = Cluster::new(
+            "b",
+            ClusterConfig {
+                nodes: 400,
+                ..Default::default()
+            },
+        );
         assert!(small.coordination_cost() <= ideal.coordination_cost() + 0.01);
         assert!(
             big.coordination_cost() > 10.0 * ideal.coordination_cost(),
@@ -260,7 +280,8 @@ mod tests {
                 ideal_max_nodes: 150,
             },
         );
-        c.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        c.create_topic("a", TopicConfig::default().with_partitions(2))
+            .unwrap();
         assert!(c.is_full());
         c.drop_topic("a").unwrap();
         assert!(!c.is_full());

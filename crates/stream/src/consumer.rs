@@ -201,12 +201,7 @@ impl ConsumerGroup {
     }
 
     pub fn committed(&self, partition: usize) -> u64 {
-        *self
-            .state
-            .read()
-            .committed
-            .get(&partition)
-            .unwrap_or(&0)
+        *self.state.read().committed.get(&partition).unwrap_or(&0)
     }
 
     /// Total lag: records between committed offsets and the high
@@ -216,10 +211,7 @@ impl ConsumerGroup {
         let st = self.state.read();
         (0..topic.num_partitions())
             .map(|p| {
-                let hwm = topic
-                    .partition(p)
-                    .map(|l| l.high_watermark())
-                    .unwrap_or(0);
+                let hwm = topic.partition(p).map(|l| l.high_watermark()).unwrap_or(0);
                 hwm.saturating_sub(*st.committed.get(&p).unwrap_or(&0))
             })
             .sum()
@@ -308,7 +300,11 @@ mod tests {
         assert_eq!(second[0].offset, 5);
         // member joins -> rebalance -> position rewinds to commit (5)
         g.join("b");
-        let owner = if g.assignment("a").is_empty() { "b" } else { "a" };
+        let owner = if g.assignment("a").is_empty() {
+            "b"
+        } else {
+            "a"
+        };
         let replay = g.poll(owner, 10).unwrap();
         assert_eq!(replay[0].offset, 5, "uncommitted records must replay");
         assert_eq!(replay.len(), 5);
@@ -352,7 +348,10 @@ mod tests {
         let g = ConsumerGroup::new("g", TopicSubscription::new(t.clone()));
         g.join("a");
         for i in 0..500 {
-            t.append(Record::new(Row::new().with("i", i as i64), 0).with_key("k"), 0);
+            t.append(
+                Record::new(Row::new().with("i", i as i64), 0).with_key("k"),
+                0,
+            );
         }
         // committed offset 0 has been retained away; poll recovers
         let recs = g.poll("a", 10).unwrap();

@@ -47,7 +47,9 @@ impl DeadLetterQueue {
             .headers
             .set(headers::DLQ_SOURCE, self.source_topic.clone());
         record.headers.set("rtdi.dlq_reason", reason);
-        self.dlq.append_to(0, record, now).expect("dlq partition 0 exists");
+        self.dlq
+            .append_to(0, record, now)
+            .expect("dlq partition 0 exists");
     }
 
     /// Number of currently parked messages.

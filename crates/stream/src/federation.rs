@@ -15,13 +15,14 @@
 //! adopt the source's base offsets before the copy, so committed consumer
 //! offsets remain valid after the transparent redirect.
 
+use crate::chaperone::Chaperone;
 use crate::cluster::Cluster;
 use crate::consumer::TopicSubscription;
 use crate::log::FetchResult;
 use crate::producer::StreamEndpoint;
 use crate::topic::{Topic, TopicConfig};
 use parking_lot::RwLock;
-use rtdi_common::{Error, Record, Result, Timestamp};
+use rtdi_common::{Error, PipelineTracer, Record, Result, Timestamp};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -47,6 +48,12 @@ struct Inner {
     metadata: FederationMetadata,
     /// Live subscriptions per topic, redirected during migration.
     subscriptions: BTreeMap<String, Vec<TopicSubscription>>,
+    /// Optional freshness tracing: every append records producer->broker
+    /// dwell for the topic's pipeline under the "stream" stage.
+    tracer: Option<PipelineTracer>,
+    /// Optional audit hook: every append reports to Chaperone under the
+    /// "<topic>/stream" stage, the upstream side of loss/dup audits.
+    chaperone: Option<Chaperone>,
 }
 
 /// The logical cluster clients talk to.
@@ -62,8 +69,22 @@ impl FederatedCluster {
                 clusters: Vec::new(),
                 metadata: FederationMetadata::default(),
                 subscriptions: BTreeMap::new(),
+                tracer: None,
+                chaperone: None,
             })),
         }
+    }
+
+    /// Enable freshness tracing on every append through the federation.
+    pub fn set_tracer(&self, tracer: PipelineTracer) {
+        self.inner.write().tracer = Some(tracer);
+    }
+
+    /// Enable Chaperone observation on every append: records are counted
+    /// under the `"<topic>/stream"` stage so downstream stages (ingestion,
+    /// sinks) can be audited against the broker.
+    pub fn set_chaperone(&self, chaperone: Chaperone) {
+        self.inner.write().chaperone = Some(chaperone);
     }
 
     /// Register a physical cluster with the federation.
@@ -237,18 +258,22 @@ impl Default for FederatedCluster {
 }
 
 impl StreamEndpoint for FederatedCluster {
-    fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+    fn send(&self, topic: &str, mut record: Record, now: Timestamp) -> Result<(usize, u64)> {
         let (_, t) = self.resolve(topic)?;
+        let (tracer, chaperone) = {
+            let inner = self.inner.read();
+            (inner.tracer.clone(), inner.chaperone.clone())
+        };
+        if let Some(tr) = &tracer {
+            tr.observe_hop(topic, "stream", &mut record, now);
+        }
+        if let Some(ch) = &chaperone {
+            ch.observe_at(&format!("{topic}/stream"), &record, now);
+        }
         Ok(t.append(record, now))
     }
 
-    fn fetch(
-        &self,
-        topic: &str,
-        partition: usize,
-        offset: u64,
-        max: usize,
-    ) -> Result<FetchResult> {
+    fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
         let (_, t) = self.resolve(topic)?;
         t.fetch(partition, offset, max)
     }
@@ -285,7 +310,8 @@ mod tests {
     fn topics_spill_to_new_clusters_when_full() {
         let fed = FederatedCluster::new();
         fed.add_cluster(small_cluster("c1", 6)); // fits one 2p x 3r topic
-        fed.create_topic("a", TopicConfig::default().with_partitions(2)).unwrap();
+        fed.create_topic("a", TopicConfig::default().with_partitions(2))
+            .unwrap();
         // c1 full; no capacity anywhere
         assert!(matches!(
             fed.create_topic("b", TopicConfig::default().with_partitions(2)),
@@ -293,7 +319,8 @@ mod tests {
         ));
         // operator adds a cluster; creation now succeeds transparently
         fed.add_cluster(small_cluster("c2", 6));
-        fed.create_topic("b", TopicConfig::default().with_partitions(2)).unwrap();
+        fed.create_topic("b", TopicConfig::default().with_partitions(2))
+            .unwrap();
         assert_eq!(fed.placement("a").unwrap(), "c1");
         assert_eq!(fed.placement("b").unwrap(), "c2");
     }
@@ -302,7 +329,8 @@ mod tests {
     fn logical_produce_routes_to_physical_cluster() {
         let fed = FederatedCluster::new();
         fed.add_cluster(small_cluster("c1", 100));
-        fed.create_topic("t", TopicConfig::default().with_partitions(2)).unwrap();
+        fed.create_topic("t", TopicConfig::default().with_partitions(2))
+            .unwrap();
         for i in 0..10 {
             fed.send("t", rec(i), 0).unwrap();
         }
@@ -316,7 +344,8 @@ mod tests {
         let fed = FederatedCluster::new();
         fed.add_cluster(small_cluster("c1", 100));
         fed.add_cluster(small_cluster("c2", 100));
-        fed.create_topic("t", TopicConfig::default().with_partitions(2)).unwrap();
+        fed.create_topic("t", TopicConfig::default().with_partitions(2))
+            .unwrap();
         for i in 0..100 {
             fed.send("t", rec(i), 0).unwrap();
         }

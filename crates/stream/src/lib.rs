@@ -39,6 +39,6 @@ pub use dlq::DeadLetterQueue;
 pub use federation::{FederatedCluster, FederationMetadata};
 pub use log::{FetchResult, OffsetRecord, PartitionLog};
 pub use producer::Producer;
-pub use tiered::TieredLog;
 pub use proxy::{ConsumerProxy, ConsumerService, DispatchMode, ProxyConfig};
+pub use tiered::TieredLog;
 pub use topic::{Topic, TopicConfig};

@@ -17,8 +17,7 @@ use std::sync::Arc;
 /// a single [`crate::cluster::Cluster`] or a federated logical cluster.
 pub trait StreamEndpoint: Send + Sync {
     fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)>;
-    fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize)
-        -> Result<FetchResult>;
+    fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult>;
     fn num_partitions(&self, topic: &str) -> Result<usize>;
 }
 
@@ -27,13 +26,7 @@ impl StreamEndpoint for crate::cluster::Cluster {
         self.produce(topic, record, now)
     }
 
-    fn fetch(
-        &self,
-        topic: &str,
-        partition: usize,
-        offset: u64,
-        max: usize,
-    ) -> Result<FetchResult> {
+    fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
         self.topic(topic)?.fetch(partition, offset, max)
     }
 
@@ -103,10 +96,15 @@ impl Producer {
                 .headers
                 .set(headers::UNIQUE_ID, format!("{}-{seq}", self.config.service));
         }
+        record.headers.set(headers::APP_TIMESTAMP, now.to_string());
+        // origin of the freshness trace: downstream hops measure dwell
+        // from this stamp and restamp as they pass the record along
         record
             .headers
-            .set(headers::APP_TIMESTAMP, now.to_string());
-        record.headers.set(headers::SERVICE, self.config.service.clone());
+            .set(headers::TRACE_TIMESTAMP, now.to_string());
+        record
+            .headers
+            .set(headers::SERVICE, self.config.service.clone());
         if self.config.batch_size <= 1 {
             return self.send_now(topic, record, now);
         }
@@ -198,8 +196,11 @@ mod tests {
             },
             clock,
         );
-        p.send("t", Record::new(Row::new().with("x", 1i64), 5).with_key("k"))
-            .unwrap();
+        p.send(
+            "t",
+            Record::new(Row::new().with("x", 1i64), 5).with_key("k"),
+        )
+        .unwrap();
         let topic = c.topic("t").unwrap();
         let part = (0..2)
             .find(|&i| topic.fetch(i, 0, 1).unwrap().records.len() == 1)
@@ -222,12 +223,15 @@ mod tests {
             clock,
         );
         for i in 0..9 {
-            p.send("t", Record::new(Row::new().with("i", i as i64), 0)).unwrap();
+            p.send("t", Record::new(Row::new().with("i", i as i64), 0))
+                .unwrap();
         }
         assert_eq!(c.topic("t").unwrap().total_records(), 0);
-        p.send("t", Record::new(Row::new().with("i", 9i64), 0)).unwrap();
+        p.send("t", Record::new(Row::new().with("i", 9i64), 0))
+            .unwrap();
         assert_eq!(c.topic("t").unwrap().total_records(), 10);
-        p.send("t", Record::new(Row::new().with("i", 10i64), 0)).unwrap();
+        p.send("t", Record::new(Row::new().with("i", 10i64), 0))
+            .unwrap();
         p.flush().unwrap();
         assert_eq!(c.topic("t").unwrap().total_records(), 11);
         assert_eq!(p.records_sent(), 11);

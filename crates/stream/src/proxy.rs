@@ -21,7 +21,7 @@ use crate::dlq::DeadLetterQueue;
 use crate::log::OffsetRecord;
 use parking_lot::Mutex;
 use rtdi_common::record::headers;
-use rtdi_common::{Record, Result};
+use rtdi_common::{Clock, PipelineTracer, Record, Result};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,9 +105,7 @@ impl OffsetTracker {
     /// past the contiguous prefix).
     pub fn complete(&self, partition: usize, offset: u64) -> u64 {
         let mut state = self.state.lock();
-        let (next, done) = state
-            .entry(partition)
-            .or_insert((offset, BTreeSet::new()));
+        let (next, done) = state.entry(partition).or_insert((offset, BTreeSet::new()));
         done.insert(offset);
         while done.remove(next) {
             *next += 1;
@@ -125,6 +123,7 @@ pub struct ConsumerProxy {
     config: ProxyConfig,
     service: Arc<dyn ConsumerService>,
     dlq: Arc<DeadLetterQueue>,
+    trace: Option<(PipelineTracer, String, Arc<dyn Clock>)>,
 }
 
 impl ConsumerProxy {
@@ -137,7 +136,22 @@ impl ConsumerProxy {
             config,
             service,
             dlq,
+            trace: None,
         }
+    }
+
+    /// Record, under `pipeline`'s `"proxy-dispatch"` stage, how long each
+    /// successfully dispatched record dwelled since its last traced hop.
+    /// A side-channel read — the proxy borrows records, so it does not
+    /// restamp them.
+    pub fn with_tracer(
+        mut self,
+        tracer: PipelineTracer,
+        pipeline: &str,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        self.trace = Some((tracer, pipeline.to_string(), clock));
+        self
     }
 
     /// Consume the group's topic until fully caught up (lag 0 at commit),
@@ -234,6 +248,9 @@ impl ConsumerProxy {
             match self.service.process(record) {
                 Ok(()) => {
                     stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    if let Some((tracer, pipeline, clock)) = &self.trace {
+                        tracer.observe_read(pipeline, "proxy-dispatch", record, clock.now());
+                    }
                     return;
                 }
                 Err(_) if attempt < self.config.max_attempts => {
@@ -241,9 +258,7 @@ impl ConsumerProxy {
                 }
                 Err(e) => {
                     let mut parked = record.clone();
-                    parked
-                        .headers
-                        .set(headers::ATTEMPTS, attempt.to_string());
+                    parked.headers.set(headers::ATTEMPTS, attempt.to_string());
                     self.dlq.park(parked, &e.to_string(), record.timestamp);
                     stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
                     return;
@@ -269,12 +284,12 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn topic_with(partitions: usize, records: usize) -> Arc<Topic> {
-        let t =
-            Arc::new(Topic::new("trips", TopicConfig::default().with_partitions(partitions)).unwrap());
+        let t = Arc::new(
+            Topic::new("trips", TopicConfig::default().with_partitions(partitions)).unwrap(),
+        );
         for i in 0..records {
             t.append(
-                Record::new(Row::new().with("i", i as i64), i as i64)
-                    .with_key(format!("k{i}")),
+                Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
                 0,
             );
         }
@@ -390,6 +405,33 @@ mod tests {
     }
 
     #[test]
+    fn tracer_records_dispatch_dwell() {
+        use rtdi_common::SimClock;
+        let t = Arc::new(Topic::new("trips", TopicConfig::default().with_partitions(1)).unwrap());
+        for i in 0..20i64 {
+            let mut r = Record::new(Row::new().with("i", i), i).with_key(format!("k{i}"));
+            // producer stamped the trace origin at t=1000
+            PipelineTracer::stamp(&mut r, 1_000);
+            t.append(r, 0);
+        }
+        let group = ConsumerGroup::new("g", TopicSubscription::new(t));
+        let tracer = PipelineTracer::new();
+        // dispatch happens 250ms after the producer stamp
+        let clock = Arc::new(SimClock::new(1_250));
+        let p = proxy(DispatchMode::Push(4), Arc::new(|_: &Record| Ok(()))).with_tracer(
+            tracer.clone(),
+            "trips",
+            clock,
+        );
+        p.run_until_caught_up(&group).unwrap();
+        let report = tracer.report();
+        let stage = report.stage("trips", "proxy-dispatch").unwrap();
+        assert_eq!(stage.count, 20);
+        assert!(stage.p99_ms >= 250, "p99={}", stage.p99_ms);
+        assert_eq!(stage.max_ms, 250);
+    }
+
+    #[test]
     fn offset_tracker_commits_contiguous_prefix_only() {
         let tr = OffsetTracker::new();
         tr.start_partition(0, 100);
@@ -415,7 +457,9 @@ mod tests {
             let t = topic_with(2, 120);
             let group = ConsumerGroup::new("g", TopicSubscription::new(t));
             let start = std::time::Instant::now();
-            proxy(mode, service.clone()).run_until_caught_up(&group).unwrap();
+            proxy(mode, service.clone())
+                .run_until_caught_up(&group)
+                .unwrap();
             start.elapsed()
         };
         let poll = run(DispatchMode::Poll);

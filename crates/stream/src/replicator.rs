@@ -161,12 +161,14 @@ pub struct OffsetMapping {
     pub checkpointed_at: Timestamp,
 }
 
+// (route, partition) -> mappings in checkpoint order
+type MappingsByRoute = BTreeMap<(String, usize), Vec<OffsetMapping>>;
+
 /// The shared "active-active database" of offset-mapping checkpoints
 /// (Figure 7). The offset sync job of `rtdi-multiregion` reads this.
 #[derive(Clone, Default)]
 pub struct OffsetMappingStore {
-    // (route, partition) -> mappings in checkpoint order
-    inner: Arc<RwLock<BTreeMap<(String, usize), Vec<OffsetMapping>>>>,
+    inner: Arc<RwLock<MappingsByRoute>>,
 }
 
 impl OffsetMappingStore {
@@ -188,10 +190,7 @@ impl OffsetMappingStore {
     pub fn translate(&self, route: &str, partition: usize, src: u64) -> Option<OffsetMapping> {
         let inner = self.inner.read();
         let maps = inner.get(&(route.to_string(), partition))?;
-        maps.iter()
-            .rev()
-            .find(|m| m.src_offset <= src)
-            .copied()
+        maps.iter().rev().find(|m| m.src_offset <= src).copied()
     }
 
     /// Latest mapping with `dst_offset <= dst` — the inverse translation
@@ -211,10 +210,7 @@ impl OffsetMappingStore {
 
     pub fn latest(&self, route: &str, partition: usize) -> Option<OffsetMapping> {
         let inner = self.inner.read();
-        inner
-            .get(&(route.to_string(), partition))?
-            .last()
-            .copied()
+        inner.get(&(route.to_string(), partition))?.last().copied()
     }
 }
 
@@ -351,10 +347,7 @@ mod tests {
 
     #[test]
     fn sticky_rebalance_moves_minimum() {
-        let mut a = StickyAssigner::new(
-            (0..10).map(|i| format!("w{i}")).collect(),
-            vec![],
-        );
+        let mut a = StickyAssigner::new((0..10).map(|i| format!("w{i}")).collect(), vec![]);
         let initial = a.rebalance(1000);
         assert_eq!(initial.len(), 1000, "initial assignment places everything");
         // adding one worker should move roughly 1000/11 partitions, not all

@@ -243,14 +243,11 @@ mod tests {
         }
         assert_eq!(log.offload_older_than(40).unwrap(), 30);
         assert_eq!(log.offload_older_than(40).unwrap(), 0); // idempotent
-        // reads spanning chunk boundaries
+                                                            // reads spanning chunk boundaries
         for offset in [0u64, 9, 10, 25, 39, 40] {
             let f = log.fetch(offset, 1).unwrap();
             assert_eq!(f.records[0].offset, offset, "offset {offset}");
-            assert_eq!(
-                f.records[0].record.value.get_int("i"),
-                Some(offset as i64)
-            );
+            assert_eq!(f.records[0].record.value.get_int("i"), Some(offset as i64));
         }
     }
 

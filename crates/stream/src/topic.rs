@@ -79,7 +79,12 @@ impl Topic {
             return Err(Error::InvalidArgument("topic needs >= 1 partition".into()));
         }
         let partitions = (0..config.partitions)
-            .map(|_| Arc::new(PartitionLog::new(config.retention_ms, config.retention_bytes)))
+            .map(|_| {
+                Arc::new(PartitionLog::new(
+                    config.retention_ms,
+                    config.retention_bytes,
+                ))
+            })
             .collect();
         Ok(Topic {
             name: name.into(),

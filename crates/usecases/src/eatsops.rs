@@ -91,22 +91,17 @@ impl OpsAutomation {
     }
 
     /// Evaluate rules through any SQL executor returning result rows.
-    pub fn evaluate_with(
-        &self,
-        run: impl Fn(&str) -> Result<Vec<Row>>,
-    ) -> Result<Vec<Alert>> {
+    pub fn evaluate_with(&self, run: impl Fn(&str) -> Result<Vec<Row>>) -> Result<Vec<Alert>> {
         let mut alerts = Vec::new();
         for rule in &self.rules {
             let rows = run(&rule.sql)?;
             for row in rows {
-                let metric = row
-                    .get_double(&rule.metric_column)
-                    .ok_or_else(|| {
-                        Error::Sql(format!(
-                            "rule '{}' metric column '{}' missing from result",
-                            rule.name, rule.metric_column
-                        ))
-                    })?;
+                let metric = row.get_double(&rule.metric_column).ok_or_else(|| {
+                    Error::Sql(format!(
+                        "rule '{}' metric column '{}' missing from result",
+                        rule.name, rule.metric_column
+                    ))
+                })?;
                 if metric > rule.threshold {
                     let message = format!(
                         "[{}] {} = {:.1} exceeds {:.1}",
@@ -192,8 +187,7 @@ mod tests {
             &engine,
             AutomationRule {
                 name: "covid-capacity".into(),
-                sql: "SELECT hex, COUNT(*) AS couriers FROM courier_activity GROUP BY hex"
-                    .into(),
+                sql: "SELECT hex, COUNT(*) AS couriers FROM courier_activity GROUP BY hex".into(),
                 metric_column: "couriers".into(),
                 threshold: hottest / 2.0,
                 action: RuleAction::Notify {
@@ -206,9 +200,9 @@ mod tests {
         // 3. production evaluation fires for the hot hexes
         let alerts = ops.evaluate(&engine).unwrap();
         assert!(!alerts.is_empty());
-        assert!(alerts.iter().any(|a| {
-            a.subject.get_double("couriers").unwrap() > hottest / 2.0
-        }));
+        assert!(alerts
+            .iter()
+            .any(|a| { a.subject.get_double("couriers").unwrap() > hottest / 2.0 }));
         assert!(alerts[0].message.contains("covid-capacity"));
     }
 
@@ -269,8 +263,7 @@ mod tests {
             &engine,
             AutomationRule {
                 name: "impossible".into(),
-                sql: "SELECT hex, COUNT(*) AS couriers FROM courier_activity GROUP BY hex"
-                    .into(),
+                sql: "SELECT hex, COUNT(*) AS couriers FROM courier_activity GROUP BY hex".into(),
                 metric_column: "couriers".into(),
                 threshold: 1e12,
                 action: RuleAction::ThrottleOrders,

@@ -251,7 +251,10 @@ mod tests {
         let revenue = totals.get_double("total_revenue").unwrap();
         assert!((revenue - true_revenue).abs() < 1e-6);
         // satisfaction query returns a rating in range
-        let rating = first_row(&results[2]).unwrap().get_double("rating").unwrap();
+        let rating = first_row(&results[2])
+            .unwrap()
+            .get_double("rating")
+            .unwrap();
         assert!((1.0..=5.0).contains(&rating));
     }
 
@@ -272,7 +275,9 @@ mod tests {
         let mut raw = orders(100);
         raw.push(Record::new(Row::new().with("total", 5.0), 1)); // no restaurant
         raw.push(Record::new(
-            Row::new().with("restaurant", "rest-bad").with("total", -3.0),
+            Row::new()
+                .with("restaurant", "rest-bad")
+                .with("total", -3.0),
             2,
         ));
         rm.ingest_orders(raw).unwrap();

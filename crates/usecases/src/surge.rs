@@ -9,7 +9,7 @@
 //! consistency. The late-arriving messages do not contribute to the surge
 //! computation."
 
-use rtdi_common::{AggFn, Record, Result, Row};
+use rtdi_common::{AggFn, Record, Result, Row, TraceReport};
 use rtdi_compute::operator::{FilterOp, MapOp, Operator, WindowAggregateOp};
 use rtdi_compute::runtime::{Executor, ExecutorConfig, Job, JobRunStats};
 use rtdi_compute::sink::FnSink;
@@ -112,13 +112,7 @@ impl SurgePipeline {
 
     /// Build the job over a topic source, sinking multipliers into the KV
     /// store. `written_by` names the region's update service.
-    pub fn job(
-        &self,
-        name: &str,
-        topic: Arc<Topic>,
-        kv: ReplicatedKv,
-        written_by: &str,
-    ) -> Job {
+    pub fn job(&self, name: &str, topic: Arc<Topic>, kv: ReplicatedKv, written_by: &str) -> Job {
         self.job_from_source(name, Box::new(TopicSource::bounded(topic)), kv, written_by)
     }
 
@@ -162,6 +156,15 @@ impl SurgePipeline {
     pub fn freshness_bound_ms(&self) -> i64 {
         self.max_out_of_orderness + 1
     }
+
+    /// §5.1's SLA check against measured freshness: every traced hop of
+    /// `pipeline` must have p99 dwell at or below `sla_ms`. False when the
+    /// pipeline has no traced stages — an unmeasured pipeline cannot be
+    /// declared fresh.
+    pub fn meets_freshness_sla(&self, report: &TraceReport, pipeline: &str, sla_ms: u64) -> bool {
+        let stages = report.pipeline(pipeline);
+        !stages.is_empty() && stages.iter().all(|s| s.p99_ms <= sla_ms)
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +183,10 @@ mod tests {
 
     fn event(ts: Timestamp, hex: &str, kind: &str) -> Record {
         Record::new(
-            Row::new().with("hex", hex).with("kind", kind).with("ts", ts),
+            Row::new()
+                .with("hex", hex)
+                .with("kind", kind)
+                .with("ts", ts),
             ts,
         )
         .with_key(hex)
@@ -229,8 +235,8 @@ mod tests {
             records.push(event(5_000 + i, "hexB", "demand"));
         }
         records.push(event(150, "hexA", "demand")); // late by ~5s, bound 500ms
-        // small batches so the watermark advances between the hexB traffic
-        // and the late arrival (watermarks are generated per batch)
+                                                    // small batches so the watermark advances between the hexB traffic
+                                                    // and the late arrival (watermarks are generated per batch)
         let kv = ReplicatedKv::new();
         let p = SurgePipeline::new(1_000, Arc::new(LinearSurgeModel::default()));
         let mut job = p.job_from_records("surge", records, kv.clone(), "t");
@@ -285,7 +291,26 @@ mod tests {
         );
         p.run(job).unwrap();
         assert_eq!(kv.writer_of("hexZ").unwrap(), "us-west");
-        assert_eq!(kv.get("hexZ").unwrap().get("multiplier").map(|v| v.clone()),
-            Some(Value::Double(1.0)));
+        assert_eq!(
+            kv.get("hexZ").unwrap().get("multiplier").map(|v| v.clone()),
+            Some(Value::Double(1.0))
+        );
+    }
+
+    #[test]
+    fn freshness_sla_check_uses_traced_percentiles() {
+        use rtdi_common::PipelineTracer;
+        let tracer = PipelineTracer::default();
+        let p = SurgePipeline::new(1_000, Arc::new(LinearSurgeModel::default()));
+        // an unmeasured pipeline cannot be declared fresh
+        assert!(!p.meets_freshness_sla(&tracer.report(), "surge", 5_000));
+        for _ in 0..100 {
+            tracer.record_dwell("surge", "stream", 40);
+            tracer.record_dwell("surge", "compute", 200);
+        }
+        let report = tracer.report();
+        assert!(p.meets_freshness_sla(&report, "surge", 5_000));
+        // the compute hop's p99 exceeds a 100ms SLA
+        assert!(!p.meets_freshness_sla(&report, "surge", 100));
     }
 }

@@ -68,7 +68,11 @@ impl TripEventGenerator {
             ts
         };
         let hex = self.cell();
-        let kind = if self.rng.gen_bool(0.6) { "demand" } else { "supply" };
+        let kind = if self.rng.gen_bool(0.6) {
+            "demand"
+        } else {
+            "supply"
+        };
         Record::new(
             Row::new()
                 .with("hex", hex.clone())
@@ -181,7 +185,10 @@ mod tests {
 
     #[test]
     fn hex_mapping_is_stable_grid() {
-        assert_eq!(hex_for(37.77, -122.41, 0.01), hex_for(37.7701, -122.4099, 0.01));
+        assert_eq!(
+            hex_for(37.77, -122.41, 0.01),
+            hex_for(37.7701, -122.4099, 0.01)
+        );
         assert_ne!(hex_for(37.77, -122.41, 0.01), hex_for(37.80, -122.41, 0.01));
     }
 

@@ -4,7 +4,9 @@
 //! Run with: `cargo run --example backfill`
 
 use rtdi::common::{AggFn, FieldType, Record, Row, Schema};
-use rtdi::compute::backfill::{detect_bounds, kafka_replay_job, kafka_retains, kappa_plus_job, BackfillConfig};
+use rtdi::compute::backfill::{
+    detect_bounds, kafka_replay_job, kafka_retains, kappa_plus_job, BackfillConfig,
+};
 use rtdi::compute::operator::{Operator, WindowAggregateOp};
 use rtdi::compute::runtime::{Executor, ExecutorConfig};
 use rtdi::compute::sink::CollectSink;
@@ -94,7 +96,13 @@ fn main() {
         "\nKappa (replay Kafka) possible for day 1..6? {}",
         kafka_retains(&topic, from)
     );
-    match kafka_replay_job("kappa", topic.clone(), from, agg_chain(), Box::new(CollectSink::new())) {
+    match kafka_replay_job(
+        "kappa",
+        topic.clone(),
+        from,
+        agg_chain(),
+        Box::new(CollectSink::new()),
+    ) {
         Err(e) => println!("Kappa replay rejected: {e}"),
         Ok(_) => println!("unexpectedly possible"),
     }
@@ -116,7 +124,9 @@ fn main() {
         },
     )
     .unwrap();
-    let stats = Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
+    let stats = Executor::new(ExecutorConfig::default())
+        .run(&mut job)
+        .unwrap();
     println!(
         "Kappa+ replayed {} archived events into {} hourly windows with the SAME streaming code",
         stats.records_in,

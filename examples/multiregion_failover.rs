@@ -13,7 +13,9 @@ use std::collections::BTreeSet;
 
 fn payment(i: i64, region: &str) -> Record {
     Record::new(
-        Row::new().with("payment_id", i).with("amount", 10.0 + (i % 50) as f64),
+        Row::new()
+            .with("payment_id", i)
+            .with("amount", 10.0 + (i % 50) as f64),
         i,
     )
     .with_key(format!("p{i}"))
@@ -51,7 +53,10 @@ fn main() {
     }
     topo.replicate(12_000);
     let batch2 = consumer.consume_available(&topo).expect("consume");
-    println!("processor consumed {} more, then us-west fails", batch2.len());
+    println!(
+        "processor consumed {} more, then us-west fails",
+        batch2.len()
+    );
     topo.region("us-west").unwrap().set_down(true);
     assert!(consumer.consume_available(&topo).is_err());
 

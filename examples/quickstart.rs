@@ -29,7 +29,11 @@ fn main() {
 
     // 1. provision a topic with a registered schema (§9.4 onboarding)
     platform
-        .create_topic("trips", TopicConfig::default().with_partitions(4), trips_schema())
+        .create_topic(
+            "trips",
+            TopicConfig::default().with_partitions(4),
+            trips_schema(),
+        )
         .expect("topic");
     println!("created topic 'trips' (4 partitions, schema v1 registered)");
 
@@ -130,5 +134,8 @@ fn main() {
     );
 
     // 6. lineage recorded automatically
-    println!("\nlineage of kafka.trips: {:?}", platform.lineage().impact("kafka.trips"));
+    println!(
+        "\nlineage of kafka.trips: {:?}",
+        platform.lineage().impact("kafka.trips")
+    );
 }

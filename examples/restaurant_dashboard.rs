@@ -12,8 +12,14 @@ use rtdi::usecases::workloads::TripEventGenerator;
 
 fn main() {
     let mut gen = TripEventGenerator::new(77, 64);
-    let orders: Vec<_> = (0..100_000).map(|i| gen.eats_order((i as i64) * 50)).collect();
-    println!("generated {} order events over ~{} minutes", orders.len(), 100_000 * 50 / 60_000);
+    let orders: Vec<_> = (0..100_000)
+        .map(|i| gen.eats_order((i as i64) * 50))
+        .collect();
+    println!(
+        "generated {} order events over ~{} minutes",
+        orders.len(),
+        100_000 * 50 / 60_000
+    );
 
     // transform-time processing: Flink rollup into the stats table
     let rm = RestaurantManager::new(60_000).expect("deploy");
@@ -41,9 +47,7 @@ fn main() {
     );
     println!(
         "  latency {:?}, docs touched {}, star-tree used: {}",
-        preagg_elapsed,
-        docs,
-        pages[1].used_startree
+        preagg_elapsed, docs, pages[1].used_startree
     );
 
     // the query-time alternative: same questions over raw events

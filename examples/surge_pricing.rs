@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --example surge_pricing`
 
+use rtdi::common::Row;
 use rtdi::multiregion::activeactive::{redundant_compute_round, ActiveActiveCoordinator};
 use rtdi::multiregion::kv::ReplicatedKv;
 use rtdi::multiregion::topology::MultiRegionTopology;
 use rtdi::stream::topic::TopicConfig;
 use rtdi::usecases::surge::{LinearSurgeModel, SurgeModel};
 use rtdi::usecases::workloads::TripEventGenerator;
-use rtdi::common::Row;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -49,10 +49,13 @@ fn main() {
             demand_supply
                 .into_iter()
                 .map(|(hex, (d, s))| {
-                    (hex, Row::new()
-                        .with("multiplier", model.multiplier(d, s))
-                        .with("demand", d)
-                        .with("supply", s))
+                    (
+                        hex,
+                        Row::new()
+                            .with("multiplier", model.multiplier(d, s))
+                            .with("demand", d)
+                            .with("supply", s),
+                    )
                 })
                 .collect()
         }
@@ -62,13 +65,14 @@ fn main() {
     let mut gen_west = TripEventGenerator::new(1, 48).with_lateness(0.05, 3_000);
     let mut gen_east = TripEventGenerator::new(2, 48).with_lateness(0.05, 3_000);
     for t in 0..2_000i64 {
-        topo.produce("us-west", gen_west.marketplace_event(t * 5), t * 5).unwrap();
-        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5).unwrap();
+        topo.produce("us-west", gen_west.marketplace_event(t * 5), t * 5)
+            .unwrap();
+        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5)
+            .unwrap();
     }
     let copied = topo.replicate(10_000);
     println!("replicated {copied} events into both aggregate clusters");
-    let states =
-        redundant_compute_round(&topo, &coordinator, &kv, 10_000, &surge_compute).unwrap();
+    let states = redundant_compute_round(&topo, &coordinator, &kv, 10_000, &surge_compute).unwrap();
     println!(
         "both regions computed surge for {} hexes; states identical: {}",
         states["us-west"].len(),
@@ -87,7 +91,8 @@ fn main() {
     topo.region("us-west").unwrap().set_down(true);
     for t in 2_000..3_000i64 {
         // only east can ingest now
-        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5).unwrap();
+        topo.produce("us-east", gen_east.marketplace_event(t * 5), t * 5)
+            .unwrap();
     }
     topo.replicate(20_000);
     redundant_compute_round(&topo, &coordinator, &kv, 20_000, &surge_compute).unwrap();

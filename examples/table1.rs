@@ -27,21 +27,35 @@ fn main() {
     platform.usage().begin_use_case("Surge");
     let schema = Schema::of(
         "marketplace",
-        &[("hex", FieldType::Str), ("kind", FieldType::Str), ("ts", FieldType::Timestamp)],
+        &[
+            ("hex", FieldType::Str),
+            ("kind", FieldType::Str),
+            ("ts", FieldType::Timestamp),
+        ],
     );
     platform
-        .create_topic("marketplace", TopicConfig::high_throughput().with_partitions(2), schema)
+        .create_topic(
+            "marketplace",
+            TopicConfig::high_throughput().with_partitions(2),
+            schema,
+        )
         .unwrap();
     let producer = platform.producer("marketplace");
     for t in 0..2_000i64 {
-        producer.send("marketplace", gen.marketplace_event(t * 10)).unwrap();
+        producer
+            .send("marketplace", gen.marketplace_event(t * 10))
+            .unwrap();
     }
     // advanced users use the low-level API (not SQL) for the surge job
     let surge = SurgePipeline::new(10_000, Arc::new(LinearSurgeModel::default()));
     let kv = ReplicatedKv::new();
     let job = surge.job(
         "surge",
-        platform.federation().subscribe("marketplace").unwrap().topic(),
+        platform
+            .federation()
+            .subscribe("marketplace")
+            .unwrap()
+            .topic(),
         kv.clone(),
         "region-1",
     );
@@ -54,7 +68,9 @@ fn main() {
     // ---- Restaurant Manager: SQL + OLAP + Compute + Stream + Storage ---
     platform.usage().begin_use_case("Restaurant Manager");
     let rm = RestaurantManager::new(60_000).unwrap();
-    let orders: Vec<Record> = (0..5_000).map(|i| gen.eats_order((i as i64) * 100)).collect();
+    let orders: Vec<Record> = (0..5_000)
+        .map(|i| gen.eats_order((i as i64) * 100))
+        .collect();
     platform.usage().note(Component::Compute);
     platform.usage().note(Component::Stream);
     platform.usage().note(Component::Storage); // segments archived long-term
@@ -62,11 +78,16 @@ fn main() {
     platform.usage().note(Component::Sql);
     platform.usage().note(Component::Olap);
     let pages = rm.load_dashboard("rest-0001").unwrap();
-    println!("Restaurant Manager dashboard: {} query results", pages.len());
+    println!(
+        "Restaurant Manager dashboard: {} query results",
+        pages.len()
+    );
     platform.usage().end_use_case();
 
     // ---- Real-time Prediction Monitoring: everything -------------------
-    platform.usage().begin_use_case("Real-time Prediction Monitoring");
+    platform
+        .usage()
+        .begin_use_case("Real-time Prediction Monitoring");
     let pm = PredictionMonitoring::new(60_000, 10_000).unwrap();
     let mut preds = Vec::new();
     let mut outs = Vec::new();
@@ -98,7 +119,11 @@ fn main() {
         ],
     );
     platform
-        .create_topic("courier_activity", TopicConfig::default().with_partitions(2), schema.clone())
+        .create_topic(
+            "courier_activity",
+            TopicConfig::default().with_partitions(2),
+            schema.clone(),
+        )
         .unwrap();
     let table = platform
         .create_olap_table(
@@ -115,7 +140,11 @@ fn main() {
         producer.send("courier_activity", rec).unwrap();
     }
     platform.usage().note(Component::Compute); // ingestion pipeline
-    platform.ingest_into("courier_activity", table).unwrap().run_once().unwrap();
+    platform
+        .ingest_into("courier_activity", table)
+        .unwrap()
+        .run_once()
+        .unwrap();
     let mut ops = OpsAutomation::new();
     ops.promote_with(
         |sql| platform.sql(sql).map(|_| ()),

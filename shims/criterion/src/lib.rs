@@ -1,0 +1,302 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The experiment benches only need wall-clock means, not criterion's
+//! statistical machinery: each `bench_function` warms up for the
+//! configured time, then runs the closure until `measurement_time`
+//! elapses and prints mean time per iteration (plus throughput when
+//! declared). The macro surface (`criterion_group!`/`criterion_main!`)
+//! matches the real crate so bench sources compile unmodified.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench configuration + entry point (subset of `criterion::Criterion`).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        // CLI filtering/baselines are not supported offline
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        run_one(self, &label, None, &mut f);
+        self
+    }
+}
+
+/// Named group of benches sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &label, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declared work per iteration, for ops/sec reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part bench label (`BenchmarkId::new("fetch", 1024)`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench label.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters_done += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(c: &Criterion, label: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // warm-up: run the closure body with a tiny budget until warm_up elapses
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < c.warm_up {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: Duration::from_micros(200),
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            break; // closure never called iter(); nothing to warm
+        }
+    }
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: c.measurement,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("bench {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * b.iters_done as f64 / b.elapsed.as_secs_f64();
+            println!(
+                "bench {label}: {per_iter:.0} ns/iter ({rate:.0} elem/s, {} iters)",
+                b.iters_done
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * b.iters_done as f64 / b.elapsed.as_secs_f64();
+            println!(
+                "bench {label}: {per_iter:.0} ns/iter ({:.1} MiB/s, {} iters)",
+                rate / (1024.0 * 1024.0),
+                b.iters_done
+            );
+        }
+        None => println!(
+            "bench {label}: {per_iter:.0} ns/iter ({} iters)",
+            b.iters_done
+        ),
+    }
+}
+
+/// Define a bench group; both the struct-ish and positional forms of the
+/// real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        c.bench_function("direct", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .configure_from_args();
+        sample_bench(&mut c);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

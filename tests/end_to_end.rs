@@ -47,8 +47,12 @@ fn produce(p: &RealtimePlatform, topic: &str, n: usize) {
 #[test]
 fn figure1_full_path_stream_compute_olap_sql_storage() {
     let p = platform();
-    p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-        .unwrap();
+    p.create_topic(
+        "trips",
+        TopicConfig::default().with_partitions(2),
+        trips_schema(),
+    )
+    .unwrap();
     produce(&p, "trips", 3_000);
 
     // realtime path: FlinkSQL windows into Pinot
@@ -87,10 +91,18 @@ fn figure1_full_path_stream_compute_olap_sql_storage() {
         .sql("SELECT city, SUM(trips) AS total FROM trip_stats GROUP BY city ORDER BY total DESC")
         .unwrap();
     assert_eq!(out.rows.len(), 3);
-    let total: f64 = out.rows.iter().map(|r| r.get_double("total").unwrap()).sum();
+    let total: f64 = out
+        .rows
+        .iter()
+        .map(|r| r.get_double("total").unwrap())
+        .sum();
     assert_eq!(total, 3_000.0);
     // aggregation pushdown kept the engine thin
-    assert!(out.stats.rows_shipped <= 10, "shipped {}", out.stats.rows_shipped);
+    assert!(
+        out.stats.rows_shipped <= 10,
+        "shipped {}",
+        out.stats.rows_shipped
+    );
 
     // archival path: raw logs -> warehouse -> federated query over hive
     let archived = p.archive_topic("trips", &trips_schema()).unwrap();
@@ -110,8 +122,12 @@ fn federation_migration_under_live_sql_pipeline() {
     // add a second physical cluster, then migrate the topic mid-stream
     p.federation()
         .add_cluster(Cluster::new("cluster-2", ClusterConfig::default()));
-    p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-        .unwrap();
+    p.create_topic(
+        "trips",
+        TopicConfig::default().with_partitions(2),
+        trips_schema(),
+    )
+    .unwrap();
     produce(&p, "trips", 500);
 
     let table = p
@@ -138,9 +154,7 @@ fn federation_migration_under_live_sql_pipeline() {
         .unwrap();
     // at-least-once: all 600 distinct records present (re-subscription
     // replays; count >= 600 with duplicates possible, so check distinct)
-    let res_sel = p
-        .sql("SELECT COUNT(*) AS n FROM trips")
-        .unwrap();
+    let res_sel = p.sql("SELECT COUNT(*) AS n FROM trips").unwrap();
     assert!(res_sel.rows[0].get_int("n").unwrap() >= 600);
     assert!(res.rows[0].get_int("n").unwrap() >= 600);
 }
@@ -148,8 +162,12 @@ fn federation_migration_under_live_sql_pipeline() {
 #[test]
 fn chaperone_certifies_topic_to_olap_and_detects_injected_loss() {
     let p = platform();
-    p.create_topic("trips", TopicConfig::default().with_partitions(2), trips_schema())
-        .unwrap();
+    p.create_topic(
+        "trips",
+        TopicConfig::default().with_partitions(2),
+        trips_schema(),
+    )
+    .unwrap();
     let producer = p.producer("svc");
     for i in 0..200 {
         let rec = Record::new(
@@ -179,12 +197,14 @@ fn chaperone_certifies_topic_to_olap_and_detects_injected_loss() {
                 .with_partitions(2),
         )
         .unwrap();
+    // ingestion reports under the `{topic}/ingested` stage so the
+    // platform can pair it with the broker-side `{topic}/stream` counts
     p.ingest_into("trips", table).unwrap().run_once().unwrap();
-    assert!(p.chaperone().certify("kafka", "pinot-ingestion"));
+    assert!(p.chaperone().certify("kafka", "trips/ingested"));
 
     // injected loss shows up as an audit alert
     p.chaperone().observe_id("kafka", "ghost-message", 50);
-    let alerts = p.chaperone().audit("kafka", "pinot-ingestion");
+    let alerts = p.chaperone().audit("kafka", "trips/ingested");
     assert_eq!(alerts.len(), 1);
     assert_eq!(alerts[0].magnitude, 1);
 }
@@ -192,14 +212,21 @@ fn chaperone_certifies_topic_to_olap_and_detects_injected_loss() {
 #[test]
 fn producer_audit_headers_survive_to_olap_ingestion() {
     let p = platform();
-    p.create_topic("trips", TopicConfig::default().with_partitions(1), trips_schema())
-        .unwrap();
+    p.create_topic(
+        "trips",
+        TopicConfig::default().with_partitions(1),
+        trips_schema(),
+    )
+    .unwrap();
     let producer = p.producer("driver-app");
     producer
         .send(
             "trips",
             Record::new(
-                Row::new().with("city", "sf").with("fare", 1.0).with("ts", 1i64),
+                Row::new()
+                    .with("city", "sf")
+                    .with("fare", 1.0)
+                    .with("ts", 1i64),
                 1,
             )
             .with_key("k"),
@@ -215,8 +242,10 @@ fn producer_audit_headers_survive_to_olap_ingestion() {
 #[test]
 fn schema_registry_guards_all_surfaces() {
     let p = platform();
-    p.create_topic("trips", TopicConfig::default(), trips_schema()).unwrap();
-    p.create_olap_table(TableConfig::new("trips", trips_schema())).unwrap();
+    p.create_topic("trips", TopicConfig::default(), trips_schema())
+        .unwrap();
+    p.create_olap_table(TableConfig::new("trips", trips_schema()))
+        .unwrap();
     // subjects exist per surface
     let subjects = p.registry().subjects();
     assert!(subjects.contains(&"kafka.trips".to_string()));
@@ -273,7 +302,9 @@ fn semistructured_json_flattened_then_ingested() {
         vec![Box::new(flatten)],
         Box::new(sink.clone()),
     );
-    Executor::new(ExecutorConfig::default()).run(&mut job).unwrap();
+    Executor::new(ExecutorConfig::default())
+        .run(&mut job)
+        .unwrap();
 
     // flattened rows land in an OLAP table inferred from the sample —
     // "Pinot integrates with Uber's schema service to automatically infer

@@ -17,7 +17,11 @@ use std::sync::Arc;
 fn schema() -> Schema {
     Schema::of(
         "t",
-        &[("city", FieldType::Str), ("v", FieldType::Int), ("ts", FieldType::Timestamp)],
+        &[
+            ("city", FieldType::Str),
+            ("v", FieldType::Int),
+            ("ts", FieldType::Timestamp),
+        ],
     )
 }
 
@@ -65,13 +69,19 @@ fn segment_recovery_survives_deep_store_outage() {
     // deep store is DOWN
     let faulty = FaultyStore::new(InMemoryStore::new());
     faulty.set_down(true);
-    let store = SegmentStore::new(Arc::new(faulty), SegmentStoreMode::PeerToPeer, IndexSpec::none());
+    let store = SegmentStore::new(
+        Arc::new(faulty),
+        SegmentStoreMode::PeerToPeer,
+        IndexSpec::none(),
+    );
 
     // a replica loses a segment
     let victim = names[1].clone();
     let _lost = table.evict_sealed(0, &victim).unwrap();
     let count = |t: &OlapTable| {
-        t.query(&Query::select_all("t").aggregate("n", AggFn::Count)).unwrap().rows[0]
+        t.query(&Query::select_all("t").aggregate("n", AggFn::Count))
+            .unwrap()
+            .rows[0]
             .get_int("n")
             .unwrap()
     };

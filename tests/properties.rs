@@ -1,12 +1,31 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Property-based tests on cross-crate invariants.
+//!
+//! The build container has no registry access, so instead of proptest this
+//! uses a deterministic seeded-PRNG harness: every test runs N generated
+//! cases, each derived from `StdRng::seed_from_u64(BASE + case)`. A failure
+//! message always carries the case number, so any failure replays exactly
+//! by re-running the test. The shrunk counter-examples proptest found in
+//! the seed (`tests/properties.proptest-regressions`) are pinned below as
+//! plain deterministic tests in `mod pinned_regressions`.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rtdi::common::{AggFn, FieldType, Record, Row, Schema, Value};
 use rtdi::olap::query::{Predicate, PredicateOp, Query};
 use rtdi::olap::segment::{IndexSpec, Segment};
 use rtdi::olap::startree::StarTreeSpec;
 use rtdi::storage::colfile;
 use rtdi::stream::log::PartitionLog;
+
+/// Distinct per-test seed bases so tests never share generated streams.
+const SEED_COLFILE: u64 = 0x0C01_F11E;
+const SEED_INDEXES: u64 = 0x1DE7_E5;
+const SEED_SORTED: u64 = 0x5027_ED;
+const SEED_STARTREE: u64 = 0x57A2_72EE;
+const SEED_LOG: u64 = 0x10C_0FF5;
+const SEED_JSON: u64 = 0x150_4200;
+const SEED_PARTITION: u64 = 0x9A27_1710;
+const SEED_PUSHDOWN: u64 = 0x9054_D0;
 
 fn schema() -> Schema {
     Schema::of(
@@ -20,108 +39,130 @@ fn schema() -> Schema {
     )
 }
 
-prop_compose! {
-    fn arb_row()(
-        city in prop::option::of(0..6u8),
-        n in prop::option::of(-1000..1000i64),
-        x in prop::option::of(-100.0..100.0f64),
-        flag in prop::option::of(any::<bool>()),
-    ) -> Row {
-        let mut row = Row::new();
-        if let Some(c) = city { row.push("city", format!("c{c}")); }
-        if let Some(n) = n { row.push("n", n); }
-        if let Some(x) = x { row.push("x", x); }
-        if let Some(f) = flag { row.push("flag", f); }
-        row
+/// A row over the schema where each column is independently present ~75%
+/// of the time (absent columns exercise the NULL paths end to end).
+fn arb_row(rng: &mut StdRng) -> Row {
+    let mut row = Row::new();
+    if rng.gen_bool(0.75) {
+        row.push("city", format!("c{}", rng.gen_range(0..6u8)));
     }
+    if rng.gen_bool(0.75) {
+        row.push("n", rng.gen_range(-1000..1000i64));
+    }
+    if rng.gen_bool(0.75) {
+        row.push("x", rng.gen_range(-100.0..100.0f64));
+    }
+    if rng.gen_bool(0.75) {
+        row.push("flag", rng.gen::<bool>());
+    }
+    row
 }
 
-fn arb_predicate() -> impl Strategy<Value = Predicate> {
-    let op = prop::sample::select(vec![
+fn arb_rows(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<Row> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| arb_row(rng)).collect()
+}
+
+fn arb_predicate(rng: &mut StdRng) -> Predicate {
+    let op = [
         PredicateOp::Eq,
         PredicateOp::Ne,
         PredicateOp::Lt,
         PredicateOp::Le,
         PredicateOp::Gt,
         PredicateOp::Ge,
-    ]);
-    (op, 0..3u8).prop_flat_map(|(op, col)| match col {
-        0 => (0..6u8).prop_map(move |c| Predicate::new("city", op, format!("c{c}"))).boxed(),
-        1 => (-1000..1000i64).prop_map(move |v| Predicate::new("n", op, v)).boxed(),
-        _ => (-100.0..100.0f64).prop_map(move |v| Predicate::new("x", op, v)).boxed(),
-    })
+    ][rng.gen_range(0..6usize)];
+    match rng.gen_range(0..3u8) {
+        0 => Predicate::new("city", op, format!("c{}", rng.gen_range(0..6u8))),
+        1 => Predicate::new("n", op, rng.gen_range(-1000..1000i64)),
+        _ => Predicate::new("x", op, rng.gen_range(-100.0..100.0f64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Columnar file encode/decode round-trips arbitrary rows (including
-    /// missing fields -> nulls).
-    #[test]
-    fn colfile_roundtrip(rows in prop::collection::vec(arb_row(), 0..200)) {
+/// Columnar file encode/decode round-trips arbitrary rows (including
+/// missing fields -> nulls).
+#[test]
+fn colfile_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_COLFILE + case);
+        let rows = arb_rows(&mut rng, 0, 200);
         let data = colfile::encode_columnar(&schema(), &rows).unwrap();
         let (s2, decoded) = colfile::decode_columnar(&data).unwrap();
-        prop_assert_eq!(s2.fields.len(), schema().fields.len());
-        prop_assert_eq!(decoded.len(), rows.len());
+        assert_eq!(s2.fields.len(), schema().fields.len(), "case {case}");
+        assert_eq!(decoded.len(), rows.len(), "case {case}");
         for (a, b) in rows.iter().zip(&decoded) {
             for col in ["city", "n", "x", "flag"] {
                 let va = a.get(col).cloned().unwrap_or(Value::Null);
                 let vb = b.get(col).cloned().unwrap_or(Value::Null);
-                prop_assert_eq!(va, vb, "column {}", col);
+                assert_eq!(va, vb, "case {case} column {col}");
             }
         }
     }
+}
 
-    /// Index-accelerated segment execution agrees with row-by-row
-    /// predicate evaluation for every predicate type.
-    #[test]
-    fn indexes_equal_scan(
-        rows in prop::collection::vec(arb_row(), 1..300),
-        preds in prop::collection::vec(arb_predicate(), 1..3),
-    ) {
+/// Index-accelerated segment execution agrees with row-by-row predicate
+/// evaluation for every predicate type.
+#[test]
+fn indexes_equal_scan() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_INDEXES + case);
+        let rows = arb_rows(&mut rng, 1, 300);
+        let preds: Vec<Predicate> = (0..rng.gen_range(1..3usize))
+            .map(|_| arb_predicate(&mut rng))
+            .collect();
         let spec = IndexSpec::none()
             .with_inverted(&["city", "n"])
             .with_range(&["x", "n"]);
         let seg = Segment::build("s", &schema(), rows.clone(), &spec).unwrap();
         let mut q = Query::select_all("t").aggregate("cnt", AggFn::Count);
         q.predicates = preds.clone();
-        let got = seg.execute(&q, None).unwrap().rows[0].get_int("cnt").unwrap();
+        let got = seg.execute(&q, None).unwrap().rows[0]
+            .get_int("cnt")
+            .unwrap();
         let expected = rows
             .iter()
             .filter(|r| preds.iter().all(|p| p.matches(r)))
             .count() as i64;
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case} preds {preds:?}");
     }
+}
 
-    /// Sorted-column builds return the same answers as unsorted ones.
-    #[test]
-    fn sorted_build_preserves_answers(
-        rows in prop::collection::vec(arb_row(), 1..200),
-        pred in arb_predicate(),
-    ) {
+/// Sorted-column builds return the same answers as unsorted ones.
+#[test]
+fn sorted_build_preserves_answers() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_SORTED + case);
+        let rows = arb_rows(&mut rng, 1, 200);
+        let pred = arb_predicate(&mut rng);
         let plain = Segment::build("a", &schema(), rows.clone(), &IndexSpec::none()).unwrap();
-        let sorted = Segment::build("b", &schema(), rows, &IndexSpec::none().with_sorted("n")).unwrap();
+        let sorted =
+            Segment::build("b", &schema(), rows, &IndexSpec::none().with_sorted("n")).unwrap();
         let q = Query::select_all("t")
-            .filter(pred)
+            .filter(pred.clone())
             .aggregate("cnt", AggFn::Count)
             .aggregate("sum_x", AggFn::Sum("x".into()));
         let a = plain.execute(&q, None).unwrap().rows;
         let b = sorted.execute(&q, None).unwrap().rows;
-        prop_assert_eq!(a[0].get_int("cnt"), b[0].get_int("cnt"));
+        assert_eq!(
+            a[0].get_int("cnt"),
+            b[0].get_int("cnt"),
+            "case {case} pred {pred:?}"
+        );
         let (sa, sb) = (
             a[0].get_double("sum_x").unwrap_or(0.0),
             b[0].get_double("sum_x").unwrap_or(0.0),
         );
-        prop_assert!((sa - sb).abs() < 1e-6);
+        assert!((sa - sb).abs() < 1e-6, "case {case}: {sa} vs {sb}");
     }
+}
 
-    /// Star-tree answers equal exact aggregation for covered query shapes.
-    #[test]
-    fn startree_equals_exact(rows in prop::collection::vec(arb_row(), 1..300)) {
-        let mut st_spec = StarTreeSpec::new(
-            &["city"],
-            vec![AggFn::Count, AggFn::Sum("x".into())],
-        );
+/// Star-tree answers equal exact aggregation for covered query shapes.
+#[test]
+fn startree_equals_exact() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_STARTREE + case);
+        let rows = arb_rows(&mut rng, 1, 300);
+        let mut st_spec = StarTreeSpec::new(&["city"], vec![AggFn::Count, AggFn::Sum("x".into())]);
         st_spec.max_leaf_records = 0; // always split: tree covers every group-by
         let spec = IndexSpec::none().with_startree(st_spec);
         let seg = Segment::build("s", &schema(), rows.clone(), &spec).unwrap();
@@ -130,70 +171,152 @@ proptest! {
             .aggregate("sx", AggFn::Sum("x".into()))
             .group(&["city"]);
         let res = seg.execute(&q, None).unwrap();
-        prop_assert!(res.used_startree);
+        assert!(res.used_startree, "case {case}");
         let total: i64 = res.rows.iter().map(|r| r.get_int("cnt").unwrap()).sum();
-        prop_assert_eq!(total, rows.len() as i64);
-        let sum: f64 = res.rows.iter().map(|r| r.get_double("sx").unwrap_or(0.0)).sum();
+        assert_eq!(total, rows.len() as i64, "case {case}");
+        let sum: f64 = res
+            .rows
+            .iter()
+            .map(|r| r.get_double("sx").unwrap_or(0.0))
+            .sum();
         let exact: f64 = rows.iter().filter_map(|r| r.get_double("x")).sum();
-        prop_assert!((sum - exact).abs() < 1e-6);
+        assert!((sum - exact).abs() < 1e-6, "case {case}: {sum} vs {exact}");
     }
+}
 
-    /// Log offsets are dense and monotonic under any append/retention mix.
-    #[test]
-    fn log_offsets_monotonic(
-        sizes in prop::collection::vec(1..50usize, 1..20),
-        retention_bytes in prop::option::of(1_000..20_000usize),
-    ) {
-        let log = PartitionLog::new(0, retention_bytes.unwrap_or(0));
+/// Log offsets are dense and monotonic under any append/retention mix.
+#[test]
+fn log_offsets_monotonic() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_LOG + case);
+        let sizes: Vec<usize> = (0..rng.gen_range(1..20usize))
+            .map(|_| rng.gen_range(1..50usize))
+            .collect();
+        let retention_bytes = if rng.gen_bool(0.5) {
+            rng.gen_range(1_000..20_000usize)
+        } else {
+            0
+        };
+        let log = PartitionLog::new(0, retention_bytes);
         let mut expected = 0u64;
         for (i, size) in sizes.iter().enumerate() {
             let batch: Vec<Record> = (0..*size)
                 .map(|j| Record::new(Row::new().with("i", (i * 100 + j) as i64), 0))
                 .collect();
             let first = log.append_batch(batch, i as i64);
-            prop_assert_eq!(first, expected);
+            assert_eq!(first, expected, "case {case} batch {i}");
             expected += *size as u64;
         }
-        prop_assert_eq!(log.high_watermark(), expected);
-        prop_assert!(log.log_start_offset() <= log.high_watermark());
+        assert_eq!(log.high_watermark(), expected, "case {case}");
+        assert!(
+            log.log_start_offset() <= log.high_watermark(),
+            "case {case}"
+        );
         // everything retained is fetchable with contiguous offsets
         let fetch = log.fetch(log.log_start_offset(), usize::MAX / 2).unwrap();
         for (k, r) in fetch.records.iter().enumerate() {
-            prop_assert_eq!(r.offset, log.log_start_offset() + k as u64);
+            assert_eq!(
+                r.offset,
+                log.log_start_offset() + k as u64,
+                "case {case} record {k}"
+            );
         }
     }
+}
 
-    /// JSON parse/serialize round-trips arbitrary generated documents.
-    #[test]
-    fn json_roundtrip(doc in arb_json(3)) {
+/// JSON parse/serialize round-trips arbitrary generated documents.
+#[test]
+fn json_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_JSON + case);
+        let doc = arb_json(&mut rng, 3);
         let text = rtdi::common::json::to_string(&doc);
         let parsed = rtdi::common::json::parse(&text).unwrap();
-        prop_assert_eq!(parsed, doc);
+        assert_eq!(parsed, doc, "case {case}: {text}");
     }
+}
 
-    /// Keyed records always land on the same partition.
-    #[test]
-    fn partitioning_deterministic(key in ".{0,24}", parts in 1..64usize) {
+/// Keyed records always land on the same partition.
+#[test]
+fn partitioning_deterministic() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(SEED_PARTITION + case);
+        let len = rng.gen_range(0..=24usize);
+        let key: String = (0..len)
+            .map(|_| {
+                // printable ASCII keeps the property readable on failure
+                char::from(rng.gen_range(0x20..0x7Fu8))
+            })
+            .collect();
+        let parts = rng.gen_range(1..64usize);
         let r1 = Record::new(Row::new(), 0).with_key(key.clone());
-        let r2 = Record::new(Row::new(), 0).with_key(key);
-        prop_assert_eq!(r1.partition_for(parts), r2.partition_for(parts));
-        prop_assert!(r1.partition_for(parts).unwrap() < parts);
+        let r2 = Record::new(Row::new(), 0).with_key(key.clone());
+        assert_eq!(
+            r1.partition_for(parts),
+            r2.partition_for(parts),
+            "case {case} key {key:?}"
+        );
+        assert!(r1.partition_for(parts).unwrap() < parts, "case {case}");
+    }
+}
+
+fn arb_json(rng: &mut StdRng, depth: u32) -> rtdi::common::value::JsonValue {
+    use rtdi::common::value::JsonValue;
+    let max = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..max) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.gen::<bool>()),
+        2 => {
+            // finite, round-trippable numbers
+            let f = rng.gen_range(-1e9..1e9f64);
+            JsonValue::Number((f * 100.0).round() / 100.0)
+        }
+        3 => {
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABC XYZ0123456789_-";
+            let len = rng.gen_range(0..=12usize);
+            JsonValue::String(
+                (0..len)
+                    .map(|_| char::from(ALPHABET[rng.gen_range(0..ALPHABET.len())]))
+                    .collect(),
+            )
+        }
+        4 => {
+            let len = rng.gen_range(0..4usize);
+            JsonValue::Array((0..len).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..4usize);
+            JsonValue::Object(
+                (0..len)
+                    .map(|_| {
+                        let klen = rng.gen_range(1..=6usize);
+                        let k: String = (0..klen)
+                            .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+                            .collect();
+                        (k, arb_json(rng, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
     }
 }
 
 /// Engine-level property: connector pushdown never changes SQL results.
 mod pushdown_equivalence {
     use super::*;
-    use rtdi::olap::segment::IndexSpec;
     use rtdi::olap::table::{OlapTable, TableConfig};
     use rtdi::sql::connector::PinotConnector;
     use rtdi::sql::engine::{EngineConfig, SqlEngine};
     use std::sync::Arc;
 
-    fn engines(rows: &[Row]) -> (SqlEngine, SqlEngine) {
+    pub fn engines(rows: &[Row]) -> (SqlEngine, SqlEngine) {
         let table = OlapTable::new(
             TableConfig::new("t", schema())
-                .with_index_spec(IndexSpec::none().with_inverted(&["city"]).with_range(&["x", "n"]))
+                .with_index_spec(
+                    IndexSpec::none()
+                        .with_inverted(&["city"])
+                        .with_range(&["x", "n"]),
+                )
                 .with_partitions(2)
                 .with_segment_rows(64),
         )
@@ -214,86 +337,175 @@ mod pushdown_equivalence {
         (mk(true), mk(false))
     }
 
-    fn arb_sql() -> impl Strategy<Value = String> {
-        let pred = prop_oneof![
-            (0..6u8).prop_map(|c| format!("city = 'c{c}'")),
-            (-500..500i64).prop_map(|v| format!("n > {v}")),
-            (-50..50i64).prop_map(|v| format!("x <= {v}")),
-            (0..6u8).prop_map(|c| format!("city <> 'c{c}'")),
-        ];
-        let agg = prop::sample::select(vec![
+    fn arb_sql(rng: &mut StdRng) -> String {
+        let pred = if rng.gen_bool(0.7) {
+            Some(match rng.gen_range(0..4u8) {
+                0 => format!("city = 'c{}'", rng.gen_range(0..6u8)),
+                1 => format!("n > {}", rng.gen_range(-500..500i64)),
+                2 => format!("x <= {}", rng.gen_range(-50..50i64)),
+                _ => format!("city <> 'c{}'", rng.gen_range(0..6u8)),
+            })
+        } else {
+            None
+        };
+        let agg = [
             "COUNT(*) AS a",
             "SUM(x) AS a",
             "AVG(x) AS a",
             "MIN(n) AS a",
             "MAX(n) AS a",
-        ]);
-        (prop::option::of(pred), agg, any::<bool>(), prop::option::of(1..20usize)).prop_map(
-            |(pred, agg, group, limit)| {
-                let mut sql = format!("SELECT ");
-                if group {
-                    sql.push_str("city, ");
-                }
-                sql.push_str(agg);
-                sql.push_str(" FROM t");
-                if let Some(p) = pred {
-                    sql.push_str(&format!(" WHERE {p}"));
-                }
-                if group {
-                    sql.push_str(" GROUP BY city ORDER BY city ASC");
-                    if let Some(n) = limit {
-                        sql.push_str(&format!(" LIMIT {n}"));
-                    }
-                }
-                sql
-            },
-        )
+        ][rng.gen_range(0..5usize)];
+        let group = rng.gen::<bool>();
+        let limit = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1..20usize))
+        } else {
+            None
+        };
+        let mut sql = String::from("SELECT ");
+        if group {
+            sql.push_str("city, ");
+        }
+        sql.push_str(agg);
+        sql.push_str(" FROM t");
+        if let Some(p) = pred {
+            sql.push_str(&format!(" WHERE {p}"));
+        }
+        if group {
+            sql.push_str(" GROUP BY city ORDER BY city ASC");
+            if let Some(n) = limit {
+                sql.push_str(&format!(" LIMIT {n}"));
+            }
+        }
+        sql
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn pushdown_never_changes_results(
-            rows in prop::collection::vec(arb_row(), 1..150),
-            sql in arb_sql(),
-        ) {
-            let (on, off) = engines(&rows);
-            let a = on.query(&sql).unwrap();
-            let b = off.query(&sql).unwrap();
-            // compare with float tolerance (AVG/SUM accumulate in
-            // different orders across the two paths)
-            prop_assert_eq!(a.rows.len(), b.rows.len(), "{}", sql);
-            for (ra, rb) in a.rows.iter().zip(&b.rows) {
-                for (name, va) in ra.iter() {
-                    let vb = rb.get(name).unwrap();
-                    match (va.as_double(), vb.as_double()) {
-                        (Some(x), Some(y)) => {
-                            prop_assert!((x - y).abs() < 1e-6, "{}: {} vs {}", sql, x, y)
-                        }
-                        _ => prop_assert_eq!(va, vb, "{}", sql),
+    /// Assert the pushdown-on and pushdown-off engines agree on a query
+    /// (with float tolerance: AVG/SUM accumulate in different orders).
+    pub fn assert_pushdown_equivalent(rows: &[Row], sql: &str, ctx: &str) {
+        let (on, off) = engines(rows);
+        let a = on.query(sql).unwrap();
+        let b = off.query(sql).unwrap();
+        assert_eq!(a.rows.len(), b.rows.len(), "{ctx}: {sql}");
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            for (name, va) in ra.iter() {
+                let vb = rb.get(name).unwrap();
+                match (va.as_double(), vb.as_double()) {
+                    (Some(x), Some(y)) => {
+                        assert!((x - y).abs() < 1e-6, "{ctx}: {sql}: {x} vs {y}")
                     }
+                    _ => assert_eq!(va, vb, "{ctx}: {sql}"),
                 }
             }
-            // and pushdown actually reduced (or matched) shipped rows
-            prop_assert!(a.stats.rows_shipped <= b.stats.rows_shipped);
+        }
+        // and pushdown actually reduced (or matched) shipped rows
+        assert!(
+            a.stats.rows_shipped <= b.stats.rows_shipped,
+            "{ctx}: {sql}: shipped {} > {}",
+            a.stats.rows_shipped,
+            b.stats.rows_shipped
+        );
+    }
+
+    #[test]
+    fn pushdown_never_changes_results() {
+        for case in 0..48u64 {
+            let mut rng = StdRng::seed_from_u64(SEED_PUSHDOWN + case);
+            let rows = arb_rows(&mut rng, 1, 150);
+            let sql = arb_sql(&mut rng);
+            assert_pushdown_equivalent(&rows, &sql, &format!("case {case}"));
         }
     }
 }
 
-fn arb_json(depth: u32) -> impl Strategy<Value = rtdi::common::value::JsonValue> {
-    use rtdi::common::value::JsonValue;
-    let leaf = prop_oneof![
-        Just(JsonValue::Null),
-        any::<bool>().prop_map(JsonValue::Bool),
-        // finite, round-trippable numbers
-        (-1e9..1e9f64).prop_map(|f| JsonValue::Number((f * 100.0).round() / 100.0)),
-        "[a-zA-Z0-9 _\\-]{0,12}".prop_map(JsonValue::String),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(JsonValue::Object),
-        ]
-    })
+/// The shrunk counter-examples recorded by the seed's proptest runs
+/// (`tests/properties.proptest-regressions`), pinned as deterministic
+/// tests so the regressions stay covered without the regressions file.
+mod pinned_regressions {
+    use super::*;
+    use pushdown_equivalence::{assert_pushdown_equivalent, engines};
+
+    /// `rows = [Row { columns: [] }]`: a fully-empty row must survive the
+    /// colfile round-trip, match raw scans, and aggregate through the
+    /// star-tree (one all-NULL group).
+    #[test]
+    fn empty_row_roundtrips_and_aggregates() {
+        let rows = vec![Row::new()];
+
+        let data = colfile::encode_columnar(&schema(), &rows).unwrap();
+        let (_, decoded) = colfile::decode_columnar(&data).unwrap();
+        assert_eq!(decoded.len(), 1);
+        for col in ["city", "n", "x", "flag"] {
+            assert_eq!(
+                decoded[0].get(col).cloned().unwrap_or(Value::Null),
+                Value::Null
+            );
+        }
+
+        let mut st_spec = StarTreeSpec::new(&["city"], vec![AggFn::Count, AggFn::Sum("x".into())]);
+        st_spec.max_leaf_records = 0;
+        let spec = IndexSpec::none().with_startree(st_spec);
+        let seg = Segment::build("s", &schema(), rows, &spec).unwrap();
+        let q = Query::select_all("t")
+            .aggregate("cnt", AggFn::Count)
+            .aggregate("sx", AggFn::Sum("x".into()))
+            .group(&["city"]);
+        let res = seg.execute(&q, None).unwrap();
+        assert!(res.used_startree);
+        assert_eq!(res.rows.len(), 1);
+        // the group key for the absent city is a real NULL, not "NULL"
+        assert_eq!(res.rows[0].get("city"), Some(&Value::Null));
+        assert_eq!(res.rows[0].get_int("cnt"), Some(1));
+        // SUM over no non-null inputs is NULL, not 0
+        assert_eq!(res.rows[0].get("sx"), Some(&Value::Null));
+    }
+
+    /// `rows = [Row { columns: [] }], sql = "SELECT SUM(x) AS a FROM t"`:
+    /// empty-set SUM must be NULL on both the engine and pushdown paths.
+    #[test]
+    fn sum_over_columnless_row_is_null() {
+        let rows = vec![Row::new()];
+        let sql = "SELECT SUM(x) AS a FROM t";
+        assert_pushdown_equivalent(&rows, sql, "pinned");
+        let (on, off) = engines(&rows);
+        for (label, engine) in [("pushdown", &on), ("engine", &off)] {
+            let out = engine.query(sql).unwrap();
+            assert_eq!(out.rows.len(), 1, "{label}");
+            assert_eq!(out.rows[0].get("a"), Some(&Value::Null), "{label}");
+        }
+    }
+
+    /// `rows = [Row { columns: [("x", Double(0.0))] }], sql = "SELECT
+    /// city, COUNT(*) AS a FROM t GROUP BY city ORDER BY city ASC"`:
+    /// grouping by an absent column yields one NULL-keyed group on both
+    /// paths (the pushdown path used to render it as the string "NULL").
+    #[test]
+    fn group_by_absent_column_yields_null_group() {
+        let rows = vec![Row::new().with("x", 0.0)];
+        let sql = "SELECT city, COUNT(*) AS a FROM t GROUP BY city ORDER BY city ASC";
+        assert_pushdown_equivalent(&rows, sql, "pinned");
+        let (on, off) = engines(&rows);
+        for (label, engine) in [("pushdown", &on), ("engine", &off)] {
+            let out = engine.query(sql).unwrap();
+            assert_eq!(out.rows.len(), 1, "{label}");
+            assert_eq!(out.rows[0].get("city"), Some(&Value::Null), "{label}");
+            assert_eq!(out.rows[0].get_int("a"), Some(1), "{label}");
+        }
+    }
+
+    /// A literal string "NULL" must stay distinct from a NULL group key —
+    /// the collision the stringified group keys used to allow.
+    #[test]
+    fn literal_null_string_is_not_a_null_group() {
+        let rows = vec![
+            Row::new().with("city", "NULL").with("x", 1.0),
+            Row::new().with("x", 2.0),
+        ];
+        let sql = "SELECT city, COUNT(*) AS a FROM t GROUP BY city ORDER BY city ASC";
+        assert_pushdown_equivalent(&rows, sql, "pinned");
+        let (on, _) = engines(&rows);
+        let out = on.query(sql).unwrap();
+        assert_eq!(out.rows.len(), 2, "NULL key must not merge with 'NULL'");
+        assert_eq!(out.rows[0].get("city"), Some(&Value::Null));
+        assert_eq!(out.rows[1].get("city"), Some(&Value::Str("NULL".into())));
+    }
 }
