@@ -6,4 +6,5 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo bench --workspace --no-run
 cargo fmt --check

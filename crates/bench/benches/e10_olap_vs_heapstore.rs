@@ -5,7 +5,7 @@
 //! filters, aggregation and group by/order by queries."
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rtdi_bench::{quick_criterion, report, report_header, time_it};
+use rtdi_bench::{count_allocations, quick_criterion, report, report_header, time_it};
 use rtdi_common::AggFn;
 use rtdi_olap::baselines::{comparison_rows, comparison_schema, HeapStore};
 use rtdi_olap::query::{Predicate, PredicateOp, Query, SortOrder};
@@ -95,6 +95,22 @@ fn bench(c: &mut Criterion) {
             col_t.as_secs_f64() * 1e3,
             heap_t.as_secs_f64() / col_t.as_secs_f64()
         ),
+    );
+    // allocation traffic for the same suite (vectorized execution should
+    // allocate far less than the per-doc heap store)
+    let (_, heap_a) = count_allocations(|| {
+        for q in &suite {
+            heap.execute(q).unwrap();
+        }
+    });
+    let (_, col_a) = count_allocations(|| {
+        for q in &suite {
+            seg.execute(q, None).unwrap();
+        }
+    });
+    report(
+        "query-suite allocations",
+        format!("heap-store {heap_a} vs columnar {col_a}"),
     );
     // results agree
     for q in &suite {

@@ -7,7 +7,86 @@
 //! numbers survive in the bench logs.
 
 use criterion::Criterion;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A [`System`]-backed allocator that counts every allocation. Installed
+/// as the global allocator for every binary linking this crate (all the
+/// E1–E22 benches), so reports can include bytes-allocated alongside
+/// latency — the vectorized-execution work trades per-doc allocations
+/// for batch buffers and the benches prove it.
+pub struct CountingAllocator;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation totals observed while a closure ran (see
+/// [`count_allocations`]). Counts are process-wide, so keep concurrent
+/// allocating threads quiet while measuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    pub allocs: u64,
+    pub bytes: u64,
+}
+
+impl std::fmt::Display for AllocStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} allocs / {:.1} KiB",
+            self.allocs,
+            self.bytes as f64 / 1024.0
+        )
+    }
+}
+
+/// Run `f` and report how many heap allocations (and net grown bytes)
+/// happened while it ran.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, AllocStats) {
+    let c0 = ALLOC_COUNT.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let out = f();
+    let stats = AllocStats {
+        allocs: ALLOC_COUNT.load(Ordering::Relaxed) - c0,
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+    };
+    (out, stats)
+}
+
+/// Assert that a measured region stayed under an allocation budget.
+/// Panics with the measured numbers so a regressing kernel fails loudly
+/// in the bench log.
+pub fn assert_allocs_at_most(label: &str, stats: AllocStats, max_allocs: u64) {
+    assert!(
+        stats.allocs <= max_allocs,
+        "{label}: expected at most {max_allocs} allocations, measured {stats}"
+    );
+}
 
 /// A Criterion tuned so the whole 20-experiment suite finishes in minutes:
 /// the comparisons in this paper are order-of-magnitude shapes, not
@@ -36,4 +115,31 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = std::time::Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_allocator_sees_heap_traffic() {
+        let (v, stats) = count_allocations(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        assert!(stats.allocs >= 1);
+        assert!(stats.bytes >= 4096);
+    }
+
+    #[test]
+    fn allocation_budget_holds_for_arithmetic() {
+        let (sum, stats) = count_allocations(|| (0u64..1000).sum::<u64>());
+        assert_eq!(sum, 499_500);
+        assert_allocs_at_most("pure arithmetic", stats, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected at most 0 allocations")]
+    fn allocation_budget_violations_panic() {
+        let (_, stats) = count_allocations(|| vec![0u8; 1024].len());
+        assert_allocs_at_most("vec build", stats, 0);
+    }
 }

@@ -9,6 +9,8 @@
 
 use crate::time::Timestamp;
 use crate::value::{Row, Value};
+use std::borrow::Cow;
+use std::fmt::Write as _;
 
 /// Well-known header keys used across the stack.
 pub mod headers {
@@ -32,9 +34,13 @@ pub mod headers {
 }
 
 /// Small ordered string->string map for record headers.
+///
+/// Keys are `Cow<'static, str>`: the well-known [`headers`] constants are
+/// stored by reference, so stamping audit metadata on every record costs
+/// no key allocation (only dynamic, caller-built keys are owned).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecordHeaders {
-    entries: Vec<(String, String)>,
+    entries: Vec<(Cow<'static, str>, String)>,
 }
 
 impl RecordHeaders {
@@ -42,13 +48,26 @@ impl RecordHeaders {
         Self::default()
     }
 
-    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+    pub fn set(&mut self, key: impl Into<Cow<'static, str>>, value: impl Into<String>) {
         let key = key.into();
         let value = value.into();
         if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
             e.1 = value;
         } else {
             self.entries.push((key, value));
+        }
+    }
+
+    /// Set a well-known key to an integer value, reusing the existing
+    /// value buffer when the key is already present. The per-hop trace
+    /// restamp (`trace::PipelineTracer::observe_hop`) calls this on every
+    /// record, so steady-state restamping allocates nothing.
+    pub fn set_i64(&mut self, key: &'static str, value: i64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            e.1.clear();
+            let _ = write!(e.1, "{value}");
+        } else {
+            self.entries.push((Cow::Borrowed(key), value.to_string()));
         }
     }
 
@@ -60,7 +79,7 @@ impl RecordHeaders {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.entries.iter().map(|(k, v)| (k.as_ref(), v.as_str()))
     }
 
     pub fn len(&self) -> usize {
@@ -101,7 +120,11 @@ impl Record {
         self
     }
 
-    pub fn with_header(mut self, key: &str, value: impl Into<String>) -> Self {
+    pub fn with_header(
+        mut self,
+        key: impl Into<Cow<'static, str>>,
+        value: impl Into<String>,
+    ) -> Self {
         self.headers.set(key, value);
         self
     }

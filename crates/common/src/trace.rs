@@ -135,11 +135,9 @@ impl PipelineTracer {
     /// timestamp too if the producer has not already done so.
     pub fn stamp(record: &mut Record, now: Timestamp) {
         if record.headers.get(headers::APP_TIMESTAMP).is_none() {
-            record.headers.set(headers::APP_TIMESTAMP, now.to_string());
+            record.headers.set_i64(headers::APP_TIMESTAMP, now);
         }
-        record
-            .headers
-            .set(headers::TRACE_TIMESTAMP, now.to_string());
+        record.headers.set_i64(headers::TRACE_TIMESTAMP, now);
     }
 
     /// Record a raw dwell (negative values clamp to zero — clock skew must
@@ -160,9 +158,7 @@ impl PipelineTracer {
     ) -> i64 {
         let dwell = now - Self::origin_of(record);
         self.record_dwell(pipeline, stage, dwell);
-        record
-            .headers
-            .set(headers::TRACE_TIMESTAMP, now.to_string());
+        record.headers.set_i64(headers::TRACE_TIMESTAMP, now);
         let origin = Self::app_ts_of(record);
         let mut inner = self.inner.write();
         if let Some(data) = inner.get_mut(pipeline) {

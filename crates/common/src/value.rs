@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
@@ -257,9 +258,14 @@ impl From<String> for Value {
 
 /// A named, ordered collection of values — one structured event or one SQL
 /// result row.
+///
+/// Column names are reference-counted (`Arc<str>`): cloning a row or
+/// building many rows with the same shape shares one name allocation
+/// instead of copying a `String` per cell, which is what the columnar
+/// query path relies on when materializing results.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Row {
-    columns: Vec<(String, Value)>,
+    columns: Vec<(Arc<str>, Value)>,
 }
 
 impl Row {
@@ -276,27 +282,30 @@ impl Row {
     }
 
     /// Builder-style column append.
-    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn with(mut self, name: impl Into<Arc<str>>, value: impl Into<Value>) -> Self {
         self.columns.push((name.into(), value.into()));
         self
     }
 
-    pub fn push(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+    pub fn push(&mut self, name: impl Into<Arc<str>>, value: impl Into<Value>) {
         self.columns.push((name.into(), value.into()));
     }
 
     /// Set an existing column or append a new one.
     pub fn set(&mut self, name: &str, value: impl Into<Value>) {
         let value = value.into();
-        if let Some(slot) = self.columns.iter_mut().find(|(n, _)| n == name) {
+        if let Some(slot) = self.columns.iter_mut().find(|(n, _)| &**n == name) {
             slot.1 = value;
         } else {
-            self.columns.push((name.to_string(), value));
+            self.columns.push((Arc::from(name), value));
         }
     }
 
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.columns.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.columns
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
     }
 
     pub fn get_int(&self, name: &str) -> Option<i64> {
@@ -312,11 +321,11 @@ impl Row {
     }
 
     pub fn column_names(&self) -> impl Iterator<Item = &str> {
-        self.columns.iter().map(|(n, _)| n.as_str())
+        self.columns.iter().map(|(n, _)| &**n)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.columns.iter().map(|(n, v)| (n.as_str(), v))
+        self.columns.iter().map(|(n, v)| (&**n, v))
     }
 
     pub fn len(&self) -> usize {
@@ -338,6 +347,17 @@ impl Row {
         let mut out = Row::with_capacity(names.len());
         for n in names {
             out.push(*n, self.get(n).cloned().unwrap_or(Value::Null));
+        }
+        out
+    }
+
+    /// Like [`Row::project`] but reuses already-interned column names, so
+    /// projecting many rows onto the same shape performs zero name
+    /// allocations.
+    pub fn project_shared(&self, names: &[Arc<str>]) -> Row {
+        let mut out = Row::with_capacity(names.len());
+        for n in names {
+            out.push(Arc::clone(n), self.get(n).cloned().unwrap_or(Value::Null));
         }
         out
     }
@@ -366,6 +386,14 @@ fn value_bytes(v: &Value) -> usize {
 
 impl FromIterator<(String, Value)> for Row {
     fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Row {
+            columns: iter.into_iter().map(|(n, v)| (Arc::from(n), v)).collect(),
+        }
+    }
+}
+
+impl FromIterator<(Arc<str>, Value)> for Row {
+    fn from_iter<T: IntoIterator<Item = (Arc<str>, Value)>>(iter: T) -> Self {
         Row {
             columns: iter.into_iter().collect(),
         }

@@ -153,7 +153,7 @@ impl Source for TopicSource {
             if let Some(last) = fetch.records.last() {
                 self.positions[p] = last.offset + 1;
             }
-            out.extend(fetch.records.into_iter().map(|r| r.record));
+            out.extend(fetch.records.into_iter().map(|r| r.into_record()));
         }
         out.sort_by_key(|r| r.timestamp);
         Ok(out)

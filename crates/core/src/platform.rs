@@ -387,7 +387,7 @@ impl RealtimePlatform {
         for p in 0..t.num_partitions() {
             let log = t.partition(p).expect("partition exists");
             let fetch = log.fetch(log.log_start_offset(), usize::MAX / 2)?;
-            batch.extend(fetch.records.into_iter().map(|r| r.record));
+            batch.extend(fetch.records.into_iter().map(|r| r.into_record()));
         }
         if batch.is_empty() {
             return Ok(0);

@@ -81,7 +81,7 @@ pub fn redundant_compute_round(
         for p in 0..topic.num_partitions() {
             let log = topic.partition(p).expect("partition exists");
             let fetch = log.fetch(log.log_start_offset(), usize::MAX / 2)?;
-            rows.extend(fetch.records.into_iter().map(|r| r.record.value));
+            rows.extend(fetch.records.into_iter().map(|r| r.into_record().value));
         }
         let state = compute(&rows);
         if region.name == primary {

@@ -117,7 +117,7 @@ impl ActivePassiveConsumer {
                     break;
                 }
                 pos = fetch.records.last().expect("non-empty").offset + 1;
-                out.extend(fetch.records.into_iter().map(|r| r.record));
+                out.extend(fetch.records.into_iter().map(|r| r.into_record()));
             }
             self.offsets.insert(p, pos);
         }

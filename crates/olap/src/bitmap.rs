@@ -87,6 +87,67 @@ impl Bitmap {
         }
     }
 
+    /// In-place difference: clear every bit that is set in `other`.
+    pub fn and_not(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Visit every maximal run of consecutive set bits as `(start, end)`
+    /// half-open doc-id ranges. Batch kernels iterate runs instead of
+    /// individual bits so dense selections cost one callback per run, not
+    /// one branch per document.
+    pub fn for_each_run(&self, mut f: impl FnMut(usize, usize)) {
+        let mut run_start: Option<usize> = None;
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            if block == u64::MAX {
+                if run_start.is_none() {
+                    run_start = Some(bi * 64);
+                }
+                continue;
+            }
+            let base = bi * 64;
+            let mut pos = 0usize;
+            while pos < 64 {
+                let chunk = block >> pos;
+                if run_start.is_some() {
+                    // inside a run: find the next zero bit
+                    let zeros = (!chunk).trailing_zeros() as usize;
+                    if zeros + pos >= 64 {
+                        break; // run continues into the next block
+                    }
+                    pos += zeros;
+                    f(run_start.take().expect("inside run"), base + pos);
+                } else {
+                    if chunk == 0 {
+                        break;
+                    }
+                    pos += chunk.trailing_zeros() as usize;
+                    run_start = Some(base + pos);
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            f(start, self.len);
+        }
+    }
+
+    /// Append the ids of all set bits to `out` (ascending). The caller
+    /// reuses `out` across segments to avoid reallocating per scan.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        out.reserve(self.count());
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            let mut word = block;
+            let base = (bi * 64) as u32;
+            while word != 0 {
+                out.push(base + word.trailing_zeros());
+                word &= word - 1;
+            }
+        }
+    }
+
     /// In-place complement.
     pub fn not_inplace(&mut self) {
         for b in &mut self.blocks {
@@ -209,6 +270,46 @@ mod tests {
         assert_eq!(out, vec![0, 5, 63, 64, 99]);
         let empty = Bitmap::new(0);
         assert_eq!(empty.iter().count(), 0);
+    }
+
+    #[test]
+    fn and_not_clears_other_bits() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set_range(0, 50);
+        b.set_range(25, 75);
+        a.and_not(&b);
+        assert_eq!(a.count(), 25);
+        assert!(a.get(24) && !a.get(25));
+    }
+
+    #[test]
+    fn runs_cover_exactly_the_set_bits() {
+        // exercise: run at start, isolated bit, block-spanning run, run to end
+        let mut bm = Bitmap::new(300);
+        bm.set_range(0, 3);
+        bm.set(10);
+        bm.set_range(60, 130); // spans two block boundaries
+        bm.set_range(290, 300); // runs to the end
+        let mut runs = Vec::new();
+        bm.for_each_run(|s, e| runs.push((s, e)));
+        assert_eq!(runs, vec![(0, 3), (10, 11), (60, 130), (290, 300)]);
+        // reconstructed bits match the iterator
+        let from_runs: Vec<usize> = runs.iter().flat_map(|&(s, e)| s..e).collect();
+        assert_eq!(from_runs, bm.iter().collect::<Vec<_>>());
+        // full bitmap is one run; empty bitmap none
+        let mut one = Vec::new();
+        Bitmap::full(128).for_each_run(|s, e| one.push((s, e)));
+        assert_eq!(one, vec![(0, 128)]);
+        Bitmap::new(128).for_each_run(|_, _| panic!("no runs expected"));
+    }
+
+    #[test]
+    fn collect_into_matches_iterator() {
+        let bm: Bitmap = [5usize, 0, 99, 64, 63].into_iter().collect();
+        let mut out = vec![42u32]; // appends, does not clear
+        bm.collect_into(&mut out);
+        assert_eq!(out, vec![42, 0, 5, 63, 64, 99]);
     }
 
     #[test]

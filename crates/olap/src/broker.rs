@@ -8,11 +8,12 @@
 //! same node to ensure the integrity of the query result."
 
 use crate::query::{sort_and_limit, PartialAgg, Query, QueryResult};
+use crate::scatter::scatter;
 use crate::segment::Segment;
 use parking_lot::RwLock;
 use rtdi_common::{Error, Result};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One server node hosting segment replicas.
@@ -98,6 +99,8 @@ pub struct Broker {
     /// partition-aware tables (upsert): all segments of one partition must
     /// route to one server
     partition_aware: RwLock<BTreeMap<String, bool>>,
+    /// Scatter-phase worker threads (0 = one per available core).
+    parallelism: AtomicUsize,
 }
 
 impl Broker {
@@ -106,7 +109,18 @@ impl Broker {
             servers,
             routing: RwLock::new(BTreeMap::new()),
             partition_aware: RwLock::new(BTreeMap::new()),
+            parallelism: AtomicUsize::new(0),
         }
+    }
+
+    /// Builder-style scatter parallelism (0 = one worker per core).
+    pub fn with_parallelism(self, threads: usize) -> Self {
+        self.set_parallelism(threads);
+        self
+    }
+
+    pub fn set_parallelism(&self, threads: usize) {
+        self.parallelism.store(threads, Ordering::Relaxed);
     }
 
     pub fn servers(&self) -> &[Arc<ServerNode>] {
@@ -203,16 +217,22 @@ impl Broker {
         Ok(plan)
     }
 
-    /// Execute a query: scatter sub-queries to the chosen servers, merge.
+    /// Execute a query: scatter sub-queries to the chosen servers across
+    /// the worker pool, gather in plan order, merge.
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
         let plan = self.plan(&query.table)?;
+        let threads = self.parallelism.load(Ordering::Relaxed);
         let mut segments_queried = 0;
         let mut docs_scanned = 0;
         let mut used_startree = false;
         if query.is_aggregation() {
+            let parts = scatter(plan.len(), threads, |i| {
+                let (segment, server) = &plan[i];
+                self.servers[*server].execute_partial(segment, query)
+            });
             let mut merged = PartialAgg::default();
-            for (segment, server) in plan {
-                let part = self.servers[server].execute_partial(&segment, query)?;
+            for part in parts {
+                let part = part?;
                 segments_queried += 1;
                 docs_scanned += part.docs_scanned;
                 used_startree |= part.used_startree;
@@ -225,9 +245,13 @@ impl Broker {
                 used_startree,
             })
         } else {
+            let partials = scatter(plan.len(), threads, |i| {
+                let (segment, server) = &plan[i];
+                self.servers[*server].execute_select(segment, query)
+            });
             let mut rows = Vec::new();
-            for (segment, server) in plan {
-                let r = self.servers[server].execute_select(&segment, query)?;
+            for r in partials {
+                let r = r?;
                 segments_queried += 1;
                 docs_scanned += r.docs_scanned;
                 rows.extend(r.rows);
@@ -302,6 +326,28 @@ mod tests {
             .sum::<f64>()
             / 300.0;
         assert!((sf.get_double("avg_fare").unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_scatter_matches_serial() {
+        let broker = setup();
+        let queries = vec![
+            Query::select_all("t")
+                .aggregate("n", AggFn::Count)
+                .aggregate("avg_fare", AggFn::Avg("fare".into()))
+                .group(&["city"]),
+            Query::select_all("t")
+                .columns(&["fare"])
+                .order("fare", crate::query::SortOrder::Desc)
+                .limit(7),
+        ];
+        for q in queries {
+            broker.set_parallelism(1);
+            let serial = broker.query(&q).unwrap();
+            broker.set_parallelism(4);
+            let parallel = broker.query(&q).unwrap();
+            assert_eq!(serial, parallel);
+        }
     }
 
     #[test]

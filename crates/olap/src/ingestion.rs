@@ -111,28 +111,31 @@ impl RealtimeIngester {
                 if fetch.records.is_empty() {
                     break;
                 }
-                for mut rec in fetch.records {
-                    self.positions[p] = rec.offset + 1;
+                for rec in fetch.records {
+                    let offset = rec.offset;
+                    let mut record = rec.into_record();
+                    self.positions[p] = offset + 1;
                     let now = self
                         .clock
                         .as_ref()
                         .map(|c| c.now())
-                        .unwrap_or(rec.record.timestamp);
+                        .unwrap_or(record.timestamp);
                     if let Some(ch) = &self.chaperone {
-                        ch.observe_at(&self.config.audit_stage, &rec.record, now);
+                        ch.observe_at(&self.config.audit_stage, &record, now);
                     }
                     if let Some(tr) = &self.tracer {
                         let pipeline = self.topic.name();
-                        tr.observe_hop(pipeline, "olap-ingest", &mut rec.record, now);
+                        tr.observe_hop(pipeline, "olap-ingest", &mut record, now);
                         // the record is queryable from here on: close out
                         // the end-to-end freshness measurement
-                        tr.record_total(pipeline, &rec.record, now);
+                        tr.record_total(pipeline, &record, now);
                     }
-                    let mut row: Row = rec.record.value;
+                    let ts = record.timestamp;
+                    let mut row: Row = record.value;
                     // make event time queryable under the table's time column
                     if let Some(tc) = &self.table.config().time_column {
                         if row.get(tc).is_none() {
-                            row.push(tc.clone(), rec.record.timestamp);
+                            row.push(tc.clone(), ts);
                         }
                     }
                     self.table.ingest(p, row)?;

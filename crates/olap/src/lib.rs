@@ -28,6 +28,7 @@ pub mod broker;
 pub mod ingestion;
 pub mod query;
 pub mod realtime;
+pub mod scatter;
 pub mod segment;
 pub mod segstore;
 pub mod startree;

@@ -195,14 +195,28 @@ impl PartialAgg {
                     .collect(),
             );
         }
+        // intern output column names once; every result row shares them
+        let group_names: Vec<std::sync::Arc<str>> = query
+            .group_by
+            .iter()
+            .map(|c| std::sync::Arc::from(c.as_str()))
+            .collect();
+        let agg_names: Vec<std::sync::Arc<str>> = query
+            .aggregations
+            .iter()
+            .map(|(n, _)| std::sync::Arc::from(n.as_str()))
+            .collect();
         let mut rows = Vec::with_capacity(self.groups.len());
         for (key, accs) in self.groups {
             let mut row = Row::with_capacity(key.len() + accs.len());
-            for (col, k) in query.group_by.iter().zip(key) {
-                row.push(col.clone(), k.map(Value::Str).unwrap_or(Value::Null));
+            for (col, k) in group_names.iter().zip(key) {
+                row.push(
+                    std::sync::Arc::clone(col),
+                    k.map(Value::Str).unwrap_or(Value::Null),
+                );
             }
-            for ((name, _), acc) in query.aggregations.iter().zip(&accs) {
-                row.push(name.clone(), acc.result());
+            for (name, acc) in agg_names.iter().zip(&accs) {
+                row.push(std::sync::Arc::clone(name), acc.result());
             }
             rows.push(row);
         }

@@ -77,6 +77,22 @@ impl MutableSegment {
             segments_queried: 1,
             ..Default::default()
         };
+        // intern the projection names once; every emitted row shares them.
+        // Empty select projects onto the schema (missing fields become
+        // NULL) so consuming-segment rows are shaped exactly like sealed
+        // segment rows.
+        let names: Vec<std::sync::Arc<str>> = if query.select.is_empty() {
+            self.schema
+                .field_names()
+                .map(std::sync::Arc::from)
+                .collect()
+        } else {
+            query
+                .select
+                .iter()
+                .map(|s| std::sync::Arc::from(s.as_str()))
+                .collect()
+        };
         for (doc, row) in self.rows.iter().enumerate() {
             result.docs_scanned += 1;
             if let Some(valid) = valid_docs {
@@ -87,15 +103,7 @@ impl MutableSegment {
             if !query.predicates.iter().all(|p| p.matches(row)) {
                 continue;
             }
-            let out = if query.select.is_empty() {
-                // project onto the schema (missing fields become NULL) so
-                // consuming-segment rows are shaped exactly like sealed
-                // segment rows
-                row.project(&self.schema.field_names().collect::<Vec<_>>())
-            } else {
-                row.project(&query.select.iter().map(|s| s.as_str()).collect::<Vec<_>>())
-            };
-            result.rows.push(out);
+            result.rows.push(row.project_shared(&names));
         }
         sort_and_limit(&mut result.rows, &query.order_by, query.limit);
         Ok(result)

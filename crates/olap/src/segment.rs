@@ -15,7 +15,9 @@ use crate::bitmap::Bitmap;
 use crate::query::{sort_and_limit, Predicate, PredicateOp, Query, QueryResult};
 use crate::startree::{StarTree, StarTreeSpec};
 use rtdi_common::{AggAcc, Error, Result, Row, Schema, Timestamp, Value};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Which indices to build for a segment.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -175,6 +177,16 @@ impl ColumnData {
         }
     }
 
+    #[inline]
+    fn nulls(&self) -> &Bitmap {
+        match self {
+            ColumnData::Int { nulls, .. }
+            | ColumnData::Double { nulls, .. }
+            | ColumnData::Bool { nulls, .. }
+            | ColumnData::Str { nulls, .. } => nulls,
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         match self {
             ColumnData::Int { values, nulls } => values.len() * 8 + nulls.memory_bytes(),
@@ -184,6 +196,206 @@ impl ColumnData {
                 dict.iter().map(|s| s.len() + 24).sum::<usize>()
                     + ids.len() * 4
                     + nulls.memory_bytes()
+            }
+        }
+    }
+}
+
+/// A predicate lowered onto a column's physical representation: the batch
+/// kernels compare raw `i64`/`f64`/dictionary-id values and never build a
+/// [`Value`] per document. String predicates become integer comparisons
+/// against the needle's position in the sorted dictionary; cross-type
+/// predicates collapse to a constant (mirroring `Value::total_cmp`'s
+/// type-rank fallback).
+enum CompiledPred<'a> {
+    /// No non-null document can match.
+    ConstFalse,
+    /// Every non-null document matches.
+    AllNonNull { nulls: &'a Bitmap },
+    Int {
+        values: &'a [i64],
+        nulls: &'a Bitmap,
+        op: PredicateOp,
+        rhs: i64,
+    },
+    /// Int column compared against a Double literal — each value widens,
+    /// matching `Value::total_cmp`'s `(a as f64).total_cmp(b)` exactly.
+    IntAsDouble {
+        values: &'a [i64],
+        nulls: &'a Bitmap,
+        op: PredicateOp,
+        rhs: f64,
+    },
+    Double {
+        values: &'a [f64],
+        nulls: &'a Bitmap,
+        op: PredicateOp,
+        rhs: f64,
+    },
+    Bool {
+        values: &'a Bitmap,
+        nulls: &'a Bitmap,
+        op: PredicateOp,
+        rhs: bool,
+    },
+    /// Dictionary-id comparison: `lo` is the first dict id >= the needle,
+    /// `hi` the first id > it (so `lo..hi` is the needle's id if present).
+    StrId {
+        ids: &'a [u32],
+        nulls: &'a Bitmap,
+        op: PredicateOp,
+        lo: u32,
+        hi: u32,
+    },
+}
+
+/// Does `op` accept this `lhs.cmp(rhs)` outcome?
+#[inline]
+fn op_accepts(op: PredicateOp, ord: Ordering) -> bool {
+    match op {
+        PredicateOp::Eq => ord == Ordering::Equal,
+        PredicateOp::Ne => ord != Ordering::Equal,
+        PredicateOp::Lt => ord == Ordering::Less,
+        PredicateOp::Le => ord != Ordering::Greater,
+        PredicateOp::Gt => ord == Ordering::Greater,
+        PredicateOp::Ge => ord != Ordering::Less,
+    }
+}
+
+impl<'a> CompiledPred<'a> {
+    fn compile(col: &'a ColumnData, pred: &Predicate) -> CompiledPred<'a> {
+        match (col, &pred.value) {
+            (ColumnData::Int { values, nulls }, Value::Int(rhs)) => CompiledPred::Int {
+                values,
+                nulls,
+                op: pred.op,
+                rhs: *rhs,
+            },
+            (ColumnData::Int { values, nulls }, Value::Double(rhs)) => CompiledPred::IntAsDouble {
+                values,
+                nulls,
+                op: pred.op,
+                rhs: *rhs,
+            },
+            (ColumnData::Double { values, nulls }, Value::Int(rhs)) => CompiledPred::Double {
+                values,
+                nulls,
+                op: pred.op,
+                rhs: *rhs as f64,
+            },
+            (ColumnData::Double { values, nulls }, Value::Double(rhs)) => CompiledPred::Double {
+                values,
+                nulls,
+                op: pred.op,
+                rhs: *rhs,
+            },
+            (ColumnData::Bool { values, nulls }, Value::Bool(rhs)) => CompiledPred::Bool {
+                values,
+                nulls,
+                op: pred.op,
+                rhs: *rhs,
+            },
+            (ColumnData::Str { dict, ids, nulls }, Value::Str(s)) => {
+                let lo = dict.partition_point(|d| d.as_str() < s.as_str()) as u32;
+                let hi = dict.partition_point(|d| d.as_str() <= s.as_str()) as u32;
+                CompiledPred::StrId {
+                    ids,
+                    nulls,
+                    op: pred.op,
+                    lo,
+                    hi,
+                }
+            }
+            _ => {
+                // cross-type comparison: `Value::total_cmp` falls back to
+                // type ranks, so the ordering is the same for every
+                // non-null document (stored types never share a rank with
+                // an uncovered literal type)
+                let col_rank: u8 = match col {
+                    ColumnData::Bool { .. } => 1,
+                    ColumnData::Int { .. } | ColumnData::Double { .. } => 2,
+                    ColumnData::Str { .. } => 3,
+                };
+                let rhs_rank: u8 = match &pred.value {
+                    Value::Null => 0,
+                    Value::Bool(_) => 1,
+                    Value::Int(_) | Value::Double(_) => 2,
+                    Value::Str(_) => 3,
+                    Value::Bytes(_) => 4,
+                    Value::Json(_) => 5,
+                };
+                if op_accepts(pred.op, col_rank.cmp(&rhs_rank)) {
+                    CompiledPred::AllNonNull { nulls: col.nulls() }
+                } else {
+                    CompiledPred::ConstFalse
+                }
+            }
+        }
+    }
+
+    /// Exact per-document check (used to verify range-index candidates).
+    #[inline]
+    fn holds(&self, doc: usize) -> bool {
+        match self {
+            CompiledPred::ConstFalse => false,
+            CompiledPred::AllNonNull { nulls } => !nulls.get(doc),
+            CompiledPred::Int {
+                values,
+                nulls,
+                op,
+                rhs,
+            } => !nulls.get(doc) && op_accepts(*op, values[doc].cmp(rhs)),
+            CompiledPred::IntAsDouble {
+                values,
+                nulls,
+                op,
+                rhs,
+            } => !nulls.get(doc) && op_accepts(*op, (values[doc] as f64).total_cmp(rhs)),
+            CompiledPred::Double {
+                values,
+                nulls,
+                op,
+                rhs,
+            } => !nulls.get(doc) && op_accepts(*op, values[doc].total_cmp(rhs)),
+            CompiledPred::Bool {
+                values,
+                nulls,
+                op,
+                rhs,
+            } => !nulls.get(doc) && op_accepts(*op, values.get(doc).cmp(rhs)),
+            CompiledPred::StrId {
+                ids,
+                nulls,
+                op,
+                lo,
+                hi,
+            } => {
+                if nulls.get(doc) {
+                    return false;
+                }
+                let id = ids[doc];
+                match op {
+                    PredicateOp::Eq => *lo <= id && id < *hi,
+                    PredicateOp::Ne => id < *lo || id >= *hi,
+                    PredicateOp::Lt => id < *lo,
+                    PredicateOp::Le => id < *hi,
+                    PredicateOp::Gt => id >= *hi,
+                    PredicateOp::Ge => id >= *lo,
+                }
+            }
+        }
+    }
+
+    /// Set the bit for every matching doc in `[from, to)`. The per-variant
+    /// dispatch is loop-invariant, so each run evaluates as a tight typed
+    /// loop over raw column values.
+    fn eval_range(&self, from: usize, to: usize, out: &mut Bitmap) {
+        if matches!(self, CompiledPred::ConstFalse) {
+            return;
+        }
+        for doc in from..to {
+            if self.holds(doc) {
+                out.set(doc);
             }
         }
     }
@@ -258,6 +470,9 @@ pub struct Segment {
     name: String,
     schema: Schema,
     columns: BTreeMap<String, ColumnData>,
+    /// Schema field names interned once at build; every materialized row
+    /// shares these instead of cloning a `String` per cell.
+    field_names: Vec<Arc<str>>,
     doc_count: usize,
     inverted: HashMap<String, InvertedIndex>,
     range_idx: HashMap<String, RangeIndex>,
@@ -306,10 +521,16 @@ impl Segment {
             Some(st_spec) => Some(StarTree::build(&rows, st_spec)?),
             None => None,
         };
+        let field_names = schema
+            .fields
+            .iter()
+            .map(|f| Arc::from(f.name.as_str()))
+            .collect();
         Ok(Segment {
             name: name.into(),
             schema: schema.clone(),
             columns,
+            field_names,
             doc_count: n,
             inverted,
             range_idx,
@@ -361,9 +582,9 @@ impl Segment {
 
     /// Materialize one document.
     pub fn row_at(&self, doc: usize) -> Row {
-        let mut row = Row::with_capacity(self.columns.len());
-        for field in &self.schema.fields {
-            row.push(field.name.clone(), self.value_at(&field.name, doc));
+        let mut row = Row::with_capacity(self.field_names.len());
+        for name in &self.field_names {
+            row.push(Arc::clone(name), self.value_at(name, doc));
         }
         row
     }
@@ -426,6 +647,7 @@ impl Segment {
                 }
             }
         }
+        let compiled = CompiledPred::compile(col, pred);
         // 3. range index for numeric comparisons: candidates + verify
         if let Some(idx) = self.range_idx.get(&pred.column) {
             if let Some(v) = pred.value.as_double() {
@@ -434,22 +656,20 @@ impl Segment {
                 let cost = candidates.count() as u64;
                 let mut exact = Bitmap::new(self.doc_count);
                 for doc in candidates.iter() {
-                    if predicate_holds(col, doc, pred) {
+                    if compiled.holds(doc) {
                         exact.set(doc);
                     }
                 }
                 return Ok((exact, cost));
             }
         }
-        // 4. columnar scan over currently-selected docs
+        // 4. batch columnar scan over runs of currently-selected docs
         let mut bm = Bitmap::new(self.doc_count);
         let mut cost = 0u64;
-        for doc in current.iter() {
-            cost += 1;
-            if predicate_holds(col, doc, pred) {
-                bm.set(doc);
-            }
-        }
+        current.for_each_run(|from, to| {
+            cost += (to - from) as u64;
+            compiled.eval_range(from, to, &mut bm);
+        });
         Ok((bm, cost))
     }
 
@@ -498,23 +718,34 @@ impl Segment {
         if let Some(valid) = valid_docs {
             selected.and_with(valid);
         }
+        let mut docs: Vec<u32> = Vec::new();
+        selected.collect_into(&mut docs);
+        // late materialization: resolve projected columns and interned
+        // names once, then emit rows only for the selected docs
+        let select_names: Vec<Arc<str>>;
+        let names: &[Arc<str>] = if query.select.is_empty() {
+            &self.field_names
+        } else {
+            select_names = query.select.iter().map(|s| Arc::from(s.as_str())).collect();
+            &select_names
+        };
+        let cols: Vec<Option<&ColumnData>> =
+            names.iter().map(|n| self.columns.get(n.as_ref())).collect();
         let mut result = QueryResult {
-            rows: Vec::new(),
-            docs_scanned: scanned,
+            rows: Vec::with_capacity(docs.len()),
+            docs_scanned: scanned + docs.len() as u64,
             segments_queried: 1,
             used_startree: false,
         };
-        for doc in selected.iter() {
-            result.docs_scanned += 1;
-            let row = if query.select.is_empty() {
-                self.row_at(doc)
-            } else {
-                let mut row = Row::with_capacity(query.select.len());
-                for c in &query.select {
-                    row.push(c.clone(), self.value_at(c, doc));
-                }
-                row
-            };
+        for &d in &docs {
+            let doc = d as usize;
+            let mut row = Row::with_capacity(names.len());
+            for (name, col) in names.iter().zip(&cols) {
+                row.push(
+                    Arc::clone(name),
+                    col.map_or(Value::Null, |c| c.value_at(doc)),
+                );
+            }
             result.rows.push(row);
         }
         sort_and_limit(&mut result.rows, &query.order_by, query.limit);
@@ -545,8 +776,10 @@ impl Segment {
         if let Some(valid) = valid_docs {
             selected.and_with(valid);
         }
+        let mut docs: Vec<u32> = Vec::new();
+        selected.collect_into(&mut docs);
         let mut partial = crate::query::PartialAgg {
-            docs_scanned: scanned,
+            docs_scanned: scanned + docs.len() as u64,
             ..Default::default()
         };
         // resolve each aggregation to a direct columnar fold — Pinot-style
@@ -556,28 +789,28 @@ impl Segment {
             .iter()
             .map(|(_, f)| self.resolve_agg(f))
             .collect();
+        let num_slots = resolved.len();
 
         if query.group_by.is_empty() {
-            let mut accs: Vec<AggAcc> = query
-                .aggregations
-                .iter()
-                .map(|(_, f)| f.new_acc())
-                .collect();
-            let mut any = false;
-            for doc in selected.iter() {
-                any = true;
-                partial.docs_scanned += 1;
-                fold_resolved(&resolved, doc, &mut accs);
-            }
-            if any {
+            if !docs.is_empty() {
+                let mut accs: Vec<AggAcc> = query
+                    .aggregations
+                    .iter()
+                    .map(|(_, f)| f.new_acc())
+                    .collect();
+                for (r, acc) in resolved.iter().zip(&mut accs) {
+                    fold_column(r, &docs, acc);
+                }
                 partial.groups.insert(Vec::new(), accs);
             }
             return Ok(partial);
         }
 
-        // fast group path: every group column is dictionary-encoded, so the
-        // group key is a packed tuple of dict ids (u32::MAX = NULL) and the
-        // key strings are only materialized once per group at the end
+        // fast group path: every group column is dictionary-encoded, so
+        // group ids are interned from packed dict ids (u32::MAX = NULL) and
+        // key strings are only materialized once per group at the end; the
+        // accumulators live in one flat `[group * num_slots + slot]` vector
+        // so the per-slot folds stream through a contiguous buffer
         let dict_cols: Option<Vec<&ColumnData>> = query
             .group_by
             .iter()
@@ -587,33 +820,75 @@ impl Segment {
             })
             .collect();
         if let (Some(cols), true) = (&dict_cols, query.group_by.len() <= 4) {
-            let mut groups: HashMap<u128, Vec<AggAcc>> = HashMap::new();
-            for doc in selected.iter() {
-                partial.docs_scanned += 1;
-                let mut key: u128 = 0;
-                for col in cols {
-                    let id = match col {
-                        ColumnData::Str { ids, nulls, .. } => {
-                            if nulls.get(doc) {
-                                u32::MAX
-                            } else {
-                                ids[doc]
-                            }
-                        }
-                        _ => unreachable!("checked above"),
+            let new_group = |group_keys: &mut Vec<u128>, accs: &mut Vec<AggAcc>, key: u128| {
+                let gid = group_keys.len() as u32;
+                group_keys.push(key);
+                accs.extend(query.aggregations.iter().map(|(_, f)| f.new_acc()));
+                gid
+            };
+            let mut group_keys: Vec<u128> = Vec::new();
+            let mut accs: Vec<AggAcc> = Vec::new();
+            // per-doc dense group id, parallel to `docs`
+            let mut gids: Vec<u32> = Vec::with_capacity(docs.len());
+            if let [ColumnData::Str {
+                dict, ids, nulls, ..
+            }] = cols.as_slice()
+            {
+                // single column: a direct dict-id -> group-id table replaces
+                // hashing entirely (slot dict.len() holds NULL)
+                let mut gid_of: Vec<u32> = vec![u32::MAX; dict.len() + 1];
+                for &d in &docs {
+                    let doc = d as usize;
+                    let id = if nulls.get(doc) {
+                        dict.len()
+                    } else {
+                        ids[doc] as usize
                     };
-                    key = (key << 32) | id as u128;
+                    let gid = if gid_of[id] == u32::MAX {
+                        let key = if id == dict.len() {
+                            u32::MAX
+                        } else {
+                            id as u32
+                        };
+                        let gid = new_group(&mut group_keys, &mut accs, key as u128);
+                        gid_of[id] = gid;
+                        gid
+                    } else {
+                        gid_of[id]
+                    };
+                    gids.push(gid);
                 }
-                let accs = groups.entry(key).or_insert_with(|| {
-                    query
-                        .aggregations
-                        .iter()
-                        .map(|(_, f)| f.new_acc())
-                        .collect()
-                });
-                fold_resolved(&resolved, doc, accs);
+            } else {
+                // multi-column: intern the packed key through an FNV map
+                // (integer keys; SipHash would dominate the loop)
+                let mut intern: HashMap<u128, u32, FnvBuildHasher> = HashMap::default();
+                for &d in &docs {
+                    let doc = d as usize;
+                    let mut key: u128 = 0;
+                    for col in cols {
+                        let id = match col {
+                            ColumnData::Str { ids, nulls, .. } => {
+                                if nulls.get(doc) {
+                                    u32::MAX
+                                } else {
+                                    ids[doc]
+                                }
+                            }
+                            _ => unreachable!("checked above"),
+                        };
+                        key = (key << 32) | id as u128;
+                    }
+                    let gid = *intern
+                        .entry(key)
+                        .or_insert_with(|| new_group(&mut group_keys, &mut accs, key));
+                    gids.push(gid);
+                }
             }
-            for (key, accs) in groups {
+            for (slot, r) in resolved.iter().enumerate() {
+                fold_column_grouped(r, &docs, &gids, num_slots, slot, &mut accs);
+            }
+            let mut acc_iter = accs.into_iter();
+            for key in group_keys {
                 let mut parts = Vec::with_capacity(cols.len());
                 for (i, col) in cols.iter().enumerate() {
                     let shift = 32 * (cols.len() - 1 - i);
@@ -627,14 +902,16 @@ impl Segment {
                     };
                     parts.push(part);
                 }
-                partial.groups.insert(parts, accs);
+                partial
+                    .groups
+                    .insert(parts, acc_iter.by_ref().take(num_slots).collect());
             }
             return Ok(partial);
         }
 
         // general path: stringified group keys (None for NULL values)
-        for doc in selected.iter() {
-            partial.docs_scanned += 1;
+        for &d in &docs {
+            let doc = d as usize;
             let key: crate::query::GroupKey = query
                 .group_by
                 .iter()
@@ -708,6 +985,156 @@ fn fold_resolved(resolved: &[ResolvedAgg<'_>], doc: usize, accs: &mut [AggAcc]) 
     }
 }
 
+/// Fold one aggregation slot over all selected docs (global aggregation):
+/// the variant dispatch happens once per slot, not once per document.
+fn fold_column(r: &ResolvedAgg<'_>, docs: &[u32], acc: &mut AggAcc) {
+    match r {
+        ResolvedAgg::CountAll => {
+            if let AggAcc::Count(n) = acc {
+                *n += docs.len() as u64;
+            } else {
+                for _ in docs {
+                    acc.add_one();
+                }
+            }
+        }
+        ResolvedAgg::Num(col) => match col {
+            ColumnData::Int { values, nulls } => {
+                for &d in docs {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        acc.add_num(values[doc] as f64);
+                    }
+                }
+            }
+            ColumnData::Double { values, nulls } => {
+                for &d in docs {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        acc.add_num(values[doc]);
+                    }
+                }
+            }
+            _ => {
+                for &d in docs {
+                    if let Some(v) = col.double_at(d as usize) {
+                        acc.add_num(v);
+                    }
+                }
+            }
+        },
+        ResolvedAgg::Distinct(col) => match col {
+            ColumnData::Str { dict, ids, nulls } => {
+                // hash each dictionary entry once, not once per document
+                let hashes: Vec<u64> = dict.iter().map(|s| Value::hash_of_str(s)).collect();
+                for &d in docs {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        acc.add_hash(hashes[ids[doc] as usize]);
+                    }
+                }
+            }
+            _ => {
+                for &d in docs {
+                    if let Some(h) = col.hash_at(d as usize) {
+                        acc.add_hash(h);
+                    }
+                }
+            }
+        },
+        ResolvedAgg::Missing => {}
+    }
+}
+
+/// Grouped variant of [`fold_column`]: `gids[i]` is the dense group id of
+/// `docs[i]`, and the accumulator for (group, slot) lives at
+/// `accs[group * num_slots + slot]`.
+fn fold_column_grouped(
+    r: &ResolvedAgg<'_>,
+    docs: &[u32],
+    gids: &[u32],
+    num_slots: usize,
+    slot: usize,
+    accs: &mut [AggAcc],
+) {
+    match r {
+        ResolvedAgg::CountAll => {
+            for &g in gids {
+                accs[g as usize * num_slots + slot].add_one();
+            }
+        }
+        ResolvedAgg::Num(col) => match col {
+            ColumnData::Int { values, nulls } => {
+                for (&d, &g) in docs.iter().zip(gids) {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        accs[g as usize * num_slots + slot].add_num(values[doc] as f64);
+                    }
+                }
+            }
+            ColumnData::Double { values, nulls } => {
+                for (&d, &g) in docs.iter().zip(gids) {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        accs[g as usize * num_slots + slot].add_num(values[doc]);
+                    }
+                }
+            }
+            _ => {
+                for (&d, &g) in docs.iter().zip(gids) {
+                    if let Some(v) = col.double_at(d as usize) {
+                        accs[g as usize * num_slots + slot].add_num(v);
+                    }
+                }
+            }
+        },
+        ResolvedAgg::Distinct(col) => match col {
+            ColumnData::Str { dict, ids, nulls } => {
+                let hashes: Vec<u64> = dict.iter().map(|s| Value::hash_of_str(s)).collect();
+                for (&d, &g) in docs.iter().zip(gids) {
+                    let doc = d as usize;
+                    if !nulls.get(doc) {
+                        accs[g as usize * num_slots + slot].add_hash(hashes[ids[doc] as usize]);
+                    }
+                }
+            }
+            _ => {
+                for (&d, &g) in docs.iter().zip(gids) {
+                    if let Some(h) = col.hash_at(d as usize) {
+                        accs[g as usize * num_slots + slot].add_hash(h);
+                    }
+                }
+            }
+        },
+        ResolvedAgg::Missing => {}
+    }
+}
+
+/// FNV-1a over the packed group key — the interning map sits in the
+/// hottest group-by loop and SipHash costs more than the fold itself.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
 fn partition_point(n: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
     let mut lo = 0;
     let mut hi = n;
@@ -732,22 +1159,6 @@ fn exclude_nulls(col: &ColumnData, bm: &mut Bitmap) {
     let mut inv = nulls.clone();
     inv.not_inplace();
     bm.and_with(&inv);
-}
-
-fn predicate_holds(col: &ColumnData, doc: usize, pred: &Predicate) -> bool {
-    let v = col.value_at(doc);
-    if v.is_null() {
-        return false;
-    }
-    let ord = v.total_cmp(&pred.value);
-    match pred.op {
-        PredicateOp::Eq => ord == std::cmp::Ordering::Equal,
-        PredicateOp::Ne => ord != std::cmp::Ordering::Equal,
-        PredicateOp::Lt => ord == std::cmp::Ordering::Less,
-        PredicateOp::Le => ord != std::cmp::Ordering::Greater,
-        PredicateOp::Gt => ord == std::cmp::Ordering::Greater,
-        PredicateOp::Ge => ord != std::cmp::Ordering::Less,
-    }
 }
 
 fn build_column(field: &rtdi_common::Field, rows: &[Row]) -> Result<ColumnData> {

@@ -38,6 +38,9 @@ pub struct TableConfig {
     pub segment_rows: usize,
     /// Realtime ingestion partitions (must match the input topic).
     pub partitions: usize,
+    /// Worker threads for scattering sealed/offline segment scans
+    /// (0 = one per available core). Small tables always scan serially.
+    pub query_threads: usize,
 }
 
 impl TableConfig {
@@ -51,7 +54,13 @@ impl TableConfig {
             primary_key: None,
             segment_rows: 100_000,
             partitions: 4,
+            query_threads: 0,
         }
+    }
+
+    pub fn with_query_threads(mut self, n: usize) -> Self {
+        self.query_threads = n;
+        self
     }
 
     pub fn with_index_spec(mut self, spec: IndexSpec) -> Self {
@@ -301,42 +310,13 @@ impl OlapTable {
         }
     }
 
-    /// Execute a query across every live segment (scatter-gather-merge).
-    pub fn query(&self, query: &Query) -> Result<QueryResult> {
-        let mut segments_queried = 0u64;
-        let mut docs_scanned = 0u64;
-        let mut used_startree = false;
-
-        if query.is_aggregation() {
-            let mut merged = PartialAgg::default();
-            self.for_each_segment(query, |part| {
-                segments_queried += 1;
-                docs_scanned += part.docs_scanned;
-                used_startree |= part.used_startree;
-                merged.merge(part, query);
-            })?;
-            return Ok(QueryResult {
-                rows: merged.finalize(query),
-                docs_scanned,
-                segments_queried,
-                used_startree,
-            });
-        }
-
-        // selection: concatenate, then a final sort/limit
-        let mut rows = Vec::new();
+    /// Sealed + offline segments a query must visit, with their upsert
+    /// valid-doc sets snapshotted under brief partition read locks — the
+    /// scatter phase then runs lock-free across worker threads.
+    fn scan_tasks(&self, query: &Query) -> Vec<(Arc<Segment>, Option<Bitmap>)> {
+        let mut tasks = Vec::new();
         for state in &self.partitions {
             let st = state.read();
-            let consuming_name = st.consuming.name().to_string();
-            let valid = if self.config.upsert {
-                st.pk_index.valid_docs(&consuming_name).cloned()
-            } else {
-                None
-            };
-            let r = st.consuming.execute(query, valid.as_ref())?;
-            segments_queried += 1;
-            docs_scanned += r.docs_scanned;
-            rows.extend(r.rows);
             for seg in &st.sealed {
                 if self.prunable(query, seg) {
                     continue;
@@ -346,17 +326,93 @@ impl OlapTable {
                 } else {
                     None
                 };
-                let r = seg.execute(query, valid.as_ref())?;
-                segments_queried += 1;
-                docs_scanned += r.docs_scanned;
-                rows.extend(r.rows);
+                tasks.push((seg.clone(), valid));
             }
         }
         for seg in self.offline.read().iter() {
             if self.prunable(query, seg) {
                 continue;
             }
-            let r = seg.execute(query, None)?;
+            tasks.push((seg.clone(), None));
+        }
+        tasks
+    }
+
+    /// Worker count for a scatter over `tasks`: tiny tables stay serial —
+    /// thread spawn costs more than the scan below ~8k docs.
+    fn scatter_threads(&self, tasks: &[(Arc<Segment>, Option<Bitmap>)]) -> usize {
+        const SERIAL_DOC_THRESHOLD: usize = 8192;
+        let total_docs: usize = tasks.iter().map(|(s, _)| s.doc_count()).sum();
+        if tasks.len() <= 1 || total_docs < SERIAL_DOC_THRESHOLD {
+            1
+        } else {
+            self.config.query_threads
+        }
+    }
+
+    /// Execute a query across every live segment (scatter-gather-merge).
+    /// Consuming (mutable) segments execute serially under their partition
+    /// locks; sealed and offline segments scatter across the worker pool.
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        let mut segments_queried = 0u64;
+        let mut docs_scanned = 0u64;
+        let mut used_startree = false;
+
+        if query.is_aggregation() {
+            let mut merged = PartialAgg::default();
+            for state in &self.partitions {
+                let st = state.read();
+                let valid: Option<Bitmap> = if self.config.upsert {
+                    st.pk_index.valid_docs(st.consuming.name()).cloned()
+                } else {
+                    None
+                };
+                let part = st.consuming.execute_partial(query, valid.as_ref())?;
+                segments_queried += 1;
+                docs_scanned += part.docs_scanned;
+                merged.merge(part, query);
+            }
+            let tasks = self.scan_tasks(query);
+            let parts = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
+                let (seg, valid) = &tasks[i];
+                seg.execute_partial(query, valid.as_ref())
+            });
+            for part in parts {
+                let part = part?;
+                segments_queried += 1;
+                docs_scanned += part.docs_scanned;
+                used_startree |= part.used_startree;
+                merged.merge(part, query);
+            }
+            return Ok(QueryResult {
+                rows: merged.finalize(query),
+                docs_scanned,
+                segments_queried,
+                used_startree,
+            });
+        }
+
+        // selection: concatenate in task order, then a final sort/limit
+        let mut rows = Vec::new();
+        for state in &self.partitions {
+            let st = state.read();
+            let valid = if self.config.upsert {
+                st.pk_index.valid_docs(st.consuming.name()).cloned()
+            } else {
+                None
+            };
+            let r = st.consuming.execute(query, valid.as_ref())?;
+            segments_queried += 1;
+            docs_scanned += r.docs_scanned;
+            rows.extend(r.rows);
+        }
+        let tasks = self.scan_tasks(query);
+        let results = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
+            let (seg, valid) = &tasks[i];
+            seg.execute(query, valid.as_ref())
+        });
+        for r in results {
+            let r = r?;
             segments_queried += 1;
             docs_scanned += r.docs_scanned;
             rows.extend(r.rows);
@@ -368,37 +424,6 @@ impl OlapTable {
             segments_queried,
             used_startree,
         })
-    }
-
-    fn for_each_segment(&self, query: &Query, mut f: impl FnMut(PartialAgg)) -> Result<()> {
-        for state in &self.partitions {
-            let st = state.read();
-            let consuming_name = st.consuming.name().to_string();
-            let valid: Option<Bitmap> = if self.config.upsert {
-                st.pk_index.valid_docs(&consuming_name).cloned()
-            } else {
-                None
-            };
-            f(st.consuming.execute_partial(query, valid.as_ref())?);
-            for seg in &st.sealed {
-                if self.prunable(query, seg) {
-                    continue;
-                }
-                let valid = if self.config.upsert {
-                    st.pk_index.valid_docs(seg.name()).cloned()
-                } else {
-                    None
-                };
-                f(seg.execute_partial(query, valid.as_ref())?);
-            }
-        }
-        for seg in self.offline.read().iter() {
-            if self.prunable(query, seg) {
-                continue;
-            }
-            f(seg.execute_partial(query, None)?);
-        }
-        Ok(())
     }
 
     /// Latest value of a column for a primary key (upsert tables): the
@@ -625,6 +650,45 @@ mod tests {
         table.restore_sealed(0, seg);
         assert_eq!(table.query(&q).unwrap().rows[0].get_int("n"), Some(20));
         assert!(table.evict_sealed(0, "ghost").is_err());
+    }
+
+    #[test]
+    fn parallel_table_scatter_matches_serial() {
+        // enough docs to clear the serial threshold so workers really run
+        let mk = |threads: usize| {
+            let table = OlapTable::new(
+                TableConfig::new("trips", schema())
+                    .with_index_spec(IndexSpec::none().with_inverted(&["city"]))
+                    .with_time_column("ts")
+                    .with_segment_rows(2000)
+                    .with_partitions(2)
+                    .with_query_threads(threads),
+            )
+            .unwrap();
+            for i in 0..12_000 {
+                table.ingest(i % 2, trip(i)).unwrap();
+            }
+            table.seal_all().unwrap();
+            table
+        };
+        let serial = mk(1);
+        let parallel = mk(3);
+        let queries = vec![
+            Query::select_all("trips")
+                .aggregate("n", AggFn::Count)
+                .aggregate("avg_fare", AggFn::Avg("fare".into()))
+                .group(&["city"]),
+            Query::select_all("trips")
+                .columns(&["trip_id", "ts"])
+                .filter(Predicate::new("ts", PredicateOp::Ge, 1_000_000i64))
+                .order("ts", crate::query::SortOrder::Desc)
+                .limit(9),
+        ];
+        for q in queries {
+            let a = serial.query(&q).unwrap();
+            let b = parallel.query(&q).unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl DeadLetterQueue {
     pub fn peek(&self, max: usize) -> Vec<Record> {
         let log = self.dlq.partition(0).expect("partition 0");
         log.fetch(log.log_start_offset(), max)
-            .map(|f| f.records.into_iter().map(|r| r.record).collect())
+            .map(|f| f.records.into_iter().map(|r| r.into_record()).collect())
             .unwrap_or_default()
     }
 
@@ -87,7 +87,7 @@ impl DeadLetterQueue {
             }
             let count = fetch.records.len();
             for rec in fetch.records {
-                let mut record = rec.record;
+                let mut record = rec.into_record();
                 record.headers.set(headers::ATTEMPTS, "0");
                 endpoint.send(&self.source_topic, record, now)?;
             }

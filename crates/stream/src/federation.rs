@@ -233,7 +233,7 @@ impl FederatedCluster {
                     // reuse event time as append time so time-based
                     // retention behaves consistently on the destination
                     let now = rec.record.timestamp;
-                    dst_log.append(rec.record, now);
+                    dst_log.append(rec.into_record(), now);
                 }
             }
         }

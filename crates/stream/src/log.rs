@@ -8,12 +8,22 @@
 use parking_lot::RwLock;
 use rtdi_common::{Error, Record, Result, Timestamp};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// A record paired with its log offset.
+/// A record paired with its log offset. The record is shared with the
+/// log's own storage (and every other consumer fetching the same offset),
+/// so a fetch costs an `Arc` bump per record instead of a deep clone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OffsetRecord {
     pub offset: u64,
-    pub record: Record,
+    pub record: Arc<Record>,
+}
+
+impl OffsetRecord {
+    /// Take ownership of the record, cloning only if other holders remain.
+    pub fn into_record(self) -> Record {
+        Arc::try_unwrap(self.record).unwrap_or_else(|a| (*a).clone())
+    }
 }
 
 /// Result of a fetch: records plus the high watermark (next offset to be
@@ -29,7 +39,7 @@ pub struct FetchResult {
 struct LogInner {
     /// Offset of `entries[0]`.
     base_offset: u64,
-    entries: VecDeque<(Timestamp, Record)>,
+    entries: VecDeque<(Timestamp, Arc<Record>)>,
     bytes: usize,
 }
 
@@ -61,7 +71,7 @@ impl PartitionLog {
         let mut inner = self.inner.write();
         let offset = inner.base_offset + inner.entries.len() as u64;
         inner.bytes += record.approx_bytes();
-        inner.entries.push_back((now, record));
+        inner.entries.push_back((now, Arc::new(record)));
         self.enforce_retention(&mut inner, now);
         offset
     }
@@ -70,9 +80,10 @@ impl PartitionLog {
     pub fn append_batch(&self, records: Vec<Record>, now: Timestamp) -> u64 {
         let mut inner = self.inner.write();
         let first = inner.base_offset + inner.entries.len() as u64;
+        inner.entries.reserve(records.len());
         for r in records {
             inner.bytes += r.approx_bytes();
-            inner.entries.push_back((now, r));
+            inner.entries.push_back((now, Arc::new(r)));
         }
         self.enforce_retention(&mut inner, now);
         first
@@ -126,7 +137,7 @@ impl PartitionLog {
             .enumerate()
             .map(|(i, (_, r))| OffsetRecord {
                 offset: offset + i as u64,
-                record: r.clone(),
+                record: Arc::clone(r),
             })
             .collect();
         Ok(FetchResult {
@@ -204,7 +215,7 @@ impl PartitionLog {
                 let (_, r) = inner.entries.pop_front().expect("front checked");
                 inner.bytes -= r.approx_bytes();
                 inner.base_offset += 1;
-                out.push(r);
+                out.push(Arc::try_unwrap(r).unwrap_or_else(|a| (*a).clone()));
             } else {
                 break;
             }

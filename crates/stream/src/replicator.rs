@@ -297,7 +297,7 @@ impl Replicator {
                 }
                 for rec in fetch.records {
                     let src_offset = rec.offset;
-                    let dst_offset = dst.append_to(p, rec.record, now)?;
+                    let dst_offset = dst.append_to(p, rec.into_record(), now)?;
                     pos = src_offset + 1;
                     copied += 1;
                     since_checkpoint += 1;

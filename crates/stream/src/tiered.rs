@@ -108,7 +108,7 @@ impl TieredLog {
             .take(max)
             .map(|(i, record)| OffsetRecord {
                 offset: chunk.base_offset + i as u64,
-                record,
+                record: std::sync::Arc::new(record),
             })
             .collect();
         Ok(FetchResult {
