@@ -8,3 +8,21 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo bench --workspace --no-run
 cargo fmt --check
+
+# Chaos determinism gate: the soak's recorded fault schedule must be
+# byte-identical between two separate processes for each fixed seed.
+for seed in 0xA11CE 0xB0B5EED 0xC4A05C4; do
+  run_soak() {
+    RTDI_CHAOS_SEED="$seed" cargo test -q --test chaos_soak \
+      soak_env_seed_prints_schedule -- --nocapture --test-threads=1 |
+      grep '^CHAOS_SUMMARY'
+  }
+  a="$(run_soak)"
+  b="$(run_soak)"
+  if [ "$a" != "$b" ]; then
+    echo "chaos soak diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "chaos soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) schedule lines)"
+done

@@ -1,0 +1,763 @@
+//! Deterministic chaos injection and unified retry policies.
+//!
+//! The paper's reliability story is spread across every layer: consumer
+//! proxy retries with DLQ hand-off (§4.1.2), Flink checkpoint recovery
+//! (§4.4), Pinot peer-to-peer segment recovery (§4.3.4) and cross-region
+//! failover (§6). This module gives the whole stack one coherent fault
+//! model instead of per-crate one-off injectors:
+//!
+//! - a process-wide [`FaultRegistry`] where named [`FaultPoint`]s can be
+//!   armed with a [`FaultPlan`] (error kind, probability or every-Nth
+//!   trigger, latency injection, burst windows);
+//! - the [`fault_point!`] macro threaded through the stream, compute,
+//!   olap, storage and multiregion crates;
+//! - a shared [`RetryPolicy`]: exponential backoff with deterministic
+//!   jitter, an attempt budget, and retry classification via
+//!   [`Error::is_retryable`].
+//!
+//! Everything is deterministic: fault decisions come from a seeded
+//! SplitMix64 stream per fault point (never the wall clock), so the same
+//! seed always yields a byte-identical fault schedule
+//! ([`schedule_summary`]). The disarmed fast path is a single relaxed
+//! atomic load per check — cheap enough to leave compiled into the hot
+//! paths (benchmarked by E01/E10 against the pre-chaos baselines).
+
+use crate::error::{Error, Result};
+use parking_lot::{Mutex, MutexGuard};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Named places in the stack where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Broker-edge append (producer / DLQ merge -> stream).
+    StreamAppend,
+    /// Broker-edge fetch (consumers, ingesters).
+    StreamFetch,
+    /// Consumer-proxy dispatch to the downstream service.
+    ProxyDispatch,
+    /// Staged-runtime channel hop between operators.
+    ComputeChannel,
+    /// Operator-chain record processing (replaces the old hard-coded
+    /// "injected crash" operator).
+    ComputeProcess,
+    /// OLAP server serving a segment to the broker or to a recovering
+    /// peer.
+    OlapSegmentServe,
+    /// Object-store writes (checkpoints, archival, segment backup).
+    StorageObjectPut,
+    /// Object-store reads (recovery, backfill).
+    StorageObjectGet,
+    /// One replication route run of uReplicator.
+    MultiregionReplicate,
+}
+
+impl FaultPoint {
+    pub const ALL: [FaultPoint; 9] = [
+        FaultPoint::StreamAppend,
+        FaultPoint::StreamFetch,
+        FaultPoint::ProxyDispatch,
+        FaultPoint::ComputeChannel,
+        FaultPoint::ComputeProcess,
+        FaultPoint::OlapSegmentServe,
+        FaultPoint::StorageObjectPut,
+        FaultPoint::StorageObjectGet,
+        FaultPoint::MultiregionReplicate,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::StreamAppend => "stream.append",
+            FaultPoint::StreamFetch => "stream.fetch",
+            FaultPoint::ProxyDispatch => "proxy.dispatch",
+            FaultPoint::ComputeChannel => "compute.channel",
+            FaultPoint::ComputeProcess => "compute.process",
+            FaultPoint::OlapSegmentServe => "olap.segment_serve",
+            FaultPoint::StorageObjectPut => "storage.object_put",
+            FaultPoint::StorageObjectGet => "storage.object_get",
+            FaultPoint::MultiregionReplicate => "multiregion.replicate",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|p| *p == self).expect("in ALL")
+    }
+
+    fn bit(self) -> u64 {
+        1u64 << self.index()
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of [`Error`] an armed fault produces when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Unavailable,
+    Timeout,
+    ProcessingFailed,
+    Io,
+    Corruption,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::Timeout => "timeout",
+            FaultKind::ProcessingFailed => "processing_failed",
+            FaultKind::Io => "io",
+            FaultKind::Corruption => "corruption",
+        }
+    }
+
+    fn to_error(self, point: FaultPoint, fire: u64) -> Error {
+        let msg = format!("chaos: {} fault #{fire}", point.name());
+        match self {
+            FaultKind::Unavailable => Error::Unavailable(msg),
+            FaultKind::Timeout => Error::Timeout(msg),
+            FaultKind::ProcessingFailed => Error::ProcessingFailed(msg),
+            FaultKind::Io => Error::Io(msg),
+            FaultKind::Corruption => Error::Corruption(msg),
+        }
+    }
+}
+
+/// When an armed fault point fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every eligible check fires.
+    Always,
+    /// Every Nth eligible check fires (1 = every check).
+    EveryNth(u64),
+    /// Each eligible check fires with this probability, drawn from the
+    /// point's seeded SplitMix64 stream.
+    Probability(f64),
+}
+
+/// A plan describing how one fault point misbehaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Error produced on fire; `None` makes the plan latency-only.
+    pub kind: Option<FaultKind>,
+    pub trigger: Trigger,
+    /// Injected latency (microseconds of real sleep) on every fire.
+    pub latency_us: u64,
+    /// Burst window: checks before `skip_first` never fire; with
+    /// `burst_len = Some(n)`, only the `n` checks after `skip_first` are
+    /// eligible (hit counts, not wall time — deterministic).
+    pub skip_first: u64,
+    pub burst_len: Option<u64>,
+    /// Stop firing after this many fires (None = unlimited).
+    pub max_fires: Option<u64>,
+}
+
+impl FaultPlan {
+    pub fn fail(kind: FaultKind, trigger: Trigger) -> Self {
+        FaultPlan {
+            kind: Some(kind),
+            trigger,
+            latency_us: 0,
+            skip_first: 0,
+            burst_len: None,
+            max_fires: None,
+        }
+    }
+
+    /// Latency-only plan: every trigger fire sleeps, nothing errors.
+    pub fn delay(latency_us: u64, trigger: Trigger) -> Self {
+        FaultPlan {
+            kind: None,
+            trigger,
+            latency_us,
+            skip_first: 0,
+            burst_len: None,
+            max_fires: None,
+        }
+    }
+
+    pub fn with_latency_us(mut self, us: u64) -> Self {
+        self.latency_us = us;
+        self
+    }
+
+    /// Fire only inside the hit-count window `[skip_first, skip_first+len)`.
+    pub fn with_burst(mut self, skip_first: u64, len: Option<u64>) -> Self {
+        self.skip_first = skip_first;
+        self.burst_len = len;
+        self
+    }
+
+    pub fn with_max_fires(mut self, n: u64) -> Self {
+        self.max_fires = Some(n);
+        self
+    }
+}
+
+/// One fired fault, recorded in hit order for schedule comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub point: FaultPoint,
+    /// 1-based check number at this point since it was armed.
+    pub hit: u64,
+    pub kind: Option<FaultKind>,
+    pub latency_us: u64,
+}
+
+/// Deterministic SplitMix64 PRNG (the PCG-family seeder); no wall-clock
+/// anywhere near it.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+struct PlanState {
+    plan: FaultPlan,
+    hits: u64,
+    fires: u64,
+    rng: SplitMix64,
+}
+
+struct Inner {
+    seed: u64,
+    plans: [Option<PlanState>; FaultPoint::ALL.len()],
+    events: Vec<FaultEvent>,
+}
+
+const MAX_RECORDED_EVENTS: usize = 100_000;
+
+/// Process-wide registry of armed fault points.
+pub struct FaultRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// Bitmask of currently armed fault points. Module-level so the disarmed
+/// fast path is exactly one relaxed atomic load, with no `OnceLock`
+/// indirection in front of it.
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+static REGISTRY: OnceLock<FaultRegistry> = OnceLock::new();
+
+/// Serializes tests that arm the global registry (unit and integration
+/// tests run concurrently inside one binary).
+static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+impl FaultRegistry {
+    fn new() -> Self {
+        FaultRegistry {
+            inner: Mutex::new(Inner {
+                seed: 0,
+                plans: Default::default(),
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// Re-seed and disarm everything; the fault schedule restarts from a
+    /// clean, reproducible state.
+    pub fn reset(&self, seed: u64) {
+        let mut inner = self.inner.lock();
+        ARMED.store(0, Ordering::SeqCst);
+        inner.seed = seed;
+        inner.plans = Default::default();
+        inner.events.clear();
+    }
+
+    /// Arm a fault point. The point's decision stream is seeded from the
+    /// registry seed and the point's identity, so concurrent activity at
+    /// *other* points cannot perturb this one's schedule.
+    pub fn arm(&self, point: FaultPoint, plan: FaultPlan) {
+        let mut inner = self.inner.lock();
+        let seed = inner.seed;
+        let point_seed =
+            SplitMix64::new(seed ^ (point.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F))
+                .next_u64();
+        inner.plans[point.index()] = Some(PlanState {
+            plan,
+            hits: 0,
+            fires: 0,
+            rng: SplitMix64::new(point_seed),
+        });
+        ARMED.fetch_or(point.bit(), Ordering::SeqCst);
+    }
+
+    pub fn disarm(&self, point: FaultPoint) {
+        let mut inner = self.inner.lock();
+        inner.plans[point.index()] = None;
+        ARMED.fetch_and(!point.bit(), Ordering::SeqCst);
+    }
+
+    pub fn disarm_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.plans = Default::default();
+        ARMED.store(0, Ordering::SeqCst);
+    }
+
+    pub fn is_armed(&self, point: FaultPoint) -> bool {
+        ARMED.load(Ordering::SeqCst) & point.bit() != 0
+    }
+
+    /// (checks seen, faults fired) at a point since it was armed.
+    pub fn stats(&self, point: FaultPoint) -> (u64, u64) {
+        let inner = self.inner.lock();
+        inner.plans[point.index()]
+            .as_ref()
+            .map(|s| (s.hits, s.fires))
+            .unwrap_or((0, 0))
+    }
+
+    /// The full fired-fault schedule, one line per event, in hit order.
+    /// Two runs under the same seed and workload produce byte-identical
+    /// summaries — the CI determinism gate diffs this.
+    pub fn schedule_summary(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        out.push_str(&format!("seed={}\n", inner.seed));
+        for ev in &inner.events {
+            out.push_str(&format!(
+                "{} hit={} kind={} latency_us={}\n",
+                ev.point.name(),
+                ev.hit,
+                ev.kind.map(|k| k.name()).unwrap_or("delay"),
+                ev.latency_us,
+            ));
+        }
+        for p in FaultPoint::ALL {
+            if let Some(s) = &inner.plans[p.index()] {
+                out.push_str(&format!(
+                    "totals {} hits={} fires={}\n",
+                    p.name(),
+                    s.hits,
+                    s.fires
+                ));
+            }
+        }
+        out
+    }
+
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Slow path: the point is (or just was) armed. Decides, records and
+    /// (outside the lock) applies latency.
+    fn check_slow(&self, point: FaultPoint) -> Result<()> {
+        let (error, latency_us) = {
+            let mut inner = self.inner.lock();
+            let Some(state) = inner.plans[point.index()].as_mut() else {
+                // disarmed between the fast-path load and here
+                return Ok(());
+            };
+            state.hits += 1;
+            let hit = state.hits;
+            // burst window gate (hit counts, not wall time)
+            if hit <= state.plan.skip_first {
+                return Ok(());
+            }
+            if let Some(len) = state.plan.burst_len {
+                if hit > state.plan.skip_first + len {
+                    return Ok(());
+                }
+            }
+            if let Some(max) = state.plan.max_fires {
+                if state.fires >= max {
+                    return Ok(());
+                }
+            }
+            let fires = match state.plan.trigger {
+                Trigger::Always => true,
+                Trigger::EveryNth(n) => {
+                    let n = n.max(1);
+                    (hit - state.plan.skip_first).is_multiple_of(n)
+                }
+                Trigger::Probability(p) => state.rng.next_f64() < p,
+            };
+            if !fires {
+                return Ok(());
+            }
+            state.fires += 1;
+            let fire = state.fires;
+            let kind = state.plan.kind;
+            let latency_us = state.plan.latency_us;
+            if inner.events.len() < MAX_RECORDED_EVENTS {
+                inner.events.push(FaultEvent {
+                    point,
+                    hit,
+                    kind,
+                    latency_us,
+                });
+            }
+            (kind.map(|k| k.to_error(point, fire)), latency_us)
+        };
+        if latency_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency_us));
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static FaultRegistry {
+    REGISTRY.get_or_init(FaultRegistry::new)
+}
+
+/// Check a fault point. Disarmed cost: one relaxed atomic load.
+#[inline(always)]
+pub fn check(point: FaultPoint) -> Result<()> {
+    if ARMED.load(Ordering::Relaxed) & point.bit() == 0 {
+        return Ok(());
+    }
+    registry().check_slow(point)
+}
+
+/// Exclusive access for tests that arm the global registry; hold the
+/// guard for the whole test so concurrently running tests cannot see each
+/// other's fault plans.
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    TEST_GUARD.lock()
+}
+
+/// Early-return with the injected error if the fault point fires.
+#[macro_export]
+macro_rules! fault_point {
+    ($point:expr) => {
+        $crate::chaos::check($point)?
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Retries performed under any [`RetryPolicy`], process-wide — soak tests
+/// assert the total stays bounded.
+static RETRIES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub fn retries_total() -> u64 {
+    RETRIES_TOTAL.load(Ordering::Relaxed)
+}
+
+pub fn reset_retry_stats() {
+    RETRIES_TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Shared retry/backoff policy: exponential backoff with deterministic
+/// jitter and a hard attempt budget. Only errors classified retryable by
+/// [`Error::is_retryable`] are retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, microseconds.
+    pub base_delay_us: u64,
+    /// Backoff cap, microseconds.
+    pub max_delay_us: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Whether backoff actually sleeps (false in simulated-time tests;
+    /// schedules stay identical either way).
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(4)
+    }
+}
+
+impl RetryPolicy {
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay_us: 50,
+            max_delay_us: 5_000,
+            jitter_seed: 0x5EED_5EED_5EED_5EED,
+            sleep: true,
+        }
+    }
+
+    /// Same schedule arithmetic, no real sleeping.
+    pub fn no_sleep(mut self) -> Self {
+        self.sleep = false;
+        self
+    }
+
+    pub fn with_backoff_us(mut self, base: u64, max: u64) -> Self {
+        self.base_delay_us = base;
+        self.max_delay_us = max.max(base);
+        self
+    }
+
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Deterministic backoff before retry number `retry` (1-based):
+    /// exponential, capped, with half-width jitter drawn from SplitMix64
+    /// keyed by `(jitter_seed, retry)` — decorrelated but reproducible.
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        let exp = self
+            .base_delay_us
+            .saturating_mul(1u64 << (retry.saturating_sub(1)).min(20))
+            .min(self.max_delay_us);
+        let half = exp / 2;
+        if half == 0 {
+            return exp;
+        }
+        let jitter = SplitMix64::new(self.jitter_seed ^ retry as u64).next_u64() % (half + 1);
+        half + jitter
+    }
+
+    /// Run `op` under the policy. `op` receives the 1-based attempt
+    /// number. Non-retryable errors and budget exhaustion surface the last
+    /// error unchanged.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        self.run_with_attempts(&mut op).0
+    }
+
+    /// Like [`RetryPolicy::run`] but also reports how many attempts were
+    /// consumed.
+    pub fn run_with_attempts<T>(&self, op: &mut dyn FnMut(u32) -> Result<T>) -> (Result<T>, u32) {
+        let mut attempt = 1;
+        loop {
+            match op(attempt) {
+                Ok(v) => return (Ok(v), attempt),
+                Err(e) if e.is_retryable() && attempt < self.max_attempts => {
+                    RETRIES_TOTAL.fetch_add(1, Ordering::Relaxed);
+                    if self.sleep {
+                        let us = self.backoff_us(attempt);
+                        if us > 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(us));
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return (Err(e), attempt),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_well_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64());
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn disarmed_points_never_interfere() {
+        let _g = test_guard();
+        registry().reset(1);
+        for p in FaultPoint::ALL {
+            assert!(check(p).is_ok());
+            assert!(!registry().is_armed(p));
+        }
+        assert_eq!(registry().events().len(), 0);
+    }
+
+    #[test]
+    fn every_nth_fires_deterministically() {
+        let _g = test_guard();
+        registry().reset(7);
+        registry().arm(
+            FaultPoint::StreamAppend,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::EveryNth(3)),
+        );
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| check(FaultPoint::StreamAppend).is_err())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(registry().stats(FaultPoint::StreamAppend), (9, 3));
+        registry().disarm_all();
+    }
+
+    #[test]
+    fn probability_schedule_is_seed_stable() {
+        let _g = test_guard();
+        let run = |seed: u64| -> String {
+            registry().reset(seed);
+            registry().arm(
+                FaultPoint::StorageObjectPut,
+                FaultPlan::fail(FaultKind::Io, Trigger::Probability(0.3)),
+            );
+            for _ in 0..50 {
+                let _ = check(FaultPoint::StorageObjectPut);
+            }
+            let s = registry().schedule_summary();
+            registry().disarm_all();
+            s
+        };
+        assert_eq!(run(99), run(99), "same seed, same schedule");
+        assert_ne!(run(99), run(100), "different seed, different schedule");
+    }
+
+    #[test]
+    fn burst_window_and_max_fires_gate_firing() {
+        let _g = test_guard();
+        registry().reset(5);
+        registry().arm(
+            FaultPoint::ProxyDispatch,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::Always).with_burst(3, Some(2)),
+        );
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| check(FaultPoint::ProxyDispatch).is_err())
+            .collect();
+        // hits 1-3 skipped, 4-5 in window, 6+ past it
+        assert_eq!(
+            outcomes,
+            vec![false, false, false, true, true, false, false, false]
+        );
+        registry().arm(
+            FaultPoint::ProxyDispatch,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::Always).with_max_fires(2),
+        );
+        let fired = (0..10)
+            .filter(|_| check(FaultPoint::ProxyDispatch).is_err())
+            .count();
+        assert_eq!(fired, 2);
+        registry().disarm_all();
+    }
+
+    #[test]
+    fn latency_only_plan_returns_ok() {
+        let _g = test_guard();
+        registry().reset(11);
+        registry().arm(
+            FaultPoint::StreamFetch,
+            FaultPlan::delay(1, Trigger::Always),
+        );
+        assert!(check(FaultPoint::StreamFetch).is_ok());
+        let events = registry().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, None);
+        registry().disarm_all();
+    }
+
+    #[test]
+    fn error_kinds_map_to_error_variants() {
+        let _g = test_guard();
+        registry().reset(2);
+        let cases = [
+            (FaultKind::Unavailable, "unavailable"),
+            (FaultKind::Timeout, "timeout"),
+            (FaultKind::Corruption, "corruption"),
+        ];
+        for (kind, _) in cases {
+            registry().arm(
+                FaultPoint::MultiregionReplicate,
+                FaultPlan::fail(kind, Trigger::Always),
+            );
+            let err = check(FaultPoint::MultiregionReplicate).unwrap_err();
+            match kind {
+                FaultKind::Unavailable => assert!(matches!(err, Error::Unavailable(_))),
+                FaultKind::Timeout => assert!(matches!(err, Error::Timeout(_))),
+                FaultKind::Corruption => assert!(matches!(err, Error::Corruption(_))),
+                _ => {}
+            }
+            assert!(err.to_string().contains("multiregion.replicate"));
+        }
+        registry().disarm_all();
+    }
+
+    #[test]
+    fn retry_policy_respects_budget_and_classification() {
+        let policy = RetryPolicy::new(3).no_sleep();
+        // transient failure resolved within budget
+        let mut calls = 0;
+        let out = policy.run(|attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err(Error::Unavailable("x".into()))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(calls, 3);
+        // budget exhausted -> last error surfaces
+        let (res, attempts) =
+            policy.run_with_attempts(&mut |_| Err::<(), _>(Error::Timeout("t".into())));
+        assert!(matches!(res, Err(Error::Timeout(_))));
+        assert_eq!(attempts, 3);
+        // non-retryable fails immediately
+        let (res, attempts) =
+            policy.run_with_attempts(&mut |_| Err::<(), _>(Error::Corruption("c".into())));
+        assert!(matches!(res, Err(Error::Corruption(_))));
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy::new(8).with_backoff_us(100, 1_000);
+        let seq: Vec<u64> = (1..=6).map(|r| p.backoff_us(r)).collect();
+        assert_eq!(seq, (1..=6).map(|r| p.backoff_us(r)).collect::<Vec<_>>());
+        // each backoff sits in [exp/2, exp]
+        for (i, b) in seq.iter().enumerate() {
+            let exp = (100u64 << i).min(1_000);
+            assert!(*b >= exp / 2 && *b <= exp, "retry {} backoff {b}", i + 1);
+        }
+        // capped at max
+        assert!(p.backoff_us(20) <= 1_000);
+    }
+
+    #[test]
+    fn fault_point_macro_early_returns() {
+        let _g = test_guard();
+        registry().reset(3);
+        fn guarded() -> Result<u32> {
+            fault_point!(FaultPoint::ComputeProcess);
+            Ok(7)
+        }
+        assert_eq!(guarded().unwrap(), 7);
+        registry().arm(
+            FaultPoint::ComputeProcess,
+            FaultPlan::fail(FaultKind::ProcessingFailed, Trigger::Always),
+        );
+        assert!(matches!(guarded(), Err(Error::ProcessingFailed(_))));
+        registry().disarm_all();
+    }
+}

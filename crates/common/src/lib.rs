@@ -10,6 +10,7 @@
 //! dependencies on the rest of the stack.
 
 pub mod agg;
+pub mod chaos;
 pub mod error;
 pub mod json;
 pub mod metrics;
@@ -20,6 +21,7 @@ pub mod trace;
 pub mod value;
 
 pub use agg::{AggAcc, AggFn};
+pub use chaos::{FaultKind, FaultPlan, FaultPoint, RetryPolicy, Trigger};
 pub use error::{Error, Result};
 pub use record::{Record, RecordHeaders};
 pub use schema::{Field, FieldType, Schema};

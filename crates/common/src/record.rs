@@ -26,6 +26,11 @@ pub mod headers {
     pub const ATTEMPTS: &str = "rtdi.attempts";
     /// Original topic for messages parked in a dead letter queue.
     pub const DLQ_SOURCE: &str = "rtdi.dlq_source";
+    /// Why the record was parked: a closed `ParkReason` value
+    /// (retries-exhausted | schema | poison), never free text.
+    pub const DLQ_REASON: &str = "rtdi.dlq_reason";
+    /// Human-readable detail (the final error) accompanying `DLQ_REASON`.
+    pub const DLQ_DETAIL: &str = "rtdi.dlq_detail";
     /// Region where the record was originally produced.
     pub const ORIGIN_REGION: &str = "rtdi.origin_region";
     /// Timestamp of the last traced hop; each pipeline stage restamps it

@@ -18,7 +18,8 @@ use crate::sink::Sink;
 use crate::source::Source;
 use crate::watermark::WatermarkGenerator;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rtdi_common::{Clock, Error, PipelineTracer, Record, Result, Timestamp};
+use rtdi_common::fault_point;
+use rtdi_common::{Clock, Error, FaultPoint, PipelineTracer, Record, Result, Timestamp};
 use rtdi_storage::object::ObjectStore;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -288,6 +289,9 @@ fn push_chain(
     record: Record,
     sink: &mut dyn Sink,
 ) -> Result<u64> {
+    // the chaos crash site for operator-chain processing: replaces the
+    // old hard-coded "injected crash" test operator
+    fault_point!(FaultPoint::ComputeProcess);
     let mut current = vec![record];
     for op in operators.iter_mut() {
         let mut next = Vec::new();
@@ -425,6 +429,8 @@ pub fn run_staged(mut job: Job, channel_capacity: usize) -> Result<StagedRunStat
             for rec in batch {
                 wm_gen.observe(rec.timestamp);
                 stats.records_in += 1;
+                // a channel-hop fault surfaces exactly like a dead stage
+                fault_point!(FaultPoint::ComputeChannel);
                 tx0.send(StagedMsg::Record(rec))
                     .map_err(|_| Error::Internal("stage died".into()))?;
             }
@@ -530,6 +536,9 @@ mod tests {
 
     #[test]
     fn checkpoint_and_recover_produces_identical_results() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xC0FFEE);
         let store = Arc::new(InMemoryStore::new());
         let cs = CheckpointStore::new(store);
         let config = ExecutorConfig {
@@ -539,6 +548,19 @@ mod tests {
             trace: None,
         };
 
+        let agg_op = || {
+            Box::new(WindowAggregateOp::new(
+                "agg",
+                vec!["city".into()],
+                WindowAssigner::tumbling(1000),
+                vec![
+                    ("trips".into(), AggFn::Count),
+                    ("total".into(), AggFn::Sum("fare".into())),
+                ],
+                0,
+            ))
+        };
+
         // baseline: uninterrupted run
         let baseline_sink = CollectSink::new();
         let mut baseline = window_count_job("base", trip_rows(100), baseline_sink.clone());
@@ -546,45 +568,22 @@ mod tests {
             .run(&mut baseline)
             .unwrap();
 
-        // run that "crashes" after 50 records: simulate by a poisoned map op
-        struct CrashAfter {
-            n: u64,
-            seen: u64,
-        }
-        impl Operator for CrashAfter {
-            fn name(&self) -> &str {
-                "crash"
-            }
-            fn process(&mut self, r: Record, out: &mut Vec<Record>) -> Result<()> {
-                self.seen += 1;
-                if self.seen > self.n {
-                    return Err(Error::ProcessingFailed("injected crash".into()));
-                }
-                out.push(r);
-                Ok(())
-            }
-        }
+        // crash run: the compute.process fault point hard-fails the chain
+        // mid-run (after the checkpoint at 30 records)
+        chaos::registry().arm(
+            FaultPoint::ComputeProcess,
+            FaultPlan::fail(FaultKind::ProcessingFailed, Trigger::Always).with_burst(58, None),
+        );
         let crash_sink = CollectSink::new();
         let mut crashing = Job::new(
             "ckpt-job",
             Box::new(VecSource::from_rows(trip_rows(100))),
-            vec![
-                Box::new(CrashAfter { n: 50, seen: 0 }),
-                Box::new(WindowAggregateOp::new(
-                    "agg",
-                    vec!["city".into()],
-                    WindowAssigner::tumbling(1000),
-                    vec![
-                        ("trips".into(), AggFn::Count),
-                        ("total".into(), AggFn::Sum("fare".into())),
-                    ],
-                    0,
-                )),
-            ],
+            vec![agg_op()],
             Box::new(crash_sink.clone()),
         );
         let err = Executor::new(config.clone()).run(&mut crashing);
-        assert!(err.is_err());
+        assert!(matches!(err, Err(Error::ProcessingFailed(_))));
+        chaos::registry().disarm_all();
 
         // recovery run: fresh job instance restores from the checkpoint and
         // keeps writing into the SAME sink (at-least-once to the sink,
@@ -592,22 +591,7 @@ mod tests {
         let mut recovered = Job::new(
             "ckpt-job",
             Box::new(VecSource::from_rows(trip_rows(100))),
-            vec![
-                Box::new(CrashAfter {
-                    n: u64::MAX,
-                    seen: 0,
-                }),
-                Box::new(WindowAggregateOp::new(
-                    "agg",
-                    vec!["city".into()],
-                    WindowAssigner::tumbling(1000),
-                    vec![
-                        ("trips".into(), AggFn::Count),
-                        ("total".into(), AggFn::Sum("fare".into())),
-                    ],
-                    0,
-                )),
-            ],
+            vec![agg_op()],
             Box::new(crash_sink.clone()),
         );
         let stats = Executor::new(config).run(&mut recovered).unwrap();
@@ -657,6 +641,32 @@ mod tests {
         let job = window_count_job("staged", trip_rows(1000), sink.clone());
         let stats = run_staged(job, 64).unwrap();
         assert_eq!(stats.records_in, 1000);
+        let total: i64 = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("trips").unwrap())
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn staged_run_surfaces_channel_faults_and_recovers_when_disarmed() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, FaultPoint, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xC4A7);
+        chaos::registry().arm(
+            FaultPoint::ComputeChannel,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(100, None),
+        );
+        let sink = CollectSink::new();
+        let job = window_count_job("chan-fault", trip_rows(1000), sink.clone());
+        // the injected channel-hop fault kills the run like a dead stage
+        assert!(matches!(run_staged(job, 64), Err(Error::Unavailable(_))));
+        chaos::registry().disarm_all();
+        // a fresh run with the fault cleared completes normally
+        let sink = CollectSink::new();
+        let job = window_count_job("chan-ok", trip_rows(1000), sink.clone());
+        assert_eq!(run_staged(job, 64).unwrap().records_in, 1000);
         let total: i64 = sink
             .rows()
             .iter()

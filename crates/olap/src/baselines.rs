@@ -141,6 +141,7 @@ impl HeapStore {
                 docs_scanned,
                 segments_queried: 1,
                 used_startree: false,
+                ..Default::default()
             });
         }
         let mut rows: Vec<Row> = ids
@@ -160,6 +161,7 @@ impl HeapStore {
             docs_scanned,
             segments_queried: 1,
             used_startree: false,
+            ..Default::default()
         })
     }
 }

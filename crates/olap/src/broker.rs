@@ -11,7 +11,8 @@ use crate::query::{sort_and_limit, PartialAgg, Query, QueryResult};
 use crate::scatter::scatter;
 use crate::segment::Segment;
 use parking_lot::RwLock;
-use rtdi_common::{Error, Result};
+use rtdi_common::fault_point;
+use rtdi_common::{Error, FaultPoint, Result};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -61,6 +62,7 @@ impl ServerNode {
     /// Serve a peer-recovery fetch (§4.3.4: "server replicas can serve the
     /// archived segments in case of failures").
     pub fn fetch_segment(&self, name: &str) -> Result<Arc<Segment>> {
+        fault_point!(FaultPoint::OlapSegmentServe);
         if self.is_down() {
             return Err(Error::Unavailable(format!("server {} down", self.id)));
         }
@@ -175,7 +177,9 @@ impl Broker {
     }
 
     /// Choose a live server per segment, respecting partition affinity.
-    fn plan(&self, table: &str) -> Result<Vec<(String, usize)>> {
+    /// A segment with no live replica gets `None` — the query layer
+    /// degrades to a partial response instead of failing outright.
+    fn plan(&self, table: &str) -> Result<Vec<(String, Option<usize>)>> {
         let routing = self.routing.read();
         let placements = routing
             .get(table)
@@ -185,32 +189,25 @@ impl Broker {
         let mut chosen_by_partition: HashMap<usize, usize> = HashMap::new();
         let mut plan = Vec::with_capacity(placements.len());
         for pl in placements {
+            let first_live = || {
+                pl.replicas
+                    .iter()
+                    .copied()
+                    .find(|&s| !self.servers[s].is_down())
+            };
             let server = match (aware, pl.partition) {
                 (true, Some(p)) => {
                     let existing = chosen_by_partition.get(&p).copied();
                     let choice = match existing {
-                        Some(s) if !self.servers[s].is_down() => s,
-                        _ => *pl
-                            .replicas
-                            .iter()
-                            .find(|&&s| !self.servers[s].is_down())
-                            .ok_or_else(|| {
-                                Error::Unavailable(format!(
-                                    "no live replica for segment '{}'",
-                                    pl.segment
-                                ))
-                            })?,
+                        Some(s) if !self.servers[s].is_down() => Some(s),
+                        _ => first_live(),
                     };
-                    chosen_by_partition.insert(p, choice);
+                    if let Some(c) = choice {
+                        chosen_by_partition.insert(p, c);
+                    }
                     choice
                 }
-                _ => *pl
-                    .replicas
-                    .iter()
-                    .find(|&&s| !self.servers[s].is_down())
-                    .ok_or_else(|| {
-                        Error::Unavailable(format!("no live replica for segment '{}'", pl.segment))
-                    })?,
+                _ => first_live(),
             };
             plan.push((pl.segment.clone(), server));
         }
@@ -219,51 +216,86 @@ impl Broker {
 
     /// Execute a query: scatter sub-queries to the chosen servers across
     /// the worker pool, gather in plan order, merge.
+    ///
+    /// Graceful degradation (Pinot partial-response semantics): segments
+    /// with no live replica, or whose serve fails with an availability
+    /// error mid scatter-gather, are skipped and counted in
+    /// `segments_unavailable` with `partial: true`. Only a total outage
+    /// (no segment servable at all) is an `Err`.
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
         let plan = self.plan(&query.table)?;
         let threads = self.parallelism.load(Ordering::Relaxed);
+        let total_segments = plan.len();
+        let mut segments_unavailable = plan.iter().filter(|(_, s)| s.is_none()).count() as u64;
+        let live: Vec<(String, usize)> = plan
+            .into_iter()
+            .filter_map(|(seg, s)| s.map(|s| (seg, s)))
+            .collect();
         let mut segments_queried = 0;
         let mut docs_scanned = 0;
         let mut used_startree = false;
-        if query.is_aggregation() {
-            let parts = scatter(plan.len(), threads, |i| {
-                let (segment, server) = &plan[i];
+        // availability failures degrade the response; anything else (a
+        // malformed query, a corrupt segment) still fails the query
+        let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
+        let rows = if query.is_aggregation() {
+            let parts = scatter(live.len(), threads, |i| {
+                let (segment, server) = &live[i];
                 self.servers[*server].execute_partial(segment, query)
             });
             let mut merged = PartialAgg::default();
             for part in parts {
-                let part = part?;
-                segments_queried += 1;
-                docs_scanned += part.docs_scanned;
-                used_startree |= part.used_startree;
-                merged.merge(part, query);
+                match part {
+                    Ok(part) => {
+                        segments_queried += 1;
+                        docs_scanned += part.docs_scanned;
+                        used_startree |= part.used_startree;
+                        merged.merge(part, query);
+                    }
+                    Err(e) if degradable(&e) => segments_unavailable += 1,
+                    Err(e) => return Err(e),
+                }
             }
-            Ok(QueryResult {
-                rows: merged.finalize(query),
-                docs_scanned,
-                segments_queried,
-                used_startree,
-            })
+            if total_segments > 0 && segments_queried == 0 {
+                return Err(Error::Unavailable(format!(
+                    "table '{}' fully unavailable: 0/{total_segments} segments served",
+                    query.table
+                )));
+            }
+            merged.finalize(query)
         } else {
-            let partials = scatter(plan.len(), threads, |i| {
-                let (segment, server) = &plan[i];
+            let partials = scatter(live.len(), threads, |i| {
+                let (segment, server) = &live[i];
                 self.servers[*server].execute_select(segment, query)
             });
             let mut rows = Vec::new();
             for r in partials {
-                let r = r?;
-                segments_queried += 1;
-                docs_scanned += r.docs_scanned;
-                rows.extend(r.rows);
+                match r {
+                    Ok(r) => {
+                        segments_queried += 1;
+                        docs_scanned += r.docs_scanned;
+                        rows.extend(r.rows);
+                    }
+                    Err(e) if degradable(&e) => segments_unavailable += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            if total_segments > 0 && segments_queried == 0 {
+                return Err(Error::Unavailable(format!(
+                    "table '{}' fully unavailable: 0/{total_segments} segments served",
+                    query.table
+                )));
             }
             sort_and_limit(&mut rows, &query.order_by, query.limit);
-            Ok(QueryResult {
-                rows,
-                docs_scanned,
-                segments_queried,
-                used_startree,
-            })
-        }
+            rows
+        };
+        Ok(QueryResult {
+            rows,
+            docs_scanned,
+            segments_queried,
+            used_startree,
+            partial: segments_unavailable > 0,
+            segments_unavailable,
+        })
     }
 }
 
@@ -357,8 +389,21 @@ mod tests {
         broker.servers()[0].set_down(true);
         let res = broker.query(&q).unwrap();
         assert_eq!(res.rows[0].get_int("n"), Some(600));
-        // two servers down with replication 2 -> some segment unreachable
+        assert!(!res.partial, "replicas cover one lost server fully");
+        // two servers down with replication 2 -> some segments unreachable,
+        // but the query degrades to a partial answer instead of failing
         broker.servers()[1].set_down(true);
+        let res = broker.query(&q).unwrap();
+        assert!(res.partial);
+        assert!(res.segments_unavailable > 0);
+        assert!(res.segments_queried > 0);
+        let n = res.rows[0].get_int("n").unwrap();
+        assert!(
+            n > 0 && n < 600,
+            "partial count covers a strict subset: {n}"
+        );
+        // total outage is still an error
+        broker.servers()[2].set_down(true);
         assert!(matches!(broker.query(&q), Err(Error::Unavailable(_))));
     }
 
@@ -395,7 +440,10 @@ mod tests {
         let mut by_partition: HashMap<usize, Vec<usize>> = HashMap::new();
         for (name, server) in plan {
             let p: usize = name[1..2].parse().unwrap();
-            by_partition.entry(p).or_default().push(server);
+            by_partition
+                .entry(p)
+                .or_default()
+                .push(server.expect("all servers live"));
         }
         for (p, servers) in by_partition {
             assert!(

@@ -143,6 +143,11 @@ pub struct QueryResult {
     /// True when a star-tree answered the aggregation without touching
     /// raw documents.
     pub used_startree: bool,
+    /// True when one or more segments could not be served and the result
+    /// covers only the available ones (Pinot partial-response semantics).
+    pub partial: bool,
+    /// Segments skipped because no live replica could serve them.
+    pub segments_unavailable: u64,
 }
 
 /// Group key: the group-by column values (in `group_by` order) rendered to

@@ -71,6 +71,7 @@ impl MutableSegment {
                 docs_scanned,
                 segments_queried: 1,
                 used_startree: false,
+                ..Default::default()
             });
         }
         let mut result = QueryResult {

@@ -711,6 +711,7 @@ impl Segment {
                 docs_scanned,
                 segments_queried: 1,
                 used_startree,
+                ..Default::default()
             });
         }
 
@@ -736,6 +737,7 @@ impl Segment {
             docs_scanned: scanned + docs.len() as u64,
             segments_queried: 1,
             used_startree: false,
+            ..Default::default()
         };
         for &d in &docs {
             let doc = d as usize;

@@ -17,7 +17,7 @@
 
 use crate::segment::{IndexSpec, Segment};
 use parking_lot::Mutex;
-use rtdi_common::{Error, Result};
+use rtdi_common::{Error, Result, RetryPolicy};
 use rtdi_storage::colfile;
 use rtdi_storage::object::ObjectStore;
 use std::sync::Arc;
@@ -65,7 +65,11 @@ impl SegmentStore {
     fn upload(&self, table: &str, segment: &Segment) -> Result<()> {
         let rows = segment.to_rows();
         let data = colfile::encode_columnar(segment.schema(), &rows)?;
-        self.store.put(&Self::key(table, segment.name()), data)
+        let key = Self::key(table, segment.name());
+        // same-key overwrite: retrying a flaky archive put is idempotent
+        RetryPolicy::new(4)
+            .with_backoff_us(50, 2_000)
+            .run(|_| self.store.put(&key, data.clone()))
     }
 
     /// Back up a sealed segment.
@@ -126,9 +130,12 @@ impl SegmentStore {
                 }
             }
         }
-        let data = self
-            .store
-            .get(&Self::key(table, segment))
+        // transiently flaky deep store is retried before the segment is
+        // declared unrecoverable
+        let key = Self::key(table, segment);
+        let data = RetryPolicy::new(3)
+            .with_backoff_us(50, 2_000)
+            .run(|_| self.store.get(&key))
             .map_err(|_| Error::NotFound(format!("segment '{segment}' unrecoverable")))?;
         let (schema, rows) = colfile::decode_columnar(&data)?;
         Ok(Arc::new(Segment::build(

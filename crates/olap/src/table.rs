@@ -389,6 +389,7 @@ impl OlapTable {
                 docs_scanned,
                 segments_queried,
                 used_startree,
+                ..Default::default()
             });
         }
 
@@ -423,6 +424,7 @@ impl OlapTable {
             docs_scanned,
             segments_queried,
             used_startree,
+            ..Default::default()
         })
     }
 

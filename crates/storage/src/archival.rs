@@ -14,7 +14,7 @@ use crate::colfile;
 use crate::hive::HiveCatalog;
 use crate::object::ObjectStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rtdi_common::{Error, Record, Result, Row, Schema, Timestamp, Value};
+use rtdi_common::{Error, Record, Result, RetryPolicy, Row, Schema, Timestamp, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -241,10 +241,14 @@ impl ArchivalWriter {
                 .push(r.clone());
         }
         let mut keys = Vec::new();
+        let policy = RetryPolicy::new(4).with_backoff_us(50, 2_000);
         for (date, recs) in by_date {
             let seq = self.seq.fetch_add(1, Ordering::SeqCst);
             let key = format!("raw/{}/{}/log-{seq:08}", self.dataset, date);
-            self.store.put(&key, encode_raw(&recs)?)?;
+            let data = encode_raw(&recs)?;
+            // a flaky archive is absorbed here: re-putting the same key is
+            // an idempotent overwrite, so retries cannot duplicate data
+            policy.run(|_| self.store.put(&key, data.clone()))?;
             keys.push(key);
         }
         Ok(keys)

@@ -9,7 +9,8 @@
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use rtdi_common::{Error, Result};
+use rtdi_common::fault_point;
+use rtdi_common::{Error, FaultPoint, Result};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +61,7 @@ impl InMemoryStore {
 
 impl ObjectStore for InMemoryStore {
     fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        fault_point!(FaultPoint::StorageObjectPut);
         self.bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.objects.write().insert(key.to_string(), data);
@@ -67,6 +69,7 @@ impl ObjectStore for InMemoryStore {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
+        fault_point!(FaultPoint::StorageObjectGet);
         self.objects
             .read()
             .get(key)
@@ -120,6 +123,7 @@ impl LocalFsStore {
 
 impl ObjectStore for LocalFsStore {
     fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        fault_point!(FaultPoint::StorageObjectPut);
         let path = self.path_for(key)?;
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -132,6 +136,7 @@ impl ObjectStore for LocalFsStore {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
+        fault_point!(FaultPoint::StorageObjectGet);
         let path = self.path_for(key)?;
         match std::fs::read(&path) {
             Ok(data) => Ok(Bytes::from(data)),
@@ -178,10 +183,12 @@ impl ObjectStore for LocalFsStore {
     }
 }
 
-/// Fault/latency-injecting wrapper used by the failure experiments:
+/// Bandwidth/outage-modelling wrapper used by the failure experiments:
 /// the E13 centralized-segment-store bottleneck models the archive as a
 /// store with limited upload bandwidth; availability experiments flip the
-/// store into a failing state.
+/// store into a failing state. (Transient per-operation faults are no
+/// longer modelled here — arm the `storage.object_put/get` chaos points
+/// instead.)
 pub struct FaultyStore<S> {
     inner: S,
     /// Simulated per-put latency in microseconds of busy-wait-free delay
@@ -189,9 +196,6 @@ pub struct FaultyStore<S> {
     put_delay_us: AtomicU64,
     /// When true, every operation fails with `Unavailable`.
     down: std::sync::atomic::AtomicBool,
-    /// Fail every Nth put (0 = never).
-    fail_every: AtomicU64,
-    puts: AtomicU64,
     /// Serializes puts, modelling a single-controller upload path.
     serialize_puts: bool,
     put_lock: Mutex<()>,
@@ -203,8 +207,6 @@ impl<S: ObjectStore> FaultyStore<S> {
             inner,
             put_delay_us: AtomicU64::new(0),
             down: std::sync::atomic::AtomicBool::new(false),
-            fail_every: AtomicU64::new(0),
-            puts: AtomicU64::new(0),
             serialize_puts: false,
             put_lock: Mutex::new(()),
         }
@@ -223,10 +225,6 @@ impl<S: ObjectStore> FaultyStore<S> {
         self.down.store(down, Ordering::SeqCst);
     }
 
-    pub fn fail_every(&self, n: u64) {
-        self.fail_every.store(n, Ordering::Relaxed);
-    }
-
     pub fn inner(&self) -> &S {
         &self.inner
     }
@@ -243,11 +241,6 @@ impl<S: ObjectStore> FaultyStore<S> {
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, key: &str, data: Bytes) -> Result<()> {
         self.check_up()?;
-        let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
-        let fe = self.fail_every.load(Ordering::Relaxed);
-        if fe > 0 && n.is_multiple_of(fe) {
-            return Err(Error::Unavailable(format!("injected put failure #{n}")));
-        }
         let delay = self.put_delay_us.load(Ordering::Relaxed);
         if self.serialize_puts {
             let _g = self.put_lock.lock();
@@ -354,15 +347,23 @@ mod tests {
     }
 
     #[test]
-    fn faulty_store_fails_every_nth_put() {
-        let s = FaultyStore::new(InMemoryStore::new());
-        s.fail_every(3);
+    fn chaos_point_fails_every_nth_put() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0x5707A6E);
+        chaos::registry().arm(
+            FaultPoint::StorageObjectPut,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::EveryNth(3)),
+        );
+        let s = InMemoryStore::new();
         let mut failures = 0;
         for i in 0..9 {
             if s.put(&format!("k{i}"), Bytes::new()).is_err() {
                 failures += 1;
             }
         }
+        chaos::registry().disarm_all();
         assert_eq!(failures, 3);
+        assert_eq!(s.object_count(), 6);
     }
 }

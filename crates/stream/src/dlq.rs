@@ -9,8 +9,46 @@
 use crate::producer::StreamEndpoint;
 use crate::topic::{Topic, TopicConfig};
 use rtdi_common::record::headers;
-use rtdi_common::{Record, Result, Timestamp};
+use rtdi_common::{Error, Record, Result, RetryPolicy, Timestamp};
 use std::sync::Arc;
+
+/// Why a record was parked. A closed enum (stamped into the
+/// [`headers::DLQ_REASON`] header) instead of free text, so chaos tests
+/// can assert *why* records landed in the DLQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkReason {
+    /// A retryable failure that outlived the proxy's retry budget.
+    RetriesExhausted,
+    /// The record itself is malformed / fails schema validation.
+    Schema,
+    /// The downstream service rejects the record non-retryably.
+    Poison,
+}
+
+impl ParkReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParkReason::RetriesExhausted => "retries-exhausted",
+            ParkReason::Schema => "schema",
+            ParkReason::Poison => "poison",
+        }
+    }
+
+    /// Classify a processing error into a park reason.
+    pub fn classify(err: &Error) -> Self {
+        match err {
+            _ if err.is_retryable() => ParkReason::RetriesExhausted,
+            Error::Schema(_) => ParkReason::Schema,
+            _ => ParkReason::Poison,
+        }
+    }
+}
+
+impl std::fmt::Display for ParkReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// The dead-letter companion of a main topic.
 pub struct DeadLetterQueue {
@@ -40,13 +78,15 @@ impl DeadLetterQueue {
         &self.source_topic
     }
 
-    /// Park a message that exhausted its retries. The failure reason and
-    /// source topic are recorded in headers for triage.
-    pub fn park(&self, mut record: Record, reason: &str, now: Timestamp) {
+    /// Park a message that cannot be processed. The classified reason,
+    /// human-readable detail and source topic are recorded in headers for
+    /// triage.
+    pub fn park(&self, mut record: Record, reason: ParkReason, detail: &str, now: Timestamp) {
         record
             .headers
             .set(headers::DLQ_SOURCE, self.source_topic.clone());
-        record.headers.set("rtdi.dlq_reason", reason);
+        record.headers.set(headers::DLQ_REASON, reason.as_str());
+        record.headers.set(headers::DLQ_DETAIL, detail);
         self.dlq
             .append_to(0, record, now)
             .expect("dlq partition 0 exists");
@@ -79,24 +119,37 @@ impl DeadLetterQueue {
     /// starts fresh. Returns how many messages were merged.
     pub fn merge(&self, endpoint: &dyn StreamEndpoint, now: Timestamp) -> Result<usize> {
         let log = self.dlq.partition(0).expect("partition 0");
+        // a flaky endpoint is retried per record; only a persistently
+        // failing send aborts the merge
+        let policy = RetryPolicy::new(4).with_backoff_us(50, 2_000);
         let mut merged = 0;
         loop {
-            let fetch = log.fetch(log.log_start_offset(), 1024)?;
+            // fetch the whole backlog so truncate_all below cannot drop
+            // records that were never re-published
+            let fetch = log.fetch(log.log_start_offset(), log.len().max(1))?;
             if fetch.records.is_empty() {
                 break;
             }
-            let count = fetch.records.len();
-            for rec in fetch.records {
-                let mut record = rec.into_record();
+            let mut records: Vec<Record> =
+                fetch.records.into_iter().map(|r| r.into_record()).collect();
+            for i in 0..records.len() {
+                let mut record = records[i].clone();
                 record.headers.set(headers::ATTEMPTS, "0");
-                endpoint.send(&self.source_topic, record, now)?;
-            }
-            // only drop from the DLQ after successful re-publish
-            for _ in 0..count {
-                // truncate the merged prefix by advancing retention manually
+                if let Err(e) =
+                    policy.run(|_| endpoint.send(&self.source_topic, record.clone(), now))
+                {
+                    // drop exactly the re-published prefix and keep the
+                    // unsent tail parked, so a later merge can neither
+                    // duplicate nor lose records
+                    log.truncate_all();
+                    for rec in records.drain(i..) {
+                        log.append(rec, now);
+                    }
+                    return Err(e);
+                }
+                merged += 1;
             }
             log.truncate_all();
-            merged += count;
         }
         Ok(merged)
     }
@@ -115,25 +168,47 @@ mod tests {
     #[test]
     fn park_and_inspect() {
         let dlq = DeadLetterQueue::new("trips").unwrap();
-        dlq.park(rec(1), "schema mismatch", 100);
-        dlq.park(rec(2), "downstream 500", 101);
+        dlq.park(rec(1), ParkReason::Schema, "schema mismatch", 100);
+        dlq.park(rec(2), ParkReason::Poison, "downstream 500", 101);
         assert_eq!(dlq.depth(), 2);
         let peeked = dlq.peek(10);
         assert_eq!(peeked.len(), 2);
         assert_eq!(peeked[0].headers.get(headers::DLQ_SOURCE), Some("trips"));
+        assert_eq!(peeked[0].headers.get(headers::DLQ_REASON), Some("schema"));
         assert_eq!(
-            peeked[0].headers.get("rtdi.dlq_reason"),
+            peeked[0].headers.get(headers::DLQ_DETAIL),
             Some("schema mismatch")
         );
+        assert_eq!(peeked[1].headers.get(headers::DLQ_REASON), Some("poison"));
         // peeking does not consume
         assert_eq!(dlq.depth(), 2);
+    }
+
+    #[test]
+    fn park_reason_classification() {
+        assert_eq!(
+            ParkReason::classify(&Error::Unavailable("x".into())),
+            ParkReason::RetriesExhausted
+        );
+        assert_eq!(
+            ParkReason::classify(&Error::Timeout("x".into())),
+            ParkReason::RetriesExhausted
+        );
+        assert_eq!(
+            ParkReason::classify(&Error::Schema("bad field".into())),
+            ParkReason::Schema
+        );
+        assert_eq!(
+            ParkReason::classify(&Error::InvalidArgument("x".into())),
+            ParkReason::Poison
+        );
     }
 
     #[test]
     fn purge_empties_queue() {
         let dlq = DeadLetterQueue::new("trips").unwrap();
         for i in 0..5 {
-            dlq.park(rec(i), "x", 0);
+            dlq.park(rec(i), ParkReason::Poison, "x", 0);
         }
         assert_eq!(dlq.purge(), 5);
         assert_eq!(dlq.depth(), 0);
@@ -150,7 +225,7 @@ mod tests {
         for i in 0..3 {
             let mut r = rec(i);
             r.headers.set(headers::ATTEMPTS, "5");
-            dlq.park(r, "boom", 0);
+            dlq.park(r, ParkReason::RetriesExhausted, "boom", 0);
         }
         let merged = dlq.merge(cluster.as_ref(), 50).unwrap();
         assert_eq!(merged, 3);
@@ -165,5 +240,154 @@ mod tests {
             records[0].record.headers.get(headers::DLQ_SOURCE),
             Some("trips")
         );
+    }
+
+    /// Endpoint whose sends fail transiently according to a script of
+    /// per-call failures.
+    struct FlakyEndpoint {
+        inner: Arc<Cluster>,
+        failures_left: parking_lot::Mutex<usize>,
+    }
+
+    impl StreamEndpoint for FlakyEndpoint {
+        fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+            let mut left = self.failures_left.lock();
+            if *left > 0 {
+                *left -= 1;
+                return Err(Error::Unavailable("flaky".into()));
+            }
+            self.inner.produce(topic, record, now)
+        }
+        fn fetch(
+            &self,
+            topic: &str,
+            partition: usize,
+            offset: u64,
+            max: usize,
+        ) -> Result<crate::log::FetchResult> {
+            self.inner.topic(topic)?.fetch(partition, offset, max)
+        }
+        fn num_partitions(&self, topic: &str) -> Result<usize> {
+            Ok(self.inner.topic(topic)?.num_partitions())
+        }
+    }
+
+    #[test]
+    fn merge_retries_flaky_endpoint_without_duplicates() {
+        let cluster = Cluster::new("c", ClusterConfig::default());
+        cluster
+            .create_topic("trips", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        for i in 0..5 {
+            dlq.park(rec(i), ParkReason::RetriesExhausted, "boom", 0);
+        }
+        // the first record's send fails 3 times and succeeds on the 4th
+        // attempt, inside the per-record retry budget
+        let flaky = FlakyEndpoint {
+            inner: cluster.clone(),
+            failures_left: parking_lot::Mutex::new(3),
+        };
+        assert_eq!(dlq.merge(&flaky, 10).unwrap(), 5);
+        assert_eq!(dlq.depth(), 0);
+        let records = cluster
+            .topic("trips")
+            .unwrap()
+            .fetch(0, 0, 100)
+            .unwrap()
+            .records;
+        assert_eq!(records.len(), 5, "each record republished exactly once");
+        let ids: Vec<Option<i64>> = records
+            .iter()
+            .map(|r| r.record.value.get_int("i"))
+            .collect();
+        assert_eq!(ids, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn merge_aborts_without_losing_or_duplicating_on_persistent_failure() {
+        let cluster = Cluster::new("c", ClusterConfig::default());
+        cluster
+            .create_topic("trips", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        for i in 0..4 {
+            dlq.park(rec(i), ParkReason::RetriesExhausted, "boom", 0);
+        }
+        // every send fails: the merge aborts on the first record and the
+        // whole backlog must remain parked, nothing published
+        let broken = FlakyEndpoint {
+            inner: cluster.clone(),
+            failures_left: parking_lot::Mutex::new(usize::MAX),
+        };
+        assert!(dlq.merge(&broken, 10).is_err());
+        let published = cluster
+            .topic("trips")
+            .unwrap()
+            .fetch(0, 0, 100)
+            .unwrap()
+            .records;
+        assert!(published.is_empty());
+        assert_eq!(dlq.depth(), 4);
+        let again = FlakyEndpoint {
+            inner: cluster.clone(),
+            failures_left: parking_lot::Mutex::new(0),
+        };
+        assert_eq!(dlq.merge(&again, 20).unwrap(), 4);
+        assert_eq!(dlq.depth(), 0);
+        let records = cluster
+            .topic("trips")
+            .unwrap()
+            .fetch(0, 0, 100)
+            .unwrap()
+            .records;
+        assert_eq!(records.len(), 4, "no duplicates after retried merge");
+    }
+
+    #[test]
+    fn merge_keeps_unsent_tail_when_endpoint_dies_mid_merge() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, FaultPoint, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xD1);
+        let cluster = Cluster::new("c", ClusterConfig::default());
+        cluster
+            .create_topic("trips", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        for i in 0..4 {
+            dlq.park(rec(i), ParkReason::RetriesExhausted, "boom", 0);
+        }
+        // the stream endpoint accepts the first 2 appends, then the
+        // cluster edge goes hard-down
+        chaos::registry().arm(
+            FaultPoint::StreamAppend,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(2, None),
+        );
+        assert!(dlq.merge(cluster.as_ref(), 10).is_err());
+        chaos::registry().disarm_all();
+        // exactly the sent prefix was dropped from the DLQ...
+        let published = cluster
+            .topic("trips")
+            .unwrap()
+            .fetch(0, 0, 100)
+            .unwrap()
+            .records;
+        assert_eq!(published.len(), 2);
+        assert_eq!(dlq.depth(), 2);
+        // ...and a later merge completes the tail with no duplicates
+        assert_eq!(dlq.merge(cluster.as_ref(), 20).unwrap(), 2);
+        assert_eq!(dlq.depth(), 0);
+        let all = cluster
+            .topic("trips")
+            .unwrap()
+            .fetch(0, 0, 100)
+            .unwrap()
+            .records;
+        let mut ids: Vec<i64> = all
+            .iter()
+            .filter_map(|r| r.record.value.get_int("i"))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 }

@@ -22,7 +22,8 @@ use crate::log::FetchResult;
 use crate::producer::StreamEndpoint;
 use crate::topic::{Topic, TopicConfig};
 use parking_lot::RwLock;
-use rtdi_common::{Error, PipelineTracer, Record, Result, Timestamp};
+use rtdi_common::fault_point;
+use rtdi_common::{Error, FaultPoint, PipelineTracer, Record, Result, Timestamp};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -259,6 +260,7 @@ impl Default for FederatedCluster {
 
 impl StreamEndpoint for FederatedCluster {
     fn send(&self, topic: &str, mut record: Record, now: Timestamp) -> Result<(usize, u64)> {
+        fault_point!(FaultPoint::StreamAppend);
         let (_, t) = self.resolve(topic)?;
         let (tracer, chaperone) = {
             let inner = self.inner.read();
@@ -274,6 +276,7 @@ impl StreamEndpoint for FederatedCluster {
     }
 
     fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
+        fault_point!(FaultPoint::StreamFetch);
         let (_, t) = self.resolve(topic)?;
         t.fetch(partition, offset, max)
     }
@@ -304,6 +307,28 @@ mod tests {
 
     fn rec(i: i64) -> Record {
         Record::new(Row::new().with("i", i), i).with_key(format!("k{}", i % 7))
+    }
+
+    #[test]
+    fn injected_fetch_faults_surface_and_clear() {
+        use crate::producer::StreamEndpoint;
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, FaultPoint, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xFE7C);
+        let fed = FederatedCluster::new();
+        fed.add_cluster(small_cluster("c1", 16));
+        fed.create_topic("t", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        fed.send("t", rec(1), 0).unwrap();
+        // every 2nd fetch through the federation endpoint times out
+        chaos::registry().arm(
+            FaultPoint::StreamFetch,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::EveryNth(2)),
+        );
+        assert_eq!(fed.fetch("t", 0, 0, 10).unwrap().records.len(), 1);
+        assert!(matches!(fed.fetch("t", 0, 0, 10), Err(Error::Timeout(_))));
+        chaos::registry().disarm_all();
+        assert_eq!(fed.fetch("t", 0, 0, 10).unwrap().records.len(), 1);
     }
 
     #[test]

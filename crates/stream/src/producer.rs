@@ -7,8 +7,9 @@
 
 use crate::log::FetchResult;
 use parking_lot::Mutex;
+use rtdi_common::fault_point;
 use rtdi_common::record::headers;
-use rtdi_common::{Clock, Record, Result, Timestamp, WallClock};
+use rtdi_common::{Clock, FaultPoint, Record, Result, RetryPolicy, Timestamp, WallClock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,10 +24,12 @@ pub trait StreamEndpoint: Send + Sync {
 
 impl StreamEndpoint for crate::cluster::Cluster {
     fn send(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
+        fault_point!(FaultPoint::StreamAppend);
         self.produce(topic, record, now)
     }
 
     fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
+        fault_point!(FaultPoint::StreamFetch);
         self.topic(topic)?.fetch(partition, offset, max)
     }
 
@@ -149,19 +152,12 @@ impl Producer {
     }
 
     fn send_now(&self, topic: &str, record: Record, now: Timestamp) -> Result<()> {
-        let mut attempt = 0;
-        loop {
-            match self.endpoint.send(topic, record.clone(), now) {
-                Ok(_) => {
-                    self.sent.fetch_add(1, Ordering::Relaxed);
-                    return Ok(());
-                }
-                Err(e) if e.is_retryable() && attempt < self.config.max_retries => {
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        // at-least-once: the shared policy retries only retryable errors
+        // and backs off with deterministic jitter between attempts
+        let policy = RetryPolicy::new(self.config.max_retries as u32 + 1);
+        policy.run(|_| self.endpoint.send(topic, record.clone(), now))?;
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Records successfully delivered to the endpoint.

@@ -17,11 +17,11 @@
 //! two under a slow downstream service.
 
 use crate::consumer::ConsumerGroup;
-use crate::dlq::DeadLetterQueue;
+use crate::dlq::{DeadLetterQueue, ParkReason};
 use crate::log::OffsetRecord;
 use parking_lot::Mutex;
 use rtdi_common::record::headers;
-use rtdi_common::{Clock, PipelineTracer, Record, Result};
+use rtdi_common::{Clock, FaultPoint, PipelineTracer, Record, Result, RetryPolicy};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -242,27 +242,36 @@ impl ConsumerProxy {
     }
 
     fn dispatch_one(&self, record: &Record, stats: &StatsCells) {
-        let mut attempt = 0;
-        loop {
-            attempt += 1;
-            match self.service.process(record) {
-                Ok(()) => {
-                    stats.delivered.fetch_add(1, Ordering::Relaxed);
-                    if let Some((tracer, pipeline, clock)) = &self.trace {
-                        tracer.observe_read(pipeline, "proxy-dispatch", record, clock.now());
-                    }
-                    return;
+        // the injected fault sits inside the retried closure: a dispatch
+        // fault behaves exactly like a downstream failure, including the
+        // retry budget and DLQ hand-off
+        let policy = RetryPolicy::new(self.config.max_attempts as u32);
+        let (result, attempts) = policy.run_with_attempts(&mut |_| {
+            rtdi_common::chaos::check(FaultPoint::ProxyDispatch)?;
+            self.service.process(record)
+        });
+        if attempts > 1 {
+            stats
+                .retried
+                .fetch_add(attempts as u64 - 1, Ordering::Relaxed);
+        }
+        match result {
+            Ok(()) => {
+                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                if let Some((tracer, pipeline, clock)) = &self.trace {
+                    tracer.observe_read(pipeline, "proxy-dispatch", record, clock.now());
                 }
-                Err(_) if attempt < self.config.max_attempts => {
-                    stats.retried.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) => {
-                    let mut parked = record.clone();
-                    parked.headers.set(headers::ATTEMPTS, attempt.to_string());
-                    self.dlq.park(parked, &e.to_string(), record.timestamp);
-                    stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
+            }
+            Err(e) => {
+                let mut parked = record.clone();
+                parked.headers.set(headers::ATTEMPTS, attempts.to_string());
+                self.dlq.park(
+                    parked,
+                    ParkReason::classify(&e),
+                    &e.to_string(),
+                    record.timestamp,
+                );
+                stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -373,9 +382,51 @@ mod tests {
         assert_eq!(dlq.depth(), 10);
         // live traffic not impeded: group fully caught up
         assert_eq!(group.lag(), 0);
-        // parked messages carry attempt count
+        // parked messages carry attempt count and classified reason
         let parked = dlq.peek(1);
         assert_eq!(parked[0].headers.get(headers::ATTEMPTS), Some("2"));
+        assert_eq!(
+            parked[0].headers.get(headers::DLQ_REASON),
+            Some(ParkReason::RetriesExhausted.as_str())
+        );
+    }
+
+    #[test]
+    fn non_retryable_errors_park_immediately_with_reason() {
+        let t = topic_with(1, 5);
+        let group = ConsumerGroup::new("g", TopicSubscription::new(t));
+        let dlq = Arc::new(DeadLetterQueue::new("trips").unwrap());
+        let service = Arc::new(|r: &Record| {
+            if r.value.get_int("i").unwrap() == 2 {
+                Err(Error::Schema("field mismatch".into()))
+            } else {
+                Ok(())
+            }
+        });
+        let p = ConsumerProxy::new(
+            ProxyConfig {
+                mode: DispatchMode::Poll,
+                max_attempts: 3,
+                poll_batch: 32,
+            },
+            service,
+            dlq.clone(),
+        );
+        let stats = p.run_until_caught_up(&group).unwrap();
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.dead_lettered, 1);
+        // a schema error never consumes the retry budget
+        assert_eq!(stats.retried, 0);
+        let parked = dlq.peek(1);
+        assert_eq!(parked[0].headers.get(headers::ATTEMPTS), Some("1"));
+        assert_eq!(
+            parked[0].headers.get(headers::DLQ_REASON),
+            Some(ParkReason::Schema.as_str())
+        );
+        assert_eq!(
+            parked[0].headers.get(headers::DLQ_DETAIL),
+            Some("schema error: field mismatch")
+        );
     }
 
     #[test]

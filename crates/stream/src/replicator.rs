@@ -18,7 +18,7 @@
 
 use crate::cluster::Cluster;
 use parking_lot::RwLock;
-use rtdi_common::{Error, Result, Timestamp};
+use rtdi_common::{Error, FaultPoint, Result, RetryPolicy, Timestamp};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -270,9 +270,15 @@ impl Replicator {
     }
 
     /// Replicate everything currently pending. Returns records copied.
+    ///
+    /// Transient cross-region faults (`multiregion.replicate`) are retried
+    /// with backoff; a persistent outage surfaces as an error with the
+    /// per-partition position untouched past the last copied record, so the
+    /// next `run_once` resumes without loss or duplication.
     pub fn run_once(&self, now: Timestamp) -> Result<u64> {
         let src = self.source.topic(&self.topic)?;
         let dst = self.destination.topic(&self.topic)?;
+        let policy = RetryPolicy::new(4).with_backoff_us(50, 2_000);
         let mut copied = 0;
         for p in 0..src.num_partitions() {
             let mut pos = {
@@ -297,7 +303,20 @@ impl Replicator {
                 }
                 for rec in fetch.records {
                     let src_offset = rec.offset;
-                    let dst_offset = dst.append_to(p, rec.into_record(), now)?;
+                    let record = rec.into_record();
+                    // the fault check sits inside the retried closure: an
+                    // injected fault consumes attempts exactly like a real
+                    // cross-region failure would
+                    let dst_offset = match policy.run(|_| {
+                        rtdi_common::chaos::check(FaultPoint::MultiregionReplicate)?;
+                        dst.append_to(p, record.clone(), now)
+                    }) {
+                        Ok(off) => off,
+                        Err(e) => {
+                            self.positions.write().insert(p, pos);
+                            return Err(e);
+                        }
+                    };
                     pos = src_offset + 1;
                     copied += 1;
                     since_checkpoint += 1;
@@ -455,6 +474,70 @@ mod tests {
         src.produce("trips", Record::new(Row::new(), 5).with_key("x"), 5)
             .unwrap();
         assert_eq!(r.run_once(3000).unwrap(), 1);
+    }
+
+    #[test]
+    fn replication_retries_faults_and_resumes_after_outage_without_duplication() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0x5EED);
+        let src = cluster_with_topic("regional");
+        let dst = Cluster::new("aggregate", ClusterConfig::default());
+        let r = Replicator::new(
+            "regional->aggregate",
+            src.clone(),
+            dst.clone(),
+            "trips",
+            OffsetMappingStore::new(),
+            10,
+        );
+        r.prepare().unwrap();
+        for i in 0..100 {
+            src.produce(
+                "trips",
+                Record::new(Row::new().with("i", i as i64), i).with_key(format!("k{i}")),
+                i,
+            )
+            .unwrap();
+        }
+        // every 5th cross-region send fails transiently: well inside the
+        // 4-attempt budget, so replication completes without caller help
+        chaos::registry().arm(
+            FaultPoint::MultiregionReplicate,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::EveryNth(5)),
+        );
+        assert_eq!(r.run_once(1000).unwrap(), 100);
+
+        // persistent outage after partial progress: run_once errors, then
+        // resumes from the saved position once the link is back
+        for i in 100..150 {
+            src.produce(
+                "trips",
+                Record::new(Row::new().with("i", i as i64), i).with_key(format!("k{i}")),
+                i,
+            )
+            .unwrap();
+        }
+        chaos::registry().arm(
+            FaultPoint::MultiregionReplicate,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(10, None),
+        );
+        let partial = r.run_once(2000);
+        assert!(partial.is_err(), "persistent outage surfaces");
+        chaos::registry().disarm_all();
+        let resumed = r.run_once(3000).unwrap();
+        assert!(resumed > 0 && resumed <= 50, "resumed {resumed}");
+
+        // every partition aligned: nothing lost, nothing duplicated
+        let st = src.topic("trips").unwrap();
+        let dt = dst.topic("trips").unwrap();
+        for p in 0..4 {
+            assert_eq!(
+                st.partition(p).unwrap().high_watermark(),
+                dt.partition(p).unwrap().high_watermark(),
+                "partition {p} aligned after recovery"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! `std::sync` primitives. Poisoning is deliberately swallowed: parking_lot
 //! locks are not poisoning, and callers here rely on that.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::MutexGuard;
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutex with the parking_lot calling convention.
 #[derive(Debug, Default)]
