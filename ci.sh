@@ -26,3 +26,21 @@ for seed in 0xA11CE 0xB0B5EED 0xC4A05C4; do
   fi
   echo "chaos soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) schedule lines)"
 done
+
+# Node-kill determinism gate: failover and rebalance event logs must be
+# byte-identical between two separate processes for each fixed seed.
+for seed in 0xFA110 0xDEAD5EED; do
+  run_nodekill() {
+    RTDI_NODEKILL_SEED="$seed" cargo test -q --test node_failover \
+      node_kill_env_seed_prints_failover_log -- --nocapture --test-threads=1 |
+      grep '^NODEKILL_SUMMARY'
+  }
+  a="$(run_nodekill)"
+  b="$(run_nodekill)"
+  if [ "$a" != "$b" ]; then
+    echo "node-kill soak diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "node-kill soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) log lines)"
+done

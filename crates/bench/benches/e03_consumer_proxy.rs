@@ -20,7 +20,8 @@ fn topic_with(partitions: usize, records: usize) -> Arc<Topic> {
         t.append(
             Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
             0,
-        );
+        )
+        .unwrap();
     }
     t
 }

@@ -32,7 +32,8 @@ fn topic(n: usize) -> Arc<Topic> {
             )
             .with_key(format!("k{i}")),
             0,
-        );
+        )
+        .unwrap();
     }
     t
 }

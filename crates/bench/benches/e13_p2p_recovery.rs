@@ -84,7 +84,7 @@ fn bench(c: &mut Criterion) {
     // recovery: peer fetch vs deep-store rebuild
     let peer = ServerNode::new(0);
     peer.host(segments[0].clone());
-    let (_, peer_t) = time_it(|| p2p.recover("t", "s0", &[peer.clone()]).unwrap());
+    let (_, peer_t) = time_it(|| p2p.recover("t", "s0", std::slice::from_ref(&peer)).unwrap());
     let (_, deep_t) = time_it(|| centralized.recover("t", "s0", &[]).unwrap());
     report(
         "recovery latency",
@@ -96,7 +96,9 @@ fn bench(c: &mut Criterion) {
     );
     // availability: archive down entirely
     slow_archive.set_down(true);
-    assert!(centralized.recover("t", "s1", &[peer.clone()]).is_err());
+    assert!(centralized
+        .recover("t", "s1", std::slice::from_ref(&peer))
+        .is_err());
     peer.host(segments[1].clone());
     assert!(p2p.recover("t", "s1", &[peer]).is_ok());
     report(

@@ -91,7 +91,9 @@ fn bench(c: &mut Criterion) {
     );
     for i in 0..n {
         let (ts, row) = trip(i, days, n);
-        topic.append(Record::new(row, ts).with_key(format!("k{i}")), ts);
+        topic
+            .append(Record::new(row, ts).with_key(format!("k{i}")), ts)
+            .unwrap();
     }
     report(
         "Kappa feasible for day-1 data?",

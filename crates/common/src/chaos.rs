@@ -24,6 +24,7 @@
 
 use crate::error::{Error, Result};
 use parking_lot::{Mutex, MutexGuard};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -35,6 +36,8 @@ pub enum FaultPoint {
     StreamAppend,
     /// Broker-edge fetch (consumers, ingesters).
     StreamFetch,
+    /// Leader-to-follower replication of one record (ISR maintenance).
+    StreamReplicate,
     /// Consumer-proxy dispatch to the downstream service.
     ProxyDispatch,
     /// Staged-runtime channel hop between operators.
@@ -54,9 +57,10 @@ pub enum FaultPoint {
 }
 
 impl FaultPoint {
-    pub const ALL: [FaultPoint; 9] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::StreamAppend,
         FaultPoint::StreamFetch,
+        FaultPoint::StreamReplicate,
         FaultPoint::ProxyDispatch,
         FaultPoint::ComputeChannel,
         FaultPoint::ComputeProcess,
@@ -70,6 +74,7 @@ impl FaultPoint {
         match self {
             FaultPoint::StreamAppend => "stream.append",
             FaultPoint::StreamFetch => "stream.fetch",
+            FaultPoint::StreamReplicate => "stream.replicate",
             FaultPoint::ProxyDispatch => "proxy.dispatch",
             FaultPoint::ComputeChannel => "compute.channel",
             FaultPoint::ComputeProcess => "compute.process",
@@ -199,6 +204,15 @@ impl FaultPlan {
     }
 }
 
+/// One planned node outage: kill at `kill_at_ms`, heal at `heal_at_ms`
+/// (logical clock). Produced by [`FaultRegistry::plan_node_outages`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOutage {
+    pub node: String,
+    pub kill_at_ms: i64,
+    pub heal_at_ms: i64,
+}
+
 /// One fired fault, recorded in hit order for schedule comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
@@ -246,6 +260,10 @@ struct Inner {
     seed: u64,
     plans: [Option<PlanState>; FaultPoint::ALL.len()],
     events: Vec<FaultEvent>,
+    /// Named nodes currently downed by chaos (node-level failure
+    /// domains, PR 4) and the kill/heal log in action order.
+    nodes_down: BTreeSet<String>,
+    node_log: Vec<String>,
 }
 
 const MAX_RECORDED_EVENTS: usize = 100_000;
@@ -273,6 +291,8 @@ impl FaultRegistry {
                 seed: 0,
                 plans: Default::default(),
                 events: Vec::new(),
+                nodes_down: BTreeSet::new(),
+                node_log: Vec::new(),
             }),
         }
     }
@@ -285,6 +305,8 @@ impl FaultRegistry {
         inner.seed = seed;
         inner.plans = Default::default();
         inner.events.clear();
+        inner.nodes_down.clear();
+        inner.node_log.clear();
     }
 
     /// Arm a fault point. The point's decision stream is seeded from the
@@ -356,11 +378,81 @@ impl FaultRegistry {
                 ));
             }
         }
+        for line in &inner.node_log {
+            out.push_str(&format!("node {line}\n"));
+        }
         out
     }
 
     pub fn events(&self) -> Vec<FaultEvent> {
         self.inner.lock().events.clone()
+    }
+
+    /// Down a named node (a Kafka broker node, an OLAP server, a task
+    /// manager): node-granular chaos rather than call-granular. Drivers
+    /// mirror the registry's down set into their `Membership` so every
+    /// failure domain reacts. Returns false if already down.
+    pub fn kill_node(&self, node: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let newly = inner.nodes_down.insert(node.to_string());
+        if newly {
+            inner.node_log.push(format!("kill {node}"));
+        }
+        newly
+    }
+
+    /// Bring a chaos-killed node back. Returns false if it was not down.
+    pub fn heal_node(&self, node: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let healed = inner.nodes_down.remove(node);
+        if healed {
+            inner.node_log.push(format!("heal {node}"));
+        }
+        healed
+    }
+
+    pub fn node_is_down(&self, node: &str) -> bool {
+        self.inner.lock().nodes_down.contains(node)
+    }
+
+    /// Currently downed nodes, in name order.
+    pub fn downed_nodes(&self) -> Vec<String> {
+        self.inner.lock().nodes_down.iter().cloned().collect()
+    }
+
+    /// The kill/heal action log, in action order.
+    pub fn node_log(&self) -> Vec<String> {
+        self.inner.lock().node_log.clone()
+    }
+
+    /// Plan a deterministic node-outage schedule from the registry seed:
+    /// `cycles` outages, each picking a victim node and a kill time inside
+    /// its cycle window from the seeded stream, healing `outage_ms` later.
+    /// Same seed + same arguments => byte-identical schedule; the soak
+    /// test and `e24_node_failover` replay these against the logical
+    /// clock.
+    pub fn plan_node_outages(
+        &self,
+        nodes: &[&str],
+        cycles: usize,
+        start_ms: i64,
+        period_ms: i64,
+        outage_ms: i64,
+    ) -> Vec<NodeOutage> {
+        let seed = self.inner.lock().seed;
+        let mut rng = SplitMix64::new(seed ^ 0x004E_0DE0_C1D5_C4ED_u64);
+        let mut out = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let node = nodes[(rng.next_u64() % nodes.len() as u64) as usize];
+            let jitter = (rng.next_u64() % (period_ms.max(4) as u64 / 4)) as i64;
+            let kill_at_ms = start_ms + cycle as i64 * period_ms + jitter;
+            out.push(NodeOutage {
+                node: node.to_string(),
+                kill_at_ms,
+                heal_at_ms: kill_at_ms + outage_ms,
+            });
+        }
+        out
     }
 
     /// Slow path: the point is (or just was) armed. Decides, records and
@@ -742,6 +834,52 @@ mod tests {
         }
         // capped at max
         assert!(p.backoff_us(20) <= 1_000);
+    }
+
+    #[test]
+    fn node_kill_heal_tracks_down_set_and_log() {
+        let _g = test_guard();
+        registry().reset(21);
+        assert!(!registry().node_is_down("broker-0"));
+        assert!(registry().kill_node("broker-0"));
+        assert!(!registry().kill_node("broker-0"), "idempotent kill");
+        registry().kill_node("olap-server-2");
+        assert!(registry().node_is_down("broker-0"));
+        assert_eq!(
+            registry().downed_nodes(),
+            vec!["broker-0".to_string(), "olap-server-2".to_string()]
+        );
+        assert!(registry().heal_node("broker-0"));
+        assert!(!registry().heal_node("broker-0"));
+        assert_eq!(
+            registry().node_log(),
+            vec!["kill broker-0", "kill olap-server-2", "heal broker-0"]
+        );
+        // node actions land in the schedule summary (determinism gate)
+        let summary = registry().schedule_summary();
+        assert!(summary.contains("node kill broker-0"));
+        assert!(summary.contains("node heal broker-0"));
+        registry().reset(21);
+        assert!(!registry().node_is_down("olap-server-2"), "reset clears");
+    }
+
+    #[test]
+    fn node_outage_plan_is_seed_stable() {
+        let _g = test_guard();
+        let plan = |seed: u64| {
+            registry().reset(seed);
+            registry().plan_node_outages(&["n0", "n1", "n2"], 6, 1_000, 10_000, 2_500)
+        };
+        let a = plan(77);
+        assert_eq!(a, plan(77), "same seed, same outage schedule");
+        assert_ne!(a, plan(78), "different seed, different schedule");
+        assert_eq!(a.len(), 6);
+        for (i, o) in a.iter().enumerate() {
+            assert_eq!(o.heal_at_ms, o.kill_at_ms + 2_500);
+            let window = 1_000 + i as i64 * 10_000;
+            assert!(o.kill_at_ms >= window && o.kill_at_ms < window + 10_000);
+        }
+        registry().reset(0);
     }
 
     #[test]

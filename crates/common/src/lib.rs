@@ -13,6 +13,7 @@ pub mod agg;
 pub mod chaos;
 pub mod error;
 pub mod json;
+pub mod membership;
 pub mod metrics;
 pub mod record;
 pub mod schema;
@@ -23,6 +24,9 @@ pub mod value;
 pub use agg::{AggAcc, AggFn};
 pub use chaos::{FaultKind, FaultPlan, FaultPoint, RetryPolicy, Trigger};
 pub use error::{Error, Result};
+pub use membership::{
+    Membership, MembershipConfig, MembershipEvent, MembershipListener, NodeState,
+};
 pub use record::{Record, RecordHeaders};
 pub use schema::{Field, FieldType, Schema};
 pub use time::{Clock, SimClock, Timestamp, WallClock};

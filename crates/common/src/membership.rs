@@ -1,0 +1,480 @@
+//! Cluster membership and heartbeat-based failure detection.
+//!
+//! The paper's availability story is node-granular: Kafka partitions
+//! survive broker loss through replication (§4.1), Pinot re-serves
+//! segments from deep storage when a server dies (§4.3.4), and the job
+//! manager restarts Flink jobs whose task managers stop heartbeating
+//! (§4.2.1). All three need the same primitive — "which nodes are alive
+//! right now?" — so this module provides one shared membership view:
+//!
+//! - simulated nodes emit [`Membership::heartbeat`]s on the existing
+//!   logical clock ([`Clock`]/`SimClock`), never the wall clock;
+//! - a deadline-based failure detector ([`Membership::tick`]) declares a
+//!   node [`NodeState::Suspect`] after `suspect_after_ms` without a
+//!   heartbeat and [`NodeState::Dead`] after `dead_after_ms`;
+//! - registered [`MembershipListener`]s (partition leader election, the
+//!   OLAP rebalancer, the job manager) react to state transitions;
+//! - every transition is recorded in a deterministic event log
+//!   ([`Membership::event_log`]) so failover schedules can be diffed
+//!   byte-for-byte across runs — the same discipline as the chaos layer.
+//!
+//! Chaos node-kills ([`crate::chaos::FaultRegistry::kill_node`]) route
+//! through [`Membership::kill`]: a killed node is pinned `Dead` and its
+//! heartbeats are ignored until [`Membership::revive`].
+
+use crate::time::{Clock, Timestamp};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Failure-detector verdict for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeState {
+    /// Heartbeating within the suspect deadline.
+    Alive,
+    /// Missed the suspect deadline; still counted as live (serving) but
+    /// flagged for operators, like a Kafka broker with a stalled ZK
+    /// session that has not yet expired.
+    Suspect,
+    /// Missed the dead deadline (or chaos-killed): failure domains react.
+    Dead,
+}
+
+impl NodeState {
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeState::Alive => "alive",
+            NodeState::Suspect => "suspect",
+            NodeState::Dead => "dead",
+        }
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One membership transition, in detection order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Logical time the detector observed the transition.
+    pub at: Timestamp,
+    pub node: String,
+    pub from: NodeState,
+    pub to: NodeState,
+}
+
+impl MembershipEvent {
+    /// Stable one-line rendering for the deterministic event log.
+    pub fn line(&self) -> String {
+        format!(
+            "at={} node={} {}->{}",
+            self.at, self.node, self.from, self.to
+        )
+    }
+}
+
+/// Reacts to membership transitions. Listeners are called after the
+/// membership state is updated and outside its locks, so they may call
+/// back into [`Membership`].
+pub trait MembershipListener: Send + Sync {
+    fn on_membership_event(&self, event: &MembershipEvent);
+}
+
+/// Failure-detector deadlines, in logical milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Expected heartbeat cadence (informational; drivers use it to pace
+    /// heartbeats).
+    pub heartbeat_interval_ms: i64,
+    /// No heartbeat for this long -> `Suspect`.
+    pub suspect_after_ms: i64,
+    /// No heartbeat for this long -> `Dead`.
+    pub dead_after_ms: i64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            heartbeat_interval_ms: 1_000,
+            suspect_after_ms: 3_000,
+            dead_after_ms: 10_000,
+        }
+    }
+}
+
+struct NodeInfo {
+    last_heartbeat: Timestamp,
+    state: NodeState,
+    /// Chaos-killed: pinned `Dead`, heartbeats ignored until revived.
+    killed: bool,
+}
+
+struct MembershipInner {
+    nodes: BTreeMap<String, NodeInfo>,
+    events: Vec<MembershipEvent>,
+}
+
+/// Shared membership view: register nodes, feed heartbeats, tick the
+/// failure detector, subscribe listeners.
+pub struct Membership {
+    clock: Arc<dyn Clock>,
+    config: MembershipConfig,
+    inner: RwLock<MembershipInner>,
+    listeners: RwLock<Vec<Arc<dyn MembershipListener>>>,
+}
+
+impl Membership {
+    pub fn new(clock: Arc<dyn Clock>, config: MembershipConfig) -> Arc<Self> {
+        Arc::new(Membership {
+            clock,
+            config,
+            inner: RwLock::new(MembershipInner {
+                nodes: BTreeMap::new(),
+                events: Vec::new(),
+            }),
+            listeners: RwLock::new(Vec::new()),
+        })
+    }
+
+    pub fn config(&self) -> MembershipConfig {
+        self.config
+    }
+
+    /// Register a node as alive now. Re-registering an existing node is a
+    /// no-op (its state is preserved).
+    pub fn register(&self, node: &str) {
+        let now = self.clock.now();
+        let mut inner = self.inner.write();
+        inner.nodes.entry(node.to_string()).or_insert(NodeInfo {
+            last_heartbeat: now,
+            state: NodeState::Alive,
+            killed: false,
+        });
+    }
+
+    /// Record a heartbeat from `node` at the current logical time. A
+    /// suspect (or dead-by-deadline) node that heartbeats again recovers
+    /// to `Alive`; a chaos-killed node's heartbeats are ignored.
+    pub fn heartbeat(&self, node: &str) {
+        let now = self.clock.now();
+        let event = {
+            let mut inner = self.inner.write();
+            let Some(info) = inner.nodes.get_mut(node) else {
+                return;
+            };
+            if info.killed {
+                return;
+            }
+            info.last_heartbeat = now;
+            if info.state == NodeState::Alive {
+                None
+            } else {
+                let from = info.state;
+                info.state = NodeState::Alive;
+                let ev = MembershipEvent {
+                    at: now,
+                    node: node.to_string(),
+                    from,
+                    to: NodeState::Alive,
+                };
+                inner.events.push(ev.clone());
+                Some(ev)
+            }
+        };
+        if let Some(ev) = event {
+            self.notify(&ev);
+        }
+    }
+
+    /// Run the failure detector over every node at the current logical
+    /// time and return the transitions it observed (already dispatched to
+    /// listeners). Nodes are evaluated in name order, so the event log is
+    /// deterministic for a given heartbeat/clock schedule.
+    pub fn tick(&self) -> Vec<MembershipEvent> {
+        let now = self.clock.now();
+        let transitions = {
+            let mut inner = self.inner.write();
+            let mut transitions = Vec::new();
+            for (name, info) in inner.nodes.iter_mut() {
+                if info.killed {
+                    continue;
+                }
+                let silent_for = now - info.last_heartbeat;
+                let verdict = if silent_for >= self.config.dead_after_ms {
+                    NodeState::Dead
+                } else if silent_for >= self.config.suspect_after_ms {
+                    NodeState::Suspect
+                } else {
+                    NodeState::Alive
+                };
+                // the detector only worsens state; recovery comes from an
+                // actual heartbeat, never from the deadline scan
+                if verdict > info.state {
+                    transitions.push(MembershipEvent {
+                        at: now,
+                        node: name.clone(),
+                        from: info.state,
+                        to: verdict,
+                    });
+                    info.state = verdict;
+                }
+            }
+            inner.events.extend(transitions.iter().cloned());
+            transitions
+        };
+        for ev in &transitions {
+            self.notify(ev);
+        }
+        transitions
+    }
+
+    /// Chaos kill: pin the node `Dead` immediately (no deadline wait) and
+    /// ignore its heartbeats until [`Membership::revive`]. Returns the
+    /// transition, or `None` if the node was unknown or already dead.
+    pub fn kill(&self, node: &str) -> Option<MembershipEvent> {
+        let now = self.clock.now();
+        let event = {
+            let mut inner = self.inner.write();
+            let info = inner.nodes.get_mut(node)?;
+            info.killed = true;
+            if info.state == NodeState::Dead {
+                return None;
+            }
+            let from = info.state;
+            info.state = NodeState::Dead;
+            let ev = MembershipEvent {
+                at: now,
+                node: node.to_string(),
+                from,
+                to: NodeState::Dead,
+            };
+            inner.events.push(ev.clone());
+            ev
+        };
+        self.notify(&event);
+        Some(event)
+    }
+
+    /// Undo a chaos kill: the node is alive as of now and heartbeats
+    /// count again. Returns the transition, or `None` if the node was
+    /// unknown or already alive.
+    pub fn revive(&self, node: &str) -> Option<MembershipEvent> {
+        let now = self.clock.now();
+        let event = {
+            let mut inner = self.inner.write();
+            let info = inner.nodes.get_mut(node)?;
+            info.killed = false;
+            info.last_heartbeat = now;
+            if info.state == NodeState::Alive {
+                return None;
+            }
+            let from = info.state;
+            info.state = NodeState::Alive;
+            let ev = MembershipEvent {
+                at: now,
+                node: node.to_string(),
+                from,
+                to: NodeState::Alive,
+            };
+            inner.events.push(ev.clone());
+            ev
+        };
+        self.notify(&event);
+        Some(event)
+    }
+
+    pub fn state(&self, node: &str) -> Option<NodeState> {
+        self.inner.read().nodes.get(node).map(|i| i.state)
+    }
+
+    /// Live = not `Dead`. Suspect nodes still serve (their session has
+    /// not expired yet); unknown nodes are not live.
+    pub fn is_live(&self, node: &str) -> bool {
+        self.state(node)
+            .map(|s| s != NodeState::Dead)
+            .unwrap_or(false)
+    }
+
+    /// All registered nodes with their states, in name order.
+    pub fn nodes(&self) -> Vec<(String, NodeState)> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .map(|(n, i)| (n.clone(), i.state))
+            .collect()
+    }
+
+    /// Names of live (non-dead) nodes, in name order.
+    pub fn live_nodes(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .filter(|(_, i)| i.state != NodeState::Dead)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    pub fn subscribe(&self, listener: Arc<dyn MembershipListener>) {
+        self.listeners.write().push(listener);
+    }
+
+    pub fn events(&self) -> Vec<MembershipEvent> {
+        self.inner.read().events.clone()
+    }
+
+    /// Deterministic one-line-per-transition log; two runs with the same
+    /// clock/heartbeat/kill schedule produce byte-identical output (the
+    /// node-kill CI gate diffs this).
+    pub fn event_log(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for ev in &inner.events {
+            out.push_str(&ev.line());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn notify(&self, event: &MembershipEvent) {
+        let listeners: Vec<_> = self.listeners.read().clone();
+        for l in listeners {
+            l.on_membership_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimClock;
+    use parking_lot::Mutex;
+
+    fn setup() -> (Arc<SimClock>, Arc<Membership>) {
+        let clock = Arc::new(SimClock::new(0));
+        let m = Membership::new(clock.clone(), MembershipConfig::default());
+        (clock, m)
+    }
+
+    #[test]
+    fn heartbeating_node_stays_alive() {
+        let (clock, m) = setup();
+        m.register("n0");
+        for _ in 0..20 {
+            clock.advance(1_000);
+            m.heartbeat("n0");
+            assert!(m.tick().is_empty());
+        }
+        assert_eq!(m.state("n0"), Some(NodeState::Alive));
+    }
+
+    #[test]
+    fn silent_node_goes_suspect_then_dead() {
+        let (clock, m) = setup();
+        m.register("n0");
+        m.register("n1");
+        clock.advance(3_000);
+        m.heartbeat("n1");
+        let evs = m.tick();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].node, "n0");
+        assert_eq!(evs[0].to, NodeState::Suspect);
+        assert!(m.is_live("n0")); // suspect still serves
+        clock.advance(7_000);
+        m.heartbeat("n1");
+        let evs = m.tick();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].to, NodeState::Dead);
+        assert!(!m.is_live("n0"));
+        assert_eq!(m.live_nodes(), vec!["n1".to_string()]);
+    }
+
+    #[test]
+    fn suspect_node_recovers_on_heartbeat() {
+        let (clock, m) = setup();
+        m.register("n0");
+        clock.advance(4_000);
+        m.tick();
+        assert_eq!(m.state("n0"), Some(NodeState::Suspect));
+        m.heartbeat("n0");
+        assert_eq!(m.state("n0"), Some(NodeState::Alive));
+        // the recovery itself is an event
+        let evs = m.events();
+        assert_eq!(evs.last().unwrap().to, NodeState::Alive);
+    }
+
+    #[test]
+    fn kill_pins_dead_until_revive() {
+        let (clock, m) = setup();
+        m.register("n0");
+        let ev = m.kill("n0").unwrap();
+        assert_eq!(ev.to, NodeState::Dead);
+        // heartbeats from a killed node are ignored
+        clock.advance(500);
+        m.heartbeat("n0");
+        assert_eq!(m.state("n0"), Some(NodeState::Dead));
+        assert!(m.kill("n0").is_none()); // idempotent
+        let ev = m.revive("n0").unwrap();
+        assert_eq!(ev.to, NodeState::Alive);
+        assert!(m.is_live("n0"));
+    }
+
+    #[test]
+    fn listeners_observe_transitions() {
+        struct Collect(Mutex<Vec<MembershipEvent>>);
+        impl MembershipListener for Collect {
+            fn on_membership_event(&self, event: &MembershipEvent) {
+                self.0.lock().push(event.clone());
+            }
+        }
+        let (clock, m) = setup();
+        let seen = Arc::new(Collect(Mutex::new(Vec::new())));
+        m.subscribe(seen.clone());
+        m.register("n0");
+        clock.advance(20_000);
+        m.tick();
+        m.revive("n0");
+        let got = seen.0.lock().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].to, NodeState::Dead);
+        assert_eq!(got[1].to, NodeState::Alive);
+    }
+
+    #[test]
+    fn event_log_is_deterministic() {
+        let run = || {
+            let (clock, m) = setup();
+            m.register("a");
+            m.register("b");
+            clock.advance(5_000);
+            m.heartbeat("b");
+            m.tick();
+            clock.advance(10_000);
+            m.tick();
+            m.kill("b");
+            m.revive("a");
+            m.event_log()
+        };
+        let first = run();
+        assert!(!first.is_empty());
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    fn detector_never_resurrects_without_heartbeat() {
+        let (clock, m) = setup();
+        m.register("n0");
+        clock.advance(20_000);
+        m.tick();
+        assert_eq!(m.state("n0"), Some(NodeState::Dead));
+        // further ticks with no heartbeat: still dead, no new events
+        clock.advance(1_000);
+        assert!(m.tick().is_empty());
+        assert_eq!(m.state("n0"), Some(NodeState::Dead));
+    }
+}

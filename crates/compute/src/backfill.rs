@@ -299,7 +299,9 @@ mod tests {
         );
         for i in 0..100i64 {
             // append time tracks event time so retention trims old events
-            topic.append(Record::new(trip_row(i), i * 100).with_key("k"), i * 100);
+            topic
+                .append(Record::new(trip_row(i), i * 100).with_key("k"), i * 100)
+                .unwrap();
         }
         assert!(!kafka_retains(&topic, 0));
         let err = kafka_replay_job(

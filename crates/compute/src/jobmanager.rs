@@ -11,8 +11,9 @@
 
 use crate::runtime::{Executor, ExecutorConfig, Job, JobRunStats};
 use parking_lot::RwLock;
-use rtdi_common::{Error, Result};
+use rtdi_common::{Error, MembershipEvent, MembershipListener, NodeState, Result};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
 
 /// Broad job classification driving the resource model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,11 @@ pub struct ManagedJobInfo {
     pub restarts: u32,
     pub last_stats: Option<JobRunStats>,
     pub tier: u8,
+    /// Task-manager node this job runs on (when placed).
+    pub node: Option<String>,
+    /// Set when the node hosting the job died; the deployment loop must
+    /// re-run the job (it recovers from its last checkpoint).
+    pub pending_restart: bool,
 }
 
 /// The job manager: deploy, supervise, recover, rescale.
@@ -205,9 +211,74 @@ impl JobManager {
                 restarts: 0,
                 last_stats: None,
                 tier: spec.tier,
+                node: None,
+                pending_restart: false,
             },
         );
         Ok(())
+    }
+
+    /// Record which task-manager node a job was placed on, so node-level
+    /// failure detection can find its victims.
+    pub fn assign_node(&self, job: &str, node: &str) -> Result<()> {
+        let mut jobs = self.jobs.write();
+        let info = jobs
+            .get_mut(job)
+            .ok_or_else(|| Error::NotFound(format!("job '{job}'")))?;
+        info.node = Some(node.to_string());
+        Ok(())
+    }
+
+    /// Jobs currently placed on a node, in name order.
+    pub fn jobs_on(&self, node: &str) -> Vec<String> {
+        self.jobs
+            .read()
+            .iter()
+            .filter(|(_, i)| i.node.as_deref() == Some(node))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// React to a task-manager node death (§4.2.1 failure recovery):
+    /// every job placed on it is marked `pending_restart` and unplaced.
+    /// Returns the affected job names, in name order.
+    pub fn on_node_dead(&self, node: &str) -> Vec<String> {
+        let mut affected = Vec::new();
+        let mut jobs = self.jobs.write();
+        for (name, info) in jobs.iter_mut() {
+            if info.node.as_deref() == Some(node)
+                && !matches!(info.status, JobStatus::Finished | JobStatus::Failed(_))
+            {
+                info.pending_restart = true;
+                info.node = None;
+                affected.push(name.clone());
+            }
+        }
+        affected
+    }
+
+    /// Drain the set of jobs needing a restart after node failures; the
+    /// deployment loop re-runs each via [`JobManager::supervise`].
+    pub fn take_pending_restarts(&self) -> Vec<String> {
+        let mut jobs = self.jobs.write();
+        let mut pending = Vec::new();
+        for (name, info) in jobs.iter_mut() {
+            if info.pending_restart {
+                info.pending_restart = false;
+                pending.push(name.clone());
+            }
+        }
+        pending
+    }
+
+    /// A membership listener that fans node deaths into
+    /// [`JobManager::on_node_dead`]. Subscribe it to the shared
+    /// membership view; it holds a weak ref so the manager can be
+    /// dropped freely.
+    pub fn node_listener(self: &Arc<Self>) -> Arc<dyn MembershipListener> {
+        Arc::new(NodeFailureListener {
+            manager: Arc::downgrade(self),
+        })
     }
 
     /// Run a job under supervision: on failure, re-instantiate from the
@@ -276,6 +347,21 @@ impl JobManager {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| Error::NotFound(format!("job '{name}'")))
+    }
+}
+
+/// Routes `Dead` membership transitions to the job manager.
+struct NodeFailureListener {
+    manager: Weak<JobManager>,
+}
+
+impl MembershipListener for NodeFailureListener {
+    fn on_membership_event(&self, event: &MembershipEvent) {
+        if event.to == NodeState::Dead {
+            if let Some(manager) = self.manager.upgrade() {
+                manager.on_node_dead(&event.node);
+            }
+        }
     }
 }
 
@@ -511,6 +597,51 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(jm.evaluate_health(&fresh).0, HealthAction::None);
+    }
+
+    #[test]
+    fn node_death_marks_placed_jobs_for_restart() {
+        use rtdi_common::{Membership, MembershipConfig, SimClock};
+        let jm = Arc::new(JobManager::new(ExecutorConfig::default(), 3));
+        let sink = CollectSink::new();
+        jm.validate(&simple_spec("surge", sink.clone())).unwrap();
+        jm.validate(&simple_spec("eats-etl", sink.clone())).unwrap();
+        jm.validate(&simple_spec("idle", sink)).unwrap();
+        jm.assign_node("surge", "tm-0").unwrap();
+        jm.assign_node("eats-etl", "tm-0").unwrap();
+        jm.assign_node("idle", "tm-1").unwrap();
+        // wire the manager to a membership view and let the failure
+        // detector declare tm-0 dead
+        let clock = Arc::new(SimClock::new(0));
+        let m = Membership::new(clock.clone(), MembershipConfig::default());
+        m.register("tm-0");
+        m.register("tm-1");
+        m.subscribe(jm.node_listener());
+        clock.advance(20_000);
+        m.heartbeat("tm-1");
+        m.tick();
+        // both tm-0 jobs marked, the tm-1 job untouched
+        let pending = jm.take_pending_restarts();
+        assert_eq!(pending, vec!["eats-etl".to_string(), "surge".to_string()]);
+        assert!(jm.status("idle").unwrap().node.is_some());
+        assert!(jm.status("surge").unwrap().node.is_none(), "unplaced");
+        assert!(jm.take_pending_restarts().is_empty(), "drained");
+        // re-running the job completes it
+        let sink2 = CollectSink::new();
+        let spec = simple_spec("surge2", sink2);
+        jm.supervise(&spec).unwrap();
+        assert_eq!(jm.status("surge2").unwrap().status, JobStatus::Finished);
+    }
+
+    #[test]
+    fn finished_jobs_ignore_node_death() {
+        let jm = JobManager::new(ExecutorConfig::default(), 3);
+        let sink = CollectSink::new();
+        let spec = simple_spec("done", sink);
+        jm.supervise(&spec).unwrap();
+        jm.assign_node("done", "tm-9").unwrap();
+        assert!(jm.on_node_dead("tm-9").is_empty());
+        assert!(jm.take_pending_restarts().is_empty());
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl TopicSink {
 
 impl Sink for TopicSink {
     fn write(&mut self, record: Record) -> Result<()> {
-        self.topic.append(record, (self.now)());
+        self.topic.append(record, (self.now)())?;
         Ok(())
     }
 }

@@ -320,7 +320,8 @@ mod tests {
             t.append(
                 Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
                 0,
-            );
+            )
+            .unwrap();
         }
         t
     }
@@ -344,7 +345,8 @@ mod tests {
         t.append(
             Record::new(Row::new().with("i", 999i64), 0).with_key("late"),
             0,
-        );
+        )
+        .unwrap();
         let mut total = 0;
         while !s.is_exhausted() {
             let batch = s.poll_batch(7).unwrap();
@@ -361,7 +363,8 @@ mod tests {
         assert_eq!(s.poll_batch(100).unwrap().len(), 4);
         assert!(!s.is_exhausted());
         assert!(s.poll_batch(100).unwrap().is_empty());
-        t.append(Record::new(Row::new().with("i", 5i64), 0).with_key("x"), 0);
+        t.append(Record::new(Row::new().with("i", 5i64), 0).with_key("x"), 0)
+            .unwrap();
         assert_eq!(s.poll_batch(100).unwrap().len(), 1);
     }
 

@@ -237,7 +237,8 @@ mod tests {
                 )
                 .with_key(format!("k{i}")),
                 0,
-            );
+            )
+            .unwrap();
         }
         t
     }

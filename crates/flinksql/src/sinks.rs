@@ -65,17 +65,19 @@ mod tests {
         let topic =
             Arc::new(Topic::new("orders", TopicConfig::default().with_partitions(2)).unwrap());
         for i in 0..200usize {
-            topic.append(
-                Record::new(
-                    Row::new()
-                        .with("restaurant", format!("r{}", i % 4))
-                        .with("total", 10.0 + (i % 10) as f64)
-                        .with("ts", (i as i64) * 50),
-                    (i as i64) * 50,
+            topic
+                .append(
+                    Record::new(
+                        Row::new()
+                            .with("restaurant", format!("r{}", i % 4))
+                            .with("total", 10.0 + (i % 10) as f64)
+                            .with("ts", (i as i64) * 50),
+                        (i as i64) * 50,
+                    )
+                    .with_key(format!("r{}", i % 4)),
+                    0,
                 )
-                .with_key(format!("r{}", i % 4)),
-                0,
-            );
+                .unwrap();
         }
         let schema = Schema::of(
             "order_stats",

@@ -11,7 +11,7 @@ use crate::query::{sort_and_limit, PartialAgg, Query, QueryResult};
 use crate::scatter::scatter;
 use crate::segment::Segment;
 use parking_lot::RwLock;
-use rtdi_common::fault_point;
+use rtdi_common::{chaos, fault_point};
 use rtdi_common::{Error, FaultPoint, Result};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -20,14 +20,24 @@ use std::sync::Arc;
 /// One server node hosting segment replicas.
 pub struct ServerNode {
     id: usize,
+    /// Membership/chaos identity: a node downed by name in the chaos
+    /// registry (`FaultRegistry::kill_node`) reports itself down here too.
+    name: String,
     down: AtomicBool,
     segments: RwLock<HashMap<String, Arc<Segment>>>,
 }
 
 impl ServerNode {
     pub fn new(id: usize) -> Arc<Self> {
+        Self::named(id, format!("olap-server-{id}"))
+    }
+
+    /// A server with an explicit membership name (so heartbeat/chaos
+    /// infrastructure can address it).
+    pub fn named(id: usize, name: impl Into<String>) -> Arc<Self> {
         Arc::new(ServerNode {
             id,
+            name: name.into(),
             down: AtomicBool::new(false),
             segments: RwLock::new(HashMap::new()),
         })
@@ -37,12 +47,16 @@ impl ServerNode {
         self.id
     }
 
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     pub fn set_down(&self, down: bool) {
         self.down.store(down, Ordering::SeqCst);
     }
 
     pub fn is_down(&self) -> bool {
-        self.down.load(Ordering::SeqCst)
+        self.down.load(Ordering::SeqCst) || chaos::registry().node_is_down(&self.name)
     }
 
     pub fn host(&self, segment: Arc<Segment>) {
@@ -176,10 +190,11 @@ impl Broker {
         Ok(())
     }
 
-    /// Choose a live server per segment, respecting partition affinity.
-    /// A segment with no live replica gets `None` — the query layer
-    /// degrades to a partial response instead of failing outright.
-    fn plan(&self, table: &str) -> Result<Vec<(String, Option<usize>)>> {
+    /// Choose live candidate servers per segment (in preference order),
+    /// respecting partition affinity. A segment with no live replica gets
+    /// an empty candidate list — the query layer degrades to a partial
+    /// response instead of failing outright.
+    fn plan(&self, table: &str) -> Result<Vec<(String, Vec<usize>)>> {
         let routing = self.routing.read();
         let placements = routing
             .get(table)
@@ -189,29 +204,59 @@ impl Broker {
         let mut chosen_by_partition: HashMap<usize, usize> = HashMap::new();
         let mut plan = Vec::with_capacity(placements.len());
         for pl in placements {
-            let first_live = || {
-                pl.replicas
-                    .iter()
-                    .copied()
-                    .find(|&s| !self.servers[s].is_down())
-            };
-            let server = match (aware, pl.partition) {
+            let live: Vec<usize> = pl
+                .replicas
+                .iter()
+                .copied()
+                .filter(|&s| !self.servers[s].is_down())
+                .collect();
+            let candidates = match (aware, pl.partition) {
                 (true, Some(p)) => {
-                    let existing = chosen_by_partition.get(&p).copied();
-                    let choice = match existing {
+                    // prefer the server already chosen for this partition;
+                    // the rest stay as mid-scatter fallbacks
+                    let preferred = match chosen_by_partition.get(&p).copied() {
                         Some(s) if !self.servers[s].is_down() => Some(s),
-                        _ => first_live(),
+                        _ => live.first().copied(),
                     };
-                    if let Some(c) = choice {
-                        chosen_by_partition.insert(p, c);
+                    match preferred {
+                        Some(s) => {
+                            chosen_by_partition.insert(p, s);
+                            let mut c = vec![s];
+                            c.extend(live.iter().copied().filter(|&x| x != s));
+                            c
+                        }
+                        None => Vec::new(),
                     }
-                    choice
                 }
-                _ => first_live(),
+                _ => live,
             };
-            plan.push((pl.segment.clone(), server));
+            plan.push((pl.segment.clone(), candidates));
         }
         Ok(plan)
+    }
+
+    /// Try each candidate server for a segment in order, routing around
+    /// servers that die mid scatter-gather; availability errors only
+    /// surface when every replica fails.
+    fn serve_with_failover<T>(
+        &self,
+        segment: &str,
+        candidates: &[usize],
+        f: impl Fn(&ServerNode, &str) -> Result<T>,
+    ) -> Result<T> {
+        let mut last: Option<Error> = None;
+        for &s in candidates {
+            match f(&self.servers[s], segment) {
+                Ok(v) => return Ok(v),
+                Err(e) if matches!(e, Error::Unavailable(_) | Error::Timeout(_)) => {
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            Error::Unavailable(format!("segment '{segment}' has no live replica"))
+        }))
     }
 
     /// Execute a query: scatter sub-queries to the chosen servers across
@@ -226,11 +271,9 @@ impl Broker {
         let plan = self.plan(&query.table)?;
         let threads = self.parallelism.load(Ordering::Relaxed);
         let total_segments = plan.len();
-        let mut segments_unavailable = plan.iter().filter(|(_, s)| s.is_none()).count() as u64;
-        let live: Vec<(String, usize)> = plan
-            .into_iter()
-            .filter_map(|(seg, s)| s.map(|s| (seg, s)))
-            .collect();
+        let mut segments_unavailable = plan.iter().filter(|(_, c)| c.is_empty()).count() as u64;
+        let live: Vec<(String, Vec<usize>)> =
+            plan.into_iter().filter(|(_, c)| !c.is_empty()).collect();
         let mut segments_queried = 0;
         let mut docs_scanned = 0;
         let mut used_startree = false;
@@ -239,8 +282,10 @@ impl Broker {
         let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
         let rows = if query.is_aggregation() {
             let parts = scatter(live.len(), threads, |i| {
-                let (segment, server) = &live[i];
-                self.servers[*server].execute_partial(segment, query)
+                let (segment, candidates) = &live[i];
+                self.serve_with_failover(segment, candidates, |srv, seg| {
+                    srv.execute_partial(seg, query)
+                })
             });
             let mut merged = PartialAgg::default();
             for part in parts {
@@ -264,8 +309,10 @@ impl Broker {
             merged.finalize(query)
         } else {
             let partials = scatter(live.len(), threads, |i| {
-                let (segment, server) = &live[i];
-                self.servers[*server].execute_select(segment, query)
+                let (segment, candidates) = &live[i];
+                self.serve_with_failover(segment, candidates, |srv, seg| {
+                    srv.execute_select(seg, query)
+                })
             });
             let mut rows = Vec::new();
             for r in partials {
@@ -296,6 +343,59 @@ impl Broker {
             partial: segments_unavailable > 0,
             segments_unavailable,
         })
+    }
+
+    /// Registered table names, in order.
+    pub fn tables(&self) -> Vec<String> {
+        self.routing.read().keys().cloned().collect()
+    }
+
+    /// Current placements of a table's segments.
+    pub fn placements(&self, table: &str) -> Vec<SegmentPlacement> {
+        self.routing.read().get(table).cloned().unwrap_or_default()
+    }
+
+    /// Index of the server with the given membership name.
+    pub fn server_by_name(&self, name: &str) -> Option<usize> {
+        self.servers.iter().position(|s| s.name() == name)
+    }
+
+    /// Move one replica of a segment from a dead server to a new host:
+    /// the recovered segment is hosted on `to` and the routing entry
+    /// updated. Used by the rebalancer (§4.3.4 self-healing).
+    pub fn rehost_replica(
+        &self,
+        table: &str,
+        segment: &str,
+        from: usize,
+        to: usize,
+        seg: Arc<Segment>,
+    ) -> Result<()> {
+        if to >= self.servers.len() {
+            return Err(Error::InvalidArgument(format!("no server {to}")));
+        }
+        let mut routing = self.routing.write();
+        let placements = routing
+            .get_mut(table)
+            .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
+        let pl = placements
+            .iter_mut()
+            .find(|p| p.segment == segment)
+            .ok_or_else(|| Error::NotFound(format!("segment '{segment}'")))?;
+        let slot = pl.replicas.iter().position(|&r| r == from).ok_or_else(|| {
+            Error::NotFound(format!(
+                "segment '{segment}' has no replica on server {from}"
+            ))
+        })?;
+        if pl.replicas.contains(&to) {
+            return Err(Error::AlreadyExists(format!(
+                "segment '{segment}' already on server {to}"
+            )));
+        }
+        pl.replicas[slot] = to;
+        self.servers[to].host(seg);
+        self.servers[from].drop_segment(segment);
+        Ok(())
     }
 }
 
@@ -438,12 +538,12 @@ mod tests {
         }
         let plan = broker.plan("u").unwrap();
         let mut by_partition: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (name, server) in plan {
+        for (name, candidates) in plan {
             let p: usize = name[1..2].parse().unwrap();
             by_partition
                 .entry(p)
                 .or_default()
-                .push(server.expect("all servers live"));
+                .push(*candidates.first().expect("all servers live"));
         }
         for (p, servers) in by_partition {
             assert!(

@@ -219,7 +219,7 @@ mod tests {
     fn ingests_all_partitions_and_tracks_lag() {
         let t = topic();
         for i in 0..50 {
-            t.append(trip(i, 10.0), 0);
+            t.append(trip(i, 10.0), 0).unwrap();
         }
         let mut ing =
             RealtimeIngester::new(t.clone(), table(false), IngestionConfig::default()).unwrap();
@@ -227,7 +227,7 @@ mod tests {
         assert_eq!(ing.run_once().unwrap(), 50);
         assert_eq!(ing.lag(), 0);
         // incremental
-        t.append(trip(99, 5.0), 0);
+        t.append(trip(99, 5.0), 0).unwrap();
         assert_eq!(ing.lag(), 1);
         assert_eq!(ing.run_once().unwrap(), 1);
     }
@@ -243,11 +243,11 @@ mod tests {
         let t = topic();
         let tbl = table(true);
         for i in 0..30 {
-            t.append(trip(i, 10.0), 0);
+            t.append(trip(i, 10.0), 0).unwrap();
         }
         // fare corrections for 5 trips
         for i in 0..5 {
-            t.append(trip(i, 777.0), 0);
+            t.append(trip(i, 777.0), 0).unwrap();
         }
         let mut ing = RealtimeIngester::new(t, tbl.clone(), IngestionConfig::default()).unwrap();
         ing.run_once().unwrap();
@@ -267,7 +267,7 @@ mod tests {
     fn sealed_segments_backed_up() {
         let t = topic();
         for i in 0..40 {
-            t.append(trip(i, 1.0), 0);
+            t.append(trip(i, 1.0), 0).unwrap();
         }
         let tbl = table(false);
         let ss = Arc::new(SegmentStore::new(
@@ -297,7 +297,7 @@ mod tests {
         for i in 0..20 {
             let rec = trip(i, 1.0);
             ch.observe("kafka", &rec);
-            t.append(rec, 0);
+            t.append(rec, 0).unwrap();
         }
         let mut ing = RealtimeIngester::new(t, table(false), IngestionConfig::default())
             .unwrap()
@@ -314,7 +314,7 @@ mod tests {
         for i in 0..20 {
             let mut rec = trip(i, 1.0);
             PipelineTracer::stamp(&mut rec, 1_000);
-            t.append(rec, 1_000);
+            t.append(rec, 1_000).unwrap();
         }
         // records sat 3 seconds between production and ingestion
         let clock = Arc::new(SimClock::new(4_000));

@@ -19,6 +19,9 @@
 //! - [`segstore`] (§4.3.4): segment archival with a centralized
 //!   controller-mediated scheme and the peer-to-peer replica recovery
 //!   scheme that replaced it;
+//! - [`rebalance`] (§4.3.4): the self-healing placement loop that
+//!   re-hosts under-replicated segments after server death, wired to the
+//!   shared heartbeat membership view;
 //! - [`baselines`]: the Elasticsearch-like heap/row store used by the §4.3
 //!   footprint and latency comparison (E10).
 
@@ -28,6 +31,7 @@ pub mod broker;
 pub mod ingestion;
 pub mod query;
 pub mod realtime;
+pub mod rebalance;
 pub mod scatter;
 pub mod segment;
 pub mod segstore;
@@ -40,6 +44,7 @@ pub use broker::{Broker, ServerNode};
 pub use ingestion::{IngestionConfig, RealtimeIngester};
 pub use query::{Predicate, PredicateOp, Query, QueryResult};
 pub use realtime::MutableSegment;
+pub use rebalance::{RebalanceReport, Rebalancer, ReplicaMove};
 pub use segment::{IndexSpec, Segment};
 pub use segstore::{SegmentStore, SegmentStoreMode};
 pub use startree::{StarTree, StarTreeSpec};

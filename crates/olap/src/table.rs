@@ -497,7 +497,7 @@ mod tests {
             table.ingest(i % 2, trip(i)).unwrap();
         }
         // 100 rows, 25-per-segment -> sealing happened
-        assert!(table.sealed_segments(0).len() >= 1);
+        assert!(!table.sealed_segments(0).is_empty());
         assert_eq!(table.doc_count(), 100);
         let q = Query::select_all("trips")
             .aggregate("n", AggFn::Count)

@@ -7,6 +7,7 @@
 //! and limit."
 
 use rtdi_common::{AggFn, Error, FieldType, Result, Row, Schema, Value};
+use rtdi_olap::broker::Broker;
 use rtdi_olap::query::{Predicate, Query as OlapQuery, SortOrder};
 use rtdi_olap::table::OlapTable;
 use rtdi_storage::hive::HiveCatalog;
@@ -58,6 +59,11 @@ pub struct ScanOutput {
     pub docs_scanned: u64,
     /// Rows shipped from the connector to the engine.
     pub rows_shipped: u64,
+    /// Pinot partial-response semantics: the backing store could not reach
+    /// every segment and the rows cover only the available ones.
+    pub partial: bool,
+    /// Segments the backing store could not reach.
+    pub segments_unavailable: u64,
 }
 
 /// A data source exposed to the SQL engine.
@@ -69,12 +75,23 @@ pub trait Connector: Send + Sync {
     fn table_names(&self) -> Vec<String>;
 }
 
+/// How the Pinot connector reaches a table's segments.
+#[derive(Clone)]
+enum PinotSource {
+    /// In-process hybrid table (no server fan-out).
+    Direct(Arc<OlapTable>),
+    /// Table served through a scatter-gather [`Broker`] over server
+    /// nodes. Server death surfaces here as Pinot partial-response
+    /// metadata rather than a hard error.
+    Brokered { schema: Schema, broker: Arc<Broker> },
+}
+
 /// Connector over the real-time OLAP store. Tables can be registered
 /// after the connector is shared with the engine (`register` takes
 /// `&self`), matching how new Pinot tables appear to Presto without a
 /// restart.
 pub struct PinotConnector {
-    tables: parking_lot::RwLock<HashMap<String, Arc<OlapTable>>>,
+    tables: parking_lot::RwLock<HashMap<String, PinotSource>>,
 }
 
 impl PinotConnector {
@@ -85,10 +102,21 @@ impl PinotConnector {
     }
 
     pub fn register(&self, table: Arc<OlapTable>) {
-        self.tables.write().insert(table.name().to_string(), table);
+        self.tables
+            .write()
+            .insert(table.name().to_string(), PinotSource::Direct(table));
     }
 
-    fn table(&self, name: &str) -> Result<Arc<OlapTable>> {
+    /// Register a table served by a scatter-gather broker. Queries route
+    /// through the broker's replica-aware plan, so a dead server degrades
+    /// the scan to `partial=true` instead of failing it.
+    pub fn register_brokered(&self, name: &str, schema: Schema, broker: Arc<Broker>) {
+        self.tables
+            .write()
+            .insert(name.to_string(), PinotSource::Brokered { schema, broker });
+    }
+
+    fn table(&self, name: &str) -> Result<PinotSource> {
         self.tables
             .read()
             .get(name)
@@ -114,7 +142,10 @@ impl Connector for PinotConnector {
     }
 
     fn table_schema(&self, table: &str) -> Result<Schema> {
-        Ok(self.table(table)?.config().schema.clone())
+        Ok(match self.table(table)? {
+            PinotSource::Direct(t) => t.config().schema.clone(),
+            PinotSource::Brokered { schema, .. } => schema,
+        })
     }
 
     fn table_names(&self) -> Vec<String> {
@@ -122,7 +153,7 @@ impl Connector for PinotConnector {
     }
 
     fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput> {
-        let t = self.table(table)?;
+        let source = self.table(table)?;
         let mut q = OlapQuery::select_all(table);
         q.predicates = pushdown.predicates.clone();
         if let Some(agg) = &pushdown.aggregation {
@@ -149,12 +180,14 @@ impl Connector for PinotConnector {
             // here, so applying is safe either way)
             q.limit = pushdown.limit;
         }
-        let mut result = t.query(&q)?;
+        let (mut result, schema) = match &source {
+            PinotSource::Direct(t) => (t.query(&q)?, t.config().schema.clone()),
+            PinotSource::Brokered { schema, broker } => (broker.query(&q)?, schema.clone()),
+        };
         // the OLAP store renders non-null group keys as strings (NULL keys
         // arrive as real Value::Null); restore the schema types so pushed
         // and unpushed plans produce identical rows
         if let Some(agg) = &pushdown.aggregation {
-            let schema = &t.config().schema;
             for row in &mut result.rows {
                 for col in &agg.group_by {
                     let Some(field) = schema.field(col) else {
@@ -184,6 +217,8 @@ impl Connector for PinotConnector {
         Ok(ScanOutput {
             rows_shipped: result.rows.len() as u64,
             docs_scanned: result.docs_scanned,
+            partial: result.partial,
+            segments_unavailable: result.segments_unavailable,
             rows: result.rows,
         })
     }
@@ -227,6 +262,7 @@ impl Connector for HiveConnector {
             docs_scanned: rows.len() as u64,
             rows_shipped: rows.len() as u64,
             rows,
+            ..Default::default()
         })
     }
 }
@@ -273,6 +309,7 @@ impl Connector for MemoryConnector {
             docs_scanned: rows.len() as u64,
             rows_shipped: rows.len() as u64,
             rows: rows.clone(),
+            ..Default::default()
         })
     }
 }
@@ -388,5 +425,61 @@ mod tests {
         assert!(c.scan("ghost", &Pushdown::default()).is_err());
         assert!(c.table_schema("ghost").is_err());
         assert_eq!(c.table_names(), vec!["orders".to_string()]);
+    }
+
+    fn brokered_pinot() -> (PinotConnector, Arc<Broker>) {
+        use rtdi_olap::broker::ServerNode;
+        use rtdi_olap::segment::Segment;
+        let schema = Schema::of(
+            "orders",
+            &[("city", FieldType::Str), ("total", FieldType::Double)],
+        );
+        let servers: Vec<Arc<ServerNode>> = (0..2).map(ServerNode::new).collect();
+        let broker = Arc::new(Broker::new(servers));
+        broker.register_table("orders", false);
+        for s in 0..4 {
+            let rows: Vec<Row> = (0..100)
+                .map(|i| {
+                    Row::new()
+                        .with("city", ["sf", "la"][i % 2])
+                        .with("total", (s * 100 + i) as f64)
+                })
+                .collect();
+            let seg = Segment::build(format!("s{s}"), &schema, rows, &IndexSpec::none()).unwrap();
+            // replication 1: a server death strands half the segments
+            broker
+                .place_segment("orders", Arc::new(seg), None, 1)
+                .unwrap();
+        }
+        let c = PinotConnector::new();
+        c.register_brokered("orders", schema, broker.clone());
+        (c, broker)
+    }
+
+    #[test]
+    fn brokered_scan_surfaces_partial_response() {
+        let (c, broker) = brokered_pinot();
+        let pd = Pushdown {
+            aggregation: Some(PushedAgg {
+                group_by: vec![],
+                aggs: vec![("n".into(), AggFn::Count)],
+            }),
+            ..Default::default()
+        };
+        let healthy = c.scan("orders", &pd).unwrap();
+        assert!(!healthy.partial);
+        assert_eq!(healthy.segments_unavailable, 0);
+        assert_eq!(healthy.rows[0].get_int("n"), Some(400));
+
+        broker.servers()[1].set_down(true);
+        let degraded = c.scan("orders", &pd).unwrap();
+        assert!(degraded.partial, "dead server must mark the scan partial");
+        assert_eq!(degraded.segments_unavailable, 2);
+        assert_eq!(degraded.rows[0].get_int("n"), Some(200));
+
+        broker.servers()[1].set_down(false);
+        let healed = c.scan("orders", &pd).unwrap();
+        assert!(!healed.partial);
+        assert_eq!(healed.rows[0].get_int("n"), Some(400));
     }
 }

@@ -42,6 +42,11 @@ pub struct QueryStats {
     pub docs_scanned: u64,
     /// Rows shipped from connectors into the engine.
     pub rows_shipped: u64,
+    /// Some scan ran degraded (a connector could not reach every segment)
+    /// and the rows cover only the available data.
+    pub partial: bool,
+    /// Segments connectors could not reach across all scans.
+    pub segments_unavailable: u64,
     /// EXPLAIN text of the optimized plan.
     pub plan: String,
 }
@@ -185,6 +190,8 @@ impl SqlEngine {
                 let out = self.connector(catalog)?.scan(table, pushdown)?;
                 stats.docs_scanned += out.docs_scanned;
                 stats.rows_shipped += out.rows_shipped;
+                stats.partial |= out.partial;
+                stats.segments_unavailable += out.segments_unavailable;
                 let _ = binding;
                 Ok(out.rows)
             }
@@ -564,6 +571,52 @@ mod tests {
         let e = engine();
         assert!(e.query("SELECT * FROM nosuch.t").is_err());
         assert!(e.query("SELECT * FROM ghost_table").is_err());
+    }
+
+    #[test]
+    fn degraded_scan_metadata_reaches_sql_stats() {
+        use crate::connector::PinotConnector;
+        use rtdi_common::{FieldType, Schema};
+        use rtdi_olap::broker::{Broker, ServerNode};
+        use rtdi_olap::segment::{IndexSpec, Segment};
+
+        let schema = Schema::of(
+            "trips",
+            &[("city", FieldType::Str), ("fare", FieldType::Double)],
+        );
+        let servers: Vec<Arc<ServerNode>> = (0..2).map(ServerNode::new).collect();
+        let broker = Arc::new(Broker::new(servers));
+        broker.register_table("trips", false);
+        for s in 0..4 {
+            let rows: Vec<Row> = (0..50)
+                .map(|i| {
+                    Row::new()
+                        .with("city", ["sf", "la"][i % 2])
+                        .with("fare", (s * 50 + i) as f64)
+                })
+                .collect();
+            let seg = Segment::build(format!("s{s}"), &schema, rows, &IndexSpec::none()).unwrap();
+            broker
+                .place_segment("trips", Arc::new(seg), None, 1)
+                .unwrap();
+        }
+        let pinot = PinotConnector::new();
+        pinot.register_brokered("trips", schema, broker.clone());
+        let mut e = SqlEngine::new(EngineConfig::default());
+        e.register_connector("pinot", Arc::new(pinot));
+
+        let healthy = e.query("SELECT COUNT(*) AS n FROM trips").unwrap();
+        assert!(!healthy.stats.partial);
+        assert_eq!(healthy.stats.segments_unavailable, 0);
+        assert_eq!(healthy.rows[0].get_int("n"), Some(200));
+
+        // kill a server: the SQL result must carry the degradation
+        // metadata end-to-end, not silently return a partial count
+        broker.servers()[0].set_down(true);
+        let degraded = e.query("SELECT COUNT(*) AS n FROM trips").unwrap();
+        assert!(degraded.stats.partial);
+        assert_eq!(degraded.stats.segments_unavailable, 2);
+        assert_eq!(degraded.rows[0].get_int("n"), Some(100));
     }
 
     #[test]

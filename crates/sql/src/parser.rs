@@ -443,7 +443,7 @@ mod tests {
         assert!(s.having.is_some());
         assert!(s.order_by[0].desc);
         assert_eq!(s.limit, Some(3));
-        assert!(s.where_clause.unwrap().contains_agg() == false);
+        assert!(!s.where_clause.unwrap().contains_agg());
     }
 
     #[test]

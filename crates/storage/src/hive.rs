@@ -223,7 +223,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 Row::new()
-                    .with("id", (day * 1000 + i as i64) as i64)
+                    .with("id", day * 1000 + i as i64)
                     .with("city", "sf")
                     .with("__ts", day * 86_400_000 + i as i64 * 1000)
             })

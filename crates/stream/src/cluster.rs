@@ -1,4 +1,4 @@
-//! Physical clusters: brokers hosting topics.
+//! Physical clusters: named broker nodes hosting replicated topics.
 //!
 //! §4.1.1: "Based on our empirical data, the ideal cluster size is less
 //! than 150 nodes for optimum performance. With federation, the Kafka
@@ -7,13 +7,26 @@
 //! a fullness signal the federation layer uses to decide when to add a
 //! cluster, and a node-count-dependent overhead model that reproduces the
 //! "degradation past ~150 nodes" observation in experiment E2.
+//!
+//! Since PR 4 the nodes are real failure domains: each broker is a named
+//! member (`{cluster}-n{i}`) of a shared [`Membership`] view. Topic
+//! partitions are placed across live nodes with replication-factor
+//! spread, node death (declared by the heartbeat failure detector or by a
+//! chaos [`rtdi_common::chaos::FaultRegistry::kill_node`]) triggers
+//! leader failover on every partition the node led, and recovery rejoins
+//! it to the ISRs.
 
+use crate::replica::FailoverEvent;
 use crate::topic::{Topic, TopicConfig};
 use parking_lot::RwLock;
-use rtdi_common::{Error, Record, Result, Timestamp};
+use rtdi_common::chaos;
+use rtdi_common::{
+    Clock, Error, Membership, MembershipConfig, MembershipEvent, MembershipListener, NodeState,
+    Record, Result, SimClock, Timestamp,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Sizing/behaviour knobs for a cluster.
 #[derive(Debug, Clone)]
@@ -43,16 +56,66 @@ pub struct Cluster {
     topics: RwLock<BTreeMap<String, Arc<Topic>>>,
     /// Simulated total-cluster failure (for federation failover tests).
     down: AtomicBool,
+    membership: Arc<Membership>,
+}
+
+/// Fans membership transitions out to every topic's replica sets:
+/// `Dead` fails the node's partitions over, `Alive` (from dead) rejoins
+/// it. Holds a weak ref so the cluster can be dropped while subscribed.
+struct TopicFailoverFanout {
+    cluster: Weak<Cluster>,
+}
+
+impl MembershipListener for TopicFailoverFanout {
+    fn on_membership_event(&self, event: &MembershipEvent) {
+        let Some(cluster) = self.cluster.upgrade() else {
+            return;
+        };
+        let topics: Vec<Arc<Topic>> = cluster.topics.read().values().cloned().collect();
+        match (event.from, event.to) {
+            (_, NodeState::Dead) => {
+                for t in &topics {
+                    t.on_node_down(&event.node, event.at);
+                }
+            }
+            (NodeState::Dead, NodeState::Alive) => {
+                for t in &topics {
+                    t.on_node_up(&event.node, event.at);
+                }
+            }
+            _ => {} // Suspect transitions don't move leadership
+        }
+    }
 }
 
 impl Cluster {
     pub fn new(name: impl Into<String>, config: ClusterConfig) -> Arc<Self> {
-        Arc::new(Cluster {
-            name: name.into(),
+        Self::with_clock(name, config, Arc::new(SimClock::new(0)))
+    }
+
+    /// Create a cluster whose membership/failure detection runs on the
+    /// given logical clock (shared with the rest of a simulation).
+    pub fn with_clock(
+        name: impl Into<String>,
+        config: ClusterConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let membership = Membership::new(clock, MembershipConfig::default());
+        let cluster = Arc::new(Cluster {
+            name,
             config: RwLock::new(config),
             topics: RwLock::new(BTreeMap::new()),
             down: AtomicBool::new(false),
-        })
+            membership,
+        });
+        for node in cluster.node_names() {
+            cluster.membership.register(&node);
+        }
+        cluster.membership.subscribe(Arc::new(TopicFailoverFanout {
+            cluster: Arc::downgrade(&cluster),
+        }));
+        cluster
     }
 
     pub fn name(&self) -> &str {
@@ -63,9 +126,28 @@ impl Cluster {
         self.config.read().nodes
     }
 
+    /// Names of every broker this cluster was sized with, dead or alive.
+    pub fn node_names(&self) -> Vec<String> {
+        (0..self.config.read().nodes)
+            .map(|i| format!("{}-n{}", self.name, i))
+            .collect()
+    }
+
+    /// The shared membership view (heartbeats, failure detection,
+    /// listeners).
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
     /// Grow the cluster (operators add brokers before adding clusters).
     pub fn add_nodes(&self, n: usize) {
-        self.config.write().nodes += n;
+        let mut cfg = self.config.write();
+        cfg.nodes += n;
+        let total = cfg.nodes;
+        drop(cfg);
+        for i in total - n..total {
+            self.membership.register(&format!("{}-n{}", self.name, i));
+        }
     }
 
     pub fn set_down(&self, down: bool) {
@@ -82,6 +164,53 @@ impl Cluster {
         } else {
             Ok(())
         }
+    }
+
+    /// Emit a heartbeat from every node that is not chaos-downed, then
+    /// run the failure detector. This is the per-interval driver a
+    /// simulation calls as it advances the logical clock; a chaos-downed
+    /// node simply falls silent, so its death is *detected* (after
+    /// `dead_after_ms`) rather than announced — that detection latency is
+    /// what the failover MTTR experiment measures.
+    pub fn heartbeat_tick(&self) -> Vec<MembershipEvent> {
+        for node in self.node_names() {
+            if !chaos::registry().node_is_down(&node) {
+                self.membership.heartbeat(&node);
+            }
+        }
+        self.membership.tick()
+    }
+
+    /// Kill a broker abruptly and *announce* it (chaos registry + pinned
+    /// membership kill): partitions fail over immediately. Use
+    /// [`Cluster::fail_node_silently`] to exercise the detection path
+    /// instead. Returns false if the node was already down.
+    pub fn kill_node(&self, node: &str) -> bool {
+        let newly = chaos::registry().kill_node(node);
+        self.membership.kill(node);
+        newly
+    }
+
+    /// Kill a broker silently: it stops heartbeating (the chaos registry
+    /// marks it down so [`Cluster::heartbeat_tick`] skips it) but nothing
+    /// is announced — the failure detector must notice the missed
+    /// deadlines. Returns false if the node was already down.
+    pub fn fail_node_silently(&self, node: &str) -> bool {
+        chaos::registry().kill_node(node)
+    }
+
+    /// Bring a downed broker back: heartbeats resume and it rejoins every
+    /// ISR (catching up from shared storage). Works for both announced
+    /// and silent kills.
+    pub fn heal_node(&self, node: &str) -> bool {
+        let newly = chaos::registry().heal_node(node);
+        self.membership.revive(node);
+        newly
+    }
+
+    /// Live (non-dead) broker names, in name order.
+    pub fn live_node_names(&self) -> Vec<String> {
+        self.membership.live_nodes()
     }
 
     /// Total partition-replica slots and how many are used.
@@ -119,6 +248,9 @@ impl Cluster {
         }
     }
 
+    /// Create a topic with its partition replicas placed across this
+    /// cluster's *live* nodes — brokers currently marked dead are skipped
+    /// at placement time.
     pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<Arc<Topic>> {
         self.check_up()?;
         let mut topics = self.topics.write();
@@ -140,7 +272,14 @@ impl Cluster {
                 )));
             }
         }
-        let topic = Arc::new(Topic::new(name, config)?);
+        let live = self.live_node_names();
+        if live.is_empty() {
+            return Err(Error::Unavailable(format!(
+                "cluster '{}' has no live nodes to place topic '{name}'",
+                self.name
+            )));
+        }
+        let topic = Arc::new(Topic::with_placement(name, config, &live)?);
         topics.insert(name.to_string(), topic.clone());
         Ok(topic)
     }
@@ -170,7 +309,28 @@ impl Cluster {
     /// Produce a record to a topic on this cluster.
     pub fn produce(&self, topic: &str, record: Record, now: Timestamp) -> Result<(usize, u64)> {
         let t = self.topic(topic)?;
-        Ok(t.append(record, now))
+        t.append(record, now)
+    }
+
+    /// Every leadership transition across all topics, ordered by
+    /// (time, topic, partition, epoch) — deterministic for a given
+    /// kill/heal/clock schedule; the node-kill CI gate diffs this.
+    pub fn failover_log(&self) -> String {
+        let mut events: Vec<FailoverEvent> = self
+            .topics
+            .read()
+            .values()
+            .flat_map(|t| t.failover_events())
+            .collect();
+        events.sort_by(|a, b| {
+            (a.at, &a.topic, a.partition, a.epoch).cmp(&(b.at, &b.topic, b.partition, b.epoch))
+        });
+        let mut out = String::new();
+        for ev in &events {
+            out.push_str(&ev.line());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -286,5 +446,107 @@ mod tests {
         c.drop_topic("a").unwrap();
         assert!(!c.is_full());
         assert!(c.drop_topic("a").is_err());
+    }
+
+    #[test]
+    fn announced_kill_fails_partitions_over_immediately() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0);
+        let c = Cluster::new(
+            "agg",
+            ClusterConfig {
+                nodes: 4,
+                ..Default::default()
+            },
+        );
+        let t = c.create_topic("trips", TopicConfig::default()).unwrap();
+        for i in 0..20 {
+            c.produce(
+                "trips",
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
+                i,
+            )
+            .unwrap();
+        }
+        let victim = t.replica_status(0).unwrap().leader.unwrap();
+        assert!(c.kill_node(&victim));
+        let st = t.replica_status(0).unwrap();
+        assert_ne!(st.leader.as_deref(), Some(victim.as_str()));
+        assert!(st.leader.is_some(), "in-sync follower elected");
+        // committed records survive, writes keep flowing
+        let committed: u64 = t.committed_watermarks().iter().sum();
+        assert_eq!(committed, 20);
+        c.produce("trips", Record::new(Row::new().with("i", 99i64), 99), 99)
+            .unwrap();
+        assert!(c.failover_log().contains(&victim));
+        c.heal_node(&victim);
+        assert_eq!(t.replica_status(0).unwrap().isr.len(), 3);
+        chaos::registry().reset(0);
+    }
+
+    #[test]
+    fn silent_failure_is_detected_by_deadline_and_healed() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0);
+        let clock = Arc::new(SimClock::new(0));
+        let c = Cluster::with_clock(
+            "agg",
+            ClusterConfig {
+                nodes: 3,
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let t = c.create_topic("trips", TopicConfig::default()).unwrap();
+        let victim = t.replica_status(0).unwrap().leader.unwrap();
+        assert!(c.fail_node_silently(&victim));
+        // node goes silent; detector needs dead_after_ms of missed beats
+        let interval = c.membership().config().heartbeat_interval_ms;
+        let mut detected_at = None;
+        for _ in 0..15 {
+            clock.advance(interval);
+            let evs = c.heartbeat_tick();
+            if evs
+                .iter()
+                .any(|e| e.node == victim && e.to == NodeState::Dead)
+            {
+                detected_at = Some(clock.now());
+                break;
+            }
+        }
+        let detected_at = detected_at.expect("silent node declared dead");
+        assert!(detected_at >= c.membership().config().dead_after_ms);
+        assert!(t.replica_status(0).unwrap().leader.is_some());
+        assert_ne!(t.replica_status(0).unwrap().leader.unwrap(), victim);
+        // heal: heartbeats resume, node rejoins the ISR
+        c.heal_node(&victim);
+        clock.advance(interval);
+        c.heartbeat_tick();
+        assert_eq!(t.replica_status(0).unwrap().isr.len(), 3);
+        chaos::registry().reset(0);
+    }
+
+    #[test]
+    fn placement_skips_dead_nodes() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0);
+        let c = Cluster::new(
+            "agg",
+            ClusterConfig {
+                nodes: 5,
+                ..Default::default()
+            },
+        );
+        c.kill_node("agg-n0");
+        let t = c.create_topic("t", TopicConfig::default()).unwrap();
+        for p in 0..t.num_partitions() {
+            let st = t.replica_status(p).unwrap();
+            assert!(
+                !st.assignment.contains(&"agg-n0".to_string()),
+                "dead node must not receive replicas"
+            );
+        }
+        c.heal_node("agg-n0");
+        chaos::registry().reset(0);
     }
 }

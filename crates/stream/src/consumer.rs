@@ -204,14 +204,16 @@ impl ConsumerGroup {
         *self.state.read().committed.get(&partition).unwrap_or(&0)
     }
 
-    /// Total lag: records between committed offsets and the high
-    /// watermarks. The job manager's auto-scaler watches this (§4.2.1).
+    /// Total lag: records between committed offsets and the *committed*
+    /// (consumer-visible) high watermarks — uncommitted tail records a
+    /// consumer could never fetch don't count as lag. The job manager's
+    /// auto-scaler watches this (§4.2.1).
     pub fn lag(&self) -> u64 {
         let topic = self.subscription.topic();
         let st = self.state.read();
         (0..topic.num_partitions())
             .map(|p| {
-                let hwm = topic.partition(p).map(|l| l.high_watermark()).unwrap_or(0);
+                let hwm = topic.committed_watermark(p).unwrap_or(0);
                 hwm.saturating_sub(*st.committed.get(&p).unwrap_or(&0))
             })
             .sum()
@@ -238,7 +240,8 @@ mod tests {
             t.append(
                 Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
                 0,
-            );
+            )
+            .unwrap();
         }
         t
     }
@@ -327,7 +330,8 @@ mod tests {
         assert_eq!(g.lag(), 20, "poll without commit leaves lag");
         g.commit("a");
         assert_eq!(g.lag(), 0);
-        t.append(Record::new(Row::new(), 0).with_key("x"), 0);
+        t.append(Record::new(Row::new(), 0).with_key("x"), 0)
+            .unwrap();
         assert_eq!(g.lag(), 1);
     }
 
@@ -351,7 +355,8 @@ mod tests {
             t.append(
                 Record::new(Row::new().with("i", i as i64), 0).with_key("k"),
                 0,
-            );
+            )
+            .unwrap();
         }
         // committed offset 0 has been retained away; poll recovers
         let recs = g.poll("a", 10).unwrap();

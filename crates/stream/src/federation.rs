@@ -126,7 +126,9 @@ impl FederatedCluster {
             .clusters
             .iter()
             .find(|c| {
-                if c.is_down() {
+                // skip clusters marked down, with no live broker left, or
+                // without capacity — placement reroutes to the next one
+                if c.is_down() || c.live_node_names().is_empty() {
                     return false;
                 }
                 let (total, used) = c.capacity();
@@ -238,6 +240,10 @@ impl FederatedCluster {
                 }
             }
         }
+        // the copy wrote beneath the replication layer; declare the
+        // destination replicas caught up so its committed watermarks
+        // expose the migrated records
+        dst.resync_replicas();
         inner
             .metadata
             .placement
@@ -272,7 +278,7 @@ impl StreamEndpoint for FederatedCluster {
         if let Some(ch) = &chaperone {
             ch.observe_at(&format!("{topic}/stream"), &record, now);
         }
-        Ok(t.append(record, now))
+        t.append(record, now)
     }
 
     fn fetch(&self, topic: &str, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
@@ -348,6 +354,51 @@ mod tests {
             .unwrap();
         assert_eq!(fed.placement("a").unwrap(), "c1");
         assert_eq!(fed.placement("b").unwrap(), "c2");
+    }
+
+    #[test]
+    fn placement_rejects_down_cluster_and_reroutes() {
+        let fed = FederatedCluster::new();
+        let c1 = small_cluster("c1", 100);
+        fed.add_cluster(c1.clone());
+        fed.add_cluster(small_cluster("c2", 100));
+        // c1 (first in placement order) is down: topics must land on c2
+        c1.set_down(true);
+        fed.create_topic("t", TopicConfig::default().with_partitions(2))
+            .unwrap();
+        assert_eq!(fed.placement("t").unwrap(), "c2");
+        // with every cluster down, placement fails outright
+        fed.cluster("c2").unwrap().set_down(true);
+        assert!(fed
+            .create_topic("u", TopicConfig::default().with_partitions(1))
+            .is_err());
+        // recovery reroutes again
+        c1.set_down(false);
+        fed.create_topic("u", TopicConfig::default().with_partitions(1))
+            .unwrap();
+        assert_eq!(fed.placement("u").unwrap(), "c1");
+    }
+
+    #[test]
+    fn placement_skips_cluster_with_all_brokers_dead() {
+        use rtdi_common::chaos;
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0);
+        let fed = FederatedCluster::new();
+        let c1 = small_cluster("c1", 100);
+        fed.add_cluster(c1.clone());
+        fed.add_cluster(small_cluster("c2", 100));
+        // the cluster answers metadata requests but has no live broker
+        c1.kill_node("c1-n0");
+        fed.create_topic("t", TopicConfig::default().with_partitions(2))
+            .unwrap();
+        assert_eq!(
+            fed.placement("t").unwrap(),
+            "c2",
+            "placement skips the brokerless cluster"
+        );
+        c1.heal_node("c1-n0");
+        chaos::registry().reset(0);
     }
 
     #[test]

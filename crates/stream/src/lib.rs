@@ -6,6 +6,9 @@
 //! - [`log`], [`topic`], [`cluster`]: partitioned append-only logs,
 //!   topics with per-use-case configs (lossless vs high-throughput),
 //!   multi-node clusters with failure injection;
+//! - [`replica`] (§4.1): per-partition replica sets with ISR tracking,
+//!   acks-all commit semantics and leader failover, driven by the shared
+//!   heartbeat membership view (`rtdi_common::membership`);
 //! - [`producer`], [`consumer`]: at-least-once producers with batching and
 //!   acks, consumer groups with offset commits and rebalancing;
 //! - [`federation`] (§4.1.1): the logical-cluster metadata server that
@@ -29,6 +32,7 @@ pub mod federation;
 pub mod log;
 pub mod producer;
 pub mod proxy;
+pub mod replica;
 pub mod replicator;
 pub mod tiered;
 pub mod topic;
@@ -40,5 +44,6 @@ pub use federation::{FederatedCluster, FederationMetadata};
 pub use log::{FetchResult, OffsetRecord, PartitionLog};
 pub use producer::Producer;
 pub use proxy::{ConsumerProxy, ConsumerService, DispatchMode, ProxyConfig};
+pub use replica::{FailoverEvent, ReplicaSet, ReplicaStatus};
 pub use tiered::TieredLog;
 pub use topic::{Topic, TopicConfig};

@@ -147,6 +147,66 @@ impl PartitionLog {
         })
     }
 
+    /// Fetch up to `max` records starting at `offset`, but never at or
+    /// past `visible_end` — the replicated partition's committed high
+    /// watermark. The reported high watermark is capped the same way, so
+    /// consumers compute lag against committed data only and never
+    /// observe records the ISR has not acknowledged.
+    pub fn fetch_capped(&self, offset: u64, max: usize, visible_end: u64) -> Result<FetchResult> {
+        let inner = self.inner.read();
+        let end = (inner.base_offset + inner.entries.len() as u64).min(visible_end);
+        if offset < inner.base_offset {
+            return Err(Error::OffsetOutOfRange {
+                requested: offset,
+                low: inner.base_offset,
+                high: end,
+            });
+        }
+        let take = if offset >= end {
+            0
+        } else {
+            ((end - offset) as usize).min(max)
+        };
+        let start = (offset - inner.base_offset) as usize;
+        let records = inner
+            .entries
+            .iter()
+            .skip(start)
+            .take(take)
+            .enumerate()
+            .map(|(i, (_, r))| OffsetRecord {
+                offset: offset + i as u64,
+                record: Arc::clone(r),
+            })
+            .collect();
+        Ok(FetchResult {
+            records,
+            high_watermark: end,
+            log_start_offset: inner.base_offset,
+        })
+    }
+
+    /// Drop every record at or above `end_offset` — the uncommitted tail
+    /// a newly elected leader never replicated. Returns how many records
+    /// were dropped. No-op when `end_offset` is at or past the log end.
+    /// Leader failover only truncates above the committed high watermark,
+    /// so committed records are never touched.
+    pub fn truncate_to(&self, end_offset: u64) -> u64 {
+        let mut inner = self.inner.write();
+        let hwm = inner.base_offset + inner.entries.len() as u64;
+        if end_offset >= hwm {
+            return 0;
+        }
+        let keep = end_offset.saturating_sub(inner.base_offset) as usize;
+        let mut dropped = 0u64;
+        while inner.entries.len() > keep {
+            let (_, r) = inner.entries.pop_back().expect("len checked");
+            inner.bytes -= r.approx_bytes();
+            dropped += 1;
+        }
+        dropped
+    }
+
     /// How long the record at `offset` has been sitting in the log
     /// (`now` minus its append time) — the broker-side component of
     /// end-to-end freshness. `None` if the offset is not retained.
@@ -268,6 +328,45 @@ mod tests {
         assert!(fr.records.is_empty());
         // beyond: also empty (consumer will retry)
         assert!(log.fetch(150, 5).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn fetch_capped_hides_uncommitted_tail() {
+        let log = PartitionLog::new(0, 0);
+        for i in 0..10 {
+            log.append(rec(i), i);
+        }
+        // only offsets < 6 are committed
+        let fr = log.fetch_capped(4, 100, 6).unwrap();
+        assert_eq!(fr.records.len(), 2);
+        assert_eq!(fr.high_watermark, 6, "visible hwm is the cap");
+        assert!(log.fetch_capped(6, 100, 6).unwrap().records.is_empty());
+        // cap above log end clamps to log end
+        assert_eq!(log.fetch_capped(0, 100, 99).unwrap().records.len(), 10);
+        // below log start still errors
+        log.truncate_all();
+        assert!(log.fetch_capped(0, 10, 99).is_err());
+    }
+
+    #[test]
+    fn truncate_to_drops_only_the_tail() {
+        let log = PartitionLog::new(0, 0);
+        for i in 0..10 {
+            log.append(rec(i), i);
+        }
+        assert_eq!(log.truncate_to(7), 3);
+        assert_eq!(log.high_watermark(), 7);
+        let fr = log.fetch(0, 100).unwrap();
+        assert_eq!(fr.records.len(), 7);
+        assert_eq!(
+            fr.records.last().unwrap().record.value.get_int("i"),
+            Some(6)
+        );
+        // truncating at/after the end is a no-op
+        assert_eq!(log.truncate_to(7), 0);
+        assert_eq!(log.truncate_to(100), 0);
+        // appends continue from the truncation point
+        assert_eq!(log.append(rec(77), 77), 7);
     }
 
     #[test]

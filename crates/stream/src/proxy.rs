@@ -300,7 +300,8 @@ mod tests {
             t.append(
                 Record::new(Row::new().with("i", i as i64), i as i64).with_key(format!("k{i}")),
                 0,
-            );
+            )
+            .unwrap();
         }
         t
     }
@@ -463,7 +464,7 @@ mod tests {
             let mut r = Record::new(Row::new().with("i", i), i).with_key(format!("k{i}"));
             // producer stamped the trace origin at t=1000
             PipelineTracer::stamp(&mut r, 1_000);
-            t.append(r, 0);
+            t.append(r, 0).unwrap();
         }
         let group = ConsumerGroup::new("g", TopicSubscription::new(t));
         let tracer = PipelineTracer::new();

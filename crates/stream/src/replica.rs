@@ -1,0 +1,497 @@
+//! Per-partition replica sets: leader/follower placement, ISR tracking,
+//! acks=all commit semantics and leader failover (§4.1).
+//!
+//! Each topic partition gets a [`ReplicaSet`]: an ordered assignment of
+//! broker nodes (first entry is the preferred leader), the in-sync
+//! replica set, per-replica log-end offsets and the committed high
+//! watermark. The record data itself lives in one shared
+//! [`PartitionLog`]; every replica's content is, by construction, a
+//! prefix of it (exactly the invariant real Kafka maintains after
+//! leader-epoch truncation), so a replica is fully described by its
+//! log-end offset. Replication advances follower offsets — subject to
+//! [`FaultPoint::StreamReplicate`] chaos and node liveness — and the
+//! committed watermark is the minimum log-end offset across the ISR.
+//! Consumers only ever see records below it.
+//!
+//! Failover: when a leader's node dies, an in-sync follower is elected
+//! and the shared log is truncated to the new leader's log-end offset.
+//! Because `committed <= leo(f)` for every ISR member `f`, truncation
+//! never touches a committed record — the durability invariant "no
+//! committed record is ever lost or reordered" holds by construction and
+//! is exercised under seeded chaos by the node-kill soak.
+
+use crate::log::{FetchResult, PartitionLog};
+use parking_lot::RwLock;
+use rtdi_common::chaos::{self, FaultPoint};
+use rtdi_common::{Error, Record, Result, Timestamp};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Consecutive failed replication attempts before a follower is dropped
+/// from the ISR (the hit-count analogue of `replica.lag.time.max.ms`).
+pub const MAX_REPLICA_STRIKES: u32 = 3;
+
+/// A leadership change on one partition, in detection order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    pub at: Timestamp,
+    pub topic: String,
+    pub partition: usize,
+    pub old_leader: Option<String>,
+    /// `None` = the partition went offline (no in-sync candidate).
+    pub new_leader: Option<String>,
+    /// Leader epoch after the transition.
+    pub epoch: u64,
+    /// Uncommitted records truncated from the log tail on election.
+    pub truncated: u64,
+}
+
+impl FailoverEvent {
+    /// Stable one-line rendering for the deterministic failover log.
+    pub fn line(&self) -> String {
+        format!(
+            "at={} topic={} p={} epoch={} leader {}->{} truncated={}",
+            self.at,
+            self.topic,
+            self.partition,
+            self.epoch,
+            self.old_leader.as_deref().unwrap_or("none"),
+            self.new_leader.as_deref().unwrap_or("none"),
+            self.truncated,
+        )
+    }
+}
+
+/// Point-in-time view of one partition's replication state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    pub assignment: Vec<String>,
+    pub leader: Option<String>,
+    pub isr: Vec<String>,
+    pub epoch: u64,
+    pub committed: u64,
+    /// Log-end offset of the shared storage (leader log end).
+    pub log_end: u64,
+}
+
+struct ReplicaInner {
+    /// Replica placement in preference order; `assignment[0]` is the
+    /// preferred leader.
+    assignment: Vec<String>,
+    leader: Option<String>,
+    epoch: u64,
+    isr: BTreeSet<String>,
+    /// Per-replica log-end offset (next offset the replica would write).
+    leo: BTreeMap<String, u64>,
+    /// Consecutive replication failures per follower.
+    strikes: BTreeMap<String, u32>,
+    /// Committed high watermark: consumers only see offsets below it.
+    committed: u64,
+}
+
+impl ReplicaInner {
+    /// committed = min log-end offset across the ISR; never moves back.
+    fn recompute_committed(&mut self) {
+        if let Some(min) = self
+            .isr
+            .iter()
+            .filter_map(|n| self.leo.get(n).copied())
+            .min()
+        {
+            self.committed = self.committed.max(min);
+        }
+    }
+}
+
+/// Replication metadata for one partition over its shared storage log.
+pub struct ReplicaSet {
+    partition: usize,
+    log: Arc<PartitionLog>,
+    inner: RwLock<ReplicaInner>,
+}
+
+impl ReplicaSet {
+    pub fn new(partition: usize, log: Arc<PartitionLog>, assignment: Vec<String>) -> Self {
+        let start = log.high_watermark();
+        let leo = assignment.iter().map(|n| (n.clone(), start)).collect();
+        let isr = assignment.iter().cloned().collect();
+        let leader = assignment.first().cloned();
+        ReplicaSet {
+            partition,
+            log,
+            inner: RwLock::new(ReplicaInner {
+                assignment,
+                leader,
+                epoch: 0,
+                isr,
+                leo,
+                strikes: BTreeMap::new(),
+                committed: start,
+            }),
+        }
+    }
+
+    pub fn status(&self) -> ReplicaStatus {
+        let inner = self.inner.read();
+        ReplicaStatus {
+            assignment: inner.assignment.clone(),
+            leader: inner.leader.clone(),
+            isr: inner.isr.iter().cloned().collect(),
+            epoch: inner.epoch,
+            committed: inner.committed.min(self.log.high_watermark()),
+            log_end: self.log.high_watermark(),
+        }
+    }
+
+    /// Committed high watermark, clamped to the log end (bulk operations
+    /// like DLQ truncation act on the raw log underneath us).
+    pub fn committed(&self) -> u64 {
+        self.inner.read().committed.min(self.log.high_watermark())
+    }
+
+    /// Leader-side append with replication. Fails when the partition has
+    /// no live leader, or — for `lossless` (acks=all) topics — when the
+    /// in-sync set is smaller than `min_insync`. On success the record is
+    /// replicated to every live follower (chaos permitting), the ISR is
+    /// updated, and the committed watermark advances; the returned offset
+    /// is therefore *committed* under the topic's durability contract.
+    pub fn append(
+        &self,
+        record: Record,
+        now: Timestamp,
+        down: &BTreeSet<String>,
+        lossless: bool,
+        min_insync: usize,
+    ) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let leader = match &inner.leader {
+            Some(l) if !down.contains(l) => l.clone(),
+            _ => {
+                return Err(Error::Unavailable(format!(
+                    "partition {} has no live leader",
+                    self.partition
+                )))
+            }
+        };
+        // drop dead followers from the ISR before judging acks=all
+        let dead: Vec<String> = inner
+            .isr
+            .iter()
+            .filter(|n| down.contains(*n))
+            .cloned()
+            .collect();
+        for n in dead {
+            inner.isr.remove(&n);
+        }
+        inner.isr.insert(leader.clone());
+        if lossless {
+            let need = min_insync.min(inner.assignment.len()).max(1);
+            if inner.isr.len() < need {
+                return Err(Error::Unavailable(format!(
+                    "partition {}: not enough in-sync replicas (isr={}, min.insync={need})",
+                    self.partition,
+                    inner.isr.len(),
+                )));
+            }
+        }
+        let offset = self.log.append(record, now);
+        let end = offset + 1;
+        inner.leo.insert(leader.clone(), end);
+        // synchronous replication to live followers; a follower that
+        // keeps failing is dropped from the ISR, one that succeeds again
+        // catches up from shared storage and rejoins
+        let followers: Vec<String> = inner
+            .assignment
+            .iter()
+            .filter(|n| **n != leader && !down.contains(*n))
+            .cloned()
+            .collect();
+        for f in followers {
+            match chaos::check(FaultPoint::StreamReplicate) {
+                Ok(()) => {
+                    inner.leo.insert(f.clone(), end);
+                    inner.strikes.remove(&f);
+                    inner.isr.insert(f);
+                }
+                Err(_) => {
+                    let strikes = inner.strikes.entry(f.clone()).or_insert(0);
+                    *strikes += 1;
+                    if *strikes >= MAX_REPLICA_STRIKES {
+                        inner.isr.remove(&f);
+                    }
+                }
+            }
+        }
+        inner.recompute_committed();
+        Ok(offset)
+    }
+
+    /// Consumer fetch: capped at the committed high watermark.
+    pub fn fetch(&self, offset: u64, max: usize) -> Result<FetchResult> {
+        let committed = self.committed();
+        self.log.fetch_capped(offset, max, committed)
+    }
+
+    /// React to a node death. Shrinks the ISR; when the dead node led
+    /// this partition, elects the first in-sync replica in assignment
+    /// order, truncating the shared log to the new leader's log-end
+    /// offset (only ever uncommitted tail). Returns the leadership
+    /// transition, if any.
+    pub fn on_node_down(&self, node: &str, now: Timestamp, topic: &str) -> Option<FailoverEvent> {
+        let mut inner = self.inner.write();
+        if !inner.assignment.iter().any(|n| n == node) {
+            return None;
+        }
+        inner.isr.remove(node);
+        inner.strikes.remove(node);
+        if inner.leader.as_deref() != Some(node) {
+            // follower death: ISR shrink may advance the watermark
+            inner.recompute_committed();
+            return None;
+        }
+        let old_leader = inner.leader.take();
+        inner.epoch += 1;
+        let candidate = inner
+            .assignment
+            .iter()
+            .find(|n| inner.isr.contains(*n))
+            .cloned();
+        let mut truncated = 0;
+        if let Some(new_leader) = &candidate {
+            let new_end = inner.leo.get(new_leader).copied().unwrap_or(0);
+            truncated = self.log.truncate_to(new_end);
+            // survivors cannot be ahead of the new leader's log
+            for leo in inner.leo.values_mut() {
+                *leo = (*leo).min(new_end);
+            }
+            inner.leader = Some(new_leader.clone());
+            inner.recompute_committed();
+        }
+        Some(FailoverEvent {
+            at: now,
+            topic: topic.to_string(),
+            partition: self.partition,
+            old_leader,
+            new_leader: candidate,
+            epoch: inner.epoch,
+            truncated,
+        })
+    }
+
+    /// React to a node (re)joining: it catches up from shared storage,
+    /// rejoins the ISR, and becomes leader if the partition was offline.
+    pub fn on_node_up(&self, node: &str, now: Timestamp, topic: &str) -> Option<FailoverEvent> {
+        let mut inner = self.inner.write();
+        if !inner.assignment.iter().any(|n| n == node) {
+            return None;
+        }
+        let end = self.log.high_watermark();
+        inner.leo.insert(node.to_string(), end);
+        inner.strikes.remove(node);
+        inner.isr.insert(node.to_string());
+        let event = if inner.leader.is_none() {
+            inner.leader = Some(node.to_string());
+            inner.epoch += 1;
+            Some(FailoverEvent {
+                at: now,
+                topic: topic.to_string(),
+                partition: self.partition,
+                old_leader: None,
+                new_leader: Some(node.to_string()),
+                epoch: inner.epoch,
+                truncated: 0,
+            })
+        } else {
+            None
+        };
+        inner.recompute_committed();
+        event
+    }
+
+    /// Declare every live replica fully caught up to the shared log (used
+    /// after offset-preserving bulk imports like topic migration, where
+    /// records are copied into storage beneath the replication layer).
+    pub fn sync_to_end(&self, down: &BTreeSet<String>) {
+        let mut inner = self.inner.write();
+        let end = self.log.high_watermark();
+        let live: Vec<String> = inner
+            .assignment
+            .iter()
+            .filter(|n| !down.contains(*n))
+            .cloned()
+            .collect();
+        for n in &live {
+            inner.leo.insert(n.clone(), end);
+            inner.strikes.remove(n);
+            inner.isr.insert(n.clone());
+        }
+        inner.recompute_committed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdi_common::chaos::{FaultKind, FaultPlan, Trigger};
+    use rtdi_common::Row;
+
+    fn rec(i: i64) -> Record {
+        Record::new(Row::new().with("i", i), i)
+    }
+
+    fn rs(nodes: &[&str]) -> ReplicaSet {
+        ReplicaSet::new(
+            0,
+            Arc::new(PartitionLog::new(0, 0)),
+            nodes.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn replicated_append_commits_through_full_isr() {
+        let r = rs(&["n0", "n1", "n2"]);
+        let down = BTreeSet::new();
+        for i in 0..10 {
+            let off = r.append(rec(i), 0, &down, true, 2).unwrap();
+            assert_eq!(off, i as u64);
+        }
+        let st = r.status();
+        assert_eq!(st.leader.as_deref(), Some("n0"));
+        assert_eq!(st.isr.len(), 3);
+        assert_eq!(st.committed, 10);
+        assert_eq!(r.fetch(0, 100).unwrap().records.len(), 10);
+    }
+
+    #[test]
+    fn dead_leader_fails_appends_until_failover() {
+        let r = rs(&["n0", "n1", "n2"]);
+        let mut down = BTreeSet::new();
+        r.append(rec(0), 0, &down, false, 1).unwrap();
+        down.insert("n0".to_string());
+        assert!(matches!(
+            r.append(rec(1), 0, &down, false, 1),
+            Err(Error::Unavailable(_))
+        ));
+        let ev = r.on_node_down("n0", 5, "t").unwrap();
+        assert_eq!(ev.old_leader.as_deref(), Some("n0"));
+        assert_eq!(ev.new_leader.as_deref(), Some("n1"));
+        assert_eq!(ev.epoch, 1);
+        assert_eq!(ev.truncated, 0, "fully replicated tail survives");
+        // writes flow again through the new leader
+        let off = r.append(rec(1), 6, &down, false, 1).unwrap();
+        assert_eq!(off, 1);
+        assert_eq!(r.committed(), 2);
+    }
+
+    #[test]
+    fn failover_truncates_only_uncommitted_tail() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xFA11);
+        let r = rs(&["n0", "n1"]);
+        let down = BTreeSet::new();
+        // replicate 5 records cleanly...
+        for i in 0..5 {
+            r.append(rec(i), 0, &down, false, 1).unwrap();
+        }
+        // ...then the follower stops replicating: strikes shrink the ISR
+        chaos::registry().arm(
+            FaultPoint::StreamReplicate,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::Always),
+        );
+        for i in 5..12 {
+            r.append(rec(i), 0, &down, false, 1).unwrap();
+        }
+        chaos::registry().disarm_all();
+        let st = r.status();
+        assert_eq!(st.isr, vec!["n0".to_string()], "lagging follower dropped");
+        assert_eq!(st.log_end, 12);
+        // leader-only ISR: watermark follows the leader (Kafka semantics)
+        assert_eq!(st.committed, 12);
+        let committed_before = 5; // what n1 actually holds
+        let ev = r.on_node_down("n0", 9, "t").unwrap();
+        // n1 is not in the ISR: the partition goes offline rather than
+        // electing an unclean leader
+        assert_eq!(ev.new_leader, None);
+        assert!(matches!(
+            r.append(rec(99), 10, &down, false, 1),
+            Err(Error::Unavailable(_))
+        ));
+        // the old leader comes back: catches up, leads again, no data lost
+        let ev = r.on_node_up("n0", 20, "t").unwrap();
+        assert_eq!(ev.new_leader.as_deref(), Some("n0"));
+        assert_eq!(r.committed(), 12);
+        assert!(committed_before < r.committed());
+    }
+
+    #[test]
+    fn clean_failover_to_in_sync_follower_truncates_unreplicated_tail() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xFA12);
+        let r = rs(&["n0", "n1"]);
+        let down = BTreeSet::new();
+        for i in 0..5 {
+            r.append(rec(i), 0, &down, false, 1).unwrap();
+        }
+        // follower misses 2 records (strikes below the ISR-drop threshold)
+        chaos::registry().arm(
+            FaultPoint::StreamReplicate,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::Always).with_max_fires(2),
+        );
+        for i in 5..7 {
+            r.append(rec(i), 0, &down, false, 1).unwrap();
+        }
+        chaos::registry().disarm_all();
+        let st = r.status();
+        assert_eq!(st.isr.len(), 2, "2 strikes < {MAX_REPLICA_STRIKES}");
+        assert_eq!(st.committed, 5, "watermark held back by lagging follower");
+        assert_eq!(st.log_end, 7);
+        // leader dies; n1 (in-sync at offset 5) is elected and the two
+        // uncommitted records are truncated — consumers never saw them
+        let ev = r.on_node_down("n0", 9, "t").unwrap();
+        assert_eq!(ev.new_leader.as_deref(), Some("n1"));
+        assert_eq!(ev.truncated, 2);
+        assert_eq!(r.committed(), 5);
+        assert_eq!(r.fetch(0, 100).unwrap().records.len(), 5);
+        // new appends continue from the truncation point: no reordering
+        let off = r.append(rec(7), 10, &down, false, 1).unwrap();
+        assert_eq!(off, 5);
+    }
+
+    #[test]
+    fn lossless_rejects_when_isr_below_min_insync() {
+        let r = rs(&["n0", "n1", "n2"]);
+        let mut down = BTreeSet::new();
+        r.append(rec(0), 0, &down, true, 2).unwrap();
+        down.insert("n1".to_string());
+        down.insert("n2".to_string());
+        // acks=all with min.insync=2: reject rather than under-replicate
+        let err = r.append(rec(1), 1, &down, true, 2).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        assert!(err.to_string().contains("in-sync"));
+        // the same write succeeds for a throughput-profile topic
+        assert!(r.append(rec(1), 1, &down, false, 1).is_ok());
+    }
+
+    #[test]
+    fn consumers_never_see_past_committed_watermark() {
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xFA13);
+        let r = rs(&["n0", "n1"]);
+        let down = BTreeSet::new();
+        for i in 0..4 {
+            r.append(rec(i), 0, &down, false, 1).unwrap();
+        }
+        chaos::registry().arm(
+            FaultPoint::StreamReplicate,
+            FaultPlan::fail(FaultKind::Timeout, Trigger::Always).with_max_fires(1),
+        );
+        r.append(rec(4), 0, &down, false, 1).unwrap();
+        chaos::registry().disarm_all();
+        let f = r.fetch(0, 100).unwrap();
+        assert_eq!(f.records.len(), 4, "unacked record invisible");
+        assert_eq!(f.high_watermark, 4);
+        // replication recovers on the next append: both become visible
+        r.append(rec(5), 0, &down, false, 1).unwrap();
+        assert_eq!(r.fetch(0, 100).unwrap().records.len(), 6);
+    }
+}

@@ -452,7 +452,7 @@ mod tests {
         for i in 0..200 {
             src.produce(
                 "trips",
-                Record::new(Row::new().with("i", i as i64), i).with_key(format!("k{i}")),
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
                 i,
             )
             .unwrap();
@@ -495,7 +495,7 @@ mod tests {
         for i in 0..100 {
             src.produce(
                 "trips",
-                Record::new(Row::new().with("i", i as i64), i).with_key(format!("k{i}")),
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
                 i,
             )
             .unwrap();
@@ -513,7 +513,7 @@ mod tests {
         for i in 100..150 {
             src.produce(
                 "trips",
-                Record::new(Row::new().with("i", i as i64), i).with_key(format!("k{i}")),
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
                 i,
             )
             .unwrap();

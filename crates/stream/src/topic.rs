@@ -7,9 +7,18 @@
 //! that tuning: lossless (acks-all, fsync-like semantics) vs
 //! high-throughput (acks-leader, bounded retention), matching the surge
 //! pipeline's choice in §5.1.
+//!
+//! Since PR 4 every partition carries a [`ReplicaSet`]: leader/follower
+//! placement across broker nodes, ISR tracking, a committed high
+//! watermark capping consumer fetches, and leader failover driven by
+//! [`Topic::on_node_down`] / [`Topic::on_node_up`] (wired to the shared
+//! membership detector by [`crate::cluster::Cluster`]).
 
 use crate::log::{FetchResult, PartitionLog};
+use crate::replica::{FailoverEvent, ReplicaSet, ReplicaStatus};
+use parking_lot::RwLock;
 use rtdi_common::{Error, Record, Result, Timestamp};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -17,11 +26,14 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopicConfig {
     pub partitions: usize,
-    /// Replication factor (modelled for placement/failure accounting).
+    /// Replication factor (replica-set placement across broker nodes).
     pub replication: usize,
     /// Zero-data-loss topics reject writes when under-replicated;
     /// high-throughput topics accept them (§5.1's surge tradeoff).
     pub lossless: bool,
+    /// Minimum in-sync replicas an acks=all (`lossless`) write requires
+    /// (Kafka's `min.insync.replicas`); ignored for throughput topics.
+    pub min_insync: usize,
     /// Retention window; 0 = unlimited. The paper limits retention to "a
     /// few days" (§7).
     pub retention_ms: i64,
@@ -35,6 +47,7 @@ impl Default for TopicConfig {
             partitions: 4,
             replication: 3,
             lossless: false,
+            min_insync: 2,
             retention_ms: 3 * 86_400_000, // 3 days
             retention_bytes: 0,
         }
@@ -65,20 +78,52 @@ impl TopicConfig {
     }
 }
 
-/// A partitioned stream.
+/// A partitioned, replicated stream.
 pub struct Topic {
     name: String,
     config: TopicConfig,
+    /// Shared per-partition storage (every replica's content is a prefix
+    /// of it; see [`crate::replica`]).
     partitions: Vec<Arc<PartitionLog>>,
+    replica_sets: Vec<ReplicaSet>,
+    /// Nodes currently considered dead for this topic's partitions,
+    /// maintained by `on_node_down`/`on_node_up`.
+    down: RwLock<BTreeSet<String>>,
+    failovers: RwLock<Vec<FailoverEvent>>,
     round_robin: AtomicUsize,
 }
 
 impl Topic {
+    /// Standalone topic over a synthetic node pool `node-0..node-{R-1}`
+    /// (one node per replica). Cluster-hosted topics get real placement
+    /// via [`Topic::with_placement`].
     pub fn new(name: impl Into<String>, config: TopicConfig) -> Result<Self> {
+        let pool: Vec<String> = (0..config.replication.max(1))
+            .map(|i| format!("node-{i}"))
+            .collect();
+        Self::with_placement(name, config, &pool)
+    }
+
+    /// Create a topic with partition replicas placed round-robin across
+    /// `nodes` (partition `p`, replica `r` lands on node `(p + r) % N`;
+    /// the first replica is the preferred leader). When the pool is
+    /// smaller than the replication factor the assignment is deduplicated
+    /// — effective replication degrades to the node count, as on a real
+    /// cluster.
+    pub fn with_placement(
+        name: impl Into<String>,
+        config: TopicConfig,
+        nodes: &[String],
+    ) -> Result<Self> {
         if config.partitions == 0 {
             return Err(Error::InvalidArgument("topic needs >= 1 partition".into()));
         }
-        let partitions = (0..config.partitions)
+        if nodes.is_empty() {
+            return Err(Error::Unavailable(
+                "no live nodes available for placement".into(),
+            ));
+        }
+        let partitions: Vec<Arc<PartitionLog>> = (0..config.partitions)
             .map(|_| {
                 Arc::new(PartitionLog::new(
                     config.retention_ms,
@@ -86,10 +131,27 @@ impl Topic {
                 ))
             })
             .collect();
+        let replica_sets = partitions
+            .iter()
+            .enumerate()
+            .map(|(p, log)| {
+                let mut assignment = Vec::new();
+                for r in 0..config.replication.max(1) {
+                    let node = nodes[(p + r) % nodes.len()].clone();
+                    if !assignment.contains(&node) {
+                        assignment.push(node);
+                    }
+                }
+                ReplicaSet::new(p, Arc::clone(log), assignment)
+            })
+            .collect();
         Ok(Topic {
             name: name.into(),
             config,
             partitions,
+            replica_sets,
+            down: RwLock::new(BTreeSet::new()),
+            failovers: RwLock::new(Vec::new()),
             round_robin: AtomicUsize::new(0),
         })
     }
@@ -117,42 +179,128 @@ impl Topic {
     }
 
     /// Append to the chosen partition; returns `(partition, offset)`.
-    pub fn append(&self, record: Record, now: Timestamp) -> (usize, u64) {
+    /// Fails when the partition has no live leader, or — on lossless
+    /// topics — when the ISR is below `min_insync` (acks=all).
+    pub fn append(&self, record: Record, now: Timestamp) -> Result<(usize, u64)> {
         let p = self.partition_for(&record);
-        let offset = self.partitions[p].append(record, now);
-        (p, offset)
+        let offset = self.replicated_append(p, record, now)?;
+        Ok((p, offset))
     }
 
     /// Append directly to a specific partition (used by the replicator to
     /// preserve partition alignment, which upsert tables require, §4.3.1).
     pub fn append_to(&self, partition: usize, record: Record, now: Timestamp) -> Result<u64> {
-        let log = self
-            .partitions
-            .get(partition)
-            .ok_or_else(|| Error::InvalidArgument(format!("partition {partition} out of range")))?;
-        Ok(log.append(record, now))
+        if partition >= self.partitions.len() {
+            return Err(Error::InvalidArgument(format!(
+                "partition {partition} out of range"
+            )));
+        }
+        self.replicated_append(partition, record, now)
     }
 
+    fn replicated_append(&self, partition: usize, record: Record, now: Timestamp) -> Result<u64> {
+        let down = self.down.read();
+        self.replica_sets[partition].append(
+            record,
+            now,
+            &down,
+            self.config.lossless,
+            self.config.min_insync,
+        )
+    }
+
+    /// Consumer fetch: never returns records at or past the partition's
+    /// committed high watermark.
     pub fn fetch(&self, partition: usize, offset: u64, max: usize) -> Result<FetchResult> {
-        let log = self
-            .partitions
+        let rs = self
+            .replica_sets
             .get(partition)
             .ok_or_else(|| Error::InvalidArgument(format!("partition {partition} out of range")))?;
-        log.fetch(offset, max)
+        rs.fetch(offset, max)
     }
 
+    /// Raw storage access for internal subsystems (archival, tiering,
+    /// migration, DLQ bookkeeping). Bypasses the committed-watermark cap;
+    /// consumers must go through [`Topic::fetch`].
     pub fn partition(&self, i: usize) -> Option<&Arc<PartitionLog>> {
         self.partitions.get(i)
     }
 
-    /// Sum of high watermarks (total records ever appended & retained
+    /// Sum of log-end offsets (total records ever appended & retained
     /// bookkeeping).
     pub fn total_records(&self) -> u64 {
         self.partitions.iter().map(|p| p.high_watermark()).sum()
     }
 
+    /// Per-partition log-end offsets (leader log ends).
     pub fn high_watermarks(&self) -> Vec<u64> {
         self.partitions.iter().map(|p| p.high_watermark()).collect()
+    }
+
+    /// The committed (consumer-visible) high watermark of one partition.
+    pub fn committed_watermark(&self, partition: usize) -> Option<u64> {
+        self.replica_sets.get(partition).map(|rs| rs.committed())
+    }
+
+    pub fn committed_watermarks(&self) -> Vec<u64> {
+        self.replica_sets.iter().map(|rs| rs.committed()).collect()
+    }
+
+    /// Replication state of one partition.
+    pub fn replica_status(&self, partition: usize) -> Option<ReplicaStatus> {
+        self.replica_sets.get(partition).map(|rs| rs.status())
+    }
+
+    /// Mark a broker node dead: every partition drops it from its ISR and
+    /// partitions it led elect an in-sync follower (or go offline when
+    /// none exists). Returns the leadership transitions.
+    pub fn on_node_down(&self, node: &str, now: Timestamp) -> Vec<FailoverEvent> {
+        self.down.write().insert(node.to_string());
+        let events: Vec<FailoverEvent> = self
+            .replica_sets
+            .iter()
+            .filter_map(|rs| rs.on_node_down(node, now, &self.name))
+            .collect();
+        self.failovers.write().extend(events.iter().cloned());
+        events
+    }
+
+    /// Mark a broker node live again: it catches up, rejoins ISRs, and
+    /// revives partitions that were offline.
+    pub fn on_node_up(&self, node: &str, now: Timestamp) -> Vec<FailoverEvent> {
+        self.down.write().remove(node);
+        let events: Vec<FailoverEvent> = self
+            .replica_sets
+            .iter()
+            .filter_map(|rs| rs.on_node_up(node, now, &self.name))
+            .collect();
+        self.failovers.write().extend(events.iter().cloned());
+        events
+    }
+
+    /// Every leadership transition this topic has seen, in order.
+    pub fn failover_events(&self) -> Vec<FailoverEvent> {
+        self.failovers.read().clone()
+    }
+
+    /// Partitions that currently have no live leader.
+    pub fn offline_partitions(&self) -> Vec<usize> {
+        self.replica_sets
+            .iter()
+            .enumerate()
+            .filter(|(_, rs)| rs.status().leader.is_none())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Declare all live replicas caught up with shared storage. Called
+    /// after offset-preserving bulk imports (topic migration) that write
+    /// to the partition logs beneath the replication layer.
+    pub fn resync_replicas(&self) {
+        let down = self.down.read();
+        for rs in &self.replica_sets {
+            rs.sync_to_end(&down);
+        }
     }
 }
 
@@ -174,7 +322,7 @@ mod tests {
         let t = Topic::new("trips", TopicConfig::default().with_partitions(8)).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..50 {
-            let (p, _) = t.append(rec(Some("driver-7"), i), 0);
+            let (p, _) = t.append(rec(Some("driver-7"), i), 0).unwrap();
             seen.insert(p);
         }
         assert_eq!(seen.len(), 1);
@@ -184,7 +332,7 @@ mod tests {
     fn unkeyed_records_round_robin() {
         let t = Topic::new("logs", TopicConfig::default().with_partitions(4)).unwrap();
         for i in 0..40 {
-            t.append(rec(None, i), 0);
+            t.append(rec(None, i), 0).unwrap();
         }
         for p in 0..4 {
             assert_eq!(t.fetch(p, 0, 100).unwrap().records.len(), 10);
@@ -214,9 +362,85 @@ mod tests {
     fn total_records_sums_partitions() {
         let t = Topic::new("t", TopicConfig::default().with_partitions(3)).unwrap();
         for i in 0..30 {
-            t.append(rec(Some(&format!("k{i}")), i), 0);
+            t.append(rec(Some(&format!("k{i}")), i), 0).unwrap();
         }
         assert_eq!(t.total_records(), 30);
         assert_eq!(t.high_watermarks().iter().sum::<u64>(), 30);
+        assert_eq!(t.committed_watermarks().iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn placement_spreads_leaders_across_nodes() {
+        let nodes: Vec<String> = (0..4).map(|i| format!("b{i}")).collect();
+        let t =
+            Topic::with_placement("t", TopicConfig::default().with_partitions(4), &nodes).unwrap();
+        let leaders: Vec<String> = (0..4)
+            .map(|p| t.replica_status(p).unwrap().leader.unwrap())
+            .collect();
+        assert_eq!(leaders, vec!["b0", "b1", "b2", "b3"]);
+        for p in 0..4 {
+            let st = t.replica_status(p).unwrap();
+            assert_eq!(st.assignment.len(), 3, "replication-factor placement");
+            assert_eq!(st.isr.len(), 3);
+        }
+    }
+
+    #[test]
+    fn small_pools_dedupe_assignment() {
+        let nodes = vec!["only".to_string()];
+        let t =
+            Topic::with_placement("t", TopicConfig::default().with_partitions(2), &nodes).unwrap();
+        let st = t.replica_status(0).unwrap();
+        assert_eq!(st.assignment, vec!["only".to_string()]);
+        assert_eq!(st.isr.len(), 1);
+    }
+
+    #[test]
+    fn node_death_fails_over_and_keeps_committed_records() {
+        let nodes: Vec<String> = (0..3).map(|i| format!("b{i}")).collect();
+        let t =
+            Topic::with_placement("t", TopicConfig::default().with_partitions(3), &nodes).unwrap();
+        for i in 0..30 {
+            t.append(rec(Some(&format!("k{i}")), i), 0).unwrap();
+        }
+        let before: u64 = t.committed_watermarks().iter().sum();
+        let events = t.on_node_down("b0", 100);
+        // b0 led partition 0; followers exist so it fails over cleanly
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].old_leader.as_deref(), Some("b0"));
+        assert!(events[0].new_leader.is_some());
+        assert_eq!(events[0].truncated, 0);
+        assert!(t.offline_partitions().is_empty());
+        // all committed records still readable, in order
+        assert_eq!(t.committed_watermarks().iter().sum::<u64>(), before);
+        // writes continue on every partition
+        for i in 30..40 {
+            t.append(rec(Some(&format!("k{i}")), i), 101).unwrap();
+        }
+        // the node returns and rejoins ISRs
+        t.on_node_up("b0", 200);
+        for p in 0..3 {
+            assert_eq!(t.replica_status(p).unwrap().isr.len(), 3);
+        }
+        assert_eq!(t.failover_events().len(), 1);
+    }
+
+    #[test]
+    fn losing_all_replicas_takes_partition_offline_then_heals() {
+        let nodes = vec!["b0".to_string(), "b1".to_string()];
+        let t =
+            Topic::with_placement("t", TopicConfig::default().with_partitions(1), &nodes).unwrap();
+        t.append_to(0, rec(None, 1), 0).unwrap();
+        t.on_node_down("b0", 10);
+        t.on_node_down("b1", 11);
+        assert_eq!(t.offline_partitions(), vec![0]);
+        assert!(t.append_to(0, rec(None, 2), 12).is_err());
+        // committed data remains readable from surviving storage
+        assert_eq!(t.fetch(0, 0, 10).unwrap().records.len(), 1);
+        let events = t.on_node_up("b1", 20);
+        assert_eq!(events.len(), 1, "offline partition re-elects on heal");
+        assert!(t.offline_partitions().is_empty());
+        t.append_to(0, rec(None, 2), 21).unwrap();
+        assert_eq!(t.fetch(0, 0, 10).unwrap().records.len(), 2);
     }
 }

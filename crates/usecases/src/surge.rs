@@ -292,7 +292,7 @@ mod tests {
         p.run(job).unwrap();
         assert_eq!(kv.writer_of("hexZ").unwrap(), "us-west");
         assert_eq!(
-            kv.get("hexZ").unwrap().get("multiplier").map(|v| v.clone()),
+            kv.get("hexZ").unwrap().get("multiplier").cloned(),
             Some(Value::Double(1.0))
         );
     }

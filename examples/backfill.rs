@@ -69,7 +69,7 @@ fn main() {
                 ts,
             )
             .with_key(format!("t{d}-{i}"));
-            topic.append(rec.clone(), ts);
+            topic.append(rec.clone(), ts).unwrap();
             batch.push(rec);
         }
         for key in writer.write_batch(&batch).unwrap() {

@@ -124,10 +124,12 @@ fn broker_survives_n_minus_one_server_failures() {
 fn dlq_merge_after_downstream_fix() {
     let topic = Arc::new(Topic::new("orders", TopicConfig::default().with_partitions(2)).unwrap());
     for i in 0..100i64 {
-        topic.append(
-            Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
-            0,
-        );
+        topic
+            .append(
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
+                0,
+            )
+            .unwrap();
     }
     let dlq = Arc::new(DeadLetterQueue::new("orders").unwrap());
     // phase 1: messages divisible by 10 are "corrupt" for the current
@@ -163,7 +165,7 @@ fn dlq_merge_after_downstream_fix() {
             record: Record,
             now: i64,
         ) -> rtdi::common::Result<(usize, u64)> {
-            Ok(self.0.append(record, now))
+            self.0.append(record, now)
         }
         fn fetch(
             &self,
@@ -228,6 +230,83 @@ fn archival_tolerates_flaky_store() {
     assert_eq!(values.len(), 100);
     let distinct: std::collections::BTreeSet<i64> = values.iter().copied().collect();
     assert_eq!(distinct.len(), 100);
+}
+
+/// uReplicator resume semantics: when the cross-region link stays down
+/// past the retry budget, the run fails with the per-partition resume
+/// position saved; the next run picks up exactly where the last copied
+/// record left off — every source record lands in the destination once,
+/// in order, with no duplicates and no gaps.
+#[test]
+fn replicator_honors_saved_resume_position_after_retry_exhaustion() {
+    use rtdi::common::chaos::{self, FaultKind, FaultPlan, FaultPoint, Trigger};
+    use rtdi::stream::cluster::{Cluster, ClusterConfig};
+    use rtdi::stream::replicator::{OffsetMappingStore, Replicator};
+    let _g = chaos::test_guard();
+    chaos::registry().reset(0x2E5);
+
+    let src = Cluster::new("regional", ClusterConfig::default());
+    src.create_topic("trips", TopicConfig::default().with_partitions(2))
+        .unwrap();
+    let dst = Cluster::new("aggregate", ClusterConfig::default());
+    let r = Replicator::new(
+        "regional->aggregate",
+        src.clone(),
+        dst.clone(),
+        "trips",
+        OffsetMappingStore::new(),
+        10,
+    );
+    r.prepare().unwrap();
+    let produce = |lo: i64, hi: i64| {
+        for i in lo..hi {
+            src.produce(
+                "trips",
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
+                i,
+            )
+            .unwrap();
+        }
+    };
+
+    // wave 1 copies cleanly and establishes non-zero resume positions
+    produce(0, 60);
+    assert_eq!(r.run_once(1_000).unwrap(), 60);
+
+    // wave 2 hits a persistent outage: the retry budget (4 attempts)
+    // exhausts and run_once errors with the position parked at the
+    // first uncopied record
+    produce(60, 120);
+    chaos::registry().arm(
+        FaultPoint::MultiregionReplicate,
+        FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(20, None),
+    );
+    assert!(r.run_once(2_000).is_err(), "outage must surface");
+
+    // link restored: the restart resumes from the saved position
+    chaos::registry().disarm_all();
+    let resumed = r.run_once(3_000).unwrap();
+    assert!(resumed > 0 && resumed <= 60, "resumed {resumed}");
+    assert_eq!(r.run_once(4_000).unwrap(), 0, "nothing left behind");
+
+    // record-level proof: per partition the destination holds exactly
+    // the source sequence — no duplicate, no skip, no reorder
+    let st = src.topic("trips").unwrap();
+    let dt = dst.topic("trips").unwrap();
+    for p in 0..2 {
+        let pull = |t: &Topic| -> Vec<i64> {
+            t.fetch(p, 0, 10_000)
+                .unwrap()
+                .records
+                .into_iter()
+                .map(|r| r.record.value.get_int("i").unwrap())
+                .collect()
+        };
+        let src_vals = pull(&st);
+        let dst_vals = pull(&dt);
+        assert!(!src_vals.is_empty());
+        assert_eq!(src_vals, dst_vals, "partition {p} replicated exactly once");
+    }
 }
 
 /// Upsert tables stay correct when segments seal mid-correction-stream.

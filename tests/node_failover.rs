@@ -1,0 +1,258 @@
+//! Node-kill soak: seeded, deterministic kill/heal cycles against broker
+//! nodes (stream side) and OLAP servers (serving side), asserting the
+//! PR-4 durability invariant end to end:
+//!
+//! - every record the cluster *committed* (acks=all past the ISR) is
+//!   delivered to consumers exactly once, in order, across any number of
+//!   leader failovers;
+//! - every sealed segment lost to a server death is re-served after the
+//!   self-healing rebalance, so queries return to full (non-partial)
+//!   coverage.
+//!
+//! Like `chaos_soak.rs`, each soak runs twice per seed and the recorded
+//! failover/rebalance logs must be byte-identical; `ci.sh` additionally
+//! diffs the printed `NODEKILL_SUMMARY` lines between two separate
+//! processes for two fixed seeds.
+
+use rtdi::common::chaos;
+use rtdi::common::{
+    AggFn, Clock, FieldType, Membership, MembershipConfig, Record, Row, Schema, SimClock,
+};
+use rtdi::olap::broker::{Broker, ServerNode};
+use rtdi::olap::query::Query;
+use rtdi::olap::rebalance::Rebalancer;
+use rtdi::olap::segment::{IndexSpec, Segment};
+use rtdi::olap::segstore::{SegmentStore, SegmentStoreMode};
+use rtdi::storage::object::InMemoryStore;
+use rtdi::stream::cluster::{Cluster, ClusterConfig};
+use rtdi::stream::topic::TopicConfig;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const NODES: usize = 5;
+const PARTITIONS: usize = 4;
+const CYCLES: usize = 4;
+const PERIOD_MS: i64 = 30_000;
+const OUTAGE_MS: i64 = 12_000;
+
+/// Stream half: produce through seeded kill/heal cycles, alternating
+/// announced kills (instant failover) with silent failures (deadline
+/// detection), and prove exactly-once delivery of every committed record.
+fn stream_soak() -> String {
+    let clock = Arc::new(SimClock::new(0));
+    let cluster = Cluster::with_clock(
+        "core",
+        ClusterConfig {
+            nodes: NODES,
+            ..Default::default()
+        },
+        clock.clone(),
+    );
+    let topic = cluster
+        .create_topic(
+            "trips",
+            TopicConfig {
+                partitions: PARTITIONS,
+                replication: 3,
+                lossless: true,
+                min_insync: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    let names = cluster.node_names();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let outages =
+        chaos::registry().plan_node_outages(&name_refs, CYCLES, 5_000, PERIOD_MS, OUTAGE_MS);
+
+    let interval = cluster.membership().config().heartbeat_interval_ms;
+    let horizon = 5_000 + CYCLES as i64 * PERIOD_MS + 20_000;
+    let mut committed: BTreeMap<usize, Vec<i64>> = BTreeMap::new();
+    let mut next_kill = 0usize;
+    let mut pending_heals: Vec<(i64, String)> = Vec::new();
+    let mut rejected = 0u64;
+    let mut i: i64 = 0;
+    while clock.now() < horizon {
+        let now = clock.now();
+        pending_heals.retain(|(at, node)| {
+            if *at <= now {
+                cluster.heal_node(node);
+                false
+            } else {
+                true
+            }
+        });
+        while next_kill < outages.len() && outages[next_kill].kill_at_ms <= now {
+            let o = &outages[next_kill];
+            // alternate announced and silent kills: both paths must
+            // preserve the invariant
+            if next_kill.is_multiple_of(2) {
+                cluster.kill_node(&o.node);
+            } else {
+                cluster.fail_node_silently(&o.node);
+            }
+            pending_heals.push((o.heal_at_ms, o.node.clone()));
+            next_kill += 1;
+        }
+        // steady produce load; an under-replicated partition may reject
+        // (acks=all semantics) — rejected writes are NOT committed and so
+        // are exempt from the durability invariant
+        for _ in 0..4 {
+            let rec = Record::new(Row::new().with("i", i), now).with_key(format!("k{i}"));
+            match cluster.produce("trips", rec, now) {
+                Ok((p, _)) => committed.entry(p).or_default().push(i),
+                Err(_) => rejected += 1,
+            }
+            i += 1;
+        }
+        clock.advance(interval);
+        cluster.heartbeat_tick();
+    }
+    // final heal + settle so every node rejoins its ISRs
+    for (_, node) in pending_heals.drain(..) {
+        cluster.heal_node(&node);
+    }
+    clock.advance(interval);
+    cluster.heartbeat_tick();
+
+    // durability: consumers replay exactly the committed sequence
+    for p in 0..PARTITIONS {
+        let fetched: Vec<i64> = topic
+            .fetch(p, 0, usize::MAX)
+            .unwrap()
+            .records
+            .into_iter()
+            .map(|r| r.record.value.get_int("i").unwrap())
+            .collect();
+        let expect = committed.get(&p).cloned().unwrap_or_default();
+        assert_eq!(
+            fetched, expect,
+            "partition {p}: committed records must survive failover exactly once, in order"
+        );
+        // full ISR restored after the last heal
+        let st = topic.replica_status(p).unwrap();
+        assert_eq!(st.isr.len(), st.assignment.len(), "partition {p} re-synced");
+    }
+    let total: usize = committed.values().map(|v| v.len()).sum();
+    assert!(total > 0, "soak must commit records");
+    let log = cluster.failover_log();
+    assert!(!log.is_empty(), "kill cycles must force failovers");
+    format!("produced={} rejected={rejected}\n{log}", total)
+}
+
+/// OLAP half: kill servers under the same seeded schedule; the membership
+/// listener drives the rebalancer, which must re-host every sealed
+/// segment so queries return to full coverage after each death.
+fn olap_soak() -> String {
+    let servers: Vec<Arc<ServerNode>> = (0..4).map(ServerNode::new).collect();
+    let broker = Arc::new(Broker::new(servers));
+    broker.register_table("t", false);
+    let store = Arc::new(SegmentStore::new(
+        Arc::new(InMemoryStore::new()),
+        SegmentStoreMode::PeerToPeer,
+        IndexSpec::none(),
+    ));
+    let schema = Schema::of("t", &[("city", FieldType::Str), ("v", FieldType::Int)]);
+    for s in 0..8 {
+        let rows: Vec<Row> = (0..100)
+            .map(|j| {
+                Row::new()
+                    .with("city", ["sf", "la"][j % 2])
+                    .with("v", (s * 100 + j) as i64)
+            })
+            .collect();
+        let seg =
+            Arc::new(Segment::build(format!("s{s}"), &schema, rows, &IndexSpec::none()).unwrap());
+        store.backup("t", seg.clone()).unwrap();
+        broker.place_segment("t", seg, None, 2).unwrap();
+    }
+    store.flush_pending().unwrap();
+
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let membership = Membership::new(clock, MembershipConfig::default());
+    let server_names: Vec<String> = broker
+        .servers()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    for n in &server_names {
+        membership.register(n);
+    }
+    let rebalancer = Rebalancer::new(broker.clone(), store);
+    rebalancer.watch(&membership);
+
+    let name_refs: Vec<&str> = server_names.iter().map(|s| s.as_str()).collect();
+    let outages = chaos::registry().plan_node_outages(&name_refs, CYCLES, 0, PERIOD_MS, OUTAGE_MS);
+    let q = Query::select_all("t").aggregate("n", AggFn::Count);
+    for o in &outages {
+        chaos::registry().kill_node(&o.node);
+        // the Dead event triggers an immediate rebalance pass
+        membership.kill(&o.node);
+        let healed = broker.query(&q).unwrap();
+        assert!(
+            !healed.partial,
+            "rebalance must restore full coverage after killing {}",
+            o.node
+        );
+        assert_eq!(
+            healed.rows[0].get_int("n"),
+            Some(800),
+            "every sealed segment re-served after {} died",
+            o.node
+        );
+        chaos::registry().heal_node(&o.node);
+        membership.revive(&o.node);
+    }
+    let moves = rebalancer.move_log();
+    assert!(!moves.is_empty(), "server kills must force replica moves");
+    moves
+}
+
+fn soak(seed: u64) -> String {
+    chaos::registry().reset(seed);
+    let summary = format!("seed={seed:#x}\n{}{}", stream_soak(), olap_soak());
+    chaos::registry().reset(seed);
+    summary
+}
+
+fn soak_twice(seed: u64) -> String {
+    let first = soak(seed);
+    let second = soak(seed);
+    assert_eq!(
+        first, second,
+        "same seed must reproduce byte-identical failover and rebalance logs"
+    );
+    first
+}
+
+#[test]
+fn node_kills_preserve_committed_records_and_segment_coverage() {
+    let _g = chaos::test_guard();
+    soak_twice(0xFA110);
+}
+
+#[test]
+fn node_kill_soak_alternate_seed() {
+    let _g = chaos::test_guard();
+    soak_twice(0xDEAD5EED);
+}
+
+/// ci.sh hook: seed from `RTDI_NODEKILL_SEED`, logs printed for
+/// cross-process diffing.
+#[test]
+fn node_kill_env_seed_prints_failover_log() {
+    let seed = std::env::var("RTDI_NODEKILL_SEED")
+        .ok()
+        .and_then(|s| {
+            s.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(0xFA110);
+    let _g = chaos::test_guard();
+    let summary = soak_twice(seed);
+    for line in summary.lines() {
+        println!("NODEKILL_SUMMARY {line}");
+    }
+}

@@ -19,14 +19,14 @@ use rtdi::stream::log::PartitionLog;
 
 /// Distinct per-test seed bases so tests never share generated streams.
 const SEED_COLFILE: u64 = 0x0C01_F11E;
-const SEED_INDEXES: u64 = 0x1DE7_E5;
-const SEED_SORTED: u64 = 0x5027_ED;
+const SEED_INDEXES: u64 = 0x001D_E7E5;
+const SEED_SORTED: u64 = 0x0050_27ED;
 const SEED_STARTREE: u64 = 0x57A2_72EE;
 const SEED_LOG: u64 = 0x10C_0FF5;
-const SEED_VECTOR: u64 = 0xB47C_4ED;
+const SEED_VECTOR: u64 = 0x0B47_C4ED;
 const SEED_JSON: u64 = 0x150_4200;
 const SEED_PARTITION: u64 = 0x9A27_1710;
-const SEED_PUSHDOWN: u64 = 0x9054_D0;
+const SEED_PUSHDOWN: u64 = 0x0090_54D0;
 
 fn schema() -> Schema {
     Schema::of(
