@@ -27,6 +27,25 @@ for seed in 0xA11CE 0xB0B5EED 0xC4A05C4; do
   echo "chaos soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) schedule lines)"
 done
 
+# Fused-dataflow determinism gate: for each seed, the micro-batched +
+# operator-chained protocol must digest identically to the per-record
+# reference, and the whole line must be byte-identical across processes.
+for seed in 0xF05E 0xC0FFEE42; do
+  run_fuse() {
+    RTDI_FUSE_SEED="$seed" cargo test -q --test fused_determinism \
+      fuse_env_seed_prints_digests -- --nocapture --test-threads=1 |
+      grep '^FUSED_SUMMARY'
+  }
+  a="$(run_fuse)"
+  b="$(run_fuse)"
+  if [ "$a" != "$b" ]; then
+    echo "fused dataflow diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "fused dataflow deterministic for seed $seed ($a)"
+done
+
 # Node-kill determinism gate: failover and rebalance event logs must be
 # byte-identical between two separate processes for each fixed seed.
 for seed in 0xFA110 0xDEAD5EED; do

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rtdi_bench::{quick_criterion, report, report_header, time_it};
 use rtdi_common::{AggFn, Record, Row};
 use rtdi_compute::operator::{Operator, WindowAggregateOp};
-use rtdi_compute::runtime::{Executor, ExecutorConfig, Job};
+use rtdi_compute::runtime::{run_staged_with, Executor, ExecutorConfig, Job, StagedConfig};
 use rtdi_compute::sink::CollectSink;
 use rtdi_compute::source::TopicSource;
 use rtdi_compute::window::WindowAssigner;
@@ -36,6 +36,25 @@ fn topic(n: usize) -> Arc<Topic> {
         .unwrap();
     }
     t
+}
+
+/// Stateless filter + projection pipeline: the shape the operator-chaining
+/// pass collapses into a single `fused[where->project]` stage.
+const PROJ_SQL: &str = "SELECT city, fare * 2 AS fare2 FROM trips WHERE ts >= 0";
+
+/// Run the compiled stateless pipeline through the staged runtime under
+/// one channel-protocol configuration; returns (records/s, result rows).
+fn staged_sql_run(n: usize, chain: bool, cfg: &StagedConfig) -> (f64, Vec<Row>) {
+    let opts = CompileOptions {
+        chain_operators: chain,
+        ..CompileOptions::default()
+    };
+    let sink = CollectSink::new();
+    let job = compile_streaming("proj", PROJ_SQL, topic(n), Box::new(sink.clone()), &opts).unwrap();
+    let (stats, elapsed) = time_it(|| run_staged_with(job, cfg).unwrap());
+    assert_eq!(stats.records_in, n as u64);
+    assert_eq!(stats.stages.len(), if chain { 1 } else { 2 });
+    (n as f64 / elapsed.as_secs_f64(), sink.rows())
 }
 
 fn hand_built(t: Arc<Topic>, sink: CollectSink) -> Job {
@@ -115,6 +134,32 @@ fn bench(c: &mut Criterion) {
     report(
         "SQL overhead",
         format!("{:.2}x", sql_time.as_secs_f64() / hand_time.as_secs_f64()),
+    );
+
+    // Channel-protocol sweep over the compiled WHERE+projection pipeline:
+    // per-record reference vs micro-batched vs micro-batched + chained
+    // (the compiler's chain_operators pass fuses where->project into one
+    // stage, removing the channel hop entirely).
+    let (per_record, rows_ref) = staged_sql_run(n, false, &StagedConfig::reference(64));
+    let (batched, rows_batched) = staged_sql_run(
+        n,
+        false,
+        &StagedConfig {
+            fuse_operators: false,
+            ..StagedConfig::batched(64, 64)
+        },
+    );
+    let (chained, rows_chained) = staged_sql_run(n, true, &StagedConfig::batched(64, 64));
+    assert_eq!(rows_ref, rows_batched);
+    assert_eq!(rows_ref, rows_chained);
+    report(
+        "staged per-record (2 stages)",
+        format!("{per_record:.0} rec/s"),
+    );
+    report("staged batch=64 (2 stages)", format!("{batched:.0} rec/s"));
+    report(
+        "staged batch=64 + chained (1 stage)",
+        format!("{chained:.0} rec/s"),
     );
 
     let mut g = c.benchmark_group("e08");

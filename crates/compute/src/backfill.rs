@@ -145,12 +145,12 @@ pub fn detect_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::AggFn;
     use crate::operator::WindowAggregateOp;
     use crate::runtime::{Executor, ExecutorConfig};
     use crate::sink::CollectSink;
     use crate::source::VecSource;
     use crate::window::WindowAssigner;
+    use rtdi_common::AggFn;
     use rtdi_common::{Record, Row, Schema};
     use rtdi_storage::hive::HiveCatalog;
     use rtdi_storage::object::InMemoryStore;

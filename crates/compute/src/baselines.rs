@@ -16,7 +16,7 @@
 //!   with the incremental-accumulator streaming engine reproduces the
 //!   footprint gap (experiment E7).
 
-use crate::aggregate::{AggAcc, AggFn};
+use rtdi_common::agg::{AggAcc, AggFn};
 use rtdi_common::{Record, Row, Timestamp};
 use std::collections::{BTreeMap, VecDeque};
 

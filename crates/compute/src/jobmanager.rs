@@ -9,7 +9,9 @@
 //! always be memory bound") and the rule-based engine that restarts or
 //! rescales jobs when metrics drift from the desired state.
 
-use crate::runtime::{Executor, ExecutorConfig, Job, JobRunStats};
+use crate::runtime::{
+    run_staged_with, Executor, ExecutorConfig, Job, JobRunStats, StagedConfig, StagedRunStats,
+};
 use parking_lot::RwLock;
 use rtdi_common::{Error, MembershipEvent, MembershipListener, NodeState, Result};
 use std::collections::BTreeMap;
@@ -317,6 +319,51 @@ impl JobManager {
         }
     }
 
+    /// [`JobManager::supervise`] over the staged multi-threaded runtime:
+    /// same restart-from-checkpoint loop, but each attempt runs the
+    /// micro-batched, operator-chained dataflow of [`run_staged_with`].
+    pub fn supervise_staged(
+        &self,
+        spec: &JobSpec,
+        config: &StagedConfig,
+    ) -> Result<StagedRunStats> {
+        if !self.jobs.read().contains_key(&spec.name) {
+            self.validate(spec)?;
+        }
+        self.set_status(&spec.name, JobStatus::Running);
+        let mut attempt = 0;
+        loop {
+            let job = (spec.factory)();
+            match run_staged_with(job, config) {
+                Ok(stats) => {
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.status = JobStatus::Finished;
+                    info.last_stats = Some(JobRunStats {
+                        records_in: stats.records_in,
+                        records_out: stats.records_out,
+                        checkpoints_taken: stats.checkpoints_taken,
+                        restored_from_checkpoint: stats.restored_from_checkpoint,
+                        peak_state_bytes: 0,
+                    });
+                    return Ok(stats);
+                }
+                Err(e) if attempt < self.max_restarts => {
+                    attempt += 1;
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.restarts = attempt;
+                    drop(jobs);
+                    let _ = e; // transient: retry from checkpoint
+                }
+                Err(e) => {
+                    self.set_status(&spec.name, JobStatus::Failed(e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     fn set_status(&self, name: &str, status: JobStatus) {
         if let Some(info) = self.jobs.write().get_mut(name) {
             info.status = status;
@@ -511,6 +558,57 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 20);
+        assert!(stats.records_in >= 20);
+    }
+
+    #[test]
+    fn supervise_staged_recovers_with_batched_runtime() {
+        let budget = Arc::new(Mutex::new(2u32)); // fails twice then healthy
+        let sink = CollectSink::new();
+        let store = Arc::new(InMemoryStore::new());
+        let jm = JobManager::new(ExecutorConfig::default(), 5);
+        let job_name = "staged-flaky".to_string();
+        let b = budget.clone();
+        let s = sink.clone();
+        let spec = JobSpec {
+            name: job_name.clone(),
+            job_type: JobType::Stateless,
+            tier: 0,
+            expected_records_per_sec: 100,
+            factory: Box::new(move || {
+                Job::new(
+                    job_name.clone(),
+                    Box::new(VecSource::from_rows(
+                        (0..20).map(|i| (i, Row::new().with("i", i))).collect(),
+                    )),
+                    vec![
+                        Box::new(MapOp::new("id", |r: &Row| r.clone())),
+                        Box::new(TransientFail { budget: b.clone() }),
+                    ],
+                    Box::new(s.clone()),
+                )
+            }),
+        };
+        let cfg = StagedConfig {
+            channel_capacity: 4,
+            batch_size: 8,
+            fuse_operators: true,
+            checkpoint_interval: 5,
+            checkpoint_store: Some(CheckpointStore::new(store)),
+        };
+        let stats = jm.supervise_staged(&spec, &cfg).unwrap();
+        let info = jm.status("staged-flaky").unwrap();
+        assert_eq!(info.status, JobStatus::Finished);
+        assert_eq!(info.restarts, 2);
+        assert_eq!(stats.checkpoints_taken, 4, "barrier every 5 of 20 records");
+        let mut ids: Vec<i64> = sink
+            .rows()
+            .iter()
+            .map(|r| r.get_int("i").unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "every input delivered at least once");
         assert!(stats.records_in >= 20);
     }
 

@@ -3,18 +3,22 @@
 //! The stream-processing layer — the Apache Flink stand-in of §4.2 — with
 //! the platform features Uber built around it:
 //!
-//! - [`window`], [`watermark`], [`aggregate`]: event-time tumbling /
-//!   sliding / session windows, bounded-out-of-orderness watermarks and the
-//!   aggregate functions used by FlinkSQL;
+//! - [`window`], [`watermark`]: event-time tumbling / sliding / session
+//!   windows and bounded-out-of-orderness watermarks (the aggregate
+//!   functions live in `rtdi_common::agg`, re-exported here);
 //! - [`operator`]: the dataflow operators (map / filter / flat-map / keyed
 //!   window aggregation / windowed stream-stream join) with snapshotable
-//!   state;
+//!   state, plus the operator-chaining pass that fuses adjacent stateless
+//!   operators into one stage;
 //! - [`source`], [`sink`]: bounded & unbounded sources over topics,
-//!   in-memory vectors and archived Hive tables (the Kappa+ read path);
+//!   in-memory vectors and archived Hive tables (the Kappa+ read path),
+//!   all batch-aware (`poll_batch_shared` / `write_batch`);
 //! - [`runtime`]: the single-job executor with barrier-equivalent
 //!   checkpoints persisted to the object store and exact state recovery;
 //!   plus a staged multi-threaded runtime with bounded channels whose
-//!   natural backpressure reproduces Flink's backlog behaviour;
+//!   natural backpressure reproduces Flink's backlog behaviour, moving
+//!   micro-batches (`Vec<Arc<Record>>`) per hop with aligned checkpoint
+//!   barriers;
 //! - [`jobmanager`] (§4.2.2, Figure 5): job lifecycle management,
 //!   rule-based health monitoring, automatic failure recovery and
 //!   CPU-vs-memory-bound auto-scaling;
@@ -23,7 +27,6 @@
 //! - [`baselines`]: the Storm-like ack-based engine and the Spark-like
 //!   micro-batch engine used by the §4.2 comparison experiments (E6, E7).
 
-pub mod aggregate;
 pub mod backfill;
 pub mod baselines;
 pub mod jobmanager;
@@ -34,12 +37,16 @@ pub mod source;
 pub mod watermark;
 pub mod window;
 
-pub use aggregate::{AggAcc, AggFn};
 pub use jobmanager::{JobManager, JobSpec, JobStatus};
 pub use operator::{
-    FilterOp, FlatMapOp, MapOp, Operator, OperatorOutput, WindowAggregateOp, WindowJoinOp,
+    fuse_stateless, FilterOp, FlatMapOp, FusedOp, MapOp, Operator, OperatorOutput,
+    WindowAggregateOp, WindowJoinOp,
 };
-pub use runtime::{CheckpointStore, Executor, ExecutorConfig, Job, JobRunStats};
+pub use rtdi_common::agg::{AggAcc, AggFn};
+pub use runtime::{
+    run_staged, run_staged_with, CheckpointStore, Executor, ExecutorConfig, Job, JobRunStats,
+    StageStats, StagedConfig, StagedRunStats,
+};
 pub use sink::{CollectSink, FnSink, Sink, TopicSink};
 pub use source::{HiveSource, Source, TopicSource, UnionSource, VecSource};
 pub use watermark::WatermarkGenerator;

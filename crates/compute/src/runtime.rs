@@ -7,11 +7,18 @@
 //! the source back to the snapshot and restores operator state, giving
 //! at-least-once end-to-end and exactly-once state semantics.
 //!
-//! [`run_staged`] is the alternative multi-threaded runtime: one thread
-//! per operator connected by *bounded* channels, whose blocking sends are
-//! the credit-based backpressure that lets the engine absorb massive input
+//! [`run_staged_with`] is the multi-threaded runtime: one thread per
+//! operator connected by *bounded* channels, whose blocking sends are the
+//! credit-based backpressure that lets the engine absorb massive input
 //! backlogs gracefully (§4.2) — measured against the Storm-like baseline
-//! in experiment E6.
+//! in experiment E6. Its hot path is micro-batched ([`StagedMsg::Batch`]
+//! moves one `Vec<Arc<Record>>` per hop instead of one message per
+//! record — Flink's network-buffer batching) and operator-chained
+//! (adjacent stateless stages fuse into one thread via
+//! [`crate::operator::fuse_stateless`]). Checkpoints use aligned barriers
+//! that flow through the chain collecting stage snapshots, so a barrier
+//! arriving mid-batch captures exactly the records before it.
+//! [`run_staged`] is the per-record, unfused reference configuration.
 
 use crate::operator::Operator;
 use crate::sink::Sink;
@@ -329,121 +336,403 @@ fn cascade_watermark(
     Ok(written)
 }
 
+/// Per-stage counters from a staged run. A fused stage lists every
+/// logical operator it executes in `operators` — observability parity
+/// with the unchained plan.
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    pub stage: String,
+    pub operators: Vec<String>,
+    pub records_in: u64,
+    pub records_out: u64,
+    /// Channel messages carrying records (batches + singles).
+    pub batches_in: u64,
+    pub late_dropped: u64,
+}
+
 /// Per-stage throughput numbers from a staged run.
 #[derive(Debug, Clone, Default)]
 pub struct StagedRunStats {
     pub records_in: u64,
     pub records_out: u64,
+    pub checkpoints_taken: u64,
+    pub restored_from_checkpoint: Option<u64>,
+    pub stages: Vec<StageStats>,
     pub elapsed: std::time::Duration,
 }
 
-enum StagedMsg {
-    Record(Record),
-    Watermark(Timestamp),
+/// An aligned checkpoint barrier flowing down the chain. Each stage
+/// appends its snapshot when the barrier passes — by the time it reaches
+/// the sink it holds a consistent cut of exactly the records before it.
+struct BarrierState {
+    id: u64,
+    source_position: Vec<u64>,
+    records_in: u64,
+    snapshots: Vec<Bytes>,
 }
 
-/// Multi-threaded execution: one thread per operator, bounded channels in
-/// between. A full channel blocks the upstream sender — credit-based flow
-/// control, Flink-style. `channel_capacity` is the per-hop buffer.
-pub fn run_staged(mut job: Job, channel_capacity: usize) -> Result<StagedRunStats> {
+enum StagedMsg {
+    /// Per-record protocol (batch_size = 1): one send per record.
+    Record(Arc<Record>),
+    /// Micro-batched protocol: one send per batch.
+    Batch(Vec<Arc<Record>>),
+    Watermark(Timestamp),
+    Barrier(Box<BarrierState>),
+}
+
+/// Knobs for the staged runtime.
+#[derive(Clone, Default)]
+pub struct StagedConfig {
+    /// Per-hop channel buffer (in messages).
+    pub channel_capacity: usize,
+    /// Records per channel hop. 1 selects the per-record reference
+    /// protocol; larger values amortize one send + one wakeup across the
+    /// whole batch. Watermarks/barriers flush any partial batch first, so
+    /// ordering semantics are identical at every size.
+    pub batch_size: usize,
+    /// Run the operator-chaining pass ([`crate::operator::fuse_stateless`])
+    /// before spawning stages.
+    pub fuse_operators: bool,
+    /// Checkpoint every N input records via barrier alignment (0 = off).
+    pub checkpoint_interval: u64,
+    pub checkpoint_store: Option<CheckpointStore>,
+}
+
+impl StagedConfig {
+    /// Batched + fused defaults used by production-style runs.
+    pub fn batched(channel_capacity: usize, batch_size: usize) -> Self {
+        StagedConfig {
+            channel_capacity,
+            batch_size,
+            fuse_operators: true,
+            checkpoint_interval: 0,
+            checkpoint_store: None,
+        }
+    }
+
+    /// The per-record, unfused reference protocol.
+    pub fn reference(channel_capacity: usize) -> Self {
+        StagedConfig {
+            channel_capacity,
+            batch_size: 1,
+            fuse_operators: false,
+            checkpoint_interval: 0,
+            checkpoint_store: None,
+        }
+    }
+}
+
+/// Multi-threaded execution with the per-record reference protocol: one
+/// thread per operator, bounded channels in between. A full channel blocks
+/// the upstream sender — credit-based flow control, Flink-style.
+/// `channel_capacity` is the per-hop buffer.
+pub fn run_staged(job: Job, channel_capacity: usize) -> Result<StagedRunStats> {
+    run_staged_with(job, &StagedConfig::reference(channel_capacity))
+}
+
+fn unwrap_or_clone(r: Arc<Record>) -> Record {
+    Arc::try_unwrap(r).unwrap_or_else(|a| (*a).clone())
+}
+
+/// Multi-threaded execution with micro-batching, operator chaining and
+/// aligned checkpoint barriers, per `config`.
+pub fn run_staged_with(mut job: Job, config: &StagedConfig) -> Result<StagedRunStats> {
     let start = std::time::Instant::now();
     let mut stats = StagedRunStats::default();
+    if config.fuse_operators {
+        job.operators = crate::operator::fuse_stateless(std::mem::take(&mut job.operators));
+    }
+
+    // recovery — after fusion, so snapshot slots line up with the fused
+    // topology the barriers will capture
+    let mut next_checkpoint_id = 1u64;
+    if let Some(cs) = &config.checkpoint_store {
+        if let Some(ckpt) = cs.latest(&job.name)? {
+            job.source.seek(&ckpt.source_position)?;
+            for (op, state) in job.operators.iter_mut().zip(&ckpt.operator_state) {
+                if !state.is_empty() {
+                    op.restore(state.clone())?;
+                }
+            }
+            stats.records_in = ckpt.records_in;
+            stats.restored_from_checkpoint = Some(ckpt.checkpoint_id);
+            next_checkpoint_id = ckpt.checkpoint_id + 1;
+        }
+    }
+
+    let batch_size = config.batch_size.max(1);
+    let checkpointing = config.checkpoint_interval > 0 && config.checkpoint_store.is_some();
     let n_ops = job.operators.len();
     let mut senders = Vec::with_capacity(n_ops + 1);
     let mut receivers = Vec::with_capacity(n_ops + 1);
     for _ in 0..=n_ops {
-        let (tx, rx) = crossbeam::channel::bounded::<StagedMsg>(channel_capacity.max(1));
+        let (tx, rx) = crossbeam::channel::bounded::<StagedMsg>(config.channel_capacity.max(1));
         senders.push(tx);
         receivers.push(rx);
     }
     let records_out = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let checkpoints_taken = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
-    std::thread::scope(|scope| -> Result<()> {
+    let (pump_res, stage_outcomes, sink_err) = std::thread::scope(|scope| {
         // operator stages
         let mut rx_iter = receivers.into_iter();
-        let first_rx = rx_iter.next().expect("at least one channel");
-        let mut prev_rx = first_rx;
+        let mut prev_rx = rx_iter.next().expect("at least one channel");
+        let mut handles = Vec::with_capacity(n_ops);
         for (i, mut op) in job.operators.drain(..).enumerate() {
             let rx = prev_rx;
             let tx = senders[i + 1].clone();
             prev_rx = rx_iter.next().expect("channel per stage");
-            scope.spawn(move || {
-                let mut buf = Vec::new();
-                while let Ok(msg) = rx.recv() {
-                    buf.clear();
+            handles.push(scope.spawn(move || -> (StageStats, Option<Error>) {
+                let mut st = StageStats {
+                    stage: op.name().to_string(),
+                    operators: op.operator_names(),
+                    ..StageStats::default()
+                };
+                let mut err = None;
+                let mut owned: Vec<Record> = Vec::new();
+                let mut buf: Vec<Record> = Vec::new();
+                'recv: while let Ok(msg) = rx.recv() {
                     match msg {
                         StagedMsg::Record(r) => {
-                            if op.process(r, &mut buf).is_err() {
+                            st.records_in += 1;
+                            st.batches_in += 1;
+                            if let Err(e) = op.process(unwrap_or_clone(r), &mut buf) {
+                                err = Some(e);
                                 break;
                             }
                             for out in buf.drain(..) {
-                                if tx.send(StagedMsg::Record(out)).is_err() {
-                                    return;
+                                st.records_out += 1;
+                                if tx.send(StagedMsg::Record(Arc::new(out))).is_err() {
+                                    break 'recv;
+                                }
+                            }
+                        }
+                        StagedMsg::Batch(batch) => {
+                            st.records_in += batch.len() as u64;
+                            st.batches_in += 1;
+                            owned.extend(batch.into_iter().map(unwrap_or_clone));
+                            if let Err(e) = op.process_batch(&mut owned, &mut buf) {
+                                err = Some(e);
+                                break;
+                            }
+                            owned.clear();
+                            if !buf.is_empty() {
+                                st.records_out += buf.len() as u64;
+                                let out = buf.drain(..).map(Arc::new).collect();
+                                if tx.send(StagedMsg::Batch(out)).is_err() {
+                                    break;
                                 }
                             }
                         }
                         StagedMsg::Watermark(wm) => {
                             op.on_watermark(wm, &mut buf);
-                            for out in buf.drain(..) {
-                                if tx.send(StagedMsg::Record(out)).is_err() {
-                                    return;
+                            if batch_size > 1 {
+                                if !buf.is_empty() {
+                                    st.records_out += buf.len() as u64;
+                                    let out = buf.drain(..).map(Arc::new).collect();
+                                    if tx.send(StagedMsg::Batch(out)).is_err() {
+                                        break;
+                                    }
+                                }
+                            } else {
+                                for out in buf.drain(..) {
+                                    st.records_out += 1;
+                                    if tx.send(StagedMsg::Record(Arc::new(out))).is_err() {
+                                        break 'recv;
+                                    }
                                 }
                             }
                             if tx.send(StagedMsg::Watermark(wm)).is_err() {
-                                return;
+                                break;
+                            }
+                        }
+                        StagedMsg::Barrier(mut b) => {
+                            b.snapshots.push(op.snapshot());
+                            if tx.send(StagedMsg::Barrier(b)).is_err() {
+                                break;
                             }
                         }
                     }
                 }
-            });
+                st.late_dropped = op.late_dropped();
+                (st, err)
+            }));
         }
+
         // sink stage
         let sink_rx = prev_rx;
         let out_counter = records_out.clone();
+        let ckpt_counter = checkpoints_taken.clone();
         let mut sink = job.sink;
-        scope.spawn(move || {
+        let job_name = job.name.clone();
+        let store = config.checkpoint_store.clone();
+        let sink_handle = scope.spawn(move || -> Option<Error> {
+            let mut err = None;
             while let Ok(msg) = sink_rx.recv() {
-                if let StagedMsg::Record(r) = msg {
-                    if sink.write(r).is_err() {
-                        return;
+                match msg {
+                    StagedMsg::Record(r) => {
+                        if let Err(e) = sink.write(unwrap_or_clone(r)) {
+                            err = Some(e);
+                            break;
+                        }
+                        out_counter.fetch_add(1, Ordering::Relaxed);
                     }
-                    out_counter.fetch_add(1, Ordering::Relaxed);
+                    StagedMsg::Batch(batch) => {
+                        let n = batch.len() as u64;
+                        let owned = batch.into_iter().map(unwrap_or_clone).collect();
+                        if let Err(e) = sink.write_batch(owned) {
+                            err = Some(e);
+                            break;
+                        }
+                        out_counter.fetch_add(n, Ordering::Relaxed);
+                    }
+                    StagedMsg::Watermark(_) => {}
+                    StagedMsg::Barrier(b) => {
+                        if let Some(cs) = &store {
+                            let b = *b;
+                            let res = sink.flush().and_then(|_| {
+                                cs.persist(
+                                    &job_name,
+                                    &CheckpointData {
+                                        checkpoint_id: b.id,
+                                        source_position: b.source_position,
+                                        operator_state: b.snapshots,
+                                        records_in: b.records_in,
+                                    },
+                                )
+                            });
+                            if let Err(e) = res {
+                                err = Some(e);
+                                break;
+                            }
+                            ckpt_counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
-            let _ = sink.flush();
+            if err.is_none() {
+                if let Err(e) = sink.flush() {
+                    err = Some(e);
+                }
+            }
+            err
         });
 
         // source pump on this thread
         let tx0 = senders.remove(0);
         drop(senders); // stages own their senders via clone
         let mut wm_gen = WatermarkGenerator::new(job.max_out_of_orderness);
-        loop {
-            let batch = job.source.poll_batch(512)?;
-            if batch.is_empty() {
-                if job.source.is_exhausted() {
-                    break;
+        let mut since_checkpoint = 0u64;
+        let mut pending: Vec<Arc<Record>> = Vec::with_capacity(batch_size);
+        let source = &mut job.source;
+        let interval = config.checkpoint_interval;
+        let records_in = &mut stats.records_in;
+        let pump_res = {
+            let mut pump = || -> Result<()> {
+                let send_err = |_| Error::Internal("stage died".into());
+                loop {
+                    // cap the poll so a due barrier lands exactly at a poll
+                    // boundary: source.position() then describes precisely the
+                    // records ahead of the barrier
+                    let mut want = 512.max(batch_size);
+                    if checkpointing {
+                        want = want.min((interval - since_checkpoint).max(1) as usize);
+                    }
+                    let batch = source.poll_batch_shared(want)?;
+                    if batch.is_empty() {
+                        if source.is_exhausted() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for rec in batch {
+                        wm_gen.observe(rec.timestamp);
+                        *records_in += 1;
+                        since_checkpoint += 1;
+                        // a channel-hop fault surfaces exactly like a dead stage
+                        fault_point!(FaultPoint::ComputeChannel);
+                        if batch_size > 1 {
+                            pending.push(rec);
+                            if pending.len() >= batch_size {
+                                let full =
+                                    std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+                                tx0.send(StagedMsg::Batch(full)).map_err(send_err)?;
+                            }
+                        } else {
+                            tx0.send(StagedMsg::Record(rec)).map_err(send_err)?;
+                        }
+                    }
+                    // linger flush: watermarks/barriers never pass records
+                    if !pending.is_empty() {
+                        let partial =
+                            std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+                        tx0.send(StagedMsg::Batch(partial)).map_err(send_err)?;
+                    }
+                    tx0.send(StagedMsg::Watermark(wm_gen.current()))
+                        .map_err(send_err)?;
+                    if checkpointing && since_checkpoint >= interval {
+                        tx0.send(StagedMsg::Barrier(Box::new(BarrierState {
+                            id: next_checkpoint_id,
+                            source_position: source.position(),
+                            records_in: *records_in,
+                            snapshots: Vec::new(),
+                        })))
+                        .map_err(send_err)?;
+                        next_checkpoint_id += 1;
+                        since_checkpoint = 0;
+                    }
                 }
-                std::thread::yield_now();
-                continue;
-            }
-            for rec in batch {
-                wm_gen.observe(rec.timestamp);
-                stats.records_in += 1;
-                // a channel-hop fault surfaces exactly like a dead stage
-                fault_point!(FaultPoint::ComputeChannel);
-                tx0.send(StagedMsg::Record(rec))
-                    .map_err(|_| Error::Internal("stage died".into()))?;
-            }
-            tx0.send(StagedMsg::Watermark(wm_gen.current()))
-                .map_err(|_| Error::Internal("stage died".into()))?;
-        }
-        tx0.send(StagedMsg::Watermark(Timestamp::MAX))
-            .map_err(|_| Error::Internal("stage died".into()))?;
+                if !pending.is_empty() {
+                    let partial = std::mem::take(&mut pending);
+                    tx0.send(StagedMsg::Batch(partial)).map_err(send_err)?;
+                }
+                tx0.send(StagedMsg::Watermark(Timestamp::MAX))
+                    .map_err(send_err)?;
+                Ok(())
+            };
+            pump()
+        };
         drop(tx0);
-        Ok(())
-    })?;
 
+        let stage_outcomes: Vec<(StageStats, Option<Error>)> = handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    (
+                        StageStats::default(),
+                        Some(Error::Internal("stage panicked".into())),
+                    )
+                })
+            })
+            .collect();
+        let sink_err = sink_handle
+            .join()
+            .unwrap_or_else(|_| Some(Error::Internal("sink panicked".into())));
+        (pump_res, stage_outcomes, sink_err)
+    });
+
+    // error precedence: a stage's own failure is the root cause — the
+    // pump's "stage died" send error is only its symptom
+    let mut stage_stats = Vec::with_capacity(stage_outcomes.len());
+    let mut first_stage_err = None;
+    for (st, err) in stage_outcomes {
+        if first_stage_err.is_none() {
+            first_stage_err = err;
+        }
+        stage_stats.push(st);
+    }
+    if let Some(e) = first_stage_err {
+        return Err(e);
+    }
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+    pump_res?;
+
+    stats.stages = stage_stats;
     stats.records_out = records_out.load(Ordering::Relaxed);
+    stats.checkpoints_taken = checkpoints_taken.load(Ordering::Relaxed);
     stats.elapsed = start.elapsed();
     Ok(stats)
 }
@@ -451,11 +740,11 @@ pub fn run_staged(mut job: Job, channel_capacity: usize) -> Result<StagedRunStat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::AggFn;
     use crate::operator::{FilterOp, MapOp, WindowAggregateOp};
     use crate::sink::CollectSink;
     use crate::source::VecSource;
     use crate::window::WindowAssigner;
+    use rtdi_common::AggFn;
     use rtdi_common::Row;
     use rtdi_storage::object::InMemoryStore;
 
@@ -673,6 +962,145 @@ mod tests {
             .map(|r| r.get_int("trips").unwrap())
             .sum();
         assert_eq!(total, 1000);
+    }
+
+    fn four_stage_job(name: &str, rows: Vec<(Timestamp, Row)>, sink: CollectSink) -> Job {
+        Job::new(
+            name,
+            Box::new(VecSource::from_rows(rows)),
+            vec![
+                Box::new(MapOp::new("tag", |r: &Row| {
+                    let mut out = r.clone();
+                    out.push("fare2", r.get_double("fare").unwrap_or(0.0) * 2.0);
+                    out
+                })),
+                Box::new(FilterOp::new("nonneg", |r: &Row| {
+                    r.get_double("fare").unwrap_or(0.0) >= 0.0
+                })),
+                Box::new(WindowAggregateOp::new(
+                    "agg",
+                    vec!["city".into()],
+                    WindowAssigner::tumbling(1000),
+                    vec![
+                        ("trips".into(), AggFn::Count),
+                        ("total2".into(), AggFn::Sum("fare2".into())),
+                    ],
+                    0,
+                )),
+                Box::new(MapOp::new("post", |r: &Row| {
+                    let mut out = r.clone();
+                    out.push(
+                        "avg2",
+                        r.get_double("total2").unwrap_or(0.0)
+                            / r.get_int("trips").unwrap_or(1) as f64,
+                    );
+                    out
+                })),
+            ],
+            Box::new(sink),
+        )
+    }
+
+    #[test]
+    fn staged_batched_fused_matches_reference_protocol() {
+        let ref_sink = CollectSink::new();
+        let ref_stats =
+            run_staged(four_stage_job("ref", trip_rows(1000), ref_sink.clone()), 64).unwrap();
+        assert_eq!(ref_stats.stages.len(), 4, "reference runs unchained");
+        for batch in [2usize, 64, 256] {
+            let sink = CollectSink::new();
+            let stats = run_staged_with(
+                four_stage_job("fused", trip_rows(1000), sink.clone()),
+                &StagedConfig::batched(64, batch),
+            )
+            .unwrap();
+            assert_eq!(stats.records_in, ref_stats.records_in);
+            assert_eq!(stats.records_out, ref_stats.records_out);
+            assert_eq!(sink.records(), ref_sink.records(), "batch={batch}");
+            // chaining: map+filter fused; window and trailing map separate
+            assert_eq!(stats.stages.len(), 3);
+            assert_eq!(stats.stages[0].stage, "fused[tag->nonneg]");
+            assert_eq!(stats.stages[0].operators, vec!["tag", "nonneg"]);
+            assert_eq!(stats.stages[1].operators, vec!["agg"]);
+            // batching: far fewer channel messages than records
+            assert!(
+                stats.stages[0].batches_in * batch as u64 >= stats.stages[0].records_in,
+                "batches carry up to batch_size records"
+            );
+            if batch >= 64 {
+                assert!(
+                    stats.stages[0].batches_in < stats.stages[0].records_in / 8,
+                    "hop amortization: {} msgs for {} records",
+                    stats.stages[0].batches_in,
+                    stats.stages[0].records_in
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_mid_batch_checkpoints_exactly_the_records_before_it() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0xBA881E);
+        let store = Arc::new(InMemoryStore::new());
+        let cs = CheckpointStore::new(store);
+        // interval 130 is deliberately not a multiple of batch_size 64, so
+        // every barrier lands mid-micro-batch (after a partial flush of 2)
+        let cfg = StagedConfig {
+            channel_capacity: 8,
+            batch_size: 64,
+            fuse_operators: true,
+            checkpoint_interval: 130,
+            checkpoint_store: Some(cs.clone()),
+        };
+
+        // baseline: uninterrupted run, no checkpoints
+        let baseline_sink = CollectSink::new();
+        run_staged_with(
+            window_count_job("base", trip_rows(1000), baseline_sink.clone()),
+            &StagedConfig::batched(8, 64),
+        )
+        .unwrap();
+
+        // crash run: channel-hop fault fires once at the 701st record
+        chaos::registry().arm(
+            FaultPoint::ComputeChannel,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(700, Some(1)),
+        );
+        let sink = CollectSink::new();
+        let job = window_count_job("mid-batch", trip_rows(1000), sink.clone());
+        assert!(matches!(
+            run_staged_with(job, &cfg),
+            Err(Error::Unavailable(_))
+        ));
+        // the surviving checkpoint covers exactly the 5 full intervals
+        // before the crash — not the records of any in-flight batch
+        let ckpt = cs.latest("mid-batch").unwrap().expect("checkpoints taken");
+        assert_eq!(ckpt.checkpoint_id, 5);
+        assert_eq!(ckpt.records_in, 650);
+        assert_eq!(ckpt.source_position, vec![650]);
+
+        // recovery run: restores the mid-stream cut and completes
+        let job = window_count_job("mid-batch", trip_rows(1000), sink.clone());
+        let stats = run_staged_with(job, &cfg).unwrap();
+        assert_eq!(stats.restored_from_checkpoint, Some(5));
+        assert_eq!(stats.records_in, 1000);
+        assert!(stats.checkpoints_taken >= 2);
+
+        // exactly-once state: deduplicated replayed output matches the
+        // uninterrupted baseline byte for byte
+        let canon = |mut rows: Vec<Row>| {
+            rows.sort_by_key(|r| {
+                (
+                    r.get_str("city").unwrap().to_string(),
+                    r.get_int("window_start").unwrap(),
+                )
+            });
+            rows.dedup();
+            rows
+        };
+        assert_eq!(canon(baseline_sink.rows()), canon(sink.rows()));
     }
 
     #[test]

@@ -14,6 +14,16 @@ use std::sync::Arc;
 pub trait Sink: Send {
     fn write(&mut self, record: Record) -> Result<()>;
 
+    /// Write a whole batch. Equivalent to writing each record in order;
+    /// sinks with per-call overhead (locks, appends) override to amortize
+    /// it across the batch.
+    fn write_batch(&mut self, records: Vec<Record>) -> Result<()> {
+        for record in records {
+            self.write(record)?;
+        }
+        Ok(())
+    }
+
     /// Called when a bounded run completes or at a checkpoint boundary.
     fn flush(&mut self) -> Result<()> {
         Ok(())
@@ -55,6 +65,11 @@ impl CollectSink {
 impl Sink for CollectSink {
     fn write(&mut self, record: Record) -> Result<()> {
         self.rows.lock().push(record);
+        Ok(())
+    }
+
+    fn write_batch(&mut self, records: Vec<Record>) -> Result<()> {
+        self.rows.lock().extend(records);
         Ok(())
     }
 }

@@ -25,6 +25,14 @@ pub trait Source: Send {
     /// now".
     fn poll_batch(&mut self, max: usize) -> Result<Vec<Record>>;
 
+    /// Batched zero-copy variant for the staged runtime: pull up to `max`
+    /// records as shared handles. Sources backed by `Arc`-retaining
+    /// storage (the stream log, in-memory vectors) override this to hand
+    /// out reference bumps instead of deep clones.
+    fn poll_batch_shared(&mut self, max: usize) -> Result<Vec<Arc<Record>>> {
+        Ok(self.poll_batch(max)?.into_iter().map(Arc::new).collect())
+    }
+
     /// Bounded sources report completion.
     fn is_exhausted(&self) -> bool;
 
@@ -36,15 +44,19 @@ pub trait Source: Send {
     fn seek(&mut self, position: &[u64]) -> Result<()>;
 }
 
-/// Bounded source over an in-memory vector.
+/// Bounded source over an in-memory vector. Records are held behind
+/// `Arc` so the batched runtime's shared poll is a reference bump.
 pub struct VecSource {
-    records: Vec<Record>,
+    records: Vec<Arc<Record>>,
     cursor: usize,
 }
 
 impl VecSource {
     pub fn new(records: Vec<Record>) -> Self {
-        VecSource { records, cursor: 0 }
+        VecSource {
+            records: records.into_iter().map(Arc::new).collect(),
+            cursor: 0,
+        }
     }
 
     /// Convenience: rows with explicit timestamps.
@@ -59,6 +71,16 @@ impl VecSource {
 
 impl Source for VecSource {
     fn poll_batch(&mut self, max: usize) -> Result<Vec<Record>> {
+        let end = (self.cursor + max).min(self.records.len());
+        let batch = self.records[self.cursor..end]
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        self.cursor = end;
+        Ok(batch)
+    }
+
+    fn poll_batch_shared(&mut self, max: usize) -> Result<Vec<Arc<Record>>> {
         let end = (self.cursor + max).min(self.records.len());
         let batch = self.records[self.cursor..end].to_vec();
         self.cursor = end;
@@ -124,9 +146,20 @@ impl Source for TopicSource {
     /// drop perfectly-good records as late — Flink's Kafka source solves
     /// the same problem with per-partition watermark alignment.
     fn poll_batch(&mut self, max: usize) -> Result<Vec<Record>> {
+        Ok(self
+            .poll_batch_shared(max)?
+            .into_iter()
+            .map(|r| Arc::try_unwrap(r).unwrap_or_else(|a| (*a).clone()))
+            .collect())
+    }
+
+    /// Zero-copy fetch: the log already stores `Arc<Record>` entries
+    /// (PR 2's `append_batch`/`into_record` path), so the combined batch
+    /// shares them instead of deep-cloning each record out of the log.
+    fn poll_batch_shared(&mut self, max: usize) -> Result<Vec<Arc<Record>>> {
         let n = self.topic.num_partitions();
         let per_partition = (max / n).max(1);
-        let mut out = Vec::new();
+        let mut out: Vec<Arc<Record>> = Vec::new();
         for _ in 0..n {
             let p = self.next_partition;
             self.next_partition = (self.next_partition + 1) % n;
@@ -153,7 +186,7 @@ impl Source for TopicSource {
             if let Some(last) = fetch.records.last() {
                 self.positions[p] = last.offset + 1;
             }
-            out.extend(fetch.records.into_iter().map(|r| r.into_record()));
+            out.extend(fetch.records.into_iter().map(|r| r.record));
         }
         out.sort_by_key(|r| r.timestamp);
         Ok(out)
@@ -249,7 +282,7 @@ impl Source for UnionSource {
 /// Kappa+ source: replays archived rows of a Hive table, in event-time
 /// order, at a bounded records-per-poll rate.
 pub struct HiveSource {
-    rows: Vec<Record>,
+    rows: Vec<Arc<Record>>,
     cursor: usize,
     /// Max records handed out per poll regardless of the requested batch —
     /// the Kappa+ throttle that protects downstream operators from
@@ -274,7 +307,7 @@ impl HiveSource {
             .into_iter()
             .map(|row| {
                 let ts = row.get_int("__ts").unwrap_or(0);
-                Record::new(row, ts)
+                Arc::new(Record::new(row, ts))
             })
             .collect();
         Ok(HiveSource {
@@ -287,6 +320,17 @@ impl HiveSource {
 
 impl Source for HiveSource {
     fn poll_batch(&mut self, max: usize) -> Result<Vec<Record>> {
+        let take = max.min(self.throttle_per_poll);
+        let end = (self.cursor + take).min(self.rows.len());
+        let batch = self.rows[self.cursor..end]
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        self.cursor = end;
+        Ok(batch)
+    }
+
+    fn poll_batch_shared(&mut self, max: usize) -> Result<Vec<Arc<Record>>> {
         let take = max.min(self.throttle_per_poll);
         let end = (self.cursor + take).min(self.rows.len());
         let batch = self.rows[self.cursor..end].to_vec();
@@ -335,6 +379,29 @@ mod tests {
         assert_eq!(s.poll_batch(10).unwrap().len(), 2);
         assert!(s.is_exhausted());
         assert!(s.poll_batch(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_poll_is_reference_bump_and_matches_owned_poll() {
+        let mut s = VecSource::from_rows((0..6).map(|i| (i, Row::new().with("i", i))).collect());
+        let shared = s.poll_batch_shared(4).unwrap();
+        assert_eq!(shared.len(), 4);
+        // the source still holds its own Arc: sharing, not deep copies
+        assert!(Arc::strong_count(&shared[0]) >= 2);
+        assert_eq!(s.position(), vec![4]);
+        // topic source: shared poll matches the owned poll record-for-record
+        let t = topic(2, 10);
+        let mut a = TopicSource::bounded(t.clone());
+        let mut b = TopicSource::bounded(t);
+        let owned = a.poll_batch(10).unwrap();
+        let shared: Vec<Record> = b
+            .poll_batch_shared(10)
+            .unwrap()
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        assert_eq!(owned, shared);
+        assert_eq!(a.position(), b.position());
     }
 
     #[test]

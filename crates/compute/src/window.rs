@@ -74,6 +74,24 @@ impl WindowAssigner {
         }
     }
 
+    /// The unique window for `ts` when assignment is 1:1 (tumbling).
+    /// Returns `None` for sliding/session assigners, whose events map to
+    /// several (or merged) windows. The batched aggregation path uses this
+    /// to detect runs of same-window records without allocating a `Vec`
+    /// per record.
+    pub fn single_window(&self, ts: Timestamp) -> Option<Window> {
+        match *self {
+            WindowAssigner::Tumbling { size_ms } => {
+                let start = ts.div_euclid(size_ms) * size_ms;
+                Some(Window {
+                    start,
+                    end: start + size_ms,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Whether the assigner produces session windows needing merge logic.
     pub fn is_session(&self) -> bool {
         matches!(self, WindowAssigner::Session { .. })
@@ -133,6 +151,16 @@ mod tests {
             }]
         );
         assert!(w.is_session());
+    }
+
+    #[test]
+    fn single_window_agrees_with_assign() {
+        let t = WindowAssigner::tumbling(1000);
+        for ts in [-1500i64, -1, 0, 1, 999, 1000, 12345] {
+            assert_eq!(t.single_window(ts), Some(t.assign(ts)[0]));
+        }
+        assert_eq!(WindowAssigner::sliding(1000, 250).single_window(5), None);
+        assert_eq!(WindowAssigner::session(100).single_window(5), None);
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct CompileOptions {
     pub allowed_lateness: i64,
     /// Bounded streaming source (read-to-current-end) vs unbounded.
     pub bounded: bool,
+    /// Operator chaining: fuse adjacent stateless operators (WHERE
+    /// filters, projections, window aliases) into single stages so the
+    /// staged runtime spends no channel hop between them — Flink chains
+    /// eligible SQL operators the same way. Window aggregations keep
+    /// their own stage.
+    pub chain_operators: bool,
 }
 
 impl Default for CompileOptions {
@@ -31,6 +37,7 @@ impl Default for CompileOptions {
             max_out_of_orderness: 1_000,
             allowed_lateness: 0,
             bounded: true,
+            chain_operators: true,
         }
     }
 }
@@ -85,6 +92,9 @@ fn compile(
     if operators.is_empty() {
         // pure `SELECT * FROM t`: identity map keeps the job non-trivial
         operators.push(Box::new(MapOp::new("identity", |r: &Row| r.clone())));
+    }
+    if options.chain_operators {
+        operators = rtdi_compute::operator::fuse_stateless(operators);
     }
     Ok(Job::new(name, source, operators, sink).with_out_of_orderness(options.max_out_of_orderness))
 }

@@ -27,6 +27,7 @@ const SEED_VECTOR: u64 = 0x0B47_C4ED;
 const SEED_JSON: u64 = 0x150_4200;
 const SEED_PARTITION: u64 = 0x9A27_1710;
 const SEED_PUSHDOWN: u64 = 0x0090_54D0;
+const SEED_FUSION: u64 = 0x0F05_ED00;
 
 fn schema() -> Schema {
     Schema::of(
@@ -508,6 +509,242 @@ mod pushdown_equivalence {
 /// The shrunk counter-examples recorded by the seed's proptest runs
 /// (`tests/properties.proptest-regressions`), pinned as deterministic
 /// tests so the regressions stay covered without the regressions file.
+/// The staged runtime's micro-batched + operator-chained protocol must be
+/// observationally identical to the per-record reference protocol: same
+/// result records in the same order, same late-drop counts — across random
+/// operator chains (stateless map/filter/flat-map runs around an optional
+/// keyed window aggregation), random out-of-order streams, every batch
+/// size, and with a chaos delay fault injected on the channel hop.
+mod fused_batched_equivalence {
+    use super::*;
+    use rtdi::common::chaos::{self, FaultKind, FaultPlan, FaultPoint, Trigger};
+    use rtdi::common::Timestamp;
+    use rtdi::compute::{
+        run_staged, run_staged_with, CollectSink, FilterOp, FlatMapOp, Job, MapOp, Operator,
+        StagedConfig, VecSource, WindowAggregateOp, WindowAssigner,
+    };
+
+    #[derive(Clone, Debug)]
+    enum StageSpec {
+        AddN(i64),
+        ScaleX(f64),
+        FilterMod(i64),
+        Dup,
+    }
+
+    #[derive(Clone, Debug)]
+    struct JobSpec {
+        pre: Vec<StageSpec>,
+        window: Option<i64>, // tumbling size
+        post: Vec<StageSpec>,
+        out_of_orderness: i64,
+        rows: Vec<(Timestamp, Row)>,
+    }
+
+    fn arb_stage(rng: &mut StdRng) -> StageSpec {
+        match rng.gen_range(0..4u8) {
+            0 => StageSpec::AddN(rng.gen_range(-50..50i64)),
+            1 => StageSpec::ScaleX(rng.gen_range(0.5..2.0f64)),
+            2 => StageSpec::FilterMod(rng.gen_range(2..5i64)),
+            _ => StageSpec::Dup,
+        }
+    }
+
+    fn arb_job_spec(rng: &mut StdRng) -> JobSpec {
+        let pre = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_stage(rng))
+            .collect();
+        let window = if rng.gen_bool(0.7) {
+            Some([500, 1_000, 1_700][rng.gen_range(0..3usize)])
+        } else {
+            None
+        };
+        let post = (0..rng.gen_range(0..3usize))
+            .map(|_| arb_stage(rng))
+            .collect();
+        let n = rng.gen_range(40..250usize);
+        let rows = (0..n)
+            .map(|_| (rng.gen_range(0..8_000i64), arb_row(rng)))
+            .collect();
+        JobSpec {
+            pre,
+            window,
+            post,
+            out_of_orderness: [0, 250, 1_000][rng.gen_range(0..3usize)],
+            rows,
+        }
+    }
+
+    fn stateless_op(idx: usize, spec: &StageSpec) -> Box<dyn Operator> {
+        match spec {
+            StageSpec::AddN(k) => {
+                let k = *k;
+                Box::new(MapOp::new(format!("add{idx}"), move |r: &Row| {
+                    let mut out = r.clone();
+                    out.push(format!("m{idx}"), r.get_int("n").unwrap_or(0) + k);
+                    out
+                }))
+            }
+            StageSpec::ScaleX(f) => {
+                let f = *f;
+                Box::new(MapOp::new(format!("scale{idx}"), move |r: &Row| {
+                    let mut out = r.clone();
+                    out.push(format!("m{idx}"), r.get_double("x").unwrap_or(0.0) * f);
+                    out
+                }))
+            }
+            StageSpec::FilterMod(m) => {
+                let m = *m;
+                Box::new(FilterOp::new(format!("mod{idx}"), move |r: &Row| {
+                    r.get_int("n").unwrap_or(0).rem_euclid(m) != 0
+                }))
+            }
+            StageSpec::Dup => Box::new(FlatMapOp::new(format!("dup{idx}"), |r: &Record| {
+                vec![r.clone(), r.clone()]
+            })),
+        }
+    }
+
+    fn build_job(name: &str, spec: &JobSpec, sink: CollectSink) -> Job {
+        let mut ops: Vec<Box<dyn Operator>> = Vec::new();
+        for (i, s) in spec.pre.iter().enumerate() {
+            ops.push(stateless_op(i, s));
+        }
+        if let Some(size) = spec.window {
+            ops.push(Box::new(WindowAggregateOp::new(
+                "agg",
+                vec!["city".into()],
+                WindowAssigner::tumbling(size),
+                vec![
+                    ("cnt".into(), AggFn::Count),
+                    ("sum_n".into(), AggFn::Sum("n".into())),
+                ],
+                0,
+            )));
+        }
+        for (i, s) in spec.post.iter().enumerate() {
+            ops.push(stateless_op(100 + i, s));
+        }
+        Job::new(
+            name,
+            Box::new(VecSource::from_rows(spec.rows.clone())),
+            ops,
+            Box::new(sink),
+        )
+        .with_out_of_orderness(spec.out_of_orderness)
+    }
+
+    fn late_drops(stats: &rtdi::compute::StagedRunStats) -> u64 {
+        stats.stages.iter().map(|s| s.late_dropped).sum()
+    }
+
+    /// Batched + fused output is identical to the per-record reference
+    /// for every batch size, including sizes that leave partial batches.
+    #[test]
+    fn staged_batched_fused_matches_reference_on_random_jobs() {
+        for case in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(SEED_FUSION + case);
+            let spec = arb_job_spec(&mut rng);
+            let ref_sink = CollectSink::new();
+            let ref_stats = run_staged(build_job("ref", &spec, ref_sink.clone()), 32)
+                .unwrap_or_else(|e| panic!("case {case}: reference run failed: {e}"));
+            for batch in [2usize, 7, 64] {
+                let sink = CollectSink::new();
+                let stats = run_staged_with(
+                    build_job("fused", &spec, sink.clone()),
+                    &StagedConfig::batched(32, batch),
+                )
+                .unwrap_or_else(|e| panic!("case {case} batch {batch}: run failed: {e}"));
+                assert_eq!(
+                    sink.records(),
+                    ref_sink.records(),
+                    "case {case} batch {batch}: fused+batched output diverged"
+                );
+                assert_eq!(
+                    late_drops(&stats),
+                    late_drops(&ref_stats),
+                    "case {case} batch {batch}: late-drop counts diverged"
+                );
+                assert_eq!(stats.records_in, ref_stats.records_in, "case {case}");
+            }
+        }
+    }
+
+    /// A chaos delay fault on the channel hop slows the pump but must not
+    /// change what comes out.
+    #[test]
+    fn staged_batched_fused_matches_reference_under_channel_delay_fault() {
+        let _g = chaos::test_guard();
+        for case in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(SEED_FUSION + 0x1000 + case);
+            let spec = arb_job_spec(&mut rng);
+            chaos::registry().disarm_all();
+            let ref_sink = CollectSink::new();
+            run_staged(build_job("ref", &spec, ref_sink.clone()), 32).unwrap();
+            chaos::registry().reset(SEED_FUSION + case);
+            chaos::registry().arm(
+                FaultPoint::ComputeChannel,
+                FaultPlan::delay(50, Trigger::Probability(0.2)),
+            );
+            let sink = CollectSink::new();
+            let res = run_staged_with(
+                build_job("fused", &spec, sink.clone()),
+                &StagedConfig::batched(32, 7),
+            );
+            chaos::registry().disarm_all();
+            res.unwrap_or_else(|e| panic!("case {case}: delay fault must not error: {e}"));
+            assert_eq!(
+                sink.records(),
+                ref_sink.records(),
+                "case {case}: output changed under channel delay fault"
+            );
+        }
+    }
+
+    /// A transient channel-hop failure surfaces as the injected error and
+    /// a clean re-run (fault exhausted) reproduces the reference output
+    /// exactly — the retry semantics jobs lean on.
+    #[test]
+    fn staged_batched_fused_recovers_identically_after_channel_fault() {
+        let _g = chaos::test_guard();
+        for case in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(SEED_FUSION + 0x2000 + case);
+            let spec = arb_job_spec(&mut rng);
+            chaos::registry().disarm_all();
+            let ref_sink = CollectSink::new();
+            run_staged(build_job("ref", &spec, ref_sink.clone()), 32).unwrap();
+            chaos::registry().reset(SEED_FUSION + case);
+            let skip = rng.gen_range(0..spec.rows.len() as u64);
+            chaos::registry().arm(
+                FaultPoint::ComputeChannel,
+                FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(skip, Some(1)),
+            );
+            let crash_sink = CollectSink::new();
+            let err = run_staged_with(
+                build_job("crash", &spec, crash_sink.clone()),
+                &StagedConfig::batched(32, 7),
+            )
+            .expect_err("armed channel fault must surface");
+            assert!(
+                matches!(err, rtdi::common::Error::Unavailable(_)),
+                "case {case}: wrong error kind: {err}"
+            );
+            let retry_sink = CollectSink::new();
+            let res = run_staged_with(
+                build_job("retry", &spec, retry_sink.clone()),
+                &StagedConfig::batched(32, 7),
+            );
+            chaos::registry().disarm_all();
+            res.unwrap_or_else(|e| panic!("case {case}: retry must succeed: {e}"));
+            assert_eq!(
+                retry_sink.records(),
+                ref_sink.records(),
+                "case {case}: re-run output diverged from reference"
+            );
+        }
+    }
+}
+
 mod pinned_regressions {
     use super::*;
     use pushdown_equivalence::{assert_pushdown_equivalent, engines};
