@@ -63,3 +63,23 @@ for seed in 0xFA110 0xDEAD5EED; do
   fi
   echo "node-kill soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) log lines)"
 done
+
+# Decoder-robustness gate: a seeded corpus of truncated and bit-flipped
+# segment/colfile bytes is pushed through every decode entry point; any
+# panic fails the test, and the outcome summary must be byte-identical
+# between two separate processes for each fixed seed.
+for seed in 0xDEC0DE 0xBADF11E5; do
+  run_fuzz() {
+    RTDI_FUZZ_SEED="$seed" cargo test -q --test decoder_robustness \
+      fuzz_env_seed_prints_summary -- --nocapture --test-threads=1 |
+      grep '^DECODER_SUMMARY'
+  }
+  a="$(run_fuzz)"
+  b="$(run_fuzz)"
+  if [ "$a" != "$b" ]; then
+    echo "decoder fuzz diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "decoder fuzz deterministic for seed $seed ($a)"
+done

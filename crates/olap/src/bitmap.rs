@@ -182,6 +182,28 @@ impl Bitmap {
     pub fn memory_bytes(&self) -> usize {
         self.blocks.len() * 8 + 16
     }
+
+    /// Serialize to LSB-first bytes (`ceil(len/8)` of them) — the on-disk
+    /// null-bitmap layout of `rtdi_storage::segfile`. Little-endian block
+    /// bytes give exactly that bit order, so this is a flat copy.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self.blocks.iter().flat_map(|b| b.to_le_bytes()).collect();
+        out.truncate(self.len.div_ceil(8));
+        out
+    }
+
+    /// Rebuild from LSB-first bytes produced by [`Bitmap::to_bytes`] (or a
+    /// segment file's null bitmap). Bytes beyond `len` bits are ignored;
+    /// missing bytes read as zero.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Bitmap {
+        let mut blocks = vec![0u64; len.div_ceil(64)];
+        for (i, &b) in bytes.iter().enumerate().take(len.div_ceil(8)) {
+            blocks[i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        let mut bm = Bitmap { blocks, len };
+        bm.clear_tail();
+        bm
+    }
 }
 
 pub struct BitmapIter<'a> {
@@ -310,6 +332,26 @@ mod tests {
         let mut out = vec![42u32]; // appends, does not clear
         bm.collect_into(&mut out);
         assert_eq!(out, vec![42, 0, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_bits() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 130, 300] {
+            let mut bm = Bitmap::new(len);
+            for i in (0..len).step_by(3) {
+                bm.set(i);
+            }
+            let bytes = bm.to_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8));
+            assert_eq!(Bitmap::from_bytes(&bytes, len), bm);
+        }
+        // trailing garbage bits beyond len are masked off
+        let bm = Bitmap::from_bytes(&[0xFF], 3);
+        assert_eq!(bm.count(), 3);
+        assert!(!bm.get(3));
+        // short input reads as zeros
+        let bm = Bitmap::from_bytes(&[0x01], 100);
+        assert_eq!(bm.count(), 1);
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl Broker {
             used_startree,
             partial: segments_unavailable > 0,
             segments_unavailable,
+            ..Default::default()
         })
     }
 

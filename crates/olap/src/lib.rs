@@ -4,7 +4,9 @@
 //! every Uber enhancement the paper describes:
 //!
 //! - [`bitmap`], [`segment`]: dictionary-encoded, bit-packed columnar
-//!   segments with inverted, sorted and range indices;
+//!   segments with inverted, sorted and range indices, persisted to the
+//!   real on-disk format of `rtdi_storage::segfile` and re-opened lazily
+//!   (zone maps first, per-column decode on demand);
 //! - [`startree`]: the star-tree pre-aggregation index Pinot credits for
 //!   order-of-magnitude group-by speedups;
 //! - [`query`]: the "limited SQL" query model (filters, aggregations,
@@ -45,7 +47,7 @@ pub use ingestion::{IngestionConfig, RealtimeIngester};
 pub use query::{Predicate, PredicateOp, Query, QueryResult};
 pub use realtime::MutableSegment;
 pub use rebalance::{RebalanceReport, Rebalancer, ReplicaMove};
-pub use segment::{IndexSpec, Segment};
+pub use segment::{IndexSpec, LazySegment, Segment};
 pub use segstore::{SegmentStore, SegmentStoreMode};
 pub use startree::{StarTree, StarTreeSpec};
 pub use table::{OlapTable, TableConfig};

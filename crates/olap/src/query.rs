@@ -148,6 +148,10 @@ pub struct QueryResult {
     pub partial: bool,
     /// Segments skipped because no live replica could serve them.
     pub segments_unavailable: u64,
+    /// Segments skipped because time-range or zone-map statistics proved
+    /// no document could match (lazy segments skip column reads
+    /// entirely).
+    pub segments_pruned: u64,
 }
 
 /// Group key: the group-by column values (in `group_by` order) rendered to

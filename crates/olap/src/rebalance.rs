@@ -173,7 +173,7 @@ mod tests {
     use crate::segment::{IndexSpec, Segment};
     use crate::segstore::SegmentStoreMode;
     use rtdi_common::{AggFn, FieldType, Row, Schema};
-    use rtdi_storage::object::InMemoryStore;
+    use rtdi_storage::object::{InMemoryStore, ObjectStore};
 
     fn schema() -> Schema {
         Schema::of(
@@ -252,6 +252,37 @@ mod tests {
         let res = broker.query(&q).unwrap();
         assert!(!res.partial);
         assert_eq!(res.rows[0].get_int("n"), Some(300));
+    }
+
+    #[test]
+    fn corrupt_deep_store_object_reports_unrecovered_without_panic() {
+        // replication 1 and a dead host: recovery must go to the deep
+        // store, where the archived object has been damaged
+        let nodes: Vec<Arc<ServerNode>> = (0..3).map(ServerNode::new).collect();
+        let broker = Arc::new(Broker::new(nodes));
+        broker.register_table("t", false);
+        let object_store = Arc::new(InMemoryStore::new());
+        let store = Arc::new(SegmentStore::new(
+            object_store.clone(),
+            SegmentStoreMode::PeerToPeer,
+            IndexSpec::none(),
+        ));
+        let s = seg("s0", 0, 100);
+        store.backup("t", s.clone()).unwrap();
+        broker.place_segment("t", s, None, 1).unwrap();
+        store.flush_pending().unwrap();
+        let mut broken = object_store.get("segments/t/s0").unwrap().to_vec();
+        let mid = broken.len() / 2;
+        broken[mid] ^= 0xFF;
+        object_store.put("segments/t/s0", broken.into()).unwrap();
+        let victim = broker.placements("t")[0].replicas[0];
+        broker.servers()[victim].set_down(true);
+        let rb = Rebalancer::new(broker.clone(), store);
+        // decoder rejects the damaged bytes with Error::Corruption; the
+        // rebalancer records the segment instead of crashing
+        let report = rb.rebalance().unwrap();
+        assert!(report.moves.is_empty());
+        assert_eq!(report.unrecovered, vec!["s0".to_string()]);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! inverted-index bitmap, range-index buckets, or a columnar scan.
 
 use crate::bitmap::Bitmap;
-use crate::query::{sort_and_limit, Predicate, PredicateOp, Query, QueryResult};
+use crate::query::{sort_and_limit, PartialAgg, Predicate, PredicateOp, Query, QueryResult};
 use crate::startree::{StarTree, StarTreeSpec};
-use rtdi_common::{AggAcc, Error, Result, Row, Schema, Timestamp, Value};
+use bytes::Bytes;
+use rtdi_common::{AggAcc, Error, FieldType, Result, Row, Schema, Timestamp, Value};
+use rtdi_storage::segfile;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Which indices to build for a segment.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -469,7 +471,9 @@ impl RangeIndex {
 pub struct Segment {
     name: String,
     schema: Schema,
-    columns: BTreeMap<String, ColumnData>,
+    /// Columns are shared (`Arc`) so a [`LazySegment`] view and a fully
+    /// materialized segment can reference the same decoded data.
+    columns: BTreeMap<String, Arc<ColumnData>>,
     /// Schema field names interned once at build; every materialized row
     /// shares these instead of cloning a `String` per cell.
     field_names: Vec<Arc<str>>,
@@ -498,7 +502,7 @@ impl Segment {
         let n = rows.len();
         let mut columns = BTreeMap::new();
         for field in &schema.fields {
-            columns.insert(field.name.clone(), build_column(field, &rows)?);
+            columns.insert(field.name.clone(), Arc::new(build_column(field, &rows)?));
         }
         // columns present in rows but absent from the schema are dropped —
         // the schema is the contract
@@ -557,7 +561,7 @@ impl Segment {
 
     /// In-memory footprint, indices included.
     pub fn memory_bytes(&self) -> usize {
-        let cols: usize = self.columns.values().map(ColumnData::memory_bytes).sum();
+        let cols: usize = self.columns.values().map(|c| c.memory_bytes()).sum();
         let inv: usize = self
             .inverted
             .values()
@@ -596,7 +600,7 @@ impl Segment {
 
     /// Min/max of an integer column (time pruning).
     pub fn int_range(&self, column: &str) -> Option<(Timestamp, Timestamp)> {
-        match self.columns.get(column)? {
+        match self.columns.get(column)?.as_ref() {
             ColumnData::Int { values, .. } => {
                 let min = *values.iter().min()?;
                 let max = *values.iter().max()?;
@@ -623,7 +627,7 @@ impl Segment {
     }
 
     fn eval_predicate(&self, pred: &Predicate, current: &Bitmap) -> Result<(Bitmap, u64)> {
-        let col = self
+        let col: &ColumnData = self
             .columns
             .get(&pred.column)
             .ok_or_else(|| Error::Schema(format!("unknown column '{}'", pred.column)))?;
@@ -730,8 +734,10 @@ impl Segment {
             select_names = query.select.iter().map(|s| Arc::from(s.as_str())).collect();
             &select_names
         };
-        let cols: Vec<Option<&ColumnData>> =
-            names.iter().map(|n| self.columns.get(n.as_ref())).collect();
+        let cols: Vec<Option<&ColumnData>> = names
+            .iter()
+            .map(|n| self.columns.get(n.as_ref()).map(|c| c.as_ref()))
+            .collect();
         let mut result = QueryResult {
             rows: Vec::with_capacity(docs.len()),
             docs_scanned: scanned + docs.len() as u64,
@@ -816,7 +822,7 @@ impl Segment {
         let dict_cols: Option<Vec<&ColumnData>> = query
             .group_by
             .iter()
-            .map(|c| match self.columns.get(c) {
+            .map(|c| match self.columns.get(c).map(|a| a.as_ref()) {
                 Some(col @ ColumnData::Str { .. }) => Some(col),
                 _ => None,
             })
@@ -944,15 +950,409 @@ impl Segment {
             AggFn::Count => ResolvedAgg::CountAll,
             AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c) => {
                 match self.columns.get(c) {
-                    Some(col) => ResolvedAgg::Num(col),
+                    Some(col) => ResolvedAgg::Num(col.as_ref()),
                     None => ResolvedAgg::Missing,
                 }
             }
             AggFn::DistinctCount(c) => match self.columns.get(c) {
-                Some(col) => ResolvedAgg::Distinct(col),
+                Some(col) => ResolvedAgg::Distinct(col.as_ref()),
                 None => ResolvedAgg::Missing,
             },
         }
+    }
+
+    /// Serialize into the on-disk segment format of
+    /// [`rtdi_storage::segfile`]: per-column dictionary/bit-packed/RLE
+    /// blocks, null bitmaps, zone maps, and a CRC32-checked footer whose
+    /// index map makes every column's byte range independently
+    /// addressable. Round-trips through [`Segment::load_lazy`].
+    pub fn persist(&self) -> Result<Bytes> {
+        let meta = segfile::SegmentMeta {
+            name: self.name.clone(),
+            table: self.schema.name.clone(),
+            sorted_col: self.sorted_col.clone(),
+            nrows: self.doc_count as u64,
+        };
+        let mut cols = Vec::with_capacity(self.schema.fields.len());
+        for field in &self.schema.fields {
+            let data = self.columns.get(&field.name).ok_or_else(|| {
+                Error::Internal(format!("column '{}' missing at persist", field.name))
+            })?;
+            cols.push(to_segfile_column(field.field_type, data, self.doc_count));
+        }
+        segfile::encode_segment(&meta, &self.schema.fields, &cols)
+    }
+
+    /// Open persisted segment bytes without decoding any column: only the
+    /// header, index map and CRC-checked footer are parsed. Columns
+    /// decode on first touch (and zone maps can answer some queries
+    /// without any column load at all).
+    pub fn load_lazy(data: Bytes) -> Result<LazySegment> {
+        let file = segfile::SegmentFile::open(data)?;
+        let schema = file.schema();
+        let field_names = schema
+            .fields
+            .iter()
+            .map(|f| Arc::from(f.name.as_str()))
+            .collect();
+        let cols = (0..file.entries().len()).map(|_| OnceLock::new()).collect();
+        Ok(LazySegment {
+            file,
+            schema,
+            field_names,
+            cols,
+        })
+    }
+}
+
+/// A persisted segment opened lazily: header and index map parsed, column
+/// bytes untouched until a query needs them. Zone maps are consulted
+/// before any column load, so a pruned segment costs header bytes only.
+pub struct LazySegment {
+    file: segfile::SegmentFile,
+    schema: Schema,
+    field_names: Vec<Arc<str>>,
+    /// Decoded columns, parallel to `file.entries()`; each decodes at
+    /// most once and is shared with materialized views.
+    cols: Vec<OnceLock<Arc<ColumnData>>>,
+}
+
+impl LazySegment {
+    pub fn name(&self) -> &str {
+        &self.file.meta().name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn doc_count(&self) -> usize {
+        self.file.nrows()
+    }
+
+    /// Per-column index-map entries (byte ranges + zone maps).
+    pub fn entries(&self) -> &[segfile::ColumnEntry] {
+        self.file.entries()
+    }
+
+    /// Bytes parsed at open time (header + index map + footer) — the full
+    /// cost of a zone-map-pruned query.
+    pub fn header_bytes(&self) -> usize {
+        self.file.header_bytes()
+    }
+
+    pub fn file_bytes(&self) -> usize {
+        self.file.file_bytes()
+    }
+
+    /// How many columns have been decoded so far.
+    pub fn columns_loaded(&self) -> usize {
+        self.cols.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// File bytes touched so far: the header plus every decoded column's
+    /// block.
+    pub fn bytes_loaded(&self) -> usize {
+        let cols: usize = self
+            .file
+            .entries()
+            .iter()
+            .zip(&self.cols)
+            .filter(|(_, c)| c.get().is_some())
+            .map(|(e, _)| e.len as usize)
+            .sum();
+        self.file.header_bytes() + cols
+    }
+
+    fn column(&self, idx: usize) -> Result<Arc<ColumnData>> {
+        if let Some(c) = self.cols[idx].get() {
+            return Ok(Arc::clone(c));
+        }
+        let col = self.file.column_at(idx)?;
+        let data = Arc::new(from_segfile_column(col, self.file.nrows()));
+        Ok(Arc::clone(self.cols[idx].get_or_init(|| data)))
+    }
+
+    /// Columns this query touches: predicate, group-by and aggregation
+    /// inputs, plus the projection (every field for a bare `SELECT *`).
+    fn touched_columns(&self, query: &Query) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        let mut add = |n: &str| {
+            if !names.iter().any(|x| x == n) {
+                names.push(n.to_string());
+            }
+        };
+        for p in &query.predicates {
+            add(&p.column);
+        }
+        for c in &query.group_by {
+            add(c);
+        }
+        for (_, f) in &query.aggregations {
+            use rtdi_common::AggFn;
+            match f {
+                AggFn::Count => {}
+                AggFn::Sum(c)
+                | AggFn::Avg(c)
+                | AggFn::Min(c)
+                | AggFn::Max(c)
+                | AggFn::DistinctCount(c) => add(c),
+            }
+        }
+        if !query.is_aggregation() {
+            if query.select.is_empty() {
+                for f in &self.schema.fields {
+                    add(&f.name);
+                }
+            } else {
+                for c in &query.select {
+                    add(c);
+                }
+            }
+        }
+        names
+    }
+
+    /// Can any document in this segment satisfy every predicate, judging
+    /// by per-column zone maps alone?
+    fn zones_may_match(&self, query: &Query) -> bool {
+        let nrows = self.file.nrows() as u64;
+        query.predicates.iter().all(|p| {
+            self.file
+                .entry(&p.column)
+                .is_none_or(|e| zone_may_match(&e.zone, p, nrows))
+        })
+    }
+
+    /// Execute a query, decoding only the columns it touches. When the
+    /// zone maps prove no document can match, nothing is decoded and the
+    /// result reports `segments_pruned = 1`.
+    pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        if !query.predicates.is_empty() && !self.zones_may_match(query) {
+            let rows = if query.is_aggregation() {
+                PartialAgg::default().finalize(query)
+            } else {
+                Vec::new()
+            };
+            return Ok(QueryResult {
+                rows,
+                segments_pruned: 1,
+                ..Default::default()
+            });
+        }
+        let mut columns = BTreeMap::new();
+        for name in self.touched_columns(query) {
+            if let Some(idx) = self.file.entries().iter().position(|e| e.name == name) {
+                columns.insert(name, self.column(idx)?);
+            }
+        }
+        let view = Segment {
+            name: self.name().to_string(),
+            schema: self.schema.clone(),
+            columns,
+            field_names: self.field_names.clone(),
+            doc_count: self.file.nrows(),
+            inverted: HashMap::new(),
+            range_idx: HashMap::new(),
+            sorted_col: self.file.meta().sorted_col.clone(),
+            startree: None,
+        };
+        view.execute(query, None)
+    }
+
+    /// Fully materialize into an indexed [`Segment`] (the recovery path:
+    /// deep-store bytes back to a servable segment). Index construction
+    /// reuses the decoded columns; a spec that re-sorts or builds a
+    /// star-tree falls back to row materialization.
+    pub fn into_segment(&self, spec: &IndexSpec) -> Result<Segment> {
+        let resort = spec.sorted.is_some() && spec.sorted != self.file.meta().sorted_col;
+        if resort || spec.startree.is_some() {
+            let (schema, rows) = self.file.read_rows()?;
+            return Segment::build(self.name(), &schema, rows, spec);
+        }
+        let n = self.file.nrows();
+        let mut columns = BTreeMap::new();
+        for (idx, e) in self.file.entries().iter().enumerate() {
+            columns.insert(e.name.clone(), self.column(idx)?);
+        }
+        let mut inverted = HashMap::new();
+        for col in &spec.inverted {
+            let data = columns.get(col).ok_or_else(|| {
+                Error::Schema(format!("inverted index on unknown column '{col}'"))
+            })?;
+            inverted.insert(col.clone(), build_inverted(data, n)?);
+        }
+        let mut range_idx = HashMap::new();
+        for col in &spec.range {
+            let data = columns
+                .get(col)
+                .ok_or_else(|| Error::Schema(format!("range index on unknown column '{col}'")))?;
+            range_idx.insert(col.clone(), build_range(data, n)?);
+        }
+        Ok(Segment {
+            name: self.name().to_string(),
+            schema: self.schema.clone(),
+            columns,
+            field_names: self.field_names.clone(),
+            doc_count: n,
+            inverted,
+            range_idx,
+            sorted_col: spec.sorted.clone(),
+            startree: None,
+        })
+    }
+}
+
+/// Lower a [`ColumnData`] onto the on-disk column model. The values
+/// variant must agree with the field's type tag: Int/Timestamp store
+/// `Int`, Str/Json store the dictionary form, and Bytes fields (held in
+/// string form in memory) store var-byte rows.
+fn to_segfile_column(ftype: FieldType, data: &ColumnData, nrows: usize) -> segfile::Column {
+    let mask_of = |nulls: &Bitmap| {
+        segfile::NullMask::from_bits(nulls.to_bytes(), nrows)
+            .expect("Bitmap::to_bytes emits ceil(n/8) bytes")
+    };
+    match data {
+        ColumnData::Int { values, nulls } => segfile::Column {
+            values: segfile::ColumnValues::Int(values.clone()),
+            nulls: mask_of(nulls),
+        },
+        ColumnData::Double { values, nulls } => segfile::Column {
+            values: segfile::ColumnValues::Double(values.clone()),
+            nulls: mask_of(nulls),
+        },
+        ColumnData::Bool { values, nulls } => segfile::Column {
+            values: segfile::ColumnValues::Bool((0..nrows).map(|i| values.get(i)).collect()),
+            nulls: mask_of(nulls),
+        },
+        ColumnData::Str { dict, ids, nulls } => {
+            let values = if ftype == FieldType::Bytes {
+                segfile::ColumnValues::Bytes(
+                    (0..nrows)
+                        .map(|i| {
+                            if nulls.get(i) {
+                                Vec::new()
+                            } else {
+                                dict[ids[i] as usize].clone().into_bytes()
+                            }
+                        })
+                        .collect(),
+                )
+            } else if dict.is_empty() && nrows > 0 {
+                // all-null column: the format requires a non-empty
+                // dictionary whenever rows exist
+                segfile::ColumnValues::Str {
+                    dict: vec![String::new()],
+                    ids: vec![0; nrows],
+                }
+            } else {
+                segfile::ColumnValues::Str {
+                    dict: dict.clone(),
+                    ids: ids.clone(),
+                }
+            };
+            segfile::Column {
+                values,
+                nulls: mask_of(nulls),
+            }
+        }
+    }
+}
+
+/// Inverse of [`to_segfile_column`]: a decoded on-disk column back into
+/// the in-memory representation. Lengths were already validated by the
+/// segment decoder.
+fn from_segfile_column(col: segfile::Column, nrows: usize) -> ColumnData {
+    let nulls = Bitmap::from_bytes(col.nulls.bits(), nrows);
+    match col.values {
+        segfile::ColumnValues::Int(values) => ColumnData::Int { values, nulls },
+        segfile::ColumnValues::Double(values) => ColumnData::Double { values, nulls },
+        segfile::ColumnValues::Bool(vals) => {
+            let mut values = Bitmap::new(nrows);
+            for (i, b) in vals.into_iter().enumerate() {
+                if b {
+                    values.set(i);
+                }
+            }
+            ColumnData::Bool { values, nulls }
+        }
+        segfile::ColumnValues::Str { dict, ids } => ColumnData::Str { dict, ids, nulls },
+        segfile::ColumnValues::Bytes(rows) => {
+            // bytes columns live in string form in memory (see
+            // `build_column`): rebuild the sorted dictionary
+            let strs: Vec<Option<String>> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    if nulls.get(i) {
+                        None
+                    } else {
+                        Some(String::from_utf8_lossy(&b).into_owned())
+                    }
+                })
+                .collect();
+            let mut dict: Vec<String> = strs.iter().flatten().cloned().collect();
+            dict.sort_unstable();
+            dict.dedup();
+            let ids = strs
+                .iter()
+                .map(|s| match s {
+                    Some(s) => dict.binary_search(s).unwrap_or(0) as u32,
+                    None => 0,
+                })
+                .collect();
+            ColumnData::Str { dict, ids, nulls }
+        }
+    }
+}
+
+/// With the column's non-null values confined to `[lo, hi]`, can
+/// `op rhs` accept anything? `lo_cmp`/`hi_cmp` are `lo.cmp(rhs)` and
+/// `hi.cmp(rhs)`.
+fn range_overlaps(op: PredicateOp, lo_cmp: Ordering, hi_cmp: Ordering) -> bool {
+    match op {
+        PredicateOp::Eq => lo_cmp != Ordering::Greater && hi_cmp != Ordering::Less,
+        PredicateOp::Ne => !(lo_cmp == Ordering::Equal && hi_cmp == Ordering::Equal),
+        PredicateOp::Lt => lo_cmp == Ordering::Less,
+        PredicateOp::Le => lo_cmp != Ordering::Greater,
+        PredicateOp::Gt => hi_cmp == Ordering::Greater,
+        PredicateOp::Ge => hi_cmp != Ordering::Less,
+    }
+}
+
+/// Zone-map admission test: `false` only when no document in the segment
+/// can satisfy `pred` (so pruning never changes results). Numeric bounds
+/// compare in `f64` exactly like the execution kernels; cross-type
+/// predicates are never pruned on.
+pub(crate) fn zone_may_match(zone: &segfile::ZoneMap, pred: &Predicate, nrows: u64) -> bool {
+    if nrows == 0 || zone.null_count >= nrows {
+        // empty segment or all-null column: predicates never match NULL
+        return false;
+    }
+    let (Some(min), Some(max)) = (&zone.min, &zone.max) else {
+        // unordered statistics (raw bytes): cannot prune
+        return true;
+    };
+    use segfile::ZoneValue as Z;
+    let num = |z: &Z| match z {
+        Z::Int(v) => Some(*v as f64),
+        Z::Double(v) => Some(*v),
+        _ => None,
+    };
+    let rhs_num = match &pred.value {
+        Value::Int(v) => Some(*v as f64),
+        Value::Double(v) => Some(*v),
+        _ => None,
+    };
+    if let (Some(lo), Some(hi), Some(v)) = (num(min), num(max), rhs_num) {
+        return range_overlaps(pred.op, lo.total_cmp(&v), hi.total_cmp(&v));
+    }
+    match (min, max, &pred.value) {
+        (Z::Str(lo), Z::Str(hi), Value::Str(v)) => {
+            range_overlaps(pred.op, lo.as_str().cmp(v), hi.as_str().cmp(v))
+        }
+        (Z::Bool(lo), Z::Bool(hi), Value::Bool(v)) => range_overlaps(pred.op, lo.cmp(v), hi.cmp(v)),
+        _ => true,
     }
 }
 
@@ -1582,6 +1982,178 @@ mod tests {
         let indexed = Segment::build("b", &orders_schema(), rows, &full_spec()).unwrap();
         assert!(indexed.memory_bytes() > plain.memory_bytes());
         assert!(plain.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn persist_load_lazy_roundtrip_matches_original() {
+        let rows = orders(200);
+        let seg = Segment::build("s0", &orders_schema(), rows, &full_spec()).unwrap();
+        let bytes = seg.persist().unwrap();
+        let lazy = Segment::load_lazy(bytes).unwrap();
+        assert_eq!(lazy.name(), "s0");
+        assert_eq!(lazy.doc_count(), 200);
+        assert_eq!(lazy.schema().fields.len(), 6);
+        // full materialization (with indices rebuilt) restores every row
+        let back = lazy.into_segment(&full_spec()).unwrap();
+        assert_eq!(back.doc_count(), 200);
+        for i in 0..200 {
+            assert_eq!(back.row_at(i), seg.row_at(i), "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn lazy_execution_decodes_only_touched_columns() {
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &IndexSpec::none()).unwrap();
+        let lazy = Segment::load_lazy(seg.persist().unwrap()).unwrap();
+        assert_eq!(lazy.columns_loaded(), 0);
+        let q = Query::select_all("orders")
+            .filter(Predicate::eq("city", "sf"))
+            .aggregate("n", AggFn::Count);
+        let res = lazy.execute(&q).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(250));
+        // a count over one predicate touches exactly one of six columns
+        assert_eq!(lazy.columns_loaded(), 1);
+        assert!(
+            lazy.bytes_loaded() < lazy.file_bytes() / 2,
+            "lazy read {} of {} bytes",
+            lazy.bytes_loaded(),
+            lazy.file_bytes()
+        );
+    }
+
+    #[test]
+    fn zone_map_pruning_reads_header_only() {
+        let seg = Segment::build("s", &orders_schema(), orders(1000), &IndexSpec::none()).unwrap();
+        let lazy = Segment::load_lazy(seg.persist().unwrap()).unwrap();
+        // ts spans 1_000_000..1_009_990: a disjoint range prunes via the
+        // zone map before any column bytes are read
+        let q = Query::select_all("orders")
+            .filter(Predicate::new("ts", PredicateOp::Gt, 99_999_999i64))
+            .aggregate("n", AggFn::Count);
+        let res = lazy.execute(&q).unwrap();
+        assert_eq!(res.segments_pruned, 1);
+        assert_eq!(lazy.columns_loaded(), 0, "pruned query decoded a column");
+        assert_eq!(lazy.bytes_loaded(), lazy.header_bytes());
+        // the pruned result is identical to actually executing
+        let full = seg.execute(&q, None).unwrap();
+        assert_eq!(res.rows, full.rows);
+        assert_eq!(res.rows[0].get_int("n"), Some(0));
+        // selections prune to empty row sets
+        let sel = Query::select_all("orders").filter(Predicate::new("ts", PredicateOp::Lt, 5i64));
+        let res = lazy.execute(&sel).unwrap();
+        assert_eq!(res.segments_pruned, 1);
+        assert!(res.rows.is_empty());
+        assert_eq!(lazy.columns_loaded(), 0);
+    }
+
+    #[test]
+    fn lazy_and_eager_execution_agree() {
+        let rows = orders(500);
+        let seg = Segment::build("s", &orders_schema(), rows, &full_spec()).unwrap();
+        let lazy = Segment::load_lazy(seg.persist().unwrap()).unwrap();
+        let queries = vec![
+            Query::select_all("orders")
+                .filter(Predicate::eq("city", "la"))
+                .aggregate("n", AggFn::Count)
+                .aggregate("rev", AggFn::Sum("total".into())),
+            Query::select_all("orders")
+                .filter(Predicate::new("city", PredicateOp::Ne, "la"))
+                .aggregate("n", AggFn::Count),
+            Query::select_all("orders")
+                .filter(Predicate::new("total", PredicateOp::Gt, 80.0))
+                .aggregate("d", AggFn::DistinctCount("restaurant".into()))
+                .group(&["city"]),
+            Query::select_all("orders")
+                .columns(&["restaurant", "total"])
+                .filter(Predicate::new("ts", PredicateOp::Lt, 1_002_000i64))
+                .order("total", crate::query::SortOrder::Desc)
+                .limit(7),
+            Query::select_all("orders").filter(Predicate::eq("delivered", true)),
+        ];
+        for q in queries {
+            let eager = seg.execute(&q, None).unwrap();
+            let lazy_res = lazy.execute(&q).unwrap();
+            assert_eq!(eager.rows, lazy_res.rows, "mismatch for {q:?}");
+        }
+    }
+
+    #[test]
+    fn zone_admission_logic_is_exact_on_bounds() {
+        use rtdi_storage::segfile::{ZoneMap, ZoneValue};
+        let zone = ZoneMap {
+            min: Some(ZoneValue::Int(10)),
+            max: Some(ZoneValue::Int(20)),
+            null_count: 0,
+        };
+        let cases = [
+            (PredicateOp::Eq, 9i64, false),
+            (PredicateOp::Eq, 10, true),
+            (PredicateOp::Eq, 21, false),
+            (PredicateOp::Lt, 10, false),
+            (PredicateOp::Lt, 11, true),
+            (PredicateOp::Le, 9, false),
+            (PredicateOp::Le, 10, true),
+            (PredicateOp::Gt, 20, false),
+            (PredicateOp::Gt, 19, true),
+            (PredicateOp::Ge, 21, false),
+            (PredicateOp::Ge, 20, true),
+            (PredicateOp::Ne, 15, true),
+        ];
+        for (op, v, expect) in cases {
+            let p = Predicate::new("x", op, v);
+            assert_eq!(zone_may_match(&zone, &p, 100), expect, "{op:?} {v}");
+        }
+        // constant column: Ne against that constant prunes
+        let constant = ZoneMap {
+            min: Some(ZoneValue::Int(7)),
+            max: Some(ZoneValue::Int(7)),
+            null_count: 0,
+        };
+        assert!(!zone_may_match(
+            &constant,
+            &Predicate::new("x", PredicateOp::Ne, 7i64),
+            100
+        ));
+        // all-null column never matches any predicate
+        let all_null = ZoneMap {
+            min: None,
+            max: None,
+            null_count: 100,
+        };
+        assert!(!zone_may_match(&all_null, &Predicate::eq("x", 1i64), 100));
+        // cross-type predicates are never pruned on
+        assert!(zone_may_match(
+            &zone,
+            &Predicate::eq("x", "not a number"),
+            100
+        ));
+    }
+
+    #[test]
+    fn all_null_column_persists_and_reloads() {
+        let schema = Schema::of("t", &[("x", FieldType::Int), ("s", FieldType::Str)]);
+        let rows: Vec<Row> = (0..10).map(|i| Row::new().with("x", i as i64)).collect();
+        let seg = Segment::build("s", &schema, rows, &IndexSpec::none()).unwrap();
+        let lazy = Segment::load_lazy(seg.persist().unwrap()).unwrap();
+        let back = lazy.into_segment(&IndexSpec::none()).unwrap();
+        for i in 0..10 {
+            assert_eq!(back.value_at("s", i), Value::Null);
+            assert_eq!(back.value_at("x", i), Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn lazy_load_rejects_corrupt_bytes() {
+        let seg = Segment::build("s", &orders_schema(), orders(50), &IndexSpec::none()).unwrap();
+        let bytes = seg.persist().unwrap();
+        let mut broken = bytes.as_slice().to_vec();
+        let mid = broken.len() / 2;
+        broken[mid] ^= 0x40;
+        match Segment::load_lazy(Bytes::from(broken)) {
+            Err(Error::Corruption(_)) => {}
+            Err(other) => panic!("expected Corruption, got {other}"),
+            Ok(_) => panic!("corrupt segment bytes decoded"),
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use crate::segment::{IndexSpec, Segment};
 use parking_lot::Mutex;
 use rtdi_common::{Error, Result, RetryPolicy};
-use rtdi_storage::colfile;
 use rtdi_storage::object::ObjectStore;
+use rtdi_storage::{colfile, segfile};
 use std::sync::Arc;
 
 /// Backup strategy.
@@ -63,8 +63,9 @@ impl SegmentStore {
     }
 
     fn upload(&self, table: &str, segment: &Segment) -> Result<()> {
-        let rows = segment.to_rows();
-        let data = colfile::encode_columnar(segment.schema(), &rows)?;
+        // real on-disk segment bytes: dictionary/bit-packed columns, zone
+        // maps and a CRC-checked footer (not a row-oriented stand-in)
+        let data = segment.persist()?;
         let key = Self::key(table, segment.name());
         // same-key overwrite: retrying a flaky archive put is idempotent
         RetryPolicy::new(4)
@@ -137,6 +138,13 @@ impl SegmentStore {
             .with_backoff_us(50, 2_000)
             .run(|_| self.store.get(&key))
             .map_err(|_| Error::NotFound(format!("segment '{segment}' unrecoverable")))?;
+        // damaged objects surface as Error::Corruption (CRC/bounds checks
+        // in the decoder) — never a panic, and never masked as NotFound
+        if segfile::is_segment_file(&data) {
+            let lazy = Segment::load_lazy(data)?;
+            return Ok(Arc::new(lazy.into_segment(&self.index_spec)?));
+        }
+        // legacy colfile objects written before the format switch
         let (schema, rows) = colfile::decode_columnar(&data)?;
         Ok(Arc::new(Segment::build(
             segment,
@@ -241,6 +249,75 @@ mod tests {
         let peer2 = ServerNode::new(0);
         peer2.host(seg("s1", 50));
         assert!(ss2.recover("t", "s1", &[peer2]).is_err());
+    }
+
+    #[test]
+    fn backup_writes_real_segment_bytes() {
+        let object_store = Arc::new(InMemoryStore::new());
+        let ss = SegmentStore::new(
+            object_store.clone(),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none(),
+        );
+        ss.backup("t", seg("s1", 100)).unwrap();
+        let data = object_store.get("segments/t/s1").unwrap();
+        assert!(
+            segfile::is_segment_file(&data),
+            "deep-store object is not in the on-disk segment format"
+        );
+    }
+
+    #[test]
+    fn corrupt_deep_store_object_errors_cleanly() {
+        let object_store = Arc::new(InMemoryStore::new());
+        let ss = SegmentStore::new(
+            object_store.clone(),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none().with_inverted(&["city"]),
+        );
+        ss.backup("t", seg("s1", 100)).unwrap();
+        let pristine = object_store.get("segments/t/s1").unwrap().to_vec();
+        // single-byte flips anywhere must surface as Error::Corruption —
+        // never a panic, and never masked as NotFound
+        for pos in [0usize, 4, 11, pristine.len() / 2, pristine.len() - 5] {
+            let mut broken = pristine.clone();
+            broken[pos] ^= 0xFF;
+            object_store.put("segments/t/s1", broken.into()).unwrap();
+            match ss.recover("t", "s1", &[]) {
+                Err(Error::Corruption(_)) => {}
+                Err(other) => panic!("flip at {pos}: expected Corruption, got {other}"),
+                Ok(_) => panic!("flip at {pos}: corrupt object decoded"),
+            }
+        }
+        // truncations too
+        for cut in [0usize, 3, 7, pristine.len() / 3, pristine.len() - 1] {
+            object_store
+                .put("segments/t/s1", pristine[..cut].to_vec().into())
+                .unwrap();
+            match ss.recover("t", "s1", &[]) {
+                Err(Error::Corruption(_)) => {}
+                Err(other) => panic!("cut at {cut}: expected Corruption, got {other}"),
+                Ok(_) => panic!("cut at {cut}: truncated object decoded"),
+            }
+        }
+        // the intact object still recovers
+        object_store.put("segments/t/s1", pristine.into()).unwrap();
+        assert_eq!(ss.recover("t", "s1", &[]).unwrap().doc_count(), 100);
+    }
+
+    #[test]
+    fn legacy_colfile_objects_remain_recoverable() {
+        let object_store = Arc::new(InMemoryStore::new());
+        let ss = SegmentStore::new(
+            object_store.clone(),
+            SegmentStoreMode::Centralized,
+            IndexSpec::none(),
+        );
+        let original = seg("s1", 50);
+        let data = colfile::encode_columnar(original.schema(), &original.to_rows()).unwrap();
+        object_store.put("segments/t/s1", data).unwrap();
+        let recovered = ss.recover("t", "s1", &[]).unwrap();
+        assert_eq!(recovered.doc_count(), 50);
     }
 
     #[test]

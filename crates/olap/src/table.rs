@@ -22,6 +22,10 @@ use parking_lot::RwLock;
 use rtdi_common::{Error, Result, Row, Schema, Timestamp, Value};
 use std::sync::Arc;
 
+/// One scatter unit: a sealed/offline segment plus the upsert valid-doc
+/// snapshot it must be filtered by (None when the table has no upserts).
+type ScanTask = (Arc<Segment>, Option<Bitmap>);
+
 /// Table configuration.
 #[derive(Debug, Clone)]
 pub struct TableConfig {
@@ -312,13 +316,16 @@ impl OlapTable {
 
     /// Sealed + offline segments a query must visit, with their upsert
     /// valid-doc sets snapshotted under brief partition read locks — the
-    /// scatter phase then runs lock-free across worker threads.
-    fn scan_tasks(&self, query: &Query) -> Vec<(Arc<Segment>, Option<Bitmap>)> {
+    /// scatter phase then runs lock-free across worker threads. Also
+    /// returns how many segments the time statistics pruned.
+    fn scan_tasks(&self, query: &Query) -> (Vec<ScanTask>, u64) {
         let mut tasks = Vec::new();
+        let mut pruned = 0u64;
         for state in &self.partitions {
             let st = state.read();
             for seg in &st.sealed {
                 if self.prunable(query, seg) {
+                    pruned += 1;
                     continue;
                 }
                 let valid = if self.config.upsert {
@@ -331,16 +338,17 @@ impl OlapTable {
         }
         for seg in self.offline.read().iter() {
             if self.prunable(query, seg) {
+                pruned += 1;
                 continue;
             }
             tasks.push((seg.clone(), None));
         }
-        tasks
+        (tasks, pruned)
     }
 
     /// Worker count for a scatter over `tasks`: tiny tables stay serial —
     /// thread spawn costs more than the scan below ~8k docs.
-    fn scatter_threads(&self, tasks: &[(Arc<Segment>, Option<Bitmap>)]) -> usize {
+    fn scatter_threads(&self, tasks: &[ScanTask]) -> usize {
         const SERIAL_DOC_THRESHOLD: usize = 8192;
         let total_docs: usize = tasks.iter().map(|(s, _)| s.doc_count()).sum();
         if tasks.len() <= 1 || total_docs < SERIAL_DOC_THRESHOLD {
@@ -372,7 +380,7 @@ impl OlapTable {
                 docs_scanned += part.docs_scanned;
                 merged.merge(part, query);
             }
-            let tasks = self.scan_tasks(query);
+            let (tasks, segments_pruned) = self.scan_tasks(query);
             let parts = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
                 let (seg, valid) = &tasks[i];
                 seg.execute_partial(query, valid.as_ref())
@@ -389,6 +397,7 @@ impl OlapTable {
                 docs_scanned,
                 segments_queried,
                 used_startree,
+                segments_pruned,
                 ..Default::default()
             });
         }
@@ -407,7 +416,7 @@ impl OlapTable {
             docs_scanned += r.docs_scanned;
             rows.extend(r.rows);
         }
-        let tasks = self.scan_tasks(query);
+        let (tasks, segments_pruned) = self.scan_tasks(query);
         let results = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
             let (seg, valid) = &tasks[i];
             seg.execute(query, valid.as_ref())
@@ -424,6 +433,7 @@ impl OlapTable {
             docs_scanned,
             segments_queried,
             used_startree,
+            segments_pruned,
             ..Default::default()
         })
     }

@@ -10,9 +10,12 @@
 //! `warehouse/<dataset>/<date>/part-<n>` and registers it with the Hive
 //! catalog.
 
-use crate::colfile;
+use crate::colfile::{
+    get_f64_checked, get_i64_checked, get_u32_checked, get_u8_checked, split_checked,
+};
 use crate::hive::HiveCatalog;
 use crate::object::ObjectStore;
+use crate::segfile;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rtdi_common::{Error, Record, Result, RetryPolicy, Row, Schema, Timestamp, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,30 +102,32 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
 }
 
 fn decode_value(buf: &mut Bytes) -> Result<Value> {
-    let tag = buf.get_u8();
+    let tag = get_u8_checked(buf, "value tag")?;
     Ok(match tag {
         0 => Value::Null,
-        1 => Value::Bool(buf.get_u8() == 1),
-        2 => Value::Int(buf.get_i64()),
-        3 => Value::Double(buf.get_f64()),
+        1 => Value::Bool(get_u8_checked(buf, "bool value")? == 1),
+        2 => Value::Int(get_i64_checked(buf, "int value")?),
+        3 => Value::Double(get_f64_checked(buf, "double value")?),
         4 => {
-            let len = buf.get_u32() as usize;
-            let s = buf.split_to(len);
+            let len = get_u32_checked(buf, "string length")? as usize;
+            let s = split_checked(buf, len, "string value")?;
             Value::Str(
                 String::from_utf8(s.to_vec())
                     .map_err(|_| Error::Corruption("invalid utf8 in raw log".into()))?,
             )
         }
         5 => {
-            let len = buf.get_u32() as usize;
-            Value::Bytes(buf.split_to(len).to_vec())
+            let len = get_u32_checked(buf, "bytes length")? as usize;
+            Value::Bytes(split_checked(buf, len, "bytes value")?.to_vec())
         }
         6 => {
-            let len = buf.get_u32() as usize;
-            let s = buf.split_to(len);
+            let len = get_u32_checked(buf, "json length")? as usize;
+            let s = split_checked(buf, len, "json value")?;
             let text = String::from_utf8(s.to_vec())
                 .map_err(|_| Error::Corruption("invalid utf8 in raw log".into()))?;
-            Value::Json(Box::new(rtdi_common::json::parse(&text)?))
+            let j = rtdi_common::json::parse(&text)
+                .map_err(|_| Error::Corruption("invalid json in raw log".into()))?;
+            Value::Json(Box::new(j))
         }
         t => return Err(Error::Corruption(format!("bad value tag {t}"))),
     })
@@ -143,20 +148,30 @@ pub fn encode_rows(rows: &[Row]) -> Bytes {
     buf.freeze()
 }
 
-/// Inverse of [`encode_rows`].
+/// Inverse of [`encode_rows`]. Bounds-checked throughout: corrupt input
+/// returns `Err(Corruption)` and declared counts cannot force giant
+/// preallocations.
 pub fn decode_rows(data: &Bytes) -> Result<Vec<Row>> {
     let mut buf = data.clone();
-    if buf.remaining() < 4 {
-        return Err(Error::Corruption("truncated row list".into()));
+    let n = get_u32_checked(&mut buf, "row count")? as usize;
+    // every row needs at least its 4-byte column count
+    if n > buf.remaining() / 4 {
+        return Err(Error::Corruption(format!(
+            "row count {n} exceeds remaining bytes"
+        )));
     }
-    let n = buf.get_u32() as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let ncols = buf.get_u32() as usize;
+        let ncols = get_u32_checked(&mut buf, "column count")? as usize;
+        if ncols > buf.remaining() / 5 {
+            return Err(Error::Corruption(format!(
+                "column count {ncols} exceeds remaining bytes"
+            )));
+        }
         let mut row = Row::with_capacity(ncols);
         for _ in 0..ncols {
-            let nlen = buf.get_u32() as usize;
-            let name = String::from_utf8(buf.split_to(nlen).to_vec())
+            let nlen = get_u32_checked(&mut buf, "column name length")? as usize;
+            let name = String::from_utf8(split_checked(&mut buf, nlen, "column name")?.to_vec())
                 .map_err(|_| Error::Corruption("invalid column name".into()))?;
             row.push(name, decode_value(&mut buf)?);
         }
@@ -165,45 +180,59 @@ pub fn decode_rows(data: &Bytes) -> Result<Vec<Row>> {
     Ok(out)
 }
 
-/// Decode a raw-log object back into records.
+/// Decode a raw-log object back into records. Bounds-checked throughout:
+/// corrupt input returns `Err(Corruption)`, never panics.
 pub fn decode_raw(data: &Bytes) -> Result<Vec<Record>> {
     let mut buf = data.clone();
-    if buf.remaining() < 4 {
-        return Err(Error::Corruption("truncated raw log".into()));
+    let n = get_u32_checked(&mut buf, "record count")? as usize;
+    // every record needs at least ts(8) + key tag(1) + two counts(8)
+    if n > buf.remaining() / 17 {
+        return Err(Error::Corruption(format!(
+            "record count {n} exceeds remaining bytes"
+        )));
     }
-    let n = buf.get_u32() as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let ts = buf.get_i64();
-        let key = match buf.get_u8() {
+        let ts = get_i64_checked(&mut buf, "record timestamp")?;
+        let key = match get_u8_checked(&mut buf, "key tag")? {
             1 => {
-                let len = buf.get_u32() as usize;
-                let s = buf.split_to(len);
+                let len = get_u32_checked(&mut buf, "key length")? as usize;
+                let s = split_checked(&mut buf, len, "key")?;
                 Some(Value::Str(
                     String::from_utf8(s.to_vec())
                         .map_err(|_| Error::Corruption("invalid utf8 key".into()))?,
                 ))
             }
-            2 => Some(Value::Int(buf.get_i64())),
+            2 => Some(Value::Int(get_i64_checked(&mut buf, "int key")?)),
             _ => None,
         };
-        let nh = buf.get_u32() as usize;
+        let nh = get_u32_checked(&mut buf, "header count")? as usize;
+        if nh > buf.remaining() / 8 {
+            return Err(Error::Corruption(format!(
+                "header count {nh} exceeds remaining bytes"
+            )));
+        }
         let mut rec = Record::new(Row::new(), ts);
         rec.key = key;
         for _ in 0..nh {
-            let klen = buf.get_u32() as usize;
-            let k = String::from_utf8(buf.split_to(klen).to_vec())
+            let klen = get_u32_checked(&mut buf, "header key length")? as usize;
+            let k = String::from_utf8(split_checked(&mut buf, klen, "header key")?.to_vec())
                 .map_err(|_| Error::Corruption("invalid header".into()))?;
-            let vlen = buf.get_u32() as usize;
-            let v = String::from_utf8(buf.split_to(vlen).to_vec())
+            let vlen = get_u32_checked(&mut buf, "header value length")? as usize;
+            let v = String::from_utf8(split_checked(&mut buf, vlen, "header value")?.to_vec())
                 .map_err(|_| Error::Corruption("invalid header".into()))?;
             rec.headers.set(k, v);
         }
-        let ncols = buf.get_u32() as usize;
+        let ncols = get_u32_checked(&mut buf, "column count")? as usize;
+        if ncols > buf.remaining() / 5 {
+            return Err(Error::Corruption(format!(
+                "column count {ncols} exceeds remaining bytes"
+            )));
+        }
         let mut row = Row::with_capacity(ncols);
         for _ in 0..ncols {
-            let nlen = buf.get_u32() as usize;
-            let name = String::from_utf8(buf.split_to(nlen).to_vec())
+            let nlen = get_u32_checked(&mut buf, "column name length")? as usize;
+            let name = String::from_utf8(split_checked(&mut buf, nlen, "column name")?.to_vec())
                 .map_err(|_| Error::Corruption("invalid column name".into()))?;
             row.push(name, decode_value(&mut buf)?);
         }
@@ -310,7 +339,10 @@ impl Compactor {
             ));
         }
         let part = format!("warehouse/{dataset}/{date}/part-00000");
-        let data = colfile::encode_columnar(&full_schema, &rows)?;
+        // real on-disk segment format: dictionary + bit-packed forward
+        // indexes, zone maps and a CRC-checked footer (§4.3)
+        let seg_name = format!("{dataset}-{date}-00000");
+        let data = segfile::encode_rows_segment(&full_schema, &seg_name, &rows)?;
         self.store.put(&part, data)?;
         self.catalog
             .register_partition(dataset, date, &part, rows.len())?;

@@ -35,19 +35,38 @@ pub fn encode_columnar(schema: &Schema, rows: &[Row]) -> Result<Bytes> {
 }
 
 /// Decode a columnar file back into `(schema, rows)`.
+///
+/// Never panics on corrupt bytes: every read is bounds-checked and the
+/// header-declared field/row counts are validated against the remaining
+/// buffer size before anything is preallocated, so truncated or
+/// bit-flipped input surfaces as [`Error::Corruption`].
 pub fn decode_columnar(data: &Bytes) -> Result<(Schema, Vec<Row>)> {
     let mut buf = data.clone();
     if buf.remaining() < 4 || buf.get_u32() != MAGIC {
         return Err(Error::Corruption("bad columnar file magic".into()));
     }
     let name = get_str(&mut buf)?;
-    let nfields = buf.get_u32() as usize;
-    let nrows = buf.get_u64() as usize;
+    let nfields = get_u32_checked(&mut buf, "field count")? as usize;
+    let nrows = get_u64_checked(&mut buf, "row count")? as usize;
+    // every field occupies at least name(4) + tag(1) + bitmap len(4) +
+    // the null bitmap itself: a corrupt header cannot force a huge
+    // preallocation from a tiny buffer
+    let min_per_field = 9usize.saturating_add(nrows.div_ceil(8));
+    let plausible = match nfields.checked_mul(min_per_field) {
+        Some(min_total) => min_total <= buf.remaining(),
+        None => false,
+    };
+    if !plausible || (nfields == 0 && nrows != 0) {
+        return Err(Error::Corruption(format!(
+            "declared {nfields} fields x {nrows} rows cannot fit in {} bytes",
+            buf.remaining()
+        )));
+    }
     let mut fields = Vec::with_capacity(nfields);
     let mut columns: Vec<Vec<Value>> = Vec::with_capacity(nfields);
     for _ in 0..nfields {
         let fname = get_str(&mut buf)?;
-        let ftype = tag_type(buf.get_u8())?;
+        let ftype = tag_type(get_u8_checked(&mut buf, "type tag")?)?;
         let col = decode_column(&mut buf, ftype, nrows)?;
         fields.push(rtdi_common::Field::new(fname, ftype));
         columns.push(col);
@@ -95,15 +114,57 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 }
 
 fn get_str(buf: &mut Bytes) -> Result<String> {
-    if buf.remaining() < 4 {
-        return Err(Error::Corruption("truncated string length".into()));
-    }
-    let len = buf.get_u32() as usize;
+    let len = get_u32_checked(buf, "string length")? as usize;
     if buf.remaining() < len {
         return Err(Error::Corruption("truncated string body".into()));
     }
     let bytes = buf.split_to(len);
     String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corruption("invalid utf8".into()))
+}
+
+// Bounds-checked reads: the `Buf` trait panics on underflow, so every
+// decoder read funnels through these and reports `Error::Corruption`.
+
+pub(crate) fn get_u8_checked(buf: &mut Bytes, what: &str) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.get_u8())
+}
+
+pub(crate) fn get_u32_checked(buf: &mut Bytes, what: &str) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.get_u32())
+}
+
+pub(crate) fn get_u64_checked(buf: &mut Bytes, what: &str) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.get_u64())
+}
+
+pub(crate) fn get_i64_checked(buf: &mut Bytes, what: &str) -> Result<i64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.get_i64())
+}
+
+pub(crate) fn get_f64_checked(buf: &mut Bytes, what: &str) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.get_f64())
+}
+
+pub(crate) fn split_checked(buf: &mut Bytes, n: usize, what: &str) -> Result<Bytes> {
+    if buf.remaining() < n {
+        return Err(Error::Corruption(format!("truncated {what}")));
+    }
+    Ok(buf.split_to(n))
 }
 
 /// Minimum number of bits needed to represent values in `0..=max`.
@@ -186,10 +247,14 @@ fn encode_column(buf: &mut BytesMut, field: &rtdi_common::Field, rows: &[Row]) -
                 .collect();
             let min = vals.iter().copied().min().unwrap_or(0);
             let max = vals.iter().copied().max().unwrap_or(0);
-            let width = bits_for((max - min) as u64);
+            // widen through i128: the full i64 range overflows (max - min)
+            let width = bits_for((max as i128 - min as i128) as u64);
             buf.put_i64(min);
             buf.put_u8(width as u8);
-            let rel: Vec<u64> = vals.iter().map(|v| (v - min) as u64).collect();
+            let rel: Vec<u64> = vals
+                .iter()
+                .map(|v| (*v as i128 - min as i128) as u64)
+                .collect();
             let packed = bitpack(&rel, width);
             buf.put_u32(packed.len() as u32);
             buf.put_slice(&packed);
@@ -243,16 +308,19 @@ fn encode_column(buf: &mut BytesMut, field: &rtdi_common::Field, rows: &[Row]) -
 }
 
 fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<Value>> {
-    let bm_len = buf.get_u32() as usize;
-    if buf.remaining() < bm_len {
-        return Err(Error::Corruption("truncated null bitmap".into()));
+    let bm_len = get_u32_checked(buf, "null bitmap length")? as usize;
+    // the bitmap must cover every row: `is_null` indexes it by row
+    if bm_len != nrows.div_ceil(8) {
+        return Err(Error::Corruption(format!(
+            "null bitmap of {bm_len} bytes does not cover {nrows} rows"
+        )));
     }
-    let bm = buf.split_to(bm_len).to_vec();
+    let bm = split_checked(buf, bm_len, "null bitmap")?.to_vec();
     let mut out = Vec::with_capacity(nrows);
     match ftype {
         FieldType::Bool => {
-            let plen = buf.get_u32() as usize;
-            let packed = buf.split_to(plen).to_vec();
+            let plen = get_u32_checked(buf, "bool packed length")? as usize;
+            let packed = split_checked(buf, plen, "bool packed data")?.to_vec();
             let vals = bitunpack(&packed, 1, nrows);
             for (i, v) in vals.into_iter().enumerate() {
                 out.push(if is_null(&bm, i) {
@@ -263,22 +331,25 @@ fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<
             }
         }
         FieldType::Int | FieldType::Timestamp => {
-            let min = buf.get_i64();
-            let width = buf.get_u8() as u32;
-            let plen = buf.get_u32() as usize;
-            let packed = buf.split_to(plen).to_vec();
+            let min = get_i64_checked(buf, "int base")?;
+            let width = get_u8_checked(buf, "int bit width")? as u32;
+            if width > 64 {
+                return Err(Error::Corruption(format!("int bit width {width} > 64")));
+            }
+            let plen = get_u32_checked(buf, "int packed length")? as usize;
+            let packed = split_checked(buf, plen, "int packed data")?.to_vec();
             let vals = bitunpack(&packed, width, nrows);
             for (i, v) in vals.into_iter().enumerate() {
                 out.push(if is_null(&bm, i) {
                     Value::Null
                 } else {
-                    Value::Int(min + v as i64)
+                    Value::Int(min.wrapping_add(v as i64))
                 });
             }
         }
         FieldType::Double => {
             for i in 0..nrows {
-                let v = buf.get_f64();
+                let v = get_f64_checked(buf, "double value")?;
                 out.push(if is_null(&bm, i) {
                     Value::Null
                 } else {
@@ -287,14 +358,23 @@ fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<
             }
         }
         FieldType::Str | FieldType::Json => {
-            let dict_len = buf.get_u32() as usize;
+            let dict_len = get_u32_checked(buf, "dictionary length")? as usize;
+            // each dictionary entry needs at least its 4-byte length prefix
+            if dict_len > buf.remaining() / 4 {
+                return Err(Error::Corruption(format!(
+                    "dictionary length {dict_len} exceeds remaining bytes"
+                )));
+            }
             let mut dict = Vec::with_capacity(dict_len);
             for _ in 0..dict_len {
                 dict.push(get_str(buf)?);
             }
-            let width = buf.get_u8() as u32;
-            let plen = buf.get_u32() as usize;
-            let packed = buf.split_to(plen).to_vec();
+            let width = get_u8_checked(buf, "id bit width")? as u32;
+            if width > 64 {
+                return Err(Error::Corruption(format!("id bit width {width} > 64")));
+            }
+            let plen = get_u32_checked(buf, "id packed length")? as usize;
+            let packed = split_checked(buf, plen, "id packed data")?.to_vec();
             let ids = bitunpack(&packed, width, nrows);
             for (i, id) in ids.into_iter().enumerate() {
                 if is_null(&bm, i) {
@@ -305,7 +385,9 @@ fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<
                     .get(id as usize)
                     .ok_or_else(|| Error::Corruption("dict id out of range".into()))?;
                 if ftype == FieldType::Json {
-                    out.push(Value::Json(Box::new(rtdi_common::json::parse(s)?)));
+                    let j = rtdi_common::json::parse(s)
+                        .map_err(|_| Error::Corruption("invalid json in dictionary".into()))?;
+                    out.push(Value::Json(Box::new(j)));
                 } else {
                     out.push(Value::Str(s.clone()));
                 }
@@ -313,8 +395,8 @@ fn decode_column(buf: &mut Bytes, ftype: FieldType, nrows: usize) -> Result<Vec<
         }
         FieldType::Bytes => {
             for i in 0..nrows {
-                let len = buf.get_u32() as usize;
-                let b = buf.split_to(len).to_vec();
+                let len = get_u32_checked(buf, "bytes value length")? as usize;
+                let b = split_checked(buf, len, "bytes value")?.to_vec();
                 out.push(if is_null(&bm, i) {
                     Value::Null
                 } else {
@@ -431,12 +513,48 @@ mod tests {
         let schema = sample_schema();
         let rows = sample_rows(10);
         let data = encode_columnar(&schema, &rows).unwrap();
-        let truncated = data.slice(0..data.len() / 2);
-        assert!(decode_columnar(&truncated).is_err() || decode_columnar(&truncated).is_ok());
+        // every proper prefix must fail cleanly: the decoder consumes
+        // each encoded byte, so a truncation always cuts a live read
+        for cut in 0..data.len() {
+            let truncated = data.slice(0..cut);
+            assert!(
+                matches!(decode_columnar(&truncated), Err(Error::Corruption(_))),
+                "truncation at {cut} not rejected"
+            );
+        }
         // flipping the magic always fails cleanly
         let mut bad = data.to_vec();
         bad[0] ^= 0xFF;
         assert!(decode_columnar(&Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn corrupt_header_cannot_force_huge_alloc() {
+        // a tiny file declaring absurd nfields/nrows must be rejected by
+        // the plausibility check, not turned into a giant preallocation
+        let mut raw = Vec::new();
+        raw.put_u32(MAGIC);
+        raw.put_u32(1);
+        raw.extend_from_slice(b"t");
+        raw.put_u32(u32::MAX); // nfields
+        raw.put_u64(u64::MAX); // nrows
+        let err = decode_columnar(&Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "{err}");
+    }
+
+    #[test]
+    fn extreme_int_range_roundtrips() {
+        // i64::MAX - i64::MIN overflows i64: the widened frame-of-
+        // reference math must survive (this used to abort debug builds)
+        let schema = Schema::of("t", &[("n", FieldType::Int)]);
+        let rows = vec![
+            Row::new().with("n", i64::MIN),
+            Row::new().with("n", i64::MAX),
+        ];
+        let data = encode_columnar(&schema, &rows).unwrap();
+        let (_, rows2) = decode_columnar(&data).unwrap();
+        assert_eq!(rows2[0].get_int("n"), Some(i64::MIN));
+        assert_eq!(rows2[1].get_int("n"), Some(i64::MAX));
     }
 
     #[test]

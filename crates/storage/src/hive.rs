@@ -8,6 +8,8 @@
 
 use crate::colfile;
 use crate::object::ObjectStore;
+use crate::segfile;
+use bytes::Bytes;
 use parking_lot::RwLock;
 use rtdi_common::{Error, Result, Row, Schema, Timestamp};
 use std::collections::BTreeMap;
@@ -69,7 +71,7 @@ impl HiveTable {
         let mut rows = Vec::new();
         for f in files {
             let data = self.store.get(&f)?;
-            let (_, mut batch) = colfile::decode_columnar(&data)?;
+            let (_, mut batch) = decode_part_file(&data)?;
             rows.append(&mut batch);
         }
         Ok(rows)
@@ -192,9 +194,21 @@ impl HiveCatalog {
             parts.get(date).map(|p| p.files.len()).unwrap_or(0)
         };
         let key = format!("warehouse/{table}/{date}/part-{n:05}");
-        let data = colfile::encode_columnar(&t.inner.schema, rows)?;
+        let seg_name = format!("{table}-{date}-{n:05}");
+        let data = segfile::encode_rows_segment(&t.inner.schema, &seg_name, rows)?;
         self.store.put(&key, data)?;
         self.register_partition(table, date, &key, rows.len())
+    }
+}
+
+/// Decode one warehouse part file, dispatching on its magic: new part
+/// files are on-disk segments, while pre-existing colfile objects remain
+/// readable for compatibility.
+fn decode_part_file(data: &Bytes) -> Result<(Schema, Vec<Row>)> {
+    if segfile::is_segment_file(data) {
+        segfile::decode_rows_segment(data)
+    } else {
+        colfile::decode_columnar(data)
     }
 }
 

@@ -13,14 +13,21 @@
 //!   logs" of §4.4) and the compaction process that merges them into
 //!   columnar files;
 //! - [`hive`]: date-partitioned long-term tables over columnar files — the
-//!   source of truth used for backfills (§7) and Pinot offline segments.
+//!   source of truth used for backfills (§7) and Pinot offline segments;
+//! - [`segfile`]: the real on-disk OLAP segment format (little-endian,
+//!   dictionary + bit-packed/var-byte forward indexes, RLE runs, zone
+//!   maps, CRC32-checked footer) with lazy per-column decoding.
 
 pub mod archival;
 pub mod colfile;
 pub mod hive;
 pub mod object;
+pub mod segfile;
 
 pub use archival::{ArchivalWriter, Compactor};
 pub use colfile::{decode_columnar, encode_columnar};
 pub use hive::{HiveCatalog, HiveTable};
 pub use object::{FaultyStore, InMemoryStore, LocalFsStore, ObjectStore};
+pub use segfile::{
+    decode_rows_segment, encode_rows_segment, is_segment_file, SegmentFile, SegmentMeta,
+};

@@ -82,7 +82,7 @@ fn digest(sink: &CollectSink) -> u64 {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        h ^= u64::from(Value::hash_of_str("|"));
+        h ^= Value::hash_of_str("|");
     }
     h
 }
