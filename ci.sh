@@ -83,3 +83,24 @@ for seed in 0xDEC0DE 0xBADF11E5; do
   fi
   echo "decoder fuzz deterministic for seed $seed ($a)"
 done
+
+# Federation cache-correctness gate: each FED_SUMMARY line digests an
+# uncached and a cached execution of the same federated query stream
+# (the in-test assertion requires them byte-equal), plus a post-seal
+# digest after a cache-invalidating segment push. The lines must be
+# byte-identical between two separate processes for each fixed seed.
+for seed in 0xFED2021 0xCAC4E5EED; do
+  run_fed() {
+    RTDI_FED_SEED="$seed" cargo test -q --test federation \
+      fed_env_seed_prints_summary -- --nocapture --test-threads=1 |
+      grep '^FED_SUMMARY'
+  }
+  a="$(run_fed)"
+  b="$(run_fed)"
+  if [ "$a" != "$b" ]; then
+    echo "federation cache digests diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "federation cache deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) case lines)"
+done

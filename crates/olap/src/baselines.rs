@@ -132,7 +132,7 @@ impl HeapStore {
                         .map(|(_, f)| f.new_acc())
                         .collect()
                 });
-                for (acc, (_, f)) in accs.iter_mut().zip(&query.aggregations) {
+                for (acc, (_, f)) in accs.iter_mut().zip(query.aggregations.iter()) {
                     acc.add(f, doc);
                 }
             }

@@ -7,7 +7,7 @@
 //! dispatches subqueries over the segments of the same partition to the
 //! same node to ensure the integrity of the query result."
 
-use crate::query::{sort_and_limit, PartialAgg, Query, QueryResult};
+use crate::query::{sort_and_limit, PartialAgg, PartialResult, Query, QueryResult};
 use crate::scatter::scatter;
 use crate::segment::Segment;
 use parking_lot::RwLock;
@@ -108,6 +108,10 @@ pub struct SegmentPlacement {
 }
 
 /// The query broker.
+/// Per-segment scatter assignments: `(segment name, candidate servers
+/// in preference order)`.
+type ScatterPlan = Vec<(String, Vec<usize>)>;
+
 pub struct Broker {
     servers: Vec<Arc<ServerNode>>,
     /// table -> placements
@@ -193,8 +197,11 @@ impl Broker {
     /// Choose live candidate servers per segment (in preference order),
     /// respecting partition affinity. A segment with no live replica gets
     /// an empty candidate list — the query layer degrades to a partial
-    /// response instead of failing outright.
-    fn plan(&self, table: &str) -> Result<Vec<(String, Vec<usize>)>> {
+    /// response instead of failing outright. Segments whose partition the
+    /// query's partition hint excludes are skipped entirely (pruned, not
+    /// unavailable) and counted in the second return value.
+    fn plan(&self, query: &Query) -> Result<(ScatterPlan, u64)> {
+        let table = query.table.as_str();
         let routing = self.routing.read();
         let placements = routing
             .get(table)
@@ -202,8 +209,13 @@ impl Broker {
         let aware = *self.partition_aware.read().get(table).unwrap_or(&false);
         // partition -> chosen server, so all of a partition goes together
         let mut chosen_by_partition: HashMap<usize, usize> = HashMap::new();
+        let mut pruned = 0u64;
         let mut plan = Vec::with_capacity(placements.len());
         for pl in placements {
+            if !query.admits_partition(pl.partition) {
+                pruned += 1;
+                continue;
+            }
             let live: Vec<usize> = pl
                 .replicas
                 .iter()
@@ -232,7 +244,7 @@ impl Broker {
             };
             plan.push((pl.segment.clone(), candidates));
         }
-        Ok(plan)
+        Ok((plan, pruned))
     }
 
     /// Try each candidate server for a segment in order, routing around
@@ -268,7 +280,10 @@ impl Broker {
     /// `segments_unavailable` with `partial: true`. Only a total outage
     /// (no segment servable at all) is an `Err`.
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
-        let plan = self.plan(&query.table)?;
+        if query.is_aggregation() {
+            return Ok(self.query_partial(query)?.finalize(query));
+        }
+        let (plan, segments_pruned) = self.plan(query)?;
         let threads = self.parallelism.load(Ordering::Relaxed);
         let total_segments = plan.len();
         let mut segments_unavailable = plan.iter().filter(|(_, c)| c.is_empty()).count() as u64;
@@ -276,73 +291,90 @@ impl Broker {
             plan.into_iter().filter(|(_, c)| !c.is_empty()).collect();
         let mut segments_queried = 0;
         let mut docs_scanned = 0;
-        let mut used_startree = false;
         // availability failures degrade the response; anything else (a
         // malformed query, a corrupt segment) still fails the query
         let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
-        let rows = if query.is_aggregation() {
-            let parts = scatter(live.len(), threads, |i| {
-                let (segment, candidates) = &live[i];
-                self.serve_with_failover(segment, candidates, |srv, seg| {
-                    srv.execute_partial(seg, query)
-                })
-            });
-            let mut merged = PartialAgg::default();
-            for part in parts {
-                match part {
-                    Ok(part) => {
-                        segments_queried += 1;
-                        docs_scanned += part.docs_scanned;
-                        used_startree |= part.used_startree;
-                        merged.merge(part, query);
-                    }
-                    Err(e) if degradable(&e) => segments_unavailable += 1,
-                    Err(e) => return Err(e),
+        let partials = scatter(live.len(), threads, |i| {
+            let (segment, candidates) = &live[i];
+            self.serve_with_failover(segment, candidates, |srv, seg| {
+                srv.execute_select(seg, query)
+            })
+        });
+        let mut rows = Vec::new();
+        for r in partials {
+            match r {
+                Ok(r) => {
+                    segments_queried += 1;
+                    docs_scanned += r.docs_scanned;
+                    rows.extend(r.rows);
                 }
+                Err(e) if degradable(&e) => segments_unavailable += 1,
+                Err(e) => return Err(e),
             }
-            if total_segments > 0 && segments_queried == 0 {
-                return Err(Error::Unavailable(format!(
-                    "table '{}' fully unavailable: 0/{total_segments} segments served",
-                    query.table
-                )));
-            }
-            merged.finalize(query)
-        } else {
-            let partials = scatter(live.len(), threads, |i| {
-                let (segment, candidates) = &live[i];
-                self.serve_with_failover(segment, candidates, |srv, seg| {
-                    srv.execute_select(seg, query)
-                })
-            });
-            let mut rows = Vec::new();
-            for r in partials {
-                match r {
-                    Ok(r) => {
-                        segments_queried += 1;
-                        docs_scanned += r.docs_scanned;
-                        rows.extend(r.rows);
-                    }
-                    Err(e) if degradable(&e) => segments_unavailable += 1,
-                    Err(e) => return Err(e),
-                }
-            }
-            if total_segments > 0 && segments_queried == 0 {
-                return Err(Error::Unavailable(format!(
-                    "table '{}' fully unavailable: 0/{total_segments} segments served",
-                    query.table
-                )));
-            }
-            sort_and_limit(&mut rows, &query.order_by, query.limit);
-            rows
-        };
+        }
+        if total_segments > 0 && segments_queried == 0 {
+            return Err(Error::Unavailable(format!(
+                "table '{}' fully unavailable: 0/{total_segments} segments served",
+                query.table
+            )));
+        }
+        sort_and_limit(&mut rows, &query.order_by, query.limit);
         Ok(QueryResult {
             rows,
             docs_scanned,
             segments_queried,
-            used_startree,
             partial: segments_unavailable > 0,
             segments_unavailable,
+            segments_pruned,
             ..Default::default()
+        })
+    }
+
+    /// Aggregation scatter-gather that stops before the merge-finalize
+    /// step, returning mergeable per-group accumulators — the unit the
+    /// SQL federation layer unions with offline segment partials across
+    /// the realtime/offline time boundary.
+    pub fn query_partial(&self, query: &Query) -> Result<PartialResult> {
+        let (plan, segments_pruned) = self.plan(query)?;
+        let threads = self.parallelism.load(Ordering::Relaxed);
+        let total_segments = plan.len();
+        let mut segments_unavailable = plan.iter().filter(|(_, c)| c.is_empty()).count() as u64;
+        let live: Vec<(String, Vec<usize>)> =
+            plan.into_iter().filter(|(_, c)| !c.is_empty()).collect();
+        let mut segments_queried = 0;
+        let mut docs_scanned = 0;
+        let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
+        let parts = scatter(live.len(), threads, |i| {
+            let (segment, candidates) = &live[i];
+            self.serve_with_failover(segment, candidates, |srv, seg| {
+                srv.execute_partial(seg, query)
+            })
+        });
+        let mut merged = PartialAgg::default();
+        for part in parts {
+            match part {
+                Ok(part) => {
+                    segments_queried += 1;
+                    docs_scanned += part.docs_scanned;
+                    merged.merge(part, query);
+                }
+                Err(e) if degradable(&e) => segments_unavailable += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if total_segments > 0 && segments_queried == 0 {
+            return Err(Error::Unavailable(format!(
+                "table '{}' fully unavailable: 0/{total_segments} segments served",
+                query.table
+            )));
+        }
+        Ok(PartialResult {
+            agg: merged,
+            docs_scanned,
+            segments_queried,
+            segments_pruned,
+            partial: segments_unavailable > 0,
+            segments_unavailable,
         })
     }
 
@@ -537,7 +569,8 @@ mod tests {
                     .unwrap();
             }
         }
-        let plan = broker.plan("u").unwrap();
+        let (plan, pruned) = broker.plan(&Query::select_all("u")).unwrap();
+        assert_eq!(pruned, 0);
         let mut by_partition: HashMap<usize, Vec<usize>> = HashMap::new();
         for (name, candidates) in plan {
             let p: usize = name[1..2].parse().unwrap();

@@ -7,6 +7,7 @@
 //! layer (`rtdi-sql`), which pushes what it can down to this model.
 
 use rtdi_common::{AggFn, Row, Value};
+use std::sync::Arc;
 
 /// Comparison operators supported by predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,50 +71,75 @@ pub enum SortOrder {
 
 /// An OLAP query: either a selection (projected columns) or an aggregation
 /// (aggs + optional group-by).
+///
+/// The shape fields (`predicates`, `select`, `aggregations`, `group_by`)
+/// are `Arc`-shared so a planner can stamp out per-scan queries from a
+/// cached pushdown with reference bumps instead of deep clones — the SQL
+/// connector reuses one parsed pushdown across every dashboard refresh.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     pub table: String,
-    pub predicates: Vec<Predicate>,
+    pub predicates: Arc<Vec<Predicate>>,
     /// Selection columns (empty + empty aggs = select all columns).
-    pub select: Vec<String>,
+    pub select: Arc<Vec<String>>,
     /// Aggregations, each with an output name.
-    pub aggregations: Vec<(String, AggFn)>,
-    pub group_by: Vec<String>,
+    pub aggregations: Arc<Vec<(String, AggFn)>>,
+    pub group_by: Arc<Vec<String>>,
     pub order_by: Vec<(String, SortOrder)>,
     pub limit: Option<usize>,
+    /// Partition-pruned scatter: when set, only segments/servers hosting
+    /// one of these partition ids are consulted (derived by the SQL
+    /// optimizer from partition-key equality predicates).
+    pub partitions: Option<Arc<Vec<usize>>>,
 }
 
 impl Query {
     pub fn select_all(table: impl Into<String>) -> Self {
         Query {
             table: table.into(),
-            predicates: Vec::new(),
-            select: Vec::new(),
-            aggregations: Vec::new(),
-            group_by: Vec::new(),
+            predicates: Arc::new(Vec::new()),
+            select: Arc::new(Vec::new()),
+            aggregations: Arc::new(Vec::new()),
+            group_by: Arc::new(Vec::new()),
             order_by: Vec::new(),
             limit: None,
+            partitions: None,
         }
     }
 
     pub fn filter(mut self, p: Predicate) -> Self {
-        self.predicates.push(p);
+        Arc::make_mut(&mut self.predicates).push(p);
         self
     }
 
     pub fn columns(mut self, cols: &[&str]) -> Self {
-        self.select = cols.iter().map(|c| c.to_string()).collect();
+        self.select = Arc::new(cols.iter().map(|c| c.to_string()).collect());
         self
     }
 
     pub fn aggregate(mut self, name: impl Into<String>, f: AggFn) -> Self {
-        self.aggregations.push((name.into(), f));
+        Arc::make_mut(&mut self.aggregations).push((name.into(), f));
         self
     }
 
     pub fn group(mut self, cols: &[&str]) -> Self {
-        self.group_by = cols.iter().map(|c| c.to_string()).collect();
+        self.group_by = Arc::new(cols.iter().map(|c| c.to_string()).collect());
         self
+    }
+
+    /// Restrict the scatter to the given partition ids.
+    pub fn partitions(mut self, parts: &[usize]) -> Self {
+        self.partitions = Some(Arc::new(parts.to_vec()));
+        self
+    }
+
+    /// Does the partition hint (if any) admit partition `p`? Segments with
+    /// an unknown partition are always admitted.
+    pub fn admits_partition(&self, p: Option<usize>) -> bool {
+        match (&self.partitions, p) {
+            (Some(allowed), Some(p)) => allowed.contains(&p),
+            _ => true,
+        }
     }
 
     pub fn order(mut self, col: impl Into<String>, order: SortOrder) -> Self {
@@ -152,6 +178,48 @@ pub struct QueryResult {
     /// no document could match (lazy segments skip column reads
     /// entirely).
     pub segments_pruned: u64,
+}
+
+/// A partially-executed aggregation query plus its execution statistics —
+/// what [`crate::table::OlapTable::query_partial`] and
+/// [`crate::broker::Broker::query_partial`] hand to a federation layer
+/// that must union this store's slice with another store's slice *before*
+/// finalizing (keeping AVG / DISTINCTCOUNT exact across the realtime /
+/// offline time boundary).
+#[derive(Debug, Clone, Default)]
+pub struct PartialResult {
+    pub agg: PartialAgg,
+    pub docs_scanned: u64,
+    pub segments_queried: u64,
+    pub segments_pruned: u64,
+    pub partial: bool,
+    pub segments_unavailable: u64,
+}
+
+impl PartialResult {
+    /// Fold another store's partial result into this one.
+    pub fn merge(&mut self, other: PartialResult, query: &Query) {
+        self.docs_scanned += other.docs_scanned;
+        self.segments_queried += other.segments_queried;
+        self.segments_pruned += other.segments_pruned;
+        self.partial |= other.partial;
+        self.segments_unavailable += other.segments_unavailable;
+        self.agg.merge(other.agg, query);
+    }
+
+    /// Finalize into a [`QueryResult`].
+    pub fn finalize(self, query: &Query) -> QueryResult {
+        let used_startree = self.agg.used_startree;
+        QueryResult {
+            rows: self.agg.finalize(query),
+            docs_scanned: self.docs_scanned,
+            segments_queried: self.segments_queried,
+            used_startree,
+            partial: self.partial,
+            segments_unavailable: self.segments_unavailable,
+            segments_pruned: self.segments_pruned,
+        }
+    }
 }
 
 /// Group key: the group-by column values (in `group_by` order) rendered to
@@ -294,8 +362,12 @@ mod tests {
             .limit(10);
         assert!(q.is_aggregation());
         assert_eq!(q.predicates.len(), 1);
-        assert_eq!(q.group_by, vec!["restaurant"]);
+        assert_eq!(*q.group_by, vec!["restaurant"]);
         assert_eq!(q.limit, Some(10));
+        // shape clones are reference bumps, not deep copies
+        let stamped = q.clone();
+        assert!(Arc::ptr_eq(&q.predicates, &stamped.predicates));
+        assert!(Arc::ptr_eq(&q.aggregations, &stamped.aggregations));
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl MutableSegment {
                     .map(|(_, f)| f.new_acc())
                     .collect()
             });
-            for (acc, (_, f)) in accs.iter_mut().zip(&query.aggregations) {
+            for (acc, (_, f)) in accs.iter_mut().zip(query.aggregations.iter()) {
                 acc.add(f, row);
             }
         }

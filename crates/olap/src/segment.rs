@@ -1082,13 +1082,13 @@ impl LazySegment {
                 names.push(n.to_string());
             }
         };
-        for p in &query.predicates {
+        for p in query.predicates.iter() {
             add(&p.column);
         }
-        for c in &query.group_by {
+        for c in query.group_by.iter() {
             add(c);
         }
-        for (_, f) in &query.aggregations {
+        for (_, f) in query.aggregations.iter() {
             use rtdi_common::AggFn;
             match f {
                 AggFn::Count => {}
@@ -1105,7 +1105,7 @@ impl LazySegment {
                     add(&f.name);
                 }
             } else {
-                for c in &query.select {
+                for c in query.select.iter() {
                     add(c);
                 }
             }
@@ -1114,14 +1114,23 @@ impl LazySegment {
     }
 
     /// Can any document in this segment satisfy every predicate, judging
-    /// by per-column zone maps alone?
-    fn zones_may_match(&self, query: &Query) -> bool {
+    /// by per-column zone maps alone? Public so a federation planner can
+    /// prune segments before scheduling scatter work (a pruned segment
+    /// costs header bytes only).
+    pub fn zones_may_match(&self, query: &Query) -> bool {
         let nrows = self.file.nrows() as u64;
         query.predicates.iter().all(|p| {
             self.file
                 .entry(&p.column)
                 .is_none_or(|e| zone_may_match(&e.zone, p, nrows))
         })
+    }
+
+    /// Min/max of an integer/timestamp column straight from the zone map —
+    /// no column bytes are read. This is how the federation catalog learns
+    /// each archival segment's time range.
+    pub fn int_range(&self, column: &str) -> Option<(i64, i64)> {
+        self.file.entry(column).and_then(|e| e.zone.int_bounds())
     }
 
     /// Execute a query, decoding only the columns it touches. When the
@@ -1140,13 +1149,27 @@ impl LazySegment {
                 ..Default::default()
             });
         }
+        self.as_view(query)?.execute(query, None)
+    }
+
+    /// Aggregation execution returning mergeable per-group accumulators —
+    /// the offline-side scatter unit of hybrid-table federation. The
+    /// caller is expected to have consulted [`Self::zones_may_match`]
+    /// first; an unprunable query decodes only the touched columns.
+    pub fn execute_partial(&self, query: &Query) -> Result<PartialAgg> {
+        self.as_view(query)?.execute_partial(query, None)
+    }
+
+    /// Materialize an index-free [`Segment`] view holding only the columns
+    /// `query` touches (shared `Arc`s; each column decodes at most once).
+    fn as_view(&self, query: &Query) -> Result<Segment> {
         let mut columns = BTreeMap::new();
         for name in self.touched_columns(query) {
             if let Some(idx) = self.file.entries().iter().position(|e| e.name == name) {
                 columns.insert(name, self.column(idx)?);
             }
         }
-        let view = Segment {
+        Ok(Segment {
             name: self.name().to_string(),
             schema: self.schema.clone(),
             columns,
@@ -1156,8 +1179,7 @@ impl LazySegment {
             range_idx: HashMap::new(),
             sorted_col: self.file.meta().sorted_col.clone(),
             startree: None,
-        };
-        view.execute(query, None)
+        })
     }
 
     /// Fully materialize into an indexed [`Segment`] (the recovery path:

@@ -116,18 +116,18 @@ impl StarTree {
     ) -> Result<Option<BTreeMap<crate::query::GroupKey, Vec<AggAcc>>>> {
         // map each aggregation to a metric index
         let mut metric_idx = Vec::with_capacity(query.aggregations.len());
-        for (_, f) in &query.aggregations {
+        for (_, f) in query.aggregations.iter() {
             match self.spec.metrics.iter().position(|m| m == f) {
                 Some(i) => metric_idx.push(i),
                 None => return Ok(None),
             }
         }
-        for p in &query.predicates {
+        for p in query.predicates.iter() {
             if p.op != PredicateOp::Eq || !self.spec.dimensions.contains(&p.column) {
                 return Ok(None);
             }
         }
-        for g in &query.group_by {
+        for g in query.group_by.iter() {
             if !self.spec.dimensions.contains(g) {
                 return Ok(None);
             }

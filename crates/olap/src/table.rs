@@ -14,7 +14,7 @@
 //! merge through [`crate::query::PartialAgg`].
 
 use crate::bitmap::Bitmap;
-use crate::query::{sort_and_limit, PartialAgg, PredicateOp, Query, QueryResult};
+use crate::query::{sort_and_limit, PartialAgg, PartialResult, PredicateOp, Query, QueryResult};
 use crate::realtime::MutableSegment;
 use crate::segment::{IndexSpec, Segment};
 use crate::upsert::PrimaryKeyIndex;
@@ -284,7 +284,7 @@ impl OlapTable {
     /// Can a segment with time range `[lo, hi]` possibly match the query's
     /// time predicates?
     fn time_overlaps(query: &Query, time_col: &str, lo: Timestamp, hi: Timestamp) -> bool {
-        for p in &query.predicates {
+        for p in query.predicates.iter() {
             if p.column != time_col {
                 continue;
             }
@@ -321,8 +321,13 @@ impl OlapTable {
     fn scan_tasks(&self, query: &Query) -> (Vec<ScanTask>, u64) {
         let mut tasks = Vec::new();
         let mut pruned = 0u64;
-        for state in &self.partitions {
+        for (p, state) in self.partitions.iter().enumerate() {
             let st = state.read();
+            if !query.admits_partition(Some(p)) {
+                // partition-pruned scatter: the whole partition is out
+                pruned += st.sealed.len() as u64;
+                continue;
+            }
             for seg in &st.sealed {
                 if self.prunable(query, seg) {
                     pruned += 1;
@@ -358,53 +363,63 @@ impl OlapTable {
         }
     }
 
+    /// Execute an aggregation query and return mergeable per-group
+    /// accumulators instead of finalized rows — the unit a federation
+    /// layer needs to union this table's slice with offline/archival
+    /// segments across the time boundary without breaking AVG or
+    /// DISTINCTCOUNT.
+    pub fn query_partial(&self, query: &Query) -> Result<PartialResult> {
+        let mut out = PartialResult::default();
+        let mut merged = PartialAgg::default();
+        for (p, state) in self.partitions.iter().enumerate() {
+            if !query.admits_partition(Some(p)) {
+                continue;
+            }
+            let st = state.read();
+            let valid: Option<Bitmap> = if self.config.upsert {
+                st.pk_index.valid_docs(st.consuming.name()).cloned()
+            } else {
+                None
+            };
+            let part = st.consuming.execute_partial(query, valid.as_ref())?;
+            out.segments_queried += 1;
+            out.docs_scanned += part.docs_scanned;
+            merged.merge(part, query);
+        }
+        let (tasks, segments_pruned) = self.scan_tasks(query);
+        out.segments_pruned = segments_pruned;
+        let parts = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
+            let (seg, valid) = &tasks[i];
+            seg.execute_partial(query, valid.as_ref())
+        });
+        for part in parts {
+            let part = part?;
+            out.segments_queried += 1;
+            out.docs_scanned += part.docs_scanned;
+            merged.merge(part, query);
+        }
+        out.agg = merged;
+        Ok(out)
+    }
+
     /// Execute a query across every live segment (scatter-gather-merge).
     /// Consuming (mutable) segments execute serially under their partition
     /// locks; sealed and offline segments scatter across the worker pool.
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        if query.is_aggregation() {
+            return Ok(self.query_partial(query)?.finalize(query));
+        }
+
         let mut segments_queried = 0u64;
         let mut docs_scanned = 0u64;
-        let mut used_startree = false;
-
-        if query.is_aggregation() {
-            let mut merged = PartialAgg::default();
-            for state in &self.partitions {
-                let st = state.read();
-                let valid: Option<Bitmap> = if self.config.upsert {
-                    st.pk_index.valid_docs(st.consuming.name()).cloned()
-                } else {
-                    None
-                };
-                let part = st.consuming.execute_partial(query, valid.as_ref())?;
-                segments_queried += 1;
-                docs_scanned += part.docs_scanned;
-                merged.merge(part, query);
-            }
-            let (tasks, segments_pruned) = self.scan_tasks(query);
-            let parts = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
-                let (seg, valid) = &tasks[i];
-                seg.execute_partial(query, valid.as_ref())
-            });
-            for part in parts {
-                let part = part?;
-                segments_queried += 1;
-                docs_scanned += part.docs_scanned;
-                used_startree |= part.used_startree;
-                merged.merge(part, query);
-            }
-            return Ok(QueryResult {
-                rows: merged.finalize(query),
-                docs_scanned,
-                segments_queried,
-                used_startree,
-                segments_pruned,
-                ..Default::default()
-            });
-        }
+        let used_startree = false;
 
         // selection: concatenate in task order, then a final sort/limit
         let mut rows = Vec::new();
-        for state in &self.partitions {
+        for (p, state) in self.partitions.iter().enumerate() {
+            if !query.admits_partition(Some(p)) {
+                continue;
+            }
             let st = state.read();
             let valid = if self.config.upsert {
                 st.pk_index.valid_docs(st.consuming.name()).cloned()

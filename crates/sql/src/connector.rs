@@ -6,6 +6,7 @@
 //! down to the Pinot layer as possible, such as projection, aggregation
 //! and limit."
 
+use crate::catalog::HybridTable;
 use rtdi_common::{AggFn, Error, FieldType, Result, Row, Schema, Value};
 use rtdi_olap::broker::Broker;
 use rtdi_olap::query::{Predicate, Query as OlapQuery, SortOrder};
@@ -15,22 +16,30 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A fully-pushable aggregation.
+///
+/// Shape vectors are `Arc`-shared: the optimizer builds them once and
+/// every scan hands them to the OLAP [`Query`](OlapQuery) as a refcount
+/// bump instead of a deep clone (repeated dashboard queries used to
+/// re-clone the whole pushdown per scan).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PushedAgg {
-    pub group_by: Vec<String>,
+    pub group_by: Arc<Vec<String>>,
     /// (output name, function over a bare column)
-    pub aggs: Vec<(String, AggFn)>,
+    pub aggs: Arc<Vec<(String, AggFn)>>,
 }
 
 /// What the planner asks a connector to apply during the scan.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Pushdown {
-    pub predicates: Vec<Predicate>,
-    pub projection: Option<Vec<String>>,
+    pub predicates: Arc<Vec<Predicate>>,
+    pub projection: Option<Arc<Vec<String>>>,
     pub aggregation: Option<PushedAgg>,
     /// (column, desc) — only honored together with `limit`.
     pub order_by: Vec<(String, bool)>,
     pub limit: Option<usize>,
+    /// Partition-pruned scatter: partition ids derived by the optimizer
+    /// from equality predicates on the table's partition column.
+    pub partitions: Option<Arc<Vec<usize>>>,
 }
 
 impl Pushdown {
@@ -64,6 +73,15 @@ pub struct ScanOutput {
     pub partial: bool,
     /// Segments the backing store could not reach.
     pub segments_unavailable: u64,
+    /// Segments actually consulted after pruning.
+    pub segments_queried: u64,
+    /// Segments skipped by time-boundary, partition, or zone-map pruning.
+    pub segments_pruned: u64,
+    /// Cold bytes decoded from archival segment files for this scan
+    /// (0 when every touched column was already resident or cached).
+    pub bytes_read: u64,
+    /// True when the scan was answered from a federation result cache.
+    pub cache_hit: bool,
 }
 
 /// A data source exposed to the SQL engine.
@@ -73,6 +91,13 @@ pub trait Connector: Send + Sync {
     /// Scan a table applying the (capability-compatible) pushdown.
     fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput>;
     fn table_names(&self) -> Vec<String>;
+    /// `(column, partition count)` when the table partitions rows by
+    /// `hash(column) % count` on every side — lets the optimizer derive a
+    /// partition-pruned scatter from an equality predicate.
+    fn partition_spec(&self, table: &str) -> Option<(String, usize)> {
+        let _ = table;
+        None
+    }
 }
 
 /// How the Pinot connector reaches a table's segments.
@@ -84,6 +109,9 @@ enum PinotSource {
     /// nodes. Server death surfaces here as Pinot partial-response
     /// metadata rather than a hard error.
     Brokered { schema: Schema, broker: Arc<Broker> },
+    /// Federated hybrid table: realtime side + archival segments, split
+    /// at the time boundary by [`HybridTable`].
+    Hybrid(Arc<HybridTable>),
 }
 
 /// Connector over the real-time OLAP store. Tables can be registered
@@ -116,6 +144,14 @@ impl PinotConnector {
             .insert(name.to_string(), PinotSource::Brokered { schema, broker });
     }
 
+    /// Register a federated hybrid table: queries split at the time
+    /// boundary between its realtime side and its archival segments.
+    pub fn register_hybrid(&self, table: Arc<HybridTable>) {
+        self.tables
+            .write()
+            .insert(table.name().to_string(), PinotSource::Hybrid(table));
+    }
+
     fn table(&self, name: &str) -> Result<PinotSource> {
         self.tables
             .read()
@@ -145,6 +181,7 @@ impl Connector for PinotConnector {
         Ok(match self.table(table)? {
             PinotSource::Direct(t) => t.config().schema.clone(),
             PinotSource::Brokered { schema, .. } => schema,
+            PinotSource::Hybrid(t) => t.schema().clone(),
         })
     }
 
@@ -152,75 +189,99 @@ impl Connector for PinotConnector {
         self.tables.read().keys().cloned().collect()
     }
 
+    fn partition_spec(&self, table: &str) -> Option<(String, usize)> {
+        match self.table(table).ok()? {
+            PinotSource::Hybrid(t) => t.partition_spec(),
+            _ => None,
+        }
+    }
+
     fn scan(&self, table: &str, pushdown: &Pushdown) -> Result<ScanOutput> {
         let source = self.table(table)?;
-        let mut q = OlapQuery::select_all(table);
-        q.predicates = pushdown.predicates.clone();
-        if let Some(agg) = &pushdown.aggregation {
-            for (name, f) in &agg.aggs {
-                q = q.aggregate(name.clone(), f.clone());
-            }
-            q.group_by = agg.group_by.clone();
-        } else if let Some(proj) = &pushdown.projection {
-            q.select = proj.clone();
-        }
-        if pushdown.limit.is_some() {
-            for (col, desc) in &pushdown.order_by {
-                q = q.order(
-                    col.clone(),
-                    if *desc {
-                        SortOrder::Desc
-                    } else {
-                        SortOrder::Asc
-                    },
-                );
-            }
-            // LIMIT without ORDER BY is only pushable for selections; for
-            // aggregations the engine applies it post-merge (already merged
-            // here, so applying is safe either way)
-            q.limit = pushdown.limit;
-        }
+        let q = pushdown_query(table, pushdown);
         let (mut result, schema) = match &source {
             PinotSource::Direct(t) => (t.query(&q)?, t.config().schema.clone()),
             PinotSource::Brokered { schema, broker } => (broker.query(&q)?, schema.clone()),
+            // the hybrid table runs its own two-sided plan over the raw
+            // pushdown (it must split the time predicate itself)
+            PinotSource::Hybrid(t) => return t.scan(pushdown),
         };
-        // the OLAP store renders non-null group keys as strings (NULL keys
-        // arrive as real Value::Null); restore the schema types so pushed
-        // and unpushed plans produce identical rows
         if let Some(agg) = &pushdown.aggregation {
-            for row in &mut result.rows {
-                for col in &agg.group_by {
-                    let Some(field) = schema.field(col) else {
-                        continue;
-                    };
-                    let Some(Value::Str(s)) = row.get(col).cloned() else {
-                        continue;
-                    };
-                    let typed = match field.field_type {
-                        FieldType::Int | FieldType::Timestamp => {
-                            s.parse::<i64>().map(Value::Int).unwrap_or(Value::Str(s))
-                        }
-                        FieldType::Double => {
-                            s.parse::<f64>().map(Value::Double).unwrap_or(Value::Str(s))
-                        }
-                        FieldType::Bool => match s.as_str() {
-                            "true" => Value::Bool(true),
-                            "false" => Value::Bool(false),
-                            _ => Value::Str(s),
-                        },
-                        _ => Value::Str(s),
-                    };
-                    row.set(col, typed);
-                }
-            }
+            restore_group_key_types(&mut result.rows, &agg.group_by, &schema);
         }
         Ok(ScanOutput {
             rows_shipped: result.rows.len() as u64,
             docs_scanned: result.docs_scanned,
             partial: result.partial,
             segments_unavailable: result.segments_unavailable,
+            segments_queried: result.segments_queried,
+            segments_pruned: result.segments_pruned,
+            bytes_read: 0,
+            cache_hit: false,
             rows: result.rows,
         })
+    }
+}
+
+/// Build the OLAP query a pushdown describes. The shape vectors are
+/// shared with the pushdown via `Arc`, so repeated scans of the same
+/// plan allocate no per-scan copies. Shared by the direct Pinot scan and
+/// the hybrid federation planner.
+pub(crate) fn pushdown_query(table: &str, pushdown: &Pushdown) -> OlapQuery {
+    let mut q = OlapQuery::select_all(table);
+    q.predicates = Arc::clone(&pushdown.predicates);
+    q.partitions = pushdown.partitions.as_ref().map(Arc::clone);
+    if let Some(agg) = &pushdown.aggregation {
+        q.aggregations = Arc::clone(&agg.aggs);
+        q.group_by = Arc::clone(&agg.group_by);
+    } else if let Some(proj) = &pushdown.projection {
+        q.select = Arc::clone(proj);
+    }
+    if pushdown.limit.is_some() {
+        for (col, desc) in &pushdown.order_by {
+            q = q.order(
+                col.clone(),
+                if *desc {
+                    SortOrder::Desc
+                } else {
+                    SortOrder::Asc
+                },
+            );
+        }
+        // LIMIT without ORDER BY is only pushable for selections; for
+        // aggregations the engine applies it post-merge (already merged
+        // here, so applying is safe either way)
+        q.limit = pushdown.limit;
+    }
+    q
+}
+
+/// The OLAP store renders non-null group keys as strings (NULL keys
+/// arrive as real `Value::Null`); restore the schema types so pushed and
+/// unpushed plans produce identical rows.
+pub(crate) fn restore_group_key_types(rows: &mut [Row], group_by: &[String], schema: &Schema) {
+    for row in rows {
+        for col in group_by {
+            let Some(field) = schema.field(col) else {
+                continue;
+            };
+            let Some(Value::Str(s)) = row.get(col).cloned() else {
+                continue;
+            };
+            let typed = match field.field_type {
+                FieldType::Int | FieldType::Timestamp => {
+                    s.parse::<i64>().map(Value::Int).unwrap_or(Value::Str(s))
+                }
+                FieldType::Double => s.parse::<f64>().map(Value::Double).unwrap_or(Value::Str(s)),
+                FieldType::Bool => match s.as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    _ => Value::Str(s),
+                },
+                _ => Value::Str(s),
+            };
+            row.set(col, typed);
+        }
     }
 }
 
@@ -357,7 +418,7 @@ mod tests {
     fn pinot_scan_with_filter_pushdown() {
         let c = pinot_with_data();
         let pd = Pushdown {
-            predicates: vec![Predicate::eq("city", "sf")],
+            predicates: Arc::new(vec![Predicate::eq("city", "sf")]),
             ..Default::default()
         };
         let out = c.scan("orders", &pd).unwrap();
@@ -370,11 +431,11 @@ mod tests {
         let c = pinot_with_data();
         let pd = Pushdown {
             aggregation: Some(PushedAgg {
-                group_by: vec!["city".into()],
-                aggs: vec![
+                group_by: Arc::new(vec!["city".into()]),
+                aggs: Arc::new(vec![
                     ("n".into(), AggFn::Count),
                     ("rev".into(), AggFn::Sum("total".into())),
-                ],
+                ]),
             }),
             ..Default::default()
         };
@@ -389,7 +450,7 @@ mod tests {
     fn pinot_limit_and_order_pushdown() {
         let c = pinot_with_data();
         let pd = Pushdown {
-            projection: Some(vec!["total".into()]),
+            projection: Some(Arc::new(vec!["total".into()])),
             order_by: vec![("total".into(), true)],
             limit: Some(3),
             ..Default::default()
@@ -413,7 +474,7 @@ mod tests {
         let out = c.scan("t", &Pushdown::default()).unwrap();
         assert_eq!(out.rows.len(), 1);
         let pd = Pushdown {
-            predicates: vec![Predicate::eq("x", 1i64)],
+            predicates: Arc::new(vec![Predicate::eq("x", 1i64)]),
             ..Default::default()
         };
         assert!(c.scan("t", &pd).is_err());
@@ -461,8 +522,8 @@ mod tests {
         let (c, broker) = brokered_pinot();
         let pd = Pushdown {
             aggregation: Some(PushedAgg {
-                group_by: vec![],
-                aggs: vec![("n".into(), AggFn::Count)],
+                group_by: Arc::new(vec![]),
+                aggs: Arc::new(vec![("n".into(), AggFn::Count)]),
             }),
             ..Default::default()
         };

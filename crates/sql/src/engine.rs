@@ -11,7 +11,7 @@
 use crate::ast::AggName;
 use crate::connector::Connector;
 use crate::expr::{eval, truthy};
-use crate::optimizer::optimize;
+use crate::optimizer::optimize_with;
 use crate::parser::parse_select;
 use crate::plan::{plan_select, AggItem, Plan};
 use rtdi_common::{AggAcc, AggFn, Error, Result, Row, Value};
@@ -47,6 +47,15 @@ pub struct QueryStats {
     pub partial: bool,
     /// Segments connectors could not reach across all scans.
     pub segments_unavailable: u64,
+    /// Segments consulted after pruning, across all scans.
+    pub segments_queried: u64,
+    /// Segments skipped by time-boundary, partition, or zone-map pruning.
+    pub segments_pruned: u64,
+    /// Cold bytes decoded from archival segment files (0 for scans that
+    /// hit only resident columns or a federation result cache).
+    pub bytes_read: u64,
+    /// Scans answered entirely from a federation result cache.
+    pub cache_hits: u64,
     /// EXPLAIN text of the optimized plan.
     pub plan: String,
 }
@@ -151,14 +160,7 @@ impl SqlEngine {
 
     /// Parse, plan, optimize and execute a SQL query.
     pub fn query(&self, sql: &str) -> Result<QueryOutput> {
-        let stmt = parse_select(sql)?;
-        let plan = self.resolve_catalogs(plan_select(&stmt)?);
-        let caps = |catalog: &Option<String>| {
-            self.connector(catalog)
-                .map(|c| c.capabilities())
-                .unwrap_or_default()
-        };
-        let plan = optimize(plan, &caps, self.config.enable_pushdown);
+        let plan = self.optimized_plan(sql)?;
         let mut stats = QueryStats {
             plan: plan.explain(),
             ..Default::default()
@@ -169,6 +171,10 @@ impl SqlEngine {
 
     /// EXPLAIN: the optimized plan without executing it.
     pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.optimized_plan(sql)?.explain())
+    }
+
+    fn optimized_plan(&self, sql: &str) -> Result<Plan> {
         let stmt = parse_select(sql)?;
         let plan = self.resolve_catalogs(plan_select(&stmt)?);
         let caps = |catalog: &Option<String>| {
@@ -176,7 +182,17 @@ impl SqlEngine {
                 .map(|c| c.capabilities())
                 .unwrap_or_default()
         };
-        Ok(optimize(plan, &caps, self.config.enable_pushdown).explain())
+        let parts = |catalog: &Option<String>, table: &str| {
+            self.connector(catalog)
+                .ok()
+                .and_then(|c| c.partition_spec(table))
+        };
+        Ok(optimize_with(
+            plan,
+            &caps,
+            &parts,
+            self.config.enable_pushdown,
+        ))
     }
 
     fn execute(&self, plan: &Plan, stats: &mut QueryStats) -> Result<Vec<Row>> {
@@ -192,6 +208,10 @@ impl SqlEngine {
                 stats.rows_shipped += out.rows_shipped;
                 stats.partial |= out.partial;
                 stats.segments_unavailable += out.segments_unavailable;
+                stats.segments_queried += out.segments_queried;
+                stats.segments_pruned += out.segments_pruned;
+                stats.bytes_read += out.bytes_read;
+                stats.cache_hits += u64::from(out.cache_hit);
                 let _ = binding;
                 Ok(out.rows)
             }
@@ -617,6 +637,79 @@ mod tests {
         assert!(degraded.stats.partial);
         assert_eq!(degraded.stats.segments_unavailable, 2);
         assert_eq!(degraded.rows[0].get_int("n"), Some(100));
+    }
+
+    #[test]
+    fn hybrid_federation_end_to_end() {
+        use crate::catalog::{HybridTable, RealtimeSide};
+        use crate::connector::PinotConnector;
+        use rtdi_olap::segment::{IndexSpec, LazySegment, Segment};
+        use rtdi_olap::table::{OlapTable, TableConfig};
+
+        let schema = Schema::of(
+            "trips",
+            &[
+                ("city", FieldType::Str),
+                ("ts", FieldType::Timestamp),
+                ("fare", FieldType::Double),
+            ],
+        );
+        let parts = 4usize;
+        let cities = ["sf", "la", "nyc", "chi"];
+        let trip = |city: &str, ts: i64| {
+            Row::new()
+                .with("city", city)
+                .with("ts", ts)
+                .with("fare", ts as f64)
+        };
+
+        // realtime side: ts 100..=149, all cities
+        let rt = OlapTable::new(
+            TableConfig::new("trips", schema.clone())
+                .with_partitions(1)
+                .with_time_column("ts"),
+        )
+        .unwrap();
+        for ts in 100..=149 {
+            rt.ingest(0, trip(cities[(ts % 4) as usize], ts)).unwrap();
+        }
+
+        // offline side: one archive per city, ts 0..=99, registered under
+        // the partition its city hashes to
+        let hybrid = Arc::new(
+            HybridTable::new("trips", schema.clone(), "ts", RealtimeSide::Direct(rt))
+                .with_partition_spec("city", parts),
+        );
+        for city in cities {
+            let rows: Vec<Row> = (0..=99).map(|ts| trip(city, ts)).collect();
+            let seg =
+                Segment::build(format!("off_{city}"), &schema, rows, &IndexSpec::none()).unwrap();
+            let lazy: LazySegment = Segment::load_lazy(seg.persist().unwrap()).unwrap();
+            let p = (Value::from(city).partition_hash() % parts as u64) as usize;
+            hybrid
+                .register_offline_segment(Arc::new(lazy), Some(p))
+                .unwrap();
+        }
+
+        let pinot = PinotConnector::new();
+        pinot.register_hybrid(hybrid.clone());
+        let mut e = SqlEngine::new(EngineConfig::default());
+        e.register_connector("pinot", Arc::new(pinot));
+
+        // equality on the partition column scatters only to the matching
+        // partition's archives; everything federates across the boundary
+        let sql = "SELECT COUNT(*) AS n FROM trips WHERE city = 'sf'";
+        let out = e.query(sql).unwrap();
+        assert_eq!(out.rows[0].get_int("n"), Some(100 + 13)); // offline + realtime sf
+        assert!(out.stats.segments_pruned >= 3, "other partitions pruned");
+        assert_eq!(out.stats.cache_hits, 0);
+
+        // the repeat replays the offline slice from the result cache
+        let again = e.query(sql).unwrap();
+        assert_eq!(again.rows[0].get_int("n"), Some(113));
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.stats.bytes_read, 0);
+        assert_eq!(hybrid.cache_stats(), (1, 1));
     }
 
     #[test]

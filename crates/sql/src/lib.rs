@@ -15,10 +15,15 @@
 //!   planner and extended Presto Connector API to push as many operators
 //!   down to the Pinot layer as possible");
 //! - [`connector`]: the Connector API plus the Pinot and Hive connectors;
+//! - [`catalog`]: hybrid-table federation — the time-boundary planner
+//!   splitting each query between the realtime store and archival
+//!   segments, with partition-pruned scatter and a freshness-aware
+//!   result cache;
 //! - [`engine`]: the MPP-style in-memory executor and the federated query
 //!   entry point.
 
 pub mod ast;
+pub mod catalog;
 pub mod connector;
 pub mod engine;
 pub mod expr;
@@ -27,6 +32,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
+pub use catalog::{HybridTable, OfflineSegment, RealtimeSide};
 pub use connector::{Connector, HiveConnector, PinotConnector, Pushdown, ScanOutput};
 pub use engine::{EngineConfig, SqlEngine};
 pub use parser::parse_select;

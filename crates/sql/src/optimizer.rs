@@ -21,19 +21,71 @@ use crate::connector::{Capabilities, PushedAgg};
 use crate::plan::{AggItem, Plan};
 use rtdi_common::{AggFn, Value};
 use rtdi_olap::query::{Predicate, PredicateOp};
+use std::sync::Arc;
 
 /// Resolve connector capabilities for a catalog.
 pub type CapsResolver<'a> = &'a dyn Fn(&Option<String>) -> Capabilities;
 
+/// Resolve a table's partition layout — `(column, partition count)` when
+/// the connector partitions rows by `hash(column) % count`.
+pub type PartitionResolver<'a> = &'a dyn Fn(&Option<String>, &str) -> Option<(String, usize)>;
+
 /// Optimize a plan. `enable` gates all pushdown (the E14 ablation flag).
 pub fn optimize(plan: Plan, caps: CapsResolver, enable: bool) -> Plan {
+    optimize_with(plan, caps, &|_, _| None, enable)
+}
+
+/// [`optimize`] plus partition derivation: after predicate pushdown, an
+/// equality predicate on a table's partition column pins the scatter to
+/// the single partition `hash(value) % count` (§4.3's partition-aware
+/// routing, derived by the planner instead of declared by the client).
+pub fn optimize_with(
+    plan: Plan,
+    caps: CapsResolver,
+    partitions: PartitionResolver,
+    enable: bool,
+) -> Plan {
     if !enable {
         return plan;
     }
     let plan = push_filters(plan, caps);
     let plan = push_aggregation(plan, caps);
     let plan = push_order_limit(plan, caps);
-    push_projection(plan, caps)
+    let plan = push_projection(plan, caps);
+    derive_partitions(plan, partitions)
+}
+
+fn derive_partitions(plan: Plan, parts: PartitionResolver) -> Plan {
+    match plan {
+        Plan::Scan {
+            catalog,
+            table,
+            binding,
+            mut pushdown,
+        } => {
+            if let Some((col, n)) = parts(&catalog, &table) {
+                let ids: Vec<usize> = pushdown
+                    .predicates
+                    .iter()
+                    .filter(|p| p.op == PredicateOp::Eq && p.column == col)
+                    .map(|p| (p.value.partition_hash() % n as u64) as usize)
+                    .collect();
+                if !ids.is_empty() {
+                    // the hint is a routing superset: contradictory
+                    // equality conjuncts still route somewhere, and the
+                    // predicates themselves empty the scan
+                    pushdown.partitions = Some(Arc::new(ids));
+                }
+            }
+            Plan::Scan {
+                catalog,
+                table,
+                binding,
+                pushdown,
+            }
+        }
+        other => map_children(other, &mut |p| derive_partitions(p, parts)),
+    }
 }
 
 /// Split an AND-tree into conjuncts.
@@ -106,7 +158,7 @@ fn push_filters(plan: Plan, caps: CapsResolver) -> Plan {
                     let mut kept = Vec::new();
                     for c in all {
                         match as_predicate(&c) {
-                            Some(p) => pushdown.predicates.push(p),
+                            Some(p) => Arc::make_mut(&mut pushdown.predicates).push(p),
                             None => kept.push(c),
                         }
                     }
@@ -194,8 +246,8 @@ fn push_aggregation(plan: Plan, caps: CapsResolver) -> Plan {
                     .collect();
                 if let (true, Some(groups), Some(fns)) = (supported, simple_groups, pushed) {
                     pushdown.aggregation = Some(PushedAgg {
-                        group_by: groups,
-                        aggs: fns,
+                        group_by: Arc::new(groups),
+                        aggs: Arc::new(fns),
                     });
                     return Plan::Scan {
                         catalog,
@@ -384,7 +436,7 @@ fn push_projection(plan: Plan, caps: CapsResolver) -> Plan {
                                 cols.push(k.clone());
                             }
                         }
-                        pushdown.projection = Some(cols);
+                        pushdown.projection = Some(Arc::new(cols));
                     }
                 }
                 Plan::Scan {
@@ -489,6 +541,44 @@ mod tests {
     }
 
     #[test]
+    fn partition_hint_derived_from_equality_predicate() {
+        let parts =
+            |_: &Option<String>, table: &str| (table == "t").then(|| ("city".to_string(), 8usize));
+        let plan = optimize_with(
+            plan_select(
+                &parse_select("SELECT COUNT(*) AS n FROM t WHERE city = 'sf' AND ts > 5").unwrap(),
+            )
+            .unwrap(),
+            &full_caps,
+            &parts,
+            true,
+        );
+        let pd = find_scan(&plan);
+        let expect = (Value::from("sf").partition_hash() % 8) as usize;
+        assert_eq!(pd.partitions.as_deref(), Some(&vec![expect]));
+
+        // range predicates on the partition column derive nothing
+        let plan = optimize_with(
+            plan_select(&parse_select("SELECT COUNT(*) AS n FROM t WHERE city > 'a'").unwrap())
+                .unwrap(),
+            &full_caps,
+            &parts,
+            true,
+        );
+        assert!(find_scan(&plan).partitions.is_none());
+
+        // unpartitioned tables derive nothing
+        let plan = optimize_with(
+            plan_select(&parse_select("SELECT COUNT(*) AS n FROM u WHERE city = 'sf'").unwrap())
+                .unwrap(),
+            &full_caps,
+            &parts,
+            true,
+        );
+        assert!(find_scan(&plan).partitions.is_none());
+    }
+
+    #[test]
     fn predicates_move_into_scan() {
         let p = optimized(
             "SELECT city FROM t WHERE total > 10 AND city = 'sf' AND total + 1 > 5",
@@ -511,7 +601,7 @@ mod tests {
         );
         let pd = find_scan(&p);
         let agg = pd.aggregation.as_ref().expect("aggregation pushed");
-        assert_eq!(agg.group_by, vec!["city"]);
+        assert_eq!(*agg.group_by, vec!["city".to_string()]);
         assert_eq!(agg.aggs.len(), 2);
         assert!(!p.explain().contains("Aggregate"), "{}", p.explain());
     }

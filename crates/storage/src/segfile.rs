@@ -317,6 +317,18 @@ pub struct ZoneMap {
     pub null_count: u64,
 }
 
+impl ZoneMap {
+    /// Integer min/max bounds, when this column stores ordered integers
+    /// (Int/Timestamp). Federation catalogs read per-segment time ranges
+    /// through this without touching column bytes.
+    pub fn int_bounds(&self) -> Option<(i64, i64)> {
+        match (&self.min, &self.max) {
+            (Some(ZoneValue::Int(lo)), Some(ZoneValue::Int(hi))) => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+}
+
 /// Index-map entry: where one column's bytes live and its statistics.
 #[derive(Debug, Clone)]
 pub struct ColumnEntry {

@@ -282,7 +282,7 @@ fn indexes_equal_scan() {
             .with_range(&["x", "n"]);
         let seg = Segment::build("s", &schema(), rows.clone(), &spec).unwrap();
         let mut q = Query::select_all("t").aggregate("cnt", AggFn::Count);
-        q.predicates = preds.clone();
+        q.predicates = std::sync::Arc::new(preds.clone());
         let got = seg.execute(&q, None).unwrap().rows[0]
             .get_int("cnt")
             .unwrap();
