@@ -104,3 +104,24 @@ for seed in 0xFED2021 0xCAC4E5EED; do
   fi
   echo "federation cache deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) case lines)"
 done
+
+# Overload determinism gate: the burst soak's accounting summary —
+# per-phase offered/accepted/shed at the producer edge and the proxy,
+# the admission controller's ledger, and the deadline-bounded query's
+# shed counts — must be byte-identical between two separate processes
+# for each fixed seed.
+for seed in 0x0FFE12ED 0x5A70FFE; do
+  run_overload() {
+    RTDI_OVERLOAD_SEED="$seed" cargo test -q --test overload_soak \
+      soak_env_seed_prints_summary -- --nocapture --test-threads=1 |
+      grep '^OVERLOAD_SUMMARY'
+  }
+  a="$(run_overload)"
+  b="$(run_overload)"
+  if [ "$a" != "$b" ]; then
+    echo "overload soak diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "overload soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) summary lines)"
+done

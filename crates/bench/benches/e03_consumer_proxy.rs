@@ -39,6 +39,7 @@ fn run(
             mode,
             max_attempts: 3,
             poll_batch: 256,
+            ..Default::default()
         },
         service,
         Arc::new(DeadLetterQueue::new("t").unwrap()),

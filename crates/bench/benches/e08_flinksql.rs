@@ -70,7 +70,7 @@ fn hand_built(t: Arc<Topic>, sink: CollectSink) -> Job {
     ))];
     Job::new(
         "hand",
-        Box::new(TopicSource::bounded(t)),
+        Box::new(TopicSource::bounded(t).unwrap()),
         ops,
         Box::new(sink),
     )

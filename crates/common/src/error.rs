@@ -36,6 +36,14 @@ pub enum Error {
     Io(String),
     /// Operation timed out.
     Timeout(String),
+    /// Admission control shed this work: a quota, concurrency limit or
+    /// queue watermark refused it. Retryable — pressure is transient and
+    /// backing off is exactly the desired client reaction.
+    Overloaded(String),
+    /// The caller's deadline expired before the work finished. Never
+    /// retryable: the client has already given up, so retrying only adds
+    /// load precisely when the system can least afford it.
+    DeadlineExceeded(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
 }
@@ -45,7 +53,10 @@ impl Error {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            Error::Unavailable(_) | Error::Timeout(_) | Error::ProcessingFailed(_)
+            Error::Unavailable(_)
+                | Error::Timeout(_)
+                | Error::ProcessingFailed(_)
+                | Error::Overloaded(_)
         )
     }
 }
@@ -69,6 +80,8 @@ impl fmt::Display for Error {
             Error::Sql(s) => write!(f, "sql error: {s}"),
             Error::Io(s) => write!(f, "io error: {s}"),
             Error::Timeout(s) => write!(f, "timeout: {s}"),
+            Error::Overloaded(s) => write!(f, "overloaded: {s}"),
+            Error::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -104,8 +117,22 @@ mod tests {
         assert!(Error::Unavailable("x".into()).is_retryable());
         assert!(Error::Timeout("x".into()).is_retryable());
         assert!(Error::ProcessingFailed("x".into()).is_retryable());
+        // shed work is worth retrying after backoff...
+        assert!(Error::Overloaded("quota".into()).is_retryable());
+        // ...but an expired deadline never is: the caller already gave up
+        assert!(!Error::DeadlineExceeded("budget spent".into()).is_retryable());
         assert!(!Error::NotFound("x".into()).is_retryable());
         assert!(!Error::Corruption("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn overload_display_contains_payload() {
+        assert!(Error::Overloaded("tenant rider-app over quota".into())
+            .to_string()
+            .contains("tenant rider-app over quota"));
+        assert!(Error::DeadlineExceeded("5ms over".into())
+            .to_string()
+            .contains("5ms over"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod error;
 pub mod json;
 pub mod membership;
 pub mod metrics;
+pub mod overload;
 pub mod record;
 pub mod schema;
 pub mod time;
@@ -26,6 +27,10 @@ pub use chaos::{FaultKind, FaultPlan, FaultPoint, RetryPolicy, Trigger};
 pub use error::{Error, Result};
 pub use membership::{
     Membership, MembershipConfig, MembershipEvent, MembershipListener, NodeState,
+};
+pub use overload::{
+    AdmissionConfig, AdmissionController, AdmissionStats, Deadline, Permit, Priority, Quota,
+    RateLimiter, ShedReason,
 };
 pub use record::{Record, RecordHeaders};
 pub use schema::{Field, FieldType, Schema};

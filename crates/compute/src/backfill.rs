@@ -83,7 +83,9 @@ pub fn kafka_replay_job(
     // verify the requested range is still retained: the earliest retained
     // record in each partition must be no newer than `from`
     for p in 0..topic.num_partitions() {
-        let log = topic.partition(p).expect("partition exists");
+        let log = topic
+            .partition(p)
+            .ok_or_else(|| Error::NotFound(format!("topic '{}' partition {p}", topic.name())))?;
         let start = log.log_start_offset();
         if let Ok(fetch) = log.fetch(start, 1) {
             if let Some(first) = fetch.records.first() {
@@ -97,7 +99,7 @@ pub fn kafka_replay_job(
             }
         }
     }
-    let source = TopicSource::bounded(topic);
+    let source = TopicSource::bounded(topic)?;
     Ok(Job::new(name, Box::new(source), operators, sink))
 }
 
@@ -106,7 +108,11 @@ pub fn kafka_replay_job(
 /// and Kappa+ (always possible).
 pub fn kafka_retains(topic: &Topic, from: Timestamp) -> bool {
     (0..topic.num_partitions()).all(|p| {
-        let log = topic.partition(p).expect("partition exists");
+        // a missing partition means the range cannot be replayed — answer
+        // "not retained" instead of panicking
+        let Some(log) = topic.partition(p) else {
+            return false;
+        };
         match log.fetch(log.log_start_offset(), 1) {
             Ok(f) => f
                 .records

@@ -12,8 +12,11 @@
 use crate::runtime::{
     run_staged_with, Executor, ExecutorConfig, Job, JobRunStats, StagedConfig, StagedRunStats,
 };
+use crate::source::SourceThrottle;
 use parking_lot::RwLock;
-use rtdi_common::{Error, MembershipEvent, MembershipListener, NodeState, Result};
+use rtdi_common::{
+    Clock, Error, MembershipEvent, MembershipListener, NodeState, PipelineTracer, Result,
+};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Weak};
 
@@ -105,12 +108,25 @@ pub struct ManagedJobInfo {
     pub pending_restart: bool,
 }
 
+/// Saturation watch: the freshness tracer's backlog signal wired to a
+/// source throttle, plus the staleness level at which the platform is
+/// considered saturated.
+struct SaturationWatch {
+    tracer: PipelineTracer,
+    clock: Arc<dyn Clock>,
+    threshold_ms: i64,
+    throttle: SourceThrottle,
+    /// Per-poll cap applied to throttled sources while saturated.
+    throttled_cap: usize,
+}
+
 /// The job manager: deploy, supervise, recover, rescale.
 pub struct JobManager {
     executor_config: ExecutorConfig,
     max_restarts: u32,
     jobs: RwLock<BTreeMap<String, ManagedJobInfo>>,
     rules: Vec<HealthRule>,
+    saturation: RwLock<Option<SaturationWatch>>,
 }
 
 impl JobManager {
@@ -120,7 +136,64 @@ impl JobManager {
             max_restarts,
             jobs: RwLock::new(BTreeMap::new()),
             rules: Self::default_rules(),
+            saturation: RwLock::new(None),
         }
+    }
+
+    /// Wire the freshness tracer's backlog signal into the manager: while
+    /// any traced pipeline is more than `threshold_ms` stale, the manager
+    /// refuses new deployments and caps every source wrapped with the
+    /// returned [`SourceThrottle`] at `throttled_cap` records per poll.
+    pub fn watch_saturation(
+        &self,
+        tracer: PipelineTracer,
+        clock: Arc<dyn Clock>,
+        threshold_ms: i64,
+        throttled_cap: usize,
+    ) -> SourceThrottle {
+        let throttle = SourceThrottle::new();
+        *self.saturation.write() = Some(SaturationWatch {
+            tracer,
+            clock,
+            threshold_ms,
+            throttle: throttle.clone(),
+            throttled_cap: throttled_cap.max(1),
+        });
+        throttle
+    }
+
+    /// Pipelines currently staler than the saturation threshold, with
+    /// their staleness, in name order.
+    pub fn saturated_pipelines(&self) -> Vec<(String, i64)> {
+        let watch = self.saturation.read();
+        let Some(w) = watch.as_ref() else {
+            return Vec::new();
+        };
+        let now = w.clock.now();
+        w.tracer
+            .pipelines()
+            .into_iter()
+            .filter_map(|p| {
+                let stale = w.tracer.staleness_ms(&p, now)?;
+                (stale > w.threshold_ms).then_some((p, stale))
+            })
+            .collect()
+    }
+
+    /// Re-evaluate the backlog signal and apply/release the source
+    /// throttle. Returns whether the platform is currently saturated.
+    /// Called periodically by the deployment loop (tests call it
+    /// directly).
+    pub fn tick_saturation(&self) -> bool {
+        let saturated = !self.saturated_pipelines().is_empty();
+        if let Some(w) = self.saturation.read().as_ref() {
+            if saturated {
+                w.throttle.set_cap(w.throttled_cap);
+            } else {
+                w.throttle.clear();
+            }
+        }
+        saturated
     }
 
     /// The default rule set the paper's description implies: restart stuck
@@ -198,6 +271,15 @@ impl JobManager {
         }
         if self.jobs.read().contains_key(&spec.name) {
             return Err(Error::AlreadyExists(format!("job '{}'", spec.name)));
+        }
+        // overload protection: a saturated platform takes no new work —
+        // deploying into a backlog only deepens it (retryable, so the
+        // deployment loop tries again once the pipelines catch up)
+        if let Some((pipeline, stale)) = self.saturated_pipelines().into_iter().next() {
+            return Err(Error::Overloaded(format!(
+                "deployment of '{}' refused: pipeline '{pipeline}' is {stale}ms stale",
+                spec.name
+            )));
         }
         // instantiate once to catch construction panics/config errors early
         let job = (spec.factory)();
@@ -729,6 +811,55 @@ mod tests {
         let spec = simple_spec("surge2", sink2);
         jm.supervise(&spec).unwrap();
         assert_eq!(jm.status("surge2").unwrap().status, JobStatus::Finished);
+    }
+
+    #[test]
+    fn saturation_refuses_deployments_and_throttles_sources() {
+        use crate::source::{Source, ThrottledSource};
+        use rtdi_common::SimClock;
+
+        let jm = JobManager::new(ExecutorConfig::default(), 3);
+        let tracer = PipelineTracer::new();
+        let clock = Arc::new(SimClock::new(0));
+        let throttle = jm.watch_saturation(tracer.clone(), clock.clone(), 10_000, 2);
+
+        // trace a hop so the pipeline has an origin timestamp
+        let mut rec = Record::new(Row::new().with("i", 1i64), 0);
+        PipelineTracer::stamp(&mut rec, 0);
+        tracer.observe_hop("surge", "ingest", &mut rec, 0);
+
+        // fresh: deployments admitted, sources unthrottled
+        assert!(!jm.tick_saturation());
+        let sink = CollectSink::new();
+        jm.validate(&simple_spec("fresh-ok", sink.clone())).unwrap();
+        assert_eq!(throttle.cap(), None);
+
+        // backlog grows past the threshold: refuse and throttle
+        clock.advance(30_000);
+        assert!(jm.tick_saturation());
+        let refused = jm.validate(&simple_spec("too-late", sink.clone()));
+        assert!(matches!(refused, Err(Error::Overloaded(_))), "{refused:?}");
+        assert!(
+            refused.unwrap_err().is_retryable(),
+            "deployment loop may retry once drained"
+        );
+        assert_eq!(throttle.cap(), Some(2));
+        let mut src = ThrottledSource::new(
+            Box::new(VecSource::from_rows(
+                (0..10).map(|i| (i, Row::new().with("i", i))).collect(),
+            )),
+            throttle.clone(),
+        );
+        assert_eq!(src.poll_batch(100).unwrap().len(), 2, "cap applied");
+
+        // pipeline catches up: throttle released, deployments admitted
+        let mut rec = Record::new(Row::new().with("i", 2i64), 30_000);
+        PipelineTracer::stamp(&mut rec, 30_000);
+        tracer.observe_hop("surge", "ingest", &mut rec, 30_000);
+        assert!(!jm.tick_saturation());
+        assert_eq!(throttle.cap(), None);
+        assert_eq!(src.poll_batch(100).unwrap().len(), 8, "uncapped again");
+        jm.validate(&simple_spec("recovered", sink)).unwrap();
     }
 
     #[test]

@@ -473,15 +473,26 @@ pub fn run_staged_with(mut job: Job, config: &StagedConfig) -> Result<StagedRunS
     let records_out = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let checkpoints_taken = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
+    // pair stages with their channels before any thread exists, so a
+    // topology mismatch is an error on this thread — never a panicking
+    // worker wedging the scope
+    if receivers.len() != n_ops + 1 {
+        return Err(Error::Internal(format!(
+            "staged topology mismatch: {} channels for {n_ops} stages",
+            receivers.len()
+        )));
+    }
+    let sink_rx = receivers
+        .pop()
+        .ok_or_else(|| Error::Internal("staged topology missing sink channel".into()))?;
+    let stage_inputs: Vec<(Box<dyn Operator>, crossbeam::channel::Receiver<StagedMsg>)> =
+        job.operators.drain(..).zip(receivers).collect();
+
     let (pump_res, stage_outcomes, sink_err) = std::thread::scope(|scope| {
         // operator stages
-        let mut rx_iter = receivers.into_iter();
-        let mut prev_rx = rx_iter.next().expect("at least one channel");
         let mut handles = Vec::with_capacity(n_ops);
-        for (i, mut op) in job.operators.drain(..).enumerate() {
-            let rx = prev_rx;
+        for (i, (mut op, rx)) in stage_inputs.into_iter().enumerate() {
             let tx = senders[i + 1].clone();
-            prev_rx = rx_iter.next().expect("channel per stage");
             handles.push(scope.spawn(move || -> (StageStats, Option<Error>) {
                 let mut st = StageStats {
                     stage: op.name().to_string(),
@@ -560,7 +571,6 @@ pub fn run_staged_with(mut job: Job, config: &StagedConfig) -> Result<StagedRunS
         }
 
         // sink stage
-        let sink_rx = prev_rx;
         let out_counter = records_out.clone();
         let ckpt_counter = checkpoints_taken.clone();
         let mut sink = job.sink;

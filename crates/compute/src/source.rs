@@ -13,9 +13,10 @@
 //!   historic data with throttling").
 
 use crate::operator::STREAM_TAG;
-use rtdi_common::{Record, Result, Row, Timestamp};
+use rtdi_common::{Error, Record, Result, Row, Timestamp};
 use rtdi_storage::hive::HiveTable;
 use rtdi_stream::topic::Topic;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A record source with checkpointable progress.
@@ -124,18 +125,28 @@ impl TopicSource {
     }
 
     /// Bounded: reads from the current log start to the current end.
-    pub fn bounded(topic: Arc<Topic>) -> Self {
+    /// Errors (rather than panicking) if the topic's partition map is
+    /// inconsistent — e.g. a partition dropped between the watermark
+    /// snapshot and here.
+    pub fn bounded(topic: Arc<Topic>) -> Result<Self> {
         let ends = topic.high_watermarks();
         let n = topic.num_partitions();
         let starts = (0..n)
-            .map(|p| topic.partition(p).expect("exists").log_start_offset())
-            .collect();
-        TopicSource {
+            .map(|p| {
+                topic
+                    .partition(p)
+                    .map(|part| part.log_start_offset())
+                    .ok_or_else(|| {
+                        Error::NotFound(format!("topic '{}' partition {p}", topic.name()))
+                    })
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(TopicSource {
             topic,
             positions: starts,
             end_offsets: Some(ends),
             next_partition: 0,
-        }
+        })
     }
 }
 
@@ -352,6 +363,77 @@ impl Source for HiveSource {
     }
 }
 
+/// A shared per-poll cap the job manager tightens when the platform is
+/// saturated (backlog growing faster than it drains) and clears once the
+/// pipeline catches up. Cheap to clone; 0 means unthrottled.
+#[derive(Clone, Debug, Default)]
+pub struct SourceThrottle {
+    cap: Arc<AtomicUsize>,
+}
+
+impl SourceThrottle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap every throttled source at `records_per_poll` (min 1).
+    pub fn set_cap(&self, records_per_poll: usize) {
+        self.cap.store(records_per_poll.max(1), Ordering::Relaxed);
+    }
+
+    /// Remove the cap.
+    pub fn clear(&self) {
+        self.cap.store(0, Ordering::Relaxed);
+    }
+
+    pub fn cap(&self) -> Option<usize> {
+        match self.cap.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    fn limit(&self, max: usize) -> usize {
+        self.cap().map_or(max, |c| max.min(c))
+    }
+}
+
+/// Wraps any source with a [`SourceThrottle`]: the saturation-reaction
+/// path of the job manager — back-pressure applied at the intake instead
+/// of letting an overloaded pipeline build unbounded in-flight state.
+pub struct ThrottledSource {
+    inner: Box<dyn Source>,
+    throttle: SourceThrottle,
+}
+
+impl ThrottledSource {
+    pub fn new(inner: Box<dyn Source>, throttle: SourceThrottle) -> Self {
+        ThrottledSource { inner, throttle }
+    }
+}
+
+impl Source for ThrottledSource {
+    fn poll_batch(&mut self, max: usize) -> Result<Vec<Record>> {
+        self.inner.poll_batch(self.throttle.limit(max))
+    }
+
+    fn poll_batch_shared(&mut self, max: usize) -> Result<Vec<Arc<Record>>> {
+        self.inner.poll_batch_shared(self.throttle.limit(max))
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+
+    fn position(&self) -> Vec<u64> {
+        self.inner.position()
+    }
+
+    fn seek(&mut self, position: &[u64]) -> Result<()> {
+        self.inner.seek(position)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,8 +473,8 @@ mod tests {
         assert_eq!(s.position(), vec![4]);
         // topic source: shared poll matches the owned poll record-for-record
         let t = topic(2, 10);
-        let mut a = TopicSource::bounded(t.clone());
-        let mut b = TopicSource::bounded(t);
+        let mut a = TopicSource::bounded(t.clone()).unwrap();
+        let mut b = TopicSource::bounded(t).unwrap();
         let owned = a.poll_batch(10).unwrap();
         let shared: Vec<Record> = b
             .poll_batch_shared(10)
@@ -407,7 +489,7 @@ mod tests {
     #[test]
     fn bounded_topic_source_reads_to_snapshot_end() {
         let t = topic(3, 30);
-        let mut s = TopicSource::bounded(t.clone());
+        let mut s = TopicSource::bounded(t.clone()).unwrap();
         // records appended after construction are not part of this run
         t.append(
             Record::new(Row::new().with("i", 999i64), 0).with_key("late"),
@@ -438,11 +520,11 @@ mod tests {
     #[test]
     fn topic_source_checkpoint_roundtrip() {
         let t = topic(2, 20);
-        let mut s = TopicSource::bounded(t.clone());
+        let mut s = TopicSource::bounded(t.clone()).unwrap();
         s.poll_batch(6).unwrap();
         let pos = s.position();
         let consumed_after: usize = {
-            let mut s2 = TopicSource::bounded(t);
+            let mut s2 = TopicSource::bounded(t).unwrap();
             s2.seek(&pos).unwrap();
             let mut n = 0;
             while !s2.is_exhausted() {

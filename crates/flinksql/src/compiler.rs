@@ -52,7 +52,7 @@ pub fn compile_streaming(
     options: &CompileOptions,
 ) -> Result<Job> {
     let source: Box<dyn Source> = if options.bounded {
-        Box::new(TopicSource::bounded(topic))
+        Box::new(TopicSource::bounded(topic)?)
     } else {
         Box::new(TopicSource::unbounded(topic))
     };

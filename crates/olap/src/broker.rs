@@ -12,7 +12,7 @@ use crate::scatter::scatter;
 use crate::segment::Segment;
 use parking_lot::RwLock;
 use rtdi_common::{chaos, fault_point};
-use rtdi_common::{Error, FaultPoint, Result};
+use rtdi_common::{AdmissionController, Error, FaultPoint, Permit, Priority, Result};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -121,6 +121,10 @@ pub struct Broker {
     partition_aware: RwLock<BTreeMap<String, bool>>,
     /// Scatter-phase worker threads (0 = one per available core).
     parallelism: AtomicUsize,
+    /// Optional admission gate in front of the scatter: per-table tenant
+    /// quotas, concurrency permits and queue watermarks; shed queries
+    /// surface `Error::Overloaded` before touching any server.
+    admission: RwLock<Option<Arc<AdmissionController>>>,
 }
 
 impl Broker {
@@ -130,6 +134,7 @@ impl Broker {
             routing: RwLock::new(BTreeMap::new()),
             partition_aware: RwLock::new(BTreeMap::new()),
             parallelism: AtomicUsize::new(0),
+            admission: RwLock::new(None),
         }
     }
 
@@ -141,6 +146,34 @@ impl Broker {
 
     pub fn set_parallelism(&self, threads: usize) {
         self.parallelism.store(threads, Ordering::Relaxed);
+    }
+
+    /// Gate queries behind an admission controller (tenant = table name,
+    /// lane = the query's priority).
+    pub fn set_admission(&self, admission: Arc<AdmissionController>) {
+        *self.admission.write() = Some(admission);
+    }
+
+    /// Admit a query (or refuse it with `Error::Overloaded`). The permit
+    /// holds one broker concurrency slot for the query's lifetime.
+    fn admit<'a>(
+        &self,
+        query: &Query,
+        ac: &'a Option<Arc<AdmissionController>>,
+    ) -> Result<Option<Permit<'a>>> {
+        match ac {
+            Some(ac) => Ok(Some(ac.admit(&query.table, query.priority)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Scatter parallelism for a query: the backfill lane runs on a
+    /// single worker so batch scans never crowd interactive capacity.
+    fn lane_parallelism(&self, query: &Query) -> usize {
+        match query.priority {
+            Priority::Backfill => 1,
+            Priority::Interactive => self.parallelism.load(Ordering::Relaxed),
+        }
     }
 
     pub fn servers(&self) -> &[Arc<ServerNode>] {
@@ -283,8 +316,10 @@ impl Broker {
         if query.is_aggregation() {
             return Ok(self.query_partial(query)?.finalize(query));
         }
+        let ac = self.admission.read().clone();
+        let _permit = self.admit(query, &ac)?;
         let (plan, segments_pruned) = self.plan(query)?;
-        let threads = self.parallelism.load(Ordering::Relaxed);
+        let threads = self.lane_parallelism(query);
         let total_segments = plan.len();
         let mut segments_unavailable = plan.iter().filter(|(_, c)| c.is_empty()).count() as u64;
         let live: Vec<(String, Vec<usize>)> =
@@ -296,11 +331,18 @@ impl Broker {
         let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
         let partials = scatter(live.len(), threads, |i| {
             let (segment, candidates) = &live[i];
+            // servers check the deadline between segments: an expired
+            // budget sheds the remaining segments instead of serving them
+            if let Some(d) = &query.deadline {
+                d.check(segment)?;
+            }
             self.serve_with_failover(segment, candidates, |srv, seg| {
                 srv.execute_select(seg, query)
             })
         });
         let mut rows = Vec::new();
+        let mut segments_shed = 0u64;
+        let mut deadline_exceeded = false;
         for r in partials {
             match r {
                 Ok(r) => {
@@ -308,11 +350,21 @@ impl Broker {
                     docs_scanned += r.docs_scanned;
                     rows.extend(r.rows);
                 }
+                Err(Error::DeadlineExceeded(_)) => {
+                    segments_shed += 1;
+                    deadline_exceeded = true;
+                }
                 Err(e) if degradable(&e) => segments_unavailable += 1,
                 Err(e) => return Err(e),
             }
         }
         if total_segments > 0 && segments_queried == 0 {
+            if deadline_exceeded {
+                return Err(Error::DeadlineExceeded(format!(
+                    "table '{}': deadline expired before any segment was served",
+                    query.table
+                )));
+            }
             return Err(Error::Unavailable(format!(
                 "table '{}' fully unavailable: 0/{total_segments} segments served",
                 query.table
@@ -323,9 +375,11 @@ impl Broker {
             rows,
             docs_scanned,
             segments_queried,
-            partial: segments_unavailable > 0,
+            partial: segments_unavailable > 0 || deadline_exceeded,
             segments_unavailable,
             segments_pruned,
+            deadline_exceeded,
+            segments_shed,
             ..Default::default()
         })
     }
@@ -335,8 +389,10 @@ impl Broker {
     /// SQL federation layer unions with offline segment partials across
     /// the realtime/offline time boundary.
     pub fn query_partial(&self, query: &Query) -> Result<PartialResult> {
+        let ac = self.admission.read().clone();
+        let _permit = self.admit(query, &ac)?;
         let (plan, segments_pruned) = self.plan(query)?;
-        let threads = self.parallelism.load(Ordering::Relaxed);
+        let threads = self.lane_parallelism(query);
         let total_segments = plan.len();
         let mut segments_unavailable = plan.iter().filter(|(_, c)| c.is_empty()).count() as u64;
         let live: Vec<(String, Vec<usize>)> =
@@ -346,11 +402,16 @@ impl Broker {
         let degradable = |e: &Error| matches!(e, Error::Unavailable(_) | Error::Timeout(_));
         let parts = scatter(live.len(), threads, |i| {
             let (segment, candidates) = &live[i];
+            if let Some(d) = &query.deadline {
+                d.check(segment)?;
+            }
             self.serve_with_failover(segment, candidates, |srv, seg| {
                 srv.execute_partial(seg, query)
             })
         });
         let mut merged = PartialAgg::default();
+        let mut segments_shed = 0u64;
+        let mut deadline_exceeded = false;
         for part in parts {
             match part {
                 Ok(part) => {
@@ -358,11 +419,21 @@ impl Broker {
                     docs_scanned += part.docs_scanned;
                     merged.merge(part, query);
                 }
+                Err(Error::DeadlineExceeded(_)) => {
+                    segments_shed += 1;
+                    deadline_exceeded = true;
+                }
                 Err(e) if degradable(&e) => segments_unavailable += 1,
                 Err(e) => return Err(e),
             }
         }
         if total_segments > 0 && segments_queried == 0 {
+            if deadline_exceeded {
+                return Err(Error::DeadlineExceeded(format!(
+                    "table '{}': deadline expired before any segment was served",
+                    query.table
+                )));
+            }
             return Err(Error::Unavailable(format!(
                 "table '{}' fully unavailable: 0/{total_segments} segments served",
                 query.table
@@ -373,8 +444,10 @@ impl Broker {
             docs_scanned,
             segments_queried,
             segments_pruned,
-            partial: segments_unavailable > 0,
+            partial: segments_unavailable > 0 || deadline_exceeded,
             segments_unavailable,
+            deadline_exceeded,
+            segments_shed,
         })
     }
 
@@ -606,5 +679,106 @@ mod tests {
             .or_else(|_| broker.servers()[0].fetch_segment("s0"));
         assert!(from_peer.is_ok());
         assert!(broker.servers()[2].fetch_segment("zzz").is_err());
+    }
+
+    /// A clock that advances a fixed step on every read, so a deadline can
+    /// expire mid-scatter without real sleeps.
+    struct TickClock {
+        now: std::sync::atomic::AtomicI64,
+        step: i64,
+    }
+
+    impl rtdi_common::Clock for TickClock {
+        fn now(&self) -> rtdi_common::Timestamp {
+            self.now
+                .fetch_add(self.step, std::sync::atomic::Ordering::SeqCst)
+                + self.step
+        }
+    }
+
+    #[test]
+    fn expired_deadline_sheds_remaining_segments_as_partial() {
+        let broker = setup();
+        broker.set_parallelism(1);
+        let clock = Arc::new(TickClock {
+            now: std::sync::atomic::AtomicI64::new(0),
+            step: 10,
+        });
+        // budget covers two per-segment checks (t=10, t=20) and expires
+        // before the third (t=30): the rest of the scatter is shed
+        let q = Query::select_all("t")
+            .aggregate("n", AggFn::Count)
+            .with_deadline(rtdi_common::Deadline::at(clock, 25));
+        let res = broker.query(&q).unwrap();
+        assert_eq!(res.segments_queried, 2);
+        assert_eq!(res.segments_shed, 4);
+        assert!(res.deadline_exceeded);
+        assert!(res.partial);
+        assert_eq!(res.rows[0].get_int("n"), Some(200));
+        // a deadline that is already spent before the first segment is a
+        // hard error, not an empty partial answer
+        let clock = Arc::new(TickClock {
+            now: std::sync::atomic::AtomicI64::new(0),
+            step: 10,
+        });
+        let q = Query::select_all("t")
+            .aggregate("n", AggFn::Count)
+            .with_deadline(rtdi_common::Deadline::at(clock, 5));
+        assert!(matches!(broker.query(&q), Err(Error::DeadlineExceeded(_))));
+    }
+
+    #[test]
+    fn admission_control_sheds_when_saturated() {
+        use rtdi_common::{AdmissionConfig, SimClock};
+        let broker = setup();
+        let clock = Arc::new(SimClock::new(0));
+        let ac = Arc::new(AdmissionController::new(
+            clock,
+            AdmissionConfig {
+                queue_high_watermark: 8,
+                queue_low_watermark: 4,
+                ..Default::default()
+            },
+        ));
+        broker.set_admission(ac.clone());
+        let q = Query::select_all("t").aggregate("n", AggFn::Count);
+        assert!(broker.query(&q).is_ok());
+        // queue depth over the high watermark trips shedding for all lanes
+        ac.set_queue_depth(9);
+        assert!(matches!(broker.query(&q), Err(Error::Overloaded(_))));
+        // hysteresis: recovery requires dropping below the low watermark
+        ac.set_queue_depth(6);
+        assert!(matches!(broker.query(&q), Err(Error::Overloaded(_))));
+        ac.set_queue_depth(3);
+        let res = broker.query(&q).unwrap();
+        assert_eq!(res.rows[0].get_int("n"), Some(600));
+        let stats = ac.stats();
+        assert_eq!(stats.offered, stats.admitted + stats.shed_total());
+    }
+
+    #[test]
+    fn backfill_lane_runs_serial_and_sheds_first() {
+        use rtdi_common::{AdmissionConfig, SimClock};
+        let broker = setup();
+        broker.set_parallelism(4);
+        let q = Query::select_all("t")
+            .aggregate("n", AggFn::Count)
+            .lane(Priority::Backfill);
+        assert_eq!(broker.lane_parallelism(&q), 1);
+        let interactive = Query::select_all("t").aggregate("n", AggFn::Count);
+        assert_eq!(broker.lane_parallelism(&interactive), 4);
+        // between the watermarks only the backfill lane is refused
+        let ac = Arc::new(AdmissionController::new(
+            Arc::new(SimClock::new(0)),
+            AdmissionConfig {
+                queue_high_watermark: 8,
+                queue_low_watermark: 4,
+                ..Default::default()
+            },
+        ));
+        broker.set_admission(ac.clone());
+        ac.set_queue_depth(6);
+        assert!(matches!(broker.query(&q), Err(Error::Overloaded(_))));
+        assert!(broker.query(&interactive).is_ok());
     }
 }

@@ -6,7 +6,7 @@
 //! subqueries deliberately do not exist here — they live in the full SQL
 //! layer (`rtdi-sql`), which pushes what it can down to this model.
 
-use rtdi_common::{AggFn, Row, Value};
+use rtdi_common::{AggFn, Deadline, Priority, Row, Value};
 use std::sync::Arc;
 
 /// Comparison operators supported by predicates.
@@ -91,6 +91,13 @@ pub struct Query {
     /// one of these partition ids are consulted (derived by the SQL
     /// optimizer from partition-key equality predicates).
     pub partitions: Option<Arc<Vec<usize>>>,
+    /// Abort-by deadline: servers check it between segments and return a
+    /// partial result covering whatever they finished (degraded serving,
+    /// not an error). `None` = unbounded.
+    pub deadline: Option<Deadline>,
+    /// Scheduling lane; brokers with admission control shed the backfill
+    /// lane first under pressure.
+    pub priority: Priority,
 }
 
 impl Query {
@@ -104,6 +111,8 @@ impl Query {
             order_by: Vec::new(),
             limit: None,
             partitions: None,
+            deadline: None,
+            priority: Priority::default(),
         }
     }
 
@@ -152,6 +161,29 @@ impl Query {
         self
     }
 
+    /// Attach an abort-by deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Route the query onto a scheduling lane.
+    pub fn lane(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The same query with deadline/priority stripped — the canonical
+    /// shape used for result-cache keys, so two identical queries issued
+    /// at different times (hence different absolute deadlines) share a
+    /// cache entry.
+    pub fn cache_shape(&self) -> Query {
+        let mut q = self.clone();
+        q.deadline = None;
+        q.priority = Priority::default();
+        q
+    }
+
     pub fn is_aggregation(&self) -> bool {
         !self.aggregations.is_empty()
     }
@@ -178,6 +210,12 @@ pub struct QueryResult {
     /// no document could match (lazy segments skip column reads
     /// entirely).
     pub segments_pruned: u64,
+    /// True when the query's deadline expired mid-scan and the result
+    /// covers only the segments finished in time.
+    pub deadline_exceeded: bool,
+    /// Segments shed because the deadline expired before they were
+    /// served (disjoint from `segments_unavailable`).
+    pub segments_shed: u64,
 }
 
 /// A partially-executed aggregation query plus its execution statistics —
@@ -194,6 +232,8 @@ pub struct PartialResult {
     pub segments_pruned: u64,
     pub partial: bool,
     pub segments_unavailable: u64,
+    pub deadline_exceeded: bool,
+    pub segments_shed: u64,
 }
 
 impl PartialResult {
@@ -204,6 +244,8 @@ impl PartialResult {
         self.segments_pruned += other.segments_pruned;
         self.partial |= other.partial;
         self.segments_unavailable += other.segments_unavailable;
+        self.deadline_exceeded |= other.deadline_exceeded;
+        self.segments_shed += other.segments_shed;
         self.agg.merge(other.agg, query);
     }
 
@@ -218,6 +260,8 @@ impl PartialResult {
             partial: self.partial,
             segments_unavailable: self.segments_unavailable,
             segments_pruned: self.segments_pruned,
+            deadline_exceeded: self.deadline_exceeded,
+            segments_shed: self.segments_shed,
         }
     }
 }

@@ -375,6 +375,15 @@ impl OlapTable {
             if !query.admits_partition(Some(p)) {
                 continue;
             }
+            // consuming segments serve the freshest data and go first, so
+            // a blown deadline sheds historical segments before fresh ones
+            if let Some(d) = &query.deadline {
+                if d.expired() {
+                    out.segments_shed += 1;
+                    out.deadline_exceeded = true;
+                    continue;
+                }
+            }
             let st = state.read();
             let valid: Option<Bitmap> = if self.config.upsert {
                 st.pk_index.valid_docs(st.consuming.name()).cloned()
@@ -390,14 +399,32 @@ impl OlapTable {
         out.segments_pruned = segments_pruned;
         let parts = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
             let (seg, valid) = &tasks[i];
+            if let Some(d) = &query.deadline {
+                d.check(seg.name())?;
+            }
             seg.execute_partial(query, valid.as_ref())
         });
         for part in parts {
-            let part = part?;
-            out.segments_queried += 1;
-            out.docs_scanned += part.docs_scanned;
-            merged.merge(part, query);
+            match part {
+                Ok(part) => {
+                    out.segments_queried += 1;
+                    out.docs_scanned += part.docs_scanned;
+                    merged.merge(part, query);
+                }
+                Err(Error::DeadlineExceeded(_)) => {
+                    out.segments_shed += 1;
+                    out.deadline_exceeded = true;
+                }
+                Err(e) => return Err(e),
+            }
         }
+        if out.deadline_exceeded && out.segments_queried == 0 {
+            return Err(Error::DeadlineExceeded(format!(
+                "table '{}': deadline expired before any segment was served",
+                self.name()
+            )));
+        }
+        out.partial |= out.deadline_exceeded;
         out.agg = merged;
         Ok(out)
     }
@@ -412,6 +439,8 @@ impl OlapTable {
 
         let mut segments_queried = 0u64;
         let mut docs_scanned = 0u64;
+        let mut segments_shed = 0u64;
+        let mut deadline_exceeded = false;
         let used_startree = false;
 
         // selection: concatenate in task order, then a final sort/limit
@@ -419,6 +448,13 @@ impl OlapTable {
         for (p, state) in self.partitions.iter().enumerate() {
             if !query.admits_partition(Some(p)) {
                 continue;
+            }
+            if let Some(d) = &query.deadline {
+                if d.expired() {
+                    segments_shed += 1;
+                    deadline_exceeded = true;
+                    continue;
+                }
             }
             let st = state.read();
             let valid = if self.config.upsert {
@@ -434,13 +470,30 @@ impl OlapTable {
         let (tasks, segments_pruned) = self.scan_tasks(query);
         let results = crate::scatter::scatter(tasks.len(), self.scatter_threads(&tasks), |i| {
             let (seg, valid) = &tasks[i];
+            if let Some(d) = &query.deadline {
+                d.check(seg.name())?;
+            }
             seg.execute(query, valid.as_ref())
         });
         for r in results {
-            let r = r?;
-            segments_queried += 1;
-            docs_scanned += r.docs_scanned;
-            rows.extend(r.rows);
+            match r {
+                Ok(r) => {
+                    segments_queried += 1;
+                    docs_scanned += r.docs_scanned;
+                    rows.extend(r.rows);
+                }
+                Err(Error::DeadlineExceeded(_)) => {
+                    segments_shed += 1;
+                    deadline_exceeded = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if deadline_exceeded && segments_queried == 0 {
+            return Err(Error::DeadlineExceeded(format!(
+                "table '{}': deadline expired before any segment was served",
+                self.name()
+            )));
         }
         sort_and_limit(&mut rows, &query.order_by, query.limit);
         Ok(QueryResult {
@@ -449,6 +502,9 @@ impl OlapTable {
             segments_queried,
             used_startree,
             segments_pruned,
+            partial: deadline_exceeded,
+            deadline_exceeded,
+            segments_shed,
             ..Default::default()
         })
     }

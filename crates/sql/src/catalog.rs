@@ -277,17 +277,38 @@ impl HybridTable {
             }
         };
 
+        // Deadline-budget split: when both sides run, the offline slice is
+        // granted half the remaining budget so a slow archive scan cannot
+        // starve the fresh side; the realtime slice keeps the parent
+        // deadline (whatever the offline side leaves of it).
+        let offline_q = offline_q.map(|mut q| {
+            if realtime_q.is_some() {
+                if let Some(d) = &base.deadline {
+                    q.deadline = Some(d.with_budget_fraction(1, 2));
+                }
+            }
+            q
+        });
+
         let mut bytes_read = 0u64;
         let mut cache_hit = false;
         let offline_out = match &offline_q {
             None => SliceOutcome::Skipped {
                 segments_pruned: self.offline.read().len() as u64,
             },
-            Some(q) => self.offline_slice(q, boundary, &mut bytes_read, &mut cache_hit)?,
+            // a fully-shed slice degrades the federated answer instead of
+            // failing it — the other side may still be in budget
+            Some(q) => match self.offline_slice(q, boundary, &mut bytes_read, &mut cache_hit) {
+                Err(Error::DeadlineExceeded(_)) => shed_slice(&base),
+                other => other?,
+            },
         };
         let realtime_out = match &realtime_q {
             None => SliceOutcome::Skipped { segments_pruned: 0 },
-            Some(q) => self.realtime_slice(q)?,
+            Some(q) => match self.realtime_slice(q) {
+                Err(Error::DeadlineExceeded(_)) => shed_slice(&base),
+                other => other?,
+            },
         };
 
         let mut result = if base.is_aggregation() {
@@ -313,6 +334,8 @@ impl HybridTable {
                         merged.segments_pruned += r.segments_pruned;
                         merged.partial |= r.partial;
                         merged.segments_unavailable += r.segments_unavailable;
+                        merged.deadline_exceeded |= r.deadline_exceeded;
+                        merged.segments_shed += r.segments_shed;
                     }
                     SliceOutcome::Skipped { segments_pruned } => {
                         merged.segments_pruned += segments_pruned
@@ -324,6 +347,12 @@ impl HybridTable {
             merged
         };
 
+        if result.deadline_exceeded && result.segments_queried == 0 {
+            return Err(Error::DeadlineExceeded(format!(
+                "table '{}': deadline expired before either side served a segment",
+                self.name
+            )));
+        }
         if let Some(agg) = &pushdown.aggregation {
             restore_group_key_types(&mut result.rows, &agg.group_by, &self.schema);
         }
@@ -336,6 +365,8 @@ impl HybridTable {
             segments_pruned: result.segments_pruned,
             bytes_read,
             cache_hit,
+            deadline_exceeded: result.deadline_exceeded,
+            segments_shed: result.segments_shed,
             rows: result.rows,
         })
     }
@@ -382,32 +413,56 @@ impl HybridTable {
         let before: u64 = tasks.iter().map(|s| s.segment.bytes_loaded() as u64).sum();
         let outcome = if query.is_aggregation() {
             let partials = scatter(tasks.len(), self.query_threads, |i| {
+                if let Some(d) = &query.deadline {
+                    d.check(tasks[i].segment.name())?;
+                }
                 tasks[i].segment.execute_partial(query)
             });
             let mut merged = PartialResult {
-                segments_queried: tasks.len() as u64,
                 segments_pruned: pruned,
                 ..Default::default()
             };
             for p in partials {
-                let p = p?;
-                merged.docs_scanned += p.docs_scanned;
-                merged.agg.merge(p, query);
+                match p {
+                    Ok(p) => {
+                        merged.segments_queried += 1;
+                        merged.docs_scanned += p.docs_scanned;
+                        merged.agg.merge(p, query);
+                    }
+                    Err(Error::DeadlineExceeded(_)) => {
+                        merged.segments_shed += 1;
+                        merged.deadline_exceeded = true;
+                        merged.partial = true;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             SliceOutcome::Agg(merged)
         } else {
             let results = scatter(tasks.len(), self.query_threads, |i| {
+                if let Some(d) = &query.deadline {
+                    d.check(tasks[i].segment.name())?;
+                }
                 tasks[i].segment.execute(query)
             });
             let mut merged = QueryResult {
-                segments_queried: tasks.len() as u64,
                 segments_pruned: pruned,
                 ..Default::default()
             };
             for r in results {
-                let r = r?;
-                merged.rows.extend(r.rows);
-                merged.docs_scanned += r.docs_scanned;
+                match r {
+                    Ok(r) => {
+                        merged.segments_queried += 1;
+                        merged.rows.extend(r.rows);
+                        merged.docs_scanned += r.docs_scanned;
+                    }
+                    Err(Error::DeadlineExceeded(_)) => {
+                        merged.segments_shed += 1;
+                        merged.deadline_exceeded = true;
+                        merged.partial = true;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             // Do NOT apply the limit here: the slice is cached and later
             // merged with a live realtime slice, so truncation must wait
@@ -421,19 +476,24 @@ impl HybridTable {
             .sum::<u64>()
             .saturating_sub(before);
 
+        // Never cache a deadline-truncated slice: it covers only the
+        // segments served before the budget ran out, and a later query
+        // with a healthy budget must not replay the truncation.
         let slice = match &outcome {
-            SliceOutcome::Agg(p) => CachedSlice::Agg(p.clone()),
-            SliceOutcome::Rows(r) => CachedSlice::Rows(r.clone()),
-            SliceOutcome::Skipped { .. } => unreachable!(),
+            SliceOutcome::Agg(p) if !p.deadline_exceeded => Some(CachedSlice::Agg(p.clone())),
+            SliceOutcome::Rows(r) if !r.deadline_exceeded => Some(CachedSlice::Rows(r.clone())),
+            _ => None,
         };
-        let mut cache = self.cache.lock();
-        if cache.len() >= CACHE_CAPACITY {
-            // segment events clear the map wholesale; between events a
-            // full map means an unusually diverse query mix — dropping it
-            // costs one recompute per shape, never correctness
-            cache.clear();
+        if let Some(slice) = slice {
+            let mut cache = self.cache.lock();
+            if cache.len() >= CACHE_CAPACITY {
+                // segment events clear the map wholesale; between events a
+                // full map means an unusually diverse query mix — dropping
+                // it costs one recompute per shape, never correctness
+                cache.clear();
+            }
+            cache.insert(key, slice);
         }
-        cache.insert(key, slice);
         Ok(outcome)
     }
 
@@ -444,6 +504,24 @@ impl HybridTable {
             (RealtimeSide::Direct(t), false) => SliceOutcome::Rows(t.query(query)?),
             (RealtimeSide::Brokered(b), true) => SliceOutcome::Agg(b.query_partial(query)?),
             (RealtimeSide::Brokered(b), false) => SliceOutcome::Rows(b.query(query)?),
+        })
+    }
+}
+
+/// A slice whose deadline expired before any segment was served: an empty
+/// degraded contribution so the other side's answer still goes out.
+fn shed_slice(base: &Query) -> SliceOutcome {
+    if base.is_aggregation() {
+        SliceOutcome::Agg(PartialResult {
+            partial: true,
+            deadline_exceeded: true,
+            ..Default::default()
+        })
+    } else {
+        SliceOutcome::Rows(QueryResult {
+            partial: true,
+            deadline_exceeded: true,
+            ..Default::default()
         })
     }
 }
@@ -474,9 +552,12 @@ fn query_time_window(query: &Query, time_column: &str) -> (Option<i64>, Option<i
 }
 
 /// Cache key: normalized query shape + the boundary it was split at + the
-/// segment-inventory version it ran against.
+/// segment-inventory version it ran against. `cache_shape()` strips the
+/// deadline and priority first — an absolute expiry timestamp in the key
+/// would make every repeat of the same dashboard query a cache miss.
 fn cache_key(query: &Query, boundary: Option<i64>, version: u64) -> String {
-    format!("v{version}|b{boundary:?}|{query:?}")
+    let shape = query.cache_shape();
+    format!("v{version}|b{boundary:?}|{shape:?}")
 }
 
 #[cfg(test)]

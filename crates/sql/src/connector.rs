@@ -7,7 +7,7 @@
 //! and limit."
 
 use crate::catalog::HybridTable;
-use rtdi_common::{AggFn, Error, FieldType, Result, Row, Schema, Value};
+use rtdi_common::{AggFn, Deadline, Error, FieldType, Priority, Result, Row, Schema, Value};
 use rtdi_olap::broker::Broker;
 use rtdi_olap::query::{Predicate, Query as OlapQuery, SortOrder};
 use rtdi_olap::table::OlapTable;
@@ -40,6 +40,13 @@ pub struct Pushdown {
     /// Partition-pruned scatter: partition ids derived by the optimizer
     /// from equality predicates on the table's partition column.
     pub partitions: Option<Arc<Vec<usize>>>,
+    /// End-to-end deadline propagated from the engine: connectors shed
+    /// work they cannot finish in budget instead of serving stale answers
+    /// late (degraded-serving, not an error).
+    pub deadline: Option<Deadline>,
+    /// Scheduling lane: backfill scans are the first to be shed and run
+    /// at reduced parallelism.
+    pub priority: Priority,
 }
 
 impl Pushdown {
@@ -82,6 +89,11 @@ pub struct ScanOutput {
     pub bytes_read: u64,
     /// True when the scan was answered from a federation result cache.
     pub cache_hit: bool,
+    /// The scan's deadline expired mid-scatter; `rows` cover only the
+    /// segments served before the budget ran out.
+    pub deadline_exceeded: bool,
+    /// Segments abandoned because the deadline expired.
+    pub segments_shed: u64,
 }
 
 /// A data source exposed to the SQL engine.
@@ -218,6 +230,8 @@ impl Connector for PinotConnector {
             segments_pruned: result.segments_pruned,
             bytes_read: 0,
             cache_hit: false,
+            deadline_exceeded: result.deadline_exceeded,
+            segments_shed: result.segments_shed,
             rows: result.rows,
         })
     }
@@ -231,6 +245,8 @@ pub(crate) fn pushdown_query(table: &str, pushdown: &Pushdown) -> OlapQuery {
     let mut q = OlapQuery::select_all(table);
     q.predicates = Arc::clone(&pushdown.predicates);
     q.partitions = pushdown.partitions.as_ref().map(Arc::clone);
+    q.deadline = pushdown.deadline.clone();
+    q.priority = pushdown.priority;
     if let Some(agg) = &pushdown.aggregation {
         q.aggregations = Arc::clone(&agg.aggs);
         q.group_by = Arc::clone(&agg.group_by);

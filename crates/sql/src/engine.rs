@@ -14,7 +14,7 @@ use crate::expr::{eval, truthy};
 use crate::optimizer::optimize_with;
 use crate::parser::parse_select;
 use crate::plan::{plan_select, AggItem, Plan};
-use rtdi_common::{AggAcc, AggFn, Error, Result, Row, Value};
+use rtdi_common::{AggAcc, AggFn, Deadline, Error, Priority, Result, Row, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -56,6 +56,11 @@ pub struct QueryStats {
     pub bytes_read: u64,
     /// Scans answered entirely from a federation result cache.
     pub cache_hits: u64,
+    /// Some scan's deadline expired mid-scatter and its rows cover only
+    /// the segments served in budget.
+    pub deadline_exceeded: bool,
+    /// Segments abandoned across all scans because a deadline expired.
+    pub segments_shed: u64,
     /// EXPLAIN text of the optimized plan.
     pub plan: String,
 }
@@ -160,7 +165,22 @@ impl SqlEngine {
 
     /// Parse, plan, optimize and execute a SQL query.
     pub fn query(&self, sql: &str) -> Result<QueryOutput> {
-        let plan = self.optimized_plan(sql)?;
+        self.query_with(sql, None, Priority::default())
+    }
+
+    /// Execute with an end-to-end deadline and a scheduling lane. The
+    /// deadline is stamped onto every scan in the plan, so connectors shed
+    /// segments they cannot serve in budget (degraded partial answers)
+    /// instead of running long; backfill-lane scans are the first shed
+    /// under pressure and run at reduced parallelism.
+    pub fn query_with(
+        &self,
+        sql: &str,
+        deadline: Option<Deadline>,
+        priority: Priority,
+    ) -> Result<QueryOutput> {
+        let mut plan = self.optimized_plan(sql)?;
+        stamp_overload(&mut plan, &deadline, priority);
         let mut stats = QueryStats {
             plan: plan.explain(),
             ..Default::default()
@@ -212,6 +232,8 @@ impl SqlEngine {
                 stats.segments_pruned += out.segments_pruned;
                 stats.bytes_read += out.bytes_read;
                 stats.cache_hits += u64::from(out.cache_hit);
+                stats.deadline_exceeded |= out.deadline_exceeded;
+                stats.segments_shed += out.segments_shed;
                 let _ = binding;
                 Ok(out.rows)
             }
@@ -301,6 +323,25 @@ impl SqlEngine {
                 rows.truncate(*n);
                 Ok(rows)
             }
+        }
+    }
+}
+
+/// Stamp a deadline and scheduling lane onto every scan in the plan.
+fn stamp_overload(plan: &mut Plan, deadline: &Option<Deadline>, priority: Priority) {
+    match plan {
+        Plan::Scan { pushdown, .. } => {
+            pushdown.deadline = deadline.clone();
+            pushdown.priority = priority;
+        }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => stamp_overload(input, deadline, priority),
+        Plan::Join { left, right, .. } => {
+            stamp_overload(left, deadline, priority);
+            stamp_overload(right, deadline, priority);
         }
     }
 }
@@ -710,6 +751,62 @@ mod tests {
         assert_eq!(again.stats.cache_hits, 1);
         assert_eq!(again.stats.bytes_read, 0);
         assert_eq!(hybrid.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn deadline_propagates_from_sql_to_scan() {
+        use crate::connector::PinotConnector;
+        use rtdi_common::{FieldType, Schema, SimClock};
+        use rtdi_olap::table::{OlapTable, TableConfig};
+
+        let schema = Schema::of(
+            "trips",
+            &[("city", FieldType::Str), ("fare", FieldType::Double)],
+        );
+        let table = OlapTable::new(
+            TableConfig::new("trips", schema)
+                .with_partitions(1)
+                .with_segment_rows(50),
+        )
+        .unwrap();
+        for i in 0..200 {
+            table
+                .ingest(
+                    0,
+                    Row::new()
+                        .with("city", ["sf", "la"][i % 2])
+                        .with("fare", i as f64),
+                )
+                .unwrap();
+        }
+        let pinot = PinotConnector::new();
+        pinot.register(table);
+        let mut e = SqlEngine::new(EngineConfig::default());
+        e.register_connector("pinot", Arc::new(pinot));
+
+        let clock = Arc::new(SimClock::new(0));
+        let sql = "SELECT COUNT(*) AS n FROM trips";
+        // a live budget serves everything
+        let out = e
+            .query_with(
+                sql,
+                Some(Deadline::within_ms(clock.clone(), 1_000)),
+                Priority::Interactive,
+            )
+            .unwrap();
+        assert!(!out.stats.deadline_exceeded);
+        assert_eq!(out.rows[0].get_int("n"), Some(200));
+        // an already-spent budget is a hard deadline error, not a silent
+        // empty answer
+        clock.advance(2_000);
+        let err = e
+            .query_with(
+                sql,
+                Some(Deadline::within_ms(clock.clone(), 0)),
+                Priority::Interactive,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "{err:?}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum ParkReason {
     Schema,
     /// The downstream service rejects the record non-retryably.
     Poison,
+    /// Admission control shed the record (quota / watermark / permits);
+    /// it is parked instead of dropped so overload never loses data and
+    /// `offered == delivered + parked` holds exactly.
+    Overload,
 }
 
 impl ParkReason {
@@ -31,14 +35,32 @@ impl ParkReason {
             ParkReason::RetriesExhausted => "retries-exhausted",
             ParkReason::Schema => "schema",
             ParkReason::Poison => "poison",
+            ParkReason::Overload => "overload",
+        }
+    }
+
+    /// Inverse of [`ParkReason::as_str`]: parse the value of a
+    /// [`headers::DLQ_REASON`] header back into the enum.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "retries-exhausted" => Some(ParkReason::RetriesExhausted),
+            "schema" => Some(ParkReason::Schema),
+            "poison" => Some(ParkReason::Poison),
+            "overload" => Some(ParkReason::Overload),
+            _ => None,
         }
     }
 
     /// Classify a processing error into a park reason.
     pub fn classify(err: &Error) -> Self {
         match err {
+            // Overloaded is retryable, so this arm must come before the
+            // generic retryable -> RetriesExhausted mapping: a shed
+            // record parks as Overload, not as a processing failure.
+            Error::Overloaded(_) => ParkReason::Overload,
             _ if err.is_retryable() => ParkReason::RetriesExhausted,
             Error::Schema(_) => ParkReason::Schema,
+            Error::DeadlineExceeded(_) => ParkReason::Overload,
             _ => ParkReason::Poison,
         }
     }
@@ -202,6 +224,36 @@ mod tests {
             ParkReason::classify(&Error::InvalidArgument("x".into())),
             ParkReason::Poison
         );
+        // shed work parks as Overload even though Overloaded is
+        // retryable — the Overloaded arm precedes the retryable one
+        assert!(Error::Overloaded("q".into()).is_retryable());
+        assert_eq!(
+            ParkReason::classify(&Error::Overloaded("quota".into())),
+            ParkReason::Overload
+        );
+        assert_eq!(
+            ParkReason::classify(&Error::DeadlineExceeded("late".into())),
+            ParkReason::Overload
+        );
+    }
+
+    #[test]
+    fn park_reason_round_trips_through_header_string() {
+        for reason in [
+            ParkReason::RetriesExhausted,
+            ParkReason::Schema,
+            ParkReason::Poison,
+            ParkReason::Overload,
+        ] {
+            assert_eq!(ParkReason::parse(reason.as_str()), Some(reason));
+        }
+        assert_eq!(ParkReason::parse("gibberish"), None);
+        // and through an actual parked record's headers
+        let dlq = DeadLetterQueue::new("trips").unwrap();
+        dlq.park(rec(1), ParkReason::Overload, "tenant over quota", 7);
+        let parked = dlq.peek(1);
+        let header = parked[0].headers.get(headers::DLQ_REASON).unwrap();
+        assert_eq!(ParkReason::parse(header), Some(ParkReason::Overload));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::log::FetchResult;
 use parking_lot::Mutex;
 use rtdi_common::fault_point;
 use rtdi_common::record::headers;
-use rtdi_common::{Clock, FaultPoint, Record, Result, RetryPolicy, Timestamp, WallClock};
+use rtdi_common::{
+    Clock, Error, FaultPoint, Quota, RateLimiter, Record, Result, RetryPolicy, Timestamp, WallClock,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,6 +70,11 @@ pub struct Producer {
     seq: AtomicU64,
     buffers: Mutex<BTreeMap<String, Vec<Record>>>,
     sent: AtomicU64,
+    /// Per-topic ingress quotas (the paper's Kafka-side client quotas,
+    /// §4.1): a send that exhausts its topic bucket after the retry
+    /// budget surfaces `Error::Overloaded` and is counted as shed.
+    quotas: Mutex<BTreeMap<String, Arc<RateLimiter>>>,
+    shed: AtomicU64,
 }
 
 impl Producer {
@@ -87,7 +94,17 @@ impl Producer {
             seq: AtomicU64::new(0),
             buffers: Mutex::new(BTreeMap::new()),
             sent: AtomicU64::new(0),
+            quotas: Mutex::new(BTreeMap::new()),
+            shed: AtomicU64::new(0),
         }
+    }
+
+    /// Enforce an ingress quota for `topic`, on the producer's clock.
+    pub fn set_topic_quota(&self, topic: &str, quota: Quota) {
+        self.quotas.lock().insert(
+            topic.to_string(),
+            Arc::new(RateLimiter::new(self.clock.clone(), quota)),
+        );
     }
 
     /// Decorate and send (or buffer) one record.
@@ -152,17 +169,41 @@ impl Producer {
     }
 
     fn send_now(&self, topic: &str, record: Record, now: Timestamp) -> Result<()> {
+        let limiter = self.quotas.lock().get(topic).cloned();
         // at-least-once: the shared policy retries only retryable errors
-        // and backs off with deterministic jitter between attempts
+        // and backs off with deterministic jitter between attempts. The
+        // quota check sits inside the retried closure: Overloaded is
+        // retryable, so a throttled send backs off and tries again while
+        // the bucket refills before surfacing.
         let policy = RetryPolicy::new(self.config.max_retries as u32 + 1);
-        policy.run(|_| self.endpoint.send(topic, record.clone(), now))?;
-        self.sent.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        let result = policy.run(|_| {
+            if let Some(limiter) = &limiter {
+                limiter.acquire(1, topic)?;
+            }
+            self.endpoint.send(topic, record.clone(), now)
+        });
+        match result {
+            Ok(_) => {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, Error::Overloaded(_)) {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Records successfully delivered to the endpoint.
     pub fn records_sent(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Records refused by a topic quota (after the retry budget).
+    pub fn records_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 }
 
@@ -260,6 +301,43 @@ mod tests {
         fn num_partitions(&self, topic: &str) -> Result<usize> {
             Ok(self.inner.topic(topic)?.num_partitions())
         }
+    }
+
+    #[test]
+    fn topic_quota_sheds_deterministically_and_refills_with_the_clock() {
+        use rtdi_common::Quota;
+        let (c, clock) = setup();
+        let p = Producer::with_clock(c.clone(), ProducerConfig::default(), clock.clone());
+        p.set_topic_quota("t", Quota::per_sec(1_000).with_burst(3));
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for i in 0..5 {
+            match p.send("t", Record::new(Row::new().with("i", i as i64), 0)) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert!(matches!(e, Error::Overloaded(_)));
+                    assert!(e.is_retryable(), "clients may back off and retry");
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!((accepted, shed), (3, 2), "burst of 3, then quota sheds");
+        assert_eq!(p.records_sent(), 3);
+        assert_eq!(p.records_shed(), 2);
+        assert_eq!(c.topic("t").unwrap().total_records(), 3);
+        // advancing the injected clock refills the bucket: 2ms at 1000/s
+        clock.advance(2);
+        for i in 0..3 {
+            let r = p.send("t", Record::new(Row::new().with("i", i as i64), 0));
+            if i < 2 {
+                r.unwrap();
+            } else {
+                assert!(matches!(r, Err(Error::Overloaded(_))));
+            }
+        }
+        assert_eq!(p.records_sent(), 5);
+        // exact accounting: every offered record is either sent or shed
+        assert_eq!(p.records_sent() + p.records_shed(), 8);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use crate::dlq::{DeadLetterQueue, ParkReason};
 use crate::log::OffsetRecord;
 use parking_lot::Mutex;
 use rtdi_common::record::headers;
-use rtdi_common::{Clock, FaultPoint, PipelineTracer, Record, Result, RetryPolicy};
+use rtdi_common::{
+    AdmissionController, Clock, FaultPoint, PipelineTracer, Priority, Record, Result, RetryPolicy,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +60,16 @@ pub struct ProxyConfig {
     pub max_attempts: usize,
     /// Records fetched per poll per partition.
     pub poll_batch: usize,
+    /// Admission gate consulted per record before dispatch: per-tenant
+    /// quotas (tenant = the producing service from the [`headers::SERVICE`]
+    /// header) plus queue-depth watermarks fed from consumer lag. Shed
+    /// records park to the DLQ as [`ParkReason::Overload`] instead of
+    /// being dropped. `None` disables admission control.
+    pub admission: Option<Arc<AdmissionController>>,
+    /// Bound on records buffered between the poller and the push
+    /// workers; a full buffer blocks the poller (backpressure to the
+    /// fetch side) instead of queueing without limit. 0 = unbounded.
+    pub max_in_flight: usize,
 }
 
 impl Default for ProxyConfig {
@@ -66,6 +78,8 @@ impl Default for ProxyConfig {
             mode: DispatchMode::Push(16),
             max_attempts: 3,
             poll_batch: 256,
+            admission: None,
+            max_in_flight: 1024,
         }
     }
 }
@@ -76,6 +90,10 @@ pub struct DispatchStats {
     pub delivered: u64,
     pub retried: u64,
     pub dead_lettered: u64,
+    /// Records refused by admission control and parked as
+    /// [`ParkReason::Overload`]. Disjoint from `dead_lettered`:
+    /// `delivered + dead_lettered + shed` always equals records offered.
+    pub shed: u64,
 }
 
 /// Tracks out-of-order completions and exposes the contiguous committed
@@ -164,6 +182,12 @@ impl ConsumerProxy {
         group.join("proxy");
         let stats = Arc::new(StatsCells::default());
         loop {
+            // consumer lag is the proxy's queue: feed it to the admission
+            // watermarks so a growing backlog starts shedding before the
+            // proxy drowns
+            if let Some(ac) = &self.config.admission {
+                ac.set_queue_depth(group.lag());
+            }
             let batches = group.poll_partitioned("proxy", self.config.poll_batch)?;
             if batches.is_empty() {
                 if group.lag() == 0 {
@@ -182,6 +206,7 @@ impl ConsumerProxy {
             delivered: stats.delivered.load(Ordering::Relaxed),
             retried: stats.retried.load(Ordering::Relaxed),
             dead_lettered: stats.dead_lettered.load(Ordering::Relaxed),
+            shed: stats.shed.load(Ordering::Relaxed),
         })
     }
 
@@ -214,13 +239,14 @@ impl ConsumerProxy {
                 touched.push(*partition);
             }
         }
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, OffsetRecord)>();
-        for (partition, run) in batches {
-            for rec in run {
-                tx.send((partition, rec)).expect("receiver alive");
-            }
-        }
-        drop(tx);
+        // bounded in-flight buffer: a full channel blocks this feeder
+        // until a worker drains a slot, so overload backpressure reaches
+        // the fetch side instead of growing an unbounded queue
+        let (tx, rx) = if self.config.max_in_flight > 0 {
+            crossbeam::channel::bounded::<(usize, OffsetRecord)>(self.config.max_in_flight)
+        } else {
+            crossbeam::channel::unbounded::<(usize, OffsetRecord)>()
+        };
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let rx = rx.clone();
@@ -233,6 +259,14 @@ impl ConsumerProxy {
                     }
                 });
             }
+            for (partition, run) in batches {
+                for rec in run {
+                    if tx.send((partition, rec)).is_err() {
+                        break;
+                    }
+                }
+            }
+            drop(tx);
         });
         for p in touched {
             if let Some(commit) = tracker.committable(p) {
@@ -242,6 +276,31 @@ impl ConsumerProxy {
     }
 
     fn dispatch_one(&self, record: &Record, stats: &StatsCells) {
+        // admission gate: the tenant is the producing service, the lane
+        // is interactive (the proxy serves live traffic). A refusal
+        // parks the record as Overload — shed, never silently dropped —
+        // and skips the retry budget entirely: retrying against a
+        // tripped quota only adds load.
+        let _permit = if let Some(ac) = &self.config.admission {
+            let tenant = record.headers.get(headers::SERVICE).unwrap_or("unknown");
+            match ac.admit(tenant, Priority::Interactive) {
+                Ok(permit) => Some(permit),
+                Err(e) => {
+                    let mut parked = record.clone();
+                    parked.headers.set(headers::ATTEMPTS, "0");
+                    self.dlq.park(
+                        parked,
+                        ParkReason::classify(&e),
+                        &e.to_string(),
+                        record.timestamp,
+                    );
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        } else {
+            None
+        };
         // the injected fault sits inside the retried closure: a dispatch
         // fault behaves exactly like a downstream failure, including the
         // retry budget and DLQ hand-off
@@ -282,6 +341,7 @@ struct StatsCells {
     delivered: AtomicU64,
     retried: AtomicU64,
     dead_lettered: AtomicU64,
+    shed: AtomicU64,
 }
 
 #[cfg(test)]
@@ -312,6 +372,7 @@ mod tests {
                 mode,
                 max_attempts: 3,
                 poll_batch: 64,
+                ..Default::default()
             },
             service,
             Arc::new(DeadLetterQueue::new("trips").unwrap()),
@@ -372,6 +433,7 @@ mod tests {
                 mode: DispatchMode::Push(4),
                 max_attempts: 2,
                 poll_batch: 32,
+                ..Default::default()
             },
             service,
             dlq.clone(),
@@ -409,6 +471,7 @@ mod tests {
                 mode: DispatchMode::Poll,
                 max_attempts: 3,
                 poll_batch: 32,
+                ..Default::default()
             },
             service,
             dlq.clone(),
@@ -481,6 +544,94 @@ mod tests {
         assert_eq!(stage.count, 20);
         assert!(stage.p99_ms >= 250, "p99={}", stage.p99_ms);
         assert_eq!(stage.max_ms, 250);
+    }
+
+    #[test]
+    fn admission_sheds_to_dlq_with_exact_accounting() {
+        use rtdi_common::{AdmissionConfig, AdmissionController, Quota, SimClock};
+        let t = Arc::new(Topic::new("trips", TopicConfig::default().with_partitions(2)).unwrap());
+        // two tenants: rider-app floods, driver-app stays modest
+        for i in 0..60i64 {
+            let svc = if i % 3 == 0 {
+                "driver-app"
+            } else {
+                "rider-app"
+            };
+            let mut r = Record::new(Row::new().with("i", i), i).with_key(format!("k{i}"));
+            r.headers.set(headers::SERVICE, svc);
+            t.append(r, 0).unwrap();
+        }
+        let group = ConsumerGroup::new("g", TopicSubscription::new(t));
+        let dlq = Arc::new(DeadLetterQueue::new("trips").unwrap());
+        let clock = Arc::new(SimClock::new(0));
+        let admission = Arc::new(AdmissionController::new(
+            clock,
+            AdmissionConfig {
+                default_tenant_quota: Some(Quota::per_sec(10).with_burst(25)),
+                ..Default::default()
+            },
+        ));
+        let p = ConsumerProxy::new(
+            ProxyConfig {
+                // serial dispatch so the quota's admit order is exact
+                mode: DispatchMode::Poll,
+                max_attempts: 2,
+                poll_batch: 64,
+                admission: Some(admission.clone()),
+                max_in_flight: 8,
+            },
+            Arc::new(|_: &Record| Ok(())),
+            dlq.clone(),
+        );
+        let stats = p.run_until_caught_up(&group).unwrap();
+        // exact accounting: every offered record delivered, failed or shed
+        assert_eq!(stats.delivered + stats.dead_lettered + stats.shed, 60);
+        assert_eq!(stats.dead_lettered, 0);
+        assert!(stats.shed > 0, "flood must overrun the 25-token burst");
+        assert_eq!(dlq.depth() as u64, stats.shed);
+        // shed records parked as overload, not dropped
+        let parked = dlq.peek(1);
+        assert_eq!(
+            parked[0].headers.get(headers::DLQ_REASON),
+            Some(ParkReason::Overload.as_str())
+        );
+        let s = admission.stats();
+        assert_eq!(s.offered, 60);
+        assert_eq!(s.admitted, stats.delivered);
+        assert_eq!(s.shed_total(), stats.shed);
+        // per-tenant ledger balances too
+        let summary = admission.summary();
+        assert!(summary.contains("tenant driver-app offered=20"));
+        assert!(summary.contains("tenant rider-app offered=40"));
+    }
+
+    #[test]
+    fn bounded_in_flight_still_delivers_everything() {
+        let t = topic_with(4, 300);
+        let group = ConsumerGroup::new("g", TopicSubscription::new(t));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let service = Arc::new(move |_: &Record| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        let p = ConsumerProxy::new(
+            ProxyConfig {
+                mode: DispatchMode::Push(8),
+                max_attempts: 3,
+                poll_batch: 64,
+                admission: None,
+                // buffer far smaller than the batch: the feeder must block
+                // on worker drain instead of queueing unboundedly
+                max_in_flight: 4,
+            },
+            service,
+            Arc::new(DeadLetterQueue::new("trips").unwrap()),
+        );
+        let stats = p.run_until_caught_up(&group).unwrap();
+        assert_eq!(stats.delivered, 300);
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+        assert_eq!(group.lag(), 0);
     }
 
     #[test]

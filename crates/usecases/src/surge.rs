@@ -112,8 +112,14 @@ impl SurgePipeline {
 
     /// Build the job over a topic source, sinking multipliers into the KV
     /// store. `written_by` names the region's update service.
-    pub fn job(&self, name: &str, topic: Arc<Topic>, kv: ReplicatedKv, written_by: &str) -> Job {
-        self.job_from_source(name, Box::new(TopicSource::bounded(topic)), kv, written_by)
+    pub fn job(
+        &self,
+        name: &str,
+        topic: Arc<Topic>,
+        kv: ReplicatedKv,
+        written_by: &str,
+    ) -> Result<Job> {
+        Ok(self.job_from_source(name, Box::new(TopicSource::bounded(topic)?), kv, written_by))
     }
 
     /// Same pipeline over an in-memory source (tests, benches).

@@ -49,16 +49,18 @@ fn main() {
     // advanced users use the low-level API (not SQL) for the surge job
     let surge = SurgePipeline::new(10_000, Arc::new(LinearSurgeModel::default()));
     let kv = ReplicatedKv::new();
-    let job = surge.job(
-        "surge",
-        platform
-            .federation()
-            .subscribe("marketplace")
-            .unwrap()
-            .topic(),
-        kv.clone(),
-        "region-1",
-    );
+    let job = surge
+        .job(
+            "surge",
+            platform
+                .federation()
+                .subscribe("marketplace")
+                .unwrap()
+                .topic(),
+            kv.clone(),
+            "region-1",
+        )
+        .unwrap();
     platform.usage().note(Component::Api);
     platform.usage().note(Component::Compute);
     surge.run(job).unwrap();

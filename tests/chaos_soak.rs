@@ -143,6 +143,7 @@ fn soak(seed: u64, mix: FaultMix) -> String {
             mode: DispatchMode::Poll,
             max_attempts: 4,
             poll_batch: 64,
+            ..Default::default()
         },
         Arc::new(|_: &Record| Ok(())),
         dlq.clone(),

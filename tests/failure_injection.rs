@@ -147,6 +147,7 @@ fn dlq_merge_after_downstream_fix() {
             mode: DispatchMode::Push(8),
             max_attempts: 2,
             poll_batch: 32,
+            ..Default::default()
         },
         broken,
         dlq.clone(),
@@ -188,6 +189,7 @@ fn dlq_merge_after_downstream_fix() {
             mode: DispatchMode::Push(8),
             max_attempts: 2,
             poll_batch: 32,
+            ..Default::default()
         },
         fixed,
         dlq.clone(),

@@ -1,0 +1,346 @@
+//! Overload soak: seeded burst traffic at 1×/2×/5×/10× of sustained
+//! capacity driven through both admission points — producer topic quotas
+//! at the edge, then the consumer proxy's tenant quotas and queue-depth
+//! watermarks — plus a deadline-bounded broker scatter, all on the
+//! injectable clock.
+//!
+//! The invariant is exact accounting at every layer: offered = accepted +
+//! shed at the producer edge, accepted = delivered + parked at the proxy,
+//! and the admission controller's own ledger balances (`offered ==
+//! admitted + shed_total`). Nothing panics, nothing is silently dropped.
+//! Every test runs the same soak twice with the same seed and asserts the
+//! printed `OVERLOAD_SUMMARY` is byte-identical; `ci.sh` additionally
+//! diffs the summaries between two separate processes for two fixed
+//! seeds.
+
+use rtdi::common::record::headers;
+use rtdi::common::{
+    AdmissionConfig, AdmissionController, AggFn, Clock, Deadline, FieldType, Priority, Quota,
+    Record, Row, Schema, SimClock, Timestamp,
+};
+use rtdi::olap::broker::{Broker, ServerNode};
+use rtdi::olap::query::Query;
+use rtdi::olap::segment::{IndexSpec, Segment};
+use rtdi::stream::cluster::{Cluster, ClusterConfig};
+use rtdi::stream::consumer::{ConsumerGroup, TopicSubscription};
+use rtdi::stream::dlq::{DeadLetterQueue, ParkReason};
+use rtdi::stream::producer::{Producer, ProducerConfig};
+use rtdi::stream::proxy::{ConsumerProxy, DispatchMode, ProxyConfig};
+use rtdi::stream::topic::{Topic, TopicConfig};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Records per phase at 1× offered load.
+const BASE: usize = 20;
+const TENANTS: [&str; 3] = ["driver-app", "eats-app", "rider-app"];
+/// The burst plan: sustained, then 2×, 5×, 10×, then recovery.
+const MULTIPLIERS: [usize; 5] = [1, 2, 5, 10, 1];
+
+/// Deterministic generator for the burst plan (same mix as the chaos
+/// layer's seeding; local copy because the soak must not depend on
+/// chaos internals).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a>(&mut self, xs: &'a [&'a str]) -> &'a str {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// A clock that advances a fixed step on every read, so query deadlines
+/// expire mid-scatter deterministically without sleeping.
+struct TickClock {
+    now: AtomicI64,
+    step: i64,
+}
+
+impl Clock for TickClock {
+    fn now(&self) -> Timestamp {
+        self.now.fetch_add(self.step, Ordering::Relaxed) + self.step
+    }
+}
+
+fn seg(name: &str, n: usize) -> Arc<Segment> {
+    let schema = Schema::of("cities", &[("city", FieldType::Str), ("v", FieldType::Int)]);
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new()
+                .with("city", ["sf", "la"][i % 2])
+                .with("v", i as i64)
+        })
+        .collect();
+    Arc::new(Segment::build(name, &schema, rows, &IndexSpec::none()).unwrap())
+}
+
+/// Drive the seeded burst plan through producer quotas, proxy admission
+/// and a deadline-bounded broker query; assert every accounting
+/// invariant and return the byte-stable summary.
+fn soak(seed: u64) -> String {
+    let mut rng = SplitMix64(seed);
+    let mut out = format!("seed={seed}\n");
+
+    let clock = Arc::new(SimClock::new(0));
+    let cluster = Cluster::new("soak", ClusterConfig::default());
+    cluster
+        .create_topic("trips", TopicConfig::default().with_partitions(2))
+        .unwrap();
+    // one producer per tenant service, each behind the same edge quota —
+    // the paper's Kafka-side client quotas
+    let producers: Vec<(&str, Producer)> = TENANTS
+        .iter()
+        .map(|svc| {
+            let p = Producer::with_clock(
+                cluster.clone(),
+                ProducerConfig {
+                    service: (*svc).into(),
+                    ..Default::default()
+                },
+                clock.clone(),
+            );
+            p.set_topic_quota("trips", Quota::per_sec(40).with_burst(50));
+            (*svc, p)
+        })
+        .collect();
+
+    // the proxy's admission gate: tenant quotas plus lag-fed watermarks
+    // small enough that the 10× burst trips the high watermark
+    let admission = Arc::new(AdmissionController::new(
+        clock.clone(),
+        AdmissionConfig {
+            max_in_flight: 64,
+            queue_high_watermark: 150,
+            queue_low_watermark: 60,
+            default_tenant_quota: Some(Quota::per_sec(30).with_burst(40)),
+        },
+    ));
+    let dlq = Arc::new(DeadLetterQueue::new("trips").unwrap());
+    let proxy = ConsumerProxy::new(
+        ProxyConfig {
+            // serial dispatch: admit order, and therefore the summary,
+            // is exact
+            mode: DispatchMode::Poll,
+            max_attempts: 2,
+            poll_batch: 32,
+            admission: Some(admission.clone()),
+            max_in_flight: 64,
+        },
+        Arc::new(|_: &Record| Ok(())),
+        dlq.clone(),
+    );
+    let group = ConsumerGroup::new(
+        "soak",
+        TopicSubscription::new(cluster.topic("trips").unwrap()),
+    );
+
+    let (mut offered_total, mut accepted_total, mut delivered_total) = (0u64, 0u64, 0u64);
+    let mut prev_depth = 0u64;
+    for (phase, mult) in MULTIPLIERS.iter().enumerate() {
+        // each phase starts a fresh second: both edge and proxy token
+        // buckets refill by exactly one second's rate
+        clock.advance(1_000);
+        let offered = (BASE * mult) as u64;
+        let (mut accepted, mut shed_edge) = (0u64, 0u64);
+        for i in 0..offered {
+            let tenant = rng.pick(&TENANTS);
+            let producer = &producers.iter().find(|(s, _)| *s == tenant).unwrap().1;
+            let rec = Record::new(
+                Row::new().with("i", i as i64).with("phase", phase as i64),
+                clock.now(),
+            )
+            .with_key(format!("p{phase}-{i}"));
+            match producer.send("trips", rec) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert!(
+                        matches!(e, rtdi::common::Error::Overloaded(_)),
+                        "edge refusal must be Overloaded, got {e}"
+                    );
+                    assert!(e.is_retryable(), "overload must invite retry-with-backoff");
+                    shed_edge += 1;
+                }
+            }
+        }
+        assert_eq!(offered, accepted + shed_edge, "edge accounting (exact)");
+
+        let stats = proxy.run_until_caught_up(&group).unwrap();
+        let parked = dlq.depth() as u64 - prev_depth;
+        prev_depth = dlq.depth() as u64;
+        assert_eq!(
+            accepted,
+            stats.delivered + stats.dead_lettered + stats.shed,
+            "proxy accounting (exact)"
+        );
+        assert_eq!(stats.dead_lettered, 0, "a healthy service never parks");
+        assert_eq!(
+            parked, stats.shed,
+            "every shed record is parked, none dropped"
+        );
+        offered_total += offered;
+        accepted_total += accepted;
+        delivered_total += stats.delivered;
+        out.push_str(&format!(
+            "phase={phase} mult={mult} offered={offered} accepted={accepted} shed_edge={shed_edge} delivered={} shed_proxy={} parked={parked}\n",
+            stats.delivered, stats.shed
+        ));
+    }
+
+    // the global ledger balances: offered = processed + shed, end to end
+    let s = admission.stats();
+    assert_eq!(
+        s.offered, accepted_total,
+        "proxy offered all accepted records"
+    );
+    assert_eq!(s.offered, s.admitted + s.shed_total(), "admission ledger");
+    assert_eq!(s.admitted, delivered_total);
+    assert_eq!(
+        offered_total,
+        delivered_total + (offered_total - accepted_total) + s.shed_total(),
+        "end-to-end: offered = delivered + shed_edge + shed_proxy"
+    );
+    assert!(s.shed_queue > 0, "the 10x burst must trip the watermark");
+    assert!(s.shed_quota > 0, "the burst must exhaust tenant buckets");
+    // shed work parks under Overload — replayable, not lost
+    for rec in dlq.peek(dlq.depth()) {
+        assert_eq!(
+            rec.headers.get(headers::DLQ_REASON),
+            Some(ParkReason::Overload.as_str())
+        );
+    }
+    out.push_str(&admission.summary());
+
+    // --- query side: a deadline-bounded scatter sheds trailing segments
+    // as a partial answer instead of missing its budget
+    let servers: Vec<Arc<ServerNode>> = (0..2).map(ServerNode::new).collect();
+    let broker = Broker::new(servers);
+    broker.register_table("cities", false);
+    for i in 0..6 {
+        broker
+            .place_segment("cities", seg(&format!("s{i}"), 50), None, 1)
+            .unwrap();
+    }
+    let qclock = Arc::new(TickClock {
+        now: AtomicI64::new(0),
+        step: 10,
+    });
+    let q = Query::select_all("cities")
+        .aggregate("n", AggFn::Count)
+        .with_deadline(Deadline::within_ms(qclock, 35))
+        .lane(Priority::Backfill); // serial lane: deterministic shed order
+    let res = broker.query(&q).unwrap();
+    assert!(
+        res.deadline_exceeded,
+        "the ticking clock must blow the budget"
+    );
+    assert!(res.segments_shed > 0 && res.partial);
+    let n = res.rows[0].get_int("n").unwrap();
+    assert!(n > 0 && n < 300, "partial count, got {n}");
+    out.push_str(&format!(
+        "query rows={n} segments_shed={} deadline_exceeded={}\n",
+        res.segments_shed, res.deadline_exceeded
+    ));
+    out
+}
+
+/// Run one seed twice; the summary must be byte-identical.
+fn soak_twice(seed: u64) -> String {
+    let first = soak(seed);
+    let second = soak(seed);
+    assert_eq!(
+        first, second,
+        "same seed must reproduce a byte-identical overload summary"
+    );
+    assert!(first.starts_with(&format!("seed={seed}")));
+    first
+}
+
+#[test]
+fn burst_soak_is_survivable_and_deterministic() {
+    soak_twice(0x0FFE12ED);
+}
+
+#[test]
+fn burst_soak_alternate_seed() {
+    soak_twice(0x5A70FFE);
+}
+
+/// Satellite: under a seeded burst plan driven straight at the proxy,
+/// quota rejection + DLQ `Overload` parks satisfy offered = delivered +
+/// parked *exactly*, across 3 seeds.
+#[test]
+fn offered_equals_delivered_plus_parked_across_seeds() {
+    for seed in [1u64, 0xFEED, 0xDEAD_BEEF] {
+        let mut rng = SplitMix64(seed);
+        let topic =
+            Arc::new(Topic::new("trips", TopicConfig::default().with_partitions(2)).unwrap());
+        let mut offered = 0u64;
+        for burst in 0..4 {
+            let n = 10 + rng.next() % 90;
+            for i in 0..n {
+                let mut r = Record::new(Row::new().with("i", i as i64), burst * 1_000)
+                    .with_key(format!("b{burst}-{i}"));
+                r.headers.set(headers::SERVICE, rng.pick(&TENANTS));
+                topic.append(r, burst * 1_000).unwrap();
+                offered += 1;
+            }
+        }
+        let clock = Arc::new(SimClock::new(0));
+        let admission = Arc::new(AdmissionController::new(
+            clock,
+            AdmissionConfig {
+                default_tenant_quota: Some(Quota::per_sec(15).with_burst(30)),
+                ..Default::default()
+            },
+        ));
+        let dlq = Arc::new(DeadLetterQueue::new("trips").unwrap());
+        let proxy = ConsumerProxy::new(
+            ProxyConfig {
+                mode: DispatchMode::Poll,
+                max_attempts: 2,
+                poll_batch: 64,
+                admission: Some(admission.clone()),
+                max_in_flight: 64,
+            },
+            Arc::new(|_: &Record| Ok(())),
+            dlq.clone(),
+        );
+        let group = ConsumerGroup::new("prop", TopicSubscription::new(topic));
+        let stats = proxy.run_until_caught_up(&group).unwrap();
+        assert_eq!(
+            stats.delivered + dlq.depth() as u64,
+            offered,
+            "seed {seed:#x}: offered = delivered + parked, exactly"
+        );
+        assert_eq!(stats.dead_lettered, 0);
+        assert!(stats.shed > 0, "seed {seed:#x}: the burst must shed");
+        assert_eq!(stats.shed, dlq.depth() as u64);
+        let s = admission.stats();
+        assert_eq!(s.offered, offered);
+        assert_eq!(s.offered, s.admitted + s.shed_total());
+    }
+}
+
+/// ci.sh hook: the seed comes from `RTDI_OVERLOAD_SEED` and the summary
+/// is printed so two separate processes can be diffed line-by-line.
+#[test]
+fn soak_env_seed_prints_summary() {
+    let seed = std::env::var("RTDI_OVERLOAD_SEED")
+        .ok()
+        .and_then(|s| {
+            s.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(0x0FFE12ED);
+    let summary = soak_twice(seed);
+    for line in summary.lines() {
+        println!("OVERLOAD_SUMMARY {line}");
+    }
+}
