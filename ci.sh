@@ -125,3 +125,23 @@ for seed in 0x0FFE12ED 0x5A70FFE; do
   fi
   echo "overload soak deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) summary lines)"
 done
+
+# Region-DR determinism gate: the disaster drill's DR_SUMMARY ledger —
+# per-cycle detection latency, per-layer RTO, replay duplicates, lag at
+# heal and catch-up time, plus the RPO/convergence totals — must be
+# byte-identical between two separate processes for each fixed seed.
+for seed in 0xD12A57E2 0x5EED0DDA; do
+  run_dr() {
+    RTDI_DR_SEED="$seed" cargo test -q --test region_failover \
+      region_dr_env_seed_prints_summary -- --nocapture --test-threads=1 |
+      grep '^DR_SUMMARY'
+  }
+  a="$(run_dr)"
+  b="$(run_dr)"
+  if [ "$a" != "$b" ]; then
+    echo "region DR drill diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "region DR drill deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) ledger lines)"
+done

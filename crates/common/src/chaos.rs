@@ -213,6 +213,41 @@ pub struct NodeOutage {
     pub heal_at_ms: i64,
 }
 
+/// What a planned region outage takes out (§6 failure modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionOutageKind {
+    /// Every node in the region — regional and aggregate clusters — goes
+    /// silent at once: the full-region disaster.
+    RegionKill,
+    /// Only the aggregate cluster is lost; regional ingestion keeps
+    /// accepting local traffic that replicates out to the survivors.
+    AggregateLoss,
+    /// Nothing dies, but cross-region replication degrades for the
+    /// outage window (uReplicator partition/lag burst).
+    ReplicatorLag,
+}
+
+impl RegionOutageKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionOutageKind::RegionKill => "region-kill",
+            RegionOutageKind::AggregateLoss => "aggregate-loss",
+            RegionOutageKind::ReplicatorLag => "replicator-lag",
+        }
+    }
+}
+
+/// One planned region outage: strike at `kill_at_ms`, heal at
+/// `heal_at_ms` (logical clock). Produced by
+/// [`FaultRegistry::plan_region_outages`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionOutage {
+    pub region: String,
+    pub kind: RegionOutageKind,
+    pub kill_at_ms: i64,
+    pub heal_at_ms: i64,
+}
+
 /// One fired fault, recorded in hit order for schedule comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
@@ -448,6 +483,43 @@ impl FaultRegistry {
             let kill_at_ms = start_ms + cycle as i64 * period_ms + jitter;
             out.push(NodeOutage {
                 node: node.to_string(),
+                kill_at_ms,
+                heal_at_ms: kill_at_ms + outage_ms,
+            });
+        }
+        out
+    }
+
+    /// Plan a deterministic region-outage schedule from the registry
+    /// seed: `cycles` outages, each picking a victim region, an outage
+    /// kind (full-region kill, aggregate-only loss, or a replicator lag
+    /// burst) and a kill time inside its cycle window from the seeded
+    /// stream, healing `outage_ms` later. Same seed + same arguments =>
+    /// byte-identical schedule; the DR drill replays these against the
+    /// logical clock.
+    pub fn plan_region_outages(
+        &self,
+        regions: &[&str],
+        cycles: usize,
+        start_ms: i64,
+        period_ms: i64,
+        outage_ms: i64,
+    ) -> Vec<RegionOutage> {
+        let seed = self.inner.lock().seed;
+        let mut rng = SplitMix64::new(seed ^ 0x2E61_0D15_A57E_25ED_u64);
+        let mut out = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let region = regions[(rng.next_u64() % regions.len() as u64) as usize];
+            let kind = match rng.next_u64() % 3 {
+                0 => RegionOutageKind::RegionKill,
+                1 => RegionOutageKind::AggregateLoss,
+                _ => RegionOutageKind::ReplicatorLag,
+            };
+            let jitter = (rng.next_u64() % (period_ms.max(4) as u64 / 4)) as i64;
+            let kill_at_ms = start_ms + cycle as i64 * period_ms + jitter;
+            out.push(RegionOutage {
+                region: region.to_string(),
+                kind,
                 kill_at_ms,
                 heal_at_ms: kill_at_ms + outage_ms,
             });
@@ -879,6 +951,40 @@ mod tests {
             let window = 1_000 + i as i64 * 10_000;
             assert!(o.kill_at_ms >= window && o.kill_at_ms < window + 10_000);
         }
+        registry().reset(0);
+    }
+
+    #[test]
+    fn region_outage_plan_is_seed_stable_and_mixes_kinds() {
+        let _g = test_guard();
+        let plan = |seed: u64| {
+            registry().reset(seed);
+            registry().plan_region_outages(&["west", "east", "asia"], 9, 5_000, 30_000, 12_000)
+        };
+        let a = plan(0xD12);
+        assert_eq!(a, plan(0xD12), "same seed, same region schedule");
+        assert_ne!(a, plan(0xD13), "different seed, different schedule");
+        assert_eq!(a.len(), 9);
+        for (i, o) in a.iter().enumerate() {
+            assert_eq!(o.heal_at_ms, o.kill_at_ms + 12_000);
+            let window = 5_000 + i as i64 * 30_000;
+            assert!(o.kill_at_ms >= window && o.kill_at_ms < window + 30_000);
+            assert!(["west", "east", "asia"].contains(&o.region.as_str()));
+        }
+        // the seeded stream exercises more than one outage kind over a
+        // long enough schedule
+        let kinds: std::collections::BTreeSet<&str> = a.iter().map(|o| o.kind.name()).collect();
+        assert!(kinds.len() >= 2, "kinds drawn: {kinds:?}");
+        // the region plan is independent of the node plan (distinct salt)
+        registry().reset(0xD12);
+        let nodes =
+            registry().plan_node_outages(&["west", "east", "asia"], 9, 5_000, 30_000, 12_000);
+        assert!(
+            a.iter()
+                .zip(&nodes)
+                .any(|(r, n)| r.region != n.node || r.kill_at_ms != n.kill_at_ms),
+            "region and node plans must not be correlated"
+        );
         registry().reset(0);
     }
 

@@ -23,10 +23,12 @@ pub mod trace;
 pub mod value;
 
 pub use agg::{AggAcc, AggFn};
-pub use chaos::{FaultKind, FaultPlan, FaultPoint, RetryPolicy, Trigger};
+pub use chaos::{
+    FaultKind, FaultPlan, FaultPoint, RegionOutage, RegionOutageKind, RetryPolicy, Trigger,
+};
 pub use error::{Error, Result};
 pub use membership::{
-    Membership, MembershipConfig, MembershipEvent, MembershipListener, NodeState,
+    Membership, MembershipConfig, MembershipEvent, MembershipListener, NodeState, RegionStatus,
 };
 pub use overload::{
     AdmissionConfig, AdmissionController, AdmissionStats, Deadline, Permit, Priority, Quota,

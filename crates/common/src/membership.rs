@@ -111,6 +111,25 @@ struct NodeInfo {
     state: NodeState,
     /// Chaos-killed: pinned `Dead`, heartbeats ignored until revived.
     killed: bool,
+    /// Failure-domain tag (§6): nodes in the same region die together
+    /// when the region does.
+    region: Option<String>,
+}
+
+/// Aggregated detector view of one region's nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionStatus {
+    pub region: String,
+    pub live: usize,
+    pub dead: usize,
+}
+
+impl RegionStatus {
+    /// A region is down when every one of its nodes is dead. A region
+    /// with no registered nodes is never "down" (nothing to lose).
+    pub fn is_down(&self) -> bool {
+        self.live == 0 && self.dead > 0
+    }
 }
 
 struct MembershipInner {
@@ -153,7 +172,88 @@ impl Membership {
             last_heartbeat: now,
             state: NodeState::Alive,
             killed: false,
+            region: None,
         });
+    }
+
+    /// Register a node under a region failure domain. Re-registering an
+    /// existing node keeps its state but (re)tags its region, so a
+    /// cluster can adopt region tags after construction.
+    pub fn register_in_region(&self, node: &str, region: &str) {
+        let now = self.clock.now();
+        let mut inner = self.inner.write();
+        inner
+            .nodes
+            .entry(node.to_string())
+            .and_modify(|i| i.region = Some(region.to_string()))
+            .or_insert(NodeInfo {
+                last_heartbeat: now,
+                state: NodeState::Alive,
+                killed: false,
+                region: Some(region.to_string()),
+            });
+    }
+
+    /// The region a node was registered under, if any.
+    pub fn region_of(&self, node: &str) -> Option<String> {
+        self.inner.read().nodes.get(node)?.region.clone()
+    }
+
+    /// All nodes tagged with `region`, in name order.
+    pub fn nodes_in_region(&self, region: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .filter(|(_, i)| i.region.as_deref() == Some(region))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Per-region live/dead counts, in region name order. A region kill
+    /// shows up here as a correlated burst of node deaths — the detector
+    /// declares each node dead by heartbeat deadline, and the region is
+    /// down once the whole burst has been observed.
+    pub fn region_statuses(&self) -> Vec<RegionStatus> {
+        let inner = self.inner.read();
+        let mut by_region: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for info in inner.nodes.values() {
+            if let Some(r) = &info.region {
+                let e = by_region.entry(r.as_str()).or_insert((0, 0));
+                if info.state == NodeState::Dead {
+                    e.1 += 1;
+                } else {
+                    e.0 += 1;
+                }
+            }
+        }
+        by_region
+            .into_iter()
+            .map(|(region, (live, dead))| RegionStatus {
+                region: region.to_string(),
+                live,
+                dead,
+            })
+            .collect()
+    }
+
+    /// Whether every node registered under `region` is dead (and the
+    /// region has at least one node). This is the detection signal the
+    /// DR machinery keys failover off — it lags a silent region kill by
+    /// the heartbeat dead-deadline.
+    pub fn region_is_down(&self, region: &str) -> bool {
+        self.region_statuses()
+            .iter()
+            .any(|s| s.region == region && s.is_down())
+    }
+
+    /// Regions currently fully dead, in name order.
+    pub fn dead_regions(&self) -> Vec<String> {
+        self.region_statuses()
+            .into_iter()
+            .filter(|s| s.is_down())
+            .map(|s| s.region)
+            .collect()
     }
 
     /// Record a heartbeat from `node` at the current logical time. A
@@ -463,6 +563,48 @@ mod tests {
         let first = run();
         assert!(!first.is_empty());
         assert_eq!(first, run());
+    }
+
+    #[test]
+    fn region_kill_is_detected_as_correlated_node_deaths() {
+        let (clock, m) = setup();
+        for i in 0..3 {
+            m.register_in_region(&format!("west-n{i}"), "west");
+            m.register_in_region(&format!("east-n{i}"), "east");
+        }
+        assert_eq!(m.region_of("west-n0").as_deref(), Some("west"));
+        assert_eq!(m.nodes_in_region("east").len(), 3);
+        assert!(!m.region_is_down("west"));
+        // west falls silent; east keeps heartbeating
+        for _ in 0..12 {
+            clock.advance(1_000);
+            for i in 0..3 {
+                m.heartbeat(&format!("east-n{i}"));
+            }
+            m.tick();
+        }
+        assert!(m.region_is_down("west"), "deadline detector downs west");
+        assert!(!m.region_is_down("east"));
+        assert_eq!(m.dead_regions(), vec!["west".to_string()]);
+        let st = m.region_statuses();
+        assert_eq!(st.len(), 2);
+        assert_eq!((st[1].live, st[1].dead), (0, 3)); // west
+                                                      // one node heartbeats again: region no longer down
+        m.heartbeat("west-n1");
+        assert!(!m.region_is_down("west"));
+    }
+
+    #[test]
+    fn partially_dead_region_is_not_down() {
+        let (_, m) = setup();
+        m.register_in_region("a-n0", "a");
+        m.register_in_region("a-n1", "a");
+        m.kill("a-n0");
+        assert!(!m.region_is_down("a"));
+        m.kill("a-n1");
+        assert!(m.region_is_down("a"));
+        // unknown region (no nodes) is never down
+        assert!(!m.region_is_down("ghost"));
     }
 
     #[test]

@@ -341,6 +341,29 @@ impl JobManager {
         affected
     }
 
+    /// Region-scale failure: every job placed on a node of the dead
+    /// region (nodes are named `{region}-...`) is marked for restart and
+    /// unplaced, so the deployment loop can redeploy it into a surviving
+    /// region restoring from the cross-region-replicated checkpoint
+    /// store. Returns the affected job names.
+    pub fn on_region_dead(&self, region: &str) -> Vec<String> {
+        let prefix = format!("{region}-");
+        let mut affected = Vec::new();
+        let mut jobs = self.jobs.write();
+        for (name, info) in jobs.iter_mut() {
+            let on_region = info
+                .node
+                .as_deref()
+                .is_some_and(|n| n.starts_with(&prefix) || n == region);
+            if on_region && !matches!(info.status, JobStatus::Finished | JobStatus::Failed(_)) {
+                info.pending_restart = true;
+                info.node = None;
+                affected.push(name.clone());
+            }
+        }
+        affected
+    }
+
     /// Drain the set of jobs needing a restart after node failures; the
     /// deployment loop re-runs each via [`JobManager::supervise`].
     pub fn take_pending_restarts(&self) -> Vec<String> {
@@ -871,6 +894,24 @@ mod tests {
         jm.assign_node("done", "tm-9").unwrap();
         assert!(jm.on_node_dead("tm-9").is_empty());
         assert!(jm.take_pending_restarts().is_empty());
+    }
+
+    #[test]
+    fn region_death_marks_jobs_on_regional_nodes() {
+        let jm = JobManager::new(ExecutorConfig::default(), 3);
+        let sink = CollectSink::new();
+        jm.validate(&simple_spec("surge", sink.clone())).unwrap();
+        jm.validate(&simple_spec("eats-etl", sink.clone())).unwrap();
+        jm.validate(&simple_spec("idle", sink)).unwrap();
+        jm.assign_node("surge", "west-tm-0").unwrap();
+        jm.assign_node("eats-etl", "west-tm-1").unwrap();
+        jm.assign_node("idle", "east-tm-0").unwrap();
+        let displaced = jm.on_region_dead("west");
+        assert_eq!(displaced, vec!["eats-etl".to_string(), "surge".to_string()]);
+        assert!(jm.status("surge").unwrap().node.is_none(), "unplaced");
+        assert!(jm.status("idle").unwrap().node.is_some(), "east untouched");
+        assert_eq!(jm.take_pending_restarts(), displaced);
+        assert!(jm.on_region_dead("west").is_empty(), "already displaced");
     }
 
     #[test]

@@ -108,14 +108,26 @@ impl CheckpointData {
         let checkpoint_id = buf.get_u64();
         let records_in = buf.get_u64();
         let np = buf.get_u32() as usize;
+        if buf.remaining() < np.saturating_mul(8) {
+            return Err(Error::Corruption("truncated checkpoint positions".into()));
+        }
         let mut source_position = Vec::with_capacity(np);
         for _ in 0..np {
             source_position.push(buf.get_u64());
         }
+        if buf.remaining() < 4 {
+            return Err(Error::Corruption("truncated checkpoint state count".into()));
+        }
         let ns = buf.get_u32() as usize;
-        let mut operator_state = Vec::with_capacity(ns);
+        let mut operator_state = Vec::with_capacity(ns.min(1024));
         for _ in 0..ns {
+            if buf.remaining() < 4 {
+                return Err(Error::Corruption("truncated checkpoint state len".into()));
+            }
             let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return Err(Error::Corruption("truncated checkpoint state".into()));
+            }
             operator_state.push(buf.split_to(len));
         }
         Ok(CheckpointData {
@@ -128,14 +140,37 @@ impl CheckpointData {
 }
 
 /// Checkpoint persistence over the object store.
+///
+/// Retains the last [`CheckpointStore::with_retain`] checkpoints per job
+/// (pruning older ones on persist) so recovery can fall back to an
+/// earlier snapshot when the newest one fails to decode — a single
+/// corrupt object must degrade recovery, never defeat it.
 #[derive(Clone)]
 pub struct CheckpointStore {
     store: Arc<dyn ObjectStore>,
+    retain: usize,
 }
+
+/// Checkpoints kept per job by default.
+pub const DEFAULT_CHECKPOINT_RETENTION: usize = 3;
 
 impl CheckpointStore {
     pub fn new(store: Arc<dyn ObjectStore>) -> Self {
-        CheckpointStore { store }
+        CheckpointStore {
+            store,
+            retain: DEFAULT_CHECKPOINT_RETENTION,
+        }
+    }
+
+    /// Keep the last `n` checkpoints per job (minimum 1).
+    pub fn with_retain(mut self, n: usize) -> Self {
+        self.retain = n.max(1);
+        self
+    }
+
+    /// The underlying object store (cross-region mirroring wraps this).
+    pub fn object_store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
     }
 
     fn key(job: &str, id: u64) -> String {
@@ -144,14 +179,36 @@ impl CheckpointStore {
 
     pub fn persist(&self, job: &str, data: &CheckpointData) -> Result<()> {
         self.store
-            .put(&Self::key(job, data.checkpoint_id), data.encode())
+            .put(&Self::key(job, data.checkpoint_id), data.encode())?;
+        // prune beyond the retention window (keys sort by id)
+        let keys = self.store.list(&format!("checkpoints/{job}/"))?;
+        if keys.len() > self.retain {
+            for k in &keys[..keys.len() - self.retain] {
+                self.store.delete(k)?;
+            }
+        }
+        Ok(())
     }
 
+    /// The newest *decodable* checkpoint: a corrupt latest object
+    /// (`Error::Corruption`) falls back to the previous retained one
+    /// instead of failing recovery outright. Surfaces the corruption
+    /// only when every retained checkpoint is damaged.
     pub fn latest(&self, job: &str) -> Result<Option<CheckpointData>> {
         let keys = self.store.list(&format!("checkpoints/{job}/"))?;
-        match keys.last() {
+        let mut last_corruption = None;
+        for k in keys.iter().rev() {
+            match CheckpointData::decode(&self.store.get(k)?) {
+                Ok(data) => return Ok(Some(data)),
+                Err(Error::Corruption(msg)) => last_corruption = Some(msg),
+                Err(e) => return Err(e),
+            }
+        }
+        match last_corruption {
             None => Ok(None),
-            Some(k) => Ok(Some(CheckpointData::decode(&self.store.get(k)?)?)),
+            Some(msg) => Err(Error::Corruption(format!(
+                "every retained checkpoint of job '{job}' is corrupt (latest: {msg})"
+            ))),
         }
     }
 
@@ -932,6 +989,68 @@ mod tests {
         assert_eq!(cs.latest("j").unwrap().unwrap().checkpoint_id, 4);
         cs.clear("j").unwrap();
         assert!(cs.latest("j").unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_store_retains_last_n() {
+        let store = Arc::new(InMemoryStore::new());
+        let cs = CheckpointStore::new(store.clone()).with_retain(2);
+        for id in 1..=5 {
+            cs.persist(
+                "j",
+                &CheckpointData {
+                    checkpoint_id: id,
+                    source_position: vec![id * 10],
+                    operator_state: vec![],
+                    records_in: id,
+                },
+            )
+            .unwrap();
+        }
+        let keys = store.list("checkpoints/j/").unwrap();
+        assert_eq!(keys.len(), 2, "older checkpoints pruned: {keys:?}");
+        assert_eq!(cs.latest("j").unwrap().unwrap().checkpoint_id, 5);
+    }
+
+    #[test]
+    fn corrupt_latest_checkpoint_falls_back_to_previous() {
+        let store = Arc::new(InMemoryStore::new());
+        let cs = CheckpointStore::new(store.clone());
+        for id in 1..=3 {
+            cs.persist(
+                "j",
+                &CheckpointData {
+                    checkpoint_id: id,
+                    source_position: vec![id * 100],
+                    operator_state: vec![Bytes::from_static(b"state")],
+                    records_in: id,
+                },
+            )
+            .unwrap();
+        }
+        // damage the newest object: truncate it mid-header
+        let keys = store.list("checkpoints/j/").unwrap();
+        let newest = keys.last().unwrap().clone();
+        let bytes = store.get(&newest).unwrap();
+        store.put(&newest, bytes.slice(0..7)).unwrap();
+        // recovery degrades to checkpoint 2 instead of failing outright
+        let recovered = cs.latest("j").unwrap().unwrap();
+        assert_eq!(recovered.checkpoint_id, 2);
+        assert_eq!(recovered.source_position, vec![200]);
+
+        // bit-flip damage (bogus element counts) is also contained
+        let second = keys[keys.len() - 2].clone();
+        let mut raw = store.get(&second).unwrap().to_vec();
+        raw[16] = 0xFF; // position count explodes past the buffer
+        store.put(&second, bytes::Bytes::from(raw)).unwrap();
+        let recovered = cs.latest("j").unwrap().unwrap();
+        assert_eq!(recovered.checkpoint_id, 1);
+
+        // every retained checkpoint damaged -> Corruption surfaces
+        for k in store.list("checkpoints/j/").unwrap() {
+            store.put(&k, Bytes::from_static(b"xx")).unwrap();
+        }
+        assert!(matches!(cs.latest("j"), Err(Error::Corruption(_))));
     }
 
     #[test]

@@ -40,18 +40,20 @@ impl ActiveActiveCoordinator {
         *self.primary.write() = to.to_string();
     }
 
-    /// Pick a healthy region as primary if the current one is down.
+    /// Pick a healthy region as primary if the current one cannot serve.
+    /// The update service consumes the aggregate cluster, so losing only
+    /// that half of a region already forces a coordinator failover.
     pub fn ensure_healthy_primary(&self, topo: &MultiRegionTopology) -> Result<String> {
         let current = self.primary();
         if let Ok(r) = topo.region(&current) {
-            if !r.is_down() {
+            if !r.aggregate.is_down() {
                 return Ok(current);
             }
         }
         let healthy = topo
             .regions
             .iter()
-            .find(|r| !r.is_down())
+            .find(|r| !r.aggregate.is_down())
             .ok_or_else(|| Error::Unavailable("no healthy region".into()))?;
         self.fail_over(&healthy.name);
         Ok(healthy.name.clone())
@@ -73,13 +75,15 @@ pub fn redundant_compute_round(
     let primary = coordinator.ensure_healthy_primary(topo)?;
     let mut states = BTreeMap::new();
     for region in &topo.regions {
-        if region.is_down() {
+        if region.aggregate.is_down() {
             continue;
         }
         let topic = region.aggregate.topic(topo.topic())?;
         let mut rows = Vec::new();
         for p in 0..topic.num_partitions() {
-            let log = topic.partition(p).expect("partition exists");
+            let log = topic.partition(p).ok_or_else(|| {
+                Error::NotFound(format!("partition {p} of topic '{}'", topo.topic()))
+            })?;
             let fetch = log.fetch(log.log_start_offset(), usize::MAX / 2)?;
             rows.extend(fetch.records.into_iter().map(|r| r.into_record().value));
         }

@@ -94,9 +94,11 @@ impl ActivePassiveConsumer {
     /// Consume everything currently available in the active region.
     pub fn consume_available(&mut self, topo: &MultiRegionTopology) -> Result<Vec<Record>> {
         let region = topo.region(&self.current_region)?;
-        if region.is_down() {
+        // the consumer reads the aggregate cluster: aggregate-only loss
+        // forces a failover even while the regional half keeps ingesting
+        if region.aggregate.is_down() {
             return Err(Error::Unavailable(format!(
-                "region '{}' down",
+                "region '{}' aggregate down",
                 self.current_region
             )));
         }
@@ -113,10 +115,10 @@ impl ActivePassiveConsumer {
                     }
                     Err(e) => return Err(e),
                 };
-                if fetch.records.is_empty() {
+                let Some(last) = fetch.records.last() else {
                     break;
-                }
-                pos = fetch.records.last().expect("non-empty").offset + 1;
+                };
+                pos = last.offset + 1;
                 out.extend(fetch.records.into_iter().map(|r| r.into_record()));
             }
             self.offsets.insert(p, pos);
@@ -132,8 +134,10 @@ impl ActivePassiveConsumer {
         to_region: &str,
     ) -> Result<()> {
         let target = topo.region(to_region)?;
-        if target.is_down() {
-            return Err(Error::Unavailable(format!("region '{to_region}' down")));
+        if target.aggregate.is_down() {
+            return Err(Error::Unavailable(format!(
+                "region '{to_region}' aggregate down"
+            )));
         }
         let sources: Vec<String> = topo.regions.iter().map(|r| r.name.clone()).collect();
         let topic = target.aggregate.topic(&self.topic)?;

@@ -15,14 +15,19 @@
 //! - [`activepassive`] (Figure 7): the offset-sync service that lets a
 //!   strong-consistency consumer fail over to another region and "take
 //!   the latest synchronized offset and resume the consumption" — no data
-//!   loss, bounded replay.
+//!   loss, bounded replay;
+//! - [`dr`]: region-scale disaster-recovery drills — seeded kill/heal
+//!   cycles against whole region failure domains with an exact RPO/RTO
+//!   ledger ("business resilience and continuity is a top priority").
 
 pub mod activeactive;
 pub mod activepassive;
+pub mod dr;
 pub mod kv;
 pub mod topology;
 
 pub use activeactive::ActiveActiveCoordinator;
 pub use activepassive::{ActivePassiveConsumer, OffsetSyncService};
+pub use dr::{CycleLedger, DrConfig, DrDrill, DrReport};
 pub use kv::ReplicatedKv;
-pub use topology::{MultiRegionTopology, Region};
+pub use topology::{MultiRegionTopology, Region, RegionHealth};

@@ -3,11 +3,41 @@
 //! §6: "All the trip events are sent over to the Kafka regional cluster
 //! and then aggregated into the aggregate clusters for the global view."
 
-use rtdi_common::{Error, Record, Result, Timestamp};
+use rtdi_common::{Clock, Error, Membership, MembershipEvent, Record, Result, Timestamp};
 use rtdi_stream::cluster::{Cluster, ClusterConfig};
 use rtdi_stream::replicator::{OffsetMappingStore, Replicator};
 use rtdi_stream::topic::TopicConfig;
 use std::sync::Arc;
+
+/// How much of a region is reachable. A region is two failure domains —
+/// the regional ingestion cluster and the aggregate cluster — and they
+/// can be lost independently (e.g. the aggregate cluster's racks lose
+/// power while apps keep producing into the regional cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionHealth {
+    Healthy,
+    /// The regional cluster is unreachable: local produce fails, but the
+    /// aggregate keeps serving consumers and receiving replication from
+    /// other regions.
+    RegionalDown,
+    /// The aggregate cluster is unreachable: consumers and redundant
+    /// compute must fail over, but local produce and outbound
+    /// replication continue.
+    AggregateDown,
+    /// Full region loss.
+    Down,
+}
+
+impl RegionHealth {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegionHealth::Healthy => "healthy",
+            RegionHealth::RegionalDown => "regional-down",
+            RegionHealth::AggregateDown => "aggregate-down",
+            RegionHealth::Down => "down",
+        }
+    }
+}
 
 /// One region: a regional ingestion cluster and an aggregate cluster
 /// receiving replicated data from every region.
@@ -26,13 +56,87 @@ impl Region {
         }
     }
 
+    /// Build a region whose clusters join a shared membership view, so a
+    /// region kill is detectable as a correlated burst of node deaths.
+    pub fn with_membership(name: &str, membership: Arc<Membership>) -> Region {
+        Region {
+            name: name.to_string(),
+            regional: Cluster::with_membership(
+                format!("{name}-regional"),
+                ClusterConfig::default(),
+                membership.clone(),
+                Some(name),
+            ),
+            aggregate: Cluster::with_membership(
+                format!("{name}-aggregate"),
+                ClusterConfig::default(),
+                membership,
+                Some(name),
+            ),
+        }
+    }
+
+    /// Down (or restore) the whole region: both failure domains.
     pub fn set_down(&self, down: bool) {
         self.regional.set_down(down);
         self.aggregate.set_down(down);
     }
 
+    /// Down only the regional ingestion cluster (partial degradation).
+    pub fn set_regional_down(&self, down: bool) {
+        self.regional.set_down(down);
+    }
+
+    /// Down only the aggregate cluster (partial degradation).
+    pub fn set_aggregate_down(&self, down: bool) {
+        self.aggregate.set_down(down);
+    }
+
+    /// Full region loss: both clusters unreachable. Partial degradation
+    /// (one cluster lost) is reported by [`Region::health`], not here —
+    /// a region with a live aggregate can still serve consumers, and one
+    /// with a live regional cluster still ingests.
     pub fn is_down(&self) -> bool {
-        self.regional.is_down() || self.aggregate.is_down()
+        self.regional.is_down() && self.aggregate.is_down()
+    }
+
+    /// Which half (if any) of the region is lost.
+    pub fn health(&self) -> RegionHealth {
+        match (self.regional.is_down(), self.aggregate.is_down()) {
+            (false, false) => RegionHealth::Healthy,
+            (true, false) => RegionHealth::RegionalDown,
+            (false, true) => RegionHealth::AggregateDown,
+            (true, true) => RegionHealth::Down,
+        }
+    }
+
+    /// Region kill: every broker of both clusters falls silent (the
+    /// shared failure detector must notice the missed heartbeats) and
+    /// both clusters reject operations immediately.
+    pub fn fail_region(&self) {
+        self.regional.fail_all_nodes_silently();
+        self.aggregate.fail_all_nodes_silently();
+        self.set_down(true);
+    }
+
+    /// Heal a killed region: brokers rejoin their ISRs and operations
+    /// resume.
+    pub fn heal_region(&self) {
+        self.regional.heal_all_nodes();
+        self.aggregate.heal_all_nodes();
+        self.set_down(false);
+    }
+
+    /// Aggregate-only loss: the aggregate cluster's brokers fall silent
+    /// while the regional cluster keeps ingesting and replicating out.
+    pub fn fail_aggregate(&self) {
+        self.aggregate.fail_all_nodes_silently();
+        self.set_aggregate_down(true);
+    }
+
+    pub fn heal_aggregate(&self) {
+        self.aggregate.heal_all_nodes();
+        self.set_aggregate_down(false);
     }
 }
 
@@ -43,12 +147,43 @@ pub struct MultiRegionTopology {
     replicators: Vec<Replicator>,
     mappings: OffsetMappingStore,
     topic: String,
+    /// Shared failure detector across every cluster of every region
+    /// (only when built via [`MultiRegionTopology::with_clock`]).
+    membership: Option<Arc<Membership>>,
 }
 
 impl MultiRegionTopology {
     /// Build `n` regions wired for `topic`.
     pub fn new(region_names: &[&str], topic: &str, config: TopicConfig) -> Result<Self> {
         let regions: Vec<Region> = region_names.iter().map(|n| Region::new(n)).collect();
+        Self::wire(regions, topic, config, None)
+    }
+
+    /// Build the topology on one shared membership view driven by
+    /// `clock`: every broker of every cluster registers under its
+    /// region, so a region kill surfaces as a correlated burst of
+    /// heartbeat-deadline deaths in `membership().region_is_down(...)`
+    /// — detected, not announced.
+    pub fn with_clock(
+        region_names: &[&str],
+        topic: &str,
+        config: TopicConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        let membership = Membership::new(clock, rtdi_common::MembershipConfig::default());
+        let regions: Vec<Region> = region_names
+            .iter()
+            .map(|n| Region::with_membership(n, membership.clone()))
+            .collect();
+        Self::wire(regions, topic, config, Some(membership))
+    }
+
+    fn wire(
+        regions: Vec<Region>,
+        topic: &str,
+        config: TopicConfig,
+        membership: Option<Arc<Membership>>,
+    ) -> Result<Self> {
         let mappings = OffsetMappingStore::new();
         for r in &regions {
             r.regional.create_topic(topic, config.clone())?;
@@ -75,6 +210,7 @@ impl MultiRegionTopology {
             replicators,
             mappings,
             topic: topic.to_string(),
+            membership,
         })
     }
 
@@ -84,6 +220,27 @@ impl MultiRegionTopology {
 
     pub fn mappings(&self) -> &OffsetMappingStore {
         &self.mappings
+    }
+
+    /// The shared failure detector (None unless built with
+    /// [`MultiRegionTopology::with_clock`]).
+    pub fn membership(&self) -> Option<&Arc<Membership>> {
+        self.membership.as_ref()
+    }
+
+    /// One heartbeat interval: every live broker of every cluster
+    /// heartbeats, then the shared detector runs once. Returns the
+    /// detector's state transitions. No-op (empty) without a shared
+    /// membership.
+    pub fn heartbeat_tick(&self) -> Vec<MembershipEvent> {
+        let Some(m) = &self.membership else {
+            return Vec::new();
+        };
+        for r in &self.regions {
+            r.regional.heartbeat_nodes();
+            r.aggregate.heartbeat_nodes();
+        }
+        m.tick()
     }
 
     pub fn region(&self, name: &str) -> Result<&Region> {
@@ -126,6 +283,25 @@ impl MultiRegionTopology {
             .aggregate
             .topic(&self.topic)?
             .total_records())
+    }
+
+    /// Total records across every region's regional (source) topic —
+    /// what a fully caught-up aggregate would hold.
+    pub fn total_regional_count(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter_map(|r| r.regional.topic(&self.topic).ok())
+            .map(|t| t.total_records())
+            .sum()
+    }
+
+    /// Replication lag of one region's aggregate: records produced
+    /// somewhere in the mesh that have not landed in this aggregate yet.
+    /// This is the staleness a query against this region's OLAP serving
+    /// path inherits during an outage.
+    pub fn aggregate_lag(&self, region: &str) -> Result<u64> {
+        let target = self.aggregate_count(region)?;
+        Ok(self.total_regional_count().saturating_sub(target))
     }
 }
 
@@ -182,6 +358,92 @@ mod tests {
         topo.region("b").unwrap().set_down(false);
         topo.replicate(200);
         assert_eq!(topo.aggregate_count("b").unwrap(), 10);
+    }
+
+    #[test]
+    fn partial_degradation_reports_which_half_is_lost() {
+        let topo = MultiRegionTopology::new(
+            &["a", "b"],
+            "trips",
+            TopicConfig::default().with_partitions(1),
+        )
+        .unwrap();
+        let a = topo.region("a").unwrap();
+        assert_eq!(a.health(), RegionHealth::Healthy);
+        assert!(!a.is_down());
+
+        // aggregate-only loss: produce + outbound replication still work
+        a.set_aggregate_down(true);
+        assert_eq!(a.health(), RegionHealth::AggregateDown);
+        assert!(!a.is_down(), "partial loss is not full region loss");
+        for i in 0..5 {
+            topo.produce("a", trip(i), i).unwrap();
+        }
+        topo.replicate(10);
+        assert_eq!(topo.aggregate_count("b").unwrap(), 5, "b still converges");
+        assert!(topo.aggregate_count("a").is_err(), "a's aggregate is dark");
+        assert_eq!(topo.aggregate_lag("b").unwrap(), 0);
+
+        // the aggregate heals and catches up from the live regional side
+        a.set_aggregate_down(false);
+        topo.replicate(20);
+        assert_eq!(topo.aggregate_count("a").unwrap(), 5, "aggregate caught up");
+
+        // regional-only loss: ingest fails, the aggregate keeps serving
+        a.set_regional_down(true);
+        assert_eq!(a.health(), RegionHealth::RegionalDown);
+        assert!(topo.produce("a", trip(9), 9).is_err());
+        assert_eq!(topo.aggregate_count("a").unwrap(), 5, "still serving");
+
+        a.set_regional_down(false);
+        assert_eq!(a.health(), RegionHealth::Healthy);
+        a.set_down(true);
+        assert_eq!(a.health(), RegionHealth::Down);
+        assert!(a.is_down());
+    }
+
+    #[test]
+    fn shared_membership_detects_region_kill_by_missed_heartbeats() {
+        use rtdi_common::SimClock;
+        let clock = Arc::new(SimClock::new(0));
+        let topo = MultiRegionTopology::with_clock(
+            &["west", "east"],
+            "trips",
+            TopicConfig::default().with_partitions(1),
+            clock.clone(),
+        )
+        .unwrap();
+        let m = topo.membership().unwrap().clone();
+        // all brokers of both regions live under their region tags
+        assert!(!m.nodes_in_region("west").is_empty());
+        for _ in 0..3 {
+            clock.advance(1_000);
+            topo.heartbeat_tick();
+        }
+        assert!(!m.region_is_down("west"));
+
+        // west region dies silently: nothing is announced, the shared
+        // detector notices the correlated burst of missed deadlines
+        topo.region("west").unwrap().fail_region();
+        let mut detected_at = None;
+        for _ in 0..15 {
+            clock.advance(1_000);
+            topo.heartbeat_tick();
+            if m.region_is_down("west") {
+                detected_at = Some(clock.now());
+                break;
+            }
+        }
+        let detected_at = detected_at.expect("region death detected");
+        assert!(detected_at >= 10_000, "not before the dead deadline");
+        assert!(!m.region_is_down("east"), "east unaffected");
+        assert_eq!(m.dead_regions(), vec!["west".to_string()]);
+
+        // heal: brokers heartbeat again and the region leaves the dead set
+        topo.region("west").unwrap().heal_region();
+        clock.advance(1_000);
+        topo.heartbeat_tick();
+        assert!(!m.region_is_down("west"));
     }
 
     #[test]

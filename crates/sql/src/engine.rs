@@ -14,7 +14,9 @@ use crate::expr::{eval, truthy};
 use crate::optimizer::optimize_with;
 use crate::parser::parse_select;
 use crate::plan::{plan_select, AggItem, Plan};
-use rtdi_common::{AggAcc, AggFn, Deadline, Error, Priority, Result, Row, Value};
+use rtdi_common::{
+    AggAcc, AggFn, Clock, Deadline, Error, PipelineTracer, Priority, Result, Row, Value,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -61,6 +63,12 @@ pub struct QueryStats {
     pub deadline_exceeded: bool,
     /// Segments abandoned across all scans because a deadline expired.
     pub segments_shed: u64,
+    /// How stale the freshest data behind this query is, per the
+    /// freshness tracer — `None` when the engine has no tracer attached
+    /// or the pipeline has not produced yet. During a region outage this
+    /// is the replication-lag signal the DR drill surfaces alongside
+    /// `partial`.
+    pub staleness_ms: Option<i64>,
     /// EXPLAIN text of the optimized plan.
     pub plan: String,
 }
@@ -76,6 +84,7 @@ pub struct QueryOutput {
 pub struct SqlEngine {
     connectors: HashMap<String, Arc<dyn Connector>>,
     config: EngineConfig,
+    freshness: Option<(PipelineTracer, String, Arc<dyn Clock>)>,
 }
 
 impl SqlEngine {
@@ -83,11 +92,25 @@ impl SqlEngine {
         SqlEngine {
             connectors: HashMap::new(),
             config,
+            freshness: None,
         }
     }
 
     pub fn register_connector(&mut self, catalog: &str, connector: Arc<dyn Connector>) {
         self.connectors.insert(catalog.to_string(), connector);
+    }
+
+    /// Attach the freshness tracer feeding the tables this engine serves.
+    /// Every query then records query-time staleness under the tracer's
+    /// SQL stage and reports it in [`QueryStats::staleness_ms`].
+    pub fn with_freshness(
+        mut self,
+        tracer: PipelineTracer,
+        pipeline: &str,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        self.freshness = Some((tracer, pipeline.to_string(), clock));
+        self
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -186,6 +209,9 @@ impl SqlEngine {
             ..Default::default()
         };
         let rows = self.execute(&plan, &mut stats)?;
+        if let Some((tracer, pipeline, clock)) = &self.freshness {
+            stats.staleness_ms = tracer.note_query(pipeline, clock.now());
+        }
         Ok(QueryOutput { rows, stats })
     }
 
@@ -807,6 +833,28 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, Error::DeadlineExceeded(_)), "{err:?}");
+    }
+
+    #[test]
+    fn query_stats_surface_pipeline_staleness() {
+        use rtdi_common::{Record, SimClock};
+
+        let clock = Arc::new(SimClock::new(0));
+        let tracer = PipelineTracer::new();
+        let e = engine().with_freshness(tracer.clone(), "orders", clock.clone());
+
+        // no data traced yet: staleness is unknown, not zero
+        let out = e.query("SELECT COUNT(*) AS n FROM orders").unwrap();
+        assert_eq!(out.stats.staleness_ms, None);
+
+        // a record lands at t=100; at t=5100 queries see 5s of lag
+        clock.advance(100);
+        let mut rec = Record::new(Row::new().with("i", 1i64), 100);
+        PipelineTracer::stamp(&mut rec, 100);
+        tracer.observe_hop("orders", "ingest", &mut rec, 100);
+        clock.advance(5_000);
+        let out = e.query("SELECT COUNT(*) AS n FROM orders").unwrap();
+        assert_eq!(out.stats.staleness_ms, Some(5_000));
     }
 
     #[test]

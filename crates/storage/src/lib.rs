@@ -27,7 +27,7 @@ pub mod segfile;
 pub use archival::{ArchivalWriter, Compactor};
 pub use colfile::{decode_columnar, encode_columnar};
 pub use hive::{HiveCatalog, HiveTable};
-pub use object::{FaultyStore, InMemoryStore, LocalFsStore, ObjectStore};
+pub use object::{FaultyStore, InMemoryStore, LocalFsStore, MirroredStore, ObjectStore};
 pub use segfile::{
     decode_rows_segment, encode_rows_segment, is_segment_file, SegmentFile, SegmentMeta,
 };

@@ -100,8 +100,23 @@ impl Cluster {
         config: ClusterConfig,
         clock: Arc<dyn Clock>,
     ) -> Arc<Self> {
-        let name = name.into();
         let membership = Membership::new(clock, MembershipConfig::default());
+        Self::with_membership(name, config, membership, None)
+    }
+
+    /// Create a cluster joining an existing (shared) membership view,
+    /// optionally tagging its brokers with a region failure domain. A
+    /// multi-region topology registers every cluster of a region under
+    /// the region's name, so a region kill is observable as a correlated
+    /// burst of node deaths in one shared detector
+    /// (`membership.region_is_down(region)`), not just a cluster flag.
+    pub fn with_membership(
+        name: impl Into<String>,
+        config: ClusterConfig,
+        membership: Arc<Membership>,
+        region: Option<&str>,
+    ) -> Arc<Self> {
+        let name = name.into();
         let cluster = Arc::new(Cluster {
             name,
             config: RwLock::new(config),
@@ -110,7 +125,10 @@ impl Cluster {
             membership,
         });
         for node in cluster.node_names() {
-            cluster.membership.register(&node);
+            match region {
+                Some(r) => cluster.membership.register_in_region(&node, r),
+                None => cluster.membership.register(&node),
+            }
         }
         cluster.membership.subscribe(Arc::new(TopicFailoverFanout {
             cluster: Arc::downgrade(&cluster),
@@ -173,12 +191,37 @@ impl Cluster {
     /// `dead_after_ms`) rather than announced — that detection latency is
     /// what the failover MTTR experiment measures.
     pub fn heartbeat_tick(&self) -> Vec<MembershipEvent> {
+        self.heartbeat_nodes();
+        self.membership.tick()
+    }
+
+    /// Emit heartbeats from this cluster's non-chaos-downed brokers
+    /// without running the detector. When several clusters share one
+    /// membership view ([`Cluster::with_membership`]), the driver calls
+    /// this on every cluster and then ticks the shared membership once.
+    pub fn heartbeat_nodes(&self) {
         for node in self.node_names() {
             if !chaos::registry().node_is_down(&node) {
                 self.membership.heartbeat(&node);
             }
         }
-        self.membership.tick()
+    }
+
+    /// Silence every broker in this cluster at once (chaos down, no
+    /// announcement) — the cluster half of a region kill. The shared
+    /// detector must notice the correlated burst of missed deadlines.
+    pub fn fail_all_nodes_silently(&self) {
+        for node in self.node_names() {
+            chaos::registry().kill_node(&node);
+        }
+    }
+
+    /// Heal every broker in this cluster (chaos heal + membership
+    /// revive); each rejoins its ISRs.
+    pub fn heal_all_nodes(&self) {
+        for node in self.node_names() {
+            self.heal_node(&node);
+        }
     }
 
     /// Kill a broker abruptly and *announce* it (chaos registry + pinned

@@ -281,12 +281,22 @@ impl Replicator {
         let policy = RetryPolicy::new(4).with_backoff_us(50, 2_000);
         let mut copied = 0;
         for p in 0..src.num_partitions() {
-            let mut pos = {
-                *self
-                    .positions
-                    .read()
-                    .get(&p)
-                    .unwrap_or(&src.partition(p).expect("exists").log_start_offset())
+            // resume priority: in-memory position (same worker), then the
+            // shared mapping store (a restarted worker picks up after the
+            // last checkpoint — duplicates bounded by checkpoint_interval,
+            // never a gap), then the retained log start (fresh route)
+            let saved = self.positions.read().get(&p).copied();
+            let mut pos = match saved {
+                Some(v) => v,
+                None => match self.mappings.latest(&self.route, p) {
+                    Some(m) => m.src_offset + 1,
+                    None => src
+                        .partition(p)
+                        .ok_or_else(|| {
+                            Error::NotFound(format!("partition {p} of topic '{}'", self.topic))
+                        })?
+                        .log_start_offset(),
+                },
             };
             let mut since_checkpoint = 0u64;
             loop {
@@ -336,7 +346,12 @@ impl Replicator {
             }
             // always checkpoint the frontier so translation stays fresh
             if copied > 0 {
-                let dst_hwm = dst.partition(p).expect("exists").high_watermark();
+                let dst_hwm = dst
+                    .partition(p)
+                    .ok_or_else(|| {
+                        Error::NotFound(format!("partition {p} of topic '{}'", self.topic))
+                    })?
+                    .high_watermark();
                 self.mappings.checkpoint(
                     &self.route,
                     OffsetMapping {
@@ -538,6 +553,81 @@ mod tests {
                 "partition {p} aligned after recovery"
             );
         }
+    }
+
+    #[test]
+    fn restarted_replicator_resumes_from_mapping_store_without_gaps() {
+        use rtdi_common::chaos::{self, FaultKind, FaultPlan, Trigger};
+        let _g = chaos::test_guard();
+        chaos::registry().reset(0x2E57A27);
+        let src = cluster_with_topic("regional");
+        let dst = Cluster::new("aggregate", ClusterConfig::default());
+        let store = OffsetMappingStore::new();
+        let interval = 10u64;
+        let r = Replicator::new(
+            "regional->aggregate",
+            src.clone(),
+            dst.clone(),
+            "trips",
+            store.clone(),
+            interval,
+        );
+        r.prepare().unwrap();
+        for i in 0..200 {
+            src.produce(
+                "trips",
+                Record::new(Row::new().with("i", i), i).with_key(format!("k{i}")),
+                i,
+            )
+            .unwrap();
+        }
+        // the route dies mid-copy: the worker loses its in-memory
+        // positions (the process is gone), leaving only the mapping store
+        chaos::registry().arm(
+            FaultPoint::MultiregionReplicate,
+            FaultPlan::fail(FaultKind::Unavailable, Trigger::Always).with_burst(95, None),
+        );
+        assert!(r.run_once(1_000).is_err(), "outage mid-route surfaces");
+        chaos::registry().disarm_all();
+        drop(r);
+
+        // a restarted worker with the same route + shared mapping store
+        // resumes from the last checkpointed mapping per partition
+        let r2 = Replicator::new(
+            "regional->aggregate",
+            src.clone(),
+            dst.clone(),
+            "trips",
+            store.clone(),
+            interval,
+        );
+        r2.run_once(2_000).unwrap();
+
+        let st = src.topic("trips").unwrap();
+        let dt = dst.topic("trips").unwrap();
+        for p in 0..4 {
+            let src_hwm = st.partition(p).unwrap().high_watermark();
+            let dst_hwm = dt.partition(p).unwrap().high_watermark();
+            // no gap: every source record landed at least once...
+            assert!(dst_hwm >= src_hwm, "partition {p} lost records");
+            // ...and duplicates are bounded by one checkpoint interval
+            assert!(
+                dst_hwm - src_hwm <= interval,
+                "partition {p}: {} duplicates exceeds the checkpoint interval {interval}",
+                dst_hwm - src_hwm
+            );
+            // a failover consumer translating through this route never
+            // observes a mapping gap: the latest mapping is at the new
+            // frontier, and translation below it floors conservatively
+            let latest = store.latest("regional->aggregate", p).unwrap();
+            assert_eq!(latest.src_offset, src_hwm - 1, "mapping frontier");
+            for probe in [0, src_hwm / 2, src_hwm - 1] {
+                if let Some(m) = store.translate("regional->aggregate", p, probe) {
+                    assert!(m.src_offset <= probe, "floor translation");
+                }
+            }
+        }
+        chaos::registry().reset(0x2E57A27);
     }
 
     #[test]
