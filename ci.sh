@@ -145,3 +145,23 @@ for seed in 0xD12A57E2 0x5EED0DDA; do
   fi
   echo "region DR drill deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) ledger lines)"
 done
+
+# Parallel-compute determinism gate: the sharded, salted and serial
+# plans must produce byte-identical output (digests asserted in-test),
+# and the PARALLEL_SUMMARY line — record count plus the four digests —
+# must be byte-identical between two separate processes for each seed.
+for seed in 0xA11E1 0x5A17ED; do
+  run_parallel() {
+    RTDI_PARALLEL_SEED="$seed" cargo test -q --test parallel_compute \
+      parallel_env_seed_prints_summary -- --nocapture --test-threads=1 |
+      grep '^PARALLEL_SUMMARY'
+  }
+  a="$(run_parallel)"
+  b="$(run_parallel)"
+  if [ "$a" != "$b" ]; then
+    echo "parallel compute diverged between two runs of seed $seed" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+  fi
+  echo "parallel compute deterministic for seed $seed ($(printf '%s\n' "$a" | wc -l) summary lines)"
+done

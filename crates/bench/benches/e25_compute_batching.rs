@@ -86,6 +86,8 @@ fn run_point(rows: &[(Timestamp, Row)], batch: usize, fused: bool) -> Point {
         fuse_operators: fused,
         checkpoint_interval: 0,
         checkpoint_store: None,
+        trace: None,
+        rescale: None,
     };
     let mut best = f64::MIN;
     let mut best_allocs = f64::MAX;

@@ -18,6 +18,7 @@ pub mod metrics;
 pub mod overload;
 pub mod record;
 pub mod schema;
+pub mod sketch;
 pub mod time;
 pub mod trace;
 pub mod value;
@@ -36,6 +37,7 @@ pub use overload::{
 };
 pub use record::{Record, RecordHeaders};
 pub use schema::{Field, FieldType, Schema};
+pub use sketch::CountMinSketch;
 pub use time::{Clock, SimClock, Timestamp, WallClock};
 pub use trace::{PipelineTracer, StageDwell, TraceReport};
 pub use value::{Row, Value};

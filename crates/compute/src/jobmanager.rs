@@ -10,14 +10,16 @@
 //! rescales jobs when metrics drift from the desired state.
 
 use crate::runtime::{
-    run_staged_with, Executor, ExecutorConfig, Job, JobRunStats, StagedConfig, StagedRunStats,
+    run_staged_with, Executor, ExecutorConfig, Job, JobRunStats, RescaleHandle, StagedConfig,
+    StagedRunStats,
 };
 use crate::source::SourceThrottle;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rtdi_common::{
     Clock, Error, MembershipEvent, MembershipListener, NodeState, PipelineTracer, Result,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Broad job classification driving the resource model.
@@ -42,6 +44,75 @@ pub struct JobSpec {
     /// Expected steady-state input rate, used for resource estimation.
     pub expected_records_per_sec: u64,
     pub factory: Box<dyn Fn() -> Job + Send + Sync>,
+}
+
+/// An elastically scalable job: like [`JobSpec`] but the factory takes
+/// the parallelism to build the operator chain at, so the supervisor can
+/// re-instantiate the job wider or narrower across rescale restarts.
+pub struct ElasticJobSpec {
+    pub name: String,
+    pub job_type: JobType,
+    pub tier: u8,
+    pub expected_records_per_sec: u64,
+    pub min_parallelism: usize,
+    pub max_parallelism: usize,
+    pub factory: Box<dyn Fn(usize) -> Job + Send + Sync>,
+}
+
+/// Backlog-driven rescale policy: double while the watched pipeline is
+/// staler than the scale-up threshold, halve when it is fresher than the
+/// scale-down threshold, always clamped to the spec's bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct RescalePolicy {
+    pub scale_up_staleness_ms: i64,
+    pub scale_down_staleness_ms: i64,
+}
+
+impl Default for RescalePolicy {
+    fn default() -> Self {
+        RescalePolicy {
+            scale_up_staleness_ms: 5_000,
+            scale_down_staleness_ms: 250,
+        }
+    }
+}
+
+impl RescalePolicy {
+    /// The parallelism the policy wants given the current one and the
+    /// watched staleness (pure, so tests drive it directly).
+    pub fn desired(&self, current: usize, min: usize, max: usize, staleness_ms: i64) -> usize {
+        let min = min.max(1);
+        let max = max.max(min);
+        let current = current.clamp(min, max);
+        if staleness_ms > self.scale_up_staleness_ms {
+            (current * 2).clamp(min, max)
+        } else if staleness_ms < self.scale_down_staleness_ms {
+            (current / 2).clamp(min, max)
+        } else {
+            current
+        }
+    }
+}
+
+/// One completed rescale: the job stopped at `at_checkpoint` running
+/// `from` shards and restarted from that checkpoint with `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RescaleEvent {
+    pub from: usize,
+    pub to: usize,
+    pub at_checkpoint: u64,
+}
+
+/// Outcome of an elastically supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct ElasticRunStats {
+    pub final_parallelism: usize,
+    /// Failure-recovery restarts (rescale restarts are not failures).
+    pub attempts: u32,
+    pub rescales: Vec<RescaleEvent>,
+    pub records_in: u64,
+    pub records_out: u64,
+    pub checkpoints_taken: u64,
 }
 
 /// Estimated resources for a job (§4.2.1 "Resource estimation").
@@ -469,6 +540,139 @@ impl JobManager {
         }
     }
 
+    /// Worst staleness across every watched pipeline right now (`None`
+    /// when no saturation watch is wired or nothing is traced yet). This
+    /// is the backlog signal the elastic supervisor scales on.
+    pub fn max_watched_staleness(&self) -> Option<i64> {
+        let watch = self.saturation.read();
+        let w = watch.as_ref()?;
+        let now = w.clock.now();
+        w.tracer
+            .pipelines()
+            .into_iter()
+            .filter_map(|p| w.tracer.staleness_ms(&p, now))
+            .max()
+    }
+
+    /// Supervise a job with backlog-driven elastic rescale: a monitor
+    /// thread watches the freshness tracer (wired via
+    /// [`JobManager::watch_saturation`]) and, whenever `policy` wants a
+    /// different parallelism, asks the running job to stop at its next
+    /// checkpoint barrier; the job is then re-instantiated at the new
+    /// parallelism and resumes from that checkpoint — key-group framed
+    /// state redistributes across the new shard count without rehashing.
+    /// Requires checkpointing in `config`; without it the rescale flag is
+    /// never acted on and the job simply runs to completion. Failures
+    /// still retry from the last checkpoint, up to `max_restarts`.
+    pub fn supervise_elastic(
+        &self,
+        spec: &ElasticJobSpec,
+        config: &StagedConfig,
+        policy: &RescalePolicy,
+        initial_parallelism: usize,
+    ) -> Result<ElasticRunStats> {
+        let min = spec.min_parallelism.max(1);
+        let max = spec.max_parallelism.max(min);
+        let mut p = initial_parallelism.clamp(min, max);
+        if !self.jobs.read().contains_key(&spec.name) {
+            self.jobs.write().insert(
+                spec.name.clone(),
+                ManagedJobInfo {
+                    status: JobStatus::Running,
+                    restarts: 0,
+                    last_stats: None,
+                    tier: spec.tier,
+                    node: None,
+                    pending_restart: false,
+                },
+            );
+        } else {
+            self.set_status(&spec.name, JobStatus::Running);
+        }
+
+        let mut out = ElasticRunStats {
+            final_parallelism: p,
+            ..ElasticRunStats::default()
+        };
+        let mut attempt = 0u32;
+        loop {
+            let handle = RescaleHandle::new();
+            let mut cfg = config.clone();
+            cfg.rescale = Some(handle.clone());
+            let job = (spec.factory)(p);
+            // the monitor stores the parallelism it decided on when it
+            // raised the flag, so the restart uses exactly that decision
+            let target: Mutex<Option<usize>> = Mutex::new(None);
+            let stop = AtomicBool::new(false);
+            let result = std::thread::scope(|scope| {
+                let monitor_handle = handle.clone();
+                let monitor = scope.spawn(|| {
+                    let handle = monitor_handle;
+                    while !stop.load(Ordering::SeqCst) {
+                        if !handle.is_requested() {
+                            if let Some(stale) = self.max_watched_staleness() {
+                                let want = policy.desired(p, min, max, stale);
+                                if want != p {
+                                    *target.lock() = Some(want);
+                                    handle.request();
+                                }
+                            }
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+                let res = run_staged_with(job, &cfg);
+                stop.store(true, Ordering::SeqCst);
+                let _ = monitor.join();
+                res
+            });
+            match result {
+                Ok(stats) => {
+                    out.records_in = stats.records_in;
+                    out.records_out += stats.records_out;
+                    out.checkpoints_taken += stats.checkpoints_taken;
+                    if let Some(ckpt) = stats.stopped_at_checkpoint {
+                        let to = target.lock().take().unwrap_or(p);
+                        if to != p {
+                            out.rescales.push(RescaleEvent {
+                                from: p,
+                                to,
+                                at_checkpoint: ckpt,
+                            });
+                            p = to;
+                            out.final_parallelism = p;
+                        }
+                        continue; // restart from the checkpoint, rescaled
+                    }
+                    out.attempts = attempt;
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.status = JobStatus::Finished;
+                    info.last_stats = Some(JobRunStats {
+                        records_in: stats.records_in,
+                        records_out: stats.records_out,
+                        checkpoints_taken: out.checkpoints_taken,
+                        restored_from_checkpoint: stats.restored_from_checkpoint,
+                        peak_state_bytes: 0,
+                    });
+                    return Ok(out);
+                }
+                Err(e) if attempt < self.max_restarts => {
+                    attempt += 1;
+                    let mut jobs = self.jobs.write();
+                    let info = jobs.get_mut(&spec.name).expect("registered");
+                    info.restarts = attempt;
+                    drop(jobs);
+                    let _ = e; // transient: retry from checkpoint
+                }
+                Err(e) => {
+                    self.set_status(&spec.name, JobStatus::Failed(e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     fn set_status(&self, name: &str, status: JobStatus) {
         if let Some(info) = self.jobs.write().get_mut(name) {
             info.status = status;
@@ -700,6 +904,8 @@ mod tests {
             fuse_operators: true,
             checkpoint_interval: 5,
             checkpoint_store: Some(CheckpointStore::new(store)),
+            trace: None,
+            rescale: None,
         };
         let stats = jm.supervise_staged(&spec, &cfg).unwrap();
         let info = jm.status("staged-flaky").unwrap();
@@ -912,6 +1118,121 @@ mod tests {
         assert!(jm.status("idle").unwrap().node.is_some(), "east untouched");
         assert_eq!(jm.take_pending_restarts(), displaced);
         assert!(jm.on_region_dead("west").is_empty(), "already displaced");
+    }
+
+    #[test]
+    fn rescale_policy_doubles_and_halves_within_bounds() {
+        let pol = RescalePolicy::default();
+        // stale: double, clamped at max
+        assert_eq!(pol.desired(1, 1, 8, 60_000), 2);
+        assert_eq!(pol.desired(4, 1, 8, 60_000), 8);
+        assert_eq!(pol.desired(8, 1, 8, 60_000), 8);
+        // fresh: halve, clamped at min
+        assert_eq!(pol.desired(8, 2, 8, 0), 4);
+        assert_eq!(pol.desired(2, 2, 8, 0), 2);
+        // in between: hold
+        assert_eq!(pol.desired(4, 1, 8, 1_000), 4);
+        // degenerate bounds clamp sanely
+        assert_eq!(pol.desired(0, 0, 0, 60_000), 1);
+    }
+
+    #[test]
+    fn supervise_elastic_scales_up_on_stale_pipeline_and_stays_exact() {
+        use crate::operator::WindowAggregateOp;
+        use crate::runtime::run_staged_with;
+        use crate::window::WindowAssigner;
+        use rtdi_common::{AggFn, SimClock, Timestamp};
+
+        let rows: Vec<(Timestamp, Row)> = (0..20_000)
+            .map(|i| {
+                (
+                    (i as i64) * 10,
+                    Row::new()
+                        .with("city", format!("city-{:02}", i % 7))
+                        .with("fare", 5.0 + (i % 13) as f64),
+                )
+            })
+            .collect();
+        let make_job = |name: &str, rows: Vec<(Timestamp, Row)>, sink: CollectSink, p: usize| {
+            Job::new(
+                name,
+                Box::new(VecSource::from_rows(rows)),
+                vec![Box::new(
+                    WindowAggregateOp::new(
+                        "agg",
+                        vec!["city".into()],
+                        WindowAssigner::tumbling(1000),
+                        vec![
+                            ("trips".into(), AggFn::Count),
+                            ("total".into(), AggFn::Sum("fare".into())),
+                        ],
+                        0,
+                    )
+                    .with_parallelism(p),
+                )],
+                Box::new(sink),
+            )
+        };
+
+        // baseline: uninterrupted serial run
+        let base_sink = CollectSink::new();
+        run_staged_with(
+            make_job("base", rows.clone(), base_sink.clone(), 1),
+            &StagedConfig::batched(16, 64),
+        )
+        .unwrap();
+
+        // a pipeline that is permanently 60s stale: the tracer saw one
+        // record at t=0 and the (simulated) clock is pinned at 60s
+        let jm = JobManager::new(ExecutorConfig::default(), 2);
+        let tracer = PipelineTracer::new();
+        let mut rec = Record::new(Row::new().with("i", 1i64), 0);
+        PipelineTracer::stamp(&mut rec, 0);
+        tracer.observe_hop("trips", "ingest", &mut rec, 0);
+        let clock = Arc::new(SimClock::new(60_000));
+        jm.watch_saturation(tracer, clock, 1_000_000, usize::MAX);
+        assert_eq!(jm.max_watched_staleness(), Some(60_000));
+
+        let sink = CollectSink::new();
+        let job_rows = rows.clone();
+        let job_sink = sink.clone();
+        let spec = ElasticJobSpec {
+            name: "elastic".into(),
+            job_type: JobType::WindowedAggregation,
+            tier: 0,
+            expected_records_per_sec: 10_000,
+            min_parallelism: 1,
+            max_parallelism: 4,
+            factory: Box::new(move |p| make_job("elastic", job_rows.clone(), job_sink.clone(), p)),
+        };
+        let mut cfg = StagedConfig::batched(16, 64);
+        cfg.checkpoint_interval = 2_000;
+        cfg.checkpoint_store = Some(CheckpointStore::new(Arc::new(InMemoryStore::new())));
+        let stats = jm
+            .supervise_elastic(&spec, &cfg, &RescalePolicy::default(), 1)
+            .unwrap();
+
+        // the permanently stale signal must have forced at least one
+        // doubling; with 10 checkpoint boundaries available it reaches max
+        assert!(!stats.rescales.is_empty(), "no rescale happened: {stats:?}");
+        assert!(stats.final_parallelism > 1);
+        for ev in &stats.rescales {
+            assert_eq!(ev.to, (ev.from * 2).min(4), "doubling steps: {ev:?}");
+        }
+        assert_eq!(stats.records_in, 20_000);
+        assert_eq!(jm.status("elastic").unwrap().status, JobStatus::Finished);
+
+        // exactly-once across every rescale restart: sorted, NOT deduped
+        let canon = |mut rows: Vec<Row>| {
+            rows.sort_by_key(|r| {
+                (
+                    r.get_str("city").unwrap().to_string(),
+                    r.get_int("window_start").unwrap(),
+                )
+            });
+            rows
+        };
+        assert_eq!(canon(base_sink.rows()), canon(sink.rows()));
     }
 
     #[test]

@@ -37,17 +37,19 @@ pub mod source;
 pub mod watermark;
 pub mod window;
 
-pub use jobmanager::{JobManager, JobSpec, JobStatus};
+pub use jobmanager::{
+    ElasticJobSpec, ElasticRunStats, JobManager, JobSpec, JobStatus, RescaleEvent, RescalePolicy,
+};
 pub use operator::{
-    fuse_stateless, FilterOp, FlatMapOp, FusedOp, MapOp, Operator, OperatorOutput,
-    WindowAggregateOp, WindowJoinOp,
+    fuse_stateless, key_string, DedupOp, FilterOp, FlatMapOp, FusedOp, MapOp, Operator,
+    OperatorOutput, PartialCombineOp, ShardSpec, WindowAggregateOp, WindowJoinOp, PARTIAL_COL,
 };
 pub use rtdi_common::agg::{AggAcc, AggFn};
 pub use runtime::{
     run_staged, run_staged_with, CheckpointStore, Executor, ExecutorConfig, Job, JobRunStats,
-    StageStats, StagedConfig, StagedRunStats,
+    RescaleHandle, ShardStats, StageStats, StagedConfig, StagedRunStats,
 };
 pub use sink::{CollectSink, FnSink, Sink, TopicSink};
 pub use source::{HiveSource, Source, TopicSource, UnionSource, VecSource};
 pub use watermark::WatermarkGenerator;
-pub use window::WindowAssigner;
+pub use window::{WindowAssigner, WINDOW_END_COL, WINDOW_START_COL};

@@ -15,16 +15,49 @@
 //! stateless operators collapse into one [`FusedOp`] stage that executes
 //! in a single thread with no channel hop in between — Flink's operator
 //! chaining.
+//!
+//! Keyed stateful operators ([`WindowAggregateOp`], [`DedupOp`]) can also
+//! run *data-parallel*: [`Operator::shard_spec`] declares the stage's
+//! parallelism and grouping columns, [`Operator::make_shard`] builds the
+//! per-instance operators, and their state snapshots use the key-group
+//! framed [`KeyedSnapshot`] envelope so a stage checkpoint is independent
+//! of the parallelism it was taken at (the rescale unit is the key group,
+//! exactly as in Flink). Salted hot-key aggregation adds a second phase:
+//! shards emit partial aggregates ([`PARTIAL_COL`]) and a
+//! [`PartialCombineOp`] built by [`Operator::make_combiner`] folds them
+//! into final rows via [`AggAcc::merge`].
 
-use crate::window::{Window, WindowAssigner};
+use crate::window::{Window, WindowAssigner, WINDOW_END_COL, WINDOW_START_COL};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rtdi_common::agg::{AggAcc, AggFn};
 use rtdi_common::{Error, Record, Result, Row, Timestamp, Value};
 use rtdi_storage::archival::{decode_rows, encode_rows};
-use std::collections::BTreeMap;
+use rtdi_storage::keyed::{key_group_of, shard_of_group, KeyedSnapshot};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Convenience alias for operator emission buffers.
 pub type OperatorOutput = Vec<Record>;
+
+/// Sharding contract of a keyed stateful stage (see
+/// [`Operator::shard_spec`]). The runtime's router hashes the grouping
+/// key built from `key_cols` to a key group and the key group to one of
+/// `parallelism` instances; when `hot_key_threshold` is set, keys whose
+/// estimated frequency crosses it are salted round-robin across all
+/// instances instead (two-phase pre-aggregation).
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Number of parallel instances (1 is legal for a salted-only stage:
+    /// the two-phase topology is kept so checkpoints stay slot-stable
+    /// across rescales).
+    pub parallelism: usize,
+    /// Grouping columns; the router and the deterministic merge both key
+    /// off [`key_string`] over these.
+    pub key_cols: Vec<String>,
+    /// Salting threshold (estimated per-key frequency); `None` disables
+    /// hot-key mitigation for this stage.
+    pub hot_key_threshold: Option<u64>,
+}
 
 /// One stage of a dataflow.
 pub trait Operator: Send {
@@ -77,6 +110,37 @@ pub trait Operator: Send {
     /// Records dropped for arriving behind the watermark (stage total).
     fn late_dropped(&self) -> u64 {
         0
+    }
+
+    /// Declare this stage data-parallel: `Some` makes the staged runtime
+    /// expand it into a router, `parallelism` shard instances built by
+    /// [`Operator::make_shard`], and a deterministic merge. `None` (the
+    /// default) keeps the stage serial.
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        None
+    }
+
+    /// Build shard `index` of `of` for a sharded stage. Must return
+    /// `Some` whenever [`Operator::shard_spec`] does.
+    fn make_shard(&self, _index: usize, _of: usize) -> Option<Box<dyn Operator>> {
+        None
+    }
+
+    /// The final-combine stage of a salted two-phase aggregation; placed
+    /// by the runtime immediately downstream of the merge. `Some` only
+    /// when the stage emits partial aggregates.
+    fn make_combiner(&self) -> Option<Box<dyn Operator>> {
+        None
+    }
+
+    /// Whether [`Operator::process`] may emit records. Operators that
+    /// only emit from [`Operator::on_watermark`] (windowed aggregation)
+    /// return `false`, which lets a shard run the amortized
+    /// [`Operator::process_batch`] fold without per-record output
+    /// attribution. An operator returning `false` must not emit from
+    /// `process`/`process_batch`.
+    fn emits_inline(&self) -> bool {
+        true
     }
 }
 
@@ -166,8 +230,12 @@ impl Operator for FlatMapOp {
     }
 }
 
-/// Encode a grouping key from rows deterministically.
-fn key_string(row: &Row, cols: &[String]) -> String {
+/// Encode a grouping key from rows deterministically. This is the one
+/// canonical keying function of the compute layer: operators fold by it,
+/// the parallel router hashes it (FNV via [`Value::hash_of_str`]) to pick
+/// a key group, and the downstream merge sorts flushed emissions by it to
+/// reproduce serial emission order.
+pub fn key_string(row: &Row, cols: &[String]) -> String {
     let mut s = String::new();
     for (i, c) in cols.iter().enumerate() {
         if i > 0 {
@@ -181,10 +249,164 @@ fn key_string(row: &Row, cols: &[String]) -> String {
     s
 }
 
+/// Column carrying encoded partial aggregate accumulators between the
+/// shard phase and the combine phase of a salted aggregation.
+pub const PARTIAL_COL: &str = "__partial";
+
 #[derive(Debug, Clone)]
 struct WindowState {
     key_row: Row,
     accs: Vec<AggAcc>,
+}
+
+type WindowKey = (String, Timestamp, Timestamp);
+
+/// Build the final output row for a closed (key, window) — shared by the
+/// serial aggregation path and [`PartialCombineOp`] so the two produce
+/// byte-identical records.
+fn finalize_window(
+    key_cols: &[String],
+    aggs: &[(String, AggFn)],
+    st: &WindowState,
+    start: Timestamp,
+    end: Timestamp,
+) -> Record {
+    let mut row = st.key_row.clone();
+    row.push(WINDOW_START_COL, start);
+    row.push(WINDOW_END_COL, end);
+    for ((name, _), acc) in aggs.iter().zip(&st.accs) {
+        row.push(name.clone(), acc.result());
+    }
+    let key = key_cols.first().and_then(|c| st.key_row.get(c).cloned());
+    let mut rec = Record::new(row, end - 1);
+    rec.key = key;
+    rec
+}
+
+fn encode_window_entry(
+    buf: &mut BytesMut,
+    key: &str,
+    start: Timestamp,
+    end: Timestamp,
+    st: &WindowState,
+) {
+    buf.put_u32(key.len() as u32);
+    buf.put_slice(key.as_bytes());
+    buf.put_i64(start);
+    buf.put_i64(end);
+    let rows = encode_rows(std::slice::from_ref(&st.key_row));
+    buf.put_u32(rows.len() as u32);
+    buf.put_slice(&rows);
+    buf.put_u32(st.accs.len() as u32);
+    for a in &st.accs {
+        a.encode(buf);
+    }
+}
+
+fn decode_window_entry(buf: &mut Bytes) -> Result<(WindowKey, WindowState)> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corruption("truncated window state entry".into()));
+    }
+    let klen = buf.get_u32() as usize;
+    if buf.remaining() < klen + 16 {
+        return Err(Error::Corruption("truncated window state entry".into()));
+    }
+    let key = String::from_utf8(buf.split_to(klen).to_vec())
+        .map_err(|_| Error::Corruption("bad key".into()))?;
+    let start = buf.get_i64();
+    let end = buf.get_i64();
+    if buf.remaining() < 4 {
+        return Err(Error::Corruption("truncated window state entry".into()));
+    }
+    let rlen = buf.get_u32() as usize;
+    if buf.remaining() < rlen {
+        return Err(Error::Corruption("truncated window state entry".into()));
+    }
+    let rows = decode_rows(&buf.split_to(rlen))?;
+    let key_row = rows.into_iter().next().unwrap_or_default();
+    if buf.remaining() < 4 {
+        return Err(Error::Corruption("truncated window state entry".into()));
+    }
+    let na = buf.get_u32() as usize;
+    let mut accs = Vec::with_capacity(na.min(64));
+    for _ in 0..na {
+        accs.push(AggAcc::decode(buf)?);
+    }
+    Ok(((key, start, end), WindowState { key_row, accs }))
+}
+
+/// Snapshot a windowed state map as a key-group framed [`KeyedSnapshot`]:
+/// one frame per non-empty key group, entries in map (= emission) order.
+fn windowed_snapshot(
+    state: &BTreeMap<WindowKey, WindowState>,
+    watermark: Timestamp,
+    dropped: u64,
+) -> Bytes {
+    let mut groups: BTreeMap<u32, (u32, BytesMut)> = BTreeMap::new();
+    for ((key, start, end), st) in state {
+        let g = key_group_of(Value::hash_of_str(key));
+        let slot = groups.entry(g).or_default();
+        slot.0 += 1;
+        encode_window_entry(&mut slot.1, key, *start, *end, st);
+    }
+    let frames = groups
+        .into_iter()
+        .map(|(g, (count, body))| {
+            let mut f = BytesMut::with_capacity(4 + body.len());
+            f.put_u32(count);
+            f.put_slice(&body);
+            (g, f.freeze())
+        })
+        .collect();
+    KeyedSnapshot {
+        watermark,
+        dropped,
+        frames,
+    }
+    .encode()
+}
+
+/// Restore a windowed state map from a [`KeyedSnapshot`] stage envelope.
+/// A shard instance keeps only the key groups it owns; duplicate entries
+/// for the same (key, window) — salted partial state from several source
+/// shards — fold together via [`AggAcc::merge`]. The stage-wide drop
+/// counter is assigned to instance 0 so shard sums stay exact.
+fn windowed_restore(
+    data: Bytes,
+    shard: Option<(usize, usize)>,
+) -> Result<(Timestamp, u64, BTreeMap<WindowKey, WindowState>)> {
+    let snap = KeyedSnapshot::decode(data)?;
+    let mut state: BTreeMap<WindowKey, WindowState> = BTreeMap::new();
+    for (group, frame) in snap.frames {
+        if let Some((index, of)) = shard {
+            if shard_of_group(group, of) != index {
+                continue;
+            }
+        }
+        let mut buf = frame;
+        if buf.remaining() < 4 {
+            return Err(Error::Corruption("truncated key-group frame".into()));
+        }
+        let count = buf.get_u32();
+        for _ in 0..count {
+            let (k, st) = decode_window_entry(&mut buf)?;
+            match state.entry(k) {
+                Entry::Vacant(v) => {
+                    v.insert(st);
+                }
+                Entry::Occupied(mut o) => {
+                    for (a, b) in o.get_mut().accs.iter_mut().zip(&st.accs) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+    let dropped = match shard {
+        Some((index, _)) if index != 0 => 0,
+        _ => snap.dropped,
+    };
+    Ok((snap.watermark, dropped, state))
 }
 
 /// Keyed event-time window aggregation.
@@ -200,9 +422,17 @@ pub struct WindowAggregateOp {
     allowed_lateness: i64,
     /// (key, window_start, window_end) -> state, ordered so that emission
     /// and snapshots are deterministic.
-    state: BTreeMap<(String, Timestamp, Timestamp), WindowState>,
+    state: BTreeMap<WindowKey, WindowState>,
     watermark: Timestamp,
     late_dropped: u64,
+    parallelism: usize,
+    hot_key_threshold: Option<u64>,
+    /// Phase one of a salted aggregation: emit encoded partial
+    /// accumulators ([`PARTIAL_COL`]) instead of final rows.
+    emit_partials: bool,
+    /// `(instance, parallelism)` when running as one shard of a sharded
+    /// stage; restore then keeps only the owned key groups.
+    shard: Option<(usize, usize)>,
 }
 
 impl WindowAggregateOp {
@@ -222,7 +452,30 @@ impl WindowAggregateOp {
             state: BTreeMap::new(),
             watermark: Timestamp::MIN,
             late_dropped: 0,
+            parallelism: 1,
+            hot_key_threshold: None,
+            emit_partials: false,
+            shard: None,
         }
+    }
+
+    /// Run this stage as `n` parallel instances in the staged runtime
+    /// (key-group sharded; output stays byte-identical to serial).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Enable salted two-phase aggregation for keys whose estimated
+    /// frequency exceeds `threshold`. Ignored for session windows, whose
+    /// cross-record merges need all of a key's state in one instance.
+    pub fn with_hot_key_salting(mut self, threshold: u64) -> Self {
+        self.hot_key_threshold = Some(threshold.max(1));
+        self
+    }
+
+    fn salted(&self) -> bool {
+        self.hot_key_threshold.is_some() && !self.assigner.is_session()
     }
 
     /// Records dropped for arriving after `window.end + allowed_lateness`
@@ -390,7 +643,7 @@ impl Operator for WindowAggregateOp {
         }
         self.watermark = wm;
         let lateness = self.allowed_lateness;
-        let ready: Vec<(String, Timestamp, Timestamp)> = self
+        let ready: Vec<WindowKey> = self
             .state
             .keys()
             .filter(|(_, _, end)| end.checked_add(lateness).map(|e| e <= wm).unwrap_or(true))
@@ -399,69 +652,40 @@ impl Operator for WindowAggregateOp {
         for k in ready {
             let st = self.state.remove(&k).expect("key collected above");
             let (_, start, end) = k;
-            let mut row = st.key_row.clone();
-            row.push("window_start", start);
-            row.push("window_end", end);
-            for ((name, _), acc) in self.aggs.iter().zip(&st.accs) {
-                row.push(name.clone(), acc.result());
+            if self.emit_partials {
+                // phase one of a salted aggregation: ship the raw
+                // accumulators; the combine stage folds them via merge
+                let mut row = st.key_row.clone();
+                row.push(WINDOW_START_COL, start);
+                row.push(WINDOW_END_COL, end);
+                let mut accs = BytesMut::new();
+                accs.put_u32(st.accs.len() as u32);
+                for a in &st.accs {
+                    a.encode(&mut accs);
+                }
+                row.push(PARTIAL_COL, Value::Bytes(accs.to_vec()));
+                let key = self
+                    .key_cols
+                    .first()
+                    .and_then(|c| st.key_row.get(c).cloned());
+                let mut rec = Record::new(row, end - 1);
+                rec.key = key;
+                out.push(rec);
+            } else {
+                out.push(finalize_window(&self.key_cols, &self.aggs, &st, start, end));
             }
-            let key = self
-                .key_cols
-                .first()
-                .and_then(|c| st.key_row.get(c).cloned());
-            let mut rec = Record::new(row, end - 1);
-            rec.key = key;
-            out.push(rec);
         }
     }
 
     fn snapshot(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_i64(self.watermark);
-        buf.put_u64(self.late_dropped);
-        buf.put_u32(self.state.len() as u32);
-        for ((key, start, end), st) in &self.state {
-            buf.put_u32(key.len() as u32);
-            buf.put_slice(key.as_bytes());
-            buf.put_i64(*start);
-            buf.put_i64(*end);
-            let rows = encode_rows(std::slice::from_ref(&st.key_row));
-            buf.put_u32(rows.len() as u32);
-            buf.put_slice(&rows);
-            buf.put_u32(st.accs.len() as u32);
-            for a in &st.accs {
-                a.encode(&mut buf);
-            }
-        }
-        buf.freeze()
+        windowed_snapshot(&self.state, self.watermark, self.late_dropped)
     }
 
     fn restore(&mut self, data: Bytes) -> Result<()> {
-        let mut buf = data;
-        if buf.remaining() < 20 {
-            return Err(Error::Corruption("truncated window-agg snapshot".into()));
-        }
-        self.watermark = buf.get_i64();
-        self.late_dropped = buf.get_u64();
-        let n = buf.get_u32() as usize;
-        self.state.clear();
-        for _ in 0..n {
-            let klen = buf.get_u32() as usize;
-            let key = String::from_utf8(buf.split_to(klen).to_vec())
-                .map_err(|_| Error::Corruption("bad key".into()))?;
-            let start = buf.get_i64();
-            let end = buf.get_i64();
-            let rlen = buf.get_u32() as usize;
-            let rows = decode_rows(&buf.split_to(rlen))?;
-            let key_row = rows.into_iter().next().unwrap_or_default();
-            let na = buf.get_u32() as usize;
-            let mut accs = Vec::with_capacity(na);
-            for _ in 0..na {
-                accs.push(AggAcc::decode(&mut buf)?);
-            }
-            self.state
-                .insert((key, start, end), WindowState { key_row, accs });
-        }
+        let (watermark, dropped, state) = windowed_restore(data, self.shard)?;
+        self.watermark = watermark;
+        self.late_dropped = dropped;
+        self.state = state;
         Ok(())
     }
 
@@ -482,6 +706,324 @@ impl Operator for WindowAggregateOp {
 
     fn late_dropped(&self) -> u64 {
         self.late_dropped
+    }
+
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        (self.parallelism > 1 || self.salted()).then(|| ShardSpec {
+            parallelism: self.parallelism,
+            key_cols: self.key_cols.clone(),
+            hot_key_threshold: if self.assigner.is_session() {
+                None
+            } else {
+                self.hot_key_threshold
+            },
+        })
+    }
+
+    fn make_shard(&self, index: usize, of: usize) -> Option<Box<dyn Operator>> {
+        let mut op = WindowAggregateOp::new(
+            self.name.clone(),
+            self.key_cols.clone(),
+            self.assigner,
+            self.aggs.clone(),
+            self.allowed_lateness,
+        );
+        op.emit_partials = self.salted();
+        op.shard = Some((index, of));
+        Some(Box::new(op))
+    }
+
+    fn make_combiner(&self) -> Option<Box<dyn Operator>> {
+        self.salted().then(|| {
+            Box::new(PartialCombineOp::new(
+                format!("{}-combine", self.name),
+                self.key_cols.clone(),
+                self.aggs.clone(),
+                self.allowed_lateness,
+            )) as Box<dyn Operator>
+        })
+    }
+
+    fn emits_inline(&self) -> bool {
+        false
+    }
+}
+
+/// Keyed first-occurrence filter: a record passes iff its grouping key
+/// has not been seen before. The compute-layer building block behind
+/// exactly-once sinks and the DR replay dedup — and, like
+/// [`WindowAggregateOp`], shardable: disjoint key ranges mean the
+/// per-shard seen-sets never overlap, so parallel output equals serial.
+pub struct DedupOp {
+    name: String,
+    key_cols: Vec<String>,
+    parallelism: usize,
+    /// `(instance, parallelism)` when running as a shard.
+    shard: Option<(usize, usize)>,
+    seen: BTreeSet<String>,
+}
+
+impl DedupOp {
+    pub fn new(name: impl Into<String>, key_cols: Vec<String>) -> Self {
+        DedupOp {
+            name: name.into(),
+            key_cols,
+            parallelism: 1,
+            shard: None,
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Run this stage as `n` parallel instances in the staged runtime.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Distinct keys seen so far.
+    pub fn seen_keys(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl Operator for DedupOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        if self.seen.insert(key_string(&record.value, &self.key_cols)) {
+            out.push(record);
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut groups: BTreeMap<u32, (u32, BytesMut)> = BTreeMap::new();
+        for key in &self.seen {
+            let g = key_group_of(Value::hash_of_str(key));
+            let slot = groups.entry(g).or_default();
+            slot.0 += 1;
+            slot.1.put_u32(key.len() as u32);
+            slot.1.put_slice(key.as_bytes());
+        }
+        let frames = groups
+            .into_iter()
+            .map(|(g, (count, body))| {
+                let mut f = BytesMut::with_capacity(4 + body.len());
+                f.put_u32(count);
+                f.put_slice(&body);
+                (g, f.freeze())
+            })
+            .collect();
+        KeyedSnapshot {
+            watermark: Timestamp::MIN,
+            dropped: 0,
+            frames,
+        }
+        .encode()
+    }
+
+    fn restore(&mut self, data: Bytes) -> Result<()> {
+        let snap = KeyedSnapshot::decode(data)?;
+        self.seen.clear();
+        for (group, frame) in snap.frames {
+            if let Some((index, of)) = self.shard {
+                if shard_of_group(group, of) != index {
+                    continue;
+                }
+            }
+            let mut buf = frame;
+            if buf.remaining() < 4 {
+                return Err(Error::Corruption("truncated dedup frame".into()));
+            }
+            let count = buf.get_u32();
+            for _ in 0..count {
+                if buf.remaining() < 4 {
+                    return Err(Error::Corruption("truncated dedup key".into()));
+                }
+                let klen = buf.get_u32() as usize;
+                if buf.remaining() < klen {
+                    return Err(Error::Corruption("truncated dedup key".into()));
+                }
+                let key = String::from_utf8(buf.split_to(klen).to_vec())
+                    .map_err(|_| Error::Corruption("bad dedup key".into()))?;
+                self.seen.insert(key);
+            }
+        }
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.seen.iter().map(|k| k.len() + 24).sum()
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        (self.parallelism > 1).then(|| ShardSpec {
+            parallelism: self.parallelism,
+            key_cols: self.key_cols.clone(),
+            hot_key_threshold: None,
+        })
+    }
+
+    fn make_shard(&self, index: usize, of: usize) -> Option<Box<dyn Operator>> {
+        let mut op = DedupOp::new(self.name.clone(), self.key_cols.clone());
+        op.shard = Some((index, of));
+        Some(Box::new(op))
+    }
+}
+
+/// Phase two of a salted hot-key aggregation: folds the partial
+/// accumulators shipped in [`PARTIAL_COL`] rows back together per
+/// (key, window) via [`AggAcc::merge`] and emits final rows with exactly
+/// the shape and order of an unsalted [`WindowAggregateOp`].
+pub struct PartialCombineOp {
+    name: String,
+    key_cols: Vec<String>,
+    aggs: Vec<(String, AggFn)>,
+    allowed_lateness: i64,
+    state: BTreeMap<WindowKey, WindowState>,
+    watermark: Timestamp,
+    dropped: u64,
+}
+
+impl PartialCombineOp {
+    pub fn new(
+        name: impl Into<String>,
+        key_cols: Vec<String>,
+        aggs: Vec<(String, AggFn)>,
+        allowed_lateness: i64,
+    ) -> Self {
+        PartialCombineOp {
+            name: name.into(),
+            key_cols,
+            aggs,
+            allowed_lateness: allowed_lateness.max(0),
+            state: BTreeMap::new(),
+            watermark: Timestamp::MIN,
+            dropped: 0,
+        }
+    }
+}
+
+impl Operator for PartialCombineOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, record: Record, out: &mut OperatorOutput) -> Result<()> {
+        let _ = out;
+        let start = record
+            .value
+            .get_int(WINDOW_START_COL)
+            .ok_or_else(|| Error::InvalidArgument("partial row missing window_start".into()))?;
+        let end = record
+            .value
+            .get_int(WINDOW_END_COL)
+            .ok_or_else(|| Error::InvalidArgument("partial row missing window_end".into()))?;
+        let Some(Value::Bytes(payload)) = record.value.get(PARTIAL_COL) else {
+            return Err(Error::InvalidArgument(
+                "combine input missing __partial accumulators".into(),
+            ));
+        };
+        let mut buf = Bytes::copy_from_slice(payload);
+        if buf.remaining() < 4 {
+            return Err(Error::Corruption("truncated partial accumulators".into()));
+        }
+        let n = buf.get_u32() as usize;
+        if n != self.aggs.len() {
+            return Err(Error::Corruption(format!(
+                "partial row has {n} accumulators, stage has {}",
+                self.aggs.len()
+            )));
+        }
+        let mut incoming = Vec::with_capacity(n);
+        for _ in 0..n {
+            incoming.push(AggAcc::decode(&mut buf)?);
+        }
+        if end
+            .checked_add(self.allowed_lateness)
+            .map(|e| e <= self.watermark)
+            .unwrap_or(false)
+        {
+            // unreachable under epoch-aligned merges; counted defensively
+            self.dropped += 1;
+            return Ok(());
+        }
+        let key = key_string(&record.value, &self.key_cols);
+        match self.state.entry((key, start, end)) {
+            Entry::Vacant(v) => {
+                let cols: Vec<&str> = self.key_cols.iter().map(|s| s.as_str()).collect();
+                v.insert(WindowState {
+                    key_row: record.value.project(&cols),
+                    accs: incoming,
+                });
+            }
+            Entry::Occupied(mut o) => {
+                for (a, b) in o.get_mut().accs.iter_mut().zip(&incoming) {
+                    a.merge(b);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut OperatorOutput) {
+        if wm <= self.watermark {
+            return;
+        }
+        self.watermark = wm;
+        let lateness = self.allowed_lateness;
+        let ready: Vec<WindowKey> = self
+            .state
+            .keys()
+            .filter(|(_, _, end)| end.checked_add(lateness).map(|e| e <= wm).unwrap_or(true))
+            .cloned()
+            .collect();
+        for k in ready {
+            let st = self.state.remove(&k).expect("key collected above");
+            let (_, start, end) = k;
+            out.push(finalize_window(&self.key_cols, &self.aggs, &st, start, end));
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        windowed_snapshot(&self.state, self.watermark, self.dropped)
+    }
+
+    fn restore(&mut self, data: Bytes) -> Result<()> {
+        let (watermark, dropped, state) = windowed_restore(data, None)?;
+        self.watermark = watermark;
+        self.dropped = dropped;
+        self.state = state;
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.state
+            .values()
+            .map(|st| {
+                st.key_row.approx_bytes()
+                    + st.accs.iter().map(AggAcc::memory_bytes).sum::<usize>()
+                    + 48
+            })
+            .sum()
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn late_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn emits_inline(&self) -> bool {
+        false
     }
 }
 
@@ -1338,5 +1880,216 @@ mod tests {
         restored.process(right, &mut out_b).unwrap();
         assert_eq!(out_a.len(), out_b.len());
         assert!(!out_b.is_empty());
+    }
+
+    #[test]
+    fn dedup_passes_first_occurrence_only() {
+        let mut op = DedupOp::new("dedup", vec!["city".into(), "driver".into()]);
+        assert!(op.is_stateful());
+        let mut out = Vec::new();
+        for (i, (c, d)) in [("sf", "d1"), ("sf", "d2"), ("sf", "d1"), ("la", "d1")]
+            .iter()
+            .enumerate()
+        {
+            op.process(
+                rec(i as i64, Row::new().with("city", *c).with("driver", *d)),
+                &mut out,
+            )
+            .unwrap();
+        }
+        assert_eq!(out.len(), 3);
+        assert_eq!(op.seen_keys(), 3);
+        assert!(op.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn dedup_snapshot_roundtrip_and_sharded_restore() {
+        let mut op = DedupOp::new("dedup", vec!["k".into()]);
+        let mut out = Vec::new();
+        for i in 0..200 {
+            op.process(rec(i, Row::new().with("k", format!("k{i}"))), &mut out)
+                .unwrap();
+        }
+        let snap = op.snapshot();
+        let mut whole = DedupOp::new("dedup", vec!["k".into()]);
+        whole.restore(snap.clone()).unwrap();
+        assert_eq!(whole.seen_keys(), 200);
+        // sharded restore partitions the seen-set without loss or overlap
+        for p in [2usize, 3, 4] {
+            let template = DedupOp::new("dedup", vec!["k".into()]).with_parallelism(p);
+            let mut total = 0;
+            for i in 0..p {
+                let mut shard = template.make_shard(i, p).unwrap();
+                shard.restore(snap.clone()).unwrap();
+                total += shard.memory_bytes();
+            }
+            assert_eq!(
+                total,
+                whole.memory_bytes(),
+                "parallelism {p} must partition exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn window_agg_sharded_restore_partitions_state() {
+        // Snapshot a serial aggregation mid-flight, restore it into N
+        // shards, and check the union of shard flushes equals the serial
+        // flush — the rescale redistribution property end to end.
+        let mk = || {
+            WindowAggregateOp::new(
+                "agg",
+                vec!["city".into()],
+                WindowAssigner::tumbling(1000),
+                vec![
+                    ("n".into(), AggFn::Count),
+                    ("fare".into(), AggFn::Sum("fare".into())),
+                ],
+                0,
+            )
+        };
+        let mut serial = mk();
+        let mut out = Vec::new();
+        for i in 0..300i64 {
+            serial
+                .process(
+                    rec(
+                        (i * 37) % 5000,
+                        Row::new()
+                            .with("city", format!("city-{}", i % 29))
+                            .with("fare", (i % 13) as f64 * 0.25),
+                    ),
+                    &mut out,
+                )
+                .unwrap();
+        }
+        let snap = serial.snapshot();
+        let mut serial_flush = Vec::new();
+        serial.on_watermark(i64::MAX, &mut serial_flush);
+        for p in [2usize, 4, 8] {
+            let template = mk().with_parallelism(p);
+            let mut union = Vec::new();
+            for i in 0..p {
+                let mut shard = template.make_shard(i, p).unwrap();
+                shard.restore(snap.clone()).unwrap();
+                shard.on_watermark(i64::MAX, &mut union);
+            }
+            let sort_key = |r: &Record| {
+                (
+                    key_string(&r.value, &["city".to_string()]),
+                    r.value.get_int(WINDOW_START_COL),
+                )
+            };
+            union.sort_by_key(sort_key);
+            let mut expected = serial_flush.clone();
+            expected.sort_by_key(sort_key);
+            assert_eq!(union, expected, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn salted_two_phase_matches_serial() {
+        let aggs = || {
+            vec![
+                ("n".into(), AggFn::Count),
+                ("fare".into(), AggFn::Sum("fare".into())),
+                ("top".into(), AggFn::Max("fare".into())),
+            ]
+        };
+        let mk = || {
+            WindowAggregateOp::new(
+                "agg",
+                vec!["city".into()],
+                WindowAssigner::tumbling(1000),
+                aggs(),
+                0,
+            )
+        };
+        // dyadic fares, so re-associated float sums stay exact
+        let records: Vec<Record> = (0..400i64)
+            .map(|i| {
+                rec(
+                    (i * 53) % 4000,
+                    Row::new()
+                        .with("city", if i % 3 == 0 { "hot" } else { "cold" })
+                        .with("fare", (i % 17) as f64 * 0.25),
+                )
+            })
+            .collect();
+        let mut serial = mk();
+        let mut expected = Vec::new();
+        for r in &records {
+            serial.process(r.clone(), &mut expected).unwrap();
+        }
+        serial.on_watermark(i64::MAX, &mut expected);
+
+        // two shards in salted mode, records sprayed round-robin (as the
+        // router does for a 100%-hot stream), then the combine stage
+        let template = mk().with_hot_key_salting(1).with_parallelism(2);
+        let mut shards: Vec<Box<dyn Operator>> =
+            (0..2).map(|i| template.make_shard(i, 2).unwrap()).collect();
+        assert!(!template.emits_inline());
+        let mut combiner = template.make_combiner().unwrap();
+        let mut partials = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            shards[i % 2].process(r.clone(), &mut partials).unwrap();
+        }
+        for s in &mut shards {
+            s.on_watermark(i64::MAX, &mut partials);
+        }
+        // deterministic merge order: (key, window_start)
+        partials.sort_by_key(|r| {
+            (
+                key_string(&r.value, &["city".to_string()]),
+                r.value.get_int(WINDOW_START_COL),
+            )
+        });
+        let mut got = Vec::new();
+        for p in partials {
+            combiner.process(p, &mut got).unwrap();
+        }
+        combiner.on_watermark(i64::MAX, &mut got);
+        assert_eq!(got, expected, "salted two-phase output must be identical");
+        // combiner checkpoint roundtrip keeps in-flight partials
+        let snap = combiner.snapshot();
+        let mut restored = PartialCombineOp::new("agg-combine", vec!["city".into()], aggs(), 0);
+        restored.restore(snap).unwrap();
+        assert_eq!(restored.memory_bytes(), combiner.memory_bytes());
+    }
+
+    #[test]
+    fn shard_spec_declared_only_when_parallel_or_salted() {
+        let serial = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::tumbling(1000),
+            vec![("n".into(), AggFn::Count)],
+            0,
+        );
+        assert!(serial.shard_spec().is_none());
+        let parallel = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::tumbling(1000),
+            vec![("n".into(), AggFn::Count)],
+            0,
+        )
+        .with_parallelism(4);
+        let spec = parallel.shard_spec().unwrap();
+        assert_eq!(spec.parallelism, 4);
+        assert_eq!(spec.hot_key_threshold, None);
+        assert!(parallel.make_combiner().is_none());
+        // sessions refuse salting (cross-record merges need one instance)
+        let sessions = WindowAggregateOp::new(
+            "agg",
+            vec!["k".into()],
+            WindowAssigner::session(500),
+            vec![("n".into(), AggFn::Count)],
+            0,
+        )
+        .with_parallelism(2)
+        .with_hot_key_salting(10);
+        assert_eq!(sessions.shard_spec().unwrap().hot_key_threshold, None);
+        assert!(sessions.make_combiner().is_none());
     }
 }

@@ -6,6 +6,12 @@
 
 use rtdi_common::Timestamp;
 
+/// Output column carrying a window result's inclusive start timestamp.
+pub const WINDOW_START_COL: &str = "window_start";
+
+/// Output column carrying a window result's exclusive end timestamp.
+pub const WINDOW_END_COL: &str = "window_end";
+
 /// A window is identified by its start; the assigner knows its length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Window {

@@ -29,6 +29,14 @@ pub struct CompileOptions {
     /// eligible SQL operators the same way. Window aggregations keep
     /// their own stage.
     pub chain_operators: bool,
+    /// Parallelism of keyed (window-aggregate) stages; the staged runtime
+    /// expands them into router + N shards + merge. Settable per query
+    /// with a leading `/*+ PARALLELISM(n) */` hint.
+    pub parallelism: usize,
+    /// When set, keys hotter than this observed count are salted across
+    /// all shards with two-phase (partial + combine) aggregation.
+    /// Settable per query with `/*+ SALT_HOT_KEYS(threshold) */`.
+    pub hot_key_threshold: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -38,8 +46,52 @@ impl Default for CompileOptions {
             allowed_lateness: 0,
             bounded: true,
             chain_operators: true,
+            parallelism: 1,
+            hot_key_threshold: None,
         }
     }
+}
+
+/// Parse an optional leading `/*+ HINT(arg), HINT(arg) */` block — the
+/// FlinkSQL-style per-query override syntax — returning the SQL with the
+/// block stripped and the options it overrides. Supported hints:
+/// `PARALLELISM(n)` and `SALT_HOT_KEYS(threshold)`.
+fn apply_hints(sql: &str, options: &CompileOptions) -> Result<(String, CompileOptions)> {
+    let mut opts = options.clone();
+    let trimmed = sql.trim_start();
+    let Some(rest) = trimmed.strip_prefix("/*+") else {
+        return Ok((sql.to_string(), opts));
+    };
+    let Some(end) = rest.find("*/") else {
+        return Err(Error::Sql("unterminated /*+ ... */ hint block".into()));
+    };
+    for hint in rest[..end].split(',') {
+        let hint = hint.trim();
+        if hint.is_empty() {
+            continue;
+        }
+        let (name, arg) = hint
+            .split_once('(')
+            .and_then(|(n, a)| a.strip_suffix(')').map(|a| (n.trim(), a.trim())))
+            .ok_or_else(|| Error::Sql(format!("malformed hint '{hint}', expected NAME(arg)")))?;
+        if name.eq_ignore_ascii_case("PARALLELISM") {
+            opts.parallelism = arg
+                .parse::<usize>()
+                .ok()
+                .filter(|p| *p > 0)
+                .ok_or_else(|| {
+                    Error::Sql(format!("PARALLELISM takes a positive integer, got '{arg}'"))
+                })?;
+        } else if name.eq_ignore_ascii_case("SALT_HOT_KEYS") {
+            let t = arg.parse::<u64>().ok().filter(|t| *t > 0).ok_or_else(|| {
+                Error::Sql(format!("SALT_HOT_KEYS takes a positive count, got '{arg}'"))
+            })?;
+            opts.hot_key_threshold = Some(t);
+        } else {
+            return Err(Error::Sql(format!("unknown query hint '{name}'")));
+        }
+    }
+    Ok((rest[end + 2..].to_string(), opts))
 }
 
 /// Compile a SQL statement into a streaming job over a topic
@@ -85,7 +137,9 @@ fn compile(
     sink: Box<dyn Sink>,
     options: &CompileOptions,
 ) -> Result<Job> {
-    let stmt = parse_select(sql)?;
+    let (sql, options) = apply_hints(sql, options)?;
+    let options = &options;
+    let stmt = parse_select(&sql)?;
     let plan = plan_select(&stmt)?;
     let mut operators: Vec<Box<dyn Operator>> = Vec::new();
     lower(&plan, &mut operators, options)?;
@@ -168,13 +222,20 @@ fn lower(plan: &Plan, out: &mut Vec<Box<dyn Operator>>, options: &CompileOptions
                 .iter()
                 .map(agg_to_fn)
                 .collect::<Result<Vec<(String, AggFn)>>>()?;
-            out.push(Box::new(WindowAggregateOp::new(
+            let mut agg_op = WindowAggregateOp::new(
                 "window-agg",
                 key_cols,
                 WindowAssigner::tumbling(size),
                 agg_fns,
                 options.allowed_lateness,
-            )));
+            );
+            if options.parallelism > 1 {
+                agg_op = agg_op.with_parallelism(options.parallelism);
+            }
+            if let Some(t) = options.hot_key_threshold {
+                agg_op = agg_op.with_hot_key_salting(t);
+            }
+            out.push(Box::new(agg_op));
             // expose the window under the group output name
             if win_name != "window_start" {
                 out.push(Box::new(MapOp::new("window-alias", move |row: &Row| {
@@ -338,6 +399,68 @@ mod tests {
         // each (city, window) holds 5 records -> all pass > 4; sanity only
         assert!(sink.rows().iter().all(|r| r.get_int("n").unwrap() > 4));
         assert_eq!(sink.rows().len(), 20);
+    }
+
+    #[test]
+    fn parallelism_hint_shards_the_aggregate_with_identical_output() {
+        use rtdi_compute::runtime::{run_staged_with, StagedConfig};
+        const SQL: &str = "SELECT city, TUMBLE(ts, 1000) AS w, COUNT(*) AS trips, \
+             AVG(fare) AS avg_fare FROM trips GROUP BY city, TUMBLE(ts, 1000)";
+
+        let serial_sink = CollectSink::new();
+        let job = compile_streaming(
+            "serial",
+            SQL,
+            trips_topic(400),
+            Box::new(serial_sink.clone()),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        run_staged_with(job, &StagedConfig::batched(16, 32)).unwrap();
+
+        // the hint block widens the aggregate and salts hot keys, with
+        // byte-identical results
+        let hinted = format!("/*+ PARALLELISM(4), SALT_HOT_KEYS(64) */ {SQL}");
+        let sink = CollectSink::new();
+        let job = compile_streaming(
+            "hinted",
+            &hinted,
+            trips_topic(400),
+            Box::new(sink.clone()),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let stats = run_staged_with(job, &StagedConfig::batched(16, 32)).unwrap();
+        assert!(
+            stats.stages.iter().any(|s| s.stage == "window-agg[x4]"),
+            "sharded stage missing: {:?}",
+            stats.stages.iter().map(|s| &s.stage).collect::<Vec<_>>()
+        );
+        assert!(
+            stats.stages.iter().any(|s| s.stage.contains("combine")),
+            "salting adds a combine stage"
+        );
+        assert_eq!(sink.records(), serial_sink.records());
+    }
+
+    #[test]
+    fn malformed_hints_are_rejected() {
+        let topic = trips_topic(1);
+        let opts = CompileOptions::default();
+        let mk = |sql: &str| {
+            compile_streaming("x", sql, topic.clone(), Box::new(CollectSink::new()), &opts)
+        };
+        let base = "SELECT city FROM trips";
+        assert!(mk(&format!("/*+ PARALLELISM(0) */ {base}")).is_err());
+        assert!(mk(&format!("/*+ PARALLELISM(abc) */ {base}")).is_err());
+        assert!(mk(&format!("/*+ SALT_HOT_KEYS(0) */ {base}")).is_err());
+        assert!(mk(&format!("/*+ UNKNOWN_HINT(3) */ {base}")).is_err());
+        assert!(
+            mk(&format!("/*+ PARALLELISM(2) {base}")).is_err(),
+            "unterminated"
+        );
+        // a well-formed hint on a stateless query is harmless
+        assert!(mk(&format!("/*+ PARALLELISM(2) */ {base}")).is_ok());
     }
 
     #[test]

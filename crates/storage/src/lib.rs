@@ -21,12 +21,14 @@
 pub mod archival;
 pub mod colfile;
 pub mod hive;
+pub mod keyed;
 pub mod object;
 pub mod segfile;
 
 pub use archival::{ArchivalWriter, Compactor};
 pub use colfile::{decode_columnar, encode_columnar};
 pub use hive::{HiveCatalog, HiveTable};
+pub use keyed::{key_group_of, shard_of_group, KeyedSnapshot, KEY_GROUPS};
 pub use object::{FaultyStore, InMemoryStore, LocalFsStore, MirroredStore, ObjectStore};
 pub use segfile::{
     decode_rows_segment, encode_rows_segment, is_segment_file, SegmentFile, SegmentMeta,

@@ -29,4 +29,4 @@ pub use eatsops::{AutomationRule, OpsAutomation, RuleAction};
 pub use prediction::PredictionMonitoring;
 pub use restaurant::RestaurantManager;
 pub use surge::{LinearSurgeModel, SurgeModel, SurgePipeline};
-pub use workloads::{hex_for, TripEventGenerator};
+pub use workloads::{hex_for, CityDriverGenerator, TripEventGenerator, Zipf};

@@ -10,6 +10,87 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtdi_common::{Record, Row, Timestamp};
 
+/// A seeded Zipfian sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^s`. `s ~ 1` matches the
+/// skew of real keyed traffic (hot cities, hot restaurants); larger `s`
+/// concentrates more mass on the head — the hot-key storm the salted
+/// pre-aggregation path is built for.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Normalized cumulative distribution over ranks; `cdf[k]` is
+    /// `P(rank <= k)`, with `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n` (rank 0 is the hottest key).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Keyed trip generator for the parallel-compute experiments: trips
+/// keyed by city (Zipf over `cities`) with a per-trip driver id (Zipf
+/// over `drivers`). Fares are dyadic rationals (multiples of 0.25) so
+/// floating-point sums are exact regardless of fold order — parallel /
+/// salted aggregation can then be checked for *byte-identical* output
+/// against the serial plan, not just approximate equality.
+pub struct CityDriverGenerator {
+    rng: StdRng,
+    cities: Zipf,
+    drivers: Zipf,
+}
+
+impl CityDriverGenerator {
+    pub fn new(seed: u64, cities: usize, drivers: usize, skew: f64) -> Self {
+        CityDriverGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            cities: Zipf::new(cities, skew),
+            drivers: Zipf::new(drivers, 1.0),
+        }
+    }
+
+    pub fn trip(&mut self, ts: Timestamp) -> Record {
+        let city = format!("city-{:03}", self.cities.sample(&mut self.rng));
+        let driver = format!("drv-{:05}", self.drivers.sample(&mut self.rng));
+        // quarter-dollar fares: exactly representable, order-independent sums
+        let fare = self.rng.gen_range(4..200) as f64 * 0.25;
+        Record::new(
+            Row::new()
+                .with("city", city.clone())
+                .with("driver", driver)
+                .with("fare", fare)
+                .with("ts", ts),
+            ts,
+        )
+        .with_key(city)
+    }
+
+    pub fn trips(&mut self, n: usize, interval_ms: i64) -> Vec<Record> {
+        (0..n).map(|i| self.trip(i as i64 * interval_ms)).collect()
+    }
+}
+
 /// Map a (lat, lon) position onto a hexagon-ish geofence id. A square
 /// grid stands in for H3 hexagons: what matters to the pipeline is a
 /// deterministic position -> cell mapping with controllable granularity.
@@ -30,6 +111,9 @@ pub struct TripEventGenerator {
     pub max_lateness_ms: i64,
     /// Demand:supply ratio skew per cell (hot cells get more demand).
     hot_cells: usize,
+    /// Zipfian order distribution over restaurants (hot restaurants
+    /// draw most orders).
+    restaurants: Zipf,
 }
 
 impl TripEventGenerator {
@@ -40,6 +124,7 @@ impl TripEventGenerator {
             late_probability: 0.0,
             max_lateness_ms: 0,
             hot_cells: (cells / 8).max(1),
+            restaurants: Zipf::new(500, 1.05),
         }
     }
 
@@ -103,12 +188,8 @@ impl TripEventGenerator {
 
     /// UberEats order events for the restaurant-manager and ops use cases.
     pub fn eats_order(&mut self, ts: Timestamp) -> Record {
-        // hot restaurants get most orders (Zipf-ish skew via two tiers)
-        let restaurant = if self.rng.gen_bool(0.6) {
-            format!("rest-{:04}", self.rng.gen_range(0..20))
-        } else {
-            format!("rest-{:04}", self.rng.gen_range(0..500))
-        };
+        // hot restaurants get most orders (seeded Zipfian over 500)
+        let restaurant = format!("rest-{:04}", self.restaurants.sample(&mut self.rng));
         let items = self.rng.gen_range(1..=8i64);
         let total = items as f64 * self.rng.gen_range(6.0..25.0);
         let rating = self.rng.gen_range(1..=5i64);
@@ -233,6 +314,68 @@ mod tests {
         assert_eq!(batch.len(), 1000);
         assert!(batch.first().unwrap().timestamp >= 10_000);
         assert!(batch.last().unwrap().timestamp < 12_000);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_head_heavy() {
+        let z = Zipf::new(100, 1.2);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let sa: Vec<usize> = (0..200).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..200).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().all(|&r| r < 100));
+
+        // rank-0 share grows with the skew parameter
+        let share = |s: f64| {
+            let z = Zipf::new(100, s);
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..20_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        let (mild, hot) = (share(0.8), share(1.5));
+        assert!(
+            hot > mild && hot > 20_000 / 5,
+            "s=1.5 rank-0 share {hot} should beat s=0.8 share {mild}"
+        );
+    }
+
+    #[test]
+    fn eats_orders_remain_zipf_skewed() {
+        let mut g = TripEventGenerator::new(13, 32);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..10_000 {
+            let o = g.eats_order(i);
+            *counts
+                .entry(o.value.get_str("restaurant").unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = freqs.iter().take(20).sum();
+        assert!(
+            top_share * 100 / 10_000 > 35,
+            "top-20 restaurants should draw a large share, got {}%",
+            top_share * 100 / 10_000
+        );
+        // the low ranks the dashboards query are all present
+        for target in ["rest-0001", "rest-0003", "rest-0005"] {
+            assert!(counts.contains_key(target), "{target} never generated");
+        }
+    }
+
+    #[test]
+    fn city_driver_trips_are_deterministic_with_dyadic_fares() {
+        let mut a = CityDriverGenerator::new(21, 16, 1000, 1.1);
+        let mut b = CityDriverGenerator::new(21, 16, 1000, 1.1);
+        let ta = a.trips(500, 10);
+        let tb = b.trips(500, 10);
+        assert_eq!(ta.len(), 500);
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x.value, y.value);
+            let fare = x.value.get_double("fare").unwrap();
+            assert_eq!(fare, (fare * 4.0).round() / 4.0, "fare must be dyadic");
+            assert!(x.key.is_some());
+        }
     }
 
     #[test]

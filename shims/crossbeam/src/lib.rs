@@ -96,6 +96,16 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Messages currently queued (the sender-side view of channel
+        /// depth — a backpressure/saturation signal).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
